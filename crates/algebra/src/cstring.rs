@@ -1,0 +1,113 @@
+//! Context-string pairs (paper §4.1).
+//!
+//! The traditional k-limited representation of a context transformation is
+//! a pair `(A, B)` of truncated context strings: it relates every concrete
+//! context with prefix `A` at the source to every concrete context with
+//! prefix `B` at the destination. The paper shows this is the *explicit
+//! enumeration* of a context transformation's input/output pairs: one
+//! derived fact per reachable pair.
+
+use crate::interner::{CtxtInterner, CtxtStr};
+
+/// A context transformation represented as a pair of truncated context
+/// strings `(src, dst)` (the domain `CtxtTc_{i,j}` of §4.1).
+///
+/// ```
+/// use ctxform_algebra::{CPair, CtxtElem, CtxtInterner};
+/// use ctxform_ir::Inv;
+///
+/// let mut it = CtxtInterner::new();
+/// let c1 = it.from_slice(&[CtxtElem::of_inv(Inv(1))]);
+/// let c2 = it.from_slice(&[CtxtElem::of_inv(Inv(2))]);
+/// let a = CPair { src: c1, dst: c2 };
+/// let b = CPair { src: c2, dst: c1 };
+/// assert_eq!(a.compose(b), Some(CPair { src: c1, dst: c1 }));
+/// assert_eq!(a.compose(a), None); // middle strings differ
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CPair {
+    /// Truncated context at the transformation's source method.
+    pub src: CtxtStr,
+    /// Truncated context at the transformation's destination method.
+    pub dst: CtxtStr,
+}
+
+impl CPair {
+    /// The pair `(ε, ε)`.
+    pub const EMPTY: CPair = CPair { src: CtxtStr::EMPTY, dst: CtxtStr::EMPTY };
+
+    /// Composition `compc((U,V), (V,W), (U,W))`: defined only when the
+    /// middle strings coincide (§4.1's definition collapses to an equality
+    /// join because both middles abstract the same method's context at the
+    /// same truncation length).
+    pub fn compose(self, other: CPair) -> Option<CPair> {
+        (self.dst == other.src).then_some(CPair { src: self.src, dst: other.dst })
+    }
+
+    /// The semigroup inverse `inv((U,V)) = (V,U)`.
+    pub fn inverse(self) -> CPair {
+        CPair { src: self.dst, dst: self.src }
+    }
+
+    /// Formats the pair as `(src, dst)` with a custom element renderer.
+    pub fn display_with<F>(self, interner: &CtxtInterner, mut render: F) -> String
+    where
+        F: FnMut(crate::elem::CtxtElem) -> String,
+    {
+        let src = interner.display_with(self.src, &mut render);
+        let dst = interner.display_with(self.dst, &mut render);
+        format!("({src}, {dst})")
+    }
+
+    /// Formats with the default element renderer.
+    pub fn display(self, interner: &CtxtInterner) -> String {
+        self.display_with(interner, |e| e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elem::CtxtElem;
+    use ctxform_ir::Inv;
+
+    #[test]
+    fn compose_is_an_equality_join() {
+        let mut it = CtxtInterner::new();
+        let a = it.from_slice(&[CtxtElem::of_inv(Inv(1))]);
+        let b = it.from_slice(&[CtxtElem::of_inv(Inv(2))]);
+        let c = it.from_slice(&[CtxtElem::of_inv(Inv(3))]);
+        let ab = CPair { src: a, dst: b };
+        let bc = CPair { src: b, dst: c };
+        assert_eq!(ab.compose(bc), Some(CPair { src: a, dst: c }));
+        assert_eq!(bc.compose(ab), None);
+    }
+
+    #[test]
+    fn inverse_swaps_and_is_involutive() {
+        let mut it = CtxtInterner::new();
+        let a = it.from_slice(&[CtxtElem::of_inv(Inv(1))]);
+        let b = it.from_slice(&[CtxtElem::of_inv(Inv(2))]);
+        let ab = CPair { src: a, dst: b };
+        assert_eq!(ab.inverse(), CPair { src: b, dst: a });
+        assert_eq!(ab.inverse().inverse(), ab);
+    }
+
+    #[test]
+    fn inverse_semigroup_laws_hold() {
+        let mut it = CtxtInterner::new();
+        let a = it.from_slice(&[CtxtElem::of_inv(Inv(1))]);
+        let b = it.from_slice(&[CtxtElem::of_inv(Inv(2))]);
+        let f = CPair { src: a, dst: b };
+        let fif = f.compose(f.inverse()).unwrap().compose(f).unwrap();
+        assert_eq!(fif, f);
+    }
+
+    #[test]
+    fn display_renders_pairs() {
+        let mut it = CtxtInterner::new();
+        let a = it.from_slice(&[CtxtElem::of_inv(Inv(1))]);
+        let p = CPair { src: a, dst: CtxtStr::EMPTY };
+        assert_eq!(p.display(&it), "(i1, )");
+    }
+}

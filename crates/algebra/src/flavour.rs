@@ -1,0 +1,283 @@
+//! Flavours and levels of context sensitivity (paper §2.2, Fig. 3 caption).
+
+use std::error::Error;
+use std::fmt;
+use std::str::FromStr;
+
+use crate::elem::CtxtElem;
+
+/// The flavour of context sensitivity: what the elemental contexts are.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Flavour {
+    /// Call-site sensitivity: contexts are strings of invocation sites
+    /// (Shivers' k-CFA).
+    CallSite,
+    /// *Full* object sensitivity: contexts are strings of heap allocation
+    /// sites (Milanova et al., with the Smaragdakis et al. "full" merge).
+    Object,
+    /// Type sensitivity: like object sensitivity with allocation sites
+    /// replaced by the class containing the allocating method.
+    Type,
+    /// Hybrid object sensitivity (Kastrinis & Smaragdakis, PLDI 2013 —
+    /// the paper's citation \[6\], Doop's "S2objH" family): virtual
+    /// invocations merge like full object sensitivity, static invocations
+    /// push the call site like call-site sensitivity, so method contexts
+    /// mix allocation sites and invocation sites.
+    HybridObject,
+}
+
+impl Flavour {
+    /// The short name used in the paper's configuration labels.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Flavour::CallSite => "call",
+            Flavour::Object => "object",
+            Flavour::Type => "type",
+            Flavour::HybridObject => "hybrid",
+        }
+    }
+}
+
+impl fmt::Display for Flavour {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.short_name())
+    }
+}
+
+/// Context-sensitivity levels: `m` bounds method contexts, `h` bounds heap
+/// contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Levels {
+    /// Maximum method-context length (`m` in the paper).
+    pub method: usize,
+    /// Maximum heap-context length (`h` in the paper).
+    pub heap: usize,
+}
+
+/// A complete sensitivity specification: flavour plus levels.
+///
+/// Construction validates the constraints stated in the caption of Fig. 3:
+/// `0 ≤ h ≤ m` for call-site sensitivity, `h = m − 1` for object and type
+/// sensitivity, and `m ≥ 1` always.
+///
+/// The `Display`/`FromStr` syntax matches the paper's labels:
+///
+/// ```
+/// use ctxform_algebra::{Flavour, Sensitivity};
+///
+/// let s: Sensitivity = "2-object+H".parse()?;
+/// assert_eq!(s.flavour, Flavour::Object);
+/// assert_eq!(s.levels.method, 2);
+/// assert_eq!(s.levels.heap, 1);
+/// assert_eq!(s.to_string(), "2-object+H");
+/// assert_eq!("1-call".parse::<Sensitivity>()?.levels.heap, 0);
+/// # Ok::<(), ctxform_algebra::SensitivityError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Sensitivity {
+    /// The flavour of context sensitivity.
+    pub flavour: Flavour,
+    /// Method- and heap-context levels.
+    pub levels: Levels,
+}
+
+impl Sensitivity {
+    /// Creates and validates a sensitivity specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SensitivityError`] when the levels violate the Fig. 3
+    /// constraints for the chosen flavour.
+    pub fn new(flavour: Flavour, method: usize, heap: usize) -> Result<Self, SensitivityError> {
+        if method == 0 {
+            return Err(SensitivityError::ZeroMethodLevel);
+        }
+        match flavour {
+            Flavour::CallSite => {
+                if heap > method {
+                    return Err(SensitivityError::HeapExceedsMethod { method, heap });
+                }
+            }
+            Flavour::Object | Flavour::Type | Flavour::HybridObject => {
+                if heap + 1 != method {
+                    return Err(SensitivityError::ObjectHeapMismatch { method, heap });
+                }
+            }
+        }
+        Ok(Sensitivity { flavour, levels: Levels { method, heap } })
+    }
+
+    /// The paper's five evaluated configurations, in Fig. 6 column order:
+    /// 1-call, 1-call+H, 1-object, 2-object+H, 2-type+H.
+    pub fn paper_configs() -> Vec<Sensitivity> {
+        vec![
+            Sensitivity::new(Flavour::CallSite, 1, 0).expect("valid"),
+            Sensitivity::new(Flavour::CallSite, 1, 1).expect("valid"),
+            Sensitivity::new(Flavour::Object, 1, 0).expect("valid"),
+            Sensitivity::new(Flavour::Object, 2, 1).expect("valid"),
+            Sensitivity::new(Flavour::Type, 2, 1).expect("valid"),
+        ]
+    }
+}
+
+impl fmt::Display for Sensitivity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.levels.method, self.flavour)?;
+        match self.levels.heap {
+            0 => Ok(()),
+            1 => write!(f, "+H"),
+            h => write!(f, "+{h}H"),
+        }
+    }
+}
+
+impl FromStr for Sensitivity {
+    type Err = SensitivityError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let bad = || SensitivityError::BadSyntax(s.to_owned());
+        let (m_str, rest) = s.split_once('-').ok_or_else(bad)?;
+        let method: usize = m_str.parse().map_err(|_| bad())?;
+        let (name, heap) = match rest.split_once('+') {
+            None => (rest, 0),
+            Some((name, "H")) => (name, 1),
+            Some((name, h)) => {
+                let digits = h.strip_suffix('H').ok_or_else(bad)?;
+                (name, digits.parse().map_err(|_| bad())?)
+            }
+        };
+        let flavour = match name {
+            "call" => Flavour::CallSite,
+            "object" | "obj" => Flavour::Object,
+            "type" => Flavour::Type,
+            "hybrid" => Flavour::HybridObject,
+            _ => return Err(bad()),
+        };
+        Sensitivity::new(flavour, method, heap)
+    }
+}
+
+/// Invalid sensitivity specification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SensitivityError {
+    /// `m = 0` is not a context-sensitive analysis; use the `Insensitive`
+    /// abstraction instead.
+    ZeroMethodLevel,
+    /// Call-site sensitivity requires `h ≤ m`.
+    HeapExceedsMethod {
+        /// Requested method level.
+        method: usize,
+        /// Requested heap level.
+        heap: usize,
+    },
+    /// Object/type sensitivity requires `h = m − 1`.
+    ObjectHeapMismatch {
+        /// Requested method level.
+        method: usize,
+        /// Requested heap level.
+        heap: usize,
+    },
+    /// The configuration label could not be parsed.
+    BadSyntax(String),
+}
+
+impl fmt::Display for SensitivityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SensitivityError::ZeroMethodLevel => {
+                write!(f, "method context level must be at least 1")
+            }
+            SensitivityError::HeapExceedsMethod { method, heap } => {
+                write!(f, "call-site sensitivity requires h <= m, got m={method}, h={heap}")
+            }
+            SensitivityError::ObjectHeapMismatch { method, heap } => {
+                write!(f, "object/type sensitivity requires h = m - 1, got m={method}, h={heap}")
+            }
+            SensitivityError::BadSyntax(s) => write!(f, "cannot parse sensitivity label `{s}`"),
+        }
+    }
+}
+
+impl Error for SensitivityError {}
+
+/// The elemental contexts relevant to one virtual-invocation merge: the
+/// invocation site (call-site sensitivity), the receiver's allocation site
+/// (object sensitivity), and the class containing the allocating method
+/// (type sensitivity).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeSite {
+    /// The invocation site `I`.
+    pub inv: CtxtElem,
+    /// The receiver allocation site `H`.
+    pub heap: CtxtElem,
+    /// `classOf(H)`.
+    pub class: CtxtElem,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_configs_round_trip_through_labels() {
+        for cfg in Sensitivity::paper_configs() {
+            let label = cfg.to_string();
+            assert_eq!(label.parse::<Sensitivity>().unwrap(), cfg, "label {label}");
+        }
+        assert_eq!(
+            Sensitivity::paper_configs()
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>(),
+            vec!["1-call", "1-call+H", "1-object", "2-object+H", "2-type+H"]
+        );
+    }
+
+    #[test]
+    fn object_levels_are_constrained() {
+        assert!(Sensitivity::new(Flavour::Object, 2, 1).is_ok());
+        assert_eq!(
+            Sensitivity::new(Flavour::Object, 2, 0),
+            Err(SensitivityError::ObjectHeapMismatch { method: 2, heap: 0 })
+        );
+        assert_eq!(
+            Sensitivity::new(Flavour::Type, 1, 1),
+            Err(SensitivityError::ObjectHeapMismatch { method: 1, heap: 1 })
+        );
+    }
+
+    #[test]
+    fn call_site_levels_are_constrained() {
+        assert!(Sensitivity::new(Flavour::CallSite, 2, 2).is_ok());
+        assert_eq!(
+            Sensitivity::new(Flavour::CallSite, 1, 2),
+            Err(SensitivityError::HeapExceedsMethod { method: 1, heap: 2 })
+        );
+        assert_eq!(
+            Sensitivity::new(Flavour::CallSite, 0, 0),
+            Err(SensitivityError::ZeroMethodLevel)
+        );
+    }
+
+    #[test]
+    fn hybrid_label_round_trips() {
+        let s = Sensitivity::new(Flavour::HybridObject, 2, 1).unwrap();
+        assert_eq!(s.to_string(), "2-hybrid+H");
+        assert_eq!("2-hybrid+H".parse::<Sensitivity>().unwrap(), s);
+        assert!(Sensitivity::new(Flavour::HybridObject, 2, 0).is_err());
+    }
+
+    #[test]
+    fn multi_level_heap_labels() {
+        let s = Sensitivity::new(Flavour::CallSite, 3, 2).unwrap();
+        assert_eq!(s.to_string(), "3-call+2H");
+        assert_eq!("3-call+2H".parse::<Sensitivity>().unwrap(), s);
+    }
+
+    #[test]
+    fn bad_labels_are_rejected() {
+        for bad in ["", "call", "x-call", "1-frob", "1-call+X", "1-call+2"] {
+            assert!(bad.parse::<Sensitivity>().is_err(), "{bad}");
+        }
+    }
+}

@@ -1,0 +1,277 @@
+//! Raw transformer words and the `match` normalization of §4.2.
+//!
+//! A [`Word`] is an arbitrary sequence of primitive transformations
+//! (exits, entries, wildcards) — the realized string of an `L_F`-path over
+//! the `Σ_C` alphabet before canonicalization. [`Word::normalize`]
+//! implements the paper's `match` function, reducing a word to its
+//! canonical [`TStr`] form or to ⊥; Lemma 4.1 states that the canonical
+//! form is unique, which the property tests in this crate verify against
+//! the denotational semantics in [`Sem`].
+
+use crate::elem::CtxtElem;
+use crate::interner::CtxtInterner;
+use crate::tstring::TStr;
+
+/// One primitive context transformation, as a letter of a raw word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Letter {
+    /// `a`: pop `a` off the front of the context (⊥ on mismatch).
+    Exit(CtxtElem),
+    /// `â`: push `a` onto the front of the context.
+    Entry(CtxtElem),
+    /// `∗`: map any non-empty set of contexts to the set of all contexts.
+    Wild,
+}
+
+/// A raw transformer word, in application order (leftmost letter applies
+/// first, matching the paper's postfix composition `f ; g`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Word(pub Vec<Letter>);
+
+impl Word {
+    /// The empty word (identity).
+    pub fn new() -> Self {
+        Word(Vec::new())
+    }
+
+    /// Reduces the word with the `match` rules of §4.2 and interns the
+    /// canonical form. Returns `None` for ⊥ (an entry immediately followed
+    /// by a different exit somewhere in the reduction).
+    pub fn normalize(&self, interner: &mut CtxtInterner) -> Option<TStr> {
+        // Invariant: (exits, wild, pending) is the canonical form of the
+        // processed prefix, with `pending` holding entries in application
+        // order (so pending.last() is the top-most pushed element).
+        let mut exits: Vec<CtxtElem> = Vec::new();
+        let mut wild = false;
+        let mut pending: Vec<CtxtElem> = Vec::new();
+        for &letter in &self.0 {
+            match letter {
+                Letter::Exit(a) => {
+                    if let Some(top) = pending.pop() {
+                        if top != a {
+                            return None; // match(A·b̂·a·B) = ⊥ when b ≠ a
+                        }
+                    } else if !wild {
+                        exits.push(a);
+                    }
+                    // else: match(A·∗·a·B) = match(A·∗·B)
+                }
+                Letter::Entry(a) => pending.push(a),
+                Letter::Wild => {
+                    // match(A·â·∗·B) = match(A·∗·B), repeatedly; and ∗·∗ = ∗.
+                    pending.clear();
+                    wild = true;
+                }
+            }
+        }
+        // `pending` is in application order; output order is the reverse.
+        pending.reverse();
+        Some(TStr {
+            exits: interner.from_slice(&exits),
+            wild,
+            entries: interner.from_slice(&pending),
+        })
+    }
+
+    /// Expands a canonical transformer string back into a word.
+    ///
+    /// `word(t).normalize()` yields `t` again (canonicity).
+    pub fn from_tstr(t: TStr, interner: &CtxtInterner) -> Word {
+        let mut letters: Vec<Letter> =
+            interner.elems(t.exits).into_iter().map(Letter::Exit).collect();
+        if t.wild {
+            letters.push(Letter::Wild);
+        }
+        // Entries are stored in output order; application order is reversed.
+        let mut entries = interner.elems(t.entries);
+        entries.reverse();
+        letters.extend(entries.into_iter().map(Letter::Entry));
+        Word(letters)
+    }
+
+    /// Concatenates two words (composition before normalization).
+    pub fn concat(&self, other: &Word) -> Word {
+        let mut letters = self.0.clone();
+        letters.extend_from_slice(&other.0);
+        Word(letters)
+    }
+}
+
+/// Denotational value of applying a transformer to a set of contexts:
+/// either the empty set, a singleton `{ctx}`, or the up-set
+/// `{prefix · N | N ∈ Ctxt*}` (which arises after a wildcard).
+///
+/// This tiny semantics is closed under the primitive transformations and
+/// is used to property-check `normalize`, composition, truncation
+/// (Lemma 4.2), and subsumption against their definitions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Sem {
+    /// The empty set of contexts.
+    Empty,
+    /// A singleton set containing exactly this context.
+    Exact(Vec<CtxtElem>),
+    /// All contexts that have this prefix.
+    UpSet(Vec<CtxtElem>),
+}
+
+impl Sem {
+    /// Applies one primitive transformation.
+    pub fn step(self, letter: Letter) -> Sem {
+        match (letter, self) {
+            (_, Sem::Empty) => Sem::Empty,
+            (Letter::Exit(a), Sem::Exact(v)) => {
+                if v.first() == Some(&a) {
+                    Sem::Exact(v[1..].to_vec())
+                } else {
+                    Sem::Empty
+                }
+            }
+            (Letter::Exit(a), Sem::UpSet(p)) => {
+                if p.is_empty() {
+                    // Dropping `a` from the set of all contexts yields the
+                    // set of all contexts again.
+                    Sem::UpSet(Vec::new())
+                } else if p[0] == a {
+                    Sem::UpSet(p[1..].to_vec())
+                } else {
+                    Sem::Empty
+                }
+            }
+            (Letter::Entry(a), Sem::Exact(mut v)) => {
+                v.insert(0, a);
+                Sem::Exact(v)
+            }
+            (Letter::Entry(a), Sem::UpSet(mut p)) => {
+                p.insert(0, a);
+                Sem::UpSet(p)
+            }
+            (Letter::Wild, Sem::Exact(_)) | (Letter::Wild, Sem::UpSet(_)) => Sem::UpSet(Vec::new()),
+        }
+    }
+
+    /// Applies a whole word.
+    pub fn apply(self, word: &Word) -> Sem {
+        word.0.iter().fold(self, |s, &l| s.step(l))
+    }
+
+    /// Set inclusion `self ⊆ other`.
+    pub fn subset_of(&self, other: &Sem) -> bool {
+        match (self, other) {
+            (Sem::Empty, _) => true,
+            (_, Sem::Empty) => false,
+            (Sem::Exact(v), Sem::Exact(w)) => v == w,
+            (Sem::Exact(v), Sem::UpSet(p)) => v.len() >= p.len() && v[..p.len()] == p[..],
+            (Sem::UpSet(_), Sem::Exact(_)) => false,
+            (Sem::UpSet(p), Sem::UpSet(q)) => p.len() >= q.len() && p[..q.len()] == q[..],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxform_ir::Inv;
+
+    fn elems() -> (CtxtElem, CtxtElem, CtxtElem) {
+        (
+            CtxtElem::of_inv(Inv(1)),
+            CtxtElem::of_inv(Inv(2)),
+            CtxtElem::of_inv(Inv(3)),
+        )
+    }
+
+    #[test]
+    fn normalize_cancels_matching_pairs() {
+        let (a, b, _) = elems();
+        let mut it = CtxtInterner::new();
+        // â · b̂ · b · a  reduces to ε
+        let w = Word(vec![Letter::Entry(a), Letter::Entry(b), Letter::Exit(b), Letter::Exit(a)]);
+        assert_eq!(w.normalize(&mut it), Some(TStr::IDENTITY));
+    }
+
+    #[test]
+    fn normalize_detects_bottom() {
+        let (a, b, _) = elems();
+        let mut it = CtxtInterner::new();
+        let w = Word(vec![Letter::Entry(a), Letter::Exit(b)]);
+        assert_eq!(w.normalize(&mut it), None);
+    }
+
+    #[test]
+    fn wildcard_eats_neighbours() {
+        let (a, b, _) = elems();
+        let mut it = CtxtInterner::new();
+        // â · ∗ · b : entry absorbed by wildcard, exit absorbed by wildcard.
+        let w = Word(vec![Letter::Entry(a), Letter::Wild, Letter::Exit(b)]);
+        assert_eq!(w.normalize(&mut it), Some(TStr::WILD));
+    }
+
+    #[test]
+    fn canonical_words_are_fixed_points() {
+        let (a, b, c) = elems();
+        let mut it = CtxtInterner::new();
+        let t = TStr {
+            exits: it.from_slice(&[a, b]),
+            wild: true,
+            entries: it.from_slice(&[c]),
+        };
+        let w = Word::from_tstr(t, &it);
+        assert_eq!(w.normalize(&mut it), Some(t), "Lemma 4.1(1): match(A) = A");
+    }
+
+    #[test]
+    fn semantics_of_exit_entry_wild() {
+        let (a, b, _) = elems();
+        let m = Sem::Exact(vec![a, b]);
+        assert_eq!(m.clone().step(Letter::Exit(a)), Sem::Exact(vec![b]));
+        assert_eq!(m.clone().step(Letter::Exit(b)), Sem::Empty);
+        assert_eq!(m.clone().step(Letter::Entry(b)), Sem::Exact(vec![b, a, b]));
+        assert_eq!(m.step(Letter::Wild), Sem::UpSet(vec![]));
+        assert_eq!(Sem::Empty.step(Letter::Wild), Sem::Empty);
+    }
+
+    #[test]
+    fn upset_semantics() {
+        let (a, b, _) = elems();
+        let u = Sem::UpSet(vec![a]);
+        assert_eq!(u.clone().step(Letter::Exit(a)), Sem::UpSet(vec![]));
+        assert_eq!(u.clone().step(Letter::Exit(b)), Sem::Empty);
+        assert_eq!(Sem::UpSet(vec![]).step(Letter::Exit(b)), Sem::UpSet(vec![]));
+        assert_eq!(u.step(Letter::Entry(b)), Sem::UpSet(vec![b, a]));
+    }
+
+    #[test]
+    fn subset_relation() {
+        let (a, b, _) = elems();
+        assert!(Sem::Empty.subset_of(&Sem::Empty));
+        assert!(Sem::Exact(vec![a, b]).subset_of(&Sem::UpSet(vec![a])));
+        assert!(!Sem::Exact(vec![b]).subset_of(&Sem::UpSet(vec![a])));
+        assert!(Sem::UpSet(vec![a, b]).subset_of(&Sem::UpSet(vec![a])));
+        assert!(!Sem::UpSet(vec![a]).subset_of(&Sem::UpSet(vec![a, b])));
+        assert!(!Sem::UpSet(vec![a]).subset_of(&Sem::Exact(vec![a])));
+    }
+
+    #[test]
+    fn normalization_preserves_semantics() {
+        let (a, b, c) = elems();
+        let mut it = CtxtInterner::new();
+        let w = Word(vec![
+            Letter::Entry(a),
+            Letter::Entry(b),
+            Letter::Exit(b),
+            Letter::Exit(a),
+            Letter::Exit(c),
+            Letter::Entry(b),
+        ]);
+        let t = w.normalize(&mut it).expect("not bottom");
+        let canon = Word::from_tstr(t, &it);
+        for input in [
+            Sem::Exact(vec![c, a]),
+            Sem::Exact(vec![a]),
+            Sem::Exact(vec![]),
+            Sem::UpSet(vec![c]),
+        ] {
+            assert_eq!(input.clone().apply(&w), input.apply(&canon));
+        }
+    }
+}

@@ -1,0 +1,278 @@
+//! Property tests for the context-transformation algebra.
+//!
+//! Everything is checked against the denotational semantics in
+//! `ctxform_algebra::Sem`: normalization (Lemma 4.1), composition,
+//! truncation soundness (Lemma 4.2), the inverse-semigroup laws of §3, and
+//! the subsumption order of §8.
+
+use ctxform_algebra::{CtxtElem, CtxtInterner, Letter, Sem, TStr, Word};
+use ctxform_ir::Inv;
+use proptest::prelude::*;
+
+fn elem(i: u8) -> CtxtElem {
+    CtxtElem::of_inv(Inv(u32::from(i)))
+}
+
+fn letter_strategy() -> impl Strategy<Value = Letter> {
+    prop_oneof![
+        (0u8..3).prop_map(|i| Letter::Exit(elem(i))),
+        (0u8..3).prop_map(|i| Letter::Entry(elem(i))),
+        Just(Letter::Wild),
+    ]
+}
+
+fn word_strategy() -> impl Strategy<Value = Word> {
+    prop::collection::vec(letter_strategy(), 0..8).prop_map(Word)
+}
+
+fn context_strategy() -> impl Strategy<Value = Vec<CtxtElem>> {
+    prop::collection::vec((0u8..3).prop_map(elem), 0..5)
+}
+
+/// All (small) semantic inputs we probe transformations with.
+fn inputs_strategy() -> impl Strategy<Value = Vec<Sem>> {
+    prop::collection::vec(
+        prop_oneof![
+            context_strategy().prop_map(Sem::Exact),
+            context_strategy().prop_map(Sem::UpSet),
+        ],
+        1..6,
+    )
+}
+
+/// The semantic function of a word applied to one input.
+fn run(word: &Word, input: &Sem) -> Sem {
+    input.clone().apply(word)
+}
+
+proptest! {
+    /// Lemma 4.1: normalization preserves the transformation; words whose
+    /// normalization is ⊥ denote the empty transformation on every input.
+    #[test]
+    fn normalize_preserves_semantics(word in word_strategy(), inputs in inputs_strategy()) {
+        let mut it = CtxtInterner::new();
+        match word.normalize(&mut it) {
+            Some(t) => {
+                let canon = Word::from_tstr(t, &it);
+                for input in &inputs {
+                    prop_assert_eq!(run(&word, input), run(&canon, input));
+                }
+            }
+            None => {
+                for input in &inputs {
+                    prop_assert_eq!(run(&word, input), Sem::Empty);
+                }
+            }
+        }
+    }
+
+    /// Normalization is idempotent: canonical forms are fixed points.
+    #[test]
+    fn normalize_is_idempotent(word in word_strategy()) {
+        let mut it = CtxtInterner::new();
+        if let Some(t) = word.normalize(&mut it) {
+            let again = Word::from_tstr(t, &it).normalize(&mut it);
+            prop_assert_eq!(again, Some(t));
+        }
+    }
+
+    /// Untruncated composition equals normalization of the concatenation
+    /// (`comp(X, Y, match(X·Y))` with no truncation).
+    #[test]
+    fn compose_equals_word_concat(wa in word_strategy(), wb in word_strategy()) {
+        let mut it = CtxtInterner::new();
+        let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
+            return Ok(());
+        };
+        let composed = a.compose_in(&mut it, b, usize::MAX, usize::MAX);
+        let concatenated = wa.concat(&wb).normalize(&mut it);
+        prop_assert_eq!(composed, concatenated);
+    }
+
+    /// Composition is associative (on the canonical, untruncated domain).
+    #[test]
+    fn compose_is_associative(wa in word_strategy(), wb in word_strategy(), wc in word_strategy()) {
+        let mut it = CtxtInterner::new();
+        let (Some(a), Some(b), Some(c)) = (
+            wa.normalize(&mut it),
+            wb.normalize(&mut it),
+            wc.normalize(&mut it),
+        ) else {
+            return Ok(());
+        };
+        let left = a
+            .compose_in(&mut it, b, usize::MAX, usize::MAX)
+            .and_then(|ab| ab.compose_in(&mut it, c, usize::MAX, usize::MAX));
+        let bc = b.compose_in(&mut it, c, usize::MAX, usize::MAX);
+        let right = bc.and_then(|bc| a.compose_in(&mut it, bc, usize::MAX, usize::MAX));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Inverse-semigroup laws: f ; f⁻¹ ; f = f and (f⁻¹)⁻¹ = f.
+    #[test]
+    fn inverse_semigroup_laws(word in word_strategy()) {
+        let mut it = CtxtInterner::new();
+        let Some(f) = word.normalize(&mut it) else { return Ok(()); };
+        let finv = f.inverse();
+        prop_assert_eq!(finv.inverse(), f);
+        let ff = f.compose_in(&mut it, finv, usize::MAX, usize::MAX).expect("f;f⁻¹ defined");
+        let fff = ff.compose_in(&mut it, f, usize::MAX, usize::MAX).expect("f;f⁻¹;f defined");
+        prop_assert_eq!(fff, f);
+    }
+
+    /// Lemma 4.2: truncation is conservative — `A(X) ⊆ trunc(A)(X)`.
+    #[test]
+    fn truncation_is_conservative(
+        word in word_strategy(),
+        i in 0usize..3,
+        j in 0usize..3,
+        inputs in inputs_strategy(),
+    ) {
+        let mut it = CtxtInterner::new();
+        let Some(t) = word.normalize(&mut it) else { return Ok(()); };
+        let cut = t.truncate(&it, i, j);
+        let w_full = Word::from_tstr(t, &it);
+        let w_cut = Word::from_tstr(cut, &it);
+        for input in &inputs {
+            let full = run(&w_full, input);
+            let loose = run(&w_cut, input);
+            prop_assert!(
+                full.subset_of(&loose),
+                "truncation lost behaviour: {:?} ⊄ {:?}", full, loose
+            );
+        }
+    }
+
+    /// Truncated composition over-approximates untruncated composition.
+    #[test]
+    fn truncated_compose_is_conservative(
+        wa in word_strategy(),
+        wb in word_strategy(),
+        i in 0usize..3,
+        j in 0usize..3,
+        inputs in inputs_strategy(),
+    ) {
+        let mut it = CtxtInterner::new();
+        let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
+            return Ok(());
+        };
+        let Some(full) = a.compose_in(&mut it, b, usize::MAX, usize::MAX) else {
+            return Ok(());
+        };
+        // Truncated composition must be defined whenever the full one is.
+        let cut = a.compose_in(&mut it, b, i, j).expect("truncation never introduces ⊥");
+        let w_full = Word::from_tstr(full, &it);
+        let w_cut = Word::from_tstr(cut, &it);
+        for input in &inputs {
+            prop_assert!(run(&w_full, input).subset_of(&run(&w_cut, input)));
+        }
+    }
+
+    /// Subsumption is sound: if `a.subsumes(b)` then on every input the
+    /// behaviour of `b` is included in that of `a`.
+    #[test]
+    fn subsumption_is_sound(wa in word_strategy(), wb in word_strategy(), inputs in inputs_strategy()) {
+        let mut it = CtxtInterner::new();
+        let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
+            return Ok(());
+        };
+        if a.subsumes(&it, b) {
+            let w_a = Word::from_tstr(a, &it);
+            let w_b = Word::from_tstr(b, &it);
+            for input in &inputs {
+                prop_assert!(
+                    run(&w_b, input).subset_of(&run(&w_a, input)),
+                    "a={} b={}", a.display(&it), b.display(&it)
+                );
+            }
+        }
+    }
+
+    /// Subsumption is a partial order on canonical transformer strings:
+    /// reflexive and antisymmetric (transitivity follows from soundness +
+    /// completeness on this finite alphabet, checked separately below).
+    #[test]
+    fn subsumption_is_reflexive_antisymmetric(wa in word_strategy(), wb in word_strategy()) {
+        let mut it = CtxtInterner::new();
+        let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
+            return Ok(());
+        };
+        prop_assert!(a.subsumes(&it, a));
+        if a.subsumes(&it, b) && b.subsumes(&it, a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    /// `compose` is ⊥ exactly when the prefix-compatibility invariant says
+    /// so — the invariant the specialized §7 join indices rely on.
+    #[test]
+    fn bottom_iff_boundary_incompatible(wa in word_strategy(), wb in word_strategy()) {
+        let mut it = CtxtInterner::new();
+        let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
+            return Ok(());
+        };
+        let compatible =
+            it.is_prefix(a.entries, b.exits) || it.is_prefix(b.exits, a.entries);
+        let composed = a.compose_in(&mut it, b, usize::MAX, usize::MAX);
+        prop_assert_eq!(composed.is_some(), compatible);
+    }
+}
+
+/// Exhaustive check on a tiny domain that subsumption is also *complete*:
+/// whenever the graph of `b` is included in the graph of `a` on all probed
+/// inputs of length ≤ 4 over a 2-letter alphabet, `subsumes` says so.
+#[test]
+fn subsumption_complete_on_tiny_domain() {
+    let mut it = CtxtInterner::new();
+    let a0 = elem(0);
+    let a1 = elem(1);
+    let strings: Vec<Vec<CtxtElem>> = vec![
+        vec![],
+        vec![a0],
+        vec![a1],
+        vec![a0, a0],
+        vec![a0, a1],
+        vec![a1, a0],
+    ];
+    let mut transformers = Vec::new();
+    for exits in &strings {
+        for entries in &strings {
+            for wild in [false, true] {
+                let e = it.from_slice(exits);
+                let n = it.from_slice(entries);
+                transformers.push(TStr { exits: e, wild, entries: n });
+            }
+        }
+    }
+    // Probe inputs: all Exact contexts of length ≤ 4 over {a0, a1}.
+    let mut probes = vec![Sem::Exact(vec![])];
+    let mut frontier = vec![vec![]];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for p in &frontier {
+            for &e in &[a0, a1] {
+                let mut q = p.clone();
+                q.push(e);
+                probes.push(Sem::Exact(q.clone()));
+                next.push(q);
+            }
+        }
+        frontier = next;
+    }
+    for &a in &transformers {
+        let wa = Word::from_tstr(a, &it);
+        for &b in &transformers {
+            let wb = Word::from_tstr(b, &it);
+            let semantically = probes
+                .iter()
+                .all(|p| run(&wb, p).subset_of(&run(&wa, p)));
+            assert_eq!(
+                a.subsumes(&it, b),
+                semantically,
+                "a={} b={}",
+                a.display(&it),
+                b.display(&it)
+            );
+        }
+    }
+}

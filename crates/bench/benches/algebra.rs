@@ -1,0 +1,44 @@
+//! Micro-benchmarks for the context-transformation algebra: composition,
+//! inversion, normalization, and the interner's prefix walks.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctxform_algebra::{CtxtElem, CtxtInterner, Letter, TStr, Word};
+use ctxform_ir::Inv;
+use std::hint::black_box;
+
+fn bench_algebra(c: &mut Criterion) {
+    let mut it = CtxtInterner::new();
+    let elems: Vec<CtxtElem> = (0..8).map(|i| CtxtElem::of_inv(Inv(i))).collect();
+    let ab = it.from_slice(&elems[0..2]);
+    let abc = it.from_slice(&elems[0..3]);
+    let t1 = TStr { exits: ab, wild: false, entries: abc };
+    let t2 = TStr { exits: abc, wild: true, entries: ab };
+
+    c.bench_function("algebra/compose", |b| {
+        b.iter(|| black_box(t1).compose_in(&mut it, black_box(t2.inverse()), 2, 2))
+    });
+    c.bench_function("algebra/inverse", |b| b.iter(|| black_box(t1).inverse()));
+    c.bench_function("algebra/truncate", |b| {
+        b.iter(|| black_box(t1).truncate(&it, 1, 1))
+    });
+    c.bench_function("algebra/subsumes", |b| {
+        b.iter(|| black_box(t2).subsumes(&it, black_box(t1)))
+    });
+    c.bench_function("algebra/is_prefix", |b| {
+        b.iter(|| it.is_prefix(black_box(ab), black_box(abc)))
+    });
+    let word = Word(vec![
+        Letter::Entry(elems[0]),
+        Letter::Entry(elems[1]),
+        Letter::Exit(elems[1]),
+        Letter::Wild,
+        Letter::Exit(elems[2]),
+        Letter::Entry(elems[3]),
+    ]);
+    c.bench_function("algebra/normalize", |b| {
+        b.iter(|| black_box(&word).normalize(&mut it))
+    });
+}
+
+criterion_group!(benches, bench_algebra);
+criterion_main!(benches);

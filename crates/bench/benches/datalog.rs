@@ -1,0 +1,27 @@
+//! Micro-benchmarks for the generic Datalog engine: transitive closure and
+//! the context-insensitive pointer-analysis baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ctxform::datalog_baseline;
+use ctxform_bench::compile_benchmark;
+use ctxform_datalog::Engine;
+
+fn bench_datalog(c: &mut Criterion) {
+    c.bench_function("datalog/transitive_closure_chain500", |b| {
+        b.iter(|| {
+            let mut e = Engine::parse(
+                "path(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z).",
+            )
+            .unwrap();
+            for i in 0..500u32 {
+                e.add_fact("edge", &[i, i + 1]).unwrap();
+            }
+            e.run()
+        })
+    });
+    let program = compile_benchmark("pmd", 2);
+    c.bench_function("datalog/ci_baseline_pmd", |b| b.iter(|| datalog_baseline(&program)));
+}
+
+criterion_group!(benches, bench_datalog);
+criterion_main!(benches);

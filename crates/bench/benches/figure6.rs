@@ -1,0 +1,25 @@
+//! Criterion timings for the Figure 6 configurations: context strings vs
+//! transformer strings on one mid-size benchmark per flavour.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctxform::{analyze, AnalysisConfig};
+use ctxform_algebra::Sensitivity;
+use ctxform_bench::compile_benchmark;
+
+fn bench_figure6(c: &mut Criterion) {
+    let program = compile_benchmark("pmd", 4);
+    let mut group = c.benchmark_group("figure6/pmd");
+    group.sample_size(10);
+    for s in Sensitivity::paper_configs() {
+        group.bench_with_input(BenchmarkId::new("cstring", s), &s, |b, &s| {
+            b.iter(|| analyze(&program, &AnalysisConfig::context_strings(s)))
+        });
+        group.bench_with_input(BenchmarkId::new("tstring", s), &s, |b, &s| {
+            b.iter(|| analyze(&program, &AnalysisConfig::transformer_strings(s)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure6);
+criterion_main!(benches);

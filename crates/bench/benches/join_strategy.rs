@@ -1,0 +1,29 @@
+//! Ablation for §7: specialized (boundary-indexed) joins vs the naive
+//! probe-everything strategy, for both abstractions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctxform::{analyze, AnalysisConfig};
+use ctxform_algebra::Sensitivity;
+use ctxform_bench::compile_benchmark;
+
+fn bench_join_strategy(c: &mut Criterion) {
+    let program = compile_benchmark("luindex", 4);
+    let s: Sensitivity = "2-object+H".parse().unwrap();
+    let mut group = c.benchmark_group("join_strategy/luindex/2-object+H");
+    group.sample_size(10);
+    let configs = [
+        ("tstring/specialized", AnalysisConfig::transformer_strings(s)),
+        ("tstring/naive", AnalysisConfig::transformer_strings(s).with_naive_joins()),
+        ("cstring/specialized", AnalysisConfig::context_strings(s)),
+        ("cstring/naive", AnalysisConfig::context_strings(s).with_naive_joins()),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| analyze(&program, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_strategy);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Ablation for §8/§10: subsumption elimination on the bloat-like
+//! benchmark, whose AST-parent + stack pattern is the paper's worst case
+//! for subsuming facts (1-call+H).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ctxform::{analyze, AnalysisConfig};
+use ctxform_algebra::Sensitivity;
+use ctxform_bench::compile_benchmark;
+
+fn bench_subsumption(c: &mut Criterion) {
+    let program = compile_benchmark("bloat", 4);
+    let s: Sensitivity = "1-call+H".parse().unwrap();
+    let mut group = c.benchmark_group("subsumption/bloat/1-call+H");
+    group.sample_size(10);
+    let configs = [
+        ("tstring/plain", AnalysisConfig::transformer_strings(s)),
+        ("tstring/subsumption", AnalysisConfig::transformer_strings(s).with_subsumption()),
+        ("cstring", AnalysisConfig::context_strings(s)),
+    ];
+    for (name, cfg) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| analyze(&program, cfg))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subsumption);
+criterion_main!(benches);

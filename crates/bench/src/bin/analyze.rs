@@ -1,0 +1,143 @@
+//! `analyze`: run the pointer analysis from the command line.
+//!
+//! Accepts either MiniJava source (`.mj`/`.java`) or a `ctxform-ir` fact
+//! file (anything else), picks the abstraction and sensitivity from
+//! flags, and prints summary statistics plus (optionally) the points-to
+//! sets of named variables.
+//!
+//! ```text
+//! analyze program.mj --config 2-object+H --abstraction tstring
+//! analyze facts.txt --config 1-call+H --abstraction cstring --query Main.main::x
+//! ```
+
+use std::process::ExitCode;
+
+use ctxform::{analyze, AbstractionKind, AnalysisConfig};
+use ctxform_ir::{text, Program};
+use ctxform_minijava::compile;
+
+fn load(path: &str) -> Result<Program, String> {
+    let content =
+        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if path.ends_with(".mj") || path.ends_with(".java") {
+        compile(&content).map(|m| m.program).map_err(|e| format!("{path}:{e}"))
+    } else {
+        text::parse(&content).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!(
+            "usage: analyze <program.mj|facts.txt> [--config LABEL] \
+             [--abstraction cstring|tstring|ci] [--naive] [--subsumption] \
+             [--query Method::var]..."
+        );
+        return ExitCode::FAILURE;
+    };
+    let mut label = "2-object+H".to_owned();
+    let mut kind = AbstractionKind::TransformerStrings;
+    let mut naive = false;
+    let mut subsumption = false;
+    let mut queries: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--config" => label = args.next().expect("--config needs a label"),
+            "--abstraction" => {
+                kind = match args.next().as_deref() {
+                    Some("cstring") => AbstractionKind::ContextStrings,
+                    Some("tstring") => AbstractionKind::TransformerStrings,
+                    Some("ci") => AbstractionKind::Insensitive,
+                    other => {
+                        eprintln!("unknown abstraction {other:?}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "--naive" => naive = true,
+            "--subsumption" => subsumption = true,
+            "--query" => queries.push(args.next().expect("--query needs Method::var")),
+            other => {
+                eprintln!("unknown argument `{other}`");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let program = match load(&path) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut config = match kind {
+        AbstractionKind::Insensitive => AnalysisConfig::insensitive(),
+        AbstractionKind::ContextStrings => match label.parse() {
+            Ok(s) => AnalysisConfig::context_strings(s),
+            Err(e) => {
+                eprintln!("analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+        AbstractionKind::TransformerStrings => match label.parse() {
+            Ok(s) => AnalysisConfig::transformer_strings(s),
+            Err(e) => {
+                eprintln!("analyze: {e}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    if naive {
+        config = config.with_naive_joins();
+    }
+    if subsumption {
+        config = config.with_subsumption();
+    }
+    println!("program: {}", program.stats());
+    let result = analyze(&program, &config);
+    println!(
+        "{config}: pts {} | hpts {} | call {} | spts {} | reach {} in {:?}",
+        result.stats.pts,
+        result.stats.hpts,
+        result.stats.call,
+        result.stats.spts,
+        result.stats.reach,
+        result.stats.duration
+    );
+    println!(
+        "context-insensitive projections: pts {} | hpts {} | call {} | reachable methods {}",
+        result.ci.pts.len(),
+        result.ci.hpts.len(),
+        result.ci.call.len(),
+        result.ci.reach.len()
+    );
+    for query in &queries {
+        let Some((method_name, var_name)) = query.split_once("::") else {
+            eprintln!("--query must look like Method::var, got `{query}`");
+            return ExitCode::FAILURE;
+        };
+        let found = program
+            .var_names
+            .iter()
+            .enumerate()
+            .find(|&(i, n)| {
+                n == var_name
+                    && program.method_names[program.var_method[i].index()] == method_name
+            })
+            .map(|(i, _)| ctxform_ir::Var::from_index(i));
+        match found {
+            None => println!("  {query}: no such variable"),
+            Some(v) => {
+                let sites: Vec<&str> = result
+                    .ci
+                    .points_to(v)
+                    .into_iter()
+                    .map(|h| program.heap_names[h.index()].as_str())
+                    .collect();
+                println!("  pts({query}) = {sites:?}");
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

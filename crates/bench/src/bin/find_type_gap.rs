@@ -1,0 +1,28 @@
+//! Search random programs for a type-sensitivity precision gap
+//! (transformer strings strictly less precise than context strings,
+//! paper §6). Used to (re)discover the witness pinned by
+//! `tests/precision.rs::type_sensitivity_gap_has_witnesses`.
+//!
+//! ```text
+//! cargo run --release -p ctxform-bench --bin find_type_gap
+//! ```
+use ctxform::{analyze, AnalysisConfig};
+use ctxform_minijava::compile;
+use ctxform_synth::random_program;
+
+fn main() {
+    let s = "2-type+H".parse().unwrap();
+    for seed in 0..400u64 {
+        let src = random_program(seed, 1 + (seed % 4) as usize);
+        let module = compile(&src).unwrap();
+        let c = analyze(&module.program, &AnalysisConfig::context_strings(s));
+        let t = analyze(&module.program, &AnalysisConfig::transformer_strings(s));
+        let dp = t.ci.pts.len() - c.ci.pts.len();
+        let dc = t.ci.call.len() - c.ci.call.len();
+        let dh = t.ci.hpts.len() - c.ci.hpts.len();
+        if dp + dc + dh > 0 {
+            println!("seed {seed}: +{dp} pts, +{dh} hpts, +{dc} call (cstr pts {})", c.ci.pts.len());
+        }
+    }
+    println!("search done");
+}

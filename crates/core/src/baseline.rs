@@ -1,0 +1,150 @@
+//! Context-insensitive baseline expressed as *plain Datalog*.
+//!
+//! The paper's pipeline instantiates its parameterized rules into plain
+//! Datalog and feeds them to a Datalog engine. This module demonstrates
+//! (and cross-checks) that pipeline with the context-insensitive
+//! instantiation: the same Figure 3 rules with every transformation
+//! argument erased, executed by the generic `ctxform-datalog` engine. The
+//! result must coincide exactly with
+//! [`crate::analyze`] under [`crate::AnalysisConfig::insensitive`].
+
+use ctxform_datalog::Engine;
+use ctxform_ir::{Field, Heap, Inv, Method, Program, Var};
+
+use crate::result::CiFacts;
+
+/// The context-insensitive instantiation of the Figure 3 rules, in the
+/// textual syntax of `ctxform-datalog`.
+pub const CI_RULES: &str = "\
+    % New: assign_new(H, Y, P), reach(P) => pts(Y, H).\n\
+    pts(Y, H) :- assign_new(H, Y, P), reach(P).\n\
+    % Assign.\n\
+    pts(Y, H) :- assign(Z, Y), pts(Z, H).\n\
+    % Store.\n\
+    hpts(G, F, H) :- store(X, F, Z), pts(X, H), pts(Z, G).\n\
+    % Load + Ind.\n\
+    hload(G, F, Z) :- load(Y, F, Z), pts(Y, G).\n\
+    pts(Z, H) :- hload(G, F, Z), hpts(G, F, H).\n\
+    % Static.\n\
+    call(I, Q) :- static_invoke(I, Q, P), reach(P).\n\
+    % Virt: call edge and this-binding.\n\
+    call(I, Q) :- virtual_invoke(I, Z, S), pts(Z, H), heap_type(H, T), implements(Q, T, S).\n\
+    pts(Y, H) :- virtual_invoke(I, Z, S), pts(Z, H), heap_type(H, T), implements(Q, T, S), this_var(Y, Q).\n\
+    % Param.\n\
+    pts(Y, H) :- actual(Z, I, O), pts(Z, H), call(I, P), formal(Y, P, O).\n\
+    % Ret.\n\
+    pts(Y, H) :- return(Z, P), pts(Z, H), call(I, P), assign_return(I, Y).\n\
+    % SStore / SLoad (static fields; gated on the loading method's\n\
+    % reachability like the specialized solver).\n\
+    spts(F, H) :- static_store(X, F), pts(X, H).\n\
+    pts(Z, H) :- static_load(F, Z), spts(F, H), var_method(Z, P), reach(P).\n\
+    % Reach (entry points arrive through the EDB relation `entry` so\n\
+    % that `reach` stays a pure IDB predicate — required by magic sets).\n\
+    reach(P) :- entry(P).\n\
+    reach(P) :- call(I, P).\n";
+
+/// Runs the context-insensitive analysis on the generic Datalog engine.
+///
+/// # Panics
+///
+/// Panics if the embedded rules fail to parse or a fact has a mismatched
+/// arity — both indicate a bug, not a user error.
+pub fn datalog_baseline(program: &Program) -> CiFacts {
+    let mut engine = Engine::parse(CI_RULES).expect("embedded rules parse");
+    load_facts(&mut engine, program);
+    engine.run();
+    extract_ci(&engine)
+}
+
+/// Loads every input relation of `program` (plus the entity-table-derived
+/// `var_method` relation and the entry-point `entry` seeds) into `engine`,
+/// in the numeric encoding [`CI_RULES`] expects. Public so that examples
+/// and downstream tools can run their own rule variants (e.g. magic-sets
+/// transformed programs) over the same facts.
+pub fn load_facts(engine: &mut Engine, program: &Program) {
+    let f = &program.facts;
+    let mut add = |rel: &str, tuple: &[u32]| {
+        engine.add_fact(rel, tuple).expect("arity is fixed by the rules");
+    };
+    for &(z, i, o) in &f.actual {
+        add("actual", &[z.0, i.0, o]);
+    }
+    for &(z, y) in &f.assign {
+        add("assign", &[z.0, y.0]);
+    }
+    for &(h, y, p) in &f.assign_new {
+        add("assign_new", &[h.0, y.0, p.0]);
+    }
+    for &(i, y) in &f.assign_return {
+        add("assign_return", &[i.0, y.0]);
+    }
+    for &(y, p, o) in &f.formal {
+        add("formal", &[y.0, p.0, o]);
+    }
+    for &(h, t) in &f.heap_type {
+        add("heap_type", &[h.0, t.0]);
+    }
+    for &(q, t, s) in &f.implements {
+        add("implements", &[q.0, t.0, s.0]);
+    }
+    for &(y, fld, z) in &f.load {
+        add("load", &[y.0, fld.0, z.0]);
+    }
+    for &(z, p) in &f.ret {
+        add("return", &[z.0, p.0]);
+    }
+    for &(i, q, p) in &f.static_invoke {
+        add("static_invoke", &[i.0, q.0, p.0]);
+    }
+    for &(x, fld, z) in &f.store {
+        add("store", &[x.0, fld.0, z.0]);
+    }
+    for &(x, fld) in &f.static_store {
+        add("static_store", &[x.0, fld.0]);
+    }
+    for &(fld, z) in &f.static_load {
+        add("static_load", &[fld.0, z.0]);
+    }
+    for &(y, q) in &f.this_var {
+        add("this_var", &[y.0, q.0]);
+    }
+    for (v, &m) in program.var_method.iter().enumerate() {
+        add("var_method", &[v as u32, m.0]);
+    }
+    for &(i, z, s) in &f.virtual_invoke {
+        add("virtual_invoke", &[i.0, z.0, s.0]);
+    }
+    for &m in &program.entry_points {
+        add("entry", &[m.0]);
+    }
+}
+
+fn extract_ci(engine: &Engine) -> CiFacts {
+    let mut ci = CiFacts::default();
+    if let Some(rel) = engine.relation("pts") {
+        for t in engine.tuples(rel) {
+            ci.pts.insert((Var(t[0]), Heap(t[1])));
+        }
+    }
+    if let Some(rel) = engine.relation("hpts") {
+        for t in engine.tuples(rel) {
+            ci.hpts.insert((Heap(t[0]), Field(t[1]), Heap(t[2])));
+        }
+    }
+    if let Some(rel) = engine.relation("call") {
+        for t in engine.tuples(rel) {
+            ci.call.insert((Inv(t[0]), Method(t[1])));
+        }
+    }
+    if let Some(rel) = engine.relation("spts") {
+        for t in engine.tuples(rel) {
+            ci.spts.insert((Field(t[0]), Heap(t[1])));
+        }
+    }
+    if let Some(rel) = engine.relation("reach") {
+        for t in engine.tuples(rel) {
+            ci.reach.insert(Method(t[0]));
+        }
+    }
+    ci
+}

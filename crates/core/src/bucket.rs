@@ -1,0 +1,235 @@
+//! Boundary-indexed fact containers — the §7 join-specialization analogue.
+//!
+//! The paper recovers efficient Datalog joins for transformer strings by
+//! splitting each relation into one specialized relation per transformer
+//! configuration, so the shared boundary letters become ordinary indexed
+//! attributes. A [`Bucket`] realizes the same access pattern directly:
+//!
+//! * [`ctxform_algebra::BoundaryMode::Exact`] (context strings): a hash
+//!   index keyed by the full boundary string — compositions require
+//!   *equality* of the shared middle context.
+//! * [`ctxform_algebra::BoundaryMode::Prefix`] (transformer strings): a
+//!   two-map prefix index. `compose(B, C) ≠ ⊥` iff one of `B.entries`,
+//!   `C.exits` is a prefix of the other, so a fact with boundary `b` is
+//!   stored under `exact[b]` and under `proper[p]` for every proper prefix
+//!   `p` of `b`; a query with boundary `q` reads `exact[p]` for every
+//!   prefix `p` of `q` plus `proper[q]`. This retrieves *exactly* the
+//!   compatible facts, with no scan.
+//! * [`Bucket::Naive`]: a flat vector — every candidate is probed and the
+//!   composition itself filters. This is the strawman implementation §7
+//!   warns about, kept for the ablation benchmarks.
+
+use ctxform_algebra::{BoundaryMode, CtxtInterner, CtxtStr};
+use std::collections::HashMap;
+
+/// How a solver relation indexes its facts for composition joins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum JoinStrategy {
+    /// Index on the boundary string (per [`BoundaryMode`]); the paper's
+    /// specialized scheme.
+    #[default]
+    Specialized,
+    /// No boundary index; probe every candidate (the naive scheme whose
+    /// "drastically increased cost" §7 reports).
+    Naive,
+}
+
+/// A container of facts indexed by a boundary context string.
+#[derive(Debug, Clone)]
+pub enum Bucket<V> {
+    /// Flat candidate list.
+    Naive(Vec<V>),
+    /// Equality index (context strings).
+    Exact(HashMap<CtxtStr, Vec<V>>),
+    /// Prefix-compatibility index (transformer strings).
+    Prefix {
+        /// Facts keyed by their full boundary string.
+        exact: HashMap<CtxtStr, Vec<V>>,
+        /// Facts keyed by every *proper* prefix of their boundary string.
+        proper: HashMap<CtxtStr, Vec<V>>,
+    },
+}
+
+impl<V: Copy> Bucket<V> {
+    /// Creates an empty bucket for the given strategy and mode.
+    pub fn new(strategy: JoinStrategy, mode: BoundaryMode) -> Self {
+        match (strategy, mode) {
+            (JoinStrategy::Naive, _) => Bucket::Naive(Vec::new()),
+            (JoinStrategy::Specialized, BoundaryMode::Exact) => Bucket::Exact(HashMap::new()),
+            (JoinStrategy::Specialized, BoundaryMode::Prefix) => {
+                Bucket::Prefix { exact: HashMap::new(), proper: HashMap::new() }
+            }
+        }
+    }
+
+    /// Inserts a fact with the given boundary string.
+    pub fn insert(&mut self, boundary: CtxtStr, value: V, interner: &CtxtInterner) {
+        match self {
+            Bucket::Naive(all) => all.push(value),
+            Bucket::Exact(map) => map.entry(boundary).or_default().push(value),
+            Bucket::Prefix { exact, proper } => {
+                exact.entry(boundary).or_default().push(value);
+                let mut p = boundary;
+                while !interner.is_empty(p) {
+                    p = interner.parent(p);
+                    proper.entry(p).or_default().push(value);
+                }
+            }
+        }
+    }
+
+    /// Visits every fact whose boundary is compatible with `query`
+    /// (equal under `Exact`, mutually prefix-related under `Prefix`, all
+    /// under `Naive`). Returns the number of candidates visited.
+    pub fn for_compatible<F>(&self, query: CtxtStr, interner: &CtxtInterner, mut f: F) -> u64
+    where
+        F: FnMut(V),
+    {
+        let mut probes = 0;
+        match self {
+            Bucket::Naive(all) => {
+                for &v in all {
+                    probes += 1;
+                    f(v);
+                }
+            }
+            Bucket::Exact(map) => {
+                if let Some(vs) = map.get(&query) {
+                    for &v in vs {
+                        probes += 1;
+                        f(v);
+                    }
+                }
+            }
+            Bucket::Prefix { exact, proper } => {
+                // Boundaries that are a (possibly equal) prefix of `query`.
+                let mut p = query;
+                loop {
+                    if let Some(vs) = exact.get(&p) {
+                        for &v in vs {
+                            probes += 1;
+                            f(v);
+                        }
+                    }
+                    if interner.is_empty(p) {
+                        break;
+                    }
+                    p = interner.parent(p);
+                }
+                // Boundaries strictly longer than `query` that extend it.
+                if let Some(vs) = proper.get(&query) {
+                    for &v in vs {
+                        probes += 1;
+                        f(v);
+                    }
+                }
+            }
+        }
+        probes
+    }
+
+    /// Visits every fact in the bucket.
+    pub fn for_each<F>(&self, mut f: F)
+    where
+        F: FnMut(V),
+    {
+        match self {
+            Bucket::Naive(all) => all.iter().copied().for_each(f),
+            Bucket::Exact(map) => {
+                for vs in map.values() {
+                    vs.iter().copied().for_each(&mut f);
+                }
+            }
+            Bucket::Prefix { exact, .. } => {
+                for vs in exact.values() {
+                    vs.iter().copied().for_each(&mut f);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxform_algebra::CtxtElem;
+    use ctxform_ir::Inv;
+
+    fn strings(it: &mut CtxtInterner) -> (CtxtStr, CtxtStr, CtxtStr, CtxtStr) {
+        let a = CtxtElem::of_inv(Inv(1));
+        let b = CtxtElem::of_inv(Inv(2));
+        (
+            CtxtStr::EMPTY,
+            it.from_slice(&[a]),
+            it.from_slice(&[a, b]),
+            it.from_slice(&[b]),
+        )
+    }
+
+    fn collect(bucket: &Bucket<u32>, q: CtxtStr, it: &CtxtInterner) -> Vec<u32> {
+        let mut out = Vec::new();
+        bucket.for_compatible(q, it, |v| out.push(v));
+        out.sort_unstable();
+        out
+    }
+
+    #[test]
+    fn prefix_bucket_retrieves_exactly_compatible() {
+        let mut it = CtxtInterner::new();
+        let (eps, a, ab, b) = strings(&mut it);
+        let mut bucket: Bucket<u32> =
+            Bucket::new(JoinStrategy::Specialized, BoundaryMode::Prefix);
+        bucket.insert(eps, 0, &it);
+        bucket.insert(a, 1, &it);
+        bucket.insert(ab, 2, &it);
+        bucket.insert(b, 3, &it);
+        // Query ε: compatible with everything (ε is a prefix of all).
+        assert_eq!(collect(&bucket, eps, &it), vec![0, 1, 2, 3]);
+        // Query [a]: ε, [a] (prefixes), [a,b] (extension); not [b].
+        assert_eq!(collect(&bucket, a, &it), vec![0, 1, 2]);
+        // Query [a,b]: ε, [a], [a,b]; not [b].
+        assert_eq!(collect(&bucket, ab, &it), vec![0, 1, 2]);
+        // Query [b]: ε and [b].
+        assert_eq!(collect(&bucket, b, &it), vec![0, 3]);
+    }
+
+    #[test]
+    fn exact_bucket_is_an_equality_join() {
+        let mut it = CtxtInterner::new();
+        let (eps, a, ab, _) = strings(&mut it);
+        let mut bucket: Bucket<u32> = Bucket::new(JoinStrategy::Specialized, BoundaryMode::Exact);
+        bucket.insert(a, 1, &it);
+        bucket.insert(ab, 2, &it);
+        assert_eq!(collect(&bucket, a, &it), vec![1]);
+        assert_eq!(collect(&bucket, ab, &it), vec![2]);
+        assert_eq!(collect(&bucket, eps, &it), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn naive_bucket_probes_everything() {
+        let mut it = CtxtInterner::new();
+        let (eps, a, _, b) = strings(&mut it);
+        let mut bucket: Bucket<u32> = Bucket::new(JoinStrategy::Naive, BoundaryMode::Prefix);
+        bucket.insert(a, 1, &it);
+        bucket.insert(b, 2, &it);
+        let probes = bucket.for_compatible(eps, &it, |_| {});
+        assert_eq!(probes, 2);
+        assert_eq!(collect(&bucket, a, &it), vec![1, 2]);
+    }
+
+    #[test]
+    fn for_each_visits_all_once() {
+        let mut it = CtxtInterner::new();
+        let (eps, a, ab, _) = strings(&mut it);
+        for strategy in [JoinStrategy::Specialized, JoinStrategy::Naive] {
+            let mut bucket: Bucket<u32> = Bucket::new(strategy, BoundaryMode::Prefix);
+            bucket.insert(eps, 0, &it);
+            bucket.insert(a, 1, &it);
+            bucket.insert(ab, 2, &it);
+            let mut seen = Vec::new();
+            bucket.for_each(|v| seen.push(v));
+            seen.sort_unstable();
+            assert_eq!(seen, vec![0, 1, 2]);
+        }
+    }
+}

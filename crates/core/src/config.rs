@@ -1,0 +1,165 @@
+//! Analysis configuration.
+
+use std::fmt;
+
+use ctxform_algebra::Sensitivity;
+
+use crate::bucket::JoinStrategy;
+
+/// Which context-transformation abstraction to instantiate the rules with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AbstractionKind {
+    /// Traditional k-limited context-string pairs (Fig. 4, left).
+    ContextStrings,
+    /// The paper's transformer strings (Fig. 4, right).
+    TransformerStrings,
+    /// No context sensitivity at all (baseline).
+    Insensitive,
+}
+
+impl fmt::Display for AbstractionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AbstractionKind::ContextStrings => "context strings",
+            AbstractionKind::TransformerStrings => "transformer strings",
+            AbstractionKind::Insensitive => "context-insensitive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A complete analysis configuration.
+///
+/// ```
+/// use ctxform::AnalysisConfig;
+///
+/// let cfg = AnalysisConfig::transformer_strings("2-object+H".parse()?);
+/// assert_eq!(cfg.to_string(), "2-object+H/transformer strings");
+/// # Ok::<(), ctxform_algebra::SensitivityError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AnalysisConfig {
+    /// Abstraction of context transformations.
+    pub abstraction: AbstractionKind,
+    /// Flavour and levels (ignored for [`AbstractionKind::Insensitive`]).
+    pub sensitivity: Option<Sensitivity>,
+    /// Join indexing discipline (§7): specialized or naive.
+    pub join_strategy: JoinStrategy,
+    /// Delete subsumed transformer-string facts on insertion (§8's
+    /// suggested engine customization; a no-op for context strings).
+    pub subsumption: bool,
+    /// Collapse the `hpts` transformation to the uninformative value when
+    /// `h = 0`, making the relation context-insensitive exactly as the
+    /// paper's Fig. 6 reports ("no reduction … because the relation is
+    /// context-insensitive"). Disable to keep the strictly-more-precise
+    /// `ε`-vs-`∗` distinction the raw formalism would preserve.
+    pub collapse_insensitive_heap: bool,
+    /// Record every derived fact (rendered, in derivation order) into the
+    /// result — used by the figure examples; expensive on big programs.
+    pub record_facts: bool,
+}
+
+impl AnalysisConfig {
+    /// Context-string analysis at `sensitivity`.
+    pub fn context_strings(sensitivity: Sensitivity) -> Self {
+        AnalysisConfig {
+            abstraction: AbstractionKind::ContextStrings,
+            sensitivity: Some(sensitivity),
+            ..AnalysisConfig::defaults()
+        }
+    }
+
+    /// Transformer-string analysis at `sensitivity`.
+    pub fn transformer_strings(sensitivity: Sensitivity) -> Self {
+        AnalysisConfig {
+            abstraction: AbstractionKind::TransformerStrings,
+            sensitivity: Some(sensitivity),
+            ..AnalysisConfig::defaults()
+        }
+    }
+
+    /// Context-insensitive analysis.
+    pub fn insensitive() -> Self {
+        AnalysisConfig {
+            abstraction: AbstractionKind::Insensitive,
+            sensitivity: None,
+            ..AnalysisConfig::defaults()
+        }
+    }
+
+    fn defaults() -> Self {
+        AnalysisConfig {
+            abstraction: AbstractionKind::Insensitive,
+            sensitivity: None,
+            join_strategy: JoinStrategy::Specialized,
+            subsumption: false,
+            collapse_insensitive_heap: true,
+            record_facts: false,
+        }
+    }
+
+    /// Returns a copy with the naive join strategy (§7 ablation).
+    pub fn with_naive_joins(mut self) -> Self {
+        self.join_strategy = JoinStrategy::Naive;
+        self
+    }
+
+    /// Returns a copy with subsumption elimination enabled.
+    pub fn with_subsumption(mut self) -> Self {
+        self.subsumption = true;
+        self
+    }
+
+    /// Returns a copy that records rendered facts in derivation order.
+    pub fn with_recorded_facts(mut self) -> Self {
+        self.record_facts = true;
+        self
+    }
+}
+
+impl fmt::Display for AnalysisConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.sensitivity {
+            Some(s) => write!(f, "{s}/{}", self.abstraction),
+            None => write!(f, "{}", self.abstraction),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_set_kind() {
+        let s: Sensitivity = "1-call".parse().unwrap();
+        assert_eq!(AnalysisConfig::context_strings(s).abstraction, AbstractionKind::ContextStrings);
+        assert_eq!(
+            AnalysisConfig::transformer_strings(s).abstraction,
+            AbstractionKind::TransformerStrings
+        );
+        assert_eq!(AnalysisConfig::insensitive().sensitivity, None);
+    }
+
+    #[test]
+    fn modifiers_toggle_flags() {
+        let s: Sensitivity = "1-call".parse().unwrap();
+        let cfg = AnalysisConfig::transformer_strings(s)
+            .with_naive_joins()
+            .with_subsumption()
+            .with_recorded_facts();
+        assert_eq!(cfg.join_strategy, JoinStrategy::Naive);
+        assert!(cfg.subsumption);
+        assert!(cfg.record_facts);
+    }
+
+    #[test]
+    fn display_includes_sensitivity_and_abstraction() {
+        let s: Sensitivity = "2-object+H".parse().unwrap();
+        assert_eq!(
+            AnalysisConfig::context_strings(s).to_string(),
+            "2-object+H/context strings"
+        );
+        assert_eq!(AnalysisConfig::insensitive().to_string(), "context-insensitive");
+    }
+}

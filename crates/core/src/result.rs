@@ -1,0 +1,161 @@
+//! Analysis results: statistics, context-insensitive projections, and the
+//! optional rendered fact log.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Duration;
+
+use ctxform_ir::{Field, Heap, Inv, Method, Var};
+
+use crate::config::AnalysisConfig;
+
+/// Solver statistics, mirroring the quantities Figure 6 reports.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Context-sensitive `pts` fact count.
+    pub pts: usize,
+    /// Context-sensitive `hpts` fact count.
+    pub hpts: usize,
+    /// Context-sensitive `hload` fact count (not reported by the paper's
+    /// table but useful for diagnostics).
+    pub hload: usize,
+    /// Context-sensitive `call` fact count.
+    pub call: usize,
+    /// Context-sensitive `spts` (static-field) fact count.
+    pub spts: usize,
+    /// `reach` fact count.
+    pub reach: usize,
+    /// Processed derivation events (delta-queue pops).
+    pub events: usize,
+    /// `comp` evaluations.
+    pub compose_calls: u64,
+    /// `comp` evaluations that produced ⊥.
+    pub compose_bottom: u64,
+    /// Join candidates visited.
+    pub probes: u64,
+    /// New facts dropped because an existing fact subsumed them.
+    pub subsumed_dropped: u64,
+    /// Existing facts retired because a new fact subsumed them.
+    pub subsumed_retired: u64,
+    /// Wall-clock solving time.
+    pub duration: Duration,
+    /// Transformer-configuration histogram (`x*w?e*` tags of §7) over the
+    /// `pts` relation; empty for non-transformer abstractions.
+    pub pts_configurations: Vec<(String, usize)>,
+}
+
+impl SolverStats {
+    /// `pts + hpts + call`, the paper's "Total" row.
+    pub fn total(&self) -> usize {
+        self.pts + self.hpts + self.call
+    }
+}
+
+/// Context-insensitive projections of the derived relations (the paper's
+/// `ptsci` etc. in §6).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CiFacts {
+    /// `∃A. pts(Y, H, A)`.
+    pub pts: HashSet<(Var, Heap)>,
+    /// `∃A. hpts(G, F, H, A)`.
+    pub hpts: HashSet<(Heap, Field, Heap)>,
+    /// `∃A. call(I, Q, A)`.
+    pub call: HashSet<(Inv, Method)>,
+    /// `∃A. spts(F, H, A)` (static fields).
+    pub spts: HashSet<(Field, Heap)>,
+    /// `∃M. reach(P, M)`.
+    pub reach: HashSet<Method>,
+}
+
+impl CiFacts {
+    /// The points-to set of one variable, sorted.
+    pub fn points_to(&self, v: Var) -> Vec<Heap> {
+        let mut heaps: Vec<Heap> =
+            self.pts.iter().filter(|&&(var, _)| var == v).map(|&(_, h)| h).collect();
+        heaps.sort_unstable();
+        heaps
+    }
+
+    /// The call targets of one invocation site, sorted.
+    pub fn call_targets(&self, i: Inv) -> Vec<Method> {
+        let mut methods: Vec<Method> =
+            self.call.iter().filter(|&&(inv, _)| inv == i).map(|&(_, q)| q).collect();
+        methods.sort_unstable();
+        methods
+    }
+
+    /// `true` iff `a` and `b` may alias (their points-to sets intersect).
+    pub fn may_alias(&self, a: Var, b: Var) -> bool {
+        let ha: HashSet<Heap> =
+            self.pts.iter().filter(|&&(v, _)| v == a).map(|&(_, h)| h).collect();
+        self.pts.iter().any(|&(v, h)| v == b && ha.contains(&h))
+    }
+
+    /// Total size of all four projections.
+    pub fn total(&self) -> usize {
+        self.pts.len() + self.hpts.len() + self.call.len() + self.reach.len() + self.spts.len()
+    }
+}
+
+/// One recorded fact of the derivation log (rendered with program names).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoggedFact {
+    /// Relation name (`pts`, `hpts`, `hload`, `call`, `reach`).
+    pub relation: &'static str,
+    /// The Figure 3 rule that derived it.
+    pub rule: &'static str,
+    /// Rendered fact, e.g. `pts(x, main/new#0, m̂1)`.
+    pub text: String,
+}
+
+/// The complete result of one analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisResult {
+    /// The configuration that produced this result.
+    pub config: AnalysisConfig,
+    /// Solver statistics (fact counts, join counts, time).
+    pub stats: SolverStats,
+    /// Context-insensitive projections.
+    pub ci: CiFacts,
+    /// Rendered facts in derivation order, when
+    /// [`AnalysisConfig::record_facts`] was set.
+    pub log: Vec<LoggedFact>,
+}
+
+impl AnalysisResult {
+    /// Counts log entries per relation (requires `record_facts`).
+    pub fn log_counts(&self) -> HashMap<&'static str, usize> {
+        let mut counts = HashMap::new();
+        for entry in &self.log {
+            *counts.entry(entry.relation).or_insert(0) += 1;
+        }
+        counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_facts_helpers() {
+        let mut ci = CiFacts::default();
+        ci.pts.insert((Var(0), Heap(1)));
+        ci.pts.insert((Var(0), Heap(0)));
+        ci.pts.insert((Var(1), Heap(1)));
+        ci.pts.insert((Var(2), Heap(2)));
+        assert_eq!(ci.points_to(Var(0)), vec![Heap(0), Heap(1)]);
+        assert!(ci.may_alias(Var(0), Var(1)));
+        assert!(!ci.may_alias(Var(1), Var(2)));
+        ci.call.insert((Inv(0), Method(3)));
+        assert_eq!(ci.call_targets(Inv(0)), vec![Method(3)]);
+        ci.spts.insert((Field(0), Heap(0)));
+        assert_eq!(ci.total(), 6);
+    }
+
+    #[test]
+    fn stats_total_matches_paper_definition() {
+        let stats =
+            SolverStats { pts: 10, hpts: 3, call: 4, hload: 99, reach: 7, ..Default::default() };
+        assert_eq!(stats.total(), 17);
+    }
+}

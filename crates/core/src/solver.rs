@@ -1,0 +1,675 @@
+//! The specialized semi-naive solver for the Figure 3 deduction rules.
+//!
+//! This module is the analogue of the paper's compiled Datalog back-end:
+//! the parameterized rules (New, Assign, Load, Store, Ind, Param, Ret,
+//! Virt, Static, Reach, Entry) are hand-instantiated over the
+//! [`Abstraction`] interface, with one delta queue per derived relation
+//! and boundary-indexed join buckets (see [`crate::bucket`]).
+//!
+//! Every derived fact is processed exactly once as a "delta": when it is
+//! popped, all rules it can drive are evaluated against the current
+//! indices (which already contain every earlier fact, including itself),
+//! and both orientations of every two-derived-literal join are
+//! implemented, so the evaluation is equivalent to semi-naive iteration to
+//! fixpoint.
+
+use std::collections::{HashMap, HashSet};
+use std::time::Instant;
+
+use ctxform_algebra::{Abstraction, CtxtElem, CtxtStr, Levels, Limits, MergeSite};
+use ctxform_ir::{Field, Heap, Inv, Method, Program, ProgramIndex, Var};
+
+use crate::bucket::Bucket;
+use crate::config::AnalysisConfig;
+use crate::result::{AnalysisResult, CiFacts, LoggedFact, SolverStats};
+
+/// Runs the analysis with the given abstraction instance.
+pub(crate) fn run<A: Abstraction>(
+    program: &Program,
+    abs: A,
+    config: AnalysisConfig,
+) -> AnalysisResult {
+    let ix = program.index();
+    let levels = abs
+        .sensitivity()
+        .map(|s| s.levels)
+        .unwrap_or(Levels { method: 0, heap: 0 });
+    let mode = abs.boundary_mode();
+    let solver = Solver {
+        program,
+        ix,
+        abs,
+        config,
+        levels,
+        mode,
+        pts: HashSet::new(),
+        pts_by_var: HashMap::new(),
+        hpts: HashSet::new(),
+        hpts_by_gf: HashMap::new(),
+        hload: HashSet::new(),
+        hload_by_gf: HashMap::new(),
+        spts: HashSet::new(),
+        spts_by_field: HashMap::new(),
+        call: HashSet::new(),
+        call_by_inv: HashMap::new(),
+        call_by_method: HashMap::new(),
+        reach: HashSet::new(),
+        reach_by_method: HashMap::new(),
+        q_pts: Vec::new(),
+        q_hpts: Vec::new(),
+        q_hload: Vec::new(),
+        q_call: Vec::new(),
+        q_spts: Vec::new(),
+        q_reach: Vec::new(),
+        live_pts: HashMap::new(),
+        dead_pts: HashSet::new(),
+        stats: SolverStats::default(),
+        log: Vec::new(),
+    };
+    solver.solve()
+}
+
+struct Solver<'p, A: Abstraction> {
+    program: &'p Program,
+    ix: ProgramIndex,
+    abs: A,
+    config: AnalysisConfig,
+    levels: Levels,
+    mode: ctxform_algebra::BoundaryMode,
+
+    pts: HashSet<(Var, Heap, A::X)>,
+    /// `pts` keyed by variable, boundary-indexed on the destination side.
+    pts_by_var: HashMap<Var, Bucket<(Heap, A::X)>>,
+    hpts: HashSet<(Heap, Field, Heap, A::X)>,
+    /// `hpts` keyed by (base site, field), boundary-indexed on the
+    /// destination side (its transformation maps pointee-alloc context to
+    /// base-alloc context).
+    hpts_by_gf: HashMap<(Heap, Field), Bucket<(Heap, A::X)>>,
+    hload: HashSet<(Heap, Field, Var, A::X)>,
+    /// `hload` keyed by (base site, field), boundary-indexed on the
+    /// source side.
+    hload_by_gf: HashMap<(Heap, Field), Bucket<(Var, A::X)>>,
+    /// `spts(F, H, B)`: static field `F` may hold an object allocated at
+    /// `H`, `B` constraining only the allocation context (SStore/SLoad —
+    /// the static-field extension the paper's implementation models via
+    /// Doop's rules).
+    spts: HashSet<(Field, Heap, A::X)>,
+    spts_by_field: HashMap<Field, Vec<(Heap, A::X)>>,
+    call: HashSet<(Inv, Method, A::X)>,
+    /// `call` keyed by invocation, boundary-indexed on the source side
+    /// (for Param).
+    call_by_inv: HashMap<Inv, Bucket<(Method, A::X)>>,
+    /// `call` keyed by callee, boundary-indexed on the destination side
+    /// (for Ret).
+    call_by_method: HashMap<Method, Bucket<(Inv, A::X)>>,
+    reach: HashSet<(Method, CtxtStr)>,
+    reach_by_method: HashMap<Method, Vec<CtxtStr>>,
+
+    q_pts: Vec<(Var, Heap, A::X)>,
+    q_hpts: Vec<(Heap, Field, Heap, A::X)>,
+    q_hload: Vec<(Heap, Field, Var, A::X)>,
+    q_call: Vec<(Inv, Method, A::X)>,
+    q_spts: Vec<(Field, Heap, A::X)>,
+    q_reach: Vec<(Method, CtxtStr)>,
+
+    /// Live (unsubsumed) transformations per (var, heap) key; maintained
+    /// only when subsumption elimination is on.
+    live_pts: HashMap<(Var, Heap), Vec<A::X>>,
+    dead_pts: HashSet<(Var, Heap, A::X)>,
+
+    stats: SolverStats,
+    log: Vec<LoggedFact>,
+}
+
+impl<'p, A: Abstraction> Solver<'p, A> {
+    fn limits_store(&self) -> Limits {
+        Limits { src: self.levels.heap, dst: self.levels.heap }
+    }
+
+    fn limits_flow(&self) -> Limits {
+        Limits { src: self.levels.heap, dst: self.levels.method }
+    }
+
+    fn solve(mut self) -> AnalysisResult {
+        let start = Instant::now();
+        // Entry rule.
+        let entry_ctx = {
+            let interner = self.abs.interner_mut();
+            interner.from_slice(&[CtxtElem::entry()])
+        };
+        for &main in &self.program.entry_points.clone() {
+            self.insert_reach(main, entry_ctx, "Entry");
+        }
+        loop {
+            if let Some((p, m)) = self.q_reach.pop() {
+                self.stats.events += 1;
+                self.process_reach(p, m);
+                continue;
+            }
+            if let Some((y, h, x)) = self.q_pts.pop() {
+                self.stats.events += 1;
+                if self.config.subsumption && self.dead_pts.contains(&(y, h, x)) {
+                    continue;
+                }
+                self.process_pts(y, h, x);
+                continue;
+            }
+            if let Some((i, q, x)) = self.q_call.pop() {
+                self.stats.events += 1;
+                self.process_call(i, q, x);
+                continue;
+            }
+            if let Some((g, f, h, x)) = self.q_hpts.pop() {
+                self.stats.events += 1;
+                self.process_hpts(g, f, h, x);
+                continue;
+            }
+            if let Some((g, f, y, x)) = self.q_hload.pop() {
+                self.stats.events += 1;
+                self.process_hload(g, f, y, x);
+                continue;
+            }
+            if let Some((f, h, x)) = self.q_spts.pop() {
+                self.stats.events += 1;
+                self.process_spts(f, h, x);
+                continue;
+            }
+            break;
+        }
+        self.finish(start)
+    }
+
+    // ------------------------------------------------------------------
+    // Rule drivers
+    // ------------------------------------------------------------------
+
+    /// New + Static, driven by a new `reach(P, M)` fact.
+    fn process_reach(&mut self, p: Method, m: CtxtStr) {
+        if let Some(allocs) = self.ix.allocs_by_method.get(&p).cloned() {
+            for (h, y) in allocs {
+                let x = self.abs.record(m);
+                self.insert_pts(y, h, x, "New");
+            }
+        }
+        if let Some(statics) = self.ix.statics_by_method.get(&p).cloned() {
+            for (i, q) in statics {
+                let c = self.abs.merge_s(CtxtElem::of_inv(i), m);
+                self.insert_call(i, q, c, "Static");
+            }
+        }
+        // SLoad, reach role: spts(F,H,B), static_load(F,Z),
+        // reach(parent(Z), M) ⊢ pts(Z,H, load_global(B, M)).
+        if let Some(loads) = self.ix.static_loads_by_method.get(&p).cloned() {
+            for (f, z) in loads {
+                if let Some(facts) = self.spts_by_field.get(&f).cloned() {
+                    for (h, b) in facts {
+                        let x = self.abs.load_global(b, m);
+                        self.insert_pts(z, h, x, "SLoad");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Assign, Load, Store (both roles), Param (actual role), Ret (return
+    /// role), Virt — driven by a new `pts(Z, H, B)` fact.
+    fn process_pts(&mut self, z: Var, h: Heap, b: A::X) {
+        // Assign: pts(Z,H,A), assign(Z,Y) ⊢ pts(Y,H,A).
+        if let Some(targets) = self.ix.assign_from.get(&z).cloned() {
+            for y in targets {
+                self.insert_pts(y, h, b, "Assign");
+            }
+        }
+        // Load: pts(Y,G,A), load(Y,F,Z) ⊢ hload(G,F,Z,A).
+        if let Some(loads) = self.ix.loads_by_base.get(&z).cloned() {
+            for (f, dst) in loads {
+                self.insert_hload(h, f, dst, b, "Load");
+            }
+        }
+        // Store, value role: pts(X,H,B), store(X,F,Z), pts(Z,G,C)
+        // ⊢ hpts(G,F,H, B;C⁻¹).
+        if let Some(stores) = self.ix.stores_by_value.get(&z).cloned() {
+            let query = self.abs.dst_boundary(b);
+            for (f, base) in stores {
+                let candidates = self.compatible_pts(base, query);
+                for (g, c) in candidates {
+                    let inv_c = self.abs.invert(c);
+                    if let Some(a) = self.compose(b, inv_c, self.limits_store()) {
+                        self.insert_hpts(g, f, h, a, "Store");
+                    }
+                }
+            }
+        }
+        // Store, base role: pts(Z,G,C) with store(X,F,Z).
+        if let Some(stores) = self.ix.stores_by_base.get(&z).cloned() {
+            let query = self.abs.dst_boundary(b);
+            for (f, value) in stores {
+                let candidates = self.compatible_pts(value, query);
+                for (hh, bv) in candidates {
+                    let inv_c = self.abs.invert(b);
+                    if let Some(a) = self.compose(bv, inv_c, self.limits_store()) {
+                        self.insert_hpts(h, f, hh, a, "Store");
+                    }
+                }
+            }
+        }
+        // Param, actual role: pts(Z,H,B), actual(Z,I,O), call(I,P,C),
+        // formal(Y,P,O) ⊢ pts(Y,H, B;C).
+        if let Some(actuals) = self.ix.actuals_by_var.get(&z).cloned() {
+            let query = self.abs.dst_boundary(b);
+            for (i, o) in actuals {
+                let candidates = self.compatible_call_by_inv(i, query);
+                for (p, c) in candidates {
+                    let Some(&y) = self.ix.formal_of.get(&(p, o)) else { continue };
+                    if let Some(a) = self.compose(b, c, self.limits_flow()) {
+                        self.insert_pts(y, h, a, "Param");
+                    }
+                }
+            }
+        }
+        // Ret, return role: pts(Z,H,B), return(Z,P), call(I,P,C),
+        // assign_return(I,Y) ⊢ pts(Y,H, B;C⁻¹).
+        if let Some(returns) = self.ix.returns_by_var.get(&z).cloned() {
+            let query = self.abs.dst_boundary(b);
+            for p in returns {
+                let candidates = self.compatible_call_by_method(p, query);
+                for (i, c) in candidates {
+                    let inv_c = self.abs.invert(c);
+                    let Some(a) = self.compose(b, inv_c, self.limits_flow()) else { continue };
+                    if let Some(ys) = self.ix.assign_return_by_inv.get(&i).cloned() {
+                        for y in ys {
+                            self.insert_pts(y, h, a, "Ret");
+                        }
+                    }
+                }
+            }
+        }
+        // SStore: pts(X,H,B), static_store(X,F) ⊢ spts(F,H, globalize(B)).
+        if let Some(fields) = self.ix.static_stores_by_var.get(&z).cloned() {
+            for f in fields {
+                let g = self.abs.globalize(b);
+                self.insert_spts(f, h, g, "SStore");
+            }
+        }
+        // Virt: virtual_invoke(I,Z,S), pts(Z,H,B), heap_type(H,T),
+        // implements(Q,T,S), this_var(Y,Q), C ≡ merge(H,I,B)
+        // ⊢ pts(Y,H, B;C), call(I,Q,C).
+        if let Some(virtuals) = self.ix.virtuals_by_recv.get(&z).cloned() {
+            let t = self.ix.type_of_heap[h.index()];
+            let class = self.ix.class_of_heap[h.index()];
+            for (i, s) in virtuals {
+                let Some(q) = self.ix.resolve(t, s) else { continue };
+                let site = MergeSite {
+                    inv: CtxtElem::of_inv(i),
+                    heap: CtxtElem::of_heap(h),
+                    class: CtxtElem::of_type(class),
+                };
+                let c = self.abs.merge(site, b);
+                self.insert_call(i, q, c, "Virt");
+                if let Some(&y) = self.ix.this_of_method.get(&q) {
+                    if let Some(a) = self.compose(b, c, self.limits_flow()) {
+                        self.insert_pts(y, h, a, "Virt");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Ind, hpts role: hpts(G,F,H,B), hload(G,F,Y,C) ⊢ pts(Y,H, B;C).
+    fn process_hpts(&mut self, g: Heap, f: Field, h: Heap, b: A::X) {
+        let query = self.abs.dst_boundary(b);
+        let candidates = self.compatible_hload(g, f, query);
+        for (y, c) in candidates {
+            if let Some(a) = self.compose(b, c, self.limits_flow()) {
+                self.insert_pts(y, h, a, "Ind");
+            }
+        }
+    }
+
+    /// Ind, hload role.
+    fn process_hload(&mut self, g: Heap, f: Field, y: Var, c: A::X) {
+        let query = self.abs.src_boundary(c);
+        let candidates = self.compatible_hpts(g, f, query);
+        for (h, b) in candidates {
+            if let Some(a) = self.compose(b, c, self.limits_flow()) {
+                self.insert_pts(y, h, a, "Ind");
+            }
+        }
+    }
+
+    /// SLoad, spts role: join against every reachable context of each
+    /// loading method.
+    fn process_spts(&mut self, f: Field, h: Heap, b: A::X) {
+        if let Some(loaders) = self.ix.static_loads_by_field.get(&f).cloned() {
+            for z in loaders {
+                let p = self.program.var_method[z.index()];
+                if let Some(contexts) = self.reach_by_method.get(&p).cloned() {
+                    for m in contexts {
+                        let x = self.abs.load_global(b, m);
+                        self.insert_pts(z, h, x, "SLoad");
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reach + Param (call role) + Ret (call role), driven by a new
+    /// `call(I, P, C)` fact.
+    fn process_call(&mut self, i: Inv, p: Method, c: A::X) {
+        // Reach: call(I,P,A) ⊢ reach(P, target(A)).
+        let m = self.abs.target(c);
+        self.insert_reach(p, m, "Reach");
+        // Param, call role.
+        if let Some(actuals) = self.ix.actuals_by_inv.get(&i).cloned() {
+            let query = self.abs.src_boundary(c);
+            for (o, z) in actuals {
+                let Some(&y) = self.ix.formal_of.get(&(p, o)) else { continue };
+                let candidates = self.compatible_pts(z, query);
+                for (h, b) in candidates {
+                    if let Some(a) = self.compose(b, c, self.limits_flow()) {
+                        self.insert_pts(y, h, a, "Param");
+                    }
+                }
+            }
+        }
+        // Ret, call role.
+        if let Some(ys) = self.ix.assign_return_by_inv.get(&i).cloned() {
+            if let Some(returns) = self.ix.returns_by_method.get(&p).cloned() {
+                let query = self.abs.dst_boundary(c);
+                for z in returns {
+                    let candidates = self.compatible_pts(z, query);
+                    for (h, b) in candidates {
+                        let inv_c = self.abs.invert(c);
+                        let Some(a) = self.compose(b, inv_c, self.limits_flow()) else {
+                            continue;
+                        };
+                        for &y in &ys {
+                            self.insert_pts(y, h, a, "Ret");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Join candidate collection
+    // ------------------------------------------------------------------
+
+    fn compatible_pts(&mut self, var: Var, query: CtxtStr) -> Vec<(Heap, A::X)> {
+        let mut out = Vec::new();
+        if let Some(bucket) = self.pts_by_var.get(&var) {
+            let probes = if self.config.subsumption {
+                let dead = &self.dead_pts;
+                bucket.for_compatible(query, self.abs.interner(), |(h, x)| {
+                    if !dead.contains(&(var, h, x)) {
+                        out.push((h, x));
+                    }
+                })
+            } else {
+                bucket.for_compatible(query, self.abs.interner(), |v| out.push(v))
+            };
+            self.stats.probes += probes;
+        }
+        out
+    }
+
+    fn compatible_call_by_inv(&mut self, i: Inv, query: CtxtStr) -> Vec<(Method, A::X)> {
+        let mut out = Vec::new();
+        if let Some(bucket) = self.call_by_inv.get(&i) {
+            self.stats.probes +=
+                bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
+        }
+        out
+    }
+
+    fn compatible_call_by_method(&mut self, p: Method, query: CtxtStr) -> Vec<(Inv, A::X)> {
+        let mut out = Vec::new();
+        if let Some(bucket) = self.call_by_method.get(&p) {
+            self.stats.probes +=
+                bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
+        }
+        out
+    }
+
+    fn compatible_hload(&mut self, g: Heap, f: Field, query: CtxtStr) -> Vec<(Var, A::X)> {
+        let mut out = Vec::new();
+        if let Some(bucket) = self.hload_by_gf.get(&(g, f)) {
+            self.stats.probes +=
+                bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
+        }
+        out
+    }
+
+    fn compatible_hpts(&mut self, g: Heap, f: Field, query: CtxtStr) -> Vec<(Heap, A::X)> {
+        let mut out = Vec::new();
+        if let Some(bucket) = self.hpts_by_gf.get(&(g, f)) {
+            self.stats.probes +=
+                bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
+        }
+        out
+    }
+
+    fn compose(&mut self, a: A::X, b: A::X, limits: Limits) -> Option<A::X> {
+        self.stats.compose_calls += 1;
+        let r = self.abs.compose(a, b, limits);
+        if r.is_none() {
+            self.stats.compose_bottom += 1;
+        }
+        r
+    }
+
+    // ------------------------------------------------------------------
+    // Insertion
+    // ------------------------------------------------------------------
+
+    fn insert_pts(&mut self, y: Var, h: Heap, x: A::X, rule: &'static str) {
+        if self.config.subsumption {
+            if self.pts.contains(&(y, h, x)) {
+                return; // plain duplicate, not a subsumption event
+            }
+            if let Some(live) = self.live_pts.get(&(y, h)) {
+                if live.iter().any(|&old| self.abs.subsumes(old, x)) {
+                    self.stats.subsumed_dropped += 1;
+                    return;
+                }
+            }
+        }
+        if !self.pts.insert((y, h, x)) {
+            return;
+        }
+        if self.config.subsumption {
+            let live = self.live_pts.entry((y, h)).or_default();
+            let abs = &self.abs;
+            let dead = &mut self.dead_pts;
+            let mut retired = 0;
+            live.retain(|&old| {
+                if abs.subsumes(x, old) {
+                    dead.insert((y, h, old));
+                    retired += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+            self.stats.subsumed_retired += retired;
+            live.push(x);
+        }
+        let boundary = self.abs.dst_boundary(x);
+        let strategy = self.config.join_strategy;
+        let mode = self.mode;
+        self.pts_by_var
+            .entry(y)
+            .or_insert_with(|| Bucket::new(strategy, mode))
+            .insert(boundary, (h, x), self.abs.interner());
+        if self.config.record_facts {
+            let text = format!(
+                "pts({}, {}, {})",
+                self.program.var_names[y.index()],
+                self.program.heap_names[h.index()],
+                self.abs.display(x, self.program)
+            );
+            self.log.push(LoggedFact { relation: "pts", rule, text });
+        }
+        self.q_pts.push((y, h, x));
+    }
+
+    fn insert_hpts(&mut self, g: Heap, f: Field, h: Heap, x: A::X, rule: &'static str) {
+        let x = if self.config.collapse_insensitive_heap && self.levels.heap == 0 {
+            self.abs.uninformative()
+        } else {
+            x
+        };
+        if !self.hpts.insert((g, f, h, x)) {
+            return;
+        }
+        let boundary = self.abs.dst_boundary(x);
+        let strategy = self.config.join_strategy;
+        let mode = self.mode;
+        self.hpts_by_gf
+            .entry((g, f))
+            .or_insert_with(|| Bucket::new(strategy, mode))
+            .insert(boundary, (h, x), self.abs.interner());
+        if self.config.record_facts {
+            let text = format!(
+                "hpts({}, {}, {}, {})",
+                self.program.heap_names[g.index()],
+                self.program.field_names[f.index()],
+                self.program.heap_names[h.index()],
+                self.abs.display(x, self.program)
+            );
+            self.log.push(LoggedFact { relation: "hpts", rule, text });
+        }
+        self.q_hpts.push((g, f, h, x));
+    }
+
+    fn insert_hload(&mut self, g: Heap, f: Field, y: Var, x: A::X, rule: &'static str) {
+        if !self.hload.insert((g, f, y, x)) {
+            return;
+        }
+        let boundary = self.abs.src_boundary(x);
+        let strategy = self.config.join_strategy;
+        let mode = self.mode;
+        self.hload_by_gf
+            .entry((g, f))
+            .or_insert_with(|| Bucket::new(strategy, mode))
+            .insert(boundary, (y, x), self.abs.interner());
+        if self.config.record_facts {
+            let text = format!(
+                "hload({}, {}, {}, {})",
+                self.program.heap_names[g.index()],
+                self.program.field_names[f.index()],
+                self.program.var_names[y.index()],
+                self.abs.display(x, self.program)
+            );
+            self.log.push(LoggedFact { relation: "hload", rule, text });
+        }
+        self.q_hload.push((g, f, y, x));
+    }
+
+    fn insert_call(&mut self, i: Inv, q: Method, x: A::X, rule: &'static str) {
+        if !self.call.insert((i, q, x)) {
+            return;
+        }
+        let strategy = self.config.join_strategy;
+        let mode = self.mode;
+        let src = self.abs.src_boundary(x);
+        self.call_by_inv
+            .entry(i)
+            .or_insert_with(|| Bucket::new(strategy, mode))
+            .insert(src, (q, x), self.abs.interner());
+        let dst = self.abs.dst_boundary(x);
+        self.call_by_method
+            .entry(q)
+            .or_insert_with(|| Bucket::new(strategy, mode))
+            .insert(dst, (i, x), self.abs.interner());
+        if self.config.record_facts {
+            let text = format!(
+                "call({}, {}, {})",
+                self.program.inv_names[i.index()],
+                self.program.method_names[q.index()],
+                self.abs.display(x, self.program)
+            );
+            self.log.push(LoggedFact { relation: "call", rule, text });
+        }
+        self.q_call.push((i, q, x));
+    }
+
+    fn insert_spts(&mut self, f: Field, h: Heap, x: A::X, rule: &'static str) {
+        if !self.spts.insert((f, h, x)) {
+            return;
+        }
+        self.spts_by_field.entry(f).or_default().push((h, x));
+        if self.config.record_facts {
+            let text = format!(
+                "spts({}, {}, {})",
+                self.program.field_names[f.index()],
+                self.program.heap_names[h.index()],
+                self.abs.display(x, self.program)
+            );
+            self.log.push(LoggedFact { relation: "spts", rule, text });
+        }
+        self.q_spts.push((f, h, x));
+    }
+
+    fn insert_reach(&mut self, p: Method, m: CtxtStr, rule: &'static str) {
+        if !self.reach.insert((p, m)) {
+            return;
+        }
+        self.reach_by_method.entry(p).or_default().push(m);
+        if self.config.record_facts {
+            let text = format!(
+                "reach({}, [{}])",
+                self.program.method_names[p.index()],
+                self.abs.interner().display_with(m, |e| e.describe(self.program))
+            );
+            self.log.push(LoggedFact { relation: "reach", rule, text });
+        }
+        self.q_reach.push((p, m));
+    }
+
+    // ------------------------------------------------------------------
+    // Result assembly
+    // ------------------------------------------------------------------
+
+    fn finish(mut self, start: Instant) -> AnalysisResult {
+        self.stats.duration = start.elapsed();
+        self.stats.pts = self.pts.len() - self.dead_pts.len();
+        self.stats.hpts = self.hpts.len();
+        self.stats.hload = self.hload.len();
+        self.stats.call = self.call.len();
+        self.stats.spts = self.spts.len();
+        self.stats.reach = self.reach.len();
+        let mut histogram: HashMap<String, usize> = HashMap::new();
+        for &(y, h, x) in &self.pts {
+            if self.config.subsumption && self.dead_pts.contains(&(y, h, x)) {
+                continue;
+            }
+            let tag = self.abs.configuration(x);
+            if !tag.is_empty() || matches!(self.mode, ctxform_algebra::BoundaryMode::Prefix) {
+                *histogram.entry(tag).or_insert(0) += 1;
+            }
+        }
+        let mut pts_configurations: Vec<(String, usize)> = histogram.into_iter().collect();
+        pts_configurations.sort();
+        self.stats.pts_configurations = pts_configurations;
+
+        let mut ci = CiFacts::default();
+        for &(y, h, _) in &self.pts {
+            ci.pts.insert((y, h));
+        }
+        for &(g, f, h, _) in &self.hpts {
+            ci.hpts.insert((g, f, h));
+        }
+        for &(i, q, _) in &self.call {
+            ci.call.insert((i, q));
+        }
+        for &(f, h, _) in &self.spts {
+            ci.spts.insert((f, h));
+        }
+        for &(p, _) in &self.reach {
+            ci.reach.insert(p);
+        }
+        AnalysisResult { config: self.config, stats: self.stats, ci, log: self.log }
+    }
+}

@@ -1,0 +1,381 @@
+//! Rule-level tests: each Figure 3 deduction rule exercised in isolation
+//! on hand-built IR programs, under both abstractions and several
+//! sensitivities.
+
+use ctxform::{analyze, AnalysisConfig};
+use ctxform_algebra::Sensitivity;
+use ctxform_ir::{Method, Program, ProgramBuilder, Type, Var};
+
+fn sens(label: &str) -> Sensitivity {
+    label.parse().unwrap()
+}
+
+fn both(s: &str) -> Vec<AnalysisConfig> {
+    vec![
+        AnalysisConfig::context_strings(sens(s)),
+        AnalysisConfig::transformer_strings(sens(s)),
+    ]
+}
+
+/// Minimal scaffold: one class, one entry method.
+struct Scaffold {
+    b: ProgramBuilder,
+    object: Type,
+    main: Method,
+}
+
+impl Scaffold {
+    fn new() -> Self {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let main = b.method_in("main", object, &[]);
+        b.entry_point(main);
+        Scaffold { b, object, main }
+    }
+
+    fn finish(self) -> Program {
+        self.b.finish().expect("valid")
+    }
+}
+
+#[test]
+fn new_and_assign_chain() {
+    // x = new; a = x; b = a;  — New + Assign transitivity.
+    let mut s = Scaffold::new();
+    let x = s.b.var("x", s.main);
+    let a = s.b.var("a", s.main);
+    let bv = s.b.var("b", s.main);
+    let h = s.b.alloc("h", s.object, x, s.main);
+    s.b.assign(x, a);
+    s.b.assign(a, bv);
+    let p = s.finish();
+    for cfg in both("1-call") {
+        let r = analyze(&p, &cfg);
+        for v in [x, a, bv] {
+            assert_eq!(r.ci.points_to(v), vec![h], "{cfg}");
+        }
+        assert_eq!(r.stats.pts, 3, "{cfg}: one fact per variable");
+    }
+}
+
+#[test]
+fn store_load_roundtrip_and_field_separation() {
+    // base.f = v1; base.g = v2; load both; fields must not mix.
+    let mut s = Scaffold::new();
+    let base = s.b.var("base", s.main);
+    let v1 = s.b.var("v1", s.main);
+    let v2 = s.b.var("v2", s.main);
+    let out_f = s.b.var("out_f", s.main);
+    let out_g = s.b.var("out_g", s.main);
+    let f = s.b.field("f");
+    let g = s.b.field("g");
+    s.b.alloc("hb", s.object, base, s.main);
+    let h1 = s.b.alloc("h1", s.object, v1, s.main);
+    let h2 = s.b.alloc("h2", s.object, v2, s.main);
+    s.b.store(v1, f, base);
+    s.b.store(v2, g, base);
+    s.b.load(base, f, out_f);
+    s.b.load(base, g, out_g);
+    let p = s.finish();
+    for cfg in both("1-call+H") {
+        let r = analyze(&p, &cfg);
+        assert_eq!(r.ci.points_to(out_f), vec![h1], "{cfg}");
+        assert_eq!(r.ci.points_to(out_g), vec![h2], "{cfg}");
+    }
+}
+
+#[test]
+fn ind_requires_a_common_base_object() {
+    // Two distinct bases with the same field: no cross flow.
+    let mut s = Scaffold::new();
+    let b1 = s.b.var("b1", s.main);
+    let b2 = s.b.var("b2", s.main);
+    let v = s.b.var("v", s.main);
+    let out = s.b.var("out", s.main);
+    let f = s.b.field("f");
+    s.b.alloc("hb1", s.object, b1, s.main);
+    s.b.alloc("hb2", s.object, b2, s.main);
+    s.b.alloc("hv", s.object, v, s.main);
+    s.b.store(v, f, b1);
+    s.b.load(b2, f, out);
+    let p = s.finish();
+    for cfg in both("1-call") {
+        let r = analyze(&p, &cfg);
+        assert!(r.ci.points_to(out).is_empty(), "{cfg}");
+    }
+}
+
+#[test]
+fn param_and_ret_flow_through_static_calls() {
+    let mut s = Scaffold::new();
+    let id = s.b.method_in("id", s.object, &["p"]);
+    let pv = s.b.formals(id)[0];
+    s.b.ret(pv, id);
+    let x = s.b.var("x", s.main);
+    let y = s.b.var("y", s.main);
+    let h = s.b.alloc("h", s.object, x, s.main);
+    s.b.static_call("c", s.main, id, &[x], Some(y));
+    let p = s.finish();
+    for label in ["1-call", "1-object", "2-object+H", "2-type+H"] {
+        for cfg in both(label) {
+            let r = analyze(&p, &cfg);
+            assert_eq!(r.ci.points_to(pv), vec![h], "{cfg}: Param");
+            assert_eq!(r.ci.points_to(y), vec![h], "{cfg}: Ret");
+        }
+    }
+}
+
+#[test]
+fn unreachable_code_derives_nothing() {
+    // A method never called: its allocation must not appear.
+    let mut s = Scaffold::new();
+    let dead = s.b.method_in("dead", s.object, &[]);
+    let d = s.b.var("d", dead);
+    s.b.alloc("hdead", s.object, d, dead);
+    let x = s.b.var("x", s.main);
+    s.b.alloc("h", s.object, x, s.main);
+    let p = s.finish();
+    for cfg in both("1-call") {
+        let r = analyze(&p, &cfg);
+        assert!(r.ci.points_to(d).is_empty(), "{cfg}");
+        assert!(!r.ci.reach.contains(&dead), "{cfg}");
+        assert_eq!(r.stats.pts, 1, "{cfg}");
+    }
+}
+
+#[test]
+fn virt_dispatches_per_receiver_type() {
+    let mut s = Scaffold::new();
+    let animal = s.b.class("Animal", Some(s.object));
+    let cat = s.b.class("Cat", Some(animal));
+    let dog = s.b.class("Dog", Some(animal));
+    let speak = s.b.msig("speak/0");
+    let cat_speak = s.b.method_in("Cat.speak", cat, &[]);
+    let cat_this = s.b.this("this", cat_speak);
+    let dog_speak = s.b.method_in("Dog.speak", dog, &[]);
+    let dog_this = s.b.this("this", dog_speak);
+    s.b.implement(cat_speak, cat, speak);
+    s.b.implement(dog_speak, dog, speak);
+    let pet = s.b.var("pet", s.main);
+    let h_cat = s.b.alloc("hcat", cat, pet, s.main);
+    let i = s.b.virtual_call("c", s.main, pet, speak, &[], None);
+    let p = s.finish();
+    for cfg in both("1-object") {
+        let r = analyze(&p, &cfg);
+        assert_eq!(r.ci.call_targets(i), vec![cat_speak], "{cfg}");
+        assert_eq!(r.ci.points_to(cat_this), vec![h_cat], "{cfg}: Virt this-binding");
+        assert!(r.ci.points_to(dog_this).is_empty(), "{cfg}");
+        assert!(!r.ci.reach.contains(&dog_speak), "{cfg}");
+    }
+}
+
+#[test]
+fn virt_with_no_implementation_derives_no_edge() {
+    let mut s = Scaffold::new();
+    let sig = s.b.msig("ghost/0");
+    let recv = s.b.var("recv", s.main);
+    s.b.alloc("h", s.object, recv, s.main);
+    let i = s.b.virtual_call("c", s.main, recv, sig, &[], None);
+    let p = s.finish();
+    for cfg in both("1-call") {
+        let r = analyze(&p, &cfg);
+        assert!(r.ci.call_targets(i).is_empty(), "{cfg}");
+    }
+}
+
+/// Recursion: k-limited contexts guarantee termination, and results stay
+/// sound and identical across abstractions.
+#[test]
+fn recursive_static_calls_terminate() {
+    // rec(p) { return rec(p); } called from main — an unbounded context
+    // tower truncated by k-limiting.
+    let mut s = Scaffold::new();
+    let rec = s.b.method_in("rec", s.object, &["p"]);
+    let pv = s.b.formals(rec)[0];
+    let t = s.b.var("t", rec);
+    s.b.static_call("c_inner", rec, rec, &[pv], Some(t));
+    s.b.ret(t, rec);
+    s.b.ret(pv, rec); // also return directly so a value escapes the cycle
+    let x = s.b.var("x", s.main);
+    let y = s.b.var("y", s.main);
+    let h = s.b.alloc("h", s.object, x, s.main);
+    s.b.static_call("c_outer", s.main, rec, &[x], Some(y));
+    let p = s.finish();
+    for label in ["1-call", "2-call", "3-call+2H", "1-object", "2-object+H", "2-type+H"] {
+        for cfg in both(label) {
+            let r = analyze(&p, &cfg);
+            assert_eq!(r.ci.points_to(pv), vec![h], "{cfg}");
+            assert_eq!(r.ci.points_to(y), vec![h], "{cfg}");
+        }
+    }
+}
+
+#[test]
+fn mutual_recursion_through_virtual_calls_terminates() {
+    let mut s = Scaffold::new();
+    let node = s.b.class("Node", Some(s.object));
+    let ping_sig = s.b.msig("ping/1");
+    let pong_sig = s.b.msig("pong/1");
+    let ping = s.b.method_in("Node.ping", node, &["a"]);
+    let ping_this = s.b.this("this", ping);
+    let pong = s.b.method_in("Node.pong", node, &["b"]);
+    let pong_this = s.b.this("this", pong);
+    s.b.implement(ping, node, ping_sig);
+    s.b.implement(pong, node, pong_sig);
+    // ping calls this.pong(a); pong calls this.ping(b).
+    let a = s.b.formals(ping)[0];
+    let bv = s.b.formals(pong)[0];
+    s.b.virtual_call("ping>pong", ping, ping_this, pong_sig, &[a], None);
+    s.b.virtual_call("pong>ping", pong, pong_this, ping_sig, &[bv], None);
+    let n = s.b.var("n", s.main);
+    let payload = s.b.var("payload", s.main);
+    let hn = s.b.alloc("hn", node, n, s.main);
+    let hp = s.b.alloc("hp", s.object, payload, s.main);
+    s.b.virtual_call("kick", s.main, n, ping_sig, &[payload], None);
+    let p = s.finish();
+    for label in ["2-call", "2-object+H"] {
+        for cfg in both(label) {
+            let r = analyze(&p, &cfg);
+            assert_eq!(r.ci.points_to(a), vec![hp], "{cfg}");
+            assert_eq!(r.ci.points_to(bv), vec![hp], "{cfg}");
+            assert_eq!(r.ci.points_to(ping_this), vec![hn], "{cfg}");
+        }
+    }
+}
+
+#[test]
+fn sstore_sload_are_flow_global() {
+    // Static field written in one method, read in another with no direct
+    // call relation between them (both called from main).
+    let mut s = Scaffold::new();
+    let gf = s.b.field("G.cache");
+    let writer = s.b.method_in("writer", s.object, &[]);
+    let w = s.b.var("w", writer);
+    let h = s.b.alloc("h", s.object, w, writer);
+    s.b.static_store(w, gf);
+    let reader = s.b.method_in("reader", s.object, &[]);
+    let out = s.b.var("out", reader);
+    s.b.static_load(gf, out);
+    s.b.static_call("c1", s.main, writer, &[], None);
+    s.b.static_call("c2", s.main, reader, &[], None);
+    let p = s.finish();
+    for label in ["1-call", "2-object+H"] {
+        for cfg in both(label) {
+            let r = analyze(&p, &cfg);
+            assert_eq!(r.ci.points_to(out), vec![h], "{cfg}");
+            assert_eq!(r.ci.spts.len(), 1, "{cfg}");
+        }
+    }
+}
+
+#[test]
+fn sload_in_unreachable_method_derives_nothing() {
+    let mut s = Scaffold::new();
+    let gf = s.b.field("G.cache");
+    let w = s.b.var("w", s.main);
+    s.b.alloc("h", s.object, w, s.main);
+    s.b.static_store(w, gf);
+    let dead = s.b.method_in("dead", s.object, &[]);
+    let out = s.b.var("out", dead);
+    s.b.static_load(gf, out);
+    let p = s.finish();
+    for cfg in both("1-call") {
+        let r = analyze(&p, &cfg);
+        assert_eq!(r.ci.spts.len(), 1, "{cfg}: the store still happens");
+        assert!(r.ci.points_to(out).is_empty(), "{cfg}: but the dead load must not fire");
+    }
+}
+
+#[test]
+fn two_entry_points_both_seed_reachability() {
+    let mut b = ProgramBuilder::new();
+    let object = b.class("Object", None);
+    let main1 = b.method_in("main1", object, &[]);
+    let main2 = b.method_in("main2", object, &[]);
+    b.entry_point(main1);
+    b.entry_point(main2);
+    let x1 = b.var("x1", main1);
+    let x2 = b.var("x2", main2);
+    let h1 = b.alloc("h1", object, x1, main1);
+    let h2 = b.alloc("h2", object, x2, main2);
+    let p = b.finish().expect("valid");
+    for cfg in both("1-object") {
+        let r = analyze(&p, &cfg);
+        assert_eq!(r.ci.points_to(x1), vec![h1], "{cfg}");
+        assert_eq!(r.ci.points_to(x2), vec![h2], "{cfg}");
+        assert_eq!(r.ci.reach.len(), 2, "{cfg}");
+    }
+}
+
+#[test]
+fn self_assignment_is_a_fixpoint() {
+    let mut s = Scaffold::new();
+    let x = s.b.var("x", s.main);
+    let h = s.b.alloc("h", s.object, x, s.main);
+    s.b.assign(x, x);
+    let p = s.finish();
+    for cfg in both("2-object+H") {
+        let r = analyze(&p, &cfg);
+        assert_eq!(r.ci.points_to(x), vec![h], "{cfg}");
+        assert_eq!(r.stats.pts, 1, "{cfg}");
+    }
+}
+
+#[test]
+fn assign_cycles_terminate() {
+    let mut s = Scaffold::new();
+    let x = s.b.var("x", s.main);
+    let y = s.b.var("y", s.main);
+    let z = s.b.var("z", s.main);
+    let h = s.b.alloc("h", s.object, x, s.main);
+    s.b.assign(x, y);
+    s.b.assign(y, z);
+    s.b.assign(z, x);
+    let p = s.finish();
+    for cfg in both("1-call+H") {
+        let r = analyze(&p, &cfg);
+        for v in [x, y, z] {
+            assert_eq!(r.ci.points_to(v), vec![h], "{cfg}");
+        }
+    }
+}
+
+#[test]
+fn deep_call_chains_respect_k_limits() {
+    // A chain of k static wrappers around an allocation; the returned
+    // object must flow out regardless of the chain depth vs k.
+    for depth in [1usize, 3, 6] {
+        let mut s = Scaffold::new();
+        let mut callee: Option<(Method, Var)> = None;
+        let mut methods = Vec::new();
+        for d in 0..depth {
+            let m = s.b.method_in(&format!("w{d}"), s.object, &[]);
+            methods.push(m);
+        }
+        let mut h_site = None;
+        for (d, &m) in methods.iter().enumerate() {
+            let out = s.b.var(&format!("out{d}"), m);
+            match callee {
+                None => {
+                    h_site = Some(s.b.alloc("h", s.object, out, m));
+                }
+                Some((inner, _)) => {
+                    s.b.static_call(&format!("c{d}"), m, inner, &[], Some(out));
+                }
+            }
+            s.b.ret(out, m);
+            callee = Some((m, out));
+        }
+        let top = methods[depth - 1];
+        let result = s.b.var("result", s.main);
+        s.b.static_call("top", s.main, top, &[], Some(result));
+        let p = s.finish();
+        let h = h_site.unwrap();
+        for label in ["1-call", "2-call", "1-object"] {
+            for cfg in both(label) {
+                let r = analyze(&p, &cfg);
+                assert_eq!(r.ci.points_to(result), vec![h], "depth {depth} {cfg}");
+            }
+        }
+    }
+}

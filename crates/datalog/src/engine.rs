@@ -1,0 +1,627 @@
+//! Semi-naive bottom-up evaluation with automatic index selection.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::error::DatalogError;
+use crate::parser;
+use crate::rule::{Atom, Rule, Term};
+
+/// Handle to a relation inside an [`Engine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RelId(pub usize);
+
+#[derive(Debug, Default)]
+struct Relation {
+    name: String,
+    arity: usize,
+    /// All tuples in insertion order (the frontier mechanism of semi-naive
+    /// evaluation slices this vector into generations).
+    tuples: Vec<Vec<u32>>,
+    seen: HashSet<Vec<u32>>,
+    /// Hash indices over registered column sets, mapping key values to
+    /// tuple positions.
+    indices: HashMap<Vec<usize>, HashMap<Vec<u32>, Vec<usize>>>,
+}
+
+impl Relation {
+    fn insert(&mut self, tuple: Vec<u32>) -> bool {
+        if self.seen.contains(&tuple) {
+            return false;
+        }
+        let pos = self.tuples.len();
+        for (cols, index) in &mut self.indices {
+            let key: Vec<u32> = cols.iter().map(|&c| tuple[c]).collect();
+            index.entry(key).or_default().push(pos);
+        }
+        self.seen.insert(tuple.clone());
+        self.tuples.push(tuple);
+        true
+    }
+
+    fn register_index(&mut self, cols: Vec<usize>) {
+        if cols.is_empty() || self.indices.contains_key(&cols) {
+            return;
+        }
+        let mut index: HashMap<Vec<u32>, Vec<usize>> = HashMap::new();
+        for (pos, tuple) in self.tuples.iter().enumerate() {
+            let key: Vec<u32> = cols.iter().map(|&c| tuple[c]).collect();
+            index.entry(key).or_default().push(pos);
+        }
+        self.indices.insert(cols, index);
+    }
+}
+
+/// One column of a compiled atom: how to treat the tuple value there.
+#[derive(Debug, Clone, Copy)]
+enum ColOp {
+    /// Must equal this constant.
+    CheckConst(u32),
+    /// Must equal the value already bound to this variable slot.
+    CheckVar(usize),
+    /// Binds this variable slot.
+    BindVar(usize),
+    /// Ignored.
+    Ignore,
+}
+
+/// A compiled body atom: relation, per-column ops, and the index key.
+#[derive(Debug, Clone)]
+struct AtomPlan {
+    rel: RelId,
+    ops: Vec<ColOp>,
+    /// Columns of the registered index (bound at lookup time), parallel to
+    /// `key_sources`.
+    index_cols: Vec<usize>,
+    /// Where each index-key value comes from.
+    key_sources: Vec<KeySource>,
+}
+
+#[derive(Debug, Clone, Copy)]
+enum KeySource {
+    Const(u32),
+    Slot(usize),
+}
+
+/// One head column of a compiled rule.
+#[derive(Debug, Clone, Copy)]
+enum HeadOp {
+    Const(u32),
+    Slot(usize),
+}
+
+/// A compiled (rule, delta-position) pair.
+#[derive(Debug, Clone)]
+struct Plan {
+    /// The relation whose delta drives this plan.
+    delta: RelId,
+    /// Ops applied to the delta tuple.
+    delta_ops: Vec<ColOp>,
+    /// Remaining atoms in evaluation order.
+    atoms: Vec<AtomPlan>,
+    head_rel: RelId,
+    head_ops: Vec<HeadOp>,
+    n_slots: usize,
+}
+
+/// Evaluation statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Number of semi-naive rounds until fixpoint.
+    pub rounds: usize,
+    /// Number of tuples derived (including initial facts).
+    pub tuples: usize,
+    /// Number of candidate tuples produced by rule bodies (before dedup).
+    pub derivations: usize,
+}
+
+/// A positive Datalog program plus its database.
+///
+/// Build with [`Engine::parse`] or [`Engine::add_rule`]/[`Engine::add_fact`],
+/// evaluate with [`Engine::run`], inspect with [`Engine::tuples`].
+#[derive(Debug, Default)]
+pub struct Engine {
+    relations: Vec<Relation>,
+    by_name: HashMap<String, RelId>,
+    rules: Vec<Rule>,
+    stats: EvalStats,
+}
+
+impl Engine {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Engine::default()
+    }
+
+    /// Parses a program: a sequence of rules and facts (see crate docs for
+    /// the syntax).
+    ///
+    /// # Errors
+    ///
+    /// Syntax errors and the validation errors of [`Engine::add_rule`].
+    pub fn parse(source: &str) -> Result<Engine, DatalogError> {
+        let mut engine = Engine::new();
+        for rule in parser::parse_program(source)? {
+            engine.add_rule(rule)?;
+        }
+        Ok(engine)
+    }
+
+    /// Interns a relation name, fixing its arity at first use.
+    fn intern(&mut self, name: &str, arity: usize) -> Result<RelId, DatalogError> {
+        if let Some(&id) = self.by_name.get(name) {
+            let expected = self.relations[id.0].arity;
+            if expected != arity {
+                return Err(DatalogError::ArityMismatch {
+                    relation: name.to_owned(),
+                    expected,
+                    found: arity,
+                });
+            }
+            return Ok(id);
+        }
+        let id = RelId(self.relations.len());
+        self.relations.push(Relation { name: name.to_owned(), arity, ..Relation::default() });
+        self.by_name.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Adds a rule (or a ground fact, if the body is empty and the head is
+    /// ground).
+    ///
+    /// # Errors
+    ///
+    /// Arity mismatches, unbound head variables, wildcards in the head.
+    pub fn add_rule(&mut self, rule: Rule) -> Result<(), DatalogError> {
+        self.intern(&rule.head.relation, rule.head.terms.len())?;
+        for atom in &rule.body {
+            self.intern(&atom.relation, atom.terms.len())?;
+        }
+        // Range restriction.
+        let mut bound: HashSet<&str> = HashSet::new();
+        for atom in &rule.body {
+            for term in &atom.terms {
+                if let Term::Var(v) = term {
+                    bound.insert(v);
+                }
+            }
+        }
+        for term in &rule.head.terms {
+            match term {
+                Term::Var(v) if !bound.contains(v.as_str()) => {
+                    return Err(DatalogError::UnboundHeadVariable {
+                        variable: v.clone(),
+                        rule: rule.to_string(),
+                    });
+                }
+                Term::Wildcard => {
+                    return Err(DatalogError::WildcardInHead { rule: rule.to_string() });
+                }
+                _ => {}
+            }
+        }
+        if rule.is_fact() {
+            let tuple: Vec<u32> = rule
+                .head
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => *c,
+                    _ => unreachable!("ground head checked above"),
+                })
+                .collect();
+            let rel = self.by_name[&rule.head.relation];
+            self.relations[rel.0].insert(tuple);
+        } else {
+            self.rules.push(rule);
+        }
+        Ok(())
+    }
+
+    /// Inserts one tuple into `relation`; returns `true` if it was new.
+    ///
+    /// # Errors
+    ///
+    /// Arity mismatch with an earlier use of the relation.
+    pub fn add_fact(&mut self, relation: &str, tuple: &[u32]) -> Result<bool, DatalogError> {
+        let rel = self.intern(relation, tuple.len())?;
+        Ok(self.relations[rel.0].insert(tuple.to_vec()))
+    }
+
+    /// Looks up a relation by name.
+    pub fn relation(&self, name: &str) -> Option<RelId> {
+        self.by_name.get(name).copied()
+    }
+
+    /// The name of a relation.
+    pub fn relation_name(&self, rel: RelId) -> &str {
+        &self.relations[rel.0].name
+    }
+
+    /// Iterates the tuples of a relation (insertion order).
+    pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &[u32]> {
+        self.relations[rel.0].tuples.iter().map(Vec::as_slice)
+    }
+
+    /// Number of tuples in a relation.
+    pub fn len(&self, rel: RelId) -> usize {
+        self.relations[rel.0].tuples.len()
+    }
+
+    /// `true` if the whole database is empty.
+    pub fn is_empty(&self) -> bool {
+        self.relations.iter().all(|r| r.tuples.is_empty())
+    }
+
+    /// Membership test.
+    pub fn contains(&self, rel: RelId, tuple: &[u32]) -> bool {
+        self.relations[rel.0].seen.contains(tuple)
+    }
+
+    /// Statistics of the last [`Engine::run`].
+    pub fn stats(&self) -> EvalStats {
+        self.stats
+    }
+
+    fn compile(&mut self) -> Vec<Plan> {
+        let rules = std::mem::take(&mut self.rules);
+        let mut plans = Vec::new();
+        for rule in &rules {
+            for d in 0..rule.body.len() {
+                plans.push(self.compile_plan(rule, d));
+            }
+        }
+        self.rules = rules;
+        plans
+    }
+
+    fn compile_plan(&mut self, rule: &Rule, d: usize) -> Plan {
+        let mut slots: HashMap<String, usize> = HashMap::new();
+        // Slots are assigned in first-occurrence order over the evaluation
+        // sequence, so "bound" = "already in the map".
+        let compile_atom_ops = |atom: &Atom, slots: &mut HashMap<String, usize>| -> Vec<ColOp> {
+            atom.terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(c) => ColOp::CheckConst(*c),
+                    Term::Wildcard => ColOp::Ignore,
+                    Term::Var(v) => {
+                        if let Some(&s) = slots.get(v.as_str()) {
+                            ColOp::CheckVar(s)
+                        } else {
+                            let s = slots.len();
+                            slots.insert(v.clone(), s);
+                            ColOp::BindVar(s)
+                        }
+                    }
+                })
+                .collect()
+        };
+
+        let delta_atom = &rule.body[d];
+        let delta_ops = compile_atom_ops(delta_atom, &mut slots);
+        let mut atoms = Vec::new();
+        for (j, atom) in rule.body.iter().enumerate() {
+            if j == d {
+                continue;
+            }
+            // Determine bound columns first (without mutating slots), then
+            // compile ops (which binds the new variables).
+            let mut index_cols = Vec::new();
+            let mut key_sources = Vec::new();
+            for (c, t) in atom.terms.iter().enumerate() {
+                match t {
+                    Term::Const(k) => {
+                        index_cols.push(c);
+                        key_sources.push(KeySource::Const(*k));
+                    }
+                    Term::Var(v) => {
+                        if let Some(&s) = slots.get(v.as_str()) {
+                            index_cols.push(c);
+                            key_sources.push(KeySource::Slot(s));
+                        }
+                    }
+                    Term::Wildcard => {}
+                }
+            }
+            let ops = compile_atom_ops(atom, &mut slots);
+            let rel = self.by_name[&atom.relation];
+            self.relations[rel.0].register_index(index_cols.clone());
+            atoms.push(AtomPlan { rel, ops, index_cols, key_sources });
+        }
+        let head_ops = rule
+            .head
+            .terms
+            .iter()
+            .map(|t| match t {
+                Term::Const(c) => HeadOp::Const(*c),
+                Term::Var(v) => HeadOp::Slot(slots[v.as_str()]),
+                Term::Wildcard => unreachable!("validated"),
+            })
+            .collect();
+        Plan {
+            delta: self.by_name[&delta_atom.relation],
+            delta_ops,
+            atoms,
+            head_rel: self.by_name[&rule.head.relation],
+            head_ops,
+            n_slots: slots.len(),
+        }
+    }
+
+    /// Runs the program to fixpoint and returns the statistics.
+    pub fn run(&mut self) -> EvalStats {
+        let plans = self.compile();
+        let mut frontier: Vec<usize> = vec![0; self.relations.len()];
+        let mut stats = EvalStats::default();
+        loop {
+            stats.rounds += 1;
+            // Snapshot generation boundaries for this round.
+            let limit: Vec<usize> = self.relations.iter().map(|r| r.tuples.len()).collect();
+            let mut derived: Vec<(RelId, Vec<u32>)> = Vec::new();
+            for plan in &plans {
+                let lo = frontier[plan.delta.0];
+                let hi = limit[plan.delta.0];
+                for pos in lo..hi {
+                    self.fire(plan, pos, &limit, &mut derived);
+                }
+            }
+            stats.derivations += derived.len();
+            frontier = limit;
+            let mut any_new = false;
+            for (rel, tuple) in derived {
+                if self.relations[rel.0].insert(tuple) {
+                    any_new = true;
+                }
+            }
+            if !any_new {
+                break;
+            }
+        }
+        stats.tuples = self.relations.iter().map(|r| r.tuples.len()).sum();
+        self.stats = stats;
+        stats
+    }
+
+    fn fire(&self, plan: &Plan, delta_pos: usize, limit: &[usize], out: &mut Vec<(RelId, Vec<u32>)>) {
+        let mut env = vec![0u32; plan.n_slots];
+        let tuple = &self.relations[plan.delta.0].tuples[delta_pos];
+        if !apply_ops(&plan.delta_ops, tuple, &mut env) {
+            return;
+        }
+        self.join(plan, 0, limit, &mut env, out);
+    }
+
+    fn join(
+        &self,
+        plan: &Plan,
+        depth: usize,
+        limit: &[usize],
+        env: &mut Vec<u32>,
+        out: &mut Vec<(RelId, Vec<u32>)>,
+    ) {
+        if depth == plan.atoms.len() {
+            let tuple: Vec<u32> = plan
+                .head_ops
+                .iter()
+                .map(|op| match op {
+                    HeadOp::Const(c) => *c,
+                    HeadOp::Slot(s) => env[*s],
+                })
+                .collect();
+            out.push((plan.head_rel, tuple));
+            return;
+        }
+        let atom = &plan.atoms[depth];
+        let relation = &self.relations[atom.rel.0];
+        let bound = limit[atom.rel.0];
+        if atom.index_cols.is_empty() {
+            for pos in 0..bound {
+                if apply_ops(&atom.ops, &relation.tuples[pos], env) {
+                    self.join(plan, depth + 1, limit, env, out);
+                }
+            }
+        } else {
+            let key: Vec<u32> = atom
+                .key_sources
+                .iter()
+                .map(|k| match k {
+                    KeySource::Const(c) => *c,
+                    KeySource::Slot(s) => env[*s],
+                })
+                .collect();
+            let index = &relation.indices[&atom.index_cols];
+            if let Some(positions) = index.get(&key) {
+                for &pos in positions {
+                    if pos >= bound {
+                        break; // positions are appended in order
+                    }
+                    if apply_ops(&atom.ops, &relation.tuples[pos], env) {
+                        self.join(plan, depth + 1, limit, env, out);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Matches a tuple against per-column ops, binding variables into `env`.
+fn apply_ops(ops: &[ColOp], tuple: &[u32], env: &mut [u32]) -> bool {
+    for (op, &value) in ops.iter().zip(tuple) {
+        match op {
+            ColOp::CheckConst(c) => {
+                if *c != value {
+                    return false;
+                }
+            }
+            ColOp::CheckVar(s) => {
+                if env[*s] != value {
+                    return false;
+                }
+            }
+            ColOp::BindVar(s) => env[*s] = value,
+            ColOp::Ignore => {}
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitive_closure() {
+        let mut e = Engine::parse(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+             edge(0, 1). edge(1, 2). edge(2, 3).",
+        )
+        .unwrap();
+        e.run();
+        let path = e.relation("path").unwrap();
+        assert_eq!(e.len(path), 6);
+        assert!(e.contains(path, &[0, 3]));
+        assert!(!e.contains(path, &[3, 0]));
+    }
+
+    #[test]
+    fn cyclic_graph_terminates() {
+        let mut e = Engine::parse(
+            "path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+             edge(0, 1). edge(1, 0).",
+        )
+        .unwrap();
+        let stats = e.run();
+        let path = e.relation("path").unwrap();
+        assert_eq!(e.len(path), 4);
+        assert!(stats.rounds < 10);
+    }
+
+    #[test]
+    fn constants_restrict_joins() {
+        let mut e = Engine::parse(
+            "odd_succ(Y) :- succ(1, Y).\n\
+             succ(0, 1). succ(1, 2). succ(2, 3).",
+        )
+        .unwrap();
+        e.run();
+        let r = e.relation("odd_succ").unwrap();
+        assert_eq!(e.tuples(r).collect::<Vec<_>>(), vec![&[2][..]]);
+    }
+
+    #[test]
+    fn wildcards_project() {
+        let mut e = Engine::parse(
+            "has_edge(X) :- edge(X, _).\n\
+             edge(5, 6). edge(5, 7). edge(8, 9).",
+        )
+        .unwrap();
+        e.run();
+        let r = e.relation("has_edge").unwrap();
+        assert_eq!(e.len(r), 2);
+    }
+
+    #[test]
+    fn repeated_variables_filter() {
+        let mut e = Engine::parse(
+            "selfloop(X) :- edge(X, X).\n\
+             edge(1, 1). edge(1, 2). edge(3, 3).",
+        )
+        .unwrap();
+        e.run();
+        let r = e.relation("selfloop").unwrap();
+        assert_eq!(e.len(r), 2);
+        assert!(e.contains(r, &[1]));
+        assert!(e.contains(r, &[3]));
+    }
+
+    #[test]
+    fn unbound_head_var_rejected() {
+        let err = Engine::parse("p(X, Y) :- q(X).\n").unwrap_err();
+        assert!(matches!(err, DatalogError::UnboundHeadVariable { .. }));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = Engine::parse("p(1, 2).\np(3).").unwrap_err();
+        assert!(matches!(err, DatalogError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn add_fact_dedups() {
+        let mut e = Engine::new();
+        assert!(e.add_fact("r", &[1, 2]).unwrap());
+        assert!(!e.add_fact("r", &[1, 2]).unwrap());
+        assert!(e.add_fact("r", &[1, 3]).unwrap());
+        assert_eq!(e.len(e.relation("r").unwrap()), 2);
+    }
+
+    #[test]
+    fn three_way_join_uses_indices() {
+        // Same-generation: sg(X,Y) :- flat(X,Y). sg(X,Y) :- up(X,A), sg(A,B), down(B,Y).
+        let mut e = Engine::parse(
+            "sg(X, Y) :- flat(X, Y).\n\
+             sg(X, Y) :- up(X, A), sg(A, B), down(B, Y).\n\
+             up(1, 3). up(2, 4). flat(3, 4). down(4, 2). down(3, 1).",
+        )
+        .unwrap();
+        e.run();
+        let sg = e.relation("sg").unwrap();
+        assert!(e.contains(sg, &[3, 4]));
+        assert!(e.contains(sg, &[1, 2]));
+    }
+
+    #[test]
+    fn zero_arity_relations_work() {
+        let mut e = Engine::parse(
+            "go() :- trigger(X).
+             fired(X) :- go(), candidate(X).
+             candidate(1). candidate(2).",
+        )
+        .unwrap();
+        e.run();
+        assert_eq!(e.len(e.relation("fired").unwrap()), 0, "no trigger yet");
+        e.add_fact("trigger", &[9]).unwrap();
+        e.run();
+        assert_eq!(e.len(e.relation("fired").unwrap()), 2);
+    }
+
+    #[test]
+    fn facts_added_between_runs_are_incorporated() {
+        let mut e = Engine::parse("p(X) :- q(X).").unwrap();
+        e.add_fact("q", &[1]).unwrap();
+        e.run();
+        assert_eq!(e.len(e.relation("p").unwrap()), 1);
+        e.add_fact("q", &[2]).unwrap();
+        e.run();
+        assert_eq!(e.len(e.relation("p").unwrap()), 2);
+    }
+
+    #[test]
+    fn head_constants_are_emitted() {
+        let mut e = Engine::parse("mark(7, X) :- q(X).
+q(1).").unwrap();
+        e.run();
+        let r = e.relation("mark").unwrap();
+        assert!(e.contains(r, &[7, 1]));
+    }
+
+    #[test]
+    fn duplicate_rules_are_harmless() {
+        let mut e = Engine::parse("p(X) :- q(X).
+p(X) :- q(X).
+q(3).").unwrap();
+        e.run();
+        assert_eq!(e.len(e.relation("p").unwrap()), 1);
+    }
+
+    #[test]
+    fn stats_are_populated() {
+        let mut e = Engine::parse("p(X) :- q(X).\nq(1). q(2).").unwrap();
+        let stats = e.run();
+        assert!(stats.rounds >= 2);
+        assert_eq!(stats.tuples, 4);
+        assert!(stats.derivations >= 2);
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for rule construction, parsing, and validation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while parsing or validating a Datalog program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DatalogError {
+    /// A relation was used with two different arities.
+    ArityMismatch {
+        /// Relation name.
+        relation: String,
+        /// Arity implied by the first use.
+        expected: usize,
+        /// Arity of the conflicting use.
+        found: usize,
+    },
+    /// A head variable does not occur in any body atom (violates range
+    /// restriction, so the rule would derive infinitely many facts).
+    UnboundHeadVariable {
+        /// The offending variable name.
+        variable: String,
+        /// The rule, pretty-printed.
+        rule: String,
+    },
+    /// A wildcard appeared in a rule head.
+    WildcardInHead {
+        /// The rule, pretty-printed.
+        rule: String,
+    },
+    /// The source text could not be parsed.
+    Parse {
+        /// Byte offset of the error.
+        offset: usize,
+        /// Description of the problem.
+        message: String,
+    },
+    /// A query referenced an unknown relation.
+    UnknownRelation(String),
+}
+
+impl fmt::Display for DatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatalogError::ArityMismatch { relation, expected, found } => write!(
+                f,
+                "relation `{relation}` used with arity {found} but declared with arity {expected}"
+            ),
+            DatalogError::UnboundHeadVariable { variable, rule } => {
+                write!(f, "head variable `{variable}` is not bound by the body in `{rule}`")
+            }
+            DatalogError::WildcardInHead { rule } => {
+                write!(f, "wildcard `_` is not allowed in a rule head: `{rule}`")
+            }
+            DatalogError::Parse { offset, message } => {
+                write!(f, "parse error at byte {offset}: {message}")
+            }
+            DatalogError::UnknownRelation(name) => write!(f, "unknown relation `{name}`"),
+        }
+    }
+}
+
+impl Error for DatalogError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_informative() {
+        let e = DatalogError::ArityMismatch {
+            relation: "edge".into(),
+            expected: 2,
+            found: 3,
+        };
+        assert!(e.to_string().contains("edge"));
+        assert!(e.to_string().contains('3'));
+    }
+}

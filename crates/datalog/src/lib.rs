@@ -1,0 +1,49 @@
+//! A small bottom-up Datalog engine.
+//!
+//! The paper evaluates its parameterized pointer-analysis rules by
+//! instantiating them into *plain Datalog* and running them on a
+//! Datalog-to-native-code compiler (§7–§8). This crate is the generic half
+//! of our reproduction of that pipeline: positive Datalog over `u32`
+//! constants, evaluated bottom-up with semi-naive iteration and
+//! per-rule-chosen hash indices. The `ctxform` crate uses it for the
+//! context-insensitive baseline analysis and as a cross-check oracle for
+//! its hand-specialized solver (the analogue of the paper's compiled
+//! back-end).
+//!
+//! ```
+//! use ctxform_datalog::Engine;
+//!
+//! let mut engine = Engine::parse(
+//!     "reach(Y) :- edge(X, Y), reach(X).\n\
+//!      reach(0).\n\
+//!      edge(0, 1). edge(1, 2). edge(2, 1). edge(3, 4).",
+//! )?;
+//! engine.run();
+//! let reach = engine.relation("reach").unwrap();
+//! assert_eq!(engine.tuples(reach).count(), 3); // {0, 1, 2}
+//! # Ok::<(), ctxform_datalog::DatalogError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod engine;
+mod error;
+mod magic;
+mod parser;
+mod rule;
+
+pub use engine::{Engine, EvalStats, RelId};
+pub use error::DatalogError;
+pub use magic::magic_transform;
+pub use rule::{Atom, Rule, Term};
+
+/// Parses a textual program into rules without building an engine (useful
+/// as input to [`magic_transform`]).
+///
+/// # Errors
+///
+/// [`DatalogError::Parse`] on malformed input.
+pub fn parse_rules(source: &str) -> Result<Vec<Rule>, DatalogError> {
+    parser::parse_program(source)
+}

@@ -1,0 +1,349 @@
+//! The magic-sets transformation: demand-driven evaluation of bottom-up
+//! Datalog.
+//!
+//! The paper's future-work section (§10) observes that its exhaustive
+//! Datalog pointer analysis "can be converted to a demand-driven program
+//! through the magic sets transformation" (Bancilhon et al., PODS 1986).
+//! This module implements that transformation for the positive programs
+//! this engine evaluates: given a query atom with some arguments bound to
+//! constants, it produces a rewritten program whose bottom-up evaluation
+//! derives only tuples relevant to the query, plus *magic* predicates that
+//! propagate the demanded bindings.
+//!
+//! The binding-passing strategy (SIPS) greedily reorders each rule body
+//! so that the next atom evaluated is the one with the most already-bound
+//! arguments (EDB atoms preferred on ties): bindings flow into every atom
+//! that can receive them, which keeps the demanded sets goal-directed.
+//! (A naive left-to-right SIPS makes rules like Fig. 3's Param — where
+//! the head variable only occurs in the *last* body atom — demand the
+//! whole program.)
+//!
+//! ```
+//! use ctxform_datalog::{magic_transform, Atom, Engine, Term};
+//!
+//! let rules = ctxform_datalog::parse_rules(
+//!     "path(X, Y) :- edge(X, Y).\n\
+//!      path(X, Z) :- edge(X, Y), path(Y, Z).",
+//! )?;
+//! // Demand only the paths starting at node 0.
+//! let query = Atom::new("path", vec![Term::Const(0), Term::Var("Y".into())]);
+//! let transformed = magic_transform(&rules, &query)?;
+//! let mut engine = Engine::new();
+//! for rule in transformed {
+//!     engine.add_rule(rule)?;
+//! }
+//! for (a, b) in [(0, 1), (1, 2), (5, 6), (6, 7), (7, 5)] {
+//!     engine.add_fact("edge", &[a, b])?;
+//! }
+//! engine.run();
+//! let answers = engine.relation("path__bf").unwrap();
+//! // Only the demanded region {0, 1, 2} is explored (paths 0→1, 0→2,
+//! // 1→2); the 5-6-7 cycle is never touched.
+//! assert_eq!(engine.len(answers), 3);
+//! # Ok::<(), ctxform_datalog::DatalogError>(())
+//! ```
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use crate::error::DatalogError;
+use crate::rule::{Atom, Rule, Term};
+
+/// An adornment: one flag per argument position, `true` = bound.
+type Adornment = Vec<bool>;
+
+fn adornment_suffix(a: &Adornment) -> String {
+    a.iter().map(|&b| if b { 'b' } else { 'f' }).collect()
+}
+
+fn adorned_name(pred: &str, a: &Adornment) -> String {
+    format!("{pred}__{}", adornment_suffix(a))
+}
+
+fn magic_name(pred: &str, a: &Adornment) -> String {
+    format!("magic_{pred}__{}", adornment_suffix(a))
+}
+
+/// Applies the magic-sets transformation for `query` to `rules`.
+///
+/// Predicates with rules defining them are treated as derived (IDB) and
+/// adorned; everything else is an input (EDB) relation and left
+/// untouched. The answers to the query appear in the relation
+/// `<pred>__<adornment>` (e.g. `path__bf`); the returned program includes
+/// the magic seed fact derived from the query's constants.
+///
+/// # Errors
+///
+/// Returns an error if the query has no bound argument (the transformation
+/// would degenerate to the exhaustive program) or refers to an EDB-only
+/// predicate.
+pub fn magic_transform(rules: &[Rule], query: &Atom) -> Result<Vec<Rule>, DatalogError> {
+    let idb: HashSet<&str> = rules.iter().map(|r| r.head.relation.as_str()).collect();
+    if !idb.contains(query.relation.as_str()) {
+        return Err(DatalogError::UnknownRelation(format!(
+            "{} (not a derived predicate)",
+            query.relation
+        )));
+    }
+    let query_adornment: Adornment =
+        query.terms.iter().map(|t| matches!(t, Term::Const(_))).collect();
+    if !query_adornment.iter().any(|&b| b) {
+        return Err(DatalogError::Parse {
+            offset: 0,
+            message: "magic-sets query must bind at least one argument".into(),
+        });
+    }
+
+    let rules_for: HashMap<&str, Vec<&Rule>> = {
+        let mut m: HashMap<&str, Vec<&Rule>> = HashMap::new();
+        for r in rules {
+            m.entry(r.head.relation.as_str()).or_default().push(r);
+        }
+        m
+    };
+
+    let mut out = Vec::new();
+    let mut done: HashSet<(String, String)> = HashSet::new();
+    let mut work: VecDeque<(String, Adornment)> = VecDeque::new();
+    work.push_back((query.relation.clone(), query_adornment.clone()));
+
+    while let Some((pred, adornment)) = work.pop_front() {
+        if !done.insert((pred.clone(), adornment_suffix(&adornment))) {
+            continue;
+        }
+        for rule in rules_for.get(pred.as_str()).into_iter().flatten() {
+            out.extend(adorn_rule(rule, &adornment, &idb, &mut work));
+        }
+    }
+
+    // Seed: the magic fact carrying the query's constants.
+    let seed_terms: Vec<Term> = query
+        .terms
+        .iter()
+        .filter(|t| matches!(t, Term::Const(_)))
+        .cloned()
+        .collect();
+    out.push(Rule::fact(Atom::new(magic_name(&query.relation, &query_adornment), seed_terms)));
+    Ok(out)
+}
+
+/// Adorns one rule for a head adornment, emitting the modified rule and
+/// the magic rules for its derived body atoms, and queueing newly needed
+/// (predicate, adornment) pairs.
+fn adorn_rule(
+    rule: &Rule,
+    head_adornment: &Adornment,
+    idb: &HashSet<&str>,
+    work: &mut VecDeque<(String, Adornment)>,
+) -> Vec<Rule> {
+    let mut out = Vec::new();
+    // Variables bound on entry: head variables in bound positions.
+    let mut bound: HashSet<&str> = HashSet::new();
+    for (term, &is_bound) in rule.head.terms.iter().zip(head_adornment) {
+        if is_bound {
+            if let Term::Var(v) = term {
+                bound.insert(v);
+            }
+        }
+    }
+    // The magic guard atom: magic_p(bound head args).
+    let magic_guard = Atom::new(
+        magic_name(&rule.head.relation, head_adornment),
+        rule.head
+            .terms
+            .iter()
+            .zip(head_adornment)
+            .filter(|&(_, &b)| b)
+            .map(|(t, _)| t.clone())
+            .collect(),
+    );
+
+    // Greedy SIPS: repeatedly pick the not-yet-placed atom with the most
+    // bound arguments (EDB wins ties — cheap filters first), so bindings
+    // propagate as far as possible.
+    let mut remaining: Vec<&Atom> = rule.body.iter().collect();
+    let mut ordered: Vec<&Atom> = Vec::new();
+    let mut sips_bound: HashSet<&str> = bound.iter().copied().collect();
+    while !remaining.is_empty() {
+        let best = remaining
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, atom)| {
+                let bound_args = atom
+                    .terms
+                    .iter()
+                    .filter(|t| match t {
+                        Term::Const(_) => true,
+                        Term::Var(v) => sips_bound.contains(v.as_str()),
+                        Term::Wildcard => false,
+                    })
+                    .count();
+                let is_edb = !idb.contains(atom.relation.as_str());
+                // Higher is better; negative index keeps the order stable.
+                (bound_args, is_edb, std::cmp::Reverse(*i))
+            })
+            .map(|(i, _)| i)
+            .expect("non-empty");
+        let atom = remaining.remove(best);
+        for t in &atom.terms {
+            if let Term::Var(v) = t {
+                sips_bound.insert(v);
+            }
+        }
+        ordered.push(atom);
+    }
+
+    let mut new_body: Vec<Atom> = vec![magic_guard.clone()];
+    for atom in ordered {
+        if idb.contains(atom.relation.as_str()) {
+            // Derived atom: compute its adornment from what is bound now,
+            // emit its magic rule, and queue it for adornment.
+            let adornment: Adornment = atom
+                .terms
+                .iter()
+                .map(|t| match t {
+                    Term::Const(_) => true,
+                    Term::Var(v) => bound.contains(v.as_str()),
+                    Term::Wildcard => false,
+                })
+                .collect();
+            let magic_head = Atom::new(
+                magic_name(&atom.relation, &adornment),
+                atom.terms
+                    .iter()
+                    .zip(&adornment)
+                    .filter(|&(_, &b)| b)
+                    .map(|(t, _)| t.clone())
+                    .collect(),
+            );
+            out.push(Rule::new(magic_head, new_body.clone()));
+            work.push_back((atom.relation.clone(), adornment.clone()));
+            new_body.push(Atom::new(adorned_name(&atom.relation, &adornment), atom.terms.clone()));
+        } else {
+            new_body.push(atom.clone());
+        }
+        for t in &atom.terms {
+            if let Term::Var(v) = t {
+                bound.insert(v);
+            }
+        }
+    }
+    let new_head = Atom::new(adorned_name(&rule.head.relation, head_adornment), rule.head.terms.clone());
+    out.push(Rule::new(new_head, new_body));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use crate::parser::parse_program;
+
+    fn run_transformed(program: &str, query: &Atom, facts: &[(&str, Vec<u32>)]) -> Engine {
+        let rules = parse_program(program).unwrap();
+        let transformed = magic_transform(&rules, query).unwrap();
+        let mut engine = Engine::new();
+        for rule in transformed {
+            engine.add_rule(rule).unwrap();
+        }
+        for (rel, tuple) in facts {
+            engine.add_fact(rel, tuple).unwrap();
+        }
+        engine.run();
+        engine
+    }
+
+    const TC: &str = "path(X, Y) :- edge(X, Y).\npath(X, Z) :- edge(X, Y), path(Y, Z).";
+
+    fn chain_facts(n: u32) -> Vec<(&'static str, Vec<u32>)> {
+        (0..n).map(|i| ("edge", vec![i, i + 1])).collect()
+    }
+
+    #[test]
+    fn bound_free_query_restricts_derivation() {
+        let query = Atom::new("path", vec![Term::Const(7), Term::Var("Y".into())]);
+        let mut facts = chain_facts(10);
+        facts.extend([("edge", vec![100, 101]), ("edge", vec![101, 102])]);
+        let engine = run_transformed(TC, &query, &facts);
+        let answers = engine.relation("path__bf").unwrap();
+        // The magic set demands 7 and, recursively, everything 7 reaches
+        // (8, 9): paths from {7, 8, 9} = 3 + 2 + 1.
+        assert_eq!(engine.len(answers), 6);
+        assert!(engine.contains(answers, &[7, 10]));
+        // The disconnected 100-chain was never explored.
+        assert!(engine.tuples(answers).all(|t| t[0] < 100 && t[1] < 100));
+    }
+
+    #[test]
+    fn answers_match_exhaustive_evaluation() {
+        let query = Atom::new("path", vec![Term::Const(2), Term::Var("Y".into())]);
+        let engine = run_transformed(TC, &query, &chain_facts(8));
+        let answers = engine.relation("path__bf").unwrap();
+        // The *query answers* are the tuples matching the query constant.
+        let demand: HashSet<Vec<u32>> =
+            engine.tuples(answers).filter(|t| t[0] == 2).map(|t| t.to_vec()).collect();
+
+        let mut full = Engine::parse(TC).unwrap();
+        for (rel, tuple) in chain_facts(8) {
+            full.add_fact(rel, &tuple).unwrap();
+        }
+        full.run();
+        let path = full.relation("path").unwrap();
+        let exhaustive: HashSet<Vec<u32>> = full
+            .tuples(path)
+            .filter(|t| t[0] == 2)
+            .map(|t| t.to_vec())
+            .collect();
+        assert_eq!(demand, exhaustive);
+        // And the demand-driven run derived fewer path tuples in total
+        // (nothing about 0 or 1 is computed).
+        assert!(engine.len(answers) < full.len(path));
+    }
+
+    #[test]
+    fn bound_bound_query_is_a_membership_test() {
+        let query = Atom::new("path", vec![Term::Const(0), Term::Const(3)]);
+        let engine = run_transformed(TC, &query, &chain_facts(5));
+        let answers = engine.relation("path__bb").unwrap();
+        assert!(engine.contains(answers, &[0, 3]));
+        // Every derived answer targets the demanded endpoint 3.
+        assert!(engine.tuples(answers).all(|t| t[1] == 3));
+    }
+
+    #[test]
+    fn same_generation_uses_multiple_adornments() {
+        // sg demands both bf (from the query) and recursive patterns.
+        let program = "sg(X, Y) :- flat(X, Y).\n\
+                       sg(X, Y) :- up(X, A), sg(A, B), down(B, Y).";
+        let query = Atom::new("sg", vec![Term::Const(1), Term::Var("Y".into())]);
+        let engine = run_transformed(
+            program,
+            &query,
+            &[
+                ("up", vec![1, 3]),
+                ("up", vec![2, 4]),
+                ("flat", vec![3, 4]),
+                ("down", vec![4, 2]),
+                ("down", vec![3, 1]),
+            ],
+        );
+        let answers = engine.relation("sg__bf").unwrap();
+        assert!(engine.contains(answers, &[1, 2]));
+    }
+
+    #[test]
+    fn unbound_queries_are_rejected() {
+        let rules = parse_program(TC).unwrap();
+        let query = Atom::new("path", vec![Term::Var("X".into()), Term::Var("Y".into())]);
+        assert!(magic_transform(&rules, &query).is_err());
+    }
+
+    #[test]
+    fn edb_queries_are_rejected() {
+        let rules = parse_program(TC).unwrap();
+        let query = Atom::new("edge", vec![Term::Const(0), Term::Var("Y".into())]);
+        assert!(matches!(
+            magic_transform(&rules, &query),
+            Err(DatalogError::UnknownRelation(_))
+        ));
+    }
+}

@@ -1,0 +1,213 @@
+//! Textual Datalog syntax.
+//!
+//! ```text
+//! % comments run to end of line
+//! path(X, Y) :- edge(X, Y).
+//! path(X, Z) :- path(X, Y), edge(Y, Z).
+//! edge(0, 1).
+//! ```
+//!
+//! Identifiers starting with an uppercase letter are variables; `_` is a
+//! wildcard; non-negative integers are constants; everything else starting
+//! with a lowercase letter is a relation name.
+
+use crate::error::DatalogError;
+use crate::rule::{Atom, Rule, Term};
+
+struct Cursor<'a> {
+    src: &'a str,
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Cursor { src, pos: 0 }
+    }
+
+    fn err(&self, message: impl Into<String>) -> DatalogError {
+        DatalogError::Parse { offset: self.pos, message: message.into() }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.src[self.pos..]
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            let rest = self.rest();
+            let trimmed = rest.trim_start();
+            self.pos += rest.len() - trimmed.len();
+            if let Some(after) = self.rest().strip_prefix('%') {
+                let line_len = after.find('\n').map(|i| i + 1).unwrap_or(after.len());
+                self.pos += 1 + line_len;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn eat(&mut self, token: &str) -> bool {
+        if self.rest().starts_with(token) {
+            self.pos += token.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), DatalogError> {
+        if self.eat(token) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{token}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Option<&'a str> {
+        let rest = self.rest();
+        let end = rest
+            .char_indices()
+            .take_while(|&(i, c)| {
+                if i == 0 {
+                    c.is_ascii_alphabetic() || c == '_'
+                } else {
+                    c.is_ascii_alphanumeric() || c == '_'
+                }
+            })
+            .map(|(i, c)| i + c.len_utf8())
+            .last()?;
+        self.pos += end;
+        Some(&rest[..end])
+    }
+
+    fn number(&mut self) -> Option<u32> {
+        let rest = self.rest();
+        let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+        if digits.is_empty() {
+            return None;
+        }
+        self.pos += digits.len();
+        digits.parse().ok()
+    }
+
+    fn term(&mut self) -> Result<Term, DatalogError> {
+        self.skip_trivia();
+        if let Some(n) = self.number() {
+            return Ok(Term::Const(n));
+        }
+        let Some(name) = self.ident() else {
+            return Err(self.err("expected a term"));
+        };
+        if name == "_" {
+            Ok(Term::Wildcard)
+        } else if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+            Ok(Term::Var(name.to_owned()))
+        } else {
+            // Lowercase identifiers in term position would be atoms of an
+            // uninterpreted constant domain; our domain is u32 only.
+            Err(self.err(format!(
+                "`{name}`: constants are integers and variables start uppercase"
+            )))
+        }
+    }
+
+    fn atom(&mut self) -> Result<Atom, DatalogError> {
+        self.skip_trivia();
+        let Some(name) = self.ident() else {
+            return Err(self.err("expected a relation name"));
+        };
+        self.skip_trivia();
+        self.expect("(")?;
+        let mut terms = Vec::new();
+        self.skip_trivia();
+        if !self.eat(")") {
+            loop {
+                terms.push(self.term()?);
+                self.skip_trivia();
+                if self.eat(")") {
+                    break;
+                }
+                self.expect(",")?;
+            }
+        }
+        Ok(Atom::new(name, terms))
+    }
+
+    fn rule(&mut self) -> Result<Rule, DatalogError> {
+        let head = self.atom()?;
+        self.skip_trivia();
+        let mut body = Vec::new();
+        if self.eat(":-") {
+            loop {
+                body.push(self.atom()?);
+                self.skip_trivia();
+                if !self.eat(",") {
+                    break;
+                }
+            }
+        }
+        self.expect(".")?;
+        Ok(Rule::new(head, body))
+    }
+}
+
+/// Parses a whole program.
+///
+/// # Errors
+///
+/// [`DatalogError::Parse`] with the byte offset of the first problem.
+pub fn parse_program(source: &str) -> Result<Vec<Rule>, DatalogError> {
+    let mut cursor = Cursor::new(source);
+    let mut rules = Vec::new();
+    loop {
+        cursor.skip_trivia();
+        if cursor.rest().is_empty() {
+            return Ok(rules);
+        }
+        rules.push(cursor.rule()?);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_rules_and_facts() {
+        let rules = parse_program(
+            "% a comment\n\
+             path(X, Y) :- edge(X, Y).\n\
+             path(X, Z) :- path(X, Y), edge(Y, Z).\n\
+             edge(0, 1). edge(1, 2).\n",
+        )
+        .unwrap();
+        assert_eq!(rules.len(), 4);
+        assert_eq!(rules[0].to_string(), "path(X, Y) :- edge(X, Y).");
+        assert!(rules[2].is_fact());
+    }
+
+    #[test]
+    fn parses_wildcards_and_zero_arity() {
+        let rules = parse_program("go() :- r(_, X), s(X).").unwrap();
+        assert_eq!(rules[0].head.terms.len(), 0);
+        assert_eq!(rules[0].body[0].terms[0], Term::Wildcard);
+    }
+
+    #[test]
+    fn reports_offsets() {
+        let err = parse_program("p(X) :- q(X)").unwrap_err();
+        let DatalogError::Parse { offset, .. } = err else { panic!("wrong error") };
+        assert_eq!(offset, 12);
+    }
+
+    #[test]
+    fn rejects_lowercase_terms() {
+        assert!(parse_program("p(foo).").is_err());
+    }
+
+    #[test]
+    fn comments_inside_rules() {
+        let rules = parse_program("p(X) :- % inline\n q(X).").unwrap();
+        assert_eq!(rules.len(), 1);
+    }
+}

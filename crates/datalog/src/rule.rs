@@ -1,0 +1,121 @@
+//! Rule AST: terms, atoms, rules.
+
+use std::fmt;
+
+/// A term of an atom: a named variable, a constant, or a wildcard.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Term {
+    /// A named logic variable (scoped to one rule).
+    Var(String),
+    /// A `u32` constant (entity ids in the pointer-analysis encoding).
+    Const(u32),
+    /// An anonymous variable (`_`), allowed only in rule bodies.
+    Wildcard,
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Var(name) => f.write_str(name),
+            Term::Const(c) => write!(f, "{c}"),
+            Term::Wildcard => f.write_str("_"),
+        }
+    }
+}
+
+/// One atom `relation(term, …)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Atom {
+    /// Relation name.
+    pub relation: String,
+    /// Argument terms.
+    pub terms: Vec<Term>,
+}
+
+impl Atom {
+    /// Convenience constructor.
+    pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
+        Atom { relation: relation.into(), terms }
+    }
+}
+
+impl fmt::Display for Atom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.relation)?;
+        for (i, t) in self.terms.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            write!(f, "{t}")?;
+        }
+        f.write_str(")")
+    }
+}
+
+/// One rule `head :- body.` (a fact when the body is empty).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rule {
+    /// The derived atom.
+    pub head: Atom,
+    /// The premises (all positive).
+    pub body: Vec<Atom>,
+}
+
+impl Rule {
+    /// Creates a rule.
+    pub fn new(head: Atom, body: Vec<Atom>) -> Self {
+        Rule { head, body }
+    }
+
+    /// Creates a ground fact.
+    pub fn fact(head: Atom) -> Self {
+        Rule { head, body: Vec::new() }
+    }
+
+    /// `true` if the rule has an empty body.
+    pub fn is_fact(&self) -> bool {
+        self.body.is_empty()
+    }
+}
+
+impl fmt::Display for Rule {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.head)?;
+        if !self.body.is_empty() {
+            f.write_str(" :- ")?;
+            for (i, a) in self.body.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(", ")?;
+                }
+                write!(f, "{a}")?;
+            }
+        }
+        f.write_str(".")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_round_trips_syntax() {
+        let r = Rule::new(
+            Atom::new("pts", vec![Term::Var("Y".into()), Term::Var("H".into())]),
+            vec![
+                Atom::new("assign", vec![Term::Var("Z".into()), Term::Var("Y".into())]),
+                Atom::new("pts", vec![Term::Var("Z".into()), Term::Var("H".into())]),
+            ],
+        );
+        assert_eq!(r.to_string(), "pts(Y, H) :- assign(Z, Y), pts(Z, H).");
+        let f = Rule::fact(Atom::new("edge", vec![Term::Const(1), Term::Const(2)]));
+        assert_eq!(f.to_string(), "edge(1, 2).");
+        assert!(f.is_fact());
+    }
+
+    #[test]
+    fn wildcard_displays_as_underscore() {
+        let a = Atom::new("reach", vec![Term::Wildcard]);
+        assert_eq!(a.to_string(), "reach(_)");
+    }
+}

@@ -1,0 +1,121 @@
+//! Error type for program construction and validation.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ids::EntityKind;
+
+/// Errors produced while building, validating, or parsing a [`crate::Program`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// An id referenced an entity that does not exist.
+    UnknownEntity {
+        /// Kind of the dangling reference.
+        kind: EntityKind,
+        /// Raw index that was out of range.
+        index: u32,
+        /// Relation or table in which the dangling id appeared.
+        context: String,
+    },
+    /// A heap allocation site has zero or more than one declared type.
+    AmbiguousHeapType {
+        /// Offending allocation-site index.
+        heap: u32,
+        /// Number of `heap_type` tuples found for it.
+        count: usize,
+    },
+    /// Two `implements` tuples dispatch the same (type, signature) pair to
+    /// different methods.
+    AmbiguousDispatch {
+        /// Receiver type index.
+        ty: u32,
+        /// Method-signature index.
+        msig: u32,
+    },
+    /// A method has two formals (or two `this` variables) in one slot.
+    DuplicateBinding {
+        /// Method index.
+        method: u32,
+        /// Human-readable description of the duplicated slot.
+        slot: String,
+    },
+    /// A variable-to-method ownership constraint was violated
+    /// (e.g. a formal of `P` that is not a variable of `P`).
+    ForeignVariable {
+        /// Variable index.
+        var: u32,
+        /// Method the relation claims the variable belongs to.
+        claimed: u32,
+        /// Method the variable actually belongs to.
+        actual: u32,
+        /// Relation in which the mismatch appeared.
+        context: String,
+    },
+    /// The program declares no entry point.
+    NoEntryPoint,
+    /// The class hierarchy contains a cycle through `extends`.
+    CyclicHierarchy {
+        /// A type on the cycle.
+        ty: u32,
+    },
+    /// A fact-file line could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::UnknownEntity { kind, index, context } => {
+                write!(f, "unknown {kind} id {index} referenced in {context}")
+            }
+            IrError::AmbiguousHeapType { heap, count } => {
+                write!(f, "allocation site h{heap} has {count} declared types (expected 1)")
+            }
+            IrError::AmbiguousDispatch { ty, msig } => {
+                write!(f, "type t{ty} dispatches signature s{msig} to more than one method")
+            }
+            IrError::DuplicateBinding { method, slot } => {
+                write!(f, "method m{method} has duplicate binding for {slot}")
+            }
+            IrError::ForeignVariable { var, claimed, actual, context } => write!(
+                f,
+                "variable v{var} used in {context} of method m{claimed} but belongs to m{actual}"
+            ),
+            IrError::NoEntryPoint => write!(f, "program declares no entry point"),
+            IrError::CyclicHierarchy { ty } => {
+                write!(f, "class hierarchy has a cycle through t{ty}")
+            }
+            IrError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = IrError::UnknownEntity {
+            kind: EntityKind::Var,
+            index: 9,
+            context: "assign".to_owned(),
+        };
+        assert_eq!(e.to_string(), "unknown var id 9 referenced in assign");
+        let e = IrError::NoEntryPoint;
+        assert_eq!(e.to_string(), "program declares no entry point");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn takes_error<E: Error + Send + Sync + 'static>(_e: E) {}
+        takes_error(IrError::NoEntryPoint);
+    }
+}

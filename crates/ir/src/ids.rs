@@ -1,0 +1,171 @@
+//! Densely-numbered entity identifiers.
+//!
+//! Every entity of an analyzed program is a `u32` index into a per-kind
+//! table owned by [`crate::Program`]. Dense ids keep relation tuples small
+//! (the paper's Datalog engine does the same) and make `Vec`-backed lookup
+//! tables possible.
+
+use std::fmt;
+
+/// The kind of a program entity, used in diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum EntityKind {
+    /// A local variable (including `this` variables and compiler temps).
+    Var,
+    /// A heap allocation site.
+    Heap,
+    /// An invocation site (static or virtual).
+    Inv,
+    /// A method definition.
+    Method,
+    /// A field signature.
+    Field,
+    /// A class type.
+    Type,
+    /// A method signature (name + arity), the dispatch key.
+    MSig,
+}
+
+impl fmt::Display for EntityKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            EntityKind::Var => "var",
+            EntityKind::Heap => "heap",
+            EntityKind::Inv => "inv",
+            EntityKind::Method => "method",
+            EntityKind::Field => "field",
+            EntityKind::Type => "type",
+            EntityKind::MSig => "msig",
+        };
+        f.write_str(s)
+    }
+}
+
+macro_rules! entity_id {
+    ($(#[$doc:meta])* $name:ident, $kind:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// The entity kind tag for this id type.
+            pub const KIND: EntityKind = EntityKind::$kind;
+
+            /// Returns the raw dense index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a dense index.
+            ///
+            /// # Panics
+            ///
+            /// Panics if `index` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(index: usize) -> Self {
+                $name(u32::try_from(index).expect("entity index overflows u32"))
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<$name> for u32 {
+            #[inline]
+            fn from(id: $name) -> u32 {
+                id.0
+            }
+        }
+
+        impl From<u32> for $name {
+            #[inline]
+            fn from(raw: u32) -> $name {
+                $name(raw)
+            }
+        }
+    };
+}
+
+entity_id!(
+    /// A local variable.
+    ///
+    /// Variables include source locals, `this` variables, and temporaries
+    /// introduced by frontend lowering. Each belongs to exactly one method.
+    Var, Var, "v"
+);
+entity_id!(
+    /// A heap allocation site (`new T()` occurrence).
+    ///
+    /// The analysis abstracts run-time objects by their allocation site,
+    /// optionally qualified by a heap context.
+    Heap, Heap, "h"
+);
+entity_id!(
+    /// An invocation site (one occurrence of a static or virtual call).
+    ///
+    /// Under call-site sensitivity, invocation sites are the elemental
+    /// contexts.
+    Inv, Inv, "i"
+);
+entity_id!(
+    /// A method definition.
+    Method, Method, "m"
+);
+entity_id!(
+    /// A field signature (declaring class + field name).
+    Field, Field, "f"
+);
+entity_id!(
+    /// A class type.
+    ///
+    /// Under type sensitivity, class types are the elemental contexts.
+    Type, Type, "t"
+);
+entity_id!(
+    /// A method signature: dispatch key of a virtual invocation
+    /// (method name + arity in MiniJava).
+    MSig, MSig, "s"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_round_trip_raw_values() {
+        let v = Var::from_index(7);
+        assert_eq!(v.index(), 7);
+        assert_eq!(u32::from(v), 7);
+        assert_eq!(Var::from(7u32), v);
+    }
+
+    #[test]
+    fn ids_format_with_kind_prefix() {
+        assert_eq!(format!("{:?}", Heap(3)), "h3");
+        assert_eq!(format!("{}", Method(12)), "m12");
+        assert_eq!(format!("{}", MSig(0)), "s0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(Var(1) < Var(2));
+        assert!(Inv(0) < Inv(10));
+    }
+
+    #[test]
+    fn entity_kind_displays_lowercase() {
+        assert_eq!(EntityKind::Var.to_string(), "var");
+        assert_eq!(EntityKind::MSig.to_string(), "msig");
+        assert_eq!(Var::KIND, EntityKind::Var);
+    }
+}

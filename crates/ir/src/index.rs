@@ -1,0 +1,181 @@
+//! Precomputed join indices over the input relations.
+//!
+//! The solver's rules join derived facts against the static relations of
+//! Figure 3; [`ProgramIndex`] materializes every such access path once so
+//! the inner loops are `Vec` lookups.
+
+use std::collections::HashMap;
+
+use crate::ids::{Field, Heap, Inv, MSig, Method, Type, Var};
+use crate::program::Program;
+
+/// All static access paths used by the analysis rules.
+///
+/// Each table is keyed by the entity the corresponding rule is driven by
+/// (e.g. a new `pts(Z, …)` fact drives `assign`, `load`, `store`, `actual`,
+/// `return`, and `virtual_invoke` lookups keyed by `Z`).
+#[derive(Debug, Clone, Default)]
+pub struct ProgramIndex {
+    /// `assign(Z, Y)` keyed by `Z`: all targets `Y`.
+    pub assign_from: HashMap<Var, Vec<Var>>,
+    /// `load(Y, F, Z)` keyed by base `Y`: all `(F, Z)`.
+    pub loads_by_base: HashMap<Var, Vec<(Field, Var)>>,
+    /// `store(X, F, Z)` keyed by value `X`: all `(F, Z)` (base `Z`).
+    pub stores_by_value: HashMap<Var, Vec<(Field, Var)>>,
+    /// `store(X, F, Z)` keyed by base `Z`: all `(F, X)` (value `X`).
+    pub stores_by_base: HashMap<Var, Vec<(Field, Var)>>,
+    /// `actual(Z, I, O)` keyed by `Z`: all `(I, O)`.
+    pub actuals_by_var: HashMap<Var, Vec<(Inv, u32)>>,
+    /// `actual(Z, I, O)` keyed by `I`: all `(O, Z)`.
+    pub actuals_by_inv: HashMap<Inv, Vec<(u32, Var)>>,
+    /// `formal(Y, P, O)` keyed by `(P, O)`.
+    pub formal_of: HashMap<(Method, u32), Var>,
+    /// `return(Z, P)` keyed by `Z`: methods returning `Z`.
+    pub returns_by_var: HashMap<Var, Vec<Method>>,
+    /// `return(Z, P)` keyed by `P`: return variables of `P`.
+    pub returns_by_method: HashMap<Method, Vec<Var>>,
+    /// `assign_return(I, Y)` keyed by `I`.
+    pub assign_return_by_inv: HashMap<Inv, Vec<Var>>,
+    /// `virtual_invoke(I, Z, S)` keyed by receiver `Z`: all `(I, S)`.
+    pub virtuals_by_recv: HashMap<Var, Vec<(Inv, MSig)>>,
+    /// `static_invoke(I, Q, P)` keyed by containing method `P`:
+    /// all `(I, Q)`.
+    pub statics_by_method: HashMap<Method, Vec<(Inv, Method)>>,
+    /// `assign_new(H, Y, P)` keyed by `P`: all `(H, Y)`.
+    pub allocs_by_method: HashMap<Method, Vec<(Heap, Var)>>,
+    /// `static_store(X, F)` keyed by value `X`.
+    pub static_stores_by_var: HashMap<Var, Vec<Field>>,
+    /// `static_load(F, Z)` keyed by `F`.
+    pub static_loads_by_field: HashMap<Field, Vec<Var>>,
+    /// `static_load(F, Z)` keyed by the method containing `Z`.
+    pub static_loads_by_method: HashMap<Method, Vec<(Field, Var)>>,
+    /// `this_var(Y, Q)` keyed by `Q`.
+    pub this_of_method: HashMap<Method, Var>,
+    /// `heap_type(H, T)` as a dense vector keyed by `H`.
+    pub type_of_heap: Vec<Type>,
+    /// `implements(Q, T, S)` keyed by `(T, S)`: dispatch table.
+    pub dispatch: HashMap<(Type, MSig), Method>,
+    /// `classOf(H)` as a dense vector keyed by `H` (type sensitivity).
+    pub class_of_heap: Vec<Type>,
+}
+
+impl ProgramIndex {
+    /// Builds every index for `program`.
+    ///
+    /// The program should already be [validated](Program::validate);
+    /// otherwise dangling ids panic here.
+    pub fn new(program: &Program) -> Self {
+        let f = &program.facts;
+        let mut ix = ProgramIndex {
+            type_of_heap: vec![Type(0); program.heap_count()],
+            class_of_heap: vec![Type(0); program.heap_count()],
+            ..ProgramIndex::default()
+        };
+        for &(z, y) in &f.assign {
+            ix.assign_from.entry(z).or_default().push(y);
+        }
+        for &(y, fld, z) in &f.load {
+            ix.loads_by_base.entry(y).or_default().push((fld, z));
+        }
+        for &(x, fld, z) in &f.store {
+            ix.stores_by_value.entry(x).or_default().push((fld, z));
+            ix.stores_by_base.entry(z).or_default().push((fld, x));
+        }
+        for &(z, i, o) in &f.actual {
+            ix.actuals_by_var.entry(z).or_default().push((i, o));
+            ix.actuals_by_inv.entry(i).or_default().push((o, z));
+        }
+        for &(y, p, o) in &f.formal {
+            ix.formal_of.insert((p, o), y);
+        }
+        for &(z, p) in &f.ret {
+            ix.returns_by_var.entry(z).or_default().push(p);
+            ix.returns_by_method.entry(p).or_default().push(z);
+        }
+        for &(i, y) in &f.assign_return {
+            ix.assign_return_by_inv.entry(i).or_default().push(y);
+        }
+        for &(i, z, s) in &f.virtual_invoke {
+            ix.virtuals_by_recv.entry(z).or_default().push((i, s));
+        }
+        for &(i, q, p) in &f.static_invoke {
+            ix.statics_by_method.entry(p).or_default().push((i, q));
+        }
+        for &(h, y, p) in &f.assign_new {
+            ix.allocs_by_method.entry(p).or_default().push((h, y));
+        }
+        for &(x, fld) in &f.static_store {
+            ix.static_stores_by_var.entry(x).or_default().push(fld);
+        }
+        for &(fld, z) in &f.static_load {
+            ix.static_loads_by_field.entry(fld).or_default().push(z);
+            let p = program.var_method[z.index()];
+            ix.static_loads_by_method.entry(p).or_default().push((fld, z));
+        }
+        for &(y, q) in &f.this_var {
+            ix.this_of_method.insert(q, y);
+        }
+        for &(h, t) in &f.heap_type {
+            ix.type_of_heap[h.index()] = t;
+        }
+        for &(q, t, s) in &f.implements {
+            ix.dispatch.insert((t, s), q);
+        }
+        for h in 0..program.heap_count() {
+            ix.class_of_heap[h] = program.class_of_heap(Heap::from_index(h));
+        }
+        ix
+    }
+
+    /// Resolves a virtual dispatch: the method that signature `s` invokes
+    /// on a receiver allocated with type `t`, if any.
+    pub fn resolve(&self, t: Type, s: MSig) -> Option<Method> {
+        self.dispatch.get(&(t, s)).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn index_materializes_all_access_paths() {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let t = b.class("T", Some(object));
+        let get = b.method_in("T.get", t, &[]);
+        let this_get = b.this("this", get);
+        let fld = b.field("f");
+        let out = b.var("out", get);
+        b.load(this_get, fld, out);
+        b.ret(out, get);
+        let s = b.msig("get/0");
+        b.implement(get, t, s);
+
+        let main = b.method_in("main", t, &[]);
+        b.entry_point(main);
+        let box_var = b.var("box", main);
+        let payload = b.var("payload", main);
+        let got = b.var("got", main);
+        let h_box = b.alloc("main/box", t, box_var, main);
+        b.alloc("main/payload", object, payload, main);
+        b.store(payload, fld, box_var);
+        let i = b.virtual_call("main/get", main, box_var, s, &[], Some(got));
+
+        let prog = b.finish().expect("valid");
+        let ix = prog.index();
+
+        assert_eq!(ix.loads_by_base[&this_get], vec![(fld, out)]);
+        assert_eq!(ix.stores_by_value[&payload], vec![(fld, box_var)]);
+        assert_eq!(ix.stores_by_base[&box_var], vec![(fld, payload)]);
+        assert_eq!(ix.virtuals_by_recv[&box_var], vec![(i, s)]);
+        assert_eq!(ix.assign_return_by_inv[&i], vec![got]);
+        assert_eq!(ix.returns_by_method[&get], vec![out]);
+        assert_eq!(ix.this_of_method[&get], this_get);
+        assert_eq!(ix.type_of_heap[h_box.index()], t);
+        assert_eq!(ix.resolve(t, s), Some(get));
+        assert_eq!(ix.resolve(object, s), None);
+        assert_eq!(ix.class_of_heap[h_box.index()], t);
+        assert_eq!(ix.allocs_by_method[&main].len(), 2);
+    }
+}

@@ -1,0 +1,350 @@
+//! Line-oriented text format for programs and fact files.
+//!
+//! The paper's toolchain exchanges relations as files produced by a Soot
+//! fact generator; this module plays the same role for `ctxform`. The
+//! format declares entities first (declaration order defines the dense
+//! ids), then lists the Figure 3 tuples:
+//!
+//! ```text
+//! # ctxform fact file
+//! type Object -
+//! type T 0
+//! field f
+//! msig get/0
+//! method 1 T.get
+//! var 0 this
+//! heap 0 main/new#0
+//! inv 0 call#0
+//! entry 0
+//! fact this_var 0 0
+//! ```
+//!
+//! Lines starting with `#` and blank lines are ignored. Entity names may
+//! contain spaces (the name is always the final, greedy component).
+
+use crate::error::IrError;
+use crate::ids::{Field, Heap, Inv, MSig, Method, Type, Var};
+use crate::program::Program;
+
+/// Serializes `program` into the text format.
+///
+/// The output round-trips through [`parse`] to an equal [`Program`].
+pub fn emit(program: &Program) -> String {
+    let mut out = String::new();
+    out.push_str("# ctxform fact file\n");
+    for (i, name) in program.type_names.iter().enumerate() {
+        match program.supertype[i] {
+            Some(s) => out.push_str(&format!("type {} {}\n", s.index(), name)),
+            None => out.push_str(&format!("type - {name}\n")),
+        }
+    }
+    for name in &program.field_names {
+        out.push_str(&format!("field {name}\n"));
+    }
+    for name in &program.msig_names {
+        out.push_str(&format!("msig {name}\n"));
+    }
+    for (i, name) in program.method_names.iter().enumerate() {
+        out.push_str(&format!("method {} {}\n", program.method_class[i].index(), name));
+    }
+    for (i, name) in program.var_names.iter().enumerate() {
+        out.push_str(&format!("var {} {}\n", program.var_method[i].index(), name));
+    }
+    for (i, name) in program.heap_names.iter().enumerate() {
+        out.push_str(&format!("heap {} {}\n", program.heap_method[i].index(), name));
+    }
+    for (i, name) in program.inv_names.iter().enumerate() {
+        out.push_str(&format!("inv {} {}\n", program.inv_method[i].index(), name));
+    }
+    for m in &program.entry_points {
+        out.push_str(&format!("entry {}\n", m.index()));
+    }
+    let f = &program.facts;
+    for &(z, i, o) in &f.actual {
+        out.push_str(&format!("fact actual {} {} {}\n", z.0, i.0, o));
+    }
+    for &(z, y) in &f.assign {
+        out.push_str(&format!("fact assign {} {}\n", z.0, y.0));
+    }
+    for &(h, y, p) in &f.assign_new {
+        out.push_str(&format!("fact assign_new {} {} {}\n", h.0, y.0, p.0));
+    }
+    for &(i, y) in &f.assign_return {
+        out.push_str(&format!("fact assign_return {} {}\n", i.0, y.0));
+    }
+    for &(y, p, o) in &f.formal {
+        out.push_str(&format!("fact formal {} {} {}\n", y.0, p.0, o));
+    }
+    for &(h, t) in &f.heap_type {
+        out.push_str(&format!("fact heap_type {} {}\n", h.0, t.0));
+    }
+    for &(q, t, s) in &f.implements {
+        out.push_str(&format!("fact implements {} {} {}\n", q.0, t.0, s.0));
+    }
+    for &(y, fld, z) in &f.load {
+        out.push_str(&format!("fact load {} {} {}\n", y.0, fld.0, z.0));
+    }
+    for &(z, p) in &f.ret {
+        out.push_str(&format!("fact return {} {}\n", z.0, p.0));
+    }
+    for &(i, q, p) in &f.static_invoke {
+        out.push_str(&format!("fact static_invoke {} {} {}\n", i.0, q.0, p.0));
+    }
+    for &(x, fld, z) in &f.store {
+        out.push_str(&format!("fact store {} {} {}\n", x.0, fld.0, z.0));
+    }
+    for &(x, fld) in &f.static_store {
+        out.push_str(&format!("fact static_store {} {}\n", x.0, fld.0));
+    }
+    for &(fld, z) in &f.static_load {
+        out.push_str(&format!("fact static_load {} {}\n", fld.0, z.0));
+    }
+    for &(y, q) in &f.this_var {
+        out.push_str(&format!("fact this_var {} {}\n", y.0, q.0));
+    }
+    for &(i, z, s) in &f.virtual_invoke {
+        out.push_str(&format!("fact virtual_invoke {} {} {}\n", i.0, z.0, s.0));
+    }
+    out
+}
+
+/// Parses the text format back into a validated [`Program`].
+///
+/// # Errors
+///
+/// Returns [`IrError::Parse`] for malformed lines and any validation error
+/// for semantically broken programs.
+pub fn parse(input: &str) -> Result<Program, IrError> {
+    let mut program = Program::default();
+    for (lineno, raw) in input.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        parse_line(&mut program, line, lineno + 1)?;
+    }
+    program.validate()?;
+    Ok(program)
+}
+
+fn parse_line(program: &mut Program, line: &str, lineno: usize) -> Result<(), IrError> {
+    let err = |message: String| IrError::Parse { line: lineno, message };
+    let (keyword, rest) = line
+        .split_once(' ')
+        .ok_or_else(|| err(format!("expected arguments after `{line}`")))?;
+    match keyword {
+        "type" => {
+            let (sup, name) = split_head(rest, lineno)?;
+            let supertype = if sup == "-" {
+                None
+            } else {
+                Some(Type(parse_u32(sup, lineno)?))
+            };
+            program.type_names.push(name.to_owned());
+            program.supertype.push(supertype);
+        }
+        "field" => program.field_names.push(rest.to_owned()),
+        "msig" => program.msig_names.push(rest.to_owned()),
+        "method" => {
+            let (class, name) = split_head(rest, lineno)?;
+            program.method_class.push(Type(parse_u32(class, lineno)?));
+            program.method_names.push(name.to_owned());
+        }
+        "var" => {
+            let (m, name) = split_head(rest, lineno)?;
+            program.var_method.push(Method(parse_u32(m, lineno)?));
+            program.var_names.push(name.to_owned());
+        }
+        "heap" => {
+            let (m, name) = split_head(rest, lineno)?;
+            program.heap_method.push(Method(parse_u32(m, lineno)?));
+            program.heap_names.push(name.to_owned());
+        }
+        "inv" => {
+            let (m, name) = split_head(rest, lineno)?;
+            program.inv_method.push(Method(parse_u32(m, lineno)?));
+            program.inv_names.push(name.to_owned());
+        }
+        "entry" => program.entry_points.push(Method(parse_u32(rest, lineno)?)),
+        "fact" => parse_fact(program, rest, lineno)?,
+        other => return Err(err(format!("unknown keyword `{other}`"))),
+    }
+    Ok(())
+}
+
+fn parse_fact(program: &mut Program, rest: &str, lineno: usize) -> Result<(), IrError> {
+    let mut parts = rest.split_whitespace();
+    let name = parts
+        .next()
+        .ok_or_else(|| IrError::Parse { line: lineno, message: "missing relation name".into() })?;
+    let args: Vec<u32> = parts
+        .map(|p| parse_u32(p, lineno))
+        .collect::<Result<_, _>>()?;
+    let arity_err = |want: usize| IrError::Parse {
+        line: lineno,
+        message: format!("relation `{name}` expects {want} arguments, got {}", args.len()),
+    };
+    let f = &mut program.facts;
+    match name {
+        "actual" => {
+            let [z, i, o] = take3(&args).ok_or_else(|| arity_err(3))?;
+            f.actual.push((Var(z), Inv(i), o));
+        }
+        "assign" => {
+            let [z, y] = take2(&args).ok_or_else(|| arity_err(2))?;
+            f.assign.push((Var(z), Var(y)));
+        }
+        "assign_new" => {
+            let [h, y, p] = take3(&args).ok_or_else(|| arity_err(3))?;
+            f.assign_new.push((Heap(h), Var(y), Method(p)));
+        }
+        "assign_return" => {
+            let [i, y] = take2(&args).ok_or_else(|| arity_err(2))?;
+            f.assign_return.push((Inv(i), Var(y)));
+        }
+        "formal" => {
+            let [y, p, o] = take3(&args).ok_or_else(|| arity_err(3))?;
+            f.formal.push((Var(y), Method(p), o));
+        }
+        "heap_type" => {
+            let [h, t] = take2(&args).ok_or_else(|| arity_err(2))?;
+            f.heap_type.push((Heap(h), Type(t)));
+        }
+        "implements" => {
+            let [q, t, s] = take3(&args).ok_or_else(|| arity_err(3))?;
+            f.implements.push((Method(q), Type(t), MSig(s)));
+        }
+        "load" => {
+            let [y, fld, z] = take3(&args).ok_or_else(|| arity_err(3))?;
+            f.load.push((Var(y), Field(fld), Var(z)));
+        }
+        "return" => {
+            let [z, p] = take2(&args).ok_or_else(|| arity_err(2))?;
+            f.ret.push((Var(z), Method(p)));
+        }
+        "static_invoke" => {
+            let [i, q, p] = take3(&args).ok_or_else(|| arity_err(3))?;
+            f.static_invoke.push((Inv(i), Method(q), Method(p)));
+        }
+        "store" => {
+            let [x, fld, z] = take3(&args).ok_or_else(|| arity_err(3))?;
+            f.store.push((Var(x), Field(fld), Var(z)));
+        }
+        "static_store" => {
+            let [x, fld] = take2(&args).ok_or_else(|| arity_err(2))?;
+            f.static_store.push((Var(x), Field(fld)));
+        }
+        "static_load" => {
+            let [fld, z] = take2(&args).ok_or_else(|| arity_err(2))?;
+            f.static_load.push((Field(fld), Var(z)));
+        }
+        "this_var" => {
+            let [y, q] = take2(&args).ok_or_else(|| arity_err(2))?;
+            f.this_var.push((Var(y), Method(q)));
+        }
+        "virtual_invoke" => {
+            let [i, z, s] = take3(&args).ok_or_else(|| arity_err(3))?;
+            f.virtual_invoke.push((Inv(i), Var(z), MSig(s)));
+        }
+        other => {
+            return Err(IrError::Parse {
+                line: lineno,
+                message: format!("unknown relation `{other}`"),
+            })
+        }
+    }
+    Ok(())
+}
+
+fn split_head(rest: &str, lineno: usize) -> Result<(&str, &str), IrError> {
+    rest.split_once(' ').ok_or_else(|| IrError::Parse {
+        line: lineno,
+        message: format!("expected `<head> <name>` in `{rest}`"),
+    })
+}
+
+fn parse_u32(s: &str, lineno: usize) -> Result<u32, IrError> {
+    s.parse::<u32>().map_err(|_| IrError::Parse {
+        line: lineno,
+        message: format!("expected a number, found `{s}`"),
+    })
+}
+
+fn take2(args: &[u32]) -> Option<[u32; 2]> {
+    <[u32; 2]>::try_from(args).ok()
+}
+
+fn take3(args: &[u32]) -> Option<[u32; 3]> {
+    <[u32; 3]>::try_from(args).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new();
+        let object = b.class("Object", None);
+        let t = b.class("T", Some(object));
+        let get = b.method_in("T.get", t, &[]);
+        let this = b.this("this", get);
+        let fld = b.field("f");
+        let out = b.var("out", get);
+        b.load(this, fld, out);
+        b.ret(out, get);
+        let s = b.msig("get/0");
+        b.implement(get, t, s);
+        let main = b.method_in("Main.main", t, &[]);
+        b.entry_point(main);
+        let x = b.var("box x", main);
+        let y = b.var("y", main);
+        b.alloc("main/new#0", t, x, main);
+        b.alloc("main/new#1", object, y, main);
+        b.store(y, fld, x);
+        b.virtual_call("main/get#0", main, x, s, &[], Some(y));
+        b.finish().expect("valid")
+    }
+
+    #[test]
+    fn emit_parse_round_trips() {
+        let p = sample();
+        let text = emit(&p);
+        let q = parse(&text).expect("parses");
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn names_may_contain_spaces() {
+        let p = sample();
+        let q = parse(&emit(&p)).expect("parses");
+        assert_eq!(q.var_names[q.var_names.iter().position(|n| n == "box x").unwrap()], "box x");
+    }
+
+    #[test]
+    fn comments_and_blanks_are_ignored() {
+        let p = sample();
+        let text = format!("# header\n\n{}\n# trailer\n", emit(&p));
+        assert_eq!(parse(&text).expect("parses"), p);
+    }
+
+    #[test]
+    fn unknown_keyword_is_a_parse_error() {
+        let err = parse("frobnicate 1 2").unwrap_err();
+        assert!(matches!(err, IrError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn bad_arity_is_a_parse_error() {
+        let err = parse("fact assign 1").unwrap_err();
+        assert!(matches!(err, IrError::Parse { .. }));
+        assert!(err.to_string().contains("expects 2 arguments"));
+    }
+
+    #[test]
+    fn invalid_semantics_fail_validation() {
+        // A heap with no declared type.
+        let text = "type - Object\nmethod 0 main\nentry 0\nvar 0 x\nheap 0 site\nfact assign_new 0 0 0\n";
+        assert!(matches!(parse(text), Err(IrError::AmbiguousHeapType { .. })));
+    }
+}

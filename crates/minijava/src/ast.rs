@@ -1,0 +1,210 @@
+//! Abstract syntax for the MiniJava subset.
+
+/// A whole compilation unit: a list of classes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Module {
+    /// Declared classes, in source order.
+    pub classes: Vec<ClassDecl>,
+}
+
+/// `class Name extends Super { fields methods }`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClassDecl {
+    /// Class name.
+    pub name: String,
+    /// Superclass name, if an `extends` clause is present.
+    pub superclass: Option<String>,
+    /// Declared instance field names with their declared types.
+    pub fields: Vec<(String, String)>,
+    /// Declared static field names with their declared types.
+    pub static_fields: Vec<(String, String)>,
+    /// Declared methods.
+    pub methods: Vec<MethodDecl>,
+    /// Source line of the declaration.
+    pub line: usize,
+}
+
+/// A formal parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Param {
+    /// Declared type name.
+    pub ty: String,
+    /// Parameter name.
+    pub name: String,
+}
+
+/// A method declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodDecl {
+    /// `true` for `static` methods.
+    pub is_static: bool,
+    /// Return type name, or `None` for `void`.
+    pub ret_ty: Option<String>,
+    /// Method name.
+    pub name: String,
+    /// Formal parameters.
+    pub params: Vec<Param>,
+    /// Method body.
+    pub body: Block,
+    /// `true` when declared `public static void main(String[] args)`.
+    pub is_main: bool,
+    /// Source line of the declaration.
+    pub line: usize,
+}
+
+/// A `{ … }` statement block.
+pub type Block = Vec<Stmt>;
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Stmt {
+    /// `T x;` or `T x = expr;`
+    VarDecl {
+        /// Declared type name.
+        ty: String,
+        /// Variable name.
+        name: String,
+        /// Optional initializer.
+        init: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// `target = expr;`
+    Assign {
+        /// Assignment target.
+        target: Target,
+        /// Right-hand side.
+        value: Expr,
+        /// Source line.
+        line: usize,
+    },
+    /// `if (cond) { … } else { … }`
+    If {
+        /// Branch condition.
+        cond: Cond,
+        /// Then-block.
+        then_block: Block,
+        /// Else-block (empty if absent).
+        else_block: Block,
+        /// Source line.
+        line: usize,
+    },
+    /// `while (cond) { … }`
+    While {
+        /// Loop condition.
+        cond: Cond,
+        /// Loop body.
+        body: Block,
+        /// Source line.
+        line: usize,
+    },
+    /// `return;` or `return expr;`
+    Return {
+        /// Returned expression, if any.
+        value: Option<Expr>,
+        /// Source line.
+        line: usize,
+    },
+    /// An expression statement (a call whose result is discarded).
+    Expr {
+        /// The evaluated expression.
+        expr: Expr,
+        /// Source line.
+        line: usize,
+    },
+}
+
+/// An assignment target.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Target {
+    /// A local variable or parameter.
+    Var(String),
+    /// `base.field` where `base` is any expression.
+    Field(Box<Expr>, String),
+}
+
+/// A condition (restricted to reference comparisons and boolean literals so
+/// the interpreter and the flow-insensitive lowering agree trivially).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Cond {
+    /// Reference equality of two operands.
+    Eq(CondOperand, CondOperand),
+    /// Reference inequality of two operands.
+    Ne(CondOperand, CondOperand),
+    /// Literal `true`.
+    True,
+    /// Literal `false`.
+    False,
+}
+
+/// A condition operand: a plain variable, `this`, or `null`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CondOperand {
+    /// A local variable or parameter.
+    Var(String),
+    /// The receiver.
+    This,
+    /// The null literal.
+    Null,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// `null`.
+    Null,
+    /// `this`.
+    This {
+        /// Source line.
+        line: usize,
+    },
+    /// A name: a local variable, parameter, or (in call position) a class.
+    Name {
+        /// The identifier.
+        name: String,
+        /// Source line.
+        line: usize,
+    },
+    /// `new T()`.
+    New {
+        /// Class name.
+        class: String,
+        /// Source line.
+        line: usize,
+    },
+    /// `base.field`.
+    FieldAccess {
+        /// Base expression.
+        base: Box<Expr>,
+        /// Field name.
+        field: String,
+        /// Source line.
+        line: usize,
+    },
+    /// `base.method(args)`: a virtual call when `base` is a value, a static
+    /// call when `base` is a class name (resolved during lowering).
+    Call {
+        /// Receiver expression (or class name as [`Expr::Name`]).
+        base: Box<Expr>,
+        /// Invoked method name.
+        method: String,
+        /// Actual arguments.
+        args: Vec<Expr>,
+        /// Source line.
+        line: usize,
+    },
+}
+
+impl Expr {
+    /// The source line of this expression (0 for `null`).
+    pub fn line(&self) -> usize {
+        match self {
+            Expr::Null => 0,
+            Expr::This { line }
+            | Expr::Name { line, .. }
+            | Expr::New { line, .. }
+            | Expr::FieldAccess { line, .. }
+            | Expr::Call { line, .. } => *line,
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! Frontend error type with source positions.
+
+use std::error::Error;
+use std::fmt;
+
+/// An error from lexing, parsing, resolving, or lowering MiniJava source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MjError {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column.
+    pub col: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl MjError {
+    /// Creates an error at a position.
+    pub fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
+        MjError { line, col, message: message.into() }
+    }
+}
+
+impl fmt::Display for MjError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for MjError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_position() {
+        let e = MjError::new(3, 7, "unexpected `}`");
+        assert_eq!(e.to_string(), "3:7: unexpected `}`");
+    }
+}

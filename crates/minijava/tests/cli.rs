@@ -1,0 +1,32 @@
+//! End-to-end test for the `mjfacts` fact-generator binary.
+
+use std::io::Write;
+use std::process::Command;
+
+#[test]
+fn mjfacts_emits_a_parsable_fact_file() {
+    let dir = std::env::temp_dir().join("mjfacts-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("demo.mj");
+    let mut f = std::fs::File::create(&path).unwrap();
+    f.write_all(ctxform_minijava::corpus::BOX.as_bytes()).unwrap();
+    drop(f);
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mjfacts"))
+        .arg(path.to_str().unwrap())
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success());
+    let emitted = String::from_utf8(out.stdout).unwrap();
+    let parsed = ctxform_ir::text::parse(&emitted).expect("round-trips");
+    assert_eq!(parsed, ctxform_minijava::compile(ctxform_minijava::corpus::BOX).unwrap().program);
+
+    let stats = Command::new(env!("CARGO_BIN_EXE_mjfacts"))
+        .args([path.to_str().unwrap(), "--stats"])
+        .output()
+        .unwrap();
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("input facts"));
+
+    let bad = Command::new(env!("CARGO_BIN_EXE_mjfacts")).arg("/nonexistent.mj").output().unwrap();
+    assert!(!bad.status.success());
+}

@@ -1,0 +1,174 @@
+//! DaCapo-like benchmark presets.
+//!
+//! Seven configurations named after the DaCapo 2006 benchmarks the paper
+//! evaluates (antlr, bloat, chart, eclipse, luindex, pmd, xalan). The
+//! shapes echo what dominates each real benchmark's points-to behaviour —
+//! most importantly, `bloat` is dominated by the AST-with-parent-pointer
+//! plus stack pattern that §8 identifies as the cause of its
+//! subsuming-fact pathology — and the relative sizes follow Fig. 6
+//! (bloat/chart/xalan large; luindex/pmd small).
+
+use crate::source::SynthConfig;
+
+/// Names of the seven presets, in the paper's Fig. 6 row order.
+pub const PRESET_NAMES: [&str; 7] =
+    ["antlr", "bloat", "chart", "eclipse", "luindex", "pmd", "xalan"];
+
+/// Returns the preset configuration with the given name, if it exists.
+pub fn preset(name: &str) -> Option<SynthConfig> {
+    let base = SynthConfig {
+        seed: 0,
+        hierarchy_classes: 10,
+        hierarchy_fields: 3,
+        hierarchy_methods: 3,
+        wrappers: 2,
+        wrapper_depth: 3,
+        containers: 3,
+        container_instances: 8,
+        factories: 3,
+        factory_call_sites: 4,
+        listeners: 4,
+        events: 2,
+        ast_nodes: 0,
+        poly_call_sites: 12,
+        payload_allocs: 5,
+        route_call_sites: 6,
+        composite_depth: 4,
+        composite_roots: 6,
+        static_globals: 4,
+        task_units: 20,
+        driver_modules: 6,
+    };
+    let cfg = match name {
+        // Deep static call chains and many factory products (parser
+        // generators build lots of small helper objects).
+        "antlr" => SynthConfig {
+            seed: 0xA17,
+            wrappers: 4,
+            wrapper_depth: 5,
+            factories: 6,
+            factory_call_sites: 6,
+            poly_call_sites: 16,
+            ..base
+        },
+        // The AST + parent field + stack pathology, at scale.
+        "bloat" => SynthConfig {
+            seed: 0xB10A7,
+            ast_nodes: 24,
+            wrappers: 3,
+            wrapper_depth: 4,
+            containers: 4,
+            container_instances: 12,
+            route_call_sites: 10,
+            poly_call_sites: 18,
+            hierarchy_classes: 14,
+            ..base
+        },
+        // Wide class hierarchy with heavy polymorphic dispatch.
+        "chart" => SynthConfig {
+            seed: 0xC4A27,
+            hierarchy_classes: 22,
+            hierarchy_fields: 4,
+            hierarchy_methods: 5,
+            poly_call_sites: 30,
+            containers: 5,
+            container_instances: 14,
+            payload_allocs: 8,
+            route_call_sites: 10,
+            ..base
+        },
+        // Everything at once, listener-heavy (plugin events).
+        "eclipse" => SynthConfig {
+            seed: 0xEC119,
+            hierarchy_classes: 16,
+            listeners: 10,
+            events: 5,
+            wrappers: 3,
+            wrapper_depth: 4,
+            containers: 4,
+            container_instances: 12,
+            factories: 4,
+            poly_call_sites: 20,
+            route_call_sites: 8,
+            ast_nodes: 6,
+            ..base
+        },
+        // Small and container-centric (index writers).
+        "luindex" => SynthConfig {
+            seed: 0x1DE,
+            hierarchy_classes: 8,
+            containers: 4,
+            container_instances: 10,
+            wrappers: 2,
+            poly_call_sites: 8,
+            route_call_sites: 6,
+            ..base
+        },
+        // Small visitor-style hierarchy.
+        "pmd" => SynthConfig {
+            seed: 0xD3D,
+            hierarchy_classes: 12,
+            hierarchy_methods: 4,
+            poly_call_sites: 14,
+            containers: 2,
+            container_instances: 6,
+            route_call_sites: 4,
+            ..base
+        },
+        // Large, with deep wrapper chains and heavy routing (template
+        // transformation pipelines).
+        "xalan" => SynthConfig {
+            seed: 0x8A1A,
+            hierarchy_classes: 18,
+            wrappers: 5,
+            wrapper_depth: 5,
+            containers: 5,
+            container_instances: 16,
+            route_call_sites: 12,
+            poly_call_sites: 22,
+            listeners: 6,
+            events: 3,
+            ast_nodes: 6,
+            ..base
+        },
+        _ => return None,
+    };
+    Some(cfg)
+}
+
+/// All seven presets in Fig. 6 row order, with their names.
+pub fn dacapo_like() -> Vec<(&'static str, SynthConfig)> {
+    PRESET_NAMES
+        .iter()
+        .map(|&name| (name, preset(name).expect("preset exists")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::generate;
+    use ctxform_minijava::compile;
+
+    #[test]
+    fn all_presets_exist_and_compile() {
+        for (name, cfg) in dacapo_like() {
+            let src = generate(&cfg);
+            let module = compile(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert!(module.program.method_count() > 10, "{name}");
+        }
+    }
+
+    #[test]
+    fn unknown_preset_is_none() {
+        assert!(preset("fop").is_none());
+    }
+
+    #[test]
+    fn bloat_has_the_ast_pattern_and_luindex_does_not() {
+        let bloat = generate(&preset("bloat").unwrap());
+        let luindex = generate(&preset("luindex").unwrap());
+        assert!(bloat.contains("class AstNode"));
+        assert!(!luindex.contains("class AstNode"));
+    }
+}

@@ -1,0 +1,851 @@
+//! The pattern-based MiniJava source generator.
+
+use std::fmt::Write as _;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Shape parameters for one synthetic program.
+///
+/// Every knob scales one pointer-analysis-relevant pattern; see the crate
+/// docs for the pattern-to-paper mapping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SynthConfig {
+    /// RNG seed; the generator is fully deterministic given the config.
+    pub seed: u64,
+    /// Classes in the polymorphic hierarchy (≥ 1 creates a root).
+    pub hierarchy_classes: usize,
+    /// Instance fields on the hierarchy root.
+    pub hierarchy_fields: usize,
+    /// Virtual methods declared by the root (overridden randomly below).
+    pub hierarchy_methods: usize,
+    /// Identity-wrapper classes (the Fig. 1 `id`/`id2` pattern).
+    pub wrappers: usize,
+    /// Call-chain depth inside each wrapper class.
+    pub wrapper_depth: usize,
+    /// Distinct get/set container classes.
+    pub containers: usize,
+    /// Container instances exercised from the driver.
+    pub container_instances: usize,
+    /// Static factory classes (the Fig. 5 `m`/`id` pattern).
+    pub factories: usize,
+    /// Call sites invoking each factory.
+    pub factory_call_sites: usize,
+    /// Listener subclasses registered in the event registry (0 disables
+    /// the registry pattern).
+    pub listeners: usize,
+    /// Events fired through the registry.
+    pub events: usize,
+    /// Leaf/combine steps of the AST-with-parent + stack pattern that §8
+    /// blames for `bloat` (0 disables it).
+    pub ast_nodes: usize,
+    /// Virtual call sites on hierarchy-rooted variables.
+    pub poly_call_sites: usize,
+    /// Extra payload allocation sites in the driver.
+    pub payload_allocs: usize,
+    /// Shared `route(container, payload)` helper call sites (a classic
+    /// context-sensitivity stressor).
+    pub route_call_sites: usize,
+    /// Depth of the nested-composite pattern: objects recursively
+    /// allocating and reading child objects through instance methods.
+    /// This is the main generator of deep *object-sensitive* contexts
+    /// (each nesting level adds a receiver allocation site to the method
+    /// context). 0 disables the pattern.
+    pub composite_depth: usize,
+    /// Independent composite roots built (and read back) from the driver.
+    pub composite_roots: usize,
+    /// Static global fields in the shared `Globals` class (0 disables the
+    /// pattern). Static fields are the sharpest transformer-string win:
+    /// context strings re-enumerate every load per reachable context of
+    /// the loading method, transformer strings keep one wildcard fact.
+    pub static_globals: usize,
+    /// Distinct `unit<j>` bodies per task class. Task instances spread
+    /// over the units, so `instances / task_units` controls the average
+    /// method-context multiplicity (the lever behind the transformer
+    /// string fact reductions).
+    pub task_units: usize,
+    /// Number of `Mod<k>` driver classes the scene statements are split
+    /// across. More modules means more distinct `classOf` values, which
+    /// keeps *type* sensitivity meaningful.
+    pub driver_modules: usize,
+}
+
+impl SynthConfig {
+    /// A minimal configuration with every pattern barely present.
+    pub fn tiny() -> Self {
+        SynthConfig {
+            seed: 1,
+            hierarchy_classes: 3,
+            hierarchy_fields: 2,
+            hierarchy_methods: 2,
+            wrappers: 1,
+            wrapper_depth: 2,
+            containers: 1,
+            container_instances: 2,
+            factories: 1,
+            factory_call_sites: 2,
+            listeners: 2,
+            events: 1,
+            ast_nodes: 3,
+            poly_call_sites: 2,
+            payload_allocs: 2,
+            route_call_sites: 2,
+            composite_depth: 2,
+            composite_roots: 2,
+            static_globals: 2,
+            task_units: 2,
+            driver_modules: 2,
+        }
+    }
+
+    /// Multiplies every *driver-side* knob (instances, call sites, roots,
+    /// events) by `k`, leaving the class structure unchanged. This is how
+    /// the benchmark harness scales a preset up or down.
+    pub fn scale_driver(mut self, k: usize) -> Self {
+        let k = k.max(1);
+        self.container_instances *= k;
+        self.factory_call_sites *= k;
+        self.events *= k;
+        self.ast_nodes *= k;
+        self.poly_call_sites *= k;
+        self.payload_allocs *= k;
+        self.route_call_sites *= k;
+        self.composite_roots *= k;
+        self
+    }
+}
+
+struct Gen {
+    cfg: SynthConfig,
+    rng: StdRng,
+    out: String,
+    /// Superclass index of each hierarchy class (index 0 is the root).
+    hierarchy_super: Vec<usize>,
+    /// Self-contained statement groups accumulated for the driver
+    /// modules; groups never share local variables, so they can be split
+    /// across driver methods freely.
+    scenes: Vec<(String, Vec<Vec<String>>)>,
+}
+
+/// Generates MiniJava source for `cfg`. Deterministic.
+pub fn generate(cfg: &SynthConfig) -> String {
+    let mut gen = Gen {
+        rng: StdRng::seed_from_u64(cfg.seed),
+        cfg: cfg.clone(),
+        out: String::new(),
+        hierarchy_super: Vec::new(),
+        scenes: Vec::new(),
+    };
+    gen.emit_globals();
+    gen.emit_hierarchy();
+    gen.emit_wrappers();
+    gen.emit_containers();
+    gen.emit_factories();
+    gen.emit_listeners();
+    gen.emit_composites();
+    gen.emit_ast_pattern();
+    gen.emit_driver_scenes();
+    gen.emit_main();
+    gen.out
+}
+
+impl Gen {
+    fn line(&mut self, s: &str) {
+        self.out.push_str(s);
+        self.out.push('\n');
+    }
+
+    fn pick(&mut self, n: usize) -> usize {
+        if n <= 1 {
+            0
+        } else {
+            self.rng.random_range(0..n)
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Static globals
+    // ------------------------------------------------------------------
+
+    fn emit_globals(&mut self) {
+        if self.cfg.static_globals == 0 {
+            return;
+        }
+        self.line("class Globals {");
+        for g in 0..self.cfg.static_globals {
+            self.line(&format!("    static Object pool{g};"));
+        }
+        self.line("}");
+    }
+
+    // ------------------------------------------------------------------
+    // Class hierarchy with overriding
+    // ------------------------------------------------------------------
+
+    fn emit_hierarchy(&mut self) {
+        let n = self.cfg.hierarchy_classes.max(1);
+        let fields = self.cfg.hierarchy_fields.max(1);
+        let methods = self.cfg.hierarchy_methods.max(1);
+        self.hierarchy_super = vec![0; n];
+        for c in 0..n {
+            let sup = if c == 0 { None } else { Some(self.pick(c)) };
+            if let Some(s) = sup {
+                self.hierarchy_super[c] = s;
+            }
+            match sup {
+                None => self.line(&format!("class D0 {{")),
+                Some(s) => self.line(&format!("class D{c} extends D{s} {{")),
+            }
+            if c == 0 {
+                for f in 0..fields {
+                    self.line(&format!("    Object g{f};"));
+                }
+            }
+            // The root declares every virtual method; subclasses override
+            // a random subset.
+            for m in 0..methods {
+                let declare = c == 0 || self.rng.random_range(0..100) < 55;
+                if !declare {
+                    continue;
+                }
+                let store_field = self.pick(fields);
+                let load_field = self.pick(fields);
+                self.line(&format!("    Object vm{m}(Object p) {{"));
+                match self.rng.random_range(0..4) {
+                    0 => {
+                        // Pure identity.
+                        self.line("        return p;");
+                    }
+                    1 => {
+                        // Store then load (possibly different fields).
+                        self.line(&format!("        this.g{store_field} = p;"));
+                        self.line(&format!("        Object t = this.g{load_field};"));
+                        self.line("        return t;");
+                    }
+                    2 => {
+                        // Delegate to another virtual method.
+                        let callee = self.pick(methods);
+                        self.line(&format!("        Object t = this.vm{callee}(p);"));
+                        self.line("        return t;");
+                    }
+                    _ => {
+                        // Allocate and stash the parameter.
+                        self.line(&format!("        this.g{store_field} = p;"));
+                        self.line(&format!("        Object t = new Object();"));
+                        self.line("        return t;");
+                    }
+                }
+                self.line("    }");
+            }
+            self.line("}");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Identity-wrapper chains (Fig. 1's id/id2, scaled)
+    // ------------------------------------------------------------------
+
+    fn emit_wrappers(&mut self) {
+        let depth = self.cfg.wrapper_depth.max(1);
+        for w in 0..self.cfg.wrappers {
+            self.line(&format!("class W{w} {{"));
+            self.line("    Object id0(Object p) { return p; }");
+            for d in 1..depth {
+                self.line(&format!("    Object id{d}(Object p) {{"));
+                self.line(&format!("        Object t = this.id{}(p);", d - 1));
+                self.line("        return t;");
+                self.line("    }");
+            }
+            self.line("}");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Containers
+    // ------------------------------------------------------------------
+
+    fn emit_containers(&mut self) {
+        // Each container class is paired with a Fig. 7-shaped "memo"
+        // class: a method that allocates locally, stores the object into
+        // its own field, and reloads it. Under m-call+H this derives the
+        // same points-to fact through two data-flow paths (`ε` and
+        // `C̄·Ĉ`), producing the subsuming facts §8 blames for bloat's
+        // slowdown.
+        for c in 0..self.cfg.containers {
+            self.line(&format!("class Memo{c} {{"));
+            self.line(&format!("    Object cache{c};"));
+            self.line(&format!("    Object fresh{c}() {{"));
+            self.line("        Object v = new Object();");
+            self.line("        if (v != null) {");
+            self.line(&format!("            this.cache{c} = v;"));
+            self.line(&format!("            v = this.cache{c};"));
+            self.line("        }");
+            self.line("        return v;");
+            self.line("    }");
+            self.line("}");
+        }
+        for c in 0..self.cfg.containers {
+            self.line(&format!("class B{c} {{"));
+            self.line(&format!("    Object slot{c};"));
+            self.line(&format!("    void put{c}(Object x) {{ this.slot{c} = x; }}"));
+            self.line(&format!(
+                "    Object take{c}() {{ Object t = this.slot{c}; return t; }}"
+            ));
+            // A swap method that both loads and stores (aliasing stress).
+            self.line(&format!("    Object swap{c}(Object x) {{"));
+            self.line(&format!("        Object old = this.slot{c};"));
+            self.line(&format!("        this.slot{c} = x;"));
+            self.line("        return old;");
+            self.line("    }");
+            self.line("}");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Static factories (Fig. 5's m/id pattern)
+    // ------------------------------------------------------------------
+
+    fn emit_factories(&mut self) {
+        let hierarchy = self.cfg.hierarchy_classes.max(1);
+        for f in 0..self.cfg.factories {
+            let product = self.pick(hierarchy);
+            self.line(&format!("class F{f} {{"));
+            self.line("    static Object pass(Object p) { return p; }");
+            self.line(&format!("    static D{product} make() {{"));
+            self.line(&format!("        D{product} fresh = new D{product}();"));
+            self.line(&format!("        Object routed = F{f}.pass(fresh);"));
+            self.line(&format!("        D{product} out = fresh;"));
+            self.line("        return out;");
+            self.line("    }");
+            self.line("}");
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Listener registry (polymorphic dispatch over a linked list)
+    // ------------------------------------------------------------------
+
+    fn emit_listeners(&mut self) {
+        if self.cfg.listeners == 0 {
+            return;
+        }
+        self.line("class Listener {");
+        self.line("    Object last;");
+        self.line("    void on(Object e) { this.last = e; }");
+        self.line("}");
+        for l in 0..self.cfg.listeners {
+            self.line(&format!("class L{l} extends Listener {{"));
+            self.line(&format!("    Object seen{l};"));
+            self.line(&format!("    void on(Object e) {{ this.seen{l} = e; }}"));
+            self.line("}");
+        }
+        self.line("class RegNode { Listener item; RegNode next; }");
+        self.line("class Registry {");
+        self.line("    RegNode head;");
+        self.line("    void register(Listener l) {");
+        self.line("        RegNode n = new RegNode();");
+        self.line("        n.item = l;");
+        self.line("        n.next = this.head;");
+        self.line("        this.head = n;");
+        self.line("    }");
+        self.line("    void fire(Object e) {");
+        self.line("        RegNode c = this.head;");
+        self.line("        while (c != null) {");
+        self.line("            Listener l = c.item;");
+        self.line("            l.on(e);");
+        self.line("            c = c.next;");
+        self.line("        }");
+        self.line("    }");
+        self.line("}");
+    }
+
+    // ------------------------------------------------------------------
+    // Nested composites: the object-sensitivity depth generator
+    // ------------------------------------------------------------------
+
+    fn emit_composites(&mut self) {
+        if self.cfg.composite_depth == 0 {
+            return;
+        }
+        let depth = self.cfg.composite_depth;
+        self.line("class Comp {");
+        self.line("    Comp child;");
+        self.line("    Object data;");
+        // Level 0: allocate own payload.
+        self.line("    void build0() {");
+        self.line("        Object d = new Object();");
+        self.line("        this.data = d;");
+        self.line("    }");
+        self.line("    Object read0() {");
+        self.line("        Object t = this.data;");
+        self.line("        return t;");
+        self.line("    }");
+        for k in 1..=depth {
+            // Level k: allocate a child (a fresh receiver allocation site
+            // per level) and recurse into it, plus an own payload.
+            self.line(&format!("    void build{k}() {{"));
+            self.line("        Comp c = new Comp();");
+            self.line("        this.child = c;");
+            self.line(&format!("        c.build{}();", k - 1));
+            self.line("        Object d = new Object();");
+            self.line("        this.data = d;");
+            self.line("    }");
+            self.line(&format!("    Object read{k}() {{"));
+            self.line("        Comp c = this.child;");
+            self.line(&format!("        Object inner = c.read{}();", k - 1));
+            self.line("        Object own = this.data;");
+            self.line("        Object t = inner;");
+            self.line("        if (own == null) { t = own; }");
+            self.line("        return t;");
+            self.line("    }");
+        }
+        self.line("}");
+    }
+
+    // ------------------------------------------------------------------
+    // AST + parent pointer + stack (the §8 bloat pathology)
+    // ------------------------------------------------------------------
+
+    fn emit_ast_pattern(&mut self) {
+        if self.cfg.ast_nodes == 0 {
+            return;
+        }
+        self.line("class AstNode {");
+        self.line("    AstNode parent;");
+        self.line("    AstNode left;");
+        self.line("    AstNode right;");
+        self.line("    Object payload;");
+        self.line("    void adoptLeft(AstNode c) {");
+        self.line("        this.left = c;");
+        self.line("        c.setParent(this);");
+        self.line("    }");
+        self.line("    void adoptRight(AstNode c) {");
+        self.line("        this.right = c;");
+        self.line("        c.setParent(this);");
+        self.line("    }");
+        self.line("    void setParent(AstNode p) { this.parent = p; }");
+        self.line("    AstNode getParent() { AstNode t = this.parent; return t; }");
+        self.line("}");
+        self.line("class AstStackNode { AstNode item; AstStackNode next; }");
+        self.line("class AstStack {");
+        self.line("    AstStackNode top;");
+        self.line("    void push(AstNode n) {");
+        self.line("        AstStackNode s = new AstStackNode();");
+        self.line("        s.item = n;");
+        self.line("        s.next = this.top;");
+        self.line("        this.top = s;");
+        self.line("    }");
+        self.line("    AstNode pop() {");
+        self.line("        AstStackNode t = this.top;");
+        self.line("        this.top = t.next;");
+        self.line("        AstNode r = t.item;");
+        self.line("        return r;");
+        self.line("    }");
+        self.line("}");
+        self.line("class AstBuilder {");
+        self.line("    AstNode leaf(AstStack st) {");
+        self.line("        AstNode n = new AstNode();");
+        self.line("        st.push(n);");
+        self.line("        return n;");
+        self.line("    }");
+        // `fetch` funnels a node into one variable through *both* the
+        // stack path and the parent-field path — the two-configuration
+        // convergence that §8 identifies as bloat's subsuming-fact source.
+        self.line("    AstNode fetch(AstStack st) {");
+        self.line("        AstNode n = st.pop();");
+        self.line("        st.push(n);");
+        self.line("        AstNode p = n.getParent();");
+        self.line("        if (p != null) { n = p; }");
+        self.line("        return n;");
+        self.line("    }");
+        self.line("    AstNode combine(AstStack st) {");
+        self.line("        AstNode n = new AstNode();");
+        self.line("        AstNode l = st.pop();");
+        self.line("        AstNode r = st.pop();");
+        self.line("        n.adoptLeft(l);");
+        self.line("        n.adoptRight(r);");
+        self.line("        st.push(n);");
+        self.line("        return n;");
+        self.line("    }");
+        self.line("}");
+    }
+
+    // ------------------------------------------------------------------
+    // Driver scenes
+    //
+    // Each scene is a *task class*: one unit of work per `unit<j>` method,
+    // instantiated at many distinct allocation sites by `Main`. Doing the
+    // work inside instance methods (rather than in a flat `main`) is what
+    // real Java looks like, and it is what makes the task methods
+    // reachable under many method contexts — the situation in which
+    // context strings enumerate redundantly and transformer strings
+    // collapse to `ε` (paper §1, §8).
+    // ------------------------------------------------------------------
+
+    fn emit_driver_scenes(&mut self) {
+        self.scene_flat_fields();
+        self.scene_poly();
+        self.scene_wrappers();
+        self.scene_containers();
+        self.scene_factories();
+        self.scene_listeners();
+        self.scene_composites();
+        self.scene_ast();
+    }
+
+    fn push_scene(&mut self, name: &str, groups: Vec<Vec<String>>) {
+        if !groups.is_empty() {
+            self.scenes.push((name.to_owned(), groups));
+        }
+    }
+
+    /// Emits a task class with the given unit bodies and queues driver
+    /// statements instantiating `instances` tasks, each running one
+    /// randomly chosen unit.
+    fn emit_task(&mut self, class: &str, units: Vec<Vec<String>>, instances: usize) {
+        if units.is_empty() || instances == 0 {
+            return;
+        }
+        self.line(&format!("class {class} {{"));
+        for (j, unit) in units.iter().enumerate() {
+            self.line(&format!("    void unit{j}() {{"));
+            for stmt in unit {
+                self.line(&format!("        {stmt}"));
+            }
+            self.line("    }");
+        }
+        // A dispatcher exercising intra-class virtual calls.
+        self.line("    void runAll() {");
+        for j in 0..units.len() {
+            self.line(&format!("        this.unit{j}();"));
+        }
+        self.line("    }");
+        self.line("}");
+        let mut groups = Vec::new();
+        let var_prefix = class.to_lowercase();
+        for i in 0..instances {
+            let unit = self.pick(units.len());
+            let mut group = Vec::new();
+            group.push(format!("{class} {var_prefix}{i} = new {class}();"));
+            if self.rng.random_range(0..8) == 0 {
+                group.push(format!("{var_prefix}{i}.runAll();"));
+            } else {
+                group.push(format!("{var_prefix}{i}.unit{unit}();"));
+            }
+            groups.push(group);
+        }
+        self.push_scene(&var_prefix, groups);
+    }
+
+    /// Straight-line allocation + field wiring directly in the driver:
+    /// context-unique facts under every flavour (the "cold code" mass that
+    /// dominates real programs).
+    fn scene_flat_fields(&mut self) {
+        let hierarchy = self.cfg.hierarchy_classes.max(1);
+        let fields = self.cfg.hierarchy_fields.max(1);
+        let mut groups = Vec::new();
+        for k in 0..self.cfg.payload_allocs * 3 {
+            let c = self.pick(hierarchy);
+            let f = self.pick(fields);
+            groups.push(vec![
+                format!("D0 fx{k} = new D{c}();"),
+                format!("Object fy{k} = new Object();"),
+                format!("fx{k}.g{f} = fy{k};"),
+                format!("Object fz{k} = fx{k}.g{f};"),
+            ]);
+        }
+        self.push_scene("fields", groups);
+    }
+
+    fn scene_poly(&mut self) {
+        let hierarchy = self.cfg.hierarchy_classes.max(1);
+        let methods = self.cfg.hierarchy_methods.max(1);
+        let payloads = self.cfg.payload_allocs.max(1);
+        let n_units = self.cfg.task_units.max(1).min(self.cfg.poly_call_sites.max(1));
+        let mut units = Vec::new();
+        for _ in 0..n_units {
+            let mut unit = Vec::new();
+            for k in 0..payloads.min(3) {
+                unit.push(format!("Object pay{k} = new Object();"));
+            }
+            let calls = 1 + self.pick(3);
+            for s in 0..calls {
+                let class = self.pick(hierarchy);
+                let method = self.pick(methods);
+                let pay = self.pick(payloads.min(3));
+                unit.push(format!("D0 recv{s} = new D{class}();"));
+                unit.push(format!("Object res{s} = recv{s}.vm{method}(pay{pay});"));
+            }
+            units.push(unit);
+        }
+        self.emit_task("PolyTask", units, self.cfg.poly_call_sites);
+    }
+
+    fn scene_wrappers(&mut self) {
+        if self.cfg.wrappers == 0 {
+            return;
+        }
+        let depth = self.cfg.wrapper_depth.max(1);
+        let n_units = self.cfg.task_units.max(1).max(self.cfg.wrappers);
+        let mut units = Vec::new();
+        for u in 0..n_units {
+            let w = u % self.cfg.wrappers;
+            let d = 1 + self.pick(depth);
+            let mut unit = Vec::new();
+            unit.push(format!("W{w} wrap = new W{w}();"));
+            unit.push("Object wa = new Object();".to_owned());
+            unit.push("Object wb = new Object();".to_owned());
+            unit.push(format!("Object wra = wrap.id{}(wa);", d - 1));
+            unit.push(format!("Object wrb = wrap.id{}(wb);", d - 1));
+            units.push(unit);
+        }
+        self.emit_task("WrapperTask", units, self.cfg.wrappers * 3);
+    }
+
+    fn scene_containers(&mut self) {
+        if self.cfg.containers == 0 {
+            return;
+        }
+        let mut units = Vec::new();
+        let n_units = self.cfg.task_units.max(1).max(self.cfg.containers);
+        for u in 0..n_units {
+            let c = u % self.cfg.containers;
+            let mut unit = Vec::new();
+            unit.push(format!("B{c} cell = new B{c}();"));
+            unit.push("Object item = new Object();".to_owned());
+            unit.push(format!("cell.put{c}(item);"));
+            unit.push(format!("Object got = cell.take{c}();"));
+            unit.push(format!("Object swapped = cell.swap{c}(got);"));
+            unit.push(format!("Memo{c} memo = new Memo{c}();"));
+            unit.push(format!("Object cached = memo.fresh{c}();"));
+            // Roughly a third of container units touch a static global —
+            // enough to exercise the SStore/SLoad enumeration without
+            // letting it dominate the workload.
+            if self.cfg.static_globals > 0 && self.rng.random_range(0..3) == 0 {
+                let g = self.pick(self.cfg.static_globals);
+                unit.push(format!("Globals.pool{g} = item;"));
+                unit.push(format!("Object pooled = Globals.pool{g};"));
+            }
+            units.push(unit);
+            if self.cfg.route_call_sites > 0 {
+                let mut route_unit = Vec::new();
+                route_unit.push(format!("B{c} rbox = new B{c}();"));
+                route_unit.push("Object rpay = new Object();".to_owned());
+                route_unit.push(format!("Object rgot = Main.route{c}(rbox, rpay);"));
+                units.push(route_unit);
+            }
+        }
+        self.emit_task(
+            "ContainerTask",
+            units,
+            self.cfg.container_instances + self.cfg.route_call_sites,
+        );
+    }
+
+    fn scene_factories(&mut self) {
+        if self.cfg.factories == 0 {
+            return;
+        }
+        let methods = self.cfg.hierarchy_methods.max(1);
+        let n_units = self.cfg.task_units.max(1).max(self.cfg.factories);
+        let mut units = Vec::new();
+        for u in 0..n_units {
+            let f = u % self.cfg.factories;
+            let method = self.pick(methods);
+            let mut unit = Vec::new();
+            unit.push(format!("D0 prod = F{f}.make();"));
+            unit.push("Object arg = new Object();".to_owned());
+            unit.push(format!("Object out = prod.vm{method}(arg);"));
+            units.push(unit);
+        }
+        self.emit_task(
+            "FactoryTask",
+            units,
+            self.cfg.factories * self.cfg.factory_call_sites,
+        );
+    }
+
+    fn scene_listeners(&mut self) {
+        if self.cfg.listeners == 0 {
+            return;
+        }
+        let mut body = Vec::new();
+        body.push("Registry reg = new Registry();".to_owned());
+        for l in 0..self.cfg.listeners {
+            body.push(format!("Listener lis{l} = new L{l}();"));
+            body.push(format!("reg.register(lis{l});"));
+        }
+        for e in 0..self.cfg.events.max(1) {
+            body.push(format!("Object ev{e} = new Object();"));
+            body.push(format!("reg.fire(ev{e});"));
+        }
+        self.push_scene("listeners", vec![body]);
+    }
+
+    fn scene_composites(&mut self) {
+        if self.cfg.composite_depth == 0 {
+            return;
+        }
+        let depth = self.cfg.composite_depth;
+        let mut groups = Vec::new();
+        for r in 0..self.cfg.composite_roots.max(1) {
+            let build_at = 1 + self.pick(depth);
+            let group = vec![
+                format!("Comp root{r} = new Comp();"),
+                format!("root{r}.build{build_at}();"),
+                format!("Object deep{r} = root{r}.read{build_at}();"),
+            ];
+            groups.push(group);
+        }
+        self.push_scene("composites", groups);
+    }
+
+    fn scene_ast(&mut self) {
+        if self.cfg.ast_nodes == 0 {
+            return;
+        }
+        // One AST-building task per `ast_nodes` step, so the parent-field
+        // pathology is exercised from many contexts (as in bloat).
+        let mut unit = Vec::new();
+        unit.push("AstStack st = new AstStack();".to_owned());
+        unit.push("AstBuilder bld = new AstBuilder();".to_owned());
+        unit.push("AstNode seed0 = bld.leaf(st);".to_owned());
+        let combines = 3usize;
+        for k in 0..combines {
+            unit.push(format!("AstNode leaf{k} = bld.leaf(st);"));
+            unit.push(format!("AstNode tree{k} = bld.combine(st);"));
+            unit.push(format!("AstNode up{k} = tree{k}.getParent();"));
+            unit.push(format!("AstNode back{k} = leaf{k}.getParent();"));
+            unit.push(format!("AstNode mix{k} = bld.fetch(st);"));
+        }
+        unit.push("AstNode root = st.pop();".to_owned());
+        self.emit_task("AstTask", vec![unit], self.cfg.ast_nodes);
+    }
+
+    // ------------------------------------------------------------------
+    // Main
+    // ------------------------------------------------------------------
+
+    fn emit_main(&mut self) {
+        // Route helpers live on Main; scene statements are spread across
+        // `Mod<k>` driver classes so that allocating methods belong to
+        // many classes (type-sensitivity diversity), then Main invokes
+        // every module.
+        let modules = self.cfg.driver_modules.max(1);
+        let scenes = std::mem::take(&mut self.scenes);
+        // Round-robin scene statement blocks (kept whole per scene) over
+        // modules; large scenes are chunked.
+        let mut module_bodies: Vec<Vec<(String, Vec<String>)>> = vec![Vec::new(); modules];
+        let mut next = 0usize;
+        for (name, groups) in scenes {
+            for (i, chunk) in groups.chunks(6).enumerate() {
+                let stmts: Vec<String> = chunk.iter().flatten().cloned().collect();
+                module_bodies[next % modules].push((format!("{name}_{i}"), stmts));
+                next += 1;
+            }
+        }
+        for (k, body) in module_bodies.iter().enumerate() {
+            self.line(&format!("class Mod{k} {{"));
+            for (name, stmts) in body {
+                self.line(&format!("    static void drive_{name}() {{"));
+                for stmt in stmts {
+                    let mut line = String::new();
+                    let _ = write!(line, "        {stmt}");
+                    self.line(&line);
+                }
+                self.line("    }");
+            }
+            self.line(&format!("    static void drive_all{k}() {{"));
+            for (name, _) in body {
+                self.line(&format!("        Mod{k}.drive_{name}();"));
+            }
+            self.line("    }");
+            self.line("}");
+        }
+        self.line("class Main {");
+        for c in 0..self.cfg.containers {
+            self.line(&format!("    static Object route{c}(B{c} b, Object o) {{"));
+            self.line(&format!("        b.put{c}(o);"));
+            self.line(&format!("        Object t = b.take{c}();"));
+            self.line("        return t;");
+            self.line("    }");
+        }
+        self.line("    public static void main(String[] args) {");
+        for k in 0..modules {
+            self.line(&format!("        Mod{k}.drive_all{k}();"));
+        }
+        self.line("    }");
+        self.line("}");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxform_minijava::compile;
+
+    #[test]
+    fn tiny_config_compiles() {
+        let src = generate(&SynthConfig::tiny());
+        let module = compile(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        assert!(module.program.method_count() >= 10);
+        assert!(!module.program.facts.virtual_invoke.is_empty());
+        assert!(!module.program.facts.static_invoke.is_empty());
+        assert!(!module.program.facts.store.is_empty());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = SynthConfig::tiny();
+        assert_eq!(generate(&cfg), generate(&cfg));
+        let other = SynthConfig { seed: 2, ..SynthConfig::tiny() };
+        assert_ne!(generate(&cfg), generate(&other));
+    }
+
+    #[test]
+    fn patterns_can_be_disabled() {
+        let cfg = SynthConfig {
+            listeners: 0,
+            ast_nodes: 0,
+            containers: 0,
+            container_instances: 0,
+            route_call_sites: 0,
+            ..SynthConfig::tiny()
+        };
+        let src = generate(&cfg);
+        assert!(!src.contains("class Registry"));
+        assert!(!src.contains("class AstNode"));
+        assert!(!src.contains("class B0"));
+        compile(&src).expect("still compiles");
+    }
+
+    #[test]
+    fn scaled_config_compiles() {
+        let cfg = SynthConfig {
+            seed: 42,
+            hierarchy_classes: 12,
+            hierarchy_fields: 4,
+            hierarchy_methods: 4,
+            wrappers: 3,
+            wrapper_depth: 4,
+            containers: 3,
+            container_instances: 10,
+            factories: 4,
+            factory_call_sites: 5,
+            listeners: 5,
+            events: 3,
+            ast_nodes: 8,
+            poly_call_sites: 15,
+            payload_allocs: 6,
+            route_call_sites: 8,
+            composite_depth: 3,
+            composite_roots: 4,
+            static_globals: 3,
+            task_units: 3,
+            driver_modules: 3,
+        };
+        let src = generate(&cfg);
+        let module = compile(&src).unwrap_or_else(|e| panic!("{e}"));
+        assert!(module.program.stats().input_facts > 200);
+    }
+}

@@ -1,0 +1,507 @@
+//! A concrete interpreter for lowered MiniJava modules.
+//!
+//! The interpreter executes the same three-address instruction stream that
+//! the frontend derives the analysis relations from, and records *dynamic
+//! ground truth*: which allocation sites each variable actually held,
+//! which objects each field actually referenced, and which methods each
+//! invocation site actually called. Soundness tests (Theorem 6.1) assert
+//! that every recorded fact appears in every analysis result.
+//!
+//! Execution is bounded by a step budget, a recursion limit, and a heap
+//! limit, so even adversarial random programs terminate; a truncated run
+//! still yields valid ground truth (a prefix of a real execution).
+//!
+//! ```
+//! use ctxform_minijava::compile;
+//! use ctxform_vm::{run, VmConfig};
+//!
+//! let module = compile(ctxform_minijava::corpus::BOX)?;
+//! let result = run(&module, &VmConfig::default());
+//! assert!(result.outcome.is_complete());
+//! assert!(!result.facts.pts.is_empty());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::collections::{HashMap, HashSet};
+
+use ctxform_ir::{Field, Heap, Inv, Method, ProgramIndex, Var};
+use ctxform_minijava::{Body, Instr, Module, Operand};
+
+/// Execution limits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VmConfig {
+    /// Maximum number of executed instructions.
+    pub max_steps: usize,
+    /// Maximum call depth.
+    pub max_depth: usize,
+    /// Maximum number of allocated objects.
+    pub max_objects: usize,
+}
+
+impl Default for VmConfig {
+    fn default() -> Self {
+        VmConfig { max_steps: 1_000_000, max_depth: 256, max_objects: 100_000 }
+    }
+}
+
+/// Dynamic ground-truth facts collected during execution.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DynFacts {
+    /// Variable `v` held a reference to an object allocated at `h`.
+    pub pts: HashSet<(Var, Heap)>,
+    /// Field `f` of an object allocated at `g` referenced an object
+    /// allocated at `h`.
+    pub hpts: HashSet<(Heap, Field, Heap)>,
+    /// Invocation site `i` dispatched to method `q`.
+    pub call: HashSet<(Inv, Method)>,
+    /// Method `q` was executed.
+    pub reached: HashSet<Method>,
+}
+
+/// Why execution stopped.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Outcome {
+    /// `main` ran to completion.
+    Complete,
+    /// The step budget was exhausted (the collected facts are still a
+    /// valid execution prefix).
+    StepBudget,
+    /// The recursion limit was hit.
+    DepthLimit,
+    /// The object limit was hit.
+    ObjectLimit,
+    /// A member access or call on `null`.
+    NullDeref,
+    /// A virtual call found no target for the receiver's type (MiniJava is
+    /// dynamically checked).
+    DispatchFailure,
+}
+
+impl Outcome {
+    /// `true` for [`Outcome::Complete`].
+    pub fn is_complete(&self) -> bool {
+        matches!(self, Outcome::Complete)
+    }
+}
+
+/// The result of running a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmResult {
+    /// Collected ground truth (valid for any outcome).
+    pub facts: DynFacts,
+    /// Why execution stopped.
+    pub outcome: Outcome,
+}
+
+/// Runs every entry point of `module` under `config` and collects dynamic
+/// facts. Entry points run in declaration order against a shared step
+/// budget; the first non-complete outcome stops execution.
+pub fn run(module: &Module, config: &VmConfig) -> VmResult {
+    let index = module.program.index();
+    let mut vm = Vm {
+        module,
+        index,
+        config: *config,
+        heap: Vec::new(),
+        statics: HashMap::new(),
+        steps: 0,
+        facts: DynFacts::default(),
+    };
+    for &entry in &module.program.entry_points {
+        match vm.call_method(entry, &[], 0) {
+            Ok(_) => {}
+            Err(outcome) => return VmResult { facts: vm.facts, outcome },
+        }
+    }
+    VmResult { facts: vm.facts, outcome: Outcome::Complete }
+}
+
+/// A run-time value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Value {
+    Null,
+    Ref(usize),
+}
+
+#[derive(Debug)]
+struct Obj {
+    site: Heap,
+    fields: HashMap<Field, Value>,
+}
+
+enum Flow {
+    Normal,
+    Returned(Value),
+}
+
+struct Vm<'a> {
+    module: &'a Module,
+    index: ProgramIndex,
+    config: VmConfig,
+    heap: Vec<Obj>,
+    statics: HashMap<Field, Value>,
+    steps: usize,
+    facts: DynFacts,
+}
+
+type Frame = HashMap<Var, Value>;
+
+impl<'a> Vm<'a> {
+    fn tick(&mut self) -> Result<(), Outcome> {
+        self.steps += 1;
+        if self.steps > self.config.max_steps {
+            Err(Outcome::StepBudget)
+        } else {
+            Ok(())
+        }
+    }
+
+    fn set_var(&mut self, frame: &mut Frame, var: Var, value: Value) {
+        if let Value::Ref(obj) = value {
+            self.facts.pts.insert((var, self.heap[obj].site));
+        }
+        frame.insert(var, value);
+    }
+
+    fn get_var(&self, frame: &Frame, var: Var) -> Value {
+        *frame.get(&var).unwrap_or(&Value::Null)
+    }
+
+    fn operand(&self, frame: &Frame, op: Operand) -> Value {
+        match op {
+            Operand::Null => Value::Null,
+            Operand::Var(v) => self.get_var(frame, v),
+        }
+    }
+
+    fn call_method(
+        &mut self,
+        method: Method,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Value, Outcome> {
+        if depth >= self.config.max_depth {
+            return Err(Outcome::DepthLimit);
+        }
+        self.facts.reached.insert(method);
+        let mut frame: Frame = HashMap::new();
+        for (o, &value) in args.iter().enumerate() {
+            if let Some(&formal) = self.index.formal_of.get(&(method, o as u32)) {
+                self.set_var(&mut frame, formal, value);
+            }
+        }
+        let body: &Body = &self.module.bodies[method.index()];
+        match self.exec_block(&body.instrs.clone(), &mut frame, depth)? {
+            Flow::Returned(v) => Ok(v),
+            Flow::Normal => Ok(Value::Null),
+        }
+    }
+
+    fn call_with_this(
+        &mut self,
+        method: Method,
+        this: Value,
+        args: &[Value],
+        depth: usize,
+    ) -> Result<Value, Outcome> {
+        if depth >= self.config.max_depth {
+            return Err(Outcome::DepthLimit);
+        }
+        self.facts.reached.insert(method);
+        let mut frame: Frame = HashMap::new();
+        if let Some(&this_var) = self.index.this_of_method.get(&method) {
+            self.set_var(&mut frame, this_var, this);
+        }
+        for (o, &value) in args.iter().enumerate() {
+            if let Some(&formal) = self.index.formal_of.get(&(method, o as u32)) {
+                self.set_var(&mut frame, formal, value);
+            }
+        }
+        let body: &Body = &self.module.bodies[method.index()];
+        match self.exec_block(&body.instrs.clone(), &mut frame, depth)? {
+            Flow::Returned(v) => Ok(v),
+            Flow::Normal => Ok(Value::Null),
+        }
+    }
+
+    fn exec_block(
+        &mut self,
+        instrs: &[Instr],
+        frame: &mut Frame,
+        depth: usize,
+    ) -> Result<Flow, Outcome> {
+        for instr in instrs {
+            self.tick()?;
+            match instr {
+                Instr::New { dst, heap } => {
+                    if self.heap.len() >= self.config.max_objects {
+                        return Err(Outcome::ObjectLimit);
+                    }
+                    let obj = self.heap.len();
+                    self.heap.push(Obj { site: *heap, fields: HashMap::new() });
+                    self.set_var(frame, *dst, Value::Ref(obj));
+                }
+                Instr::AssignNull { dst } => {
+                    self.set_var(frame, *dst, Value::Null);
+                }
+                Instr::Assign { dst, src } => {
+                    let v = self.get_var(frame, *src);
+                    self.set_var(frame, *dst, v);
+                }
+                Instr::Load { dst, base, field } => {
+                    let Value::Ref(obj) = self.get_var(frame, *base) else {
+                        return Err(Outcome::NullDeref);
+                    };
+                    let v = *self.heap[obj].fields.get(field).unwrap_or(&Value::Null);
+                    self.set_var(frame, *dst, v);
+                }
+                Instr::StaticStore { value, field } => {
+                    let v = self.operand(frame, *value);
+                    self.statics.insert(*field, v);
+                }
+                Instr::StaticLoad { dst, field } => {
+                    let v = *self.statics.get(field).unwrap_or(&Value::Null);
+                    self.set_var(frame, *dst, v);
+                }
+                Instr::Store { value, base, field } => {
+                    let Value::Ref(obj) = self.get_var(frame, *base) else {
+                        return Err(Outcome::NullDeref);
+                    };
+                    let v = self.operand(frame, *value);
+                    if let Value::Ref(target) = v {
+                        let g = self.heap[obj].site;
+                        let h = self.heap[target].site;
+                        self.facts.hpts.insert((g, *field, h));
+                    }
+                    self.heap[obj].fields.insert(*field, v);
+                }
+                Instr::CallStatic { inv, target, args, dst } => {
+                    let arg_values: Vec<Value> =
+                        args.iter().map(|&a| self.operand(frame, a)).collect();
+                    self.facts.call.insert((*inv, *target));
+                    let result = self.call_method(*target, &arg_values, depth + 1)?;
+                    if let Some(dst) = dst {
+                        self.set_var(frame, *dst, result);
+                    }
+                }
+                Instr::CallVirtual { inv, recv, msig, args, dst } => {
+                    let Value::Ref(obj) = self.get_var(frame, *recv) else {
+                        return Err(Outcome::NullDeref);
+                    };
+                    let site = self.heap[obj].site;
+                    let ty = self.index.type_of_heap[site.index()];
+                    let Some(target) = self.index.resolve(ty, *msig) else {
+                        return Err(Outcome::DispatchFailure);
+                    };
+                    let arg_values: Vec<Value> =
+                        args.iter().map(|&a| self.operand(frame, a)).collect();
+                    self.facts.call.insert((*inv, target));
+                    let this = Value::Ref(obj);
+                    let result = self.call_with_this(target, this, &arg_values, depth + 1)?;
+                    if let Some(dst) = dst {
+                        self.set_var(frame, *dst, result);
+                    }
+                }
+                Instr::Return { value } => {
+                    let v = value.map(|op| self.operand(frame, op)).unwrap_or(Value::Null);
+                    return Ok(Flow::Returned(v));
+                }
+                Instr::If { a, b, eq, then_block, else_block } => {
+                    let take_then =
+                        (self.operand(frame, *a) == self.operand(frame, *b)) == *eq;
+                    let block = if take_then { then_block } else { else_block };
+                    if let Flow::Returned(v) = self.exec_block(block, frame, depth)? {
+                        return Ok(Flow::Returned(v));
+                    }
+                }
+                Instr::While { a, b, eq, body } => loop {
+                    self.tick()?;
+                    let go = (self.operand(frame, *a) == self.operand(frame, *b)) == *eq;
+                    if !go {
+                        break;
+                    }
+                    if let Flow::Returned(v) = self.exec_block(body, frame, depth)? {
+                        return Ok(Flow::Returned(v));
+                    }
+                },
+            }
+        }
+        Ok(Flow::Normal)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxform_minijava::{compile, corpus};
+
+    fn run_src(src: &str) -> VmResult {
+        let module = compile(src).expect("compiles");
+        run(&module, &VmConfig::default())
+    }
+
+    #[test]
+    fn box_program_runs_and_records_flow() {
+        let module = compile(corpus::BOX).unwrap();
+        let result = run(&module, &VmConfig::default());
+        assert!(result.outcome.is_complete());
+        let main = module.method_by_name("Main.main").unwrap();
+        let r1 = module.var_by_name(main, "r1").unwrap();
+        let o1 = module.var_by_name(main, "o1").unwrap();
+        let h_o1 = module.heap_assigned_to(o1).unwrap();
+        assert!(result.facts.pts.contains(&(r1, h_o1)), "r1 got o1's object back");
+        // And not the other box's payload.
+        let o2 = module.var_by_name(main, "o2").unwrap();
+        let h_o2 = module.heap_assigned_to(o2).unwrap();
+        assert!(!result.facts.pts.contains(&(r1, h_o2)));
+    }
+
+    #[test]
+    fn dispatch_follows_dynamic_type() {
+        let module = compile(corpus::DISPATCH).unwrap();
+        let result = run(&module, &VmConfig::default());
+        assert!(result.outcome.is_complete());
+        let circle_make = module.method_by_name("Circle.make").unwrap();
+        let square_make = module.method_by_name("Square.make").unwrap();
+        let shape_make = module.method_by_name("Shape.make").unwrap();
+        assert!(result.facts.reached.contains(&circle_make));
+        // `flip` is non-null so the else branch allocates a Square.
+        assert!(result.facts.reached.contains(&square_make));
+        assert!(!result.facts.reached.contains(&shape_make));
+    }
+
+    #[test]
+    fn loops_terminate_and_traverse() {
+        let module = compile(corpus::LIST).unwrap();
+        let result = run(&module, &VmConfig::default());
+        assert!(result.outcome.is_complete());
+        let main = module.method_by_name("Main.main").unwrap();
+        let p = module.var_by_name(main, "p").unwrap();
+        // p saw all three payloads.
+        let count = result.facts.pts.iter().filter(|&&(v, _)| v == p).count();
+        assert_eq!(count, 3);
+    }
+
+    #[test]
+    fn null_deref_is_reported() {
+        let r = run_src(
+            "class A { Object f; }
+             class Main { public static void main(String[] args) {
+                A a = null;
+                Object x = a.f;
+             } }",
+        );
+        assert_eq!(r.outcome, Outcome::NullDeref);
+    }
+
+    #[test]
+    fn infinite_loops_hit_the_step_budget() {
+        let module = compile(
+            "class Main { public static void main(String[] args) {
+                Object x = new Object();
+                while (x != null) { x = x; }
+             } }",
+        )
+        .unwrap();
+        let r = run(&module, &VmConfig { max_steps: 1000, ..VmConfig::default() });
+        assert_eq!(r.outcome, Outcome::StepBudget);
+        assert!(!r.facts.pts.is_empty(), "prefix facts survive");
+    }
+
+    #[test]
+    fn unbounded_recursion_hits_the_depth_limit() {
+        let r = run_src(
+            "class A { Object go(Object p) { return this.go(p); } }
+             class Main { public static void main(String[] args) {
+                A a = new A();
+                Object x = a.go(a);
+             } }",
+        );
+        assert_eq!(r.outcome, Outcome::DepthLimit);
+    }
+
+    #[test]
+    fn allocation_in_loop_hits_object_limit() {
+        let module = compile(
+            "class Main { public static void main(String[] args) {
+                Object x = new Object();
+                while (x != null) { x = new Object(); }
+             } }",
+        )
+        .unwrap();
+        let r = run(&module, &VmConfig { max_objects: 50, ..VmConfig::default() });
+        assert_eq!(r.outcome, Outcome::ObjectLimit);
+    }
+
+    #[test]
+    fn uninitialized_locals_read_as_null() {
+        let r = run_src(
+            "class Main { public static void main(String[] args) {
+                Object x;
+                Object y = x;
+             } }",
+        );
+        assert!(r.outcome.is_complete());
+        assert!(r.facts.pts.is_empty());
+    }
+
+    #[test]
+    fn fields_default_to_null() {
+        let r = run_src(
+            "class A { Object f; }
+             class Main { public static void main(String[] args) {
+                A a = new A();
+                Object x = a.f;
+             } }",
+        );
+        assert!(r.outcome.is_complete());
+    }
+
+    #[test]
+    fn hpts_records_field_targets() {
+        let module = compile(corpus::BOX).unwrap();
+        let result = run(&module, &VmConfig::default());
+        assert_eq!(result.facts.hpts.len(), 2, "two boxes, one payload each");
+    }
+
+    #[test]
+    fn static_fields_flow_between_methods() {
+        let r = run_src(
+            "class G { static Object cache; }
+             class Main {
+                 static void fill() { G.cache = new Object(); }
+                 public static void main(String[] args) {
+                     Main.fill();
+                     Object got = G.cache;
+                 }
+             }",
+        );
+        assert!(r.outcome.is_complete());
+        // `got` saw the object allocated in fill().
+        assert_eq!(r.facts.pts.len(), 2, "{:?}", r.facts.pts);
+    }
+
+    #[test]
+    fn unset_static_fields_read_null() {
+        let r = run_src(
+            "class G { static Object empty; }
+             class Main { public static void main(String[] args) {
+                 Object x = G.empty;
+             } }",
+        );
+        assert!(r.outcome.is_complete());
+        assert!(r.facts.pts.is_empty());
+    }
+
+    #[test]
+    fn every_corpus_program_completes() {
+        for (name, src) in corpus::all() {
+            let module = compile(src).unwrap();
+            let r = run(&module, &VmConfig::default());
+            assert!(r.outcome.is_complete(), "{name}: {:?}", r.outcome);
+        }
+    }
+}

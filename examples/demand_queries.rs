@@ -1,0 +1,61 @@
+//! Demand-driven points-to queries via magic sets — the paper's §10
+//! future-work direction.
+//!
+//! Instead of exhaustively computing every points-to set, the
+//! context-insensitive Datalog rules are rewritten with the magic-sets
+//! transformation so that bottom-up evaluation derives only what one
+//! query transitively demands.
+//!
+//! ```text
+//! cargo run --release --example demand_queries [benchmark] [scale]
+//! ```
+
+use ctxform::{demand_points_to, load_facts, CI_RULES};
+use ctxform_datalog::Engine;
+use ctxform_minijava::compile;
+use ctxform_synth::{generate, preset};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut args = std::env::args().skip(1);
+    let name = args.next().unwrap_or_else(|| "luindex".to_owned());
+    let scale: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(2);
+    let cfg = preset(&name).ok_or("unknown benchmark")?;
+    let module = compile(&generate(&cfg.scale_driver(scale)))?;
+    let program = &module.program;
+    println!("{name} at scale {scale}: {}", program.stats());
+
+    // Exhaustive context-insensitive run, for the work comparison.
+    let mut exhaustive = Engine::parse(CI_RULES)?;
+    load_facts(&mut exhaustive, program);
+    let exhaustive_stats = exhaustive.run();
+    println!(
+        "exhaustive CI analysis: {} rule firings, {} tuples",
+        exhaustive_stats.derivations, exhaustive_stats.tuples
+    );
+
+    // Query a handful of variables spread across the program.
+    println!("\ndemand-driven queries:");
+    let step = (program.var_count() / 6).max(1);
+    for v in (0..program.var_count()).step_by(step).take(6) {
+        let var = ctxform_ir::Var::from_index(v);
+        let answer = demand_points_to(program, var)?;
+        println!(
+            "  pts({:36}) = {:3} sites   [{:6} firings = {:4.1}% of exhaustive]",
+            format!(
+                "{}::{}",
+                program.method_names[program.var_method[v].index()],
+                program.var_names[v]
+            ),
+            answer.points_to.len(),
+            answer.derivations,
+            100.0 * answer.derivations as f64 / exhaustive_stats.derivations as f64,
+        );
+    }
+    println!(
+        "\nDense queries approach the exhaustive cost (points-to analysis is\n\
+         deeply mutually recursive); queries into loosely coupled code cost\n\
+         a fraction of it — the synergy §10 anticipates for transformer\n\
+         strings, whose local facts need no context enumeration."
+    );
+    Ok(())
+}

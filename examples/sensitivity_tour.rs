@@ -1,0 +1,67 @@
+//! The §2 precision tour on the paper's Figure 1 program: how
+//! context-insensitive, 1-call, 2-call, 1-object, and 2-object+H analyses
+//! differ on `x1`, `y1`, `x2`, `y2`, and `z`.
+//!
+//! ```text
+//! cargo run --example sensitivity_tour
+//! ```
+
+use ctxform::{analyze, AnalysisConfig};
+use ctxform_minijava::{compile, corpus};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let module = compile(corpus::FIG1)?;
+    let program = &module.program;
+    let main = module.method_by_name("Main.main").expect("main");
+    let var = |n: &str| module.var_by_name(main, n).expect("var");
+
+    let configs: Vec<(&str, AnalysisConfig)> = vec![
+        ("insensitive", AnalysisConfig::insensitive()),
+        ("1-call", AnalysisConfig::context_strings("1-call".parse()?)),
+        ("2-call", AnalysisConfig::context_strings("2-call".parse()?)),
+        ("1-object", AnalysisConfig::context_strings("1-object".parse()?)),
+        ("2-object+H", AnalysisConfig::transformer_strings("2-object+H".parse()?)),
+    ];
+
+    println!("Figure 1 program, points-to sets per configuration");
+    println!("(h1 = x's Object, h2 = y's Object, m1 = the T allocated in T.m)\n");
+    println!("{:12} {:>10} {:>10} {:>10} {:>10} {:>10}", "config", "x1", "y1", "x2", "y2", "z");
+    for (label, config) in configs {
+        let result = analyze(program, &config);
+        let fmt = |name: &str| {
+            let mut sites: Vec<String> = result
+                .ci
+                .points_to(var(name))
+                .into_iter()
+                .map(|h| {
+                    let full = &program.heap_names[h.index()];
+                    // Compress "Main.main/new Object#0" to "h1"-style tags.
+                    match full.as_str() {
+                        "Main.main/new Object#0" => "h1".to_owned(),
+                        "Main.main/new Object#1" => "h2".to_owned(),
+                        s if s.starts_with("T.m/") => "m1".to_owned(),
+                        s => s.to_owned(),
+                    }
+                })
+                .collect();
+            sites.sort();
+            if sites.is_empty() { "∅".to_owned() } else { sites.join(",") }
+        };
+        println!(
+            "{label:12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            fmt("x1"),
+            fmt("y1"),
+            fmt("x2"),
+            fmt("y2"),
+            fmt("z")
+        );
+    }
+    println!(
+        "\nReading the table (paper §2):\n\
+         * 1-call separates x1/y1 but merges x2/y2 (id2's inner call site is shared);\n\
+         * 2-call recovers x2/y2;\n\
+         * 1-object merges x1/y1 (same receiver h3) but separates x2/y2 (h4 vs h5);\n\
+         * heap contexts (+H) empty z: a.f and b.f no longer alias."
+    );
+    Ok(())
+}

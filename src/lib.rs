@@ -1,0 +1,10 @@
+//! Workspace-level umbrella crate: re-exports every `ctxform` crate so the
+//! examples and integration tests in this repository can use one import root.
+
+pub use ctxform as core;
+pub use ctxform_algebra as algebra;
+pub use ctxform_datalog as datalog;
+pub use ctxform_ir as ir;
+pub use ctxform_minijava as minijava;
+pub use ctxform_synth as synth;
+pub use ctxform_vm as vm;

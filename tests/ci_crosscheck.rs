@@ -1,0 +1,40 @@
+//! Cross-check: the hand-specialized solver's context-insensitive
+//! instantiation must compute exactly the same relations as the same rules
+//! executed by the generic Datalog engine (the paper's plain-Datalog
+//! pipeline).
+
+use ctxform::{analyze, datalog_baseline, AnalysisConfig};
+use ctxform_minijava::{compile, corpus};
+use ctxform_synth::{dacapo_like, generate, random_program};
+
+fn check(name: &str, src: &str) {
+    let module = compile(src).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let solver = analyze(&module.program, &AnalysisConfig::insensitive());
+    let engine = datalog_baseline(&module.program);
+    assert_eq!(solver.ci.pts, engine.pts, "{name}: pts");
+    assert_eq!(solver.ci.hpts, engine.hpts, "{name}: hpts");
+    assert_eq!(solver.ci.call, engine.call, "{name}: call");
+    assert_eq!(solver.ci.reach, engine.reach, "{name}: reach");
+}
+
+#[test]
+fn corpus_matches_datalog_engine() {
+    for (name, src) in corpus::all() {
+        check(name, src);
+    }
+}
+
+#[test]
+fn random_programs_match_datalog_engine() {
+    for seed in 0..20u64 {
+        let src = random_program(seed, 2);
+        check(&format!("random#{seed}"), &src);
+    }
+}
+
+#[test]
+fn benchmark_presets_match_datalog_engine() {
+    for (name, cfg) in dacapo_like() {
+        check(name, &generate(&cfg));
+    }
+}

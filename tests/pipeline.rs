@@ -1,0 +1,78 @@
+//! Whole-pipeline integration: generation → parsing → lowering → fact-file
+//! round trips → analysis determinism.
+
+use ctxform::{analyze, AnalysisConfig};
+use ctxform_ir::text;
+use ctxform_minijava::compile;
+use ctxform_synth::{dacapo_like, generate, random_program, SynthConfig};
+
+#[test]
+fn fact_files_round_trip_for_all_presets() {
+    for (name, cfg) in dacapo_like() {
+        let module = compile(&generate(&cfg)).unwrap();
+        let emitted = text::emit(&module.program);
+        let parsed = text::parse(&emitted).unwrap_or_else(|e| panic!("{name}: {e}"));
+        assert_eq!(parsed, module.program, "{name}");
+    }
+}
+
+#[test]
+fn analysis_results_are_deterministic() {
+    let src = random_program(7, 2);
+    let module = compile(&src).unwrap();
+    let cfg = AnalysisConfig::transformer_strings("2-object+H".parse().unwrap());
+    let a = analyze(&module.program, &cfg);
+    let b = analyze(&module.program, &cfg);
+    assert_eq!(a.ci.pts, b.ci.pts);
+    assert_eq!(a.stats.pts, b.stats.pts);
+    assert_eq!(a.stats.total(), b.stats.total());
+}
+
+#[test]
+fn analysis_of_reparsed_program_matches_original() {
+    let src = random_program(11, 2);
+    let module = compile(&src).unwrap();
+    let round_tripped = text::parse(&text::emit(&module.program)).unwrap();
+    let cfg = AnalysisConfig::context_strings("1-call+H".parse().unwrap());
+    let a = analyze(&module.program, &cfg);
+    let b = analyze(&round_tripped, &cfg);
+    assert_eq!(a.ci.pts, b.ci.pts);
+    assert_eq!(a.stats.total(), b.stats.total());
+}
+
+#[test]
+fn scaling_the_driver_grows_the_program_monotonically() {
+    let cfg = SynthConfig::tiny();
+    let small = compile(&generate(&cfg.clone())).unwrap().program.stats();
+    let big = compile(&generate(&cfg.scale_driver(4))).unwrap().program.stats();
+    assert!(big.input_facts > small.input_facts);
+    assert!(big.heaps > small.heaps);
+    assert!(big.invs > small.invs);
+}
+
+#[test]
+fn corrupted_fact_files_are_rejected() {
+    let module = compile(&random_program(3, 1)).unwrap();
+    let emitted = text::emit(&module.program);
+    // Truncate in the middle of the entity tables: dangling references.
+    let cut: String = emitted
+        .lines()
+        .filter(|l| !l.starts_with("method"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(text::parse(&cut).is_err());
+}
+
+#[test]
+fn figure6_harness_is_reproducible() {
+    use ctxform_bench::{run_figure6, Figure6Options};
+    let opts = Figure6Options { scale: 1, ..Figure6Options::default() };
+    let a = run_figure6(&opts, Some("luindex"));
+    let b = run_figure6(&opts, Some("luindex"));
+    for (ra, rb) in a.iter().zip(&b) {
+        for (ca, cb) in ra.cells.iter().zip(&rb.cells) {
+            assert_eq!(ca.cstring.total, cb.cstring.total);
+            assert_eq!(ca.tstring.total, cb.tstring.total);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Soundness (Theorem 6.1, dynamically checked): every fact observed by
+//! concretely executing a program must appear in every analysis result,
+//! for every abstraction, flavour, and level.
+
+use ctxform::{analyze, AnalysisConfig, AnalysisResult};
+use ctxform_algebra::Sensitivity;
+use ctxform_minijava::{compile, corpus, Module};
+use ctxform_synth::random_program;
+use ctxform_vm::{run, DynFacts, VmConfig};
+
+fn all_configs() -> Vec<AnalysisConfig> {
+    let mut configs = vec![AnalysisConfig::insensitive()];
+    for s in Sensitivity::paper_configs() {
+        configs.push(AnalysisConfig::context_strings(s));
+        configs.push(AnalysisConfig::transformer_strings(s));
+    }
+    // Configurations beyond the paper's evaluated set: deeper call
+    // strings and the hybrid object flavour (citation [6]).
+    for label in ["3-call+2H", "2-hybrid+H"] {
+        let extra: Sensitivity = label.parse().unwrap();
+        configs.push(AnalysisConfig::context_strings(extra));
+        configs.push(AnalysisConfig::transformer_strings(extra));
+    }
+    // Subsumption must not lose soundness either.
+    configs.push(
+        AnalysisConfig::transformer_strings("2-object+H".parse().unwrap()).with_subsumption(),
+    );
+    configs
+}
+
+fn assert_sound(name: &str, module: &Module, dynamic: &DynFacts, result: &AnalysisResult) {
+    let cfg = &result.config;
+    for &(v, h) in &dynamic.pts {
+        assert!(
+            result.ci.pts.contains(&(v, h)),
+            "{name} {cfg}: dynamic pts({}, {}) missing",
+            module.program.var_names[v.index()],
+            module.program.heap_names[h.index()],
+        );
+    }
+    for &(g, f, h) in &dynamic.hpts {
+        assert!(
+            result.ci.hpts.contains(&(g, f, h)),
+            "{name} {cfg}: dynamic hpts({}, {}, {}) missing",
+            module.program.heap_names[g.index()],
+            module.program.field_names[f.index()],
+            module.program.heap_names[h.index()],
+        );
+    }
+    for &(i, q) in &dynamic.call {
+        assert!(
+            result.ci.call.contains(&(i, q)),
+            "{name} {cfg}: dynamic call({}, {}) missing",
+            module.program.inv_names[i.index()],
+            module.program.method_names[q.index()],
+        );
+    }
+    for &m in &dynamic.reached {
+        assert!(
+            result.ci.reach.contains(&m),
+            "{name} {cfg}: dynamically reached {} missing",
+            module.program.method_names[m.index()],
+        );
+    }
+}
+
+fn check_program(name: &str, source: &str) {
+    let module = compile(source).unwrap_or_else(|e| panic!("{name}: {e}"));
+    let vm = run(&module, &VmConfig::default());
+    assert!(
+        !vm.facts.reached.is_empty(),
+        "{name}: execution should reach at least main ({:?})",
+        vm.outcome
+    );
+    for config in all_configs() {
+        let result = analyze(&module.program, &config);
+        assert_sound(name, &module, &vm.facts, &result);
+    }
+}
+
+#[test]
+fn corpus_programs_are_analyzed_soundly() {
+    for (name, src) in corpus::all() {
+        check_program(name, src);
+    }
+}
+
+#[test]
+fn random_programs_are_analyzed_soundly() {
+    for seed in 0..25u64 {
+        let size = 1 + (seed as usize % 3);
+        let src = random_program(seed, size);
+        check_program(&format!("random#{seed}"), &src);
+    }
+}
+
+#[test]
+fn truncated_executions_are_still_covered() {
+    // Even when the VM stops early (step budget), the collected prefix
+    // facts must be covered.
+    let src = random_program(99, 3);
+    let module = compile(&src).unwrap();
+    let vm = run(&module, &VmConfig { max_steps: 40, ..VmConfig::default() });
+    let result =
+        analyze(&module.program, &AnalysisConfig::transformer_strings("1-object".parse().unwrap()));
+    assert_sound("truncated", &module, &vm.facts, &result);
+}
