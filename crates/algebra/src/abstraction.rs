@@ -35,7 +35,10 @@ pub enum BoundaryMode {
 
 /// Truncation limits for one composition, i.e. the output domain
 /// `CtxtT_{i,j}` of a `comp` occurrence in Fig. 3.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// `Hash` lets the solver key its composition memo table on
+/// `(a, b, Limits)` triples of copyable handles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Limits {
     /// Maximum source-side length (exits / source string).
     pub src: usize,
@@ -144,7 +147,10 @@ pub struct CStrings {
 impl CStrings {
     /// Creates a context-string abstraction for `sensitivity`.
     pub fn new(sensitivity: Sensitivity) -> Self {
-        CStrings { sensitivity, interner: CtxtInterner::new() }
+        CStrings {
+            sensitivity,
+            interner: CtxtInterner::new(),
+        }
     }
 }
 
@@ -169,7 +175,10 @@ impl Abstraction for CStrings {
 
     fn record(&mut self, m: CtxtStr) -> CPair {
         let h = self.sensitivity.levels.heap;
-        CPair { src: self.interner.prefix(m, h), dst: m }
+        CPair {
+            src: self.interner.prefix(m, h),
+            dst: m,
+        }
     }
 
     fn compose(&mut self, a: CPair, b: CPair, _limits: Limits) -> Option<CPair> {
@@ -221,7 +230,10 @@ impl Abstraction for CStrings {
     }
 
     fn globalize(&mut self, b: CPair) -> CPair {
-        CPair { src: b.src, dst: CtxtStr::EMPTY }
+        CPair {
+            src: b.src,
+            dst: CtxtStr::EMPTY,
+        }
     }
 
     fn load_global(&mut self, b: CPair, m: CtxtStr) -> CPair {
@@ -257,7 +269,10 @@ pub struct TStrings {
 impl TStrings {
     /// Creates a transformer-string abstraction for `sensitivity`.
     pub fn new(sensitivity: Sensitivity) -> Self {
-        TStrings { sensitivity, interner: CtxtInterner::new() }
+        TStrings {
+            sensitivity,
+            interner: CtxtInterner::new(),
+        }
     }
 }
 
@@ -324,9 +339,7 @@ impl Abstraction for TStrings {
 
     fn merge_s(&mut self, inv: CtxtElem, m: CtxtStr) -> TStr {
         match self.sensitivity.flavour {
-            Flavour::CallSite | Flavour::HybridObject => {
-                TStr::entry_of(&mut self.interner, inv)
-            }
+            Flavour::CallSite | Flavour::HybridObject => TStr::entry_of(&mut self.interner, inv),
             // M·M̂: the identity on contexts extending M, ⊥ elsewhere.
             Flavour::Object | Flavour::Type => TStr::projection(m),
         }
@@ -339,7 +352,11 @@ impl Abstraction for TStrings {
     fn globalize(&mut self, b: TStr) -> TStr {
         // Keep the absolute constraint on the allocation context (the
         // exits), forget the destination side: B ; ∗.
-        TStr { exits: b.exits, wild: true, entries: CtxtStr::EMPTY }
+        TStr {
+            exits: b.exits,
+            wild: true,
+            entries: CtxtStr::EMPTY,
+        }
     }
 
     fn load_global(&mut self, b: TStr, _m: CtxtStr) -> TStr {
@@ -386,7 +403,9 @@ pub struct Insensitive {
 impl Insensitive {
     /// Creates the context-insensitive abstraction.
     pub fn new() -> Self {
-        Insensitive { interner: CtxtInterner::new() }
+        Insensitive {
+            interner: CtxtInterner::new(),
+        }
     }
 }
 
@@ -485,7 +504,10 @@ mod tests {
         let c1 = CtxtElem::of_inv(Inv(1));
         let c2 = CtxtElem::of_inv(Inv(2));
         let m = a.interner.from_slice(&[c1, c2]);
-        let b = CPair { src: a.interner.from_slice(&[c1]), dst: m };
+        let b = CPair {
+            src: a.interner.from_slice(&[c1]),
+            dst: m,
+        };
         let c = a.merge(site(), b);
         assert_eq!(c.src, m);
         assert_eq!(c.dst, a.interner.from_slice(&[site().inv, c1]));
@@ -498,7 +520,10 @@ mod tests {
         let h7 = CtxtElem::of_heap(Heap(7));
         let hsrc = a.interner.from_slice(&[h7]);
         let mdst = a.interner.from_slice(&[h7, CtxtElem::entry()]);
-        let b = CPair { src: hsrc, dst: mdst };
+        let b = CPair {
+            src: hsrc,
+            dst: mdst,
+        };
         let c = a.merge(site(), b);
         assert_eq!(c.src, mdst);
         assert_eq!(c.dst, a.interner.from_slice(&[site().heap, h7]));
@@ -510,7 +535,10 @@ mod tests {
         let t1 = CtxtElem::of_type(IrType(1));
         let hsrc = a.interner.from_slice(&[t1]);
         let mdst = a.interner.from_slice(&[t1, CtxtElem::entry()]);
-        let b = CPair { src: hsrc, dst: mdst };
+        let b = CPair {
+            src: hsrc,
+            dst: mdst,
+        };
         let c = a.merge(site(), b);
         assert_eq!(c.dst, a.interner.from_slice(&[site().class, t1]));
     }
@@ -526,7 +554,13 @@ mod tests {
         let mut ob = CStrings::new(Sensitivity::new(Flavour::Object, 1, 0).unwrap());
         let entry = ob.interner.from_slice(&[CtxtElem::entry()]);
         let c = ob.merge_s(site().inv, entry);
-        assert_eq!(c, CPair { src: entry, dst: entry });
+        assert_eq!(
+            c,
+            CPair {
+                src: entry,
+                dst: entry
+            }
+        );
     }
 
     #[test]
@@ -574,7 +608,10 @@ mod tests {
     fn tstring_merge_s_matches_figure4() {
         let mut cs = TStrings::new(Sensitivity::new(Flavour::CallSite, 1, 0).unwrap());
         let entry = cs.interner.from_slice(&[CtxtElem::entry()]);
-        assert_eq!(cs.merge_s(site().inv, entry), TStr::entry_of(&mut cs.interner, site().inv));
+        assert_eq!(
+            cs.merge_s(site().inv, entry),
+            TStr::entry_of(&mut cs.interner, site().inv)
+        );
 
         let mut ob = TStrings::new(Sensitivity::new(Flavour::Object, 1, 0).unwrap());
         let entry = ob.interner.from_slice(&[CtxtElem::entry()]);
@@ -598,14 +635,31 @@ mod tests {
         let u = cs.interner.from_slice(&[c1]);
         let m = cs.interner.from_slice(&[c1, CtxtElem::entry()]);
         let g = cs.globalize(CPair { src: u, dst: m });
-        assert_eq!(g, CPair { src: u, dst: CtxtStr::EMPTY });
+        assert_eq!(
+            g,
+            CPair {
+                src: u,
+                dst: CtxtStr::EMPTY
+            }
+        );
         assert_eq!(cs.load_global(g, m), CPair { src: u, dst: m });
 
         let mut ts = TStrings::new(s);
         let u = ts.interner.from_slice(&[c1]);
-        let b = TStr { exits: u, wild: false, entries: u };
+        let b = TStr {
+            exits: u,
+            wild: false,
+            entries: u,
+        };
         let g = ts.globalize(b);
-        assert_eq!(g, TStr { exits: u, wild: true, entries: CtxtStr::EMPTY });
+        assert_eq!(
+            g,
+            TStr {
+                exits: u,
+                wild: true,
+                entries: CtxtStr::EMPTY
+            }
+        );
         // Loading ignores the reach context entirely.
         assert_eq!(ts.load_global(g, m), g);
     }
@@ -625,7 +679,10 @@ mod tests {
         assert_eq!(ts.boundary_mode(), BoundaryMode::Prefix);
 
         let cs = CStrings::new(s);
-        let p = CPair { src: CtxtStr::EMPTY, dst: CtxtStr::EMPTY };
+        let p = CPair {
+            src: CtxtStr::EMPTY,
+            dst: CtxtStr::EMPTY,
+        };
         assert_eq!(cs.src_boundary(p), p.src);
         assert_eq!(cs.boundary_mode(), BoundaryMode::Exact);
     }

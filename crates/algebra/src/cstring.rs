@@ -34,19 +34,28 @@ pub struct CPair {
 
 impl CPair {
     /// The pair `(ε, ε)`.
-    pub const EMPTY: CPair = CPair { src: CtxtStr::EMPTY, dst: CtxtStr::EMPTY };
+    pub const EMPTY: CPair = CPair {
+        src: CtxtStr::EMPTY,
+        dst: CtxtStr::EMPTY,
+    };
 
     /// Composition `compc((U,V), (V,W), (U,W))`: defined only when the
     /// middle strings coincide (§4.1's definition collapses to an equality
     /// join because both middles abstract the same method's context at the
     /// same truncation length).
     pub fn compose(self, other: CPair) -> Option<CPair> {
-        (self.dst == other.src).then_some(CPair { src: self.src, dst: other.dst })
+        (self.dst == other.src).then_some(CPair {
+            src: self.src,
+            dst: other.dst,
+        })
     }
 
     /// The semigroup inverse `inv((U,V)) = (V,U)`.
     pub fn inverse(self) -> CPair {
-        CPair { src: self.dst, dst: self.src }
+        CPair {
+            src: self.dst,
+            dst: self.src,
+        }
     }
 
     /// Formats the pair as `(src, dst)` with a custom element renderer.
@@ -107,7 +116,10 @@ mod tests {
     fn display_renders_pairs() {
         let mut it = CtxtInterner::new();
         let a = it.from_slice(&[CtxtElem::of_inv(Inv(1))]);
-        let p = CPair { src: a, dst: CtxtStr::EMPTY };
+        let p = CPair {
+            src: a,
+            dst: CtxtStr::EMPTY,
+        };
         assert_eq!(p.display(&it), "(i1, )");
     }
 }

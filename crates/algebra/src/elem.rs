@@ -67,7 +67,10 @@ impl CtxtElem {
     }
 
     fn pack(tag: u32, id: u32) -> CtxtElem {
-        assert!(id <= ID_MASK, "entity id {id} exceeds context-element capacity");
+        assert!(
+            id <= ID_MASK,
+            "entity id {id} exceeds context-element capacity"
+        );
         CtxtElem((tag << TAG_SHIFT) | id)
     }
 

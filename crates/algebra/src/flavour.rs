@@ -104,7 +104,10 @@ impl Sensitivity {
                 }
             }
         }
-        Ok(Sensitivity { flavour, levels: Levels { method, heap } })
+        Ok(Sensitivity {
+            flavour,
+            levels: Levels { method, heap },
+        })
     }
 
     /// The paper's five evaluated configurations, in Fig. 6 column order:
@@ -188,10 +191,16 @@ impl fmt::Display for SensitivityError {
                 write!(f, "method context level must be at least 1")
             }
             SensitivityError::HeapExceedsMethod { method, heap } => {
-                write!(f, "call-site sensitivity requires h <= m, got m={method}, h={heap}")
+                write!(
+                    f,
+                    "call-site sensitivity requires h <= m, got m={method}, h={heap}"
+                )
             }
             SensitivityError::ObjectHeapMismatch { method, heap } => {
-                write!(f, "object/type sensitivity requires h = m - 1, got m={method}, h={heap}")
+                write!(
+                    f,
+                    "object/type sensitivity requires h = m - 1, got m={method}, h={heap}"
+                )
             }
             SensitivityError::BadSyntax(s) => write!(f, "cannot parse sensitivity label `{s}`"),
         }

@@ -12,8 +12,9 @@
 //! The prefix-walk operations are exactly what the solver's specialized
 //! transformer-string join indices (paper §7) need.
 
-use std::collections::HashMap;
 use std::fmt;
+
+use ctxform_hash::FxHashMap;
 
 use crate::elem::CtxtElem;
 
@@ -56,7 +57,7 @@ struct Node {
 #[derive(Debug, Clone)]
 pub struct CtxtInterner {
     nodes: Vec<Node>,
-    snoc_map: HashMap<(CtxtStr, CtxtElem), CtxtStr>,
+    snoc_map: FxHashMap<(CtxtStr, CtxtElem), CtxtStr>,
 }
 
 impl Default for CtxtInterner {
@@ -70,8 +71,12 @@ impl CtxtInterner {
     pub fn new() -> Self {
         CtxtInterner {
             // Slot 0 is the empty string; its node fields are never read.
-            nodes: vec![Node { parent: CtxtStr(0), last: CtxtElem::entry(), len: 0 }],
-            snoc_map: HashMap::new(),
+            nodes: vec![Node {
+                parent: CtxtStr(0),
+                last: CtxtElem::entry(),
+                len: 0,
+            }],
+            snoc_map: FxHashMap::default(),
         }
     }
 
@@ -87,7 +92,11 @@ impl CtxtInterner {
         }
         let id = CtxtStr(u32::try_from(self.nodes.len()).expect("too many context strings"));
         let len = self.nodes[s.0 as usize].len + 1;
-        self.nodes.push(Node { parent: s, last: elem, len });
+        self.nodes.push(Node {
+            parent: s,
+            last: elem,
+            len,
+        });
         self.snoc_map.insert((s, elem), id);
         id
     }
@@ -152,41 +161,63 @@ impl CtxtInterner {
     }
 
     /// `drop_k(s)`: the suffix after removing the first `min(k, len)`
-    /// elements (paper §2.3). Rebuilds, hence `&mut`.
+    /// elements (paper §2.3). May intern new strings, hence `&mut`;
+    /// allocation-free (recursion depth is `len(s)`, bounded by the
+    /// k-limits of the analysis).
     pub fn drop_front(&mut self, s: CtxtStr, k: usize) -> CtxtStr {
         if k == 0 {
             return s;
         }
-        let elems = self.elems(s);
-        let k = k.min(elems.len());
-        let tail = elems[k..].to_vec();
-        self.from_slice(&tail)
+        if self.len(s) <= k {
+            return CtxtStr::EMPTY;
+        }
+        let (p, l) = {
+            let node = self.nodes[s.0 as usize];
+            (node.parent, node.last)
+        };
+        let head = self.drop_front(p, k);
+        self.snoc(head, l)
     }
 
     /// Pushes `elem` onto the *front* of `s` (most-recent position).
+    /// Allocation-free; recursion depth is `len(s)`.
     pub fn push_front(&mut self, elem: CtxtElem, s: CtxtStr) -> CtxtStr {
-        let mut elems = self.elems(s);
-        elems.insert(0, elem);
-        self.from_slice(&elems)
+        if self.is_empty(s) {
+            return self.snoc(CtxtStr::EMPTY, elem);
+        }
+        let (p, l) = {
+            let node = self.nodes[s.0 as usize];
+            (node.parent, node.last)
+        };
+        let head = self.push_front(elem, p);
+        self.snoc(head, l)
     }
 
-    /// Concatenation `a · b`.
+    /// Concatenation `a · b`. Allocation-free; recursion depth is `len(b)`.
     pub fn concat(&mut self, a: CtxtStr, b: CtxtStr) -> CtxtStr {
-        let mut s = a;
-        for e in self.elems(b) {
-            s = self.snoc(s, e);
+        if self.is_empty(b) {
+            return a;
         }
-        s
+        let (p, l) = {
+            let node = self.nodes[b.0 as usize];
+            (node.parent, node.last)
+        };
+        let head = self.concat(a, p);
+        self.snoc(head, l)
+    }
+
+    /// The elements of `s`, back-to-front (last element first): the order
+    /// the parent-pointer trie stores them in, yielded with no allocation.
+    pub fn rev_elems(&self, s: CtxtStr) -> RevElems<'_> {
+        RevElems {
+            interner: self,
+            cur: s,
+        }
     }
 
     /// The elements of `s`, front-to-back.
     pub fn elems(&self, s: CtxtStr) -> Vec<CtxtElem> {
-        let mut out = Vec::with_capacity(self.len(s));
-        let mut cur = s;
-        while !self.is_empty(cur) {
-            out.push(self.last(cur));
-            cur = self.parent(cur);
-        }
+        let mut out: Vec<CtxtElem> = self.rev_elems(s).collect();
         out.reverse();
         out
     }
@@ -197,9 +228,26 @@ impl CtxtInterner {
     /// Used by transformer-string subsumption: `(E, N)` is subsumed by a
     /// shorter wildcard-free transformer exactly when the two suffixes
     /// beyond the shorter transformer agree.
+    ///
+    /// # Precondition
+    ///
+    /// `ka <= len(a)` and `kb <= len(b)`: the caller asks about the suffix
+    /// *beyond* a genuine prefix. Violations are a caller bug, checked with
+    /// `debug_assert!`; release builds saturate (treating the suffix as
+    /// empty) instead of wrapping the subtraction around.
     pub fn suffix_eq(&self, a: CtxtStr, ka: usize, b: CtxtStr, kb: usize) -> bool {
-        let na = self.len(a) - ka;
-        let nb = self.len(b) - kb;
+        debug_assert!(
+            ka <= self.len(a),
+            "suffix_eq: ka={ka} > len(a)={}",
+            self.len(a)
+        );
+        debug_assert!(
+            kb <= self.len(b),
+            "suffix_eq: kb={kb} > len(b)={}",
+            self.len(b)
+        );
+        let na = self.len(a).saturating_sub(ka);
+        let nb = self.len(b).saturating_sub(kb);
         if na != nb {
             return false;
         }
@@ -216,11 +264,11 @@ impl CtxtInterner {
     }
 
     /// Formats `s` with a custom element renderer.
-    pub fn display_with<F>(&self, s: CtxtStr, mut render: F) -> String
+    pub fn display_with<F>(&self, s: CtxtStr, render: F) -> String
     where
         F: FnMut(CtxtElem) -> String,
     {
-        let parts: Vec<String> = self.elems(s).into_iter().map(|e| render(e)).collect();
+        let parts: Vec<String> = self.elems(s).into_iter().map(render).collect();
         parts.join("·")
     }
 
@@ -229,6 +277,34 @@ impl CtxtInterner {
         self.display_with(s, |e| e.to_string())
     }
 }
+
+/// Iterator over the elements of a context string, back-to-front
+/// (see [`CtxtInterner::rev_elems`]).
+#[derive(Debug, Clone)]
+pub struct RevElems<'a> {
+    interner: &'a CtxtInterner,
+    cur: CtxtStr,
+}
+
+impl Iterator for RevElems<'_> {
+    type Item = CtxtElem;
+
+    fn next(&mut self) -> Option<CtxtElem> {
+        if self.interner.is_empty(self.cur) {
+            return None;
+        }
+        let node = self.interner.nodes[self.cur.0 as usize];
+        self.cur = node.parent;
+        Some(node.last)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.interner.len(self.cur);
+        (n, Some(n))
+    }
+}
+
+impl ExactSizeIterator for RevElems<'_> {}
 
 impl fmt::Display for CtxtStr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -242,7 +318,11 @@ mod tests {
     use ctxform_ir::{Heap, Inv};
 
     fn elems3() -> [CtxtElem; 3] {
-        [CtxtElem::of_inv(Inv(1)), CtxtElem::of_heap(Heap(2)), CtxtElem::entry()]
+        [
+            CtxtElem::of_inv(Inv(1)),
+            CtxtElem::of_heap(Heap(2)),
+            CtxtElem::entry(),
+        ]
     }
 
     #[test]
@@ -303,6 +383,17 @@ mod tests {
         assert_eq!(it.elems(abc), vec![a, b, c]);
         assert_eq!(it.concat(CtxtStr::EMPTY, ab), ab);
         assert_eq!(it.concat(ab, CtxtStr::EMPTY), ab);
+    }
+
+    #[test]
+    fn rev_elems_yields_back_to_front_without_alloc() {
+        let mut it = CtxtInterner::new();
+        let [a, b, c] = elems3();
+        let abc = it.from_slice(&[a, b, c]);
+        let rev: Vec<CtxtElem> = it.rev_elems(abc).collect();
+        assert_eq!(rev, vec![c, b, a]);
+        assert_eq!(it.rev_elems(abc).len(), 3);
+        assert_eq!(it.rev_elems(CtxtStr::EMPTY).count(), 0);
     }
 
     #[test]

@@ -57,36 +57,59 @@ pub struct TStr {
 
 impl TStr {
     /// The identity transformation `ε`.
-    pub const IDENTITY: TStr =
-        TStr { exits: CtxtStr::EMPTY, wild: false, entries: CtxtStr::EMPTY };
+    pub const IDENTITY: TStr = TStr {
+        exits: CtxtStr::EMPTY,
+        wild: false,
+        entries: CtxtStr::EMPTY,
+    };
 
     /// The all-contexts transformer `∗` (pops nothing, forgets everything).
-    pub const WILD: TStr = TStr { exits: CtxtStr::EMPTY, wild: true, entries: CtxtStr::EMPTY };
+    pub const WILD: TStr = TStr {
+        exits: CtxtStr::EMPTY,
+        wild: true,
+        entries: CtxtStr::EMPTY,
+    };
 
     /// A single-entry transformer `â`.
     pub fn entry_of(interner: &mut CtxtInterner, a: CtxtElem) -> TStr {
         let s = interner.snoc(CtxtStr::EMPTY, a);
-        TStr { exits: CtxtStr::EMPTY, wild: false, entries: s }
+        TStr {
+            exits: CtxtStr::EMPTY,
+            wild: false,
+            entries: s,
+        }
     }
 
     /// A single-exit transformer `a`.
     pub fn exit_of(interner: &mut CtxtInterner, a: CtxtElem) -> TStr {
         let s = interner.snoc(CtxtStr::EMPTY, a);
-        TStr { exits: s, wild: false, entries: CtxtStr::EMPTY }
+        TStr {
+            exits: s,
+            wild: false,
+            entries: CtxtStr::EMPTY,
+        }
     }
 
     /// The projection transformer `M · M̂` for a context string `M`: maps a
     /// context to itself if `M` is a prefix of it, and to ⊥ otherwise
     /// (used by the Static rule under object/type sensitivity, §3.1).
     pub fn projection(m: CtxtStr) -> TStr {
-        TStr { exits: m, wild: false, entries: m }
+        TStr {
+            exits: m,
+            wild: false,
+            entries: m,
+        }
     }
 
     /// The semigroup inverse: `inv(A·w·B̂) = B·w·Â`.
     ///
     /// Because `entries` is stored in output order, this is a field swap.
     pub fn inverse(self) -> TStr {
-        TStr { exits: self.entries, wild: self.wild, entries: self.exits }
+        TStr {
+            exits: self.entries,
+            wild: self.wild,
+            entries: self.exits,
+        }
     }
 
     /// `true` iff this is the identity transformer.
@@ -121,21 +144,37 @@ impl TStr {
             // vanish into self's wildcard (∗·a = ∗) or extend self's exits.
             let excess = interner.drop_front(ce, lb);
             if self.wild {
-                TStr { exits: self.exits, wild: true, entries: other.entries }
+                TStr {
+                    exits: self.exits,
+                    wild: true,
+                    entries: other.entries,
+                }
             } else {
                 let exits = interner.concat(self.exits, excess);
-                TStr { exits, wild: other.wild, entries: other.entries }
+                TStr {
+                    exits,
+                    wild: other.wild,
+                    entries: other.entries,
+                }
             }
         } else {
             // `self` pushed at least as much as `other` pops; the leftover
             // entries survive below other's entries, unless other's
             // wildcard forgets them (â·∗ = ∗).
             if other.wild {
-                TStr { exits: self.exits, wild: true, entries: other.entries }
+                TStr {
+                    exits: self.exits,
+                    wild: true,
+                    entries: other.entries,
+                }
             } else {
                 let leftover = interner.drop_front(be, k);
                 let entries = interner.concat(other.entries, leftover);
-                TStr { exits: self.exits, wild: self.wild, entries }
+                TStr {
+                    exits: self.exits,
+                    wild: self.wild,
+                    entries,
+                }
             }
         };
         Some(result.truncate(interner, max_exits, max_entries))
@@ -144,12 +183,7 @@ impl TStr {
     /// `trunc_{i,j}` (paper §4.2): keeps the first `max_exits` exits and
     /// the top-most `max_entries` entries, inserting a wildcard when
     /// anything is cut. Conservative per Lemma 4.2.
-    pub fn truncate(
-        self,
-        interner: &CtxtInterner,
-        max_exits: usize,
-        max_entries: usize,
-    ) -> TStr {
+    pub fn truncate(self, interner: &CtxtInterner, max_exits: usize, max_entries: usize) -> TStr {
         if interner.len(self.exits) <= max_exits && interner.len(self.entries) <= max_entries {
             return self;
         }
@@ -280,7 +314,14 @@ mod tests {
         let down = TStr::exit_of(&mut it, a);
         let up = TStr::entry_of(&mut it, a);
         let got = compose(&mut it, down, up).unwrap();
-        assert_eq!(got, TStr { exits: down.exits, wild: false, entries: up.entries });
+        assert_eq!(
+            got,
+            TStr {
+                exits: down.exits,
+                wild: false,
+                entries: up.entries
+            }
+        );
         assert_eq!(got, TStr::projection(down.exits));
     }
 
@@ -288,8 +329,16 @@ mod tests {
     fn wildcard_absorbs_excess_exits() {
         let (mut it, a, b, _) = setup();
         // self = ∗·â ; other = a·b : the a cancels, b hits the wildcard.
-        let lhs = TStr { exits: CtxtStr::EMPTY, wild: true, entries: it.from_slice(&[a]) };
-        let rhs = TStr { exits: it.from_slice(&[a, b]), wild: false, entries: CtxtStr::EMPTY };
+        let lhs = TStr {
+            exits: CtxtStr::EMPTY,
+            wild: true,
+            entries: it.from_slice(&[a]),
+        };
+        let rhs = TStr {
+            exits: it.from_slice(&[a, b]),
+            wild: false,
+            entries: CtxtStr::EMPTY,
+        };
         let got = compose(&mut it, lhs, rhs).unwrap();
         assert_eq!(got, TStr::WILD);
     }
@@ -298,10 +347,25 @@ mod tests {
     fn wildcard_absorbs_leftover_entries() {
         let (mut it, a, b, _) = setup();
         // self = â·b̂ (entries [b, a] in output order); other = ∗·ĉ? use b exits none.
-        let lhs = TStr { exits: CtxtStr::EMPTY, wild: false, entries: it.from_slice(&[b, a]) };
-        let rhs = TStr { exits: CtxtStr::EMPTY, wild: true, entries: it.from_slice(&[a]) };
+        let lhs = TStr {
+            exits: CtxtStr::EMPTY,
+            wild: false,
+            entries: it.from_slice(&[b, a]),
+        };
+        let rhs = TStr {
+            exits: CtxtStr::EMPTY,
+            wild: true,
+            entries: it.from_slice(&[a]),
+        };
         let got = compose(&mut it, lhs, rhs).unwrap();
-        assert_eq!(got, TStr { exits: CtxtStr::EMPTY, wild: true, entries: it.from_slice(&[a]) });
+        assert_eq!(
+            got,
+            TStr {
+                exits: CtxtStr::EMPTY,
+                wild: true,
+                entries: it.from_slice(&[a])
+            }
+        );
     }
 
     #[test]
@@ -309,11 +373,19 @@ mod tests {
         let (mut it, a, b, c) = setup();
         // self = â (pushes a); other pops a then b then pushes c.
         let lhs = TStr::entry_of(&mut it, a);
-        let rhs = TStr { exits: it.from_slice(&[a, b]), wild: false, entries: it.from_slice(&[c]) };
+        let rhs = TStr {
+            exits: it.from_slice(&[a, b]),
+            wild: false,
+            entries: it.from_slice(&[c]),
+        };
         let got = compose(&mut it, lhs, rhs).unwrap();
         assert_eq!(
             got,
-            TStr { exits: it.from_slice(&[b]), wild: false, entries: it.from_slice(&[c]) }
+            TStr {
+                exits: it.from_slice(&[b]),
+                wild: false,
+                entries: it.from_slice(&[c])
+            }
         );
     }
 
@@ -322,23 +394,43 @@ mod tests {
         let (mut it, a, b, c) = setup();
         // self pushes [b, a] (output order), other pops a and pushes c:
         // output = c · b · input.
-        let lhs = TStr { exits: CtxtStr::EMPTY, wild: false, entries: it.from_slice(&[a, b]) };
-        let rhs = TStr { exits: it.from_slice(&[a]), wild: false, entries: it.from_slice(&[c]) };
+        let lhs = TStr {
+            exits: CtxtStr::EMPTY,
+            wild: false,
+            entries: it.from_slice(&[a, b]),
+        };
+        let rhs = TStr {
+            exits: it.from_slice(&[a]),
+            wild: false,
+            entries: it.from_slice(&[c]),
+        };
         let got = compose(&mut it, lhs, rhs).unwrap();
         assert_eq!(
             got,
-            TStr { exits: CtxtStr::EMPTY, wild: false, entries: it.from_slice(&[c, b]) }
+            TStr {
+                exits: CtxtStr::EMPTY,
+                wild: false,
+                entries: it.from_slice(&[c, b])
+            }
         );
     }
 
     #[test]
     fn truncation_inserts_wildcard() {
         let (mut it, a, b, c) = setup();
-        let t = TStr { exits: it.from_slice(&[a, b, c]), wild: false, entries: it.from_slice(&[c, b]) };
+        let t = TStr {
+            exits: it.from_slice(&[a, b, c]),
+            wild: false,
+            entries: it.from_slice(&[c, b]),
+        };
         let cut = t.truncate(&it, 1, 1);
         assert_eq!(
             cut,
-            TStr { exits: it.from_slice(&[a]), wild: true, entries: it.from_slice(&[c]) }
+            TStr {
+                exits: it.from_slice(&[a]),
+                wild: true,
+                entries: it.from_slice(&[c])
+            }
         );
         // Within limits: unchanged, wildcard not inserted.
         assert_eq!(t.truncate(&it, 3, 2), t);
@@ -347,7 +439,11 @@ mod tests {
     #[test]
     fn inverse_laws_hold() {
         let (mut it, a, b, c) = setup();
-        let f = TStr { exits: it.from_slice(&[a, b]), wild: true, entries: it.from_slice(&[c]) };
+        let f = TStr {
+            exits: it.from_slice(&[a, b]),
+            wild: true,
+            entries: it.from_slice(&[c]),
+        };
         let finv = f.inverse();
         let f_finv = compose(&mut it, f, finv).unwrap();
         let fif = compose(&mut it, f_finv, f).unwrap();
@@ -361,7 +457,11 @@ mod tests {
     #[test]
     fn identity_is_neutral() {
         let (mut it, a, _, c) = setup();
-        let f = TStr { exits: it.from_slice(&[a]), wild: false, entries: it.from_slice(&[c]) };
+        let f = TStr {
+            exits: it.from_slice(&[a]),
+            wild: false,
+            entries: it.from_slice(&[c]),
+        };
         assert_eq!(compose(&mut it, TStr::IDENTITY, f), Some(f));
         assert_eq!(compose(&mut it, f, TStr::IDENTITY), Some(f));
         assert!(TStr::IDENTITY.is_identity());
@@ -372,10 +472,21 @@ mod tests {
         let (mut it, m1, m2, _) = setup();
         // ∗ subsumes everything.
         let star = TStr::WILD;
-        let m1_star = TStr { exits: it.from_slice(&[m1]), wild: true, entries: CtxtStr::EMPTY };
-        let star_m2 = TStr { exits: CtxtStr::EMPTY, wild: true, entries: it.from_slice(&[m2]) };
-        let m1_star_m2 =
-            TStr { exits: it.from_slice(&[m1]), wild: true, entries: it.from_slice(&[m2]) };
+        let m1_star = TStr {
+            exits: it.from_slice(&[m1]),
+            wild: true,
+            entries: CtxtStr::EMPTY,
+        };
+        let star_m2 = TStr {
+            exits: CtxtStr::EMPTY,
+            wild: true,
+            entries: it.from_slice(&[m2]),
+        };
+        let m1_star_m2 = TStr {
+            exits: it.from_slice(&[m1]),
+            wild: true,
+            entries: it.from_slice(&[m2]),
+        };
         assert!(star.subsumes(&it, m1_star));
         assert!(star.subsumes(&it, star_m2));
         assert!(star.subsumes(&it, m1_star_m2));
@@ -389,8 +500,16 @@ mod tests {
     fn wildcard_free_subsumption_requires_equal_suffixes() {
         let (mut it, c1, c2, _) = setup();
         // ε subsumes c1·ĉ1 (the Fig. 7 pair) but not c1·ĉ2.
-        let c1c1 = TStr { exits: it.from_slice(&[c1]), wild: false, entries: it.from_slice(&[c1]) };
-        let c1c2 = TStr { exits: it.from_slice(&[c1]), wild: false, entries: it.from_slice(&[c2]) };
+        let c1c1 = TStr {
+            exits: it.from_slice(&[c1]),
+            wild: false,
+            entries: it.from_slice(&[c1]),
+        };
+        let c1c2 = TStr {
+            exits: it.from_slice(&[c1]),
+            wild: false,
+            entries: it.from_slice(&[c2]),
+        };
         assert!(TStr::IDENTITY.subsumes(&it, c1c1));
         assert!(!TStr::IDENTITY.subsumes(&it, c1c2));
         // A wildcard-free transformer never subsumes a wildcard one.
@@ -404,7 +523,11 @@ mod tests {
         let (mut it, a, b, _) = setup();
         assert_eq!(TStr::IDENTITY.configuration(&it), "");
         assert_eq!(TStr::WILD.configuration(&it), "w");
-        let t = TStr { exits: it.from_slice(&[a, b]), wild: true, entries: it.from_slice(&[a]) };
+        let t = TStr {
+            exits: it.from_slice(&[a, b]),
+            wild: true,
+            entries: it.from_slice(&[a]),
+        };
         assert_eq!(t.configuration(&it), "xxwe");
     }
 
@@ -413,7 +536,11 @@ mod tests {
         let (mut it, a, _, _) = setup();
         assert_eq!(TStr::IDENTITY.display(&it), "ε");
         assert_eq!(TStr::WILD.display(&it), "*");
-        let t = TStr { exits: it.from_slice(&[a]), wild: true, entries: it.from_slice(&[a]) };
+        let t = TStr {
+            exits: it.from_slice(&[a]),
+            wild: true,
+            entries: it.from_slice(&[a]),
+        };
         assert_eq!(t.display(&it), "i1·*·^i1");
     }
 }

@@ -77,8 +77,11 @@ impl Word {
     ///
     /// `word(t).normalize()` yields `t` again (canonicity).
     pub fn from_tstr(t: TStr, interner: &CtxtInterner) -> Word {
-        let mut letters: Vec<Letter> =
-            interner.elems(t.exits).into_iter().map(Letter::Exit).collect();
+        let mut letters: Vec<Letter> = interner
+            .elems(t.exits)
+            .into_iter()
+            .map(Letter::Exit)
+            .collect();
         if t.wild {
             letters.push(Letter::Wild);
         }
@@ -185,7 +188,12 @@ mod tests {
         let (a, b, _) = elems();
         let mut it = CtxtInterner::new();
         // â · b̂ · b · a  reduces to ε
-        let w = Word(vec![Letter::Entry(a), Letter::Entry(b), Letter::Exit(b), Letter::Exit(a)]);
+        let w = Word(vec![
+            Letter::Entry(a),
+            Letter::Entry(b),
+            Letter::Exit(b),
+            Letter::Exit(a),
+        ]);
         assert_eq!(w.normalize(&mut it), Some(TStr::IDENTITY));
     }
 

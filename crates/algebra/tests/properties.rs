@@ -4,40 +4,55 @@
 //! `ctxform_algebra::Sem`: normalization (Lemma 4.1), composition,
 //! truncation soundness (Lemma 4.2), the inverse-semigroup laws of §3, and
 //! the subsumption order of §8.
+//!
+//! The cases are drawn from the deterministic in-tree
+//! [`ctxform_hash::SplitMix64`] generator rather than `proptest`, so the
+//! suite runs in the offline build environment with no third-party
+//! dependencies and fails reproducibly (every failure message carries the
+//! case index; re-running the test replays the identical stream).
 
 use ctxform_algebra::{CtxtElem, CtxtInterner, Letter, Sem, TStr, Word};
+use ctxform_hash::SplitMix64;
 use ctxform_ir::Inv;
-use proptest::prelude::*;
 
-fn elem(i: u8) -> CtxtElem {
-    CtxtElem::of_inv(Inv(u32::from(i)))
+/// Cases per property. The stream is deterministic, so this is a pure
+/// coverage/time trade-off (256 mirrors proptest's default).
+const CASES: usize = 256;
+
+fn elem(i: usize) -> CtxtElem {
+    CtxtElem::of_inv(Inv(u32::try_from(i).unwrap()))
 }
 
-fn letter_strategy() -> impl Strategy<Value = Letter> {
-    prop_oneof![
-        (0u8..3).prop_map(|i| Letter::Exit(elem(i))),
-        (0u8..3).prop_map(|i| Letter::Entry(elem(i))),
-        Just(Letter::Wild),
-    ]
+fn random_letter(rng: &mut SplitMix64) -> Letter {
+    match rng.below(7) {
+        0..=2 => Letter::Exit(elem(rng.below(3))),
+        3..=5 => Letter::Entry(elem(rng.below(3))),
+        _ => Letter::Wild,
+    }
 }
 
-fn word_strategy() -> impl Strategy<Value = Word> {
-    prop::collection::vec(letter_strategy(), 0..8).prop_map(Word)
+fn random_word(rng: &mut SplitMix64) -> Word {
+    let len = rng.below(8);
+    Word((0..len).map(|_| random_letter(rng)).collect())
 }
 
-fn context_strategy() -> impl Strategy<Value = Vec<CtxtElem>> {
-    prop::collection::vec((0u8..3).prop_map(elem), 0..5)
+fn random_context(rng: &mut SplitMix64) -> Vec<CtxtElem> {
+    let len = rng.below(5);
+    (0..len).map(|_| elem(rng.below(3))).collect()
 }
 
 /// All (small) semantic inputs we probe transformations with.
-fn inputs_strategy() -> impl Strategy<Value = Vec<Sem>> {
-    prop::collection::vec(
-        prop_oneof![
-            context_strategy().prop_map(Sem::Exact),
-            context_strategy().prop_map(Sem::UpSet),
-        ],
-        1..6,
-    )
+fn random_inputs(rng: &mut SplitMix64) -> Vec<Sem> {
+    let n = 1 + rng.below(5);
+    (0..n)
+        .map(|_| {
+            if rng.below(2) == 0 {
+                Sem::Exact(random_context(rng))
+            } else {
+                Sem::UpSet(random_context(rng))
+            }
+        })
+        .collect()
 }
 
 /// The semantic function of a word applied to one input.
@@ -45,177 +60,245 @@ fn run(word: &Word, input: &Sem) -> Sem {
     input.clone().apply(word)
 }
 
-proptest! {
-    /// Lemma 4.1: normalization preserves the transformation; words whose
-    /// normalization is ⊥ denote the empty transformation on every input.
-    #[test]
-    fn normalize_preserves_semantics(word in word_strategy(), inputs in inputs_strategy()) {
+/// Runs `body` for [`CASES`] deterministic cases, reporting the failing
+/// case index on panic.
+fn for_cases(seed: u64, mut body: impl FnMut(&mut SplitMix64)) {
+    let mut rng = SplitMix64::new(seed);
+    for case in 0..CASES {
+        let mut case_rng = SplitMix64::new(rng.next_u64());
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(&mut case_rng)));
+        if let Err(payload) = result {
+            eprintln!("property failed at case {case} (seed {seed})");
+            std::panic::resume_unwind(payload);
+        }
+    }
+}
+
+/// Lemma 4.1: normalization preserves the transformation; words whose
+/// normalization is ⊥ denote the empty transformation on every input.
+#[test]
+fn normalize_preserves_semantics() {
+    for_cases(0x11, |rng| {
+        let word = random_word(rng);
+        let inputs = random_inputs(rng);
         let mut it = CtxtInterner::new();
         match word.normalize(&mut it) {
             Some(t) => {
                 let canon = Word::from_tstr(t, &it);
                 for input in &inputs {
-                    prop_assert_eq!(run(&word, input), run(&canon, input));
+                    assert_eq!(run(&word, input), run(&canon, input));
                 }
             }
             None => {
                 for input in &inputs {
-                    prop_assert_eq!(run(&word, input), Sem::Empty);
+                    assert_eq!(run(&word, input), Sem::Empty);
                 }
             }
         }
-    }
+    });
+}
 
-    /// Normalization is idempotent: canonical forms are fixed points.
-    #[test]
-    fn normalize_is_idempotent(word in word_strategy()) {
+/// Normalization is idempotent: canonical forms are fixed points.
+#[test]
+fn normalize_is_idempotent() {
+    for_cases(0x22, |rng| {
+        let word = random_word(rng);
         let mut it = CtxtInterner::new();
         if let Some(t) = word.normalize(&mut it) {
             let again = Word::from_tstr(t, &it).normalize(&mut it);
-            prop_assert_eq!(again, Some(t));
+            assert_eq!(again, Some(t));
         }
-    }
+    });
+}
 
-    /// Untruncated composition equals normalization of the concatenation
-    /// (`comp(X, Y, match(X·Y))` with no truncation).
-    #[test]
-    fn compose_equals_word_concat(wa in word_strategy(), wb in word_strategy()) {
+/// Untruncated composition equals normalization of the concatenation
+/// (`comp(X, Y, match(X·Y))` with no truncation).
+#[test]
+fn compose_equals_word_concat() {
+    for_cases(0x33, |rng| {
+        let wa = random_word(rng);
+        let wb = random_word(rng);
         let mut it = CtxtInterner::new();
         let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
-            return Ok(());
+            return;
         };
         let composed = a.compose_in(&mut it, b, usize::MAX, usize::MAX);
         let concatenated = wa.concat(&wb).normalize(&mut it);
-        prop_assert_eq!(composed, concatenated);
-    }
+        assert_eq!(composed, concatenated);
+    });
+}
 
-    /// Composition is associative (on the canonical, untruncated domain).
-    #[test]
-    fn compose_is_associative(wa in word_strategy(), wb in word_strategy(), wc in word_strategy()) {
+/// Composition is associative (on the canonical, untruncated domain).
+#[test]
+fn compose_is_associative() {
+    for_cases(0x44, |rng| {
+        let (wa, wb, wc) = (random_word(rng), random_word(rng), random_word(rng));
         let mut it = CtxtInterner::new();
         let (Some(a), Some(b), Some(c)) = (
             wa.normalize(&mut it),
             wb.normalize(&mut it),
             wc.normalize(&mut it),
         ) else {
-            return Ok(());
+            return;
         };
         let left = a
             .compose_in(&mut it, b, usize::MAX, usize::MAX)
             .and_then(|ab| ab.compose_in(&mut it, c, usize::MAX, usize::MAX));
         let bc = b.compose_in(&mut it, c, usize::MAX, usize::MAX);
         let right = bc.and_then(|bc| a.compose_in(&mut it, bc, usize::MAX, usize::MAX));
-        prop_assert_eq!(left, right);
-    }
+        assert_eq!(left, right);
+    });
+}
 
-    /// Inverse-semigroup laws: f ; f⁻¹ ; f = f and (f⁻¹)⁻¹ = f.
-    #[test]
-    fn inverse_semigroup_laws(word in word_strategy()) {
+/// Composition is a pure function of its operands: recomputing yields the
+/// identical canonical result. This is the precondition that makes the
+/// solver's compose-memoization table (keyed on interned handles) sound.
+#[test]
+fn compose_is_deterministic_hence_memoizable() {
+    for_cases(0x55, |rng| {
+        let (wa, wb) = (random_word(rng), random_word(rng));
         let mut it = CtxtInterner::new();
-        let Some(f) = word.normalize(&mut it) else { return Ok(()); };
+        let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
+            return;
+        };
+        for limits in [(usize::MAX, usize::MAX), (2, 2), (1, 2), (0, 1)] {
+            let first = a.compose_in(&mut it, b, limits.0, limits.1);
+            let second = a.compose_in(&mut it, b, limits.0, limits.1);
+            assert_eq!(first, second, "limits {limits:?}");
+        }
+    });
+}
+
+/// Inverse-semigroup laws: f ; f⁻¹ ; f = f and (f⁻¹)⁻¹ = f.
+#[test]
+fn inverse_semigroup_laws() {
+    for_cases(0x66, |rng| {
+        let word = random_word(rng);
+        let mut it = CtxtInterner::new();
+        let Some(f) = word.normalize(&mut it) else {
+            return;
+        };
         let finv = f.inverse();
-        prop_assert_eq!(finv.inverse(), f);
-        let ff = f.compose_in(&mut it, finv, usize::MAX, usize::MAX).expect("f;f⁻¹ defined");
-        let fff = ff.compose_in(&mut it, f, usize::MAX, usize::MAX).expect("f;f⁻¹;f defined");
-        prop_assert_eq!(fff, f);
-    }
+        assert_eq!(finv.inverse(), f);
+        let ff = f
+            .compose_in(&mut it, finv, usize::MAX, usize::MAX)
+            .expect("f;f⁻¹ defined");
+        let fff = ff
+            .compose_in(&mut it, f, usize::MAX, usize::MAX)
+            .expect("f;f⁻¹;f defined");
+        assert_eq!(fff, f);
+    });
+}
 
-    /// Lemma 4.2: truncation is conservative — `A(X) ⊆ trunc(A)(X)`.
-    #[test]
-    fn truncation_is_conservative(
-        word in word_strategy(),
-        i in 0usize..3,
-        j in 0usize..3,
-        inputs in inputs_strategy(),
-    ) {
+/// Lemma 4.2: truncation is conservative — `A(X) ⊆ trunc(A)(X)`.
+#[test]
+fn truncation_is_conservative() {
+    for_cases(0x77, |rng| {
+        let word = random_word(rng);
+        let (i, j) = (rng.below(3), rng.below(3));
+        let inputs = random_inputs(rng);
         let mut it = CtxtInterner::new();
-        let Some(t) = word.normalize(&mut it) else { return Ok(()); };
+        let Some(t) = word.normalize(&mut it) else {
+            return;
+        };
         let cut = t.truncate(&it, i, j);
         let w_full = Word::from_tstr(t, &it);
         let w_cut = Word::from_tstr(cut, &it);
         for input in &inputs {
             let full = run(&w_full, input);
             let loose = run(&w_cut, input);
-            prop_assert!(
+            assert!(
                 full.subset_of(&loose),
-                "truncation lost behaviour: {:?} ⊄ {:?}", full, loose
+                "truncation lost behaviour: {full:?} ⊄ {loose:?}"
             );
         }
-    }
+    });
+}
 
-    /// Truncated composition over-approximates untruncated composition.
-    #[test]
-    fn truncated_compose_is_conservative(
-        wa in word_strategy(),
-        wb in word_strategy(),
-        i in 0usize..3,
-        j in 0usize..3,
-        inputs in inputs_strategy(),
-    ) {
+/// Truncated composition over-approximates untruncated composition.
+#[test]
+fn truncated_compose_is_conservative() {
+    for_cases(0x88, |rng| {
+        let (wa, wb) = (random_word(rng), random_word(rng));
+        let (i, j) = (rng.below(3), rng.below(3));
+        let inputs = random_inputs(rng);
         let mut it = CtxtInterner::new();
         let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
-            return Ok(());
+            return;
         };
         let Some(full) = a.compose_in(&mut it, b, usize::MAX, usize::MAX) else {
-            return Ok(());
+            return;
         };
         // Truncated composition must be defined whenever the full one is.
-        let cut = a.compose_in(&mut it, b, i, j).expect("truncation never introduces ⊥");
+        let cut = a
+            .compose_in(&mut it, b, i, j)
+            .expect("truncation never introduces ⊥");
         let w_full = Word::from_tstr(full, &it);
         let w_cut = Word::from_tstr(cut, &it);
         for input in &inputs {
-            prop_assert!(run(&w_full, input).subset_of(&run(&w_cut, input)));
+            assert!(run(&w_full, input).subset_of(&run(&w_cut, input)));
         }
-    }
+    });
+}
 
-    /// Subsumption is sound: if `a.subsumes(b)` then on every input the
-    /// behaviour of `b` is included in that of `a`.
-    #[test]
-    fn subsumption_is_sound(wa in word_strategy(), wb in word_strategy(), inputs in inputs_strategy()) {
+/// Subsumption is sound: if `a.subsumes(b)` then on every input the
+/// behaviour of `b` is included in that of `a`.
+#[test]
+fn subsumption_is_sound() {
+    for_cases(0x99, |rng| {
+        let (wa, wb) = (random_word(rng), random_word(rng));
+        let inputs = random_inputs(rng);
         let mut it = CtxtInterner::new();
         let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
-            return Ok(());
+            return;
         };
         if a.subsumes(&it, b) {
             let w_a = Word::from_tstr(a, &it);
             let w_b = Word::from_tstr(b, &it);
             for input in &inputs {
-                prop_assert!(
+                assert!(
                     run(&w_b, input).subset_of(&run(&w_a, input)),
-                    "a={} b={}", a.display(&it), b.display(&it)
+                    "a={} b={}",
+                    a.display(&it),
+                    b.display(&it)
                 );
             }
         }
-    }
+    });
+}
 
-    /// Subsumption is a partial order on canonical transformer strings:
-    /// reflexive and antisymmetric (transitivity follows from soundness +
-    /// completeness on this finite alphabet, checked separately below).
-    #[test]
-    fn subsumption_is_reflexive_antisymmetric(wa in word_strategy(), wb in word_strategy()) {
+/// Subsumption is a partial order on canonical transformer strings:
+/// reflexive and antisymmetric (transitivity follows from soundness +
+/// completeness on this finite alphabet, checked separately below).
+#[test]
+fn subsumption_is_reflexive_antisymmetric() {
+    for_cases(0xAA, |rng| {
+        let (wa, wb) = (random_word(rng), random_word(rng));
         let mut it = CtxtInterner::new();
         let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
-            return Ok(());
+            return;
         };
-        prop_assert!(a.subsumes(&it, a));
+        assert!(a.subsumes(&it, a));
         if a.subsumes(&it, b) && b.subsumes(&it, a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b);
         }
-    }
+    });
+}
 
-    /// `compose` is ⊥ exactly when the prefix-compatibility invariant says
-    /// so — the invariant the specialized §7 join indices rely on.
-    #[test]
-    fn bottom_iff_boundary_incompatible(wa in word_strategy(), wb in word_strategy()) {
+/// `compose` is ⊥ exactly when the prefix-compatibility invariant says
+/// so — the invariant the specialized §7 join indices rely on.
+#[test]
+fn bottom_iff_boundary_incompatible() {
+    for_cases(0xBB, |rng| {
+        let (wa, wb) = (random_word(rng), random_word(rng));
         let mut it = CtxtInterner::new();
         let (Some(a), Some(b)) = (wa.normalize(&mut it), wb.normalize(&mut it)) else {
-            return Ok(());
+            return;
         };
-        let compatible =
-            it.is_prefix(a.entries, b.exits) || it.is_prefix(b.exits, a.entries);
+        let compatible = it.is_prefix(a.entries, b.exits) || it.is_prefix(b.exits, a.entries);
         let composed = a.compose_in(&mut it, b, usize::MAX, usize::MAX);
-        prop_assert_eq!(composed.is_some(), compatible);
-    }
+        assert_eq!(composed.is_some(), compatible);
+    });
 }
 
 /// Exhaustive check on a tiny domain that subsumption is also *complete*:
@@ -240,7 +323,11 @@ fn subsumption_complete_on_tiny_domain() {
             for wild in [false, true] {
                 let e = it.from_slice(exits);
                 let n = it.from_slice(entries);
-                transformers.push(TStr { exits: e, wild, entries: n });
+                transformers.push(TStr {
+                    exits: e,
+                    wild,
+                    entries: n,
+                });
             }
         }
     }
@@ -263,9 +350,7 @@ fn subsumption_complete_on_tiny_domain() {
         let wa = Word::from_tstr(a, &it);
         for &b in &transformers {
             let wb = Word::from_tstr(b, &it);
-            let semantically = probes
-                .iter()
-                .all(|p| run(&wb, p).subset_of(&run(&wa, p)));
+            let semantically = probes.iter().all(|p| run(&wb, p).subset_of(&run(&wa, p)));
             assert_eq!(
                 a.subsumes(&it, b),
                 semantically,

@@ -11,8 +11,16 @@ fn bench_algebra(c: &mut Criterion) {
     let elems: Vec<CtxtElem> = (0..8).map(|i| CtxtElem::of_inv(Inv(i))).collect();
     let ab = it.from_slice(&elems[0..2]);
     let abc = it.from_slice(&elems[0..3]);
-    let t1 = TStr { exits: ab, wild: false, entries: abc };
-    let t2 = TStr { exits: abc, wild: true, entries: ab };
+    let t1 = TStr {
+        exits: ab,
+        wild: false,
+        entries: abc,
+    };
+    let t2 = TStr {
+        exits: abc,
+        wild: true,
+        entries: ab,
+    };
 
     c.bench_function("algebra/compose", |b| {
         b.iter(|| black_box(t1).compose_in(&mut it, black_box(t2.inverse()), 2, 2))

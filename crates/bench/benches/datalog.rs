@@ -9,10 +9,9 @@ use ctxform_datalog::Engine;
 fn bench_datalog(c: &mut Criterion) {
     c.bench_function("datalog/transitive_closure_chain500", |b| {
         b.iter(|| {
-            let mut e = Engine::parse(
-                "path(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z).",
-            )
-            .unwrap();
+            let mut e =
+                Engine::parse("path(X, Y) :- edge(X, Y).\npath(X, Z) :- path(X, Y), edge(Y, Z).")
+                    .unwrap();
             for i in 0..500u32 {
                 e.add_fact("edge", &[i, i + 1]).unwrap();
             }
@@ -20,7 +19,9 @@ fn bench_datalog(c: &mut Criterion) {
         })
     });
     let program = compile_benchmark("pmd", 2);
-    c.bench_function("datalog/ci_baseline_pmd", |b| b.iter(|| datalog_baseline(&program)));
+    c.bench_function("datalog/ci_baseline_pmd", |b| {
+        b.iter(|| datalog_baseline(&program))
+    });
 }
 
 criterion_group!(benches, bench_datalog);

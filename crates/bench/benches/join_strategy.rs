@@ -12,10 +12,19 @@ fn bench_join_strategy(c: &mut Criterion) {
     let mut group = c.benchmark_group("join_strategy/luindex/2-object+H");
     group.sample_size(10);
     let configs = [
-        ("tstring/specialized", AnalysisConfig::transformer_strings(s)),
-        ("tstring/naive", AnalysisConfig::transformer_strings(s).with_naive_joins()),
+        (
+            "tstring/specialized",
+            AnalysisConfig::transformer_strings(s),
+        ),
+        (
+            "tstring/naive",
+            AnalysisConfig::transformer_strings(s).with_naive_joins(),
+        ),
         ("cstring/specialized", AnalysisConfig::context_strings(s)),
-        ("cstring/naive", AnalysisConfig::context_strings(s).with_naive_joins()),
+        (
+            "cstring/naive",
+            AnalysisConfig::context_strings(s).with_naive_joins(),
+        ),
     ];
     for (name, cfg) in configs {
         group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {

@@ -14,7 +14,10 @@ fn bench_subsumption(c: &mut Criterion) {
     group.sample_size(10);
     let configs = [
         ("tstring/plain", AnalysisConfig::transformer_strings(s)),
-        ("tstring/subsumption", AnalysisConfig::transformer_strings(s).with_subsumption()),
+        (
+            "tstring/subsumption",
+            AnalysisConfig::transformer_strings(s).with_subsumption(),
+        ),
         ("cstring", AnalysisConfig::context_strings(s)),
     ];
     for (name, cfg) in configs {

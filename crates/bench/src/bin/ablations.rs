@@ -1,39 +1,63 @@
 //! One-shot ablation report: §7 join strategies and §8 subsumption.
-use std::time::Instant;
 use ctxform::{analyze, AnalysisConfig};
 use ctxform_bench::compile_benchmark;
+use std::time::Instant;
 
 fn main() {
-    let scale: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+    let scale: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(10);
     println!("== section 7 ablation: join strategies (luindex, 2-object+H, scale {scale}) ==");
     let program = compile_benchmark("luindex", scale);
     let s = "2-object+H".parse().unwrap();
     for (name, cfg) in [
-        ("tstring/specialized", AnalysisConfig::transformer_strings(s)),
-        ("tstring/naive      ", AnalysisConfig::transformer_strings(s).with_naive_joins()),
+        (
+            "tstring/specialized",
+            AnalysisConfig::transformer_strings(s),
+        ),
+        (
+            "tstring/naive      ",
+            AnalysisConfig::transformer_strings(s).with_naive_joins(),
+        ),
         ("cstring/specialized", AnalysisConfig::context_strings(s)),
-        ("cstring/naive      ", AnalysisConfig::context_strings(s).with_naive_joins()),
+        (
+            "cstring/naive      ",
+            AnalysisConfig::context_strings(s).with_naive_joins(),
+        ),
     ] {
         let t0 = Instant::now();
         let r = analyze(&program, &cfg);
         println!(
             "  {name}: {:?} ({} probes, {} compose calls, {} facts)",
-            t0.elapsed(), r.stats.probes, r.stats.compose_calls, r.stats.total()
+            t0.elapsed(),
+            r.stats.probes,
+            r.stats.compose_calls,
+            r.stats.total()
         );
     }
     println!("\n== section 8 ablation: subsumption (bloat, 1-call+H, scale {scale}) ==");
     let program = compile_benchmark("bloat", scale);
     let s = "1-call+H".parse().unwrap();
     for (name, cfg) in [
-        ("tstring/plain      ", AnalysisConfig::transformer_strings(s)),
-        ("tstring/subsumption", AnalysisConfig::transformer_strings(s).with_subsumption()),
+        (
+            "tstring/plain      ",
+            AnalysisConfig::transformer_strings(s),
+        ),
+        (
+            "tstring/subsumption",
+            AnalysisConfig::transformer_strings(s).with_subsumption(),
+        ),
         ("cstring            ", AnalysisConfig::context_strings(s)),
     ] {
         let t0 = Instant::now();
         let r = analyze(&program, &cfg);
         println!(
             "  {name}: {:?} ({} pts facts, {} dropped, {} retired)",
-            t0.elapsed(), r.stats.pts, r.stats.subsumed_dropped, r.stats.subsumed_retired
+            t0.elapsed(),
+            r.stats.pts,
+            r.stats.subsumed_dropped,
+            r.stats.subsumed_retired
         );
     }
     println!("\n== transformer configuration histogram (bloat pts, 1-call+H) ==");

@@ -17,10 +17,11 @@ use ctxform_ir::{text, Program};
 use ctxform_minijava::compile;
 
 fn load(path: &str) -> Result<Program, String> {
-    let content =
-        std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if path.ends_with(".mj") || path.ends_with(".java") {
-        compile(&content).map(|m| m.program).map_err(|e| format!("{path}:{e}"))
+        compile(&content)
+            .map(|m| m.program)
+            .map_err(|e| format!("{path}:{e}"))
     } else {
         text::parse(&content).map_err(|e| format!("{path}: {e}"))
     }
@@ -96,15 +97,8 @@ fn main() -> ExitCode {
     }
     println!("program: {}", program.stats());
     let result = analyze(&program, &config);
-    println!(
-        "{config}: pts {} | hpts {} | call {} | spts {} | reach {} in {:?}",
-        result.stats.pts,
-        result.stats.hpts,
-        result.stats.call,
-        result.stats.spts,
-        result.stats.reach,
-        result.stats.duration
-    );
+    println!("{config}:");
+    print!("{}", result.stats.report());
     println!(
         "context-insensitive projections: pts {} | hpts {} | call {} | reachable methods {}",
         result.ci.pts.len(),
@@ -122,8 +116,7 @@ fn main() -> ExitCode {
             .iter()
             .enumerate()
             .find(|&(i, n)| {
-                n == var_name
-                    && program.method_names[program.var_method[i].index()] == method_name
+                n == var_name && program.method_names[program.var_method[i].index()] == method_name
             })
             .map(|(i, _)| ctxform_ir::Var::from_index(i));
         match found {

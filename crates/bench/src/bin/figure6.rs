@@ -25,9 +25,7 @@ fn main() {
             "--naive" => opts.join_strategy = JoinStrategy::Naive,
             "--subsumption" => opts.subsumption = true,
             "--help" | "-h" => {
-                eprintln!(
-                    "usage: figure6 [--scale N] [--bench NAME] [--naive] [--subsumption]"
-                );
+                eprintln!("usage: figure6 [--scale N] [--bench NAME] [--naive] [--subsumption]");
                 return;
             }
             other => panic!("unknown argument `{other}`"),
@@ -40,7 +38,11 @@ fn main() {
             JoinStrategy::Specialized => "specialized",
             JoinStrategy::Naive => "naive",
         },
-        if opts.subsumption { ", subsumption" } else { "" }
+        if opts.subsumption {
+            ", subsumption"
+        } else {
+            ""
+        }
     );
     let rows = run_figure6(&opts, only.as_deref());
     print!("{}", render_figure6(&rows));

@@ -21,7 +21,10 @@ fn main() {
         let dc = t.ci.call.len() - c.ci.call.len();
         let dh = t.ci.hpts.len() - c.ci.hpts.len();
         if dp + dc + dh > 0 {
-            println!("seed {seed}: +{dp} pts, +{dh} hpts, +{dc} call (cstr pts {})", c.ci.pts.len());
+            println!(
+                "seed {seed}: +{dp} pts, +{dh} hpts, +{dc} call (cstr pts {})",
+                c.ci.pts.len()
+            );
         }
     }
     println!("search done");

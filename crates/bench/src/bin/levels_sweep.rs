@@ -37,8 +37,7 @@ fn main() {
             c.stats.duration,
             t.stats.total(),
             t.stats.duration,
-            100.0 * (c.stats.total() as f64 - t.stats.total() as f64)
-                / c.stats.total() as f64,
+            100.0 * (c.stats.total() as f64 - t.stats.total() as f64) / c.stats.total() as f64,
         );
     }
     println!(

@@ -1,0 +1,251 @@
+//! Bench-regression harness: runs the Figure 6 matrix at a fixed scale and
+//! writes a machine-readable `BENCH_<n>.json` trajectory point.
+//!
+//! ```text
+//! cargo run --release -p ctxform-bench --bin regress -- \
+//!     [--scale N] [--repeat N] [--bench NAME] [--out PATH]
+//! ```
+//!
+//! Each run records, per benchmark and per Figure 6 configuration, for both
+//! abstractions: context-sensitive fact counts, solver wall time, the
+//! probe/compose/memo counters from [`ctxform::SolverStats`], the interner
+//! size, and an order-independent Fx digest of the context-insensitive
+//! facts (so two runs can be compared for byte-identical CI results
+//! without storing the facts themselves). With `--repeat N` (default 3)
+//! each cell is solved `N` times and the fastest run is recorded —
+//! min-of-N is the noise-robust estimator on a shared machine — after
+//! asserting that every repeat produced the same CI digest and fact
+//! counts.
+//!
+//! Without `--out`, the file is named `BENCH_<n>.json` where `n` is one
+//! more than the largest existing trajectory point in the current
+//! directory — so successive PRs append `BENCH_1.json`, `BENCH_2.json`, …
+//! and any later run can diff against the checked-in history.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use ctxform::{analyze, AnalysisConfig, AnalysisResult};
+use ctxform_algebra::Sensitivity;
+use ctxform_bench::compile_benchmark;
+use ctxform_hash::fx_hash_one;
+use ctxform_synth::dacapo_like;
+
+/// An order-independent digest of the CI projections: each fact set is
+/// sorted and hashed as a sequence, then the five relation digests are
+/// combined. Identical CI facts ⇒ identical digest, on every platform.
+fn ci_digest(r: &AnalysisResult) -> u64 {
+    let mut pts: Vec<_> = r.ci.pts.iter().copied().collect();
+    pts.sort_unstable();
+    let mut hpts: Vec<_> = r.ci.hpts.iter().copied().collect();
+    hpts.sort_unstable();
+    let mut call: Vec<_> = r.ci.call.iter().copied().collect();
+    call.sort_unstable();
+    let mut spts: Vec<_> = r.ci.spts.iter().copied().collect();
+    spts.sort_unstable();
+    let mut reach: Vec<_> = r.ci.reach.iter().copied().collect();
+    reach.sort_unstable();
+    fx_hash_one(&(pts, hpts, call, spts, reach))
+}
+
+/// Serializes one analysis run as a JSON object (hand-rolled: the build
+/// environment is offline, so no serde).
+fn run_json(r: &AnalysisResult) -> String {
+    let s = &r.stats;
+    let mut o = String::new();
+    let _ = write!(
+        o,
+        "{{\"pts\": {}, \"hpts\": {}, \"hload\": {}, \"call\": {}, \"spts\": {}, \
+         \"reach\": {}, \"total\": {}, \"time_ms\": {:.3}, \"events\": {}, \
+         \"probes\": {}, \"compose_calls\": {}, \"compose_bottom\": {}, \
+         \"compose_memo_hits\": {}, \"compose_memo_misses\": {}, \
+         \"subsume_memo_hits\": {}, \"subsume_memo_misses\": {}, \
+         \"subsumed_dropped\": {}, \"subsumed_retired\": {}, \
+         \"interned_contexts\": {}, \
+         \"ci\": {{\"pts\": {}, \"hpts\": {}, \"call\": {}, \"spts\": {}, \"reach\": {}}}, \
+         \"ci_digest\": \"{:016x}\"}}",
+        s.pts,
+        s.hpts,
+        s.hload,
+        s.call,
+        s.spts,
+        s.reach,
+        s.total(),
+        s.duration.as_secs_f64() * 1000.0,
+        s.events,
+        s.probes,
+        s.compose_calls,
+        s.compose_bottom,
+        s.compose_memo_hits,
+        s.compose_memo_misses,
+        s.subsume_memo_hits,
+        s.subsume_memo_misses,
+        s.subsumed_dropped,
+        s.subsumed_retired,
+        s.interned_contexts,
+        r.ci.pts.len(),
+        r.ci.hpts.len(),
+        r.ci.call.len(),
+        r.ci.spts.len(),
+        r.ci.reach.len(),
+        ci_digest(r)
+    );
+    o
+}
+
+/// Solves `program` under `config` `repeat` times and returns the run
+/// with the smallest solver wall time, panicking if any two repeats
+/// disagree on the CI facts or context-sensitive fact counts (a
+/// nondeterminism bug the harness must not average away).
+fn best_of(
+    program: &ctxform_ir::Program,
+    config: &AnalysisConfig,
+    repeat: usize,
+) -> AnalysisResult {
+    let mut best = analyze(program, config);
+    let (digest, total) = (ci_digest(&best), best.stats.total());
+    for _ in 1..repeat {
+        let r = analyze(program, config);
+        assert_eq!(
+            ci_digest(&r),
+            digest,
+            "{config}: CI facts differ across repeats"
+        );
+        assert_eq!(
+            r.stats.total(),
+            total,
+            "{config}: cs-fact counts differ across repeats"
+        );
+        if r.stats.duration < best.stats.duration {
+            best = r;
+        }
+    }
+    best
+}
+
+fn next_bench_path() -> String {
+    let mut max = 0u32;
+    if let Ok(entries) = std::fs::read_dir(".") {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(n) = name
+                .strip_prefix("BENCH_")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|num| num.parse::<u32>().ok())
+            {
+                max = max.max(n);
+            }
+        }
+    }
+    format!("BENCH_{}.json", max + 1)
+}
+
+fn main() {
+    let mut scale = 20usize;
+    let mut repeat = 3usize;
+    let mut only: Option<String> = None;
+    let mut out_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--scale needs a positive integer");
+            }
+            "--repeat" => {
+                repeat = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--repeat needs a positive integer");
+            }
+            "--bench" => only = Some(args.next().expect("--bench needs a name")),
+            "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            "--help" | "-h" => {
+                eprintln!("usage: regress [--scale N] [--repeat N] [--bench NAME] [--out PATH]");
+                return;
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let started = Instant::now();
+    let configs = Sensitivity::paper_configs();
+    let mut bench_objs: Vec<String> = Vec::new();
+    // Aggregate wall time of the transformer-string 2-object+H column —
+    // the paper's headline configuration, tracked as the harness's single
+    // headline number.
+    let mut tstring_2objh_ms = 0.0f64;
+    let mut cstring_2objh_ms = 0.0f64;
+
+    for (name, _) in dacapo_like() {
+        if let Some(filter) = &only {
+            if name != filter {
+                continue;
+            }
+        }
+        eprintln!("regress: {name} (scale {scale})...");
+        let program = compile_benchmark(name, scale);
+        let stats = program.stats();
+        let mut cfg_objs: Vec<String> = Vec::new();
+        for s in &configs {
+            let c = best_of(&program, &AnalysisConfig::context_strings(*s), repeat);
+            let t = best_of(&program, &AnalysisConfig::transformer_strings(*s), repeat);
+            if s.to_string() == "2-object+H" {
+                cstring_2objh_ms += c.stats.duration.as_secs_f64() * 1000.0;
+                tstring_2objh_ms += t.stats.duration.as_secs_f64() * 1000.0;
+            }
+            cfg_objs.push(format!(
+                "      \"{}\": {{\"cstring\": {}, \"tstring\": {}}}",
+                s,
+                run_json(&c),
+                run_json(&t)
+            ));
+        }
+        let program_obj = format!(
+            "{{\"methods\": {}, \"vars\": {}, \"heaps\": {}, \"invs\": {}, \
+             \"fields\": {}, \"types\": {}, \"input_facts\": {}}}",
+            stats.methods,
+            stats.vars,
+            stats.heaps,
+            stats.invs,
+            stats.fields,
+            stats.types,
+            stats.input_facts
+        );
+        bench_objs.push(format!(
+            "    \"{name}\": {{\n      \"program\": {program_obj},\n{}\n    }}",
+            cfg_objs.join(",\n")
+        ));
+    }
+
+    if bench_objs.is_empty() {
+        let known: Vec<&str> = dacapo_like().into_iter().map(|(n, _)| n).collect();
+        eprintln!(
+            "regress: no benchmark matched {:?}; known benchmarks: {}",
+            only.as_deref().unwrap_or(""),
+            known.join(", ")
+        );
+        std::process::exit(1);
+    }
+    let path = out_path.unwrap_or_else(next_bench_path);
+    let json = format!(
+        "{{\n  \"schema\": \"ctxform-regress/1\",\n  \"scale\": {scale},\n  \
+         \"repeat\": {repeat},\n  \"harness_ms\": {:.1},\n  \
+         \"cstring_2objH_total_ms\": {:.3},\n  \
+         \"tstring_2objH_total_ms\": {:.3},\n  \"benchmarks\": {{\n{}\n  }}\n}}\n",
+        started.elapsed().as_secs_f64() * 1000.0,
+        cstring_2objh_ms,
+        tstring_2objh_ms,
+        bench_objs.join(",\n")
+    );
+    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    eprintln!(
+        "regress: wrote {path} ({} benchmarks, tstring 2-object+H total {:.1}ms)",
+        bench_objs.len(),
+        tstring_2objh_ms
+    );
+}

@@ -169,7 +169,11 @@ pub fn run_figure6(opts: &Figure6Options, only: Option<&str>) -> Vec<BenchRow> {
             .into_iter()
             .map(|s| run_cell(&program, s, opts))
             .collect();
-        rows.push(BenchRow { benchmark: name.to_owned(), program: program.stats(), cells });
+        rows.push(BenchRow {
+            benchmark: name.to_owned(),
+            program: program.stats(),
+            cells,
+        });
     }
     rows
 }
@@ -246,7 +250,11 @@ pub fn render_figure6(rows: &[BenchRow]) -> String {
                 let base = get(&cell.cstring);
                 let new = get(&cell.tstring);
                 let dec = ConfigCell::decrease(base, new);
-                let dec_str = if base == new { "    —".to_owned() } else { format!("{dec:5.1}%") };
+                let dec_str = if base == new {
+                    "    —".to_owned()
+                } else {
+                    format!("{dec:5.1}%")
+                };
                 let _ = write!(line, " {:>7} {:>6}", fmt_count(base), dec_str);
             }
             let _ = writeln!(out, "{line}");
@@ -278,11 +286,16 @@ pub fn render_figure6(rows: &[BenchRow]) -> String {
         );
         let _ = writeln!(out);
     }
-    let _ = writeln!(out, "Geometric-mean reduction (total facts / analysis time):");
+    let _ = writeln!(
+        out,
+        "Geometric-mean reduction (total facts / analysis time):"
+    );
     let mut line_t = format!("  {:8}", "facts");
     let mut line_d = format!("  {:8}", "time");
     for k in 0..configs.len() {
-        let g = geomean_decrease(rows, k, |c| (c.cstring.total as f64, c.tstring.total as f64));
+        let g = geomean_decrease(rows, k, |c| {
+            (c.cstring.total as f64, c.tstring.total as f64)
+        });
         let _ = write!(line_t, " {:>13.1}%", g);
         let g = geomean_decrease(rows, k, |c| {
             (c.cstring.time.as_secs_f64(), c.tstring.time.as_secs_f64())
@@ -300,7 +313,10 @@ mod tests {
 
     #[test]
     fn figure6_runs_at_small_scale() {
-        let opts = Figure6Options { scale: 1, ..Figure6Options::default() };
+        let opts = Figure6Options {
+            scale: 1,
+            ..Figure6Options::default()
+        };
         let rows = run_figure6(&opts, Some("pmd"));
         assert_eq!(rows.len(), 1);
         assert_eq!(rows[0].cells.len(), 5);
@@ -312,7 +328,10 @@ mod tests {
 
     #[test]
     fn transformer_strings_never_increase_call_object_totals() {
-        let opts = Figure6Options { scale: 2, ..Figure6Options::default() };
+        let opts = Figure6Options {
+            scale: 2,
+            ..Figure6Options::default()
+        };
         for name in ["luindex", "antlr"] {
             let rows = run_figure6(&opts, Some(name));
             for cell in &rows[0].cells[..4] {

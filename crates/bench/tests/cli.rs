@@ -44,10 +44,20 @@ fn analyze_runs_on_minijava_source() {
         .stderr(Stdio::piped())
         .output()
         .expect("binary runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
-    assert!(stdout.contains("2-object+H/transformer strings"), "{stdout}");
-    assert!(stdout.contains("pts(Main.main::r) = [\"Main.main/new Object#1\"]"), "{stdout}");
+    assert!(
+        stdout.contains("2-object+H/transformer strings"),
+        "{stdout}"
+    );
+    assert!(
+        stdout.contains("pts(Main.main::r) = [\"Main.main/new Object#1\"]"),
+        "{stdout}"
+    );
 }
 
 #[test]
@@ -56,13 +66,32 @@ fn analyze_accepts_all_abstractions_and_flags() {
     for extra in [
         vec!["--abstraction", "cstring", "--config", "1-call+H"],
         vec!["--abstraction", "ci"],
-        vec!["--abstraction", "tstring", "--config", "2-hybrid+H", "--naive"],
-        vec!["--abstraction", "tstring", "--config", "1-object", "--subsumption"],
+        vec![
+            "--abstraction",
+            "tstring",
+            "--config",
+            "2-hybrid+H",
+            "--naive",
+        ],
+        vec![
+            "--abstraction",
+            "tstring",
+            "--config",
+            "1-object",
+            "--subsumption",
+        ],
     ] {
         let mut args = vec![path.to_str().unwrap()];
         args.extend(extra.iter().copied());
-        let out = Command::new(env!("CARGO_BIN_EXE_analyze")).args(&args).output().unwrap();
-        assert!(out.status.success(), "{extra:?}: {}", String::from_utf8_lossy(&out.stderr));
+        let out = Command::new(env!("CARGO_BIN_EXE_analyze"))
+            .args(&args)
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{extra:?}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
     }
 }
 
@@ -74,7 +103,9 @@ fn analyze_rejects_bad_input() {
         .output()
         .unwrap();
     assert!(!out.status.success());
-    let out = Command::new(env!("CARGO_BIN_EXE_analyze")).output().unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_analyze"))
+        .output()
+        .unwrap();
     assert!(!out.status.success(), "no arguments should fail with usage");
 }
 
@@ -84,7 +115,11 @@ fn figure6_binary_runs_a_single_benchmark() {
         .args(["--scale", "1", "--bench", "pmd"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("pmd"));
     assert!(stdout.contains("Geometric-mean"));

@@ -64,7 +64,9 @@ pub fn datalog_baseline(program: &Program) -> CiFacts {
 pub fn load_facts(engine: &mut Engine, program: &Program) {
     let f = &program.facts;
     let mut add = |rel: &str, tuple: &[u32]| {
-        engine.add_fact(rel, tuple).expect("arity is fixed by the rules");
+        engine
+            .add_fact(rel, tuple)
+            .expect("arity is fixed by the rules");
     };
     for &(z, i, o) in &f.actual {
         add("actual", &[z.0, i.0, o]);

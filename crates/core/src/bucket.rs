@@ -20,7 +20,9 @@
 //!   warns about, kept for the ablation benchmarks.
 
 use ctxform_algebra::{BoundaryMode, CtxtInterner, CtxtStr};
-use std::collections::HashMap;
+use ctxform_hash::FxHashMap;
+
+use crate::compact::CompactVec;
 
 /// How a solver relation indexes its facts for composition joins.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -36,17 +38,17 @@ pub enum JoinStrategy {
 
 /// A container of facts indexed by a boundary context string.
 #[derive(Debug, Clone)]
-pub enum Bucket<V> {
+pub enum Bucket<V: Copy> {
     /// Flat candidate list.
     Naive(Vec<V>),
     /// Equality index (context strings).
-    Exact(HashMap<CtxtStr, Vec<V>>),
+    Exact(FxHashMap<CtxtStr, CompactVec<V>>),
     /// Prefix-compatibility index (transformer strings).
     Prefix {
         /// Facts keyed by their full boundary string.
-        exact: HashMap<CtxtStr, Vec<V>>,
+        exact: FxHashMap<CtxtStr, CompactVec<V>>,
         /// Facts keyed by every *proper* prefix of their boundary string.
-        proper: HashMap<CtxtStr, Vec<V>>,
+        proper: FxHashMap<CtxtStr, CompactVec<V>>,
     },
 }
 
@@ -55,10 +57,11 @@ impl<V: Copy> Bucket<V> {
     pub fn new(strategy: JoinStrategy, mode: BoundaryMode) -> Self {
         match (strategy, mode) {
             (JoinStrategy::Naive, _) => Bucket::Naive(Vec::new()),
-            (JoinStrategy::Specialized, BoundaryMode::Exact) => Bucket::Exact(HashMap::new()),
-            (JoinStrategy::Specialized, BoundaryMode::Prefix) => {
-                Bucket::Prefix { exact: HashMap::new(), proper: HashMap::new() }
-            }
+            (JoinStrategy::Specialized, BoundaryMode::Exact) => Bucket::Exact(FxHashMap::default()),
+            (JoinStrategy::Specialized, BoundaryMode::Prefix) => Bucket::Prefix {
+                exact: FxHashMap::default(),
+                proper: FxHashMap::default(),
+            },
         }
     }
 
@@ -95,7 +98,7 @@ impl<V: Copy> Bucket<V> {
             }
             Bucket::Exact(map) => {
                 if let Some(vs) = map.get(&query) {
-                    for &v in vs {
+                    for &v in vs.as_slice() {
                         probes += 1;
                         f(v);
                     }
@@ -106,7 +109,7 @@ impl<V: Copy> Bucket<V> {
                 let mut p = query;
                 loop {
                     if let Some(vs) = exact.get(&p) {
-                        for &v in vs {
+                        for &v in vs.as_slice() {
                             probes += 1;
                             f(v);
                         }
@@ -118,7 +121,7 @@ impl<V: Copy> Bucket<V> {
                 }
                 // Boundaries strictly longer than `query` that extend it.
                 if let Some(vs) = proper.get(&query) {
-                    for &v in vs {
+                    for &v in vs.as_slice() {
                         probes += 1;
                         f(v);
                     }
@@ -137,12 +140,12 @@ impl<V: Copy> Bucket<V> {
             Bucket::Naive(all) => all.iter().copied().for_each(f),
             Bucket::Exact(map) => {
                 for vs in map.values() {
-                    vs.iter().copied().for_each(&mut f);
+                    vs.iter().for_each(&mut f);
                 }
             }
             Bucket::Prefix { exact, .. } => {
                 for vs in exact.values() {
-                    vs.iter().copied().for_each(&mut f);
+                    vs.iter().for_each(&mut f);
                 }
             }
         }
@@ -177,8 +180,7 @@ mod tests {
     fn prefix_bucket_retrieves_exactly_compatible() {
         let mut it = CtxtInterner::new();
         let (eps, a, ab, b) = strings(&mut it);
-        let mut bucket: Bucket<u32> =
-            Bucket::new(JoinStrategy::Specialized, BoundaryMode::Prefix);
+        let mut bucket: Bucket<u32> = Bucket::new(JoinStrategy::Specialized, BoundaryMode::Prefix);
         bucket.insert(eps, 0, &it);
         bucket.insert(a, 1, &it);
         bucket.insert(ab, 2, &it);

@@ -1,0 +1,126 @@
+//! A small-vector for join-bucket fact lists.
+//!
+//! Bucket maps hold one fact list per boundary string, and the vast
+//! majority of those lists stay tiny (a handful of facts share any given
+//! boundary). [`CompactVec`] keeps up to four elements inline in the map
+//! entry itself, so small lists cost no heap allocation and no pointer
+//! chase; longer lists spill to an ordinary `Vec`.
+//!
+//! The type is deliberately minimal — `push`, `len`, `as_slice` — because
+//! buckets only ever append and scan. It is safe code throughout (the
+//! crate forbids `unsafe`): the inline buffer is a plain array filled with
+//! copies of the first pushed value, at the cost of requiring `V: Copy`.
+
+const INLINE_CAP: usize = 4;
+
+/// A vector of `Copy` values that stores up to four elements inline.
+#[derive(Debug, Clone, Default)]
+pub enum CompactVec<V: Copy> {
+    /// No elements yet.
+    #[default]
+    Empty,
+    /// At most [`INLINE_CAP`] elements stored in place; slots at index
+    /// `>= len` hold copies of earlier values and are never read.
+    Inline {
+        /// Number of live elements in `buf`.
+        len: u8,
+        /// Inline storage.
+        buf: [V; INLINE_CAP],
+    },
+    /// More than [`INLINE_CAP`] elements, spilled to the heap.
+    Spilled(Vec<V>),
+}
+
+impl<V: Copy> CompactVec<V> {
+    /// Creates an empty vector (no allocation).
+    pub fn new() -> Self {
+        CompactVec::Empty
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        match self {
+            CompactVec::Empty => 0,
+            CompactVec::Inline { len, .. } => usize::from(*len),
+            CompactVec::Spilled(v) => v.len(),
+        }
+    }
+
+    /// `true` iff there are no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Appends `value`, spilling to the heap on the fifth push.
+    pub fn push(&mut self, value: V) {
+        match self {
+            CompactVec::Empty => {
+                *self = CompactVec::Inline {
+                    len: 1,
+                    buf: [value; INLINE_CAP],
+                };
+            }
+            CompactVec::Inline { len, buf } => {
+                let n = usize::from(*len);
+                if n < INLINE_CAP {
+                    buf[n] = value;
+                    *len += 1;
+                } else {
+                    let mut spilled = Vec::with_capacity(INLINE_CAP * 2);
+                    spilled.extend_from_slice(&buf[..]);
+                    spilled.push(value);
+                    *self = CompactVec::Spilled(spilled);
+                }
+            }
+            CompactVec::Spilled(v) => v.push(value),
+        }
+    }
+
+    /// The elements as a slice.
+    pub fn as_slice(&self) -> &[V] {
+        match self {
+            CompactVec::Empty => &[],
+            CompactVec::Inline { len, buf } => &buf[..usize::from(*len)],
+            CompactVec::Spilled(v) => v.as_slice(),
+        }
+    }
+
+    /// Iterates over copies of the elements.
+    pub fn iter(&self) -> impl Iterator<Item = V> + '_ {
+        self.as_slice().iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_four() {
+        let mut v: CompactVec<u32> = CompactVec::new();
+        assert!(v.is_empty());
+        for i in 0..4 {
+            v.push(i);
+            assert!(matches!(v, CompactVec::Inline { .. }));
+        }
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_on_fifth_push_and_keeps_order() {
+        let mut v: CompactVec<u32> = CompactVec::new();
+        for i in 0..9 {
+            v.push(i);
+        }
+        assert!(matches!(v, CompactVec::Spilled(_)));
+        assert_eq!(v.len(), 9);
+        assert_eq!(v.iter().collect::<Vec<_>>(), (0..9).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn default_is_empty() {
+        let v: CompactVec<(u8, u8)> = CompactVec::default();
+        assert_eq!(v.len(), 0);
+        assert_eq!(v.as_slice(), &[]);
+    }
+}

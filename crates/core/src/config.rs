@@ -57,6 +57,11 @@ pub struct AnalysisConfig {
     /// Record every derived fact (rendered, in derivation order) into the
     /// result — used by the figure examples; expensive on big programs.
     pub record_facts: bool,
+    /// Memoize `compose` and `subsumes` over the copyable interned handles
+    /// (sound because the interner is append-only, so both are pure
+    /// functions of their handles). On by default; disable for the
+    /// memoization-parity tests and ablation runs.
+    pub memoize: bool,
 }
 
 impl AnalysisConfig {
@@ -95,6 +100,7 @@ impl AnalysisConfig {
             subsumption: false,
             collapse_insensitive_heap: true,
             record_facts: false,
+            memoize: true,
         }
     }
 
@@ -115,6 +121,13 @@ impl AnalysisConfig {
         self.record_facts = true;
         self
     }
+
+    /// Returns a copy with `compose`/`subsumes` memoization disabled
+    /// (parity testing and ablation).
+    pub fn without_memoization(mut self) -> Self {
+        self.memoize = false;
+        self
+    }
 }
 
 impl fmt::Display for AnalysisConfig {
@@ -133,7 +146,10 @@ mod tests {
     #[test]
     fn builders_set_kind() {
         let s: Sensitivity = "1-call".parse().unwrap();
-        assert_eq!(AnalysisConfig::context_strings(s).abstraction, AbstractionKind::ContextStrings);
+        assert_eq!(
+            AnalysisConfig::context_strings(s).abstraction,
+            AbstractionKind::ContextStrings
+        );
         assert_eq!(
             AnalysisConfig::transformer_strings(s).abstraction,
             AbstractionKind::TransformerStrings
@@ -151,6 +167,8 @@ mod tests {
         assert_eq!(cfg.join_strategy, JoinStrategy::Naive);
         assert!(cfg.subsumption);
         assert!(cfg.record_facts);
+        assert!(cfg.memoize, "memoization is on by default");
+        assert!(!cfg.without_memoization().memoize);
     }
 
     #[test]
@@ -160,6 +178,9 @@ mod tests {
             AnalysisConfig::context_strings(s).to_string(),
             "2-object+H/context strings"
         );
-        assert_eq!(AnalysisConfig::insensitive().to_string(), "context-insensitive");
+        assert_eq!(
+            AnalysisConfig::insensitive().to_string(),
+            "context-insensitive"
+        );
     }
 }

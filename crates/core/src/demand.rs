@@ -111,7 +111,11 @@ mod tests {
             for v in (0..module.program.var_count()).step_by(7) {
                 let var = ctxform_ir::Var::from_index(v);
                 let demand = demand_points_to(&module.program, var).unwrap();
-                assert_eq!(demand.points_to, exhaustive.ci.points_to(var), "seed {seed} v{v}");
+                assert_eq!(
+                    demand.points_to,
+                    exhaustive.ci.points_to(var),
+                    "seed {seed} v{v}"
+                );
             }
         }
     }

@@ -38,15 +38,17 @@
 
 mod baseline;
 mod bucket;
+mod compact;
 mod config;
 mod demand;
 mod result;
 mod solver;
 
 pub use baseline::{datalog_baseline, load_facts, CI_RULES};
-pub use demand::{demand_points_to, DemandAnswer};
 pub use bucket::{Bucket, JoinStrategy};
+pub use compact::CompactVec;
 pub use config::{AbstractionKind, AnalysisConfig};
+pub use demand::{demand_points_to, DemandAnswer};
 pub use result::{AnalysisResult, CiFacts, LoggedFact, SolverStats};
 
 use ctxform_algebra::{CStrings, Insensitive, TStrings};
@@ -65,11 +67,15 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisResult {
     match config.abstraction {
         AbstractionKind::Insensitive => solver::run(program, Insensitive::new(), *config),
         AbstractionKind::ContextStrings => {
-            let sens = config.sensitivity.expect("context strings require a sensitivity");
+            let sens = config
+                .sensitivity
+                .expect("context strings require a sensitivity");
             solver::run(program, CStrings::new(sens), *config)
         }
         AbstractionKind::TransformerStrings => {
-            let sens = config.sensitivity.expect("transformer strings require a sensitivity");
+            let sens = config
+                .sensitivity
+                .expect("transformer strings require a sensitivity");
             solver::run(program, TStrings::new(sens), *config)
         }
     }
@@ -158,9 +164,14 @@ mod tests {
         for (name, src) in corpus::all() {
             let module = compile(src).unwrap();
             for label in ["1-call", "1-call+H", "1-object", "2-object+H"] {
-                let c = analyze(&module.program, &AnalysisConfig::context_strings(sens(label)));
-                let t =
-                    analyze(&module.program, &AnalysisConfig::transformer_strings(sens(label)));
+                let c = analyze(
+                    &module.program,
+                    &AnalysisConfig::context_strings(sens(label)),
+                );
+                let t = analyze(
+                    &module.program,
+                    &AnalysisConfig::transformer_strings(sens(label)),
+                );
                 assert!(
                     t.ci.pts.is_subset(&c.ci.pts),
                     "{name} {label}: transformer must be at least as precise"
@@ -176,9 +187,14 @@ mod tests {
     fn type_sensitivity_transformer_is_coarser_or_equal() {
         for (name, src) in corpus::all() {
             let module = compile(src).unwrap();
-            let c = analyze(&module.program, &AnalysisConfig::context_strings(sens("2-type+H")));
-            let t =
-                analyze(&module.program, &AnalysisConfig::transformer_strings(sens("2-type+H")));
+            let c = analyze(
+                &module.program,
+                &AnalysisConfig::context_strings(sens("2-type+H")),
+            );
+            let t = analyze(
+                &module.program,
+                &AnalysisConfig::transformer_strings(sens("2-type+H")),
+            );
             assert!(
                 c.ci.pts.is_subset(&t.ci.pts),
                 "{name}: context strings must be at least as precise under type sensitivity"
@@ -201,7 +217,10 @@ mod tests {
                 );
                 assert_eq!(specialized.ci.pts, naive.ci.pts, "{name} {base}");
                 // The naive strategy probes at least as many candidates.
-                assert!(naive.stats.probes >= specialized.stats.probes, "{name} {base}");
+                assert!(
+                    naive.stats.probes >= specialized.stats.probes,
+                    "{name} {base}"
+                );
             }
         }
     }
@@ -282,7 +301,10 @@ mod tests {
         let var = |n: &str| module.var_by_name(main, n).unwrap();
         let h1 = module.heap_assigned_to(var("x")).unwrap();
 
-        for kind in [AbstractionKind::ContextStrings, AbstractionKind::TransformerStrings] {
+        for kind in [
+            AbstractionKind::ContextStrings,
+            AbstractionKind::TransformerStrings,
+        ] {
             let mk = |label: &str| {
                 let s = sens(label);
                 match kind {
@@ -352,8 +374,12 @@ mod tests {
         let cfg = AnalysisConfig::transformer_strings(sens("1-call+H"));
         let r = analyze(&module.program, &cfg);
         assert!(!r.stats.pts_configurations.is_empty());
-        let tags: Vec<&str> =
-            r.stats.pts_configurations.iter().map(|(t, _)| t.as_str()).collect();
+        let tags: Vec<&str> = r
+            .stats
+            .pts_configurations
+            .iter()
+            .map(|(t, _)| t.as_str())
+            .collect();
         assert!(tags.contains(&""), "identity configuration present");
         assert!(tags.contains(&"xe"), "the c1·ĉ1 subsumed fact is present");
     }
@@ -410,15 +436,21 @@ mod tests {
         )
         .unwrap();
         let s = sens("2-call");
-        let c = analyze(&module.program, &AnalysisConfig::context_strings(s).with_recorded_facts());
+        let c = analyze(
+            &module.program,
+            &AnalysisConfig::context_strings(s).with_recorded_facts(),
+        );
         let t = analyze(
             &module.program,
             &AnalysisConfig::transformer_strings(s).with_recorded_facts(),
         );
-        let count_t_loads = |r: &AnalysisResult| {
-            r.log.iter().filter(|f| f.rule == "SLoad").count()
-        };
-        assert!(count_t_loads(&c) > count_t_loads(&t), "{} vs {}", count_t_loads(&c), count_t_loads(&t));
+        let count_t_loads = |r: &AnalysisResult| r.log.iter().filter(|f| f.rule == "SLoad").count();
+        assert!(
+            count_t_loads(&c) > count_t_loads(&t),
+            "{} vs {}",
+            count_t_loads(&c),
+            count_t_loads(&t)
+        );
         assert_eq!(c.ci.pts, t.ci.pts);
     }
 

@@ -32,10 +32,21 @@ pub struct SolverStats {
     pub compose_bottom: u64,
     /// Join candidates visited.
     pub probes: u64,
+    /// `comp` evaluations answered from the memo table.
+    pub compose_memo_hits: u64,
+    /// `comp` evaluations that missed the memo table (and were computed).
+    pub compose_memo_misses: u64,
+    /// Subsumption checks answered from the memo table.
+    pub subsume_memo_hits: u64,
+    /// Subsumption checks that missed the memo table.
+    pub subsume_memo_misses: u64,
     /// New facts dropped because an existing fact subsumed them.
     pub subsumed_dropped: u64,
     /// Existing facts retired because a new fact subsumed them.
     pub subsumed_retired: u64,
+    /// Distinct context strings interned by the end of the run
+    /// (including ε).
+    pub interned_contexts: usize,
     /// Wall-clock solving time.
     pub duration: Duration,
     /// Transformer-configuration histogram (`x*w?e*` tags of §7) over the
@@ -47,6 +58,39 @@ impl SolverStats {
     /// `pts + hpts + call`, the paper's "Total" row.
     pub fn total(&self) -> usize {
         self.pts + self.hpts + self.call
+    }
+
+    /// A multi-line human-readable report of the solver counters (used by
+    /// the `analyze` CLI and covered by the memoization unit tests).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("  pts facts:        {}\n", self.pts));
+        out.push_str(&format!("  hpts facts:       {}\n", self.hpts));
+        out.push_str(&format!("  hload facts:      {}\n", self.hload));
+        out.push_str(&format!("  call facts:       {}\n", self.call));
+        out.push_str(&format!("  spts facts:       {}\n", self.spts));
+        out.push_str(&format!("  reach facts:      {}\n", self.reach));
+        out.push_str(&format!("  events:           {}\n", self.events));
+        out.push_str(&format!(
+            "  compose calls:    {} ({} bottom)\n",
+            self.compose_calls, self.compose_bottom
+        ));
+        out.push_str(&format!(
+            "  compose memo:     {} hits / {} misses\n",
+            self.compose_memo_hits, self.compose_memo_misses
+        ));
+        out.push_str(&format!(
+            "  subsume memo:     {} hits / {} misses\n",
+            self.subsume_memo_hits, self.subsume_memo_misses
+        ));
+        out.push_str(&format!("  join probes:      {}\n", self.probes));
+        out.push_str(&format!(
+            "  subsumption:      {} dropped / {} retired\n",
+            self.subsumed_dropped, self.subsumed_retired
+        ));
+        out.push_str(&format!("  interned ctxts:   {}\n", self.interned_contexts));
+        out.push_str(&format!("  time:             {:?}\n", self.duration));
+        out
     }
 }
 
@@ -69,24 +113,36 @@ pub struct CiFacts {
 impl CiFacts {
     /// The points-to set of one variable, sorted.
     pub fn points_to(&self, v: Var) -> Vec<Heap> {
-        let mut heaps: Vec<Heap> =
-            self.pts.iter().filter(|&&(var, _)| var == v).map(|&(_, h)| h).collect();
+        let mut heaps: Vec<Heap> = self
+            .pts
+            .iter()
+            .filter(|&&(var, _)| var == v)
+            .map(|&(_, h)| h)
+            .collect();
         heaps.sort_unstable();
         heaps
     }
 
     /// The call targets of one invocation site, sorted.
     pub fn call_targets(&self, i: Inv) -> Vec<Method> {
-        let mut methods: Vec<Method> =
-            self.call.iter().filter(|&&(inv, _)| inv == i).map(|&(_, q)| q).collect();
+        let mut methods: Vec<Method> = self
+            .call
+            .iter()
+            .filter(|&&(inv, _)| inv == i)
+            .map(|&(_, q)| q)
+            .collect();
         methods.sort_unstable();
         methods
     }
 
     /// `true` iff `a` and `b` may alias (their points-to sets intersect).
     pub fn may_alias(&self, a: Var, b: Var) -> bool {
-        let ha: HashSet<Heap> =
-            self.pts.iter().filter(|&&(v, _)| v == a).map(|&(_, h)| h).collect();
+        let ha: HashSet<Heap> = self
+            .pts
+            .iter()
+            .filter(|&&(v, _)| v == a)
+            .map(|&(_, h)| h)
+            .collect();
         self.pts.iter().any(|&(v, h)| v == b && ha.contains(&h))
     }
 
@@ -154,8 +210,14 @@ mod tests {
 
     #[test]
     fn stats_total_matches_paper_definition() {
-        let stats =
-            SolverStats { pts: 10, hpts: 3, call: 4, hload: 99, reach: 7, ..Default::default() };
+        let stats = SolverStats {
+            pts: 10,
+            hpts: 3,
+            call: 4,
+            hload: 99,
+            reach: 7,
+            ..Default::default()
+        };
         assert_eq!(stats.total(), 17);
     }
 }

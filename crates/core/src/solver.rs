@@ -12,11 +12,30 @@
 //! and both orientations of every two-derived-literal join are
 //! implemented, so the evaluation is equivalent to semi-naive iteration to
 //! fixpoint.
+//!
+//! # Hot-path layout
+//!
+//! The rule drivers are written to stay allocation-free at steady state:
+//!
+//! * The static [`ProgramIndex`] is held *by reference* (`ix: &'p
+//!   ProgramIndex`), so rule drivers copy the reference out of `self` and
+//!   iterate the index vectors directly while calling `&mut self`
+//!   insertion methods — no per-delta `.cloned()` of index vectors.
+//! * Join-candidate collection writes into reusable scratch buffers that
+//!   are `mem::take`n out of the solver around each rule loop (the borrow
+//!   checker then sees them as locals disjoint from `self`).
+//! * `compose` and `subsumes` are memoized over the copyable interned
+//!   handles (sound because the interner is append-only, making both pure
+//!   functions of their arguments). `invert` is *not* memoized: for every
+//!   abstraction it is an O(1) field swap, cheaper than any table lookup.
+//! * All maps and sets use the Fx hasher ([`ctxform_hash`]) — the keys are
+//!   small trusted `Copy` tuples, the exact case Fx is built for.
 
-use std::collections::{HashMap, HashSet};
+use std::mem;
 use std::time::Instant;
 
 use ctxform_algebra::{Abstraction, CtxtElem, CtxtStr, Levels, Limits, MergeSite};
+use ctxform_hash::{fx_map_with_capacity, FxHashMap, FxHashSet};
 use ctxform_ir::{Field, Heap, Inv, Method, Program, ProgramIndex, Var};
 
 use crate::bucket::Bucket;
@@ -37,73 +56,90 @@ pub(crate) fn run<A: Abstraction>(
     let mode = abs.boundary_mode();
     let solver = Solver {
         program,
-        ix,
+        ix: &ix,
         abs,
         config,
         levels,
         mode,
-        pts: HashSet::new(),
-        pts_by_var: HashMap::new(),
-        hpts: HashSet::new(),
-        hpts_by_gf: HashMap::new(),
-        hload: HashSet::new(),
-        hload_by_gf: HashMap::new(),
-        spts: HashSet::new(),
-        spts_by_field: HashMap::new(),
-        call: HashSet::new(),
-        call_by_inv: HashMap::new(),
-        call_by_method: HashMap::new(),
-        reach: HashSet::new(),
-        reach_by_method: HashMap::new(),
+        pts: FxHashSet::default(),
+        pts_by_var: fx_map_with_capacity(program.var_count()),
+        hpts: FxHashSet::default(),
+        hpts_by_gf: FxHashMap::default(),
+        hload: FxHashSet::default(),
+        hload_by_gf: FxHashMap::default(),
+        spts: FxHashSet::default(),
+        spts_by_field: FxHashMap::default(),
+        call: FxHashSet::default(),
+        call_by_inv: fx_map_with_capacity(program.inv_count()),
+        call_by_method: fx_map_with_capacity(program.method_count()),
+        reach: FxHashSet::default(),
+        reach_by_method: fx_map_with_capacity(program.method_count()),
         q_pts: Vec::new(),
         q_hpts: Vec::new(),
         q_hload: Vec::new(),
         q_call: Vec::new(),
         q_spts: Vec::new(),
         q_reach: Vec::new(),
-        live_pts: HashMap::new(),
-        dead_pts: HashSet::new(),
+        live_pts: FxHashMap::default(),
+        dead_pts: FxHashSet::default(),
+        compose_memo: FxHashMap::default(),
+        subsume_memo: FxHashMap::default(),
+        scratch_heap: Vec::new(),
+        scratch_method: Vec::new(),
+        scratch_inv: Vec::new(),
+        scratch_var: Vec::new(),
+        scratch_ctxts: Vec::new(),
         stats: SolverStats::default(),
         log: Vec::new(),
     };
     solver.solve()
 }
 
+/// A join index: facts grouped per key, boundary-indexed within each
+/// [`Bucket`].
+type BucketMap<K, V> = FxHashMap<K, Bucket<V>>;
+
+/// Memo table for `compose`, keyed on the copyable interned handles and
+/// the truncation limits (sound because the interner is append-only).
+type ComposeMemo<X> = FxHashMap<(X, X, Limits), Option<X>>;
+
 struct Solver<'p, A: Abstraction> {
     program: &'p Program,
-    ix: ProgramIndex,
+    /// Static join indices, held by reference so rule drivers can iterate
+    /// them while mutating the rest of the solver (split borrows).
+    ix: &'p ProgramIndex,
     abs: A,
     config: AnalysisConfig,
     levels: Levels,
     mode: ctxform_algebra::BoundaryMode,
 
-    pts: HashSet<(Var, Heap, A::X)>,
+    pts: FxHashSet<(Var, Heap, A::X)>,
     /// `pts` keyed by variable, boundary-indexed on the destination side.
-    pts_by_var: HashMap<Var, Bucket<(Heap, A::X)>>,
-    hpts: HashSet<(Heap, Field, Heap, A::X)>,
+    pts_by_var: BucketMap<Var, (Heap, A::X)>,
+    hpts: FxHashSet<(Heap, Field, Heap, A::X)>,
     /// `hpts` keyed by (base site, field), boundary-indexed on the
     /// destination side (its transformation maps pointee-alloc context to
     /// base-alloc context).
-    hpts_by_gf: HashMap<(Heap, Field), Bucket<(Heap, A::X)>>,
-    hload: HashSet<(Heap, Field, Var, A::X)>,
+    hpts_by_gf: BucketMap<(Heap, Field), (Heap, A::X)>,
+    hload: FxHashSet<(Heap, Field, Var, A::X)>,
     /// `hload` keyed by (base site, field), boundary-indexed on the
     /// source side.
-    hload_by_gf: HashMap<(Heap, Field), Bucket<(Var, A::X)>>,
+    hload_by_gf: BucketMap<(Heap, Field), (Var, A::X)>,
     /// `spts(F, H, B)`: static field `F` may hold an object allocated at
     /// `H`, `B` constraining only the allocation context (SStore/SLoad —
     /// the static-field extension the paper's implementation models via
     /// Doop's rules).
-    spts: HashSet<(Field, Heap, A::X)>,
-    spts_by_field: HashMap<Field, Vec<(Heap, A::X)>>,
-    call: HashSet<(Inv, Method, A::X)>,
+    spts: FxHashSet<(Field, Heap, A::X)>,
+    spts_by_field: FxHashMap<Field, Vec<(Heap, A::X)>>,
+    call: FxHashSet<(Inv, Method, A::X)>,
     /// `call` keyed by invocation, boundary-indexed on the source side
     /// (for Param).
-    call_by_inv: HashMap<Inv, Bucket<(Method, A::X)>>,
+    call_by_inv: BucketMap<Inv, (Method, A::X)>,
     /// `call` keyed by callee, boundary-indexed on the destination side
     /// (for Ret).
-    call_by_method: HashMap<Method, Bucket<(Inv, A::X)>>,
-    reach: HashSet<(Method, CtxtStr)>,
-    reach_by_method: HashMap<Method, Vec<CtxtStr>>,
+    call_by_method: BucketMap<Method, (Inv, A::X)>,
+    reach: FxHashSet<(Method, CtxtStr)>,
+    reach_by_method: FxHashMap<Method, Vec<CtxtStr>>,
 
     q_pts: Vec<(Var, Heap, A::X)>,
     q_hpts: Vec<(Heap, Field, Heap, A::X)>,
@@ -114,8 +150,21 @@ struct Solver<'p, A: Abstraction> {
 
     /// Live (unsubsumed) transformations per (var, heap) key; maintained
     /// only when subsumption elimination is on.
-    live_pts: HashMap<(Var, Heap), Vec<A::X>>,
-    dead_pts: HashSet<(Var, Heap, A::X)>,
+    live_pts: FxHashMap<(Var, Heap), Vec<A::X>>,
+    dead_pts: FxHashSet<(Var, Heap, A::X)>,
+
+    compose_memo: ComposeMemo<A::X>,
+    /// Memo table for `subsumes(a, b)`.
+    subsume_memo: FxHashMap<(A::X, A::X), bool>,
+
+    // Reusable join-candidate buffers, one per tuple shape. They are
+    // `mem::take`n around each rule loop and restored afterwards, so the
+    // solver performs no per-probe allocation at steady state.
+    scratch_heap: Vec<(Heap, A::X)>,
+    scratch_method: Vec<(Method, A::X)>,
+    scratch_inv: Vec<(Inv, A::X)>,
+    scratch_var: Vec<(Var, A::X)>,
+    scratch_ctxts: Vec<CtxtStr>,
 
     stats: SolverStats,
     log: Vec<LoggedFact>,
@@ -123,11 +172,17 @@ struct Solver<'p, A: Abstraction> {
 
 impl<'p, A: Abstraction> Solver<'p, A> {
     fn limits_store(&self) -> Limits {
-        Limits { src: self.levels.heap, dst: self.levels.heap }
+        Limits {
+            src: self.levels.heap,
+            dst: self.levels.heap,
+        }
     }
 
     fn limits_flow(&self) -> Limits {
-        Limits { src: self.levels.heap, dst: self.levels.method }
+        Limits {
+            src: self.levels.heap,
+            dst: self.levels.method,
+        }
     }
 
     fn solve(mut self) -> AnalysisResult {
@@ -137,7 +192,8 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             let interner = self.abs.interner_mut();
             interner.from_slice(&[CtxtElem::entry()])
         };
-        for &main in &self.program.entry_points.clone() {
+        let program = self.program;
+        for &main in &program.entry_points {
             self.insert_reach(main, entry_ctx, "Entry");
         }
         loop {
@@ -185,108 +241,130 @@ impl<'p, A: Abstraction> Solver<'p, A> {
 
     /// New + Static, driven by a new `reach(P, M)` fact.
     fn process_reach(&mut self, p: Method, m: CtxtStr) {
-        if let Some(allocs) = self.ix.allocs_by_method.get(&p).cloned() {
-            for (h, y) in allocs {
+        let ix = self.ix;
+        if let Some(allocs) = ix.allocs_by_method.get(&p) {
+            for &(h, y) in allocs {
                 let x = self.abs.record(m);
                 self.insert_pts(y, h, x, "New");
             }
         }
-        if let Some(statics) = self.ix.statics_by_method.get(&p).cloned() {
-            for (i, q) in statics {
+        if let Some(statics) = ix.statics_by_method.get(&p) {
+            for &(i, q) in statics {
                 let c = self.abs.merge_s(CtxtElem::of_inv(i), m);
                 self.insert_call(i, q, c, "Static");
             }
         }
         // SLoad, reach role: spts(F,H,B), static_load(F,Z),
         // reach(parent(Z), M) ⊢ pts(Z,H, load_global(B, M)).
-        if let Some(loads) = self.ix.static_loads_by_method.get(&p).cloned() {
-            for (f, z) in loads {
-                if let Some(facts) = self.spts_by_field.get(&f).cloned() {
-                    for (h, b) in facts {
-                        let x = self.abs.load_global(b, m);
-                        self.insert_pts(z, h, x, "SLoad");
-                    }
+        if let Some(loads) = ix.static_loads_by_method.get(&p) {
+            let mut facts = mem::take(&mut self.scratch_heap);
+            for &(f, z) in loads {
+                facts.clear();
+                if let Some(fs) = self.spts_by_field.get(&f) {
+                    facts.extend_from_slice(fs);
+                }
+                for &(h, b) in facts.iter() {
+                    let x = self.abs.load_global(b, m);
+                    self.insert_pts(z, h, x, "SLoad");
                 }
             }
+            self.scratch_heap = facts;
         }
     }
 
     /// Assign, Load, Store (both roles), Param (actual role), Ret (return
     /// role), Virt — driven by a new `pts(Z, H, B)` fact.
     fn process_pts(&mut self, z: Var, h: Heap, b: A::X) {
+        let ix = self.ix;
         // Assign: pts(Z,H,A), assign(Z,Y) ⊢ pts(Y,H,A).
-        if let Some(targets) = self.ix.assign_from.get(&z).cloned() {
-            for y in targets {
+        if let Some(targets) = ix.assign_from.get(&z) {
+            for &y in targets {
                 self.insert_pts(y, h, b, "Assign");
             }
         }
         // Load: pts(Y,G,A), load(Y,F,Z) ⊢ hload(G,F,Z,A).
-        if let Some(loads) = self.ix.loads_by_base.get(&z).cloned() {
-            for (f, dst) in loads {
+        if let Some(loads) = ix.loads_by_base.get(&z) {
+            for &(f, dst) in loads {
                 self.insert_hload(h, f, dst, b, "Load");
             }
         }
         // Store, value role: pts(X,H,B), store(X,F,Z), pts(Z,G,C)
         // ⊢ hpts(G,F,H, B;C⁻¹).
-        if let Some(stores) = self.ix.stores_by_value.get(&z).cloned() {
+        if let Some(stores) = ix.stores_by_value.get(&z) {
             let query = self.abs.dst_boundary(b);
-            for (f, base) in stores {
-                let candidates = self.compatible_pts(base, query);
-                for (g, c) in candidates {
+            let mut cand = mem::take(&mut self.scratch_heap);
+            for &(f, base) in stores {
+                cand.clear();
+                self.collect_compatible_pts(base, query, &mut cand);
+                for &(g, c) in cand.iter() {
                     let inv_c = self.abs.invert(c);
                     if let Some(a) = self.compose(b, inv_c, self.limits_store()) {
                         self.insert_hpts(g, f, h, a, "Store");
                     }
                 }
             }
+            self.scratch_heap = cand;
         }
         // Store, base role: pts(Z,G,C) with store(X,F,Z).
-        if let Some(stores) = self.ix.stores_by_base.get(&z).cloned() {
+        if let Some(stores) = ix.stores_by_base.get(&z) {
             let query = self.abs.dst_boundary(b);
-            for (f, value) in stores {
-                let candidates = self.compatible_pts(value, query);
-                for (hh, bv) in candidates {
-                    let inv_c = self.abs.invert(b);
+            let inv_c = self.abs.invert(b);
+            let mut cand = mem::take(&mut self.scratch_heap);
+            for &(f, value) in stores {
+                cand.clear();
+                self.collect_compatible_pts(value, query, &mut cand);
+                for &(hh, bv) in cand.iter() {
                     if let Some(a) = self.compose(bv, inv_c, self.limits_store()) {
                         self.insert_hpts(h, f, hh, a, "Store");
                     }
                 }
             }
+            self.scratch_heap = cand;
         }
         // Param, actual role: pts(Z,H,B), actual(Z,I,O), call(I,P,C),
         // formal(Y,P,O) ⊢ pts(Y,H, B;C).
-        if let Some(actuals) = self.ix.actuals_by_var.get(&z).cloned() {
+        if let Some(actuals) = ix.actuals_by_var.get(&z) {
             let query = self.abs.dst_boundary(b);
-            for (i, o) in actuals {
-                let candidates = self.compatible_call_by_inv(i, query);
-                for (p, c) in candidates {
-                    let Some(&y) = self.ix.formal_of.get(&(p, o)) else { continue };
+            let mut cand = mem::take(&mut self.scratch_method);
+            for &(i, o) in actuals {
+                cand.clear();
+                self.collect_compatible_call_by_inv(i, query, &mut cand);
+                for &(p, c) in cand.iter() {
+                    let Some(&y) = ix.formal_of.get(&(p, o)) else {
+                        continue;
+                    };
                     if let Some(a) = self.compose(b, c, self.limits_flow()) {
                         self.insert_pts(y, h, a, "Param");
                     }
                 }
             }
+            self.scratch_method = cand;
         }
         // Ret, return role: pts(Z,H,B), return(Z,P), call(I,P,C),
         // assign_return(I,Y) ⊢ pts(Y,H, B;C⁻¹).
-        if let Some(returns) = self.ix.returns_by_var.get(&z).cloned() {
+        if let Some(returns) = ix.returns_by_var.get(&z) {
             let query = self.abs.dst_boundary(b);
-            for p in returns {
-                let candidates = self.compatible_call_by_method(p, query);
-                for (i, c) in candidates {
+            let mut cand = mem::take(&mut self.scratch_inv);
+            for &p in returns {
+                cand.clear();
+                self.collect_compatible_call_by_method(p, query, &mut cand);
+                for &(i, c) in cand.iter() {
                     let inv_c = self.abs.invert(c);
-                    let Some(a) = self.compose(b, inv_c, self.limits_flow()) else { continue };
-                    if let Some(ys) = self.ix.assign_return_by_inv.get(&i).cloned() {
-                        for y in ys {
+                    let Some(a) = self.compose(b, inv_c, self.limits_flow()) else {
+                        continue;
+                    };
+                    if let Some(ys) = ix.assign_return_by_inv.get(&i) {
+                        for &y in ys {
                             self.insert_pts(y, h, a, "Ret");
                         }
                     }
                 }
             }
+            self.scratch_inv = cand;
         }
         // SStore: pts(X,H,B), static_store(X,F) ⊢ spts(F,H, globalize(B)).
-        if let Some(fields) = self.ix.static_stores_by_var.get(&z).cloned() {
-            for f in fields {
+        if let Some(fields) = ix.static_stores_by_var.get(&z) {
+            for &f in fields {
                 let g = self.abs.globalize(b);
                 self.insert_spts(f, h, g, "SStore");
             }
@@ -294,11 +372,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         // Virt: virtual_invoke(I,Z,S), pts(Z,H,B), heap_type(H,T),
         // implements(Q,T,S), this_var(Y,Q), C ≡ merge(H,I,B)
         // ⊢ pts(Y,H, B;C), call(I,Q,C).
-        if let Some(virtuals) = self.ix.virtuals_by_recv.get(&z).cloned() {
-            let t = self.ix.type_of_heap[h.index()];
-            let class = self.ix.class_of_heap[h.index()];
-            for (i, s) in virtuals {
-                let Some(q) = self.ix.resolve(t, s) else { continue };
+        if let Some(virtuals) = ix.virtuals_by_recv.get(&z) {
+            let t = ix.type_of_heap[h.index()];
+            let class = ix.class_of_heap[h.index()];
+            for &(i, s) in virtuals {
+                let Some(q) = ix.resolve(t, s) else { continue };
                 let site = MergeSite {
                     inv: CtxtElem::of_inv(i),
                     heap: CtxtElem::of_heap(h),
@@ -306,7 +384,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 };
                 let c = self.abs.merge(site, b);
                 self.insert_call(i, q, c, "Virt");
-                if let Some(&y) = self.ix.this_of_method.get(&q) {
+                if let Some(&y) = ix.this_of_method.get(&q) {
                     if let Some(a) = self.compose(b, c, self.limits_flow()) {
                         self.insert_pts(y, h, a, "Virt");
                     }
@@ -318,76 +396,97 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     /// Ind, hpts role: hpts(G,F,H,B), hload(G,F,Y,C) ⊢ pts(Y,H, B;C).
     fn process_hpts(&mut self, g: Heap, f: Field, h: Heap, b: A::X) {
         let query = self.abs.dst_boundary(b);
-        let candidates = self.compatible_hload(g, f, query);
-        for (y, c) in candidates {
+        let mut cand = mem::take(&mut self.scratch_var);
+        cand.clear();
+        self.collect_compatible_hload(g, f, query, &mut cand);
+        for &(y, c) in cand.iter() {
             if let Some(a) = self.compose(b, c, self.limits_flow()) {
                 self.insert_pts(y, h, a, "Ind");
             }
         }
+        self.scratch_var = cand;
     }
 
     /// Ind, hload role.
     fn process_hload(&mut self, g: Heap, f: Field, y: Var, c: A::X) {
         let query = self.abs.src_boundary(c);
-        let candidates = self.compatible_hpts(g, f, query);
-        for (h, b) in candidates {
+        let mut cand = mem::take(&mut self.scratch_heap);
+        cand.clear();
+        self.collect_compatible_hpts(g, f, query, &mut cand);
+        for &(h, b) in cand.iter() {
             if let Some(a) = self.compose(b, c, self.limits_flow()) {
                 self.insert_pts(y, h, a, "Ind");
             }
         }
+        self.scratch_heap = cand;
     }
 
     /// SLoad, spts role: join against every reachable context of each
     /// loading method.
     fn process_spts(&mut self, f: Field, h: Heap, b: A::X) {
-        if let Some(loaders) = self.ix.static_loads_by_field.get(&f).cloned() {
-            for z in loaders {
+        let ix = self.ix;
+        if let Some(loaders) = ix.static_loads_by_field.get(&f) {
+            let mut contexts = mem::take(&mut self.scratch_ctxts);
+            for &z in loaders {
                 let p = self.program.var_method[z.index()];
-                if let Some(contexts) = self.reach_by_method.get(&p).cloned() {
-                    for m in contexts {
-                        let x = self.abs.load_global(b, m);
-                        self.insert_pts(z, h, x, "SLoad");
-                    }
+                contexts.clear();
+                if let Some(ms) = self.reach_by_method.get(&p) {
+                    contexts.extend_from_slice(ms);
+                }
+                for &m in contexts.iter() {
+                    let x = self.abs.load_global(b, m);
+                    self.insert_pts(z, h, x, "SLoad");
                 }
             }
+            self.scratch_ctxts = contexts;
         }
     }
 
     /// Reach + Param (call role) + Ret (call role), driven by a new
     /// `call(I, P, C)` fact.
     fn process_call(&mut self, i: Inv, p: Method, c: A::X) {
+        let ix = self.ix;
         // Reach: call(I,P,A) ⊢ reach(P, target(A)).
         let m = self.abs.target(c);
         self.insert_reach(p, m, "Reach");
         // Param, call role.
-        if let Some(actuals) = self.ix.actuals_by_inv.get(&i).cloned() {
+        if let Some(actuals) = ix.actuals_by_inv.get(&i) {
             let query = self.abs.src_boundary(c);
-            for (o, z) in actuals {
-                let Some(&y) = self.ix.formal_of.get(&(p, o)) else { continue };
-                let candidates = self.compatible_pts(z, query);
-                for (h, b) in candidates {
+            let mut cand = mem::take(&mut self.scratch_heap);
+            for &(o, z) in actuals {
+                let Some(&y) = ix.formal_of.get(&(p, o)) else {
+                    continue;
+                };
+                cand.clear();
+                self.collect_compatible_pts(z, query, &mut cand);
+                for &(h, b) in cand.iter() {
                     if let Some(a) = self.compose(b, c, self.limits_flow()) {
                         self.insert_pts(y, h, a, "Param");
                     }
                 }
             }
+            self.scratch_heap = cand;
         }
         // Ret, call role.
-        if let Some(ys) = self.ix.assign_return_by_inv.get(&i).cloned() {
-            if let Some(returns) = self.ix.returns_by_method.get(&p).cloned() {
+        if let Some(ys) = ix.assign_return_by_inv.get(&i) {
+            if let Some(returns) = ix.returns_by_method.get(&p) {
                 let query = self.abs.dst_boundary(c);
-                for z in returns {
-                    let candidates = self.compatible_pts(z, query);
-                    for (h, b) in candidates {
-                        let inv_c = self.abs.invert(c);
+                // `c` is fixed for this delta, so its inverse is loop-invariant.
+                let inv_c = self.abs.invert(c);
+                let mut cand = mem::take(&mut self.scratch_heap);
+                for &z in returns {
+                    cand.clear();
+                    self.collect_compatible_pts(z, query, &mut cand);
+                    for &(h, b) in cand.iter() {
                         let Some(a) = self.compose(b, inv_c, self.limits_flow()) else {
                             continue;
                         };
-                        for &y in &ys {
+                        for &y in ys {
                             self.insert_pts(y, h, a, "Ret");
                         }
                     }
                 }
+                self.scratch_heap = cand;
             }
         }
     }
@@ -396,8 +495,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     // Join candidate collection
     // ------------------------------------------------------------------
 
-    fn compatible_pts(&mut self, var: Var, query: CtxtStr) -> Vec<(Heap, A::X)> {
-        let mut out = Vec::new();
+    fn collect_compatible_pts(&mut self, var: Var, query: CtxtStr, out: &mut Vec<(Heap, A::X)>) {
         if let Some(bucket) = self.pts_by_var.get(&var) {
             let probes = if self.config.subsumption {
                 let dead = &self.dead_pts;
@@ -411,51 +509,96 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             };
             self.stats.probes += probes;
         }
-        out
     }
 
-    fn compatible_call_by_inv(&mut self, i: Inv, query: CtxtStr) -> Vec<(Method, A::X)> {
-        let mut out = Vec::new();
+    fn collect_compatible_call_by_inv(
+        &mut self,
+        i: Inv,
+        query: CtxtStr,
+        out: &mut Vec<(Method, A::X)>,
+    ) {
         if let Some(bucket) = self.call_by_inv.get(&i) {
-            self.stats.probes +=
-                bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
+            self.stats.probes += bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
         }
-        out
     }
 
-    fn compatible_call_by_method(&mut self, p: Method, query: CtxtStr) -> Vec<(Inv, A::X)> {
-        let mut out = Vec::new();
+    fn collect_compatible_call_by_method(
+        &mut self,
+        p: Method,
+        query: CtxtStr,
+        out: &mut Vec<(Inv, A::X)>,
+    ) {
         if let Some(bucket) = self.call_by_method.get(&p) {
-            self.stats.probes +=
-                bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
+            self.stats.probes += bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
         }
-        out
     }
 
-    fn compatible_hload(&mut self, g: Heap, f: Field, query: CtxtStr) -> Vec<(Var, A::X)> {
-        let mut out = Vec::new();
+    fn collect_compatible_hload(
+        &mut self,
+        g: Heap,
+        f: Field,
+        query: CtxtStr,
+        out: &mut Vec<(Var, A::X)>,
+    ) {
         if let Some(bucket) = self.hload_by_gf.get(&(g, f)) {
-            self.stats.probes +=
-                bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
+            self.stats.probes += bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
         }
-        out
     }
 
-    fn compatible_hpts(&mut self, g: Heap, f: Field, query: CtxtStr) -> Vec<(Heap, A::X)> {
-        let mut out = Vec::new();
+    fn collect_compatible_hpts(
+        &mut self,
+        g: Heap,
+        f: Field,
+        query: CtxtStr,
+        out: &mut Vec<(Heap, A::X)>,
+    ) {
         if let Some(bucket) = self.hpts_by_gf.get(&(g, f)) {
-            self.stats.probes +=
-                bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
+            self.stats.probes += bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
         }
-        out
     }
 
     fn compose(&mut self, a: A::X, b: A::X, limits: Limits) -> Option<A::X> {
         self.stats.compose_calls += 1;
+        if self.config.memoize {
+            if let Some(&r) = self.compose_memo.get(&(a, b, limits)) {
+                self.stats.compose_memo_hits += 1;
+                if r.is_none() {
+                    self.stats.compose_bottom += 1;
+                }
+                return r;
+            }
+            self.stats.compose_memo_misses += 1;
+        }
         let r = self.abs.compose(a, b, limits);
         if r.is_none() {
             self.stats.compose_bottom += 1;
         }
+        if self.config.memoize {
+            self.compose_memo.insert((a, b, limits), r);
+        }
+        r
+    }
+
+    /// Memoized `subsumes`, written as an associated function over the
+    /// split-borrowed fields so it can run inside `retain` closures.
+    fn subsumes_cached(
+        abs: &A,
+        memo: &mut FxHashMap<(A::X, A::X), bool>,
+        stats: &mut SolverStats,
+        memoize: bool,
+        a: A::X,
+        b: A::X,
+    ) -> bool {
+        if !memoize {
+            return abs.subsumes(a, b);
+        }
+        if let Some(&r) = memo.get(&(a, b)) {
+            stats.subsume_memo_hits += 1;
+            return r;
+        }
+        stats.subsume_memo_misses += 1;
+        let r = abs.subsumes(a, b);
+        memo.insert((a, b), r);
         r
     }
 
@@ -468,9 +611,20 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             if self.pts.contains(&(y, h, x)) {
                 return; // plain duplicate, not a subsumption event
             }
-            if let Some(live) = self.live_pts.get(&(y, h)) {
-                if live.iter().any(|&old| self.abs.subsumes(old, x)) {
-                    self.stats.subsumed_dropped += 1;
+            let memoize = self.config.memoize;
+            let Solver {
+                live_pts,
+                subsume_memo,
+                abs,
+                stats,
+                ..
+            } = self;
+            if let Some(live) = live_pts.get(&(y, h)) {
+                if live
+                    .iter()
+                    .any(|&old| Self::subsumes_cached(abs, subsume_memo, stats, memoize, old, x))
+                {
+                    stats.subsumed_dropped += 1;
                     return;
                 }
             }
@@ -479,20 +633,27 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             return;
         }
         if self.config.subsumption {
-            let live = self.live_pts.entry((y, h)).or_default();
-            let abs = &self.abs;
-            let dead = &mut self.dead_pts;
+            let memoize = self.config.memoize;
+            let Solver {
+                live_pts,
+                dead_pts,
+                subsume_memo,
+                abs,
+                stats,
+                ..
+            } = self;
+            let live = live_pts.entry((y, h)).or_default();
             let mut retired = 0;
             live.retain(|&old| {
-                if abs.subsumes(x, old) {
-                    dead.insert((y, h, old));
+                if Self::subsumes_cached(abs, subsume_memo, stats, memoize, x, old) {
+                    dead_pts.insert((y, h, old));
                     retired += 1;
                     false
                 } else {
                     true
                 }
             });
-            self.stats.subsumed_retired += retired;
+            stats.subsumed_retired += retired;
             live.push(x);
         }
         let boundary = self.abs.dst_boundary(x);
@@ -509,7 +670,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 self.program.heap_names[h.index()],
                 self.abs.display(x, self.program)
             );
-            self.log.push(LoggedFact { relation: "pts", rule, text });
+            self.log.push(LoggedFact {
+                relation: "pts",
+                rule,
+                text,
+            });
         }
         self.q_pts.push((y, h, x));
     }
@@ -538,7 +703,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 self.program.heap_names[h.index()],
                 self.abs.display(x, self.program)
             );
-            self.log.push(LoggedFact { relation: "hpts", rule, text });
+            self.log.push(LoggedFact {
+                relation: "hpts",
+                rule,
+                text,
+            });
         }
         self.q_hpts.push((g, f, h, x));
     }
@@ -562,7 +731,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 self.program.var_names[y.index()],
                 self.abs.display(x, self.program)
             );
-            self.log.push(LoggedFact { relation: "hload", rule, text });
+            self.log.push(LoggedFact {
+                relation: "hload",
+                rule,
+                text,
+            });
         }
         self.q_hload.push((g, f, y, x));
     }
@@ -590,7 +763,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 self.program.method_names[q.index()],
                 self.abs.display(x, self.program)
             );
-            self.log.push(LoggedFact { relation: "call", rule, text });
+            self.log.push(LoggedFact {
+                relation: "call",
+                rule,
+                text,
+            });
         }
         self.q_call.push((i, q, x));
     }
@@ -607,7 +784,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 self.program.heap_names[h.index()],
                 self.abs.display(x, self.program)
             );
-            self.log.push(LoggedFact { relation: "spts", rule, text });
+            self.log.push(LoggedFact {
+                relation: "spts",
+                rule,
+                text,
+            });
         }
         self.q_spts.push((f, h, x));
     }
@@ -621,9 +802,15 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             let text = format!(
                 "reach({}, [{}])",
                 self.program.method_names[p.index()],
-                self.abs.interner().display_with(m, |e| e.describe(self.program))
+                self.abs
+                    .interner()
+                    .display_with(m, |e| e.describe(self.program))
             );
-            self.log.push(LoggedFact { relation: "reach", rule, text });
+            self.log.push(LoggedFact {
+                relation: "reach",
+                rule,
+                text,
+            });
         }
         self.q_reach.push((p, m));
     }
@@ -640,7 +827,8 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         self.stats.call = self.call.len();
         self.stats.spts = self.spts.len();
         self.stats.reach = self.reach.len();
-        let mut histogram: HashMap<String, usize> = HashMap::new();
+        self.stats.interned_contexts = self.abs.interner().interned_count();
+        let mut histogram: FxHashMap<String, usize> = FxHashMap::default();
         for &(y, h, x) in &self.pts {
             if self.config.subsumption && self.dead_pts.contains(&(y, h, x)) {
                 continue;
@@ -670,6 +858,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         for &(p, _) in &self.reach {
             ci.reach.insert(p);
         }
-        AnalysisResult { config: self.config, stats: self.stats, ci, log: self.log }
+        AnalysisResult {
+            config: self.config,
+            stats: self.stats,
+            ci,
+            log: self.log,
+        }
     }
 }

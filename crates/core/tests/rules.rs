@@ -163,7 +163,11 @@ fn virt_dispatches_per_receiver_type() {
     for cfg in both("1-object") {
         let r = analyze(&p, &cfg);
         assert_eq!(r.ci.call_targets(i), vec![cat_speak], "{cfg}");
-        assert_eq!(r.ci.points_to(cat_this), vec![h_cat], "{cfg}: Virt this-binding");
+        assert_eq!(
+            r.ci.points_to(cat_this),
+            vec![h_cat],
+            "{cfg}: Virt this-binding"
+        );
         assert!(r.ci.points_to(dog_this).is_empty(), "{cfg}");
         assert!(!r.ci.reach.contains(&dog_speak), "{cfg}");
     }
@@ -201,7 +205,14 @@ fn recursive_static_calls_terminate() {
     let h = s.b.alloc("h", s.object, x, s.main);
     s.b.static_call("c_outer", s.main, rec, &[x], Some(y));
     let p = s.finish();
-    for label in ["1-call", "2-call", "3-call+2H", "1-object", "2-object+H", "2-type+H"] {
+    for label in [
+        "1-call",
+        "2-call",
+        "3-call+2H",
+        "1-object",
+        "2-object+H",
+        "2-type+H",
+    ] {
         for cfg in both(label) {
             let r = analyze(&p, &cfg);
             assert_eq!(r.ci.points_to(pv), vec![h], "{cfg}");
@@ -282,7 +293,10 @@ fn sload_in_unreachable_method_derives_nothing() {
     for cfg in both("1-call") {
         let r = analyze(&p, &cfg);
         assert_eq!(r.ci.spts.len(), 1, "{cfg}: the store still happens");
-        assert!(r.ci.points_to(out).is_empty(), "{cfg}: but the dead load must not fire");
+        assert!(
+            r.ci.points_to(out).is_empty(),
+            "{cfg}: but the dead load must not fire"
+        );
     }
 }
 

@@ -160,7 +160,11 @@ impl Engine {
             return Ok(id);
         }
         let id = RelId(self.relations.len());
-        self.relations.push(Relation { name: name.to_owned(), arity, ..Relation::default() });
+        self.relations.push(Relation {
+            name: name.to_owned(),
+            arity,
+            ..Relation::default()
+        });
         self.by_name.insert(name.to_owned(), id);
         Ok(id)
     }
@@ -194,7 +198,9 @@ impl Engine {
                     });
                 }
                 Term::Wildcard => {
-                    return Err(DatalogError::WildcardInHead { rule: rule.to_string() });
+                    return Err(DatalogError::WildcardInHead {
+                        rule: rule.to_string(),
+                    });
                 }
                 _ => {}
             }
@@ -326,7 +332,12 @@ impl Engine {
             let ops = compile_atom_ops(atom, &mut slots);
             let rel = self.by_name[&atom.relation];
             self.relations[rel.0].register_index(index_cols.clone());
-            atoms.push(AtomPlan { rel, ops, index_cols, key_sources });
+            atoms.push(AtomPlan {
+                rel,
+                ops,
+                index_cols,
+                key_sources,
+            });
         }
         let head_ops = rule
             .head
@@ -382,7 +393,13 @@ impl Engine {
         stats
     }
 
-    fn fire(&self, plan: &Plan, delta_pos: usize, limit: &[usize], out: &mut Vec<(RelId, Vec<u32>)>) {
+    fn fire(
+        &self,
+        plan: &Plan,
+        delta_pos: usize,
+        limit: &[usize],
+        out: &mut Vec<(RelId, Vec<u32>)>,
+    ) {
         let mut env = vec![0u32; plan.n_slots];
         let tuple = &self.relations[plan.delta.0].tuples[delta_pos];
         if !apply_ops(&plan.delta_ops, tuple, &mut env) {
@@ -600,8 +617,11 @@ mod tests {
 
     #[test]
     fn head_constants_are_emitted() {
-        let mut e = Engine::parse("mark(7, X) :- q(X).
-q(1).").unwrap();
+        let mut e = Engine::parse(
+            "mark(7, X) :- q(X).
+q(1).",
+        )
+        .unwrap();
         e.run();
         let r = e.relation("mark").unwrap();
         assert!(e.contains(r, &[7, 1]));
@@ -609,9 +629,12 @@ q(1).").unwrap();
 
     #[test]
     fn duplicate_rules_are_harmless() {
-        let mut e = Engine::parse("p(X) :- q(X).
+        let mut e = Engine::parse(
+            "p(X) :- q(X).
 p(X) :- q(X).
-q(3).").unwrap();
+q(3).",
+        )
+        .unwrap();
         e.run();
         assert_eq!(e.len(e.relation("p").unwrap()), 1);
     }

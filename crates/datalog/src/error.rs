@@ -42,12 +42,19 @@ pub enum DatalogError {
 impl fmt::Display for DatalogError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DatalogError::ArityMismatch { relation, expected, found } => write!(
+            DatalogError::ArityMismatch {
+                relation,
+                expected,
+                found,
+            } => write!(
                 f,
                 "relation `{relation}` used with arity {found} but declared with arity {expected}"
             ),
             DatalogError::UnboundHeadVariable { variable, rule } => {
-                write!(f, "head variable `{variable}` is not bound by the body in `{rule}`")
+                write!(
+                    f,
+                    "head variable `{variable}` is not bound by the body in `{rule}`"
+                )
             }
             DatalogError::WildcardInHead { rule } => {
                 write!(f, "wildcard `_` is not allowed in a rule head: `{rule}`")

@@ -84,8 +84,11 @@ pub fn magic_transform(rules: &[Rule], query: &Atom) -> Result<Vec<Rule>, Datalo
             query.relation
         )));
     }
-    let query_adornment: Adornment =
-        query.terms.iter().map(|t| matches!(t, Term::Const(_))).collect();
+    let query_adornment: Adornment = query
+        .terms
+        .iter()
+        .map(|t| matches!(t, Term::Const(_)))
+        .collect();
     if !query_adornment.iter().any(|&b| b) {
         return Err(DatalogError::Parse {
             offset: 0,
@@ -122,7 +125,10 @@ pub fn magic_transform(rules: &[Rule], query: &Atom) -> Result<Vec<Rule>, Datalo
         .filter(|t| matches!(t, Term::Const(_)))
         .cloned()
         .collect();
-    out.push(Rule::fact(Atom::new(magic_name(&query.relation, &query_adornment), seed_terms)));
+    out.push(Rule::fact(Atom::new(
+        magic_name(&query.relation, &query_adornment),
+        seed_terms,
+    )));
     Ok(out)
 }
 
@@ -217,7 +223,10 @@ fn adorn_rule(
             );
             out.push(Rule::new(magic_head, new_body.clone()));
             work.push_back((atom.relation.clone(), adornment.clone()));
-            new_body.push(Atom::new(adorned_name(&atom.relation, &adornment), atom.terms.clone()));
+            new_body.push(Atom::new(
+                adorned_name(&atom.relation, &adornment),
+                atom.terms.clone(),
+            ));
         } else {
             new_body.push(atom.clone());
         }
@@ -227,7 +236,10 @@ fn adorn_rule(
             }
         }
     }
-    let new_head = Atom::new(adorned_name(&rule.head.relation, head_adornment), rule.head.terms.clone());
+    let new_head = Atom::new(
+        adorned_name(&rule.head.relation, head_adornment),
+        rule.head.terms.clone(),
+    );
     out.push(Rule::new(new_head, new_body));
     out
 }
@@ -279,8 +291,11 @@ mod tests {
         let engine = run_transformed(TC, &query, &chain_facts(8));
         let answers = engine.relation("path__bf").unwrap();
         // The *query answers* are the tuples matching the query constant.
-        let demand: HashSet<Vec<u32>> =
-            engine.tuples(answers).filter(|t| t[0] == 2).map(|t| t.to_vec()).collect();
+        let demand: HashSet<Vec<u32>> = engine
+            .tuples(answers)
+            .filter(|t| t[0] == 2)
+            .map(|t| t.to_vec())
+            .collect();
 
         let mut full = Engine::parse(TC).unwrap();
         for (rel, tuple) in chain_facts(8) {

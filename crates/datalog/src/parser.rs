@@ -25,7 +25,10 @@ impl<'a> Cursor<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> DatalogError {
-        DatalogError::Parse { offset: self.pos, message: message.into() }
+        DatalogError::Parse {
+            offset: self.pos,
+            message: message.into(),
+        }
     }
 
     fn rest(&self) -> &'a str {
@@ -196,7 +199,9 @@ mod tests {
     #[test]
     fn reports_offsets() {
         let err = parse_program("p(X) :- q(X)").unwrap_err();
-        let DatalogError::Parse { offset, .. } = err else { panic!("wrong error") };
+        let DatalogError::Parse { offset, .. } = err else {
+            panic!("wrong error")
+        };
         assert_eq!(offset, 12);
     }
 

@@ -35,7 +35,10 @@ pub struct Atom {
 impl Atom {
     /// Convenience constructor.
     pub fn new(relation: impl Into<String>, terms: Vec<Term>) -> Self {
-        Atom { relation: relation.into(), terms }
+        Atom {
+            relation: relation.into(),
+            terms,
+        }
     }
 }
 
@@ -69,7 +72,10 @@ impl Rule {
 
     /// Creates a ground fact.
     pub fn fact(head: Atom) -> Self {
-        Rule { head, body: Vec::new() }
+        Rule {
+            head,
+            body: Vec::new(),
+        }
     }
 
     /// `true` if the rule has an empty body.

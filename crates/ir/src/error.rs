@@ -70,19 +70,34 @@ pub enum IrError {
 impl fmt::Display for IrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            IrError::UnknownEntity { kind, index, context } => {
+            IrError::UnknownEntity {
+                kind,
+                index,
+                context,
+            } => {
                 write!(f, "unknown {kind} id {index} referenced in {context}")
             }
             IrError::AmbiguousHeapType { heap, count } => {
-                write!(f, "allocation site h{heap} has {count} declared types (expected 1)")
+                write!(
+                    f,
+                    "allocation site h{heap} has {count} declared types (expected 1)"
+                )
             }
             IrError::AmbiguousDispatch { ty, msig } => {
-                write!(f, "type t{ty} dispatches signature s{msig} to more than one method")
+                write!(
+                    f,
+                    "type t{ty} dispatches signature s{msig} to more than one method"
+                )
             }
             IrError::DuplicateBinding { method, slot } => {
                 write!(f, "method m{method} has duplicate binding for {slot}")
             }
-            IrError::ForeignVariable { var, claimed, actual, context } => write!(
+            IrError::ForeignVariable {
+                var,
+                claimed,
+                actual,
+                context,
+            } => write!(
                 f,
                 "variable v{var} used in {context} of method m{claimed} but belongs to m{actual}"
             ),

@@ -4,7 +4,7 @@
 //! Figure 3; [`ProgramIndex`] materializes every such access path once so
 //! the inner loops are `Vec` lookups.
 
-use std::collections::HashMap;
+use ctxform_hash::FxHashMap;
 
 use crate::ids::{Field, Heap, Inv, MSig, Method, Type, Var};
 use crate::program::Program;
@@ -17,44 +17,44 @@ use crate::program::Program;
 #[derive(Debug, Clone, Default)]
 pub struct ProgramIndex {
     /// `assign(Z, Y)` keyed by `Z`: all targets `Y`.
-    pub assign_from: HashMap<Var, Vec<Var>>,
+    pub assign_from: FxHashMap<Var, Vec<Var>>,
     /// `load(Y, F, Z)` keyed by base `Y`: all `(F, Z)`.
-    pub loads_by_base: HashMap<Var, Vec<(Field, Var)>>,
+    pub loads_by_base: FxHashMap<Var, Vec<(Field, Var)>>,
     /// `store(X, F, Z)` keyed by value `X`: all `(F, Z)` (base `Z`).
-    pub stores_by_value: HashMap<Var, Vec<(Field, Var)>>,
+    pub stores_by_value: FxHashMap<Var, Vec<(Field, Var)>>,
     /// `store(X, F, Z)` keyed by base `Z`: all `(F, X)` (value `X`).
-    pub stores_by_base: HashMap<Var, Vec<(Field, Var)>>,
+    pub stores_by_base: FxHashMap<Var, Vec<(Field, Var)>>,
     /// `actual(Z, I, O)` keyed by `Z`: all `(I, O)`.
-    pub actuals_by_var: HashMap<Var, Vec<(Inv, u32)>>,
+    pub actuals_by_var: FxHashMap<Var, Vec<(Inv, u32)>>,
     /// `actual(Z, I, O)` keyed by `I`: all `(O, Z)`.
-    pub actuals_by_inv: HashMap<Inv, Vec<(u32, Var)>>,
+    pub actuals_by_inv: FxHashMap<Inv, Vec<(u32, Var)>>,
     /// `formal(Y, P, O)` keyed by `(P, O)`.
-    pub formal_of: HashMap<(Method, u32), Var>,
+    pub formal_of: FxHashMap<(Method, u32), Var>,
     /// `return(Z, P)` keyed by `Z`: methods returning `Z`.
-    pub returns_by_var: HashMap<Var, Vec<Method>>,
+    pub returns_by_var: FxHashMap<Var, Vec<Method>>,
     /// `return(Z, P)` keyed by `P`: return variables of `P`.
-    pub returns_by_method: HashMap<Method, Vec<Var>>,
+    pub returns_by_method: FxHashMap<Method, Vec<Var>>,
     /// `assign_return(I, Y)` keyed by `I`.
-    pub assign_return_by_inv: HashMap<Inv, Vec<Var>>,
+    pub assign_return_by_inv: FxHashMap<Inv, Vec<Var>>,
     /// `virtual_invoke(I, Z, S)` keyed by receiver `Z`: all `(I, S)`.
-    pub virtuals_by_recv: HashMap<Var, Vec<(Inv, MSig)>>,
+    pub virtuals_by_recv: FxHashMap<Var, Vec<(Inv, MSig)>>,
     /// `static_invoke(I, Q, P)` keyed by containing method `P`:
     /// all `(I, Q)`.
-    pub statics_by_method: HashMap<Method, Vec<(Inv, Method)>>,
+    pub statics_by_method: FxHashMap<Method, Vec<(Inv, Method)>>,
     /// `assign_new(H, Y, P)` keyed by `P`: all `(H, Y)`.
-    pub allocs_by_method: HashMap<Method, Vec<(Heap, Var)>>,
+    pub allocs_by_method: FxHashMap<Method, Vec<(Heap, Var)>>,
     /// `static_store(X, F)` keyed by value `X`.
-    pub static_stores_by_var: HashMap<Var, Vec<Field>>,
+    pub static_stores_by_var: FxHashMap<Var, Vec<Field>>,
     /// `static_load(F, Z)` keyed by `F`.
-    pub static_loads_by_field: HashMap<Field, Vec<Var>>,
+    pub static_loads_by_field: FxHashMap<Field, Vec<Var>>,
     /// `static_load(F, Z)` keyed by the method containing `Z`.
-    pub static_loads_by_method: HashMap<Method, Vec<(Field, Var)>>,
+    pub static_loads_by_method: FxHashMap<Method, Vec<(Field, Var)>>,
     /// `this_var(Y, Q)` keyed by `Q`.
-    pub this_of_method: HashMap<Method, Var>,
+    pub this_of_method: FxHashMap<Method, Var>,
     /// `heap_type(H, T)` as a dense vector keyed by `H`.
     pub type_of_heap: Vec<Type>,
     /// `implements(Q, T, S)` keyed by `(T, S)`: dispatch table.
-    pub dispatch: HashMap<(Type, MSig), Method>,
+    pub dispatch: FxHashMap<(Type, MSig), Method>,
     /// `classOf(H)` as a dense vector keyed by `H` (type sensitivity).
     pub class_of_heap: Vec<Type>,
 }
@@ -110,7 +110,10 @@ impl ProgramIndex {
         for &(fld, z) in &f.static_load {
             ix.static_loads_by_field.entry(fld).or_default().push(z);
             let p = program.var_method[z.index()];
-            ix.static_loads_by_method.entry(p).or_default().push((fld, z));
+            ix.static_loads_by_method
+                .entry(p)
+                .or_default()
+                .push((fld, z));
         }
         for &(y, q) in &f.this_var {
             ix.this_of_method.insert(q, y);

@@ -276,7 +276,10 @@ impl Program {
         }
         for (h, &count) in counts.iter().enumerate() {
             if count != 1 {
-                return Err(IrError::AmbiguousHeapType { heap: h as u32, count });
+                return Err(IrError::AmbiguousHeapType {
+                    heap: h as u32,
+                    count,
+                });
             }
         }
         Ok(())
@@ -381,7 +384,11 @@ impl Program {
 }
 
 fn unknown(kind: EntityKind, index: u32, context: &str) -> IrError {
-    IrError::UnknownEntity { kind, index, context: context.to_owned() }
+    IrError::UnknownEntity {
+        kind,
+        index,
+        context: context.to_owned(),
+    }
 }
 
 /// Size summary of a [`Program`].
@@ -408,7 +415,12 @@ impl std::fmt::Display for ProgramStats {
         write!(
             f,
             "{} methods, {} vars, {} heaps, {} invs, {} fields, {} types, {} input facts",
-            self.methods, self.vars, self.heaps, self.invs, self.fields, self.types,
+            self.methods,
+            self.vars,
+            self.heaps,
+            self.invs,
+            self.fields,
+            self.types,
             self.input_facts
         )
     }
@@ -447,7 +459,10 @@ mod tests {
     fn missing_heap_type_is_rejected() {
         let mut p = tiny();
         p.facts.heap_type.clear();
-        assert!(matches!(p.validate(), Err(IrError::AmbiguousHeapType { count: 0, .. })));
+        assert!(matches!(
+            p.validate(),
+            Err(IrError::AmbiguousHeapType { count: 0, .. })
+        ));
     }
 
     #[test]
@@ -461,7 +476,8 @@ mod tests {
     fn cyclic_hierarchy_is_rejected() {
         let mut p = tiny();
         p.type_names.push("A".into());
-        p.supertype.push(Some(Type::from_index(p.type_names.len() - 1)));
+        p.supertype
+            .push(Some(Type::from_index(p.type_names.len() - 1)));
         assert!(matches!(p.validate(), Err(IrError::CyclicHierarchy { .. })));
     }
 

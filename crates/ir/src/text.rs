@@ -45,13 +45,21 @@ pub fn emit(program: &Program) -> String {
         out.push_str(&format!("msig {name}\n"));
     }
     for (i, name) in program.method_names.iter().enumerate() {
-        out.push_str(&format!("method {} {}\n", program.method_class[i].index(), name));
+        out.push_str(&format!(
+            "method {} {}\n",
+            program.method_class[i].index(),
+            name
+        ));
     }
     for (i, name) in program.var_names.iter().enumerate() {
         out.push_str(&format!("var {} {}\n", program.var_method[i].index(), name));
     }
     for (i, name) in program.heap_names.iter().enumerate() {
-        out.push_str(&format!("heap {} {}\n", program.heap_method[i].index(), name));
+        out.push_str(&format!(
+            "heap {} {}\n",
+            program.heap_method[i].index(),
+            name
+        ));
     }
     for (i, name) in program.inv_names.iter().enumerate() {
         out.push_str(&format!("inv {} {}\n", program.inv_method[i].index(), name));
@@ -128,7 +136,10 @@ pub fn parse(input: &str) -> Result<Program, IrError> {
 }
 
 fn parse_line(program: &mut Program, line: &str, lineno: usize) -> Result<(), IrError> {
-    let err = |message: String| IrError::Parse { line: lineno, message };
+    let err = |message: String| IrError::Parse {
+        line: lineno,
+        message,
+    };
     let (keyword, rest) = line
         .split_once(' ')
         .ok_or_else(|| err(format!("expected arguments after `{line}`")))?;
@@ -174,15 +185,19 @@ fn parse_line(program: &mut Program, line: &str, lineno: usize) -> Result<(), Ir
 
 fn parse_fact(program: &mut Program, rest: &str, lineno: usize) -> Result<(), IrError> {
     let mut parts = rest.split_whitespace();
-    let name = parts
-        .next()
-        .ok_or_else(|| IrError::Parse { line: lineno, message: "missing relation name".into() })?;
+    let name = parts.next().ok_or_else(|| IrError::Parse {
+        line: lineno,
+        message: "missing relation name".into(),
+    })?;
     let args: Vec<u32> = parts
         .map(|p| parse_u32(p, lineno))
         .collect::<Result<_, _>>()?;
     let arity_err = |want: usize| IrError::Parse {
         line: lineno,
-        message: format!("relation `{name}` expects {want} arguments, got {}", args.len()),
+        message: format!(
+            "relation `{name}` expects {want} arguments, got {}",
+            args.len()
+        ),
     };
     let f = &mut program.facts;
     match name {
@@ -318,7 +333,10 @@ mod tests {
     fn names_may_contain_spaces() {
         let p = sample();
         let q = parse(&emit(&p)).expect("parses");
-        assert_eq!(q.var_names[q.var_names.iter().position(|n| n == "box x").unwrap()], "box x");
+        assert_eq!(
+            q.var_names[q.var_names.iter().position(|n| n == "box x").unwrap()],
+            "box x"
+        );
     }
 
     #[test]
@@ -344,7 +362,11 @@ mod tests {
     #[test]
     fn invalid_semantics_fail_validation() {
         // A heap with no declared type.
-        let text = "type - Object\nmethod 0 main\nentry 0\nvar 0 x\nheap 0 site\nfact assign_new 0 0 0\n";
-        assert!(matches!(parse(text), Err(IrError::AmbiguousHeapType { .. })));
+        let text =
+            "type - Object\nmethod 0 main\nentry 0\nvar 0 x\nheap 0 site\nfact assign_new 0 0 0\n";
+        assert!(matches!(
+            parse(text),
+            Err(IrError::AmbiguousHeapType { .. })
+        ));
     }
 }

@@ -17,7 +17,11 @@ pub struct MjError {
 impl MjError {
     /// Creates an error at a position.
     pub fn new(line: usize, col: usize, message: impl Into<String>) -> Self {
-        MjError { line, col, message: message.into() }
+        MjError {
+            line,
+            col,
+            message: message.into(),
+        }
     }
 }
 

@@ -153,18 +153,30 @@ pub fn lex(source: &str) -> Result<Vec<Token>, MjError> {
                 _ => Tok::Ident(word.to_owned()),
             }
         } else {
-            let two = if i + 1 < bytes.len() { &source[i..i + 2] } else { "" };
+            let two = if i + 1 < bytes.len() {
+                &source[i..i + 2]
+            } else {
+                ""
+            };
             match two {
                 "==" => {
                     advance!();
                     advance!();
-                    tokens.push(Token { tok: Tok::EqEq, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        tok: Tok::EqEq,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     continue;
                 }
                 "!=" => {
                     advance!();
                     advance!();
-                    tokens.push(Token { tok: Tok::NotEq, line: tok_line, col: tok_col });
+                    tokens.push(Token {
+                        tok: Tok::NotEq,
+                        line: tok_line,
+                        col: tok_col,
+                    });
                     continue;
                 }
                 _ => {}
@@ -191,9 +203,17 @@ pub fn lex(source: &str) -> Result<Vec<Token>, MjError> {
             advance!();
             tok
         };
-        tokens.push(Token { tok, line: tok_line, col: tok_col });
+        tokens.push(Token {
+            tok,
+            line: tok_line,
+            col: tok_col,
+        });
     }
-    tokens.push(Token { tok: Tok::Eof, line, col });
+    tokens.push(Token {
+        tok: Tok::Eof,
+        line,
+        col,
+    });
     Ok(tokens)
 }
 

@@ -44,9 +44,7 @@ mod lexer;
 mod lower;
 mod parser;
 
-pub use ast::{
-    Block, ClassDecl, Cond, Expr, MethodDecl, Module as AstModule, Param, Stmt, Target,
-};
+pub use ast::{Block, ClassDecl, Cond, Expr, MethodDecl, Module as AstModule, Param, Stmt, Target};
 pub use error::MjError;
 pub use lower::{compile, lower, Body, Instr, Module, Operand};
 pub use parser::parse;

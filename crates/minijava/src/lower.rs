@@ -311,8 +311,11 @@ impl Lowerer {
             let idx = self.class_idx[name];
             match superclass {
                 None => {
-                    self.classes[idx].super_idx =
-                        if name == "Object" { None } else { Some(self.class_idx["Object"]) };
+                    self.classes[idx].super_idx = if name == "Object" {
+                        None
+                    } else {
+                        Some(self.class_idx["Object"])
+                    };
                 }
                 Some(s) => {
                     let sup = *self
@@ -345,7 +348,11 @@ impl Lowerer {
             }
             for &idx in chain.iter().rev() {
                 let sup_ty = self.classes[idx].super_idx.map(|s| self.classes[s].ty);
-                if self.classes[idx].super_idx.map(|s| created[s]).unwrap_or(true) {
+                if self.classes[idx]
+                    .super_idx
+                    .map(|s| created[s])
+                    .unwrap_or(true)
+                {
                     self.classes[idx].ty = self.builder.class(names[idx], sup_ty);
                     created[idx] = true;
                 } else {
@@ -371,7 +378,9 @@ impl Lowerer {
                 // qualified to avoid colliding with instance fields.
                 let qualified = format!("{}.{}", class.name, field_name);
                 let f = self.builder.field(&qualified);
-                self.classes[idx].static_fields.insert(field_name.clone(), f);
+                self.classes[idx]
+                    .static_fields
+                    .insert(field_name.clone(), f);
             }
             for method in &class.methods {
                 let key = (method.name.clone(), method.params.len());
@@ -383,14 +392,13 @@ impl Lowerer {
                 }
                 let qualified = format!("{}.{}", class.name, method.name);
                 let formals: Vec<&str> = method.params.iter().map(|p| p.name.as_str()).collect();
-                let id = self.builder.method_in(&qualified, self.classes[idx].ty, &formals);
+                let id = self
+                    .builder
+                    .method_in(&qualified, self.classes[idx].ty, &formals);
                 if !method.is_static {
                     let msig_name = format!("{}/{}", method.name, method.params.len());
                     let s = self.builder.msig(&msig_name);
-                    let entry = self
-                        .virtual_sigs
-                        .entry(key.clone())
-                        .or_insert((s, false));
+                    let entry = self.virtual_sigs.entry(key.clone()).or_insert((s, false));
                     entry.1 |= method.ret_ty.is_some();
                 }
                 if method.is_main {
@@ -443,12 +451,7 @@ impl Lowerer {
     }
 
     /// Resolves `Class.m(args)`-style static targets up the chain.
-    fn resolve_static(
-        &self,
-        class_idx: usize,
-        name: &str,
-        arity: usize,
-    ) -> Option<&MethodSig> {
+    fn resolve_static(&self, class_idx: usize, name: &str, arity: usize) -> Option<&MethodSig> {
         let mut cur = Some(class_idx);
         while let Some(c) = cur {
             if let Some(sig) = self.classes[c].methods.get(&(name.to_owned(), arity)) {
@@ -463,9 +466,8 @@ impl Lowerer {
         for class in &module.classes {
             let class_idx = self.class_idx[&class.name];
             for method in &class.methods {
-                let sig_id = self.classes[class_idx].methods
-                    [&(method.name.clone(), method.params.len())]
-                    .id;
+                let sig_id =
+                    self.classes[class_idx].methods[&(method.name.clone(), method.params.len())].id;
                 let mut ctx = BodyCtx::new(self, sig_id, method)?;
                 let mut instrs = Vec::new();
                 ctx.block(&method.body, &mut instrs)?;
@@ -492,11 +494,7 @@ struct BodyCtx<'a> {
 }
 
 impl<'a> BodyCtx<'a> {
-    fn new(
-        lw: &'a mut Lowerer,
-        method: Method,
-        decl: &ast::MethodDecl,
-    ) -> Result<Self, MjError> {
+    fn new(lw: &'a mut Lowerer, method: Method, decl: &ast::MethodDecl) -> Result<Self, MjError> {
         let mut scope = HashMap::new();
         let formals: Vec<Var> = lw.builder.formals(method).to_vec();
         for (param, var) in decl.params.iter().zip(formals) {
@@ -507,7 +505,11 @@ impl<'a> BodyCtx<'a> {
                 ));
             }
         }
-        let this_var = if decl.is_static { None } else { Some(lw.builder.this("this", method)) };
+        let this_var = if decl.is_static {
+            None
+        } else {
+            Some(lw.builder.this("this", method))
+        };
         Ok(BodyCtx {
             lw,
             method,
@@ -565,9 +567,9 @@ impl<'a> BodyCtx<'a> {
     }
 
     fn static_field(&self, class_idx: usize, name: &str, line: usize) -> Result<Field, MjError> {
-        self.lw.resolve_static_field(class_idx, name).ok_or_else(|| {
-            Self::err(line, format!("unknown static field `{name}`"))
-        })
+        self.lw
+            .resolve_static_field(class_idx, name)
+            .ok_or_else(|| Self::err(line, format!("unknown static field `{name}`")))
     }
 
     fn field(&self, name: &str, line: usize) -> Result<Field, MjError> {
@@ -589,7 +591,9 @@ impl<'a> BodyCtx<'a> {
 
     fn stmt(&mut self, stmt: &Stmt, out: &mut Vec<Instr>) -> Result<(), MjError> {
         match stmt {
-            Stmt::VarDecl { name, init, line, .. } => {
+            Stmt::VarDecl {
+                name, init, line, ..
+            } => {
                 let v = self.declare(name, *line)?;
                 match init {
                     Some(e) => self.assign_into(v, e, out)?,
@@ -597,7 +601,11 @@ impl<'a> BodyCtx<'a> {
                 }
                 Ok(())
             }
-            Stmt::Assign { target, value, line } => match target {
+            Stmt::Assign {
+                target,
+                value,
+                line,
+            } => match target {
                 Target::Var(name) => {
                     let v = self
                         .lookup(name)
@@ -612,7 +620,10 @@ impl<'a> BodyCtx<'a> {
                         if let Operand::Var(v) = value_op {
                             self.lw.builder.static_store(v, field);
                         }
-                        out.push(Instr::StaticStore { value: value_op, field });
+                        out.push(Instr::StaticStore {
+                            value: value_op,
+                            field,
+                        });
                         return Ok(());
                     }
                     let field = self.field(field_name, *line)?;
@@ -621,24 +632,44 @@ impl<'a> BodyCtx<'a> {
                     if let Operand::Var(v) = value_op {
                         self.lw.builder.store(v, field, base_var);
                     }
-                    out.push(Instr::Store { value: value_op, base: base_var, field });
+                    out.push(Instr::Store {
+                        value: value_op,
+                        base: base_var,
+                        field,
+                    });
                     Ok(())
                 }
             },
-            Stmt::If { cond, then_block, else_block, .. } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
                 let (a, b, eq) = self.cond(cond, out)?;
                 let mut t = Vec::new();
                 let mut e = Vec::new();
                 self.block(then_block, &mut t)?;
                 self.block(else_block, &mut e)?;
-                out.push(Instr::If { a, b, eq, then_block: t, else_block: e });
+                out.push(Instr::If {
+                    a,
+                    b,
+                    eq,
+                    then_block: t,
+                    else_block: e,
+                });
                 Ok(())
             }
             Stmt::While { cond, body, .. } => {
                 let (a, b, eq) = self.cond(cond, out)?;
                 let mut instrs = Vec::new();
                 self.block(body, &mut instrs)?;
-                out.push(Instr::While { a, b, eq, body: instrs });
+                out.push(Instr::While {
+                    a,
+                    b,
+                    eq,
+                    body: instrs,
+                });
                 Ok(())
             }
             Stmt::Return { value, line } => {
@@ -740,7 +771,11 @@ impl<'a> BodyCtx<'a> {
                 let f = self.field(field, *line)?;
                 let base_var = self.operand_var(base, out)?;
                 self.lw.builder.load(base_var, f, dst);
-                out.push(Instr::Load { dst, base: base_var, field: f });
+                out.push(Instr::Load {
+                    dst,
+                    base: base_var,
+                    field: f,
+                });
                 Ok(())
             }
             Expr::Call { .. } => {
@@ -782,7 +817,13 @@ impl<'a> BodyCtx<'a> {
     /// Lowers a call expression. `Class.m(…)` with `Class` not shadowed by
     /// a local is a static call; everything else is a virtual call.
     fn call(&mut self, expr: &Expr, dst: Option<Var>, out: &mut Vec<Instr>) -> Result<(), MjError> {
-        let Expr::Call { base, method, args, line } = expr else {
+        let Expr::Call {
+            base,
+            method,
+            args,
+            line,
+        } = expr
+        else {
             unreachable!("caller checked");
         };
         // Static-call detection.
@@ -818,7 +859,10 @@ impl<'a> BodyCtx<'a> {
                 .lw
                 .resolve_static(class_idx, method, args.len())
                 .ok_or_else(|| {
-                    Self::err(*line, format!("unknown method `{class_name}.{method}/{}`", args.len()))
+                    Self::err(
+                        *line,
+                        format!("unknown method `{class_name}.{method}/{}`", args.len()),
+                    )
                 })?;
             if !sig.is_static {
                 return Err(Self::err(
@@ -827,28 +871,54 @@ impl<'a> BodyCtx<'a> {
                 ));
             }
             if dst.is_some() && !sig.has_ret {
-                return Err(Self::err(*line, format!("void method `{method}` used as a value")));
+                return Err(Self::err(
+                    *line,
+                    format!("void method `{method}` used as a value"),
+                ));
             }
             let target = sig.id;
             debug_assert_eq!(sig.arity, args.len());
             let label = self.site_label(&format!("call {class_name}.{method}"));
-            let inv = self.lw.builder.static_call(&label, caller, target, &[], dst);
+            let inv = self
+                .lw
+                .builder
+                .static_call(&label, caller, target, &[], dst);
             self.push_actuals(inv, &arg_ops);
             let _ = arg_vars;
-            out.push(Instr::CallStatic { inv, target, args: arg_ops, dst });
+            out.push(Instr::CallStatic {
+                inv,
+                target,
+                args: arg_ops,
+                dst,
+            });
         } else {
             let recv = self.operand_var(base, out)?;
             let key = (method.clone(), args.len());
             let &(msig, has_ret) = self.lw.virtual_sigs.get(&key).ok_or_else(|| {
-                Self::err(*line, format!("no instance method `{method}/{}` declared", args.len()))
+                Self::err(
+                    *line,
+                    format!("no instance method `{method}/{}` declared", args.len()),
+                )
             })?;
             if dst.is_some() && !has_ret {
-                return Err(Self::err(*line, format!("void method `{method}` used as a value")));
+                return Err(Self::err(
+                    *line,
+                    format!("void method `{method}` used as a value"),
+                ));
             }
             let label = self.site_label(&format!("call {method}"));
-            let inv = self.lw.builder.virtual_call(&label, caller, recv, msig, &[], dst);
+            let inv = self
+                .lw
+                .builder
+                .virtual_call(&label, caller, recv, msig, &[], dst);
             self.push_actuals(inv, &arg_ops);
-            out.push(Instr::CallVirtual { inv, recv, msig, args: arg_ops, dst });
+            out.push(Instr::CallVirtual {
+                inv,
+                recv,
+                msig,
+                args: arg_ops,
+                dst,
+            });
         }
         Ok(())
     }
@@ -970,9 +1040,7 @@ mod tests {
         );
         let p = &m.program;
         let find_ty = |name: &str| {
-            ctxform_ir::Type::from_index(
-                p.type_names.iter().position(|n| n == name).unwrap(),
-            )
+            ctxform_ir::Type::from_index(p.type_names.iter().position(|n| n == name).unwrap())
         };
         let ix = p.index();
         let msig = ctxform_ir::MSig(0);
@@ -1125,8 +1193,14 @@ mod tests {
         assert!(m.program.field_names.iter().any(|n| n == "G.cache"));
         let main = m.method_by_name("Main.main").unwrap();
         let body = &m.bodies[main.index()];
-        assert!(body.instrs.iter().any(|i| matches!(i, Instr::StaticStore { .. })));
-        assert!(body.instrs.iter().any(|i| matches!(i, Instr::StaticLoad { .. })));
+        assert!(body
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::StaticStore { .. })));
+        assert!(body
+            .instrs
+            .iter()
+            .any(|i| matches!(i, Instr::StaticLoad { .. })));
     }
 
     #[test]
@@ -1169,7 +1243,11 @@ mod tests {
              } }",
         )
         .unwrap_err();
-        assert!(err.message.contains("unknown static field"), "{}", err.message);
+        assert!(
+            err.message.contains("unknown static field"),
+            "{}",
+            err.message
+        );
     }
 
     #[test]

@@ -64,7 +64,11 @@ impl Parser {
 
     fn unexpected(&self, context: &str) -> MjError {
         let t = self.peek();
-        MjError::new(t.line, t.col, format!("{context}, found {}", t.tok.describe()))
+        MjError::new(
+            t.line,
+            t.col,
+            format!("{context}, found {}", t.tok.describe()),
+        )
     }
 
     fn ident(&mut self) -> Result<(String, usize), MjError> {
@@ -81,7 +85,11 @@ impl Parser {
     fn class(&mut self) -> Result<ClassDecl, MjError> {
         let kw = self.expect(&Tok::Class)?;
         let (name, _) = self.ident()?;
-        let superclass = if self.eat(&Tok::Extends) { Some(self.ident()?.0) } else { None };
+        let superclass = if self.eat(&Tok::Extends) {
+            Some(self.ident()?.0)
+        } else {
+            None
+        };
         self.expect(&Tok::LBrace)?;
         let mut fields = Vec::new();
         let mut static_fields = Vec::new();
@@ -89,7 +97,14 @@ impl Parser {
         while !self.eat(&Tok::RBrace) {
             self.member(&mut fields, &mut static_fields, &mut methods)?;
         }
-        Ok(ClassDecl { name, superclass, fields, static_fields, methods, line: kw.line })
+        Ok(ClassDecl {
+            name,
+            superclass,
+            fields,
+            static_fields,
+            methods,
+            line: kw.line,
+        })
     }
 
     /// Parses one class member: a field `T name;`, a static field
@@ -128,11 +143,23 @@ impl Parser {
                 && name == "main"
                 && params.len() == 1
                 && params[0].ty == "String[]";
-            methods.push(MethodDecl { is_static, ret_ty, name, params, body, is_main, line });
+            methods.push(MethodDecl {
+                is_static,
+                ret_ty,
+                name,
+                params,
+                body,
+                is_main,
+                line,
+            });
         } else {
             // Field: `T name;` or `static T name;`
             if is_public {
-                return Err(MjError::new(line, 1, "fields may not be declared public in MiniJava"));
+                return Err(MjError::new(
+                    line,
+                    1,
+                    "fields may not be declared public in MiniJava",
+                ));
             }
             let ty = ret_ty.ok_or_else(|| MjError::new(line, 1, "fields cannot be void"))?;
             self.expect(&Tok::Semi)?;
@@ -181,7 +208,11 @@ impl Parser {
         match self.peek().tok.clone() {
             Tok::Return => {
                 self.bump();
-                let value = if self.at(&Tok::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.at(&Tok::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&Tok::Semi)?;
                 Ok(Stmt::Return { value, line })
             }
@@ -191,8 +222,17 @@ impl Parser {
                 let cond = self.cond()?;
                 self.expect(&Tok::RParen)?;
                 let then_block = self.block()?;
-                let else_block = if self.eat(&Tok::Else) { self.block()? } else { Vec::new() };
-                Ok(Stmt::If { cond, then_block, else_block, line })
+                let else_block = if self.eat(&Tok::Else) {
+                    self.block()?
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                    line,
+                })
             }
             Tok::While => {
                 self.bump();
@@ -208,9 +248,18 @@ impl Parser {
                 if matches!(self.peek2(), Tok::Ident(_)) {
                     self.bump();
                     let (name, _) = self.ident()?;
-                    let init = if self.eat(&Tok::Assign) { Some(self.expr()?) } else { None };
+                    let init = if self.eat(&Tok::Assign) {
+                        Some(self.expr()?)
+                    } else {
+                        None
+                    };
                     self.expect(&Tok::Semi)?;
-                    Ok(Stmt::VarDecl { ty: first, name, init, line })
+                    Ok(Stmt::VarDecl {
+                        ty: first,
+                        name,
+                        init,
+                        line,
+                    })
                 } else {
                     self.assign_or_expr(line)
                 }
@@ -237,7 +286,11 @@ impl Parser {
                     ))
                 }
             };
-            Ok(Stmt::Assign { target, value, line })
+            Ok(Stmt::Assign {
+                target,
+                value,
+                line,
+            })
         } else {
             self.expect(&Tok::Semi)?;
             if !matches!(e, Expr::Call { .. }) {
@@ -284,9 +337,18 @@ impl Parser {
             let (name, line) = self.ident()?;
             if self.at(&Tok::LParen) {
                 let args = self.args()?;
-                e = Expr::Call { base: Box::new(e), method: name, args, line };
+                e = Expr::Call {
+                    base: Box::new(e),
+                    method: name,
+                    args,
+                    line,
+                };
             } else {
-                e = Expr::FieldAccess { base: Box::new(e), field: name, line };
+                e = Expr::FieldAccess {
+                    base: Box::new(e),
+                    field: name,
+                    line,
+                };
             }
         }
         Ok(e)
@@ -355,10 +417,7 @@ mod tests {
 
     #[test]
     fn recognizes_main() {
-        let m = parse(
-            "class Main { public static void main(String[] args) { } }",
-        )
-        .unwrap();
+        let m = parse("class Main { public static void main(String[] args) { } }").unwrap();
         assert!(m.classes[0].methods[0].is_main);
         assert!(m.classes[0].methods[0].is_static);
     }
@@ -381,17 +440,21 @@ mod tests {
         let body = &m.classes[0].methods[0].body;
         assert_eq!(body.len(), 8);
         assert!(matches!(body[0], Stmt::VarDecl { .. }));
-        assert!(matches!(body[2], Stmt::Assign { target: Target::Field(..), .. }));
+        assert!(matches!(
+            body[2],
+            Stmt::Assign {
+                target: Target::Field(..),
+                ..
+            }
+        ));
         assert!(matches!(body[5], Stmt::While { .. }));
         assert!(matches!(body[7], Stmt::Return { value: None, .. }));
     }
 
     #[test]
     fn parses_nested_calls_and_chains() {
-        let m = parse(
-            "class C { Object g(Object p) { return this.g(this.g(p)).f; } Object f; }",
-        )
-        .unwrap();
+        let m = parse("class C { Object g(Object p) { return this.g(this.g(p)).f; } Object f; }")
+            .unwrap();
         let Stmt::Return { value: Some(e), .. } = &m.classes[0].methods[0].body[0] else {
             panic!("expected return");
         };

@@ -9,7 +9,8 @@ fn mjfacts_emits_a_parsable_fact_file() {
     std::fs::create_dir_all(&dir).unwrap();
     let path = dir.join("demo.mj");
     let mut f = std::fs::File::create(&path).unwrap();
-    f.write_all(ctxform_minijava::corpus::BOX.as_bytes()).unwrap();
+    f.write_all(ctxform_minijava::corpus::BOX.as_bytes())
+        .unwrap();
     drop(f);
 
     let out = Command::new(env!("CARGO_BIN_EXE_mjfacts"))
@@ -19,7 +20,12 @@ fn mjfacts_emits_a_parsable_fact_file() {
     assert!(out.status.success());
     let emitted = String::from_utf8(out.stdout).unwrap();
     let parsed = ctxform_ir::text::parse(&emitted).expect("round-trips");
-    assert_eq!(parsed, ctxform_minijava::compile(ctxform_minijava::corpus::BOX).unwrap().program);
+    assert_eq!(
+        parsed,
+        ctxform_minijava::compile(ctxform_minijava::corpus::BOX)
+            .unwrap()
+            .program
+    );
 
     let stats = Command::new(env!("CARGO_BIN_EXE_mjfacts"))
         .args([path.to_str().unwrap(), "--stats"])
@@ -27,6 +33,9 @@ fn mjfacts_emits_a_parsable_fact_file() {
         .unwrap();
     assert!(String::from_utf8_lossy(&stats.stdout).contains("input facts"));
 
-    let bad = Command::new(env!("CARGO_BIN_EXE_mjfacts")).arg("/nonexistent.mj").output().unwrap();
+    let bad = Command::new(env!("CARGO_BIN_EXE_mjfacts"))
+        .arg("/nonexistent.mj")
+        .output()
+        .unwrap();
     assert!(!bad.status.success());
 }

@@ -11,8 +11,9 @@
 use crate::source::SynthConfig;
 
 /// Names of the seven presets, in the paper's Fig. 6 row order.
-pub const PRESET_NAMES: [&str; 7] =
-    ["antlr", "bloat", "chart", "eclipse", "luindex", "pmd", "xalan"];
+pub const PRESET_NAMES: [&str; 7] = [
+    "antlr", "bloat", "chart", "eclipse", "luindex", "pmd", "xalan",
+];
 
 /// Returns the preset configuration with the given name, if it exists.
 pub fn preset(name: &str) -> Option<SynthConfig> {

@@ -1,7 +1,6 @@
 //! Small random programs for property testing.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ctxform_hash::SplitMix64;
 
 use crate::source::{generate, SynthConfig};
 
@@ -12,14 +11,14 @@ use crate::source::{generate, SynthConfig};
 /// soundness-test subject: every dynamic fact must appear in every
 /// analysis result. `size` (1..=5 is sensible) scales all shape knobs.
 pub fn random_program(seed: u64, size: usize) -> String {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     let size = size.max(1);
     let mut range = |lo: usize, hi: usize| -> usize {
         let hi = lo.max(hi * size / 2);
         if hi <= lo {
             lo
         } else {
-            rng.random_range(lo..=hi)
+            rng.range_inclusive(lo, hi)
         }
     };
     let cfg = SynthConfig {

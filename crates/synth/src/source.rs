@@ -2,8 +2,7 @@
 
 use std::fmt::Write as _;
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ctxform_hash::SplitMix64;
 
 /// Shape parameters for one synthetic program.
 ///
@@ -117,7 +116,7 @@ impl SynthConfig {
 
 struct Gen {
     cfg: SynthConfig,
-    rng: StdRng,
+    rng: SplitMix64,
     out: String,
     /// Superclass index of each hierarchy class (index 0 is the root).
     hierarchy_super: Vec<usize>,
@@ -130,7 +129,7 @@ struct Gen {
 /// Generates MiniJava source for `cfg`. Deterministic.
 pub fn generate(cfg: &SynthConfig) -> String {
     let mut gen = Gen {
-        rng: StdRng::seed_from_u64(cfg.seed),
+        rng: SplitMix64::new(cfg.seed),
         cfg: cfg.clone(),
         out: String::new(),
         hierarchy_super: Vec::new(),
@@ -159,7 +158,7 @@ impl Gen {
         if n <= 1 {
             0
         } else {
-            self.rng.random_range(0..n)
+            self.rng.below(n)
         }
     }
 
@@ -193,7 +192,7 @@ impl Gen {
                 self.hierarchy_super[c] = s;
             }
             match sup {
-                None => self.line(&format!("class D0 {{")),
+                None => self.line("class D0 {"),
                 Some(s) => self.line(&format!("class D{c} extends D{s} {{")),
             }
             if c == 0 {
@@ -204,14 +203,14 @@ impl Gen {
             // The root declares every virtual method; subclasses override
             // a random subset.
             for m in 0..methods {
-                let declare = c == 0 || self.rng.random_range(0..100) < 55;
+                let declare = c == 0 || self.rng.percent(55);
                 if !declare {
                     continue;
                 }
                 let store_field = self.pick(fields);
                 let load_field = self.pick(fields);
                 self.line(&format!("    Object vm{m}(Object p) {{"));
-                match self.rng.random_range(0..4) {
+                match self.rng.below(4) {
                     0 => {
                         // Pure identity.
                         self.line("        return p;");
@@ -231,7 +230,7 @@ impl Gen {
                     _ => {
                         // Allocate and stash the parameter.
                         self.line(&format!("        this.g{store_field} = p;"));
-                        self.line(&format!("        Object t = new Object();"));
+                        self.line("        Object t = new Object();");
                         self.line("        return t;");
                     }
                 }
@@ -287,7 +286,9 @@ impl Gen {
         for c in 0..self.cfg.containers {
             self.line(&format!("class B{c} {{"));
             self.line(&format!("    Object slot{c};"));
-            self.line(&format!("    void put{c}(Object x) {{ this.slot{c} = x; }}"));
+            self.line(&format!(
+                "    void put{c}(Object x) {{ this.slot{c} = x; }}"
+            ));
             self.line(&format!(
                 "    Object take{c}() {{ Object t = this.slot{c}; return t; }}"
             ));
@@ -527,7 +528,7 @@ impl Gen {
             let unit = self.pick(units.len());
             let mut group = Vec::new();
             group.push(format!("{class} {var_prefix}{i} = new {class}();"));
-            if self.rng.random_range(0..8) == 0 {
+            if self.rng.below(8) == 0 {
                 group.push(format!("{var_prefix}{i}.runAll();"));
             } else {
                 group.push(format!("{var_prefix}{i}.unit{unit}();"));
@@ -561,7 +562,11 @@ impl Gen {
         let hierarchy = self.cfg.hierarchy_classes.max(1);
         let methods = self.cfg.hierarchy_methods.max(1);
         let payloads = self.cfg.payload_allocs.max(1);
-        let n_units = self.cfg.task_units.max(1).min(self.cfg.poly_call_sites.max(1));
+        let n_units = self
+            .cfg
+            .task_units
+            .max(1)
+            .min(self.cfg.poly_call_sites.max(1));
         let mut units = Vec::new();
         for _ in 0..n_units {
             let mut unit = Vec::new();
@@ -621,7 +626,7 @@ impl Gen {
             // Roughly a third of container units touch a static global —
             // enough to exercise the SStore/SLoad enumeration without
             // letting it dominate the workload.
-            if self.cfg.static_globals > 0 && self.rng.random_range(0..3) == 0 {
+            if self.cfg.static_globals > 0 && self.rng.below(3) == 0 {
                 let g = self.pick(self.cfg.static_globals);
                 unit.push(format!("Globals.pool{g} = item;"));
                 unit.push(format!("Object pooled = Globals.pool{g};"));
@@ -798,7 +803,10 @@ mod tests {
     fn generation_is_deterministic() {
         let cfg = SynthConfig::tiny();
         assert_eq!(generate(&cfg), generate(&cfg));
-        let other = SynthConfig { seed: 2, ..SynthConfig::tiny() };
+        let other = SynthConfig {
+            seed: 2,
+            ..SynthConfig::tiny()
+        };
         assert_ne!(generate(&cfg), generate(&other));
     }
 

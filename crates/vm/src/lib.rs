@@ -43,7 +43,11 @@ pub struct VmConfig {
 
 impl Default for VmConfig {
     fn default() -> Self {
-        VmConfig { max_steps: 1_000_000, max_depth: 256, max_objects: 100_000 }
+        VmConfig {
+            max_steps: 1_000_000,
+            max_depth: 256,
+            max_objects: 100_000,
+        }
     }
 }
 
@@ -113,10 +117,18 @@ pub fn run(module: &Module, config: &VmConfig) -> VmResult {
     for &entry in &module.program.entry_points {
         match vm.call_method(entry, &[], 0) {
             Ok(_) => {}
-            Err(outcome) => return VmResult { facts: vm.facts, outcome },
+            Err(outcome) => {
+                return VmResult {
+                    facts: vm.facts,
+                    outcome,
+                }
+            }
         }
     }
-    VmResult { facts: vm.facts, outcome: Outcome::Complete }
+    VmResult {
+        facts: vm.facts,
+        outcome: Outcome::Complete,
+    }
 }
 
 /// A run-time value.
@@ -241,7 +253,10 @@ impl<'a> Vm<'a> {
                         return Err(Outcome::ObjectLimit);
                     }
                     let obj = self.heap.len();
-                    self.heap.push(Obj { site: *heap, fields: HashMap::new() });
+                    self.heap.push(Obj {
+                        site: *heap,
+                        fields: HashMap::new(),
+                    });
                     self.set_var(frame, *dst, Value::Ref(obj));
                 }
                 Instr::AssignNull { dst } => {
@@ -278,7 +293,12 @@ impl<'a> Vm<'a> {
                     }
                     self.heap[obj].fields.insert(*field, v);
                 }
-                Instr::CallStatic { inv, target, args, dst } => {
+                Instr::CallStatic {
+                    inv,
+                    target,
+                    args,
+                    dst,
+                } => {
                     let arg_values: Vec<Value> =
                         args.iter().map(|&a| self.operand(frame, a)).collect();
                     self.facts.call.insert((*inv, *target));
@@ -287,7 +307,13 @@ impl<'a> Vm<'a> {
                         self.set_var(frame, *dst, result);
                     }
                 }
-                Instr::CallVirtual { inv, recv, msig, args, dst } => {
+                Instr::CallVirtual {
+                    inv,
+                    recv,
+                    msig,
+                    args,
+                    dst,
+                } => {
                     let Value::Ref(obj) = self.get_var(frame, *recv) else {
                         return Err(Outcome::NullDeref);
                     };
@@ -306,12 +332,19 @@ impl<'a> Vm<'a> {
                     }
                 }
                 Instr::Return { value } => {
-                    let v = value.map(|op| self.operand(frame, op)).unwrap_or(Value::Null);
+                    let v = value
+                        .map(|op| self.operand(frame, op))
+                        .unwrap_or(Value::Null);
                     return Ok(Flow::Returned(v));
                 }
-                Instr::If { a, b, eq, then_block, else_block } => {
-                    let take_then =
-                        (self.operand(frame, *a) == self.operand(frame, *b)) == *eq;
+                Instr::If {
+                    a,
+                    b,
+                    eq,
+                    then_block,
+                    else_block,
+                } => {
+                    let take_then = (self.operand(frame, *a) == self.operand(frame, *b)) == *eq;
                     let block = if take_then { then_block } else { else_block };
                     if let Flow::Returned(v) = self.exec_block(block, frame, depth)? {
                         return Ok(Flow::Returned(v));
@@ -352,7 +385,10 @@ mod tests {
         let r1 = module.var_by_name(main, "r1").unwrap();
         let o1 = module.var_by_name(main, "o1").unwrap();
         let h_o1 = module.heap_assigned_to(o1).unwrap();
-        assert!(result.facts.pts.contains(&(r1, h_o1)), "r1 got o1's object back");
+        assert!(
+            result.facts.pts.contains(&(r1, h_o1)),
+            "r1 got o1's object back"
+        );
         // And not the other box's payload.
         let o2 = module.var_by_name(main, "o2").unwrap();
         let h_o2 = module.heap_assigned_to(o2).unwrap();
@@ -406,7 +442,13 @@ mod tests {
              } }",
         )
         .unwrap();
-        let r = run(&module, &VmConfig { max_steps: 1000, ..VmConfig::default() });
+        let r = run(
+            &module,
+            &VmConfig {
+                max_steps: 1000,
+                ..VmConfig::default()
+            },
+        );
         assert_eq!(r.outcome, Outcome::StepBudget);
         assert!(!r.facts.pts.is_empty(), "prefix facts survive");
     }
@@ -432,7 +474,13 @@ mod tests {
              } }",
         )
         .unwrap();
-        let r = run(&module, &VmConfig { max_objects: 50, ..VmConfig::default() });
+        let r = run(
+            &module,
+            &VmConfig {
+                max_objects: 50,
+                ..VmConfig::default()
+            },
+        );
         assert_eq!(r.outcome, Outcome::ObjectLimit);
     }
 

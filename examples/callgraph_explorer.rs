@@ -32,7 +32,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         c.stats.call,
         t.stats.call
     );
-    println!("reachable methods: {} of {}", t.ci.reach.len(), program.method_count());
+    println!(
+        "reachable methods: {} of {}",
+        t.ci.reach.len(),
+        program.method_count()
+    );
     println!(
         "context multiplicity: {} reach facts over {} methods (mean {:.1} contexts/method)",
         c.stats.reach,
@@ -74,6 +78,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t.stats.duration,
         100.0 * (c.stats.total() - t.stats.total()) as f64 / c.stats.total() as f64
     );
-    assert_eq!(c.ci.call, t.ci.call, "both abstractions agree on the CI call graph");
+    assert_eq!(
+        c.ci.call, t.ci.call,
+        "both abstractions agree on the CI call graph"
+    );
     Ok(())
 }

@@ -28,7 +28,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(imported, program);
 
     // The analysis runs on the imported relations alone.
-    let result = analyze(&imported, &AnalysisConfig::transformer_strings("1-object".parse()?));
+    let result = analyze(
+        &imported,
+        &AnalysisConfig::transformer_strings("1-object".parse()?),
+    );
     println!(
         "\nanalysis of the imported facts: {} pts facts, {} call edges, {} reachable methods",
         result.stats.pts,
@@ -37,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // The polymorphic `make` site dispatches to both Circle and Square.
-    let main = imported.method_names.iter().position(|n| n == "Main.main").unwrap();
+    let main = imported
+        .method_names
+        .iter()
+        .position(|n| n == "Main.main")
+        .unwrap();
     let poly_site = imported
         .inv_method
         .iter()

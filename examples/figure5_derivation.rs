@@ -30,7 +30,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let right = keep(&rt.log);
 
     println!("Figure 5 derivations at 1-call+H (derivation order):\n");
-    println!("{:60} | {}", "context strings", "transformer strings");
+    println!("{:60} | transformer strings", "context strings");
     println!("{:-<60}-+-{:-<60}", "", "");
     for i in 0..left.len().max(right.len()) {
         let l = left.get(i).map(String::as_str).unwrap_or("");

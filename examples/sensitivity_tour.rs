@@ -19,13 +19,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ("insensitive", AnalysisConfig::insensitive()),
         ("1-call", AnalysisConfig::context_strings("1-call".parse()?)),
         ("2-call", AnalysisConfig::context_strings("2-call".parse()?)),
-        ("1-object", AnalysisConfig::context_strings("1-object".parse()?)),
-        ("2-object+H", AnalysisConfig::transformer_strings("2-object+H".parse()?)),
+        (
+            "1-object",
+            AnalysisConfig::context_strings("1-object".parse()?),
+        ),
+        (
+            "2-object+H",
+            AnalysisConfig::transformer_strings("2-object+H".parse()?),
+        ),
     ];
 
     println!("Figure 1 program, points-to sets per configuration");
     println!("(h1 = x's Object, h2 = y's Object, m1 = the T allocated in T.m)\n");
-    println!("{:12} {:>10} {:>10} {:>10} {:>10} {:>10}", "config", "x1", "y1", "x2", "y2", "z");
+    println!(
+        "{:12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "config", "x1", "y1", "x2", "y2", "z"
+    );
     for (label, config) in configs {
         let result = analyze(program, &config);
         let fmt = |name: &str| {
@@ -45,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 })
                 .collect();
             sites.sort();
-            if sites.is_empty() { "∅".to_owned() } else { sites.join(",") }
+            if sites.is_empty() {
+                "∅".to_owned()
+            } else {
+                sites.join(",")
+            }
         };
         println!(
             "{label:12} {:>10} {:>10} {:>10} {:>10} {:>10}",

@@ -26,10 +26,30 @@ fn figure1_precision_matrix() {
         z_empty: bool,
     }
     let expectations = [
-        Expect { label: "1-call", x1_precise: true, x2_precise: false, z_empty: false },
-        Expect { label: "2-call", x1_precise: true, x2_precise: true, z_empty: false },
-        Expect { label: "1-object", x1_precise: false, x2_precise: true, z_empty: false },
-        Expect { label: "2-object+H", x1_precise: false, x2_precise: true, z_empty: true },
+        Expect {
+            label: "1-call",
+            x1_precise: true,
+            x2_precise: false,
+            z_empty: false,
+        },
+        Expect {
+            label: "2-call",
+            x1_precise: true,
+            x2_precise: true,
+            z_empty: false,
+        },
+        Expect {
+            label: "1-object",
+            x1_precise: false,
+            x2_precise: true,
+            z_empty: false,
+        },
+        Expect {
+            label: "2-object+H",
+            x1_precise: false,
+            x2_precise: true,
+            z_empty: true,
+        },
     ];
     for e in expectations {
         for cstrings in [true, false] {
@@ -97,7 +117,11 @@ fn figure5_r_compression() {
     let s = sens("1-call+H");
     let count_r = |cfg: AnalysisConfig| {
         let result = analyze(&module.program, &cfg.with_recorded_facts());
-        result.log.iter().filter(|f| f.text.starts_with("pts(r,")).count()
+        result
+            .log
+            .iter()
+            .filter(|f| f.text.starts_with("pts(r,"))
+            .count()
     };
     assert_eq!(count_r(AnalysisConfig::context_strings(s)), 4);
     assert_eq!(count_r(AnalysisConfig::transformer_strings(s)), 1);
@@ -109,8 +133,10 @@ fn figure5_r_compression() {
 fn figure7_subsuming_pair() {
     let module = compile(corpus::FIG7).unwrap();
     let s = sens("1-call+H");
-    let plain =
-        analyze(&module.program, &AnalysisConfig::transformer_strings(s).with_recorded_facts());
+    let plain = analyze(
+        &module.program,
+        &AnalysisConfig::transformer_strings(s).with_recorded_facts(),
+    );
     let v_facts: Vec<&str> = plain
         .log
         .iter()
@@ -139,7 +165,11 @@ fn hpts_is_context_insensitive_without_heap_contexts() {
             let c = analyze(&module.program, &AnalysisConfig::context_strings(s));
             let t = analyze(&module.program, &AnalysisConfig::transformer_strings(s));
             assert_eq!(c.stats.hpts, t.stats.hpts, "{name} {label}");
-            assert_eq!(c.stats.hpts, c.ci.hpts.len(), "{name} {label}: one fact per CI triple");
+            assert_eq!(
+                c.stats.hpts,
+                c.ci.hpts.len(),
+                "{name} {label}: one fact per CI triple"
+            );
         }
     }
 }

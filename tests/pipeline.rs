@@ -44,7 +44,10 @@ fn analysis_of_reparsed_program_matches_original() {
 fn scaling_the_driver_grows_the_program_monotonically() {
     let cfg = SynthConfig::tiny();
     let small = compile(&generate(&cfg.clone())).unwrap().program.stats();
-    let big = compile(&generate(&cfg.scale_driver(4))).unwrap().program.stats();
+    let big = compile(&generate(&cfg.scale_driver(4)))
+        .unwrap()
+        .program
+        .stats();
     assert!(big.input_facts > small.input_facts);
     assert!(big.heaps > small.heaps);
     assert!(big.invs > small.invs);
@@ -66,7 +69,10 @@ fn corrupted_fact_files_are_rejected() {
 #[test]
 fn figure6_harness_is_reproducible() {
     use ctxform_bench::{run_figure6, Figure6Options};
-    let opts = Figure6Options { scale: 1, ..Figure6Options::default() };
+    let opts = Figure6Options {
+        scale: 1,
+        ..Figure6Options::default()
+    };
     let a = run_figure6(&opts, Some("luindex"));
     let b = run_figure6(&opts, Some("luindex"));
     for (ra, rb) in a.iter().zip(&b) {

@@ -12,9 +12,18 @@ fn ci(src: &str, cfg: &AnalysisConfig) -> CiFacts {
 
 fn subset(name: &str, seed: u64, finer: &CiFacts, coarser: &CiFacts) {
     assert!(finer.pts.is_subset(&coarser.pts), "{name} seed {seed}: pts");
-    assert!(finer.hpts.is_subset(&coarser.hpts), "{name} seed {seed}: hpts");
-    assert!(finer.call.is_subset(&coarser.call), "{name} seed {seed}: call");
-    assert!(finer.reach.is_subset(&coarser.reach), "{name} seed {seed}: reach");
+    assert!(
+        finer.hpts.is_subset(&coarser.hpts),
+        "{name} seed {seed}: hpts"
+    );
+    assert!(
+        finer.call.is_subset(&coarser.call),
+        "{name} seed {seed}: call"
+    );
+    assert!(
+        finer.reach.is_subset(&coarser.reach),
+        "{name} seed {seed}: reach"
+    );
 }
 
 const SEEDS: std::ops::Range<u64> = 0..20;
@@ -58,8 +67,18 @@ fn every_context_sensitive_analysis_refines_the_insensitive_one() {
         let base = ci(&src, &AnalysisConfig::insensitive());
         for label in ["1-call", "1-object", "2-object+H", "2-type+H"] {
             let s = label.parse().unwrap();
-            subset(label, seed, &ci(&src, &AnalysisConfig::context_strings(s)), &base);
-            subset(label, seed, &ci(&src, &AnalysisConfig::transformer_strings(s)), &base);
+            subset(
+                label,
+                seed,
+                &ci(&src, &AnalysisConfig::context_strings(s)),
+                &base,
+            );
+            subset(
+                label,
+                seed,
+                &ci(&src, &AnalysisConfig::transformer_strings(s)),
+                &base,
+            );
         }
     }
 }
@@ -68,8 +87,14 @@ fn every_context_sensitive_analysis_refines_the_insensitive_one() {
 fn deeper_call_strings_refine_shallower_ones() {
     for seed in SEEDS {
         let src = random_program(seed, 2);
-        let one = ci(&src, &AnalysisConfig::context_strings("1-call".parse().unwrap()));
-        let two = ci(&src, &AnalysisConfig::context_strings("2-call".parse().unwrap()));
+        let one = ci(
+            &src,
+            &AnalysisConfig::context_strings("1-call".parse().unwrap()),
+        );
+        let two = ci(
+            &src,
+            &AnalysisConfig::context_strings("2-call".parse().unwrap()),
+        );
         subset("2-call ⊆ 1-call", seed, &two, &one);
     }
 }
@@ -78,8 +103,14 @@ fn deeper_call_strings_refine_shallower_ones() {
 fn heap_contexts_refine_object_sensitivity() {
     for seed in SEEDS {
         let src = random_program(seed, 2);
-        let one = ci(&src, &AnalysisConfig::context_strings("1-object".parse().unwrap()));
-        let two = ci(&src, &AnalysisConfig::context_strings("2-object+H".parse().unwrap()));
+        let one = ci(
+            &src,
+            &AnalysisConfig::context_strings("1-object".parse().unwrap()),
+        );
+        let two = ci(
+            &src,
+            &AnalysisConfig::context_strings("2-object+H".parse().unwrap()),
+        );
         subset("2-object+H ⊆ 1-object", seed, &two, &one);
     }
 }
@@ -105,11 +136,12 @@ fn join_strategy_and_subsumption_never_change_precision() {
 fn type_sensitivity_gap_has_witnesses() {
     // §6/§8: the transformer abstraction is strictly less precise under
     // type sensitivity, but only marginally, and mostly in pts/hpts (the
-    // paper saw a call-edge increase only on chart). Seed 23 is a known
-    // witness for the current generator; rediscover witnesses with
+    // paper saw a call-edge increase only on chart). Seed 199 is a known
+    // witness for the current generator (the in-tree SplitMix64 stream);
+    // rediscover witnesses with
     // `cargo run -p ctxform-bench --bin find_type_gap` if the generator
     // changes.
-    let src = random_program(23, 4);
+    let src = random_program(199, 4);
     let s = "2-type+H".parse().unwrap();
     let c = ci(&src, &AnalysisConfig::context_strings(s));
     let t = ci(&src, &AnalysisConfig::transformer_strings(s));
@@ -165,8 +197,14 @@ fn hybrid_statics_are_distinguished_by_call_site() {
             }
         }
     ";
-    let hybrid = ci(src, &AnalysisConfig::context_strings("2-hybrid+H".parse().unwrap()));
-    let object = ci(src, &AnalysisConfig::context_strings("2-object+H".parse().unwrap()));
+    let hybrid = ci(
+        src,
+        &AnalysisConfig::context_strings("2-hybrid+H".parse().unwrap()),
+    );
+    let object = ci(
+        src,
+        &AnalysisConfig::context_strings("2-object+H".parse().unwrap()),
+    );
     // Both are sound and agree context-insensitively on this program...
     assert_eq!(hybrid.pts, object.pts);
     // ...but the hybrid call graph carries call-site contexts for the

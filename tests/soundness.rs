@@ -100,8 +100,16 @@ fn truncated_executions_are_still_covered() {
     // facts must be covered.
     let src = random_program(99, 3);
     let module = compile(&src).unwrap();
-    let vm = run(&module, &VmConfig { max_steps: 40, ..VmConfig::default() });
-    let result =
-        analyze(&module.program, &AnalysisConfig::transformer_strings("1-object".parse().unwrap()));
+    let vm = run(
+        &module,
+        &VmConfig {
+            max_steps: 40,
+            ..VmConfig::default()
+        },
+    );
+    let result = analyze(
+        &module.program,
+        &AnalysisConfig::transformer_strings("1-object".parse().unwrap()),
+    );
     assert_sound("truncated", &module, &vm.facts, &result);
 }
