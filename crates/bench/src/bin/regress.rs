@@ -7,7 +7,9 @@
 //! ```
 //!
 //! Each run records, per benchmark and per Figure 6 configuration, for both
-//! abstractions: context-sensitive fact counts, solver wall time, the
+//! abstractions plus a subsumption-enabled transformer-string cell
+//! (`tstring_subs`, which exercises the solver's subsume-memo counters):
+//! context-sensitive fact counts, solver wall time, the
 //! probe/compose/memo counters from [`ctxform::SolverStats`], the interner
 //! size, and an order-independent Fx digest of the context-insensitive
 //! facts (so two runs can be compared for byte-identical CI results
@@ -22,13 +24,13 @@
 //! directory — so successive PRs append `BENCH_1.json`, `BENCH_2.json`, …
 //! and any later run can diff against the checked-in history.
 
-use std::fmt::Write as _;
 use std::time::Instant;
 
 use ctxform::{analyze, AnalysisConfig, AnalysisResult};
 use ctxform_algebra::Sensitivity;
 use ctxform_bench::compile_benchmark;
 use ctxform_hash::fx_hash_one;
+use ctxform_server::json::{hex16, Json};
 use ctxform_synth::dacapo_like;
 
 /// An order-independent digest of the CI projections: each fact set is
@@ -48,49 +50,41 @@ fn ci_digest(r: &AnalysisResult) -> u64 {
     fx_hash_one(&(pts, hpts, call, spts, reach))
 }
 
-/// Serializes one analysis run as a JSON object (hand-rolled: the build
-/// environment is offline, so no serde).
-fn run_json(r: &AnalysisResult) -> String {
+/// Serializes one analysis run as a JSON object.
+fn run_json(r: &AnalysisResult) -> Json {
     let s = &r.stats;
-    let mut o = String::new();
-    let _ = write!(
-        o,
-        "{{\"pts\": {}, \"hpts\": {}, \"hload\": {}, \"call\": {}, \"spts\": {}, \
-         \"reach\": {}, \"total\": {}, \"time_ms\": {:.3}, \"events\": {}, \
-         \"probes\": {}, \"compose_calls\": {}, \"compose_bottom\": {}, \
-         \"compose_memo_hits\": {}, \"compose_memo_misses\": {}, \
-         \"subsume_memo_hits\": {}, \"subsume_memo_misses\": {}, \
-         \"subsumed_dropped\": {}, \"subsumed_retired\": {}, \
-         \"interned_contexts\": {}, \
-         \"ci\": {{\"pts\": {}, \"hpts\": {}, \"call\": {}, \"spts\": {}, \"reach\": {}}}, \
-         \"ci_digest\": \"{:016x}\"}}",
-        s.pts,
-        s.hpts,
-        s.hload,
-        s.call,
-        s.spts,
-        s.reach,
-        s.total(),
-        s.duration.as_secs_f64() * 1000.0,
-        s.events,
-        s.probes,
-        s.compose_calls,
-        s.compose_bottom,
-        s.compose_memo_hits,
-        s.compose_memo_misses,
-        s.subsume_memo_hits,
-        s.subsume_memo_misses,
-        s.subsumed_dropped,
-        s.subsumed_retired,
-        s.interned_contexts,
-        r.ci.pts.len(),
-        r.ci.hpts.len(),
-        r.ci.call.len(),
-        r.ci.spts.len(),
-        r.ci.reach.len(),
-        ci_digest(r)
-    );
-    o
+    Json::obj([
+        ("pts", Json::int(s.pts)),
+        ("hpts", Json::int(s.hpts)),
+        ("hload", Json::int(s.hload)),
+        ("call", Json::int(s.call)),
+        ("spts", Json::int(s.spts)),
+        ("reach", Json::int(s.reach)),
+        ("total", Json::int(s.total())),
+        ("time_ms", Json::ms(s.duration.as_secs_f64() * 1000.0)),
+        ("events", Json::int(s.events)),
+        ("probes", Json::uint(s.probes)),
+        ("compose_calls", Json::uint(s.compose_calls)),
+        ("compose_bottom", Json::uint(s.compose_bottom)),
+        ("compose_memo_hits", Json::uint(s.compose_memo_hits)),
+        ("compose_memo_misses", Json::uint(s.compose_memo_misses)),
+        ("subsume_memo_hits", Json::uint(s.subsume_memo_hits)),
+        ("subsume_memo_misses", Json::uint(s.subsume_memo_misses)),
+        ("subsumed_dropped", Json::uint(s.subsumed_dropped)),
+        ("subsumed_retired", Json::uint(s.subsumed_retired)),
+        ("interned_contexts", Json::int(s.interned_contexts)),
+        (
+            "ci",
+            Json::obj([
+                ("pts", Json::int(r.ci.pts.len())),
+                ("hpts", Json::int(r.ci.hpts.len())),
+                ("call", Json::int(r.ci.call.len())),
+                ("spts", Json::int(r.ci.spts.len())),
+                ("reach", Json::int(r.ci.reach.len())),
+            ]),
+        ),
+        ("ci_digest", Json::Str(hex16(ci_digest(r)))),
+    ])
 }
 
 /// Solves `program` under `config` `repeat` times and returns the run
@@ -174,7 +168,7 @@ fn main() {
 
     let started = Instant::now();
     let configs = Sensitivity::paper_configs();
-    let mut bench_objs: Vec<String> = Vec::new();
+    let mut bench_objs: Vec<(String, Json)> = Vec::new();
     // Aggregate wall time of the transformer-string 2-object+H column —
     // the paper's headline configuration, tracked as the harness's single
     // headline number.
@@ -190,36 +184,47 @@ fn main() {
         eprintln!("regress: {name} (scale {scale})...");
         let program = compile_benchmark(name, scale);
         let stats = program.stats();
-        let mut cfg_objs: Vec<String> = Vec::new();
+        let mut pairs: Vec<(String, Json)> = vec![(
+            "program".into(),
+            Json::obj([
+                ("methods", Json::int(stats.methods)),
+                ("vars", Json::int(stats.vars)),
+                ("heaps", Json::int(stats.heaps)),
+                ("invs", Json::int(stats.invs)),
+                ("fields", Json::int(stats.fields)),
+                ("types", Json::int(stats.types)),
+                ("input_facts", Json::int(stats.input_facts)),
+            ]),
+        )];
         for s in &configs {
             let c = best_of(&program, &AnalysisConfig::context_strings(*s), repeat);
             let t = best_of(&program, &AnalysisConfig::transformer_strings(*s), repeat);
+            let t_subs = best_of(
+                &program,
+                &AnalysisConfig::transformer_strings(*s).with_subsumption(),
+                repeat,
+            );
+            // Subsumption prunes redundant context-sensitive tuples but
+            // must never change the CI answer.
+            assert_eq!(
+                ci_digest(&t_subs),
+                ci_digest(&t),
+                "{s}: subsumption changed the CI facts"
+            );
             if s.to_string() == "2-object+H" {
                 cstring_2objh_ms += c.stats.duration.as_secs_f64() * 1000.0;
                 tstring_2objh_ms += t.stats.duration.as_secs_f64() * 1000.0;
             }
-            cfg_objs.push(format!(
-                "      \"{}\": {{\"cstring\": {}, \"tstring\": {}}}",
-                s,
-                run_json(&c),
-                run_json(&t)
+            pairs.push((
+                s.to_string(),
+                Json::obj([
+                    ("cstring", run_json(&c)),
+                    ("tstring", run_json(&t)),
+                    ("tstring_subs", run_json(&t_subs)),
+                ]),
             ));
         }
-        let program_obj = format!(
-            "{{\"methods\": {}, \"vars\": {}, \"heaps\": {}, \"invs\": {}, \
-             \"fields\": {}, \"types\": {}, \"input_facts\": {}}}",
-            stats.methods,
-            stats.vars,
-            stats.heaps,
-            stats.invs,
-            stats.fields,
-            stats.types,
-            stats.input_facts
-        );
-        bench_objs.push(format!(
-            "    \"{name}\": {{\n      \"program\": {program_obj},\n{}\n    }}",
-            cfg_objs.join(",\n")
-        ));
+        bench_objs.push((name.to_owned(), Json::Obj(pairs)));
     }
 
     if bench_objs.is_empty() {
@@ -232,20 +237,22 @@ fn main() {
         std::process::exit(1);
     }
     let path = out_path.unwrap_or_else(next_bench_path);
-    let json = format!(
-        "{{\n  \"schema\": \"ctxform-regress/1\",\n  \"scale\": {scale},\n  \
-         \"repeat\": {repeat},\n  \"harness_ms\": {:.1},\n  \
-         \"cstring_2objH_total_ms\": {:.3},\n  \
-         \"tstring_2objH_total_ms\": {:.3},\n  \"benchmarks\": {{\n{}\n  }}\n}}\n",
-        started.elapsed().as_secs_f64() * 1000.0,
-        cstring_2objh_ms,
-        tstring_2objh_ms,
-        bench_objs.join(",\n")
-    );
-    std::fs::write(&path, &json).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    let benchmark_count = bench_objs.len();
+    let doc = Json::obj([
+        ("schema", Json::str("ctxform-regress/2")),
+        ("scale", Json::int(scale)),
+        ("repeat", Json::int(repeat)),
+        (
+            "harness_ms",
+            Json::ms(started.elapsed().as_secs_f64() * 1000.0),
+        ),
+        ("cstring_2objH_total_ms", Json::ms(cstring_2objh_ms)),
+        ("tstring_2objH_total_ms", Json::ms(tstring_2objh_ms)),
+        ("benchmarks", Json::Obj(bench_objs)),
+    ]);
+    std::fs::write(&path, doc.to_pretty()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
     eprintln!(
-        "regress: wrote {path} ({} benchmarks, tstring 2-object+H total {:.1}ms)",
-        bench_objs.len(),
+        "regress: wrote {path} ({benchmark_count} benchmarks, tstring 2-object+H total {:.1}ms)",
         tstring_2objh_ms
     );
 }

@@ -1,0 +1,242 @@
+//! `ctxform-client` — one-shot queries and load generation against a
+//! running `ctxform-serve`.
+//!
+//! ```text
+//! ctxform-client [--addr HOST:PORT] smoke
+//! ctxform-client [--addr HOST:PORT] stats
+//! ctxform-client [--addr HOST:PORT] shutdown
+//! ctxform-client [--addr HOST:PORT] raw '<json request line>'
+//! ctxform-client [--addr HOST:PORT] points-to --source FILE --method M --var V \
+//!                [--abstraction A] [--sensitivity S] [--demand]
+//! ctxform-client [--addr HOST:PORT] loadgen [--connections N] [--seconds S] \
+//!                [--sensitivity S] [--out PATH]
+//! ```
+//!
+//! Every command exits non-zero on transport errors, server error replies,
+//! or malformed reply lines, so scripts (and CI) can gate on it. `loadgen`
+//! writes a `BENCH_SERVE_<n>.json` trajectory artifact unless `--out` is
+//! given.
+
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::exit;
+use std::time::Duration;
+
+use ctxform_server::client::{loadgen, Client, LoadGenConfig};
+use ctxform_server::json::Json;
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("ctxform-client: {message}");
+    exit(1);
+}
+
+fn connect(addr: SocketAddr) -> Client {
+    Client::connect(addr).unwrap_or_else(|e| fail(format!("cannot connect to {addr}: {e}")))
+}
+
+fn next_artifact_path() -> String {
+    let mut max = 0u32;
+    if let Ok(entries) = std::fs::read_dir(".") {
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if let Some(n) = name
+                .strip_prefix("BENCH_SERVE_")
+                .and_then(|rest| rest.strip_suffix(".json"))
+                .and_then(|num| num.parse::<u32>().ok())
+            {
+                max = max.max(n);
+            }
+        }
+    }
+    format!("BENCH_SERVE_{}.json", max + 1)
+}
+
+fn main() {
+    let mut addr_text = "127.0.0.1:7411".to_owned();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--addr") {
+        args.remove(0);
+        if args.is_empty() {
+            fail("--addr needs HOST:PORT");
+        }
+        addr_text = args.remove(0);
+    }
+    let addr = addr_text
+        .to_socket_addrs()
+        .ok()
+        .and_then(|mut it| it.next())
+        .unwrap_or_else(|| fail(format!("bad address `{addr_text}`")));
+    let Some(command) = args.first().cloned() else {
+        fail("missing command; try `smoke`, `stats`, `shutdown`, `raw`, `points-to`, `loadgen`");
+    };
+    let rest = &args[1..];
+    match command.as_str() {
+        "smoke" => smoke(addr),
+        "stats" => {
+            let reply = connect(addr)
+                .request(&Json::obj([("op", Json::str("stats"))]))
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", reply.to_pretty());
+        }
+        "shutdown" => {
+            connect(addr)
+                .request(&Json::obj([("op", Json::str("shutdown"))]))
+                .unwrap_or_else(|e| fail(e));
+            println!("shutdown requested");
+        }
+        "raw" => {
+            let line = rest
+                .first()
+                .unwrap_or_else(|| fail("raw needs a JSON line"));
+            let reply = connect(addr)
+                .request_raw(&format!("{}\n", line.trim()))
+                .unwrap_or_else(|e| fail(e));
+            println!("{}", reply.to_line());
+            if reply.get("ok").and_then(Json::as_bool) != Some(true) {
+                exit(1);
+            }
+        }
+        "points-to" => points_to(addr, rest),
+        "loadgen" => run_loadgen(addr, rest),
+        other => fail(format!("unknown command `{other}`")),
+    }
+}
+
+/// Loads the corpus `BOX` program, solves it at 2-object+H with
+/// transformer strings, and checks the paper's expected answer (`r1`
+/// points only to the first box's payload) — a full-stack liveness probe.
+fn smoke(addr: SocketAddr) {
+    let mut client = connect(addr);
+    let digest = client
+        .load_source(ctxform_minijava::corpus::BOX)
+        .unwrap_or_else(|e| fail(e));
+    let reply = client
+        .request(&Json::obj([
+            ("op", Json::str("points_to")),
+            ("program", Json::str(digest.clone())),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str("2-object+H")),
+            ("method", Json::str("Main.main")),
+            ("var", Json::str("r1")),
+        ]))
+        .unwrap_or_else(|e| fail(e));
+    let heaps = reply
+        .get("heaps")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| fail(format!("reply without heaps: {}", reply.to_line())));
+    if heaps.len() != 1 {
+        fail(format!(
+            "expected exactly 1 heap for box/r1 at 2-object+H, got {}",
+            heaps.len()
+        ));
+    }
+    println!(
+        "smoke ok: program {digest}, r1 -> {}",
+        heaps[0].as_str().unwrap_or("?")
+    );
+}
+
+fn points_to(addr: SocketAddr, rest: &[String]) {
+    let mut source_path = None;
+    let mut method = None;
+    let mut var = None;
+    let mut abstraction = "tstring".to_owned();
+    let mut sensitivity = Some("2-object+H".to_owned());
+    let mut demand = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--source" => source_path = Some(value("--source")),
+            "--method" => method = Some(value("--method")),
+            "--var" => var = Some(value("--var")),
+            "--abstraction" => abstraction = value("--abstraction"),
+            "--sensitivity" => sensitivity = Some(value("--sensitivity")),
+            "--demand" => {
+                demand = true;
+                abstraction = "insensitive".into();
+                sensitivity = None;
+            }
+            other => fail(format!("unknown points-to argument `{other}`")),
+        }
+    }
+    let source_path = source_path.unwrap_or_else(|| fail("points-to needs --source FILE"));
+    let method = method.unwrap_or_else(|| fail("points-to needs --method NAME"));
+    let var = var.unwrap_or_else(|| fail("points-to needs --var NAME"));
+    let source = std::fs::read_to_string(&source_path)
+        .unwrap_or_else(|e| fail(format!("cannot read {source_path}: {e}")));
+    let mut client = connect(addr);
+    let digest = client.load_source(&source).unwrap_or_else(|e| fail(e));
+    let mut fields = vec![
+        ("op", Json::str("points_to")),
+        ("program", Json::str(digest)),
+        ("abstraction", Json::str(abstraction)),
+        ("method", Json::str(method)),
+        ("var", Json::str(var)),
+        ("demand", Json::Bool(demand)),
+    ];
+    if let Some(s) = sensitivity {
+        fields.push(("sensitivity", Json::str(s)));
+    }
+    let reply = client
+        .request(&Json::obj(fields))
+        .unwrap_or_else(|e| fail(e));
+    println!("{}", reply.to_line());
+}
+
+fn run_loadgen(addr: SocketAddr, rest: &[String]) {
+    let mut config = LoadGenConfig::default();
+    let mut out: Option<String> = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .cloned()
+                .unwrap_or_else(|| fail(format!("{name} needs a value")))
+        };
+        match arg.as_str() {
+            "--connections" => {
+                config.connections = value("--connections")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--connections needs an integer"));
+            }
+            "--seconds" => {
+                let secs: f64 = value("--seconds")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--seconds needs a number"));
+                config.duration = Duration::from_secs_f64(secs);
+            }
+            "--sensitivity" => config.sensitivity = value("--sensitivity"),
+            "--out" => out = Some(value("--out")),
+            other => fail(format!("unknown loadgen argument `{other}`")),
+        }
+    }
+    let report = loadgen(addr, &config).unwrap_or_else(|e| fail(format!("loadgen setup: {e}")));
+    // Snapshot the server's own counters into the artifact.
+    let server_stats = connect(addr)
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .ok();
+    let path = out.unwrap_or_else(next_artifact_path);
+    let artifact = report.to_json(server_stats.as_ref()).to_pretty();
+    std::fs::write(&path, &artifact).unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
+    println!(
+        "loadgen: {} connections, {} requests ({} errors) in {:.1?} = {:.0} rps; \
+         p50 {:.3}ms p90 {:.3}ms p99 {:.3}ms max {:.3}ms -> {path}",
+        report.connections,
+        report.requests,
+        report.errors,
+        report.elapsed,
+        report.throughput(),
+        report.latency_ms.0,
+        report.latency_ms.1,
+        report.latency_ms.2,
+        report.latency_ms.3,
+    );
+    if report.errors > 0 {
+        fail(format!("{} protocol errors during loadgen", report.errors));
+    }
+}

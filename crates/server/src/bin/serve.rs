@@ -1,0 +1,67 @@
+//! `ctxform-serve` — the analysis daemon.
+//!
+//! ```text
+//! ctxform-serve [--port N] [--threads N] [--queue N] [--cache-mb N]
+//!               [--deadline-ms N] [--port-file PATH]
+//! ```
+//!
+//! Binds 127.0.0.1 (`--port 0` picks an ephemeral port and `--port-file`
+//! writes the chosen port for scripts), serves until a client sends the
+//! `shutdown` op, then drains in-flight requests and logs the final
+//! per-endpoint and cache statistics to stderr.
+
+use std::time::Duration;
+
+use ctxform_server::server::{start, ServerConfig};
+
+fn main() {
+    let mut config = ServerConfig {
+        port: 7411,
+        ..ServerConfig::default()
+    };
+    let mut port_file: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    fn num(args: &mut impl Iterator<Item = String>, name: &str) -> u64 {
+        args.next()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("{name} needs a non-negative integer"))
+    }
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => config.port = num(&mut args, "--port") as u16,
+            "--threads" => config.threads = (num(&mut args, "--threads") as usize).max(1),
+            "--queue" => config.queue_depth = (num(&mut args, "--queue") as usize).max(1),
+            "--cache-mb" => config.cache_bytes = (num(&mut args, "--cache-mb") as usize) << 20,
+            "--deadline-ms" => {
+                config.deadline = Duration::from_millis(num(&mut args, "--deadline-ms"))
+            }
+            "--port-file" => port_file = Some(args.next().expect("--port-file needs a path")),
+            "--help" | "-h" => {
+                eprintln!(
+                    "usage: ctxform-serve [--port N] [--threads N] [--queue N] \
+                     [--cache-mb N] [--deadline-ms N] [--port-file PATH]"
+                );
+                return;
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    let handle = start(config).unwrap_or_else(|e| panic!("cannot bind port {}: {e}", config.port));
+    let addr = handle.addr();
+    eprintln!(
+        "ctxform-serve listening on {addr} ({} threads, queue {}, cache {} MiB, deadline {:?})",
+        config.threads,
+        config.queue_depth,
+        config.cache_bytes >> 20,
+        config.deadline,
+    );
+    if let Some(path) = port_file {
+        std::fs::write(&path, format!("{}\n", addr.port()))
+            .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    }
+    // Blocks until a client sends `shutdown`; the join return value is the
+    // shutdown-time observability report.
+    let report = handle.join();
+    eprintln!("ctxform-serve: drained and stopped\n{report}");
+}

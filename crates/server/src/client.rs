@@ -1,0 +1,325 @@
+//! A blocking client for the wire protocol, plus the `loadgen` harness
+//! that drives N concurrent connections and reports throughput and
+//! latency percentiles.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+use crate::protocol::ProtoError;
+
+/// A client-side failure: transport, malformed reply, or a server error
+/// reply.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The server's reply line was not valid JSON.
+    BadReply(String),
+    /// The server answered `"ok": false`.
+    Server(ProtoError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::BadReply(line) => write!(f, "malformed reply: {line}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<std::io::Error> for ClientError {
+    fn from(e: std::io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection speaking newline-delimited JSON.
+pub struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connects to `addr`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the connect failure.
+    pub fn connect(addr: SocketAddr) -> std::io::Result<Client> {
+        let stream = TcpStream::connect_timeout(&addr, Duration::from_secs(5))?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(Duration::from_secs(60)))?;
+        Ok(Client {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Sends one request object and reads one reply object.
+    ///
+    /// # Errors
+    ///
+    /// Fails on transport errors or a malformed reply line; an
+    /// `"ok": false` reply becomes [`ClientError::Server`].
+    pub fn request(&mut self, body: &Json) -> Result<Json, ClientError> {
+        let mut line = body.to_line();
+        line.push('\n');
+        self.request_line(&line)
+    }
+
+    /// Sends a raw request line (must be newline-terminated JSON).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::request`].
+    pub fn request_line(&mut self, line: &str) -> Result<Json, ClientError> {
+        self.stream.write_all(line.as_bytes())?;
+        let reply = self.read_line()?;
+        let value = Json::parse(reply.trim()).map_err(|_| ClientError::BadReply(reply.clone()))?;
+        match value.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(value),
+            Some(false) => Err(ClientError::Server(ProtoError::new(
+                crate::protocol::ErrorCode::Internal,
+                format!(
+                    "{}: {}",
+                    value.get("error").and_then(Json::as_str).unwrap_or("?"),
+                    value.get("message").and_then(Json::as_str).unwrap_or(""),
+                ),
+            ))),
+            None => Err(ClientError::BadReply(reply)),
+        }
+    }
+
+    /// Like [`Client::request`] but returns the parsed reply even when
+    /// `"ok"` is `false` (for tests asserting error codes).
+    pub fn request_raw(&mut self, line: &str) -> Result<Json, ClientError> {
+        self.stream.write_all(line.as_bytes())?;
+        let reply = self.read_line()?;
+        Json::parse(reply.trim()).map_err(|_| ClientError::BadReply(reply))
+    }
+
+    /// Reads one reply line even though no request was sent (used to
+    /// observe overload/shutdown rejections written at accept time).
+    pub fn read_reply(&mut self) -> Result<Json, ClientError> {
+        let reply = self.read_line()?;
+        Json::parse(reply.trim()).map_err(|_| ClientError::BadReply(reply))
+    }
+
+    fn read_line(&mut self) -> Result<String, ClientError> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = self.buf.drain(..=pos).collect();
+                return Ok(String::from_utf8_lossy(&line).into_owned());
+            }
+            let mut chunk = [0u8; 16 * 1024];
+            let n = self.stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(ClientError::Io(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed before a full reply line",
+                )));
+            }
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    /// Loads MiniJava source, returning the program digest.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Client::request`].
+    pub fn load_source(&mut self, source: &str) -> Result<String, ClientError> {
+        let reply = self.request(&Json::obj([
+            ("op", Json::str("load_source")),
+            ("source", Json::str(source)),
+        ]))?;
+        reply
+            .get("program")
+            .and_then(Json::as_str)
+            .map(str::to_owned)
+            .ok_or_else(|| ClientError::BadReply(reply.to_line()))
+    }
+}
+
+/// Parameters of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadGenConfig {
+    /// Concurrent connections.
+    pub connections: usize,
+    /// How long to drive traffic.
+    pub duration: Duration,
+    /// Sensitivity label for the context-sensitive queries.
+    pub sensitivity: String,
+}
+
+impl Default for LoadGenConfig {
+    fn default() -> Self {
+        LoadGenConfig {
+            connections: 8,
+            duration: Duration::from_secs(2),
+            sensitivity: "2-object+H".into(),
+        }
+    }
+}
+
+/// The aggregated outcome of a load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Wall-clock duration of the drive phase.
+    pub elapsed: Duration,
+    /// Completed requests.
+    pub requests: u64,
+    /// Requests that failed (transport or `"ok": false`).
+    pub errors: u64,
+    /// Latency percentiles in milliseconds: (p50, p90, p99, max).
+    pub latency_ms: (f64, f64, f64, f64),
+}
+
+impl LoadReport {
+    /// Requests per second over the drive phase.
+    pub fn throughput(&self) -> f64 {
+        self.requests as f64 / self.elapsed.as_secs_f64().max(1e-9)
+    }
+
+    /// The `BENCH_<n>.json`-style artifact body.
+    pub fn to_json(&self, server_stats: Option<&Json>) -> Json {
+        let mut pairs = vec![
+            ("schema", Json::str("ctxform-serve-bench/1")),
+            ("connections", Json::int(self.connections)),
+            ("elapsed_ms", Json::ms(self.elapsed.as_secs_f64() * 1000.0)),
+            ("requests", Json::uint(self.requests)),
+            ("errors", Json::uint(self.errors)),
+            ("throughput_rps", Json::ms(self.throughput())),
+            (
+                "latency_ms",
+                Json::obj([
+                    ("p50", Json::ms(self.latency_ms.0)),
+                    ("p90", Json::ms(self.latency_ms.1)),
+                    ("p99", Json::ms(self.latency_ms.2)),
+                    ("max", Json::ms(self.latency_ms.3)),
+                ]),
+            ),
+        ];
+        if let Some(stats) = server_stats {
+            pairs.push(("server", stats.clone()));
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// The rotating query mix each loadgen connection drives: one warm-up
+/// `analyze` per program, then point queries that exercise the cache.
+fn query_mix(digests: &[String], sensitivity: &str) -> Vec<Json> {
+    let mut mix = Vec::new();
+    for digest in digests {
+        mix.push(Json::obj([
+            ("op", Json::str("analyze")),
+            ("program", Json::str(digest.clone())),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str(sensitivity)),
+        ]));
+        mix.push(Json::obj([
+            ("op", Json::str("reachable")),
+            ("program", Json::str(digest.clone())),
+        ]));
+        mix.push(Json::obj([
+            ("op", Json::str("call_edges")),
+            ("program", Json::str(digest.clone())),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str(sensitivity)),
+        ]));
+    }
+    mix.push(Json::obj([("op", Json::str("stats"))]));
+    mix
+}
+
+/// Drives `config.connections` concurrent connections against `addr` for
+/// `config.duration`, after loading the MiniJava corpus programs through
+/// one setup connection.
+///
+/// # Errors
+///
+/// Fails if the setup connection cannot load the corpus; per-request
+/// failures during the drive phase are counted in the report instead.
+pub fn loadgen(addr: SocketAddr, config: &LoadGenConfig) -> Result<LoadReport, ClientError> {
+    // Setup: load every corpus program once so the drive phase queries
+    // warm, shared databases. The setup connection is closed before the
+    // drive phase starts — a worker serves one connection until it closes,
+    // so keeping it open would pin a worker for the whole run.
+    let digests = {
+        let mut setup = Client::connect(addr)?;
+        let mut digests = Vec::new();
+        for (_, source) in ctxform_minijava::corpus::all() {
+            digests.push(setup.load_source(source)?);
+        }
+        digests
+    };
+    let digests = Arc::new(digests);
+    let sensitivity = config.sensitivity.clone();
+
+    let total_requests = Arc::new(AtomicU64::new(0));
+    let total_errors = Arc::new(AtomicU64::new(0));
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let mut handles = Vec::new();
+    for worker in 0..config.connections.max(1) {
+        let digests = digests.clone();
+        let sensitivity = sensitivity.clone();
+        let total_requests = total_requests.clone();
+        let total_errors = total_errors.clone();
+        handles.push(std::thread::spawn(move || -> Vec<u64> {
+            let mut latencies_ns = Vec::new();
+            let Ok(mut client) = Client::connect(addr) else {
+                total_errors.fetch_add(1, Ordering::Relaxed);
+                return latencies_ns;
+            };
+            let mix = query_mix(&digests, &sensitivity);
+            // Stagger the starting query so connections do not convoy.
+            let mut next = worker % mix.len();
+            while Instant::now() < deadline {
+                let sent = Instant::now();
+                match client.request(&mix[next]) {
+                    Ok(_) => {
+                        latencies_ns.push(sent.elapsed().as_nanos() as u64);
+                        total_requests.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(_) => {
+                        total_errors.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+                next = (next + 1) % mix.len();
+            }
+            latencies_ns
+        }));
+    }
+    let mut latencies: Vec<u64> = Vec::new();
+    for handle in handles {
+        latencies.extend(handle.join().unwrap_or_default());
+    }
+    let elapsed = started.elapsed();
+    latencies.sort_unstable();
+    let pct = |p: f64| -> f64 {
+        if latencies.is_empty() {
+            return 0.0;
+        }
+        let idx = ((latencies.len() as f64 - 1.0) * p).round() as usize;
+        latencies[idx] as f64 / 1e6
+    };
+    Ok(LoadReport {
+        connections: config.connections,
+        elapsed,
+        requests: total_requests.load(Ordering::Relaxed),
+        errors: total_errors.load(Ordering::Relaxed),
+        latency_ms: (pct(0.50), pct(0.90), pct(0.99), pct(1.0)),
+    })
+}

@@ -1,0 +1,281 @@
+//! The analysis database manager: loaded programs plus an LRU cache of
+//! solved [`AnalysisResult`]s.
+//!
+//! Programs are keyed by a content digest ([`ctxform_hash::fx_hash_one`]
+//! over the canonical [`ctxform_ir::text::emit`] rendering), so the same
+//! program loaded from MiniJava source or from a fact file lands on the
+//! same key. Solved databases are keyed by `(program digest, config tag)`
+//! and held behind `Arc` so concurrent readers share one solution; an
+//! explicit byte budget bounds resident results with least-recently-used
+//! eviction. Concurrent requests for the same uncached key coalesce: one
+//! thread solves while the rest wait on a condvar, so a thundering herd
+//! performs exactly one solve.
+
+use std::collections::{HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use ctxform::{analyze, AnalysisConfig, AnalysisResult};
+use ctxform_hash::fx_hash_one;
+use ctxform_ir::{text, Program};
+
+use crate::protocol::config_tag;
+
+/// One resident solved database.
+struct Entry {
+    result: Arc<AnalysisResult>,
+    bytes: usize,
+    last_used: u64,
+}
+
+#[derive(Default)]
+struct CacheState {
+    entries: HashMap<(u64, String), Entry>,
+    /// Keys currently being solved by some thread.
+    pending: HashSet<(u64, String)>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// A point-in-time view of the cache counters (for the `stats` endpoint).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Resident solved databases.
+    pub entries: usize,
+    /// Estimated resident bytes.
+    pub bytes: usize,
+    /// The configured byte budget.
+    pub budget: usize,
+    /// Queries answered from cache.
+    pub hits: u64,
+    /// Queries that had to solve.
+    pub misses: u64,
+    /// Databases evicted to stay under budget.
+    pub evictions: u64,
+    /// Loaded programs.
+    pub programs: usize,
+}
+
+/// The concurrent database manager.
+pub struct DbManager {
+    programs: Mutex<HashMap<u64, Arc<Program>>>,
+    cache: Mutex<CacheState>,
+    solved: Condvar,
+    budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl DbManager {
+    /// Creates a manager whose solved-result cache targets `budget` bytes.
+    pub fn new(budget: usize) -> Self {
+        DbManager {
+            programs: Mutex::new(HashMap::new()),
+            cache: Mutex::new(CacheState::default()),
+            solved: Condvar::new(),
+            budget,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Registers a validated program, returning its content digest.
+    ///
+    /// Loading the same program twice is idempotent and cheap (the second
+    /// copy is dropped).
+    pub fn load_program(&self, program: Program) -> (u64, Arc<Program>) {
+        let digest = fx_hash_one(&text::emit(&program));
+        let mut programs = self.programs.lock().unwrap();
+        let arc = programs
+            .entry(digest)
+            .or_insert_with(|| Arc::new(program))
+            .clone();
+        (digest, arc)
+    }
+
+    /// Looks up a loaded program by digest.
+    pub fn program(&self, digest: u64) -> Option<Arc<Program>> {
+        self.programs.lock().unwrap().get(&digest).cloned()
+    }
+
+    /// Returns the solved database for `(digest, config)`, solving at most
+    /// once per key across all threads. The boolean is `true` when the
+    /// answer came from cache.
+    ///
+    /// Returns `None` when no program with `digest` is loaded.
+    pub fn get_or_solve(
+        &self,
+        digest: u64,
+        config: &AnalysisConfig,
+    ) -> Option<(Arc<AnalysisResult>, bool)> {
+        let program = self.program(digest)?;
+        let key = (digest, config_tag(config));
+        {
+            let mut state = self.cache.lock().unwrap();
+            loop {
+                state.tick += 1;
+                let tick = state.tick;
+                if let Some(entry) = state.entries.get_mut(&key) {
+                    entry.last_used = tick;
+                    let result = entry.result.clone();
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Some((result, true));
+                }
+                if state.pending.contains(&key) {
+                    state = self.solved.wait(state).unwrap();
+                } else {
+                    state.pending.insert(key.clone());
+                    break;
+                }
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = Arc::new(analyze(&program, config));
+        let bytes = approx_result_bytes(&result);
+        let mut state = self.cache.lock().unwrap();
+        state.tick += 1;
+        let tick = state.tick;
+        state.bytes += bytes;
+        state.entries.insert(
+            key.clone(),
+            Entry {
+                result: result.clone(),
+                bytes,
+                last_used: tick,
+            },
+        );
+        // Evict least-recently-used entries (never the one just inserted:
+        // it has the freshest tick) until back under budget.
+        while state.bytes > self.budget && state.entries.len() > 1 {
+            let victim = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            if victim == key {
+                break;
+            }
+            let evicted = state.entries.remove(&victim).expect("present");
+            state.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        state.pending.remove(&key);
+        drop(state);
+        self.solved.notify_all();
+        Some((result, false))
+    }
+
+    /// Current cache counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let state = self.cache.lock().unwrap();
+        CacheSnapshot {
+            entries: state.entries.len(),
+            bytes: state.bytes,
+            budget: self.budget,
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            programs: self.programs.lock().unwrap().len(),
+        }
+    }
+}
+
+/// Estimates the resident size of a solved database: the dominant cost is
+/// the context-insensitive projection sets plus the optional rendered log;
+/// fixed per-result overhead is folded into a constant.
+pub fn approx_result_bytes(r: &AnalysisResult) -> usize {
+    let ci = &r.ci;
+    let sets = ci.pts.len() * 16
+        + ci.hpts.len() * 24
+        + ci.call.len() * 16
+        + ci.spts.len() * 16
+        + ci.reach.len() * 8;
+    let log: usize = r.log.iter().map(|f| f.text.len() + 48).sum();
+    let configs: usize = r
+        .stats
+        .pts_configurations
+        .iter()
+        .map(|(tag, _)| tag.len() + 32)
+        .sum();
+    sets + log + configs + 512
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxform_minijava::{compile, corpus};
+
+    fn config(label: &str) -> AnalysisConfig {
+        AnalysisConfig::transformer_strings(label.parse().unwrap())
+    }
+
+    #[test]
+    fn same_program_from_source_and_facts_shares_a_digest() {
+        let module = compile(corpus::BOX).unwrap();
+        let db = DbManager::new(1 << 20);
+        let (d1, _) = db.load_program(module.program.clone());
+        let text = text::emit(&module.program);
+        let reparsed = text::parse(&text).unwrap();
+        let (d2, _) = db.load_program(reparsed);
+        assert_eq!(d1, d2);
+        assert_eq!(db.snapshot().programs, 1);
+    }
+
+    #[test]
+    fn second_query_hits_the_cache() {
+        let module = compile(corpus::BOX).unwrap();
+        let db = DbManager::new(1 << 20);
+        let (digest, _) = db.load_program(module.program);
+        let (r1, cached1) = db.get_or_solve(digest, &config("1-call")).unwrap();
+        let (r2, cached2) = db.get_or_solve(digest, &config("1-call")).unwrap();
+        assert!(!cached1);
+        assert!(cached2);
+        assert!(Arc::ptr_eq(&r1, &r2));
+        let snap = db.snapshot();
+        assert_eq!((snap.hits, snap.misses), (1, 1));
+    }
+
+    #[test]
+    fn unknown_digest_is_none() {
+        let db = DbManager::new(1 << 20);
+        assert!(db.get_or_solve(42, &config("1-call")).is_none());
+    }
+
+    #[test]
+    fn byte_budget_evicts_least_recently_used() {
+        let db = DbManager::new(1); // everything over budget
+        let module = compile(corpus::BOX).unwrap();
+        let (digest, _) = db.load_program(module.program);
+        db.get_or_solve(digest, &config("1-call")).unwrap();
+        db.get_or_solve(digest, &config("1-object")).unwrap();
+        let snap = db.snapshot();
+        assert_eq!(snap.entries, 1, "older entry evicted");
+        assert!(snap.evictions >= 1);
+        // The evicted config re-solves (a miss, not a hit).
+        db.get_or_solve(digest, &config("1-call")).unwrap();
+        assert_eq!(db.snapshot().misses, 3);
+    }
+
+    #[test]
+    fn concurrent_same_key_solves_once() {
+        let module = compile(corpus::LIST).unwrap();
+        let db = Arc::new(DbManager::new(1 << 24));
+        let (digest, _) = db.load_program(module.program);
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let db = db.clone();
+            handles.push(std::thread::spawn(move || {
+                db.get_or_solve(digest, &config("2-object+H")).unwrap();
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let snap = db.snapshot();
+        assert_eq!(snap.misses, 1, "exactly one solve");
+        assert_eq!(snap.hits + snap.misses, 8);
+    }
+}

@@ -1,0 +1,173 @@
+//! Per-endpoint serving metrics: request counts, error counts, latency
+//! min/mean/max, and bytes written — all lock-free atomics so workers
+//! never contend, snapshotted by the `stats` endpoint and logged on
+//! shutdown.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use crate::json::Json;
+
+/// The fixed endpoint list (wire `op` names plus a bucket for requests
+/// that never parsed far enough to have one).
+pub const ENDPOINTS: [&str; 11] = [
+    "load_source",
+    "load_facts",
+    "analyze",
+    "points_to",
+    "may_alias",
+    "call_edges",
+    "reachable",
+    "stats",
+    "sleep",
+    "shutdown",
+    "invalid",
+];
+
+#[derive(Default)]
+struct EndpointStats {
+    count: AtomicU64,
+    errors: AtomicU64,
+    total_ns: AtomicU64,
+    min_ns: AtomicU64,
+    max_ns: AtomicU64,
+    bytes_out: AtomicU64,
+}
+
+/// The metrics registry.
+pub struct Metrics {
+    endpoints: [EndpointStats; ENDPOINTS.len()],
+    started: Instant,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics {
+            endpoints: Default::default(),
+            started: Instant::now(),
+        }
+    }
+}
+
+impl Metrics {
+    /// Records one served request. Unknown endpoint names fall into the
+    /// `invalid` bucket.
+    pub fn record(&self, endpoint: &str, latency: Duration, bytes_out: usize, is_error: bool) {
+        let idx = ENDPOINTS
+            .iter()
+            .position(|&e| e == endpoint)
+            .unwrap_or(ENDPOINTS.len() - 1);
+        let stats = &self.endpoints[idx];
+        let ns = latency.as_nanos().min(u128::from(u64::MAX)) as u64;
+        stats.count.fetch_add(1, Ordering::Relaxed);
+        if is_error {
+            stats.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        stats.total_ns.fetch_add(ns, Ordering::Relaxed);
+        // min starts at 0 meaning "unset": initialize via compare_exchange.
+        let _ = stats
+            .min_ns
+            .compare_exchange(0, ns, Ordering::Relaxed, Ordering::Relaxed);
+        stats.min_ns.fetch_min(ns.max(1), Ordering::Relaxed);
+        stats.max_ns.fetch_max(ns, Ordering::Relaxed);
+        stats
+            .bytes_out
+            .fetch_add(bytes_out as u64, Ordering::Relaxed);
+    }
+
+    /// Total requests served across endpoints.
+    pub fn total_requests(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Milliseconds since the registry was created.
+    pub fn uptime_ms(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1000.0
+    }
+
+    /// A JSON object mapping each used endpoint to its counters.
+    pub fn to_json(&self) -> Json {
+        let mut pairs = Vec::new();
+        for (name, stats) in ENDPOINTS.iter().zip(&self.endpoints) {
+            let count = stats.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            let total_ns = stats.total_ns.load(Ordering::Relaxed);
+            let to_ms = |ns: u64| ns as f64 / 1e6;
+            pairs.push((
+                (*name).to_owned(),
+                Json::obj([
+                    ("count", Json::uint(count)),
+                    ("errors", Json::uint(stats.errors.load(Ordering::Relaxed))),
+                    (
+                        "min_ms",
+                        Json::ms(to_ms(stats.min_ns.load(Ordering::Relaxed))),
+                    ),
+                    ("mean_ms", Json::ms(to_ms(total_ns / count.max(1)))),
+                    (
+                        "max_ms",
+                        Json::ms(to_ms(stats.max_ns.load(Ordering::Relaxed))),
+                    ),
+                    (
+                        "bytes_out",
+                        Json::uint(stats.bytes_out.load(Ordering::Relaxed)),
+                    ),
+                ]),
+            ));
+        }
+        Json::Obj(pairs)
+    }
+
+    /// A human-readable multi-line report (logged on shutdown).
+    pub fn report(&self) -> String {
+        let mut out = format!(
+            "served {} requests in {:.1}ms\n",
+            self.total_requests(),
+            self.uptime_ms()
+        );
+        for (name, stats) in ENDPOINTS.iter().zip(&self.endpoints) {
+            let count = stats.count.load(Ordering::Relaxed);
+            if count == 0 {
+                continue;
+            }
+            out.push_str(&format!(
+                "  {name:<12} {count:>8} reqs  {:>6} errors  mean {:.3}ms  max {:.3}ms  {} bytes\n",
+                stats.errors.load(Ordering::Relaxed),
+                stats.total_ns.load(Ordering::Relaxed) as f64 / 1e6 / count as f64,
+                stats.max_ns.load(Ordering::Relaxed) as f64 / 1e6,
+                stats.bytes_out.load(Ordering::Relaxed),
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_snapshots() {
+        let m = Metrics::default();
+        m.record("points_to", Duration::from_millis(2), 100, false);
+        m.record("points_to", Duration::from_millis(4), 50, true);
+        m.record("nonsense", Duration::from_millis(1), 10, true);
+        assert_eq!(m.total_requests(), 3);
+        let json = m.to_json();
+        let pt = json.get("points_to").unwrap();
+        assert_eq!(pt.get("count").unwrap().as_u64(), Some(2));
+        assert_eq!(pt.get("errors").unwrap().as_u64(), Some(1));
+        assert_eq!(pt.get("bytes_out").unwrap().as_u64(), Some(150));
+        let min = pt.get("min_ms").unwrap().as_f64().unwrap();
+        let max = pt.get("max_ms").unwrap().as_f64().unwrap();
+        assert!((1.9..=3.0).contains(&min), "min {min}");
+        assert!(max >= 3.9, "max {max}");
+        assert!(json.get("invalid").is_some());
+        assert!(json.get("analyze").is_none(), "unused endpoints omitted");
+        assert!(m.report().contains("points_to"));
+    }
+}

@@ -1,0 +1,453 @@
+//! The wire protocol: newline-delimited JSON requests and replies.
+//!
+//! Every request is one JSON object on one line with an `"op"` field; every
+//! reply is one JSON object on one line with `"ok": true` plus the answer
+//! fields, or `"ok": false` plus a machine-readable `"error"` code and a
+//! human-readable `"message"`. An optional `"id"` request field is echoed
+//! verbatim in the reply so clients may pipeline.
+//!
+//! Analysis-bearing requests name a program by the 16-hex-digit digest
+//! returned from `load_source`/`load_facts`, and a configuration by
+//! `"abstraction"` (`"insensitive"` default, `"cstring"`, `"tstring"`),
+//! `"sensitivity"` (a label like `"2-object+H"`, required for the
+//! context-sensitive abstractions) and an optional `"subsumption"` flag.
+
+use std::fmt;
+
+use ctxform::{AbstractionKind, AnalysisConfig};
+
+use crate::json::{hex16, Json};
+
+/// Machine-readable error codes of `"ok": false` replies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorCode {
+    /// The request line is not valid JSON or not a valid request shape.
+    BadRequest,
+    /// MiniJava source failed to compile.
+    CompileError,
+    /// A fact file failed to parse or validate.
+    FactError,
+    /// No loaded program has the given digest.
+    UnknownProgram,
+    /// No method with the given name.
+    UnknownMethod,
+    /// No variable with the given name in the given method.
+    UnknownVar,
+    /// Request processing exceeded the per-request deadline.
+    DeadlineExceeded,
+    /// The accept queue was full; retry later.
+    Overloaded,
+    /// The server is draining for shutdown.
+    ShuttingDown,
+    /// Anything else.
+    Internal,
+}
+
+impl ErrorCode {
+    /// The wire spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::BadRequest => "bad_request",
+            ErrorCode::CompileError => "compile_error",
+            ErrorCode::FactError => "fact_error",
+            ErrorCode::UnknownProgram => "unknown_program",
+            ErrorCode::UnknownMethod => "unknown_method",
+            ErrorCode::UnknownVar => "unknown_var",
+            ErrorCode::DeadlineExceeded => "deadline_exceeded",
+            ErrorCode::Overloaded => "overloaded",
+            ErrorCode::ShuttingDown => "shutting_down",
+            ErrorCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A typed protocol error (code + message), convertible into a reply line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtoError {
+    /// The machine-readable code.
+    pub code: ErrorCode,
+    /// The human-readable explanation.
+    pub message: String,
+}
+
+impl ProtoError {
+    /// Creates an error.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> Self {
+        ProtoError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// A `(method name, variable name)` pair addressing one program variable.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarRef {
+    /// Qualified method name, e.g. `"Main.main"`.
+    pub method: String,
+    /// Variable name within the method, e.g. `"r1"`.
+    pub var: String,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Compile MiniJava source into a cached program database.
+    LoadSource {
+        /// The MiniJava source text.
+        source: String,
+    },
+    /// Parse a `ctxform_ir::text` fact file into a cached program database.
+    LoadFacts {
+        /// The fact-file text.
+        facts: String,
+    },
+    /// Solve (or fetch the cached solution of) a program under a config.
+    Analyze {
+        /// Program digest from `load_source`/`load_facts`.
+        program: u64,
+        /// The analysis configuration.
+        config: AnalysisConfig,
+    },
+    /// The points-to set of one variable.
+    PointsTo {
+        /// Program digest.
+        program: u64,
+        /// The analysis configuration.
+        config: AnalysisConfig,
+        /// The queried variable.
+        var: VarRef,
+        /// Answer via the demand-driven magic-sets engine instead of the
+        /// exhaustive (cached) solver; context-insensitive only.
+        demand: bool,
+    },
+    /// Whether two variables may alias.
+    MayAlias {
+        /// Program digest.
+        program: u64,
+        /// The analysis configuration.
+        config: AnalysisConfig,
+        /// First variable.
+        a: VarRef,
+        /// Second variable.
+        b: VarRef,
+    },
+    /// The resolved call graph (invocation site → target method).
+    CallEdges {
+        /// Program digest.
+        program: u64,
+        /// The analysis configuration.
+        config: AnalysisConfig,
+        /// Restrict to one invocation site by name.
+        inv: Option<String>,
+    },
+    /// The reachable methods, or a membership test for one method.
+    Reachable {
+        /// Program digest.
+        program: u64,
+        /// The analysis configuration.
+        config: AnalysisConfig,
+        /// Test just this method.
+        method: Option<String>,
+    },
+    /// Server statistics.
+    Stats,
+    /// Hold a worker for `ms` milliseconds (testing aid: exercises queue
+    /// overload and per-request deadlines deterministically).
+    Sleep {
+        /// How long to hold the worker.
+        ms: u64,
+    },
+    /// Begin graceful shutdown: drain in-flight requests, then exit.
+    Shutdown,
+}
+
+impl Request {
+    /// The endpoint label used by metrics and the `stats` reply.
+    pub fn endpoint(&self) -> &'static str {
+        match self {
+            Request::LoadSource { .. } => "load_source",
+            Request::LoadFacts { .. } => "load_facts",
+            Request::Analyze { .. } => "analyze",
+            Request::PointsTo { .. } => "points_to",
+            Request::MayAlias { .. } => "may_alias",
+            Request::CallEdges { .. } => "call_edges",
+            Request::Reachable { .. } => "reachable",
+            Request::Stats => "stats",
+            Request::Sleep { .. } => "sleep",
+            Request::Shutdown => "shutdown",
+        }
+    }
+}
+
+fn bad(message: impl Into<String>) -> ProtoError {
+    ProtoError::new(ErrorCode::BadRequest, message)
+}
+
+fn req_str(obj: &Json, key: &str) -> Result<String, ProtoError> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_owned)
+        .ok_or_else(|| bad(format!("missing string field `{key}`")))
+}
+
+fn opt_str(obj: &Json, key: &str) -> Option<String> {
+    obj.get(key).and_then(Json::as_str).map(str::to_owned)
+}
+
+fn req_program(obj: &Json) -> Result<u64, ProtoError> {
+    let digest = req_str(obj, "program")?;
+    u64::from_str_radix(&digest, 16)
+        .map_err(|_| bad(format!("`program` is not a hex digest: `{digest}`")))
+}
+
+fn req_var(obj: &Json, method_key: &str, var_key: &str) -> Result<VarRef, ProtoError> {
+    Ok(VarRef {
+        method: req_str(obj, method_key)?,
+        var: req_str(obj, var_key)?,
+    })
+}
+
+/// Reads the analysis configuration fields of a request.
+fn req_config(obj: &Json) -> Result<AnalysisConfig, ProtoError> {
+    let abstraction = opt_str(obj, "abstraction").unwrap_or_else(|| "insensitive".into());
+    let sensitivity = match opt_str(obj, "sensitivity") {
+        Some(label) => Some(
+            label
+                .parse()
+                .map_err(|e| bad(format!("bad `sensitivity`: {e}")))?,
+        ),
+        None => None,
+    };
+    let mut config = match abstraction.as_str() {
+        "insensitive" | "ci" => AnalysisConfig::insensitive(),
+        "cstring" | "context-strings" => AnalysisConfig::context_strings(
+            sensitivity.ok_or_else(|| bad("`cstring` requires a `sensitivity`"))?,
+        ),
+        "tstring" | "transformer-strings" => AnalysisConfig::transformer_strings(
+            sensitivity.ok_or_else(|| bad("`tstring` requires a `sensitivity`"))?,
+        ),
+        other => return Err(bad(format!("unknown abstraction `{other}`"))),
+    };
+    if let Some(flag) = obj.get("subsumption").and_then(Json::as_bool) {
+        if flag {
+            config = config.with_subsumption();
+        }
+    }
+    Ok(config)
+}
+
+/// Parses one request line into its optional `id` and the typed request.
+///
+/// # Errors
+///
+/// Returns a [`ProtoError`] with [`ErrorCode::BadRequest`] for malformed
+/// JSON, a missing/unknown `op`, or missing/ill-typed fields.
+pub fn parse_request(line: &str) -> Result<(Option<Json>, Request), ProtoError> {
+    let obj = Json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
+    if !matches!(obj, Json::Obj(_)) {
+        return Err(bad("request must be a JSON object"));
+    }
+    let id = obj.get("id").cloned();
+    let op = req_str(&obj, "op")?;
+    let request = match op.as_str() {
+        "load_source" => Request::LoadSource {
+            source: req_str(&obj, "source")?,
+        },
+        "load_facts" => Request::LoadFacts {
+            facts: req_str(&obj, "facts")?,
+        },
+        "analyze" => Request::Analyze {
+            program: req_program(&obj)?,
+            config: req_config(&obj)?,
+        },
+        "points_to" => Request::PointsTo {
+            program: req_program(&obj)?,
+            config: req_config(&obj)?,
+            var: req_var(&obj, "method", "var")?,
+            demand: obj.get("demand").and_then(Json::as_bool).unwrap_or(false),
+        },
+        "may_alias" => Request::MayAlias {
+            program: req_program(&obj)?,
+            config: req_config(&obj)?,
+            a: req_var(&obj, "method_a", "var_a")?,
+            b: req_var(&obj, "method_b", "var_b")?,
+        },
+        "call_edges" => Request::CallEdges {
+            program: req_program(&obj)?,
+            config: req_config(&obj)?,
+            inv: opt_str(&obj, "inv"),
+        },
+        "reachable" => Request::Reachable {
+            program: req_program(&obj)?,
+            config: req_config(&obj)?,
+            method: opt_str(&obj, "method"),
+        },
+        "stats" => Request::Stats,
+        "sleep" => Request::Sleep {
+            ms: obj
+                .get("ms")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| bad("`sleep` needs an integer `ms`"))?,
+        },
+        "shutdown" => Request::Shutdown,
+        other => return Err(bad(format!("unknown op `{other}`"))),
+    };
+    Ok((id, request))
+}
+
+/// Builds an `"ok": true` reply line (with trailing newline).
+pub fn ok_reply(id: Option<&Json>, fields: Vec<(&'static str, Json)>) -> String {
+    let mut pairs: Vec<(String, Json)> = Vec::with_capacity(fields.len() + 2);
+    if let Some(id) = id {
+        pairs.push(("id".into(), id.clone()));
+    }
+    pairs.push(("ok".into(), Json::Bool(true)));
+    for (k, v) in fields {
+        pairs.push((k.into(), v));
+    }
+    let mut line = Json::Obj(pairs).to_line();
+    line.push('\n');
+    line
+}
+
+/// Builds an `"ok": false` reply line (with trailing newline).
+pub fn err_reply(id: Option<&Json>, error: &ProtoError) -> String {
+    let mut pairs: Vec<(String, Json)> = Vec::with_capacity(4);
+    if let Some(id) = id {
+        pairs.push(("id".into(), id.clone()));
+    }
+    pairs.push(("ok".into(), Json::Bool(false)));
+    pairs.push(("error".into(), Json::str(error.code.as_str())));
+    pairs.push(("message".into(), Json::str(&*error.message)));
+    let mut line = Json::Obj(pairs).to_line();
+    line.push('\n');
+    line
+}
+
+/// Canonical cache tag of a configuration — the database key component
+/// alongside the program digest. Distinct configurations that cannot give
+/// different answers (e.g. recorded facts) still get distinct tags only
+/// when the flag changes results, so the tag is built from the
+/// answer-relevant fields alone.
+pub fn config_tag(config: &AnalysisConfig) -> String {
+    let sens = config
+        .sensitivity
+        .map(|s| s.to_string())
+        .unwrap_or_else(|| "-".into());
+    let kind = match config.abstraction {
+        AbstractionKind::Insensitive => "ci",
+        AbstractionKind::ContextStrings => "cstring",
+        AbstractionKind::TransformerStrings => "tstring",
+    };
+    format!(
+        "{kind}/{sens}{}",
+        if config.subsumption { "+subs" } else { "" }
+    )
+}
+
+/// Renders a program digest for the wire.
+pub fn digest_str(digest: u64) -> String {
+    hex16(digest)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_op() {
+        let lines = [
+            (
+                r#"{"op": "load_source", "source": "class Main {}"}"#,
+                "load_source",
+            ),
+            (r##"{"op": "load_facts", "facts": "# f"}"##, "load_facts"),
+            (
+                r#"{"op": "analyze", "program": "00000000000000ff", "abstraction": "tstring", "sensitivity": "2-object+H"}"#,
+                "analyze",
+            ),
+            (
+                r#"{"op": "points_to", "program": "ff", "method": "Main.main", "var": "x"}"#,
+                "points_to",
+            ),
+            (
+                r#"{"op": "may_alias", "program": "ff", "method_a": "M.m", "var_a": "x", "method_b": "M.m", "var_b": "y"}"#,
+                "may_alias",
+            ),
+            (r#"{"op": "call_edges", "program": "ff"}"#, "call_edges"),
+            (r#"{"op": "reachable", "program": "ff"}"#, "reachable"),
+            (r#"{"op": "stats"}"#, "stats"),
+            (r#"{"op": "sleep", "ms": 5}"#, "sleep"),
+            (r#"{"op": "shutdown"}"#, "shutdown"),
+        ];
+        for (line, endpoint) in lines {
+            let (_, req) = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(req.endpoint(), endpoint);
+        }
+    }
+
+    #[test]
+    fn id_is_parsed_and_echoed() {
+        let (id, _) = parse_request(r#"{"id": 7, "op": "stats"}"#).unwrap();
+        assert_eq!(id, Some(Json::Num(7.0)));
+        let reply = ok_reply(id.as_ref(), vec![("x", Json::int(1))]);
+        assert_eq!(reply, "{\"id\": 7, \"ok\": true, \"x\": 1}\n");
+        let err = err_reply(id.as_ref(), &ProtoError::new(ErrorCode::Internal, "boom"));
+        let parsed = Json::parse(err.trim()).unwrap();
+        assert_eq!(parsed.get("error").unwrap().as_str(), Some("internal"));
+        assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_request() {
+        for line in [
+            "not json",
+            "[1, 2]",
+            r#"{"op": "warp"}"#,
+            r#"{"source": "class Main {}"}"#,
+            r#"{"op": "points_to", "program": "zz", "method": "M.m", "var": "x"}"#,
+            r#"{"op": "analyze", "program": "ff", "abstraction": "tstring"}"#,
+            r#"{"op": "analyze", "program": "ff", "abstraction": "tstring", "sensitivity": "9-warp"}"#,
+            r#"{"op": "sleep"}"#,
+        ] {
+            let err = parse_request(line).unwrap_err();
+            assert_eq!(err.code, ErrorCode::BadRequest, "{line}");
+        }
+    }
+
+    #[test]
+    fn config_fields_resolve() {
+        let (_, req) = parse_request(
+            r#"{"op": "analyze", "program": "1", "abstraction": "cstring", "sensitivity": "1-call", "subsumption": true}"#,
+        )
+        .unwrap();
+        let Request::Analyze { program, config } = req else {
+            panic!("wrong variant");
+        };
+        assert_eq!(program, 1);
+        assert_eq!(config.abstraction, AbstractionKind::ContextStrings);
+        assert!(config.subsumption);
+        assert_eq!(config_tag(&config), "cstring/1-call+subs");
+        let (_, req) = parse_request(r#"{"op": "analyze", "program": "1"}"#).unwrap();
+        let Request::Analyze { config, .. } = req else {
+            panic!("wrong variant");
+        };
+        assert_eq!(config, AnalysisConfig::insensitive());
+        assert_eq!(config_tag(&config), "ci/-");
+    }
+}

@@ -1,0 +1,577 @@
+//! The serving core: a `TcpListener` accept loop feeding a bounded
+//! connection queue drained by a fixed worker-thread pool.
+//!
+//! Overload is rejected explicitly: when the queue is full the accepting
+//! thread writes one `overloaded` error reply and closes the connection
+//! instead of letting the backlog grow without bound. Every request gets a
+//! deadline ([`ServerConfig::deadline`]); work that finishes past it is
+//! answered with `deadline_exceeded`. Shutdown (the `shutdown` op or
+//! [`ServerHandle::shutdown`]) is graceful: the accept loop stops taking
+//! new connections, workers finish the request they are on plus anything
+//! already queued, and [`ServerHandle::join`] returns the final metrics
+//! report.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use ctxform::{demand_points_to, AbstractionKind, AnalysisConfig, AnalysisResult};
+use ctxform_ir::{Program, Var};
+
+use crate::db::DbManager;
+use crate::json::Json;
+use crate::metrics::Metrics;
+use crate::protocol::{
+    digest_str, err_reply, ok_reply, parse_request, ErrorCode, ProtoError, Request, VarRef,
+};
+
+/// Tuning knobs of one server instance.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// TCP port to bind on 127.0.0.1 (0 = ephemeral).
+    pub port: u16,
+    /// Worker threads draining the connection queue.
+    pub threads: usize,
+    /// Maximum connections waiting for a worker before new arrivals are
+    /// rejected with `overloaded`.
+    pub queue_depth: usize,
+    /// Byte budget of the solved-database cache.
+    pub cache_bytes: usize,
+    /// Per-request deadline.
+    pub deadline: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        // A worker serves one connection until it closes, so the pool must
+        // be big enough for the expected number of concurrent clients even
+        // on single-core containers — hence the floor of 4.
+        let threads = thread::available_parallelism()
+            .map(|n| n.get().clamp(4, 8))
+            .unwrap_or(4);
+        ServerConfig {
+            port: 0,
+            threads,
+            queue_depth: 64,
+            cache_bytes: 256 << 20,
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+struct Shared {
+    queue: Mutex<std::collections::VecDeque<TcpStream>>,
+    queued: Condvar,
+    shutdown: AtomicBool,
+    db: DbManager,
+    metrics: Metrics,
+    config: ServerConfig,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    fn begin_shutdown(&self) {
+        if !self.shutdown.swap(true, Ordering::SeqCst) {
+            self.queued.notify_all();
+            // Unblock the accept loop with a throwaway connection.
+            let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
+        }
+    }
+}
+
+/// A running server.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with an ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// Triggers graceful shutdown without waiting.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Waits until every thread has drained and exited, returning the
+    /// final human-readable metrics report.
+    pub fn join(mut self) -> String {
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let mut report = self.shared.metrics.report();
+        let cache = self.shared.db.snapshot();
+        report.push_str(&format!(
+            "cache: {} entries, {} bytes (budget {}), {} hits / {} misses, {} evictions, {} programs\n",
+            cache.entries,
+            cache.bytes,
+            cache.budget,
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.programs,
+        ));
+        report
+    }
+}
+
+/// Binds a listener and starts the accept loop plus the worker pool.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(("127.0.0.1", config.port))?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: Mutex::new(std::collections::VecDeque::new()),
+        queued: Condvar::new(),
+        shutdown: AtomicBool::new(false),
+        db: DbManager::new(config.cache_bytes),
+        metrics: Metrics::default(),
+        config,
+        addr,
+    });
+
+    let mut workers = Vec::with_capacity(config.threads.max(1));
+    for i in 0..config.threads.max(1) {
+        let shared = shared.clone();
+        workers.push(
+            thread::Builder::new()
+                .name(format!("ctxform-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker"),
+        );
+    }
+
+    let accept_shared = shared.clone();
+    let accept = thread::Builder::new()
+        .name("ctxform-accept".into())
+        .spawn(move || accept_loop(listener, &accept_shared))
+        .expect("spawn accept loop");
+
+    Ok(ServerHandle {
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: TcpListener, shared: &Shared) {
+    loop {
+        let Ok((mut stream, _)) = listener.accept() else {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            continue;
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            reject(&mut stream, ErrorCode::ShuttingDown, "server is draining");
+            break;
+        }
+        let mut queue = shared.queue.lock().unwrap();
+        if queue.len() >= shared.config.queue_depth {
+            drop(queue);
+            shared.metrics.record("invalid", Duration::ZERO, 0, true);
+            reject(
+                &mut stream,
+                ErrorCode::Overloaded,
+                "connection queue is full, retry later",
+            );
+            continue;
+        }
+        queue.push_back(stream);
+        drop(queue);
+        shared.queued.notify_one();
+    }
+}
+
+fn reject(stream: &mut TcpStream, code: ErrorCode, message: &str) {
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(500)));
+    let reply = err_reply(None, &ProtoError::new(code, message));
+    let _ = stream.write_all(reply.as_bytes());
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let stream = {
+            let mut queue = shared.queue.lock().unwrap();
+            loop {
+                if let Some(stream) = queue.pop_front() {
+                    break stream;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                queue = shared.queued.wait(queue).unwrap();
+            }
+        };
+        handle_connection(shared, stream);
+    }
+}
+
+/// Serves one connection: reads newline-delimited requests until EOF (or
+/// until shutdown, after finishing whatever is in flight).
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    let _ = stream.set_nodelay(true);
+    let mut acc: Vec<u8> = Vec::new();
+    let mut chunk = [0u8; 16 * 1024];
+    loop {
+        // Serve every complete line already buffered.
+        while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
+            let line: Vec<u8> = acc.drain(..=pos).collect();
+            let line = String::from_utf8_lossy(&line[..line.len() - 1]).into_owned();
+            if line.trim().is_empty() {
+                continue;
+            }
+            let stop = serve_request(shared, &mut stream, line.trim());
+            if stop {
+                return;
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) && acc.iter().all(|&b| b != b'\n') {
+            // Drained: no complete request is in flight on this socket.
+            return;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return, // client closed
+            Ok(n) => acc.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                continue; // re-check shutdown, keep waiting
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Parses, dispatches, replies, and records metrics for one request line.
+/// Returns `true` when the connection should close (after `shutdown`).
+fn serve_request(shared: &Shared, stream: &mut TcpStream, line: &str) -> bool {
+    let started = Instant::now();
+    let deadline = shared.config.deadline;
+    let (id, endpoint, outcome) = match parse_request(line) {
+        Ok((id, request)) => {
+            let endpoint = request.endpoint();
+            let outcome = dispatch(shared, &request, started, deadline);
+            (id, endpoint, outcome)
+        }
+        Err(e) => (None, "invalid", Err(e)),
+    };
+    let shutting_down = endpoint == "shutdown";
+    let (reply, is_error) = match outcome {
+        Ok(fields) => (ok_reply(id.as_ref(), fields), false),
+        Err(e) => (err_reply(id.as_ref(), &e), true),
+    };
+    let write_failed = stream.write_all(reply.as_bytes()).is_err();
+    shared
+        .metrics
+        .record(endpoint, started.elapsed(), reply.len(), is_error);
+    shutting_down || write_failed
+}
+
+type Fields = Vec<(&'static str, Json)>;
+
+fn dispatch(
+    shared: &Shared,
+    request: &Request,
+    started: Instant,
+    deadline: Duration,
+) -> Result<Fields, ProtoError> {
+    let result = match request {
+        Request::LoadSource { source } => {
+            let module = ctxform_minijava::compile(source)
+                .map_err(|e| ProtoError::new(ErrorCode::CompileError, e.to_string()))?;
+            load_fields(shared, module.program)
+        }
+        Request::LoadFacts { facts } => {
+            let program = ctxform_ir::text::parse(facts)
+                .map_err(|e| ProtoError::new(ErrorCode::FactError, e.to_string()))?;
+            load_fields(shared, program)
+        }
+        Request::Analyze { program, config } => {
+            let (result, cached) = solve(shared, *program, config)?;
+            let s = &result.stats;
+            Ok(vec![
+                ("cached", Json::Bool(cached)),
+                ("pts", Json::int(s.pts)),
+                ("hpts", Json::int(s.hpts)),
+                ("call", Json::int(s.call)),
+                ("reach", Json::int(s.reach)),
+                ("total", Json::int(s.total())),
+                ("time_ms", Json::ms(s.duration.as_secs_f64() * 1000.0)),
+                ("ci_pts", Json::int(result.ci.pts.len())),
+            ])
+        }
+        Request::PointsTo {
+            program,
+            config,
+            var,
+            demand,
+        } => points_to(shared, *program, config, var, *demand),
+        Request::MayAlias {
+            program,
+            config,
+            a,
+            b,
+        } => {
+            let (result, cached, prog) = solve_with_program(shared, *program, config)?;
+            let va = resolve_var(&prog, a)?;
+            let vb = resolve_var(&prog, b)?;
+            Ok(vec![
+                ("cached", Json::Bool(cached)),
+                ("may_alias", Json::Bool(result.ci.may_alias(va, vb))),
+            ])
+        }
+        Request::CallEdges {
+            program,
+            config,
+            inv,
+        } => {
+            let (result, cached, prog) = solve_with_program(shared, *program, config)?;
+            let mut edges: Vec<(String, String)> = result
+                .ci
+                .call
+                .iter()
+                .map(|&(i, q)| {
+                    (
+                        prog.inv_names[i.index()].clone(),
+                        prog.method_names[q.index()].clone(),
+                    )
+                })
+                .filter(|(i, _)| inv.as_deref().is_none_or(|want| want == i))
+                .collect();
+            edges.sort();
+            Ok(vec![
+                ("cached", Json::Bool(cached)),
+                (
+                    "edges",
+                    Json::Arr(
+                        edges
+                            .into_iter()
+                            .map(|(i, q)| Json::Arr(vec![Json::Str(i), Json::Str(q)]))
+                            .collect(),
+                    ),
+                ),
+            ])
+        }
+        Request::Reachable {
+            program,
+            config,
+            method,
+        } => {
+            let (result, cached, prog) = solve_with_program(shared, *program, config)?;
+            let mut fields: Fields = vec![("cached", Json::Bool(cached))];
+            match method {
+                Some(name) => {
+                    let m = resolve_method(&prog, name)?;
+                    fields.push(("reachable", Json::Bool(result.ci.reach.contains(&m))));
+                }
+                None => {
+                    let mut names: Vec<String> = result
+                        .ci
+                        .reach
+                        .iter()
+                        .map(|m| prog.method_names[m.index()].clone())
+                        .collect();
+                    names.sort();
+                    fields.push((
+                        "methods",
+                        Json::Arr(names.into_iter().map(Json::Str).collect()),
+                    ));
+                }
+            }
+            Ok(fields)
+        }
+        Request::Stats => Ok(stats_fields(shared)),
+        Request::Sleep { ms } => {
+            // Sleep in slices so shutdown and the deadline stay responsive.
+            let wake = started + Duration::from_millis(*ms);
+            while Instant::now() < wake {
+                if started.elapsed() > deadline {
+                    return Err(ProtoError::new(
+                        ErrorCode::DeadlineExceeded,
+                        format!("slept past the {deadline:?} deadline"),
+                    ));
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                thread::sleep(Duration::from_millis(
+                    20.min((wake - Instant::now()).as_millis() as u64).max(1),
+                ));
+            }
+            Ok(vec![("slept_ms", Json::uint(*ms))])
+        }
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            Ok(vec![("draining", Json::Bool(true))])
+        }
+    };
+    // Deadline accounting: work that completed past the deadline is
+    // reported as exceeded rather than returned late (the caller has
+    // already given up on it).
+    if result.is_ok() && started.elapsed() > deadline && !matches!(request, Request::Shutdown) {
+        return Err(ProtoError::new(
+            ErrorCode::DeadlineExceeded,
+            format!("request exceeded the {deadline:?} deadline"),
+        ));
+    }
+    result
+}
+
+fn load_fields(shared: &Shared, program: Program) -> Result<Fields, ProtoError> {
+    let stats = program.stats();
+    let (digest, _) = shared.db.load_program(program);
+    Ok(vec![
+        ("program", Json::str(digest_str(digest))),
+        ("methods", Json::int(stats.methods)),
+        ("vars", Json::int(stats.vars)),
+        ("heaps", Json::int(stats.heaps)),
+        ("invs", Json::int(stats.invs)),
+        ("input_facts", Json::int(stats.input_facts)),
+    ])
+}
+
+fn solve(
+    shared: &Shared,
+    digest: u64,
+    config: &AnalysisConfig,
+) -> Result<(Arc<AnalysisResult>, bool), ProtoError> {
+    shared.db.get_or_solve(digest, config).ok_or_else(|| {
+        ProtoError::new(
+            ErrorCode::UnknownProgram,
+            format!("no loaded program has digest {}", digest_str(digest)),
+        )
+    })
+}
+
+fn solve_with_program(
+    shared: &Shared,
+    digest: u64,
+    config: &AnalysisConfig,
+) -> Result<(Arc<AnalysisResult>, bool, Arc<Program>), ProtoError> {
+    let program = shared.db.program(digest).ok_or_else(|| {
+        ProtoError::new(
+            ErrorCode::UnknownProgram,
+            format!("no loaded program has digest {}", digest_str(digest)),
+        )
+    })?;
+    let (result, cached) = solve(shared, digest, config)?;
+    Ok((result, cached, program))
+}
+
+fn points_to(
+    shared: &Shared,
+    digest: u64,
+    config: &AnalysisConfig,
+    var: &VarRef,
+    demand: bool,
+) -> Result<Fields, ProtoError> {
+    if demand {
+        if config.abstraction != AbstractionKind::Insensitive {
+            return Err(ProtoError::new(
+                ErrorCode::BadRequest,
+                "demand mode answers context-insensitive queries only",
+            ));
+        }
+        let program = shared.db.program(digest).ok_or_else(|| {
+            ProtoError::new(
+                ErrorCode::UnknownProgram,
+                format!("no loaded program has digest {}", digest_str(digest)),
+            )
+        })?;
+        let v = resolve_var(&program, var)?;
+        let answer = demand_points_to(&program, v)
+            .map_err(|e| ProtoError::new(ErrorCode::Internal, e.to_string()))?;
+        let heaps: Vec<Json> = answer
+            .points_to
+            .iter()
+            .map(|h| Json::str(&*program.heap_names[h.index()]))
+            .collect();
+        return Ok(vec![
+            ("cached", Json::Bool(false)),
+            ("demand", Json::Bool(true)),
+            ("heaps", Json::Arr(heaps)),
+            ("derived_tuples", Json::int(answer.derived_tuples)),
+            ("derivations", Json::int(answer.derivations)),
+        ]);
+    }
+    let (result, cached, program) = solve_with_program(shared, digest, config)?;
+    let v = resolve_var(&program, var)?;
+    let heaps: Vec<Json> = result
+        .ci
+        .points_to(v)
+        .iter()
+        .map(|h| Json::str(&*program.heap_names[h.index()]))
+        .collect();
+    Ok(vec![
+        ("cached", Json::Bool(cached)),
+        ("heaps", Json::Arr(heaps)),
+    ])
+}
+
+fn resolve_method(program: &Program, name: &str) -> Result<ctxform_ir::Method, ProtoError> {
+    program
+        .method_names
+        .iter()
+        .position(|n| n == name)
+        .map(ctxform_ir::Method::from_index)
+        .ok_or_else(|| {
+            ProtoError::new(
+                ErrorCode::UnknownMethod,
+                format!("no method named `{name}`"),
+            )
+        })
+}
+
+fn resolve_var(program: &Program, var: &VarRef) -> Result<Var, ProtoError> {
+    let method = resolve_method(program, &var.method)?;
+    (0..program.var_count())
+        .find(|&i| program.var_method[i] == method && program.var_names[i] == var.var)
+        .map(Var::from_index)
+        .ok_or_else(|| {
+            ProtoError::new(
+                ErrorCode::UnknownVar,
+                format!("no variable `{}` in `{}`", var.var, var.method),
+            )
+        })
+}
+
+fn stats_fields(shared: &Shared) -> Fields {
+    let cache = shared.db.snapshot();
+    let queue_len = shared.queue.lock().unwrap().len();
+    vec![
+        ("uptime_ms", Json::ms(shared.metrics.uptime_ms())),
+        ("threads", Json::int(shared.config.threads)),
+        ("queue_depth", Json::int(shared.config.queue_depth)),
+        ("queued", Json::int(queue_len)),
+        ("endpoints", shared.metrics.to_json()),
+        (
+            "cache",
+            Json::obj([
+                ("entries", Json::int(cache.entries)),
+                ("bytes", Json::int(cache.bytes)),
+                ("budget", Json::int(cache.budget)),
+                ("hits", Json::uint(cache.hits)),
+                ("misses", Json::uint(cache.misses)),
+                ("evictions", Json::uint(cache.evictions)),
+                ("programs", Json::int(cache.programs)),
+            ]),
+        ),
+    ]
+}

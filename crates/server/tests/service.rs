@@ -1,0 +1,489 @@
+//! End-to-end tests of the query service over real TCP connections on
+//! ephemeral ports: answer parity with direct `analyze` calls, cache
+//! behaviour, malformed-input and overload replies, per-request
+//! deadlines, loadgen under concurrency, and graceful shutdown.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use ctxform::{analyze, AnalysisConfig};
+use ctxform_minijava::{compile, corpus};
+use ctxform_server::client::{loadgen, Client, LoadGenConfig};
+use ctxform_server::json::Json;
+use ctxform_server::server::{start, ServerConfig, ServerHandle};
+
+fn test_server(configure: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
+    let mut config = ServerConfig {
+        port: 0,
+        threads: 4,
+        queue_depth: 16,
+        cache_bytes: 64 << 20,
+        deadline: Duration::from_secs(10),
+    };
+    configure(&mut config);
+    start(config).expect("bind ephemeral port")
+}
+
+fn points_to_req(digest: &str, label: &str, method: &str, var: &str) -> Json {
+    Json::obj([
+        ("op", Json::str("points_to")),
+        ("program", Json::str(digest)),
+        ("abstraction", Json::str("tstring")),
+        ("sensitivity", Json::str(label)),
+        ("method", Json::str(method)),
+        ("var", Json::str(var)),
+    ])
+}
+
+fn str_arr(reply: &Json, key: &str) -> Vec<String> {
+    reply
+        .get(key)
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("missing `{key}` in {}", reply.to_line()))
+        .iter()
+        .map(|v| v.as_str().unwrap().to_owned())
+        .collect()
+}
+
+/// Every query endpoint must answer exactly what a direct `analyze` call
+/// answers, for every corpus program and every variable.
+#[test]
+fn server_answers_equal_direct_analyze() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let label = "2-object+H";
+    let config = AnalysisConfig::transformer_strings(label.parse().unwrap());
+
+    for (name, source) in corpus::all() {
+        let module = compile(source).unwrap();
+        let direct = analyze(&module.program, &config);
+        let program = &module.program;
+        let digest = client.load_source(source).unwrap();
+
+        // points_to: every variable.
+        for v in 0..program.var_count() {
+            let var = ctxform_ir::Var::from_index(v);
+            let method = &program.method_names[program.var_method[v].index()];
+            let reply = client
+                .request(&points_to_req(
+                    &digest,
+                    label,
+                    method,
+                    &program.var_names[v],
+                ))
+                .unwrap();
+            let got = str_arr(&reply, "heaps");
+            let want: Vec<String> = direct
+                .ci
+                .points_to(var)
+                .iter()
+                .map(|h| program.heap_names[h.index()].clone())
+                .collect();
+            assert_eq!(got, want, "{name}: points_to({})", program.var_names[v]);
+        }
+
+        // may_alias: spot-check the first few variable pairs.
+        for a in 0..program.var_count().min(4) {
+            for b in 0..program.var_count().min(4) {
+                let (va, vb) = (
+                    ctxform_ir::Var::from_index(a),
+                    ctxform_ir::Var::from_index(b),
+                );
+                let reply = client
+                    .request(&Json::obj([
+                        ("op", Json::str("may_alias")),
+                        ("program", Json::str(digest.clone())),
+                        ("abstraction", Json::str("tstring")),
+                        ("sensitivity", Json::str(label)),
+                        (
+                            "method_a",
+                            Json::str(&*program.method_names[program.var_method[a].index()]),
+                        ),
+                        ("var_a", Json::str(&*program.var_names[a])),
+                        (
+                            "method_b",
+                            Json::str(&*program.method_names[program.var_method[b].index()]),
+                        ),
+                        ("var_b", Json::str(&*program.var_names[b])),
+                    ]))
+                    .unwrap();
+                assert_eq!(
+                    reply.get("may_alias").unwrap().as_bool(),
+                    Some(direct.ci.may_alias(va, vb)),
+                    "{name}: may_alias({a}, {b})"
+                );
+            }
+        }
+
+        // call_edges: the full resolved call graph.
+        let reply = client
+            .request(&Json::obj([
+                ("op", Json::str("call_edges")),
+                ("program", Json::str(digest.clone())),
+                ("abstraction", Json::str("tstring")),
+                ("sensitivity", Json::str(label)),
+            ]))
+            .unwrap();
+        let mut want: Vec<(String, String)> = direct
+            .ci
+            .call
+            .iter()
+            .map(|&(i, q)| {
+                (
+                    program.inv_names[i.index()].clone(),
+                    program.method_names[q.index()].clone(),
+                )
+            })
+            .collect();
+        want.sort();
+        let got: Vec<(String, String)> = reply
+            .get("edges")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|e| {
+                let pair = e.as_arr().unwrap();
+                (
+                    pair[0].as_str().unwrap().to_owned(),
+                    pair[1].as_str().unwrap().to_owned(),
+                )
+            })
+            .collect();
+        assert_eq!(got, want, "{name}: call_edges");
+
+        // reachable: the method set.
+        let reply = client
+            .request(&Json::obj([
+                ("op", Json::str("reachable")),
+                ("program", Json::str(digest.clone())),
+                ("abstraction", Json::str("tstring")),
+                ("sensitivity", Json::str(label)),
+            ]))
+            .unwrap();
+        let mut want: Vec<String> = direct
+            .ci
+            .reach
+            .iter()
+            .map(|m| program.method_names[m.index()].clone())
+            .collect();
+        want.sort();
+        assert_eq!(str_arr(&reply, "methods"), want, "{name}: reachable");
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+/// The demand-driven path and a fact-file load agree with the exhaustive
+/// context-insensitive answer.
+#[test]
+fn demand_and_fact_file_paths_agree() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let module = compile(corpus::BOX).unwrap();
+    let direct = analyze(&module.program, &AnalysisConfig::insensitive());
+    let program = &module.program;
+
+    // The same program through the fact-file path lands on the same digest.
+    let digest = client.load_source(corpus::BOX).unwrap();
+    let facts = ctxform_ir::text::emit(program);
+    let reply = client
+        .request(&Json::obj([
+            ("op", Json::str("load_facts")),
+            ("facts", Json::str(facts)),
+        ]))
+        .unwrap();
+    assert_eq!(reply.get("program").unwrap().as_str(), Some(&*digest));
+
+    for v in 0..program.var_count() {
+        let var = ctxform_ir::Var::from_index(v);
+        let method = &program.method_names[program.var_method[v].index()];
+        let reply = client
+            .request(&Json::obj([
+                ("op", Json::str("points_to")),
+                ("program", Json::str(digest.clone())),
+                ("method", Json::str(&**method)),
+                ("var", Json::str(&*program.var_names[v])),
+                ("demand", Json::Bool(true)),
+            ]))
+            .unwrap();
+        assert_eq!(reply.get("demand").unwrap().as_bool(), Some(true));
+        let want: Vec<String> = direct
+            .ci
+            .points_to(var)
+            .iter()
+            .map(|h| program.heap_names[h.index()].clone())
+            .collect();
+        assert_eq!(
+            str_arr(&reply, "heaps"),
+            want,
+            "demand {}",
+            program.var_names[v]
+        );
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+/// A repeated query is answered from cache: `cached` flips to true, the
+/// hit counter increments, and no second solve happens.
+/// The `(method, var)` names of the program's first variable — a query
+/// target that exists in every corpus program.
+fn first_var(program: &ctxform_ir::Program) -> (String, String) {
+    (
+        program.method_names[program.var_method[0].index()].clone(),
+        program.var_names[0].clone(),
+    )
+}
+
+#[test]
+fn repeated_query_hits_the_cache() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let digest = client.load_source(corpus::LIST).unwrap();
+    let (method, var) = first_var(&compile(corpus::LIST).unwrap().program);
+    let analyze_req = Json::obj([
+        ("op", Json::str("analyze")),
+        ("program", Json::str(digest.clone())),
+        ("abstraction", Json::str("tstring")),
+        ("sensitivity", Json::str("2-object+H")),
+    ]);
+    let first = client.request(&analyze_req).unwrap();
+    assert_eq!(first.get("cached").unwrap().as_bool(), Some(false));
+    let second = client.request(&analyze_req).unwrap();
+    assert_eq!(second.get("cached").unwrap().as_bool(), Some(true));
+    // Identical counts from the cached database.
+    assert_eq!(
+        first.get("total").unwrap().as_u64(),
+        second.get("total").unwrap().as_u64()
+    );
+
+    // A point query on the same (program, config) also hits the cache.
+    let reply = client
+        .request(&points_to_req(&digest, "2-object+H", &method, &var))
+        .unwrap();
+    assert_eq!(reply.get("cached").unwrap().as_bool(), Some(true));
+
+    let stats = client
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1), "one solve");
+    assert!(cache.get("hits").unwrap().as_u64().unwrap() >= 2);
+    assert_eq!(cache.get("entries").unwrap().as_u64(), Some(1));
+
+    server.shutdown();
+    server.join();
+}
+
+/// Malformed and invalid requests get typed error replies, not hangups.
+#[test]
+fn malformed_and_invalid_requests_get_error_replies() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let digest = client.load_source(corpus::BOX).unwrap();
+
+    let cases: Vec<(String, &str)> = vec![
+        ("this is not json\n".into(), "bad_request"),
+        ("[1, 2, 3]\n".into(), "bad_request"),
+        ("{\"op\": \"warp\"}\n".into(), "bad_request"),
+        (
+            "{\"op\": \"load_source\", \"source\": \"class { nope\"}\n".into(),
+            "compile_error",
+        ),
+        (
+            "{\"op\": \"load_facts\", \"facts\": \"frobnicate 1\"}\n".into(),
+            "fact_error",
+        ),
+        (
+            "{\"op\": \"analyze\", \"program\": \"00000000deadbeef\"}\n".into(),
+            "unknown_program",
+        ),
+        (
+            format!(
+                "{{\"op\": \"points_to\", \"program\": \"{digest}\", \"method\": \"No.such\", \"var\": \"x\"}}\n"
+            ),
+            "unknown_method",
+        ),
+        (
+            format!(
+                "{{\"op\": \"points_to\", \"program\": \"{digest}\", \"method\": \"Main.main\", \"var\": \"nope\"}}\n"
+            ),
+            "unknown_var",
+        ),
+    ];
+    for (line, want_code) in cases {
+        let reply = client.request_raw(&line).unwrap();
+        assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false), "{line}");
+        assert_eq!(
+            reply.get("error").unwrap().as_str(),
+            Some(want_code),
+            "{line}"
+        );
+    }
+
+    // The connection is still usable after every error.
+    let reply = client
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    assert!(reply.get("endpoints").is_some());
+
+    server.shutdown();
+    server.join();
+}
+
+/// With one worker and a queue depth of one, a slow request plus a queued
+/// connection forces the next arrival to be rejected with `overloaded`.
+#[test]
+fn overload_is_rejected_explicitly() {
+    let server = test_server(|c| {
+        c.threads = 1;
+        c.queue_depth = 1;
+    });
+    let addr = server.addr();
+
+    // Occupy the single worker.
+    let busy = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client
+            .request(&Json::obj([
+                ("op", Json::str("sleep")),
+                ("ms", Json::int(800)),
+            ]))
+            .unwrap()
+    });
+    std::thread::sleep(Duration::from_millis(150));
+    // Fill the queue with an idle connection.
+    let _queued = Client::connect(addr).unwrap();
+    std::thread::sleep(Duration::from_millis(150));
+
+    // Subsequent arrivals must be turned away with a reply, not left
+    // hanging. Accept-loop scheduling makes exactly which arrival is
+    // rejected timing-dependent, so probe a few.
+    let mut saw_overloaded = false;
+    for _ in 0..5 {
+        let mut probe = Client::connect(addr).unwrap();
+        if let Ok(reply) = probe.read_reply() {
+            assert_eq!(reply.get("error").unwrap().as_str(), Some("overloaded"));
+            saw_overloaded = true;
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    assert!(saw_overloaded, "no arrival was rejected as overloaded");
+
+    // The slow request still completes: overload rejection did not break
+    // in-flight work.
+    let reply = busy.join().unwrap();
+    assert_eq!(reply.get("slept_ms").unwrap().as_u64(), Some(800));
+
+    server.shutdown();
+    server.join();
+}
+
+/// Work finishing past the configured deadline is answered with
+/// `deadline_exceeded`.
+#[test]
+fn deadline_is_enforced() {
+    let server = test_server(|c| c.deadline = Duration::from_millis(100));
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply = client
+        .request_raw("{\"op\": \"sleep\", \"ms\": 600}\n")
+        .unwrap();
+    assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(
+        reply.get("error").unwrap().as_str(),
+        Some("deadline_exceeded")
+    );
+    // A fast request on the same connection still succeeds.
+    let reply = client
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    assert!(reply.get("uptime_ms").is_some());
+    server.shutdown();
+    server.join();
+}
+
+/// Loadgen with 8 concurrent connections completes with zero protocol
+/// errors, and shutdown drains in-flight requests before the daemon exits.
+#[test]
+fn loadgen_runs_clean_and_shutdown_drains() {
+    let server = test_server(|c| c.threads = 4);
+    let addr = server.addr();
+    let report = loadgen(
+        addr,
+        &LoadGenConfig {
+            connections: 8,
+            duration: Duration::from_millis(1200),
+            sensitivity: "2-object+H".into(),
+        },
+    )
+    .expect("loadgen setup");
+    assert_eq!(report.errors, 0, "protocol errors under concurrency");
+    assert!(
+        report.requests > 8,
+        "only {} requests completed",
+        report.requests
+    );
+    assert!(report.latency_ms.3 >= report.latency_ms.0);
+
+    // Graceful shutdown while a slow request is in flight: the sleeper
+    // must still get its reply (drain), and join must return.
+    let sleeper = std::thread::spawn(move || {
+        let mut client = Client::connect(addr).unwrap();
+        client.request_raw("{\"op\": \"sleep\", \"ms\": 400}\n")
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    let mut client = Client::connect(addr).unwrap();
+    let reply = client
+        .request(&Json::obj([("op", Json::str("shutdown"))]))
+        .unwrap();
+    assert_eq!(reply.get("draining").unwrap().as_bool(), Some(true));
+    let slept = sleeper.join().unwrap().expect("in-flight request drained");
+    assert_eq!(slept.get("ok").unwrap().as_bool(), Some(true));
+
+    let report = server.join();
+    assert!(report.contains("served"), "shutdown report: {report}");
+
+    // The daemon is really gone: new connections fail or get no service.
+    std::thread::sleep(Duration::from_millis(100));
+    let alive = Client::connect(addr)
+        .ok()
+        .map(|mut c| c.request(&Json::obj([("op", Json::str("stats"))])).is_ok())
+        .unwrap_or(false);
+    assert!(!alive, "server still answering after join");
+}
+
+/// Concurrent clients issuing the same cold query coalesce onto one solve.
+#[test]
+fn concurrent_cold_queries_solve_once() {
+    let server = test_server(|_| {});
+    let addr = server.addr();
+    let mut setup = Client::connect(addr).unwrap();
+    let digest = Arc::new(setup.load_source(corpus::DISPATCH).unwrap());
+    let (method, var) = first_var(&compile(corpus::DISPATCH).unwrap().program);
+    let target = Arc::new((method, var));
+    let mut handles = Vec::new();
+    for _ in 0..6 {
+        let digest = digest.clone();
+        let target = target.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).unwrap();
+            client
+                .request(&points_to_req(&digest, "2-object+H", &target.0, &target.1))
+                .unwrap()
+        }));
+    }
+    for h in handles {
+        h.join().unwrap();
+    }
+    let stats = setup
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1), "one solve");
+    server.shutdown();
+    server.join();
+}

@@ -1,0 +1,107 @@
+//! Error-path coverage of the `ctxform_ir::text` fact-file parser plus a
+//! parse∘emit round-trip property over random synthesized programs.
+
+use ctxform_ir::text::{emit, parse};
+use ctxform_ir::IrError;
+use ctxform_minijava::compile;
+use ctxform_synth::random_program;
+
+/// Asserts that `input` fails with `IrError::Parse` on `line` and that the
+/// message mentions `needle`.
+fn assert_parse_error(input: &str, line: usize, needle: &str) {
+    match parse(input) {
+        Err(IrError::Parse { line: got, message }) => {
+            assert_eq!(got, line, "wrong line for {input:?}: {message}");
+            assert!(
+                message.contains(needle),
+                "message {message:?} does not mention {needle:?} for {input:?}"
+            );
+        }
+        other => panic!("expected a parse error for {input:?}, got {other:?}"),
+    }
+}
+
+#[test]
+fn truncated_lines_are_parse_errors() {
+    // A keyword with no arguments at all.
+    assert_parse_error("type", 1, "expected arguments");
+    assert_parse_error("method", 1, "expected arguments");
+    // A declaration missing its name component.
+    assert_parse_error("var 0", 1, "expected `<head> <name>`");
+    assert_parse_error("heap 3", 1, "expected `<head> <name>`");
+    // A fact with a relation name but too few arguments.
+    assert_parse_error("fact assign 1", 1, "expects 2 arguments");
+    assert_parse_error("fact store 1 2", 1, "expects 3 arguments");
+    // Too many arguments is also an arity error, not silent truncation.
+    assert_parse_error("fact assign 1 2 3", 1, "expects 2 arguments");
+    // A bare `fact` with nothing after it (trailing space is trimmed, so
+    // this reports a missing-arguments error rather than a missing
+    // relation name).
+    assert_parse_error("fact ", 1, "expected arguments");
+}
+
+#[test]
+fn unknown_names_are_parse_errors() {
+    assert_parse_error("frobnicate 1 2", 1, "unknown keyword");
+    assert_parse_error("fact frobnicate 1 2", 1, "unknown relation");
+    // Errors report the 1-based physical line, counting comments/blanks.
+    assert_parse_error("# header\n\ntype - Object\nwarp 1\n", 4, "unknown keyword");
+}
+
+#[test]
+fn non_numeric_ids_are_parse_errors() {
+    assert_parse_error("type x Object", 1, "expected a number");
+    assert_parse_error("var x name", 1, "expected a number");
+    assert_parse_error("entry x", 1, "expected a number");
+    assert_parse_error("fact assign one 2", 1, "expected a number");
+    // Negative ids are not u32s.
+    assert_parse_error("entry -1", 1, "expected a number");
+}
+
+#[test]
+fn out_of_range_ids_fail_validation() {
+    // Syntactically fine, semantically dangling: method 7 does not exist.
+    let text = "type - Object\nmethod 0 Main.main\nentry 7\n";
+    match parse(text) {
+        Err(IrError::UnknownEntity { index, .. }) => assert_eq!(index, 7),
+        other => panic!("expected UnknownEntity, got {other:?}"),
+    }
+    // A fact referencing a variable past the declared table.
+    let text = "type - Object\nmethod 0 Main.main\nentry 0\nvar 0 x\nfact assign 0 9\n";
+    assert!(
+        matches!(parse(text), Err(IrError::UnknownEntity { .. })),
+        "dangling var id must fail validation"
+    );
+}
+
+/// parse ∘ emit is the identity on every compiled random program, and
+/// emit ∘ parse is the identity on the emitted text (idempotence).
+#[test]
+fn emit_parse_round_trips_random_programs() {
+    for seed in 0..24u64 {
+        let source = random_program(seed, 1);
+        let program = compile(&source)
+            .unwrap_or_else(|e| panic!("seed {seed}: synthesized source must compile: {e}"))
+            .program;
+        let text = emit(&program);
+        let reparsed =
+            parse(&text).unwrap_or_else(|e| panic!("seed {seed}: emitted text must parse: {e}"));
+        assert_eq!(reparsed, program, "seed {seed}: parse(emit(p)) != p");
+        assert_eq!(
+            emit(&reparsed),
+            text,
+            "seed {seed}: emit is not stable across a round trip"
+        );
+    }
+}
+
+/// The corpus programs round-trip too (they exercise naming patterns the
+/// generator does not, e.g. spaces never appear in synth names).
+#[test]
+fn emit_parse_round_trips_corpus() {
+    for (name, source) in ctxform_minijava::corpus::all() {
+        let program = compile(source).unwrap().program;
+        let reparsed = parse(&emit(&program)).unwrap();
+        assert_eq!(reparsed, program, "{name}: parse(emit(p)) != p");
+    }
+}
