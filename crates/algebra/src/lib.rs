@@ -50,6 +50,6 @@ pub use abstraction::{Abstraction, BoundaryMode, CStrings, Insensitive, Limits, 
 pub use cstring::CPair;
 pub use elem::CtxtElem;
 pub use flavour::{Flavour, Levels, MergeSite, Sensitivity, SensitivityError};
-pub use interner::{CtxtInterner, CtxtStr, RevElems};
+pub use interner::{CtxtInterner, CtxtStr, NeedsIntern, RevElems};
 pub use tstring::TStr;
 pub use word::{Letter, Sem, Word};

@@ -33,7 +33,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: analyze <program.mj|facts.txt> [--config LABEL] \
              [--abstraction cstring|tstring|ci] [--naive] [--subsumption] \
-             [--query Method::var]..."
+             [--threads N] [--query Method::var]..."
         );
         return ExitCode::FAILURE;
     };
@@ -41,10 +41,18 @@ fn main() -> ExitCode {
     let mut kind = AbstractionKind::TransformerStrings;
     let mut naive = false;
     let mut subsumption = false;
+    let mut threads = 1usize;
     let mut queries: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--config" => label = args.next().expect("--config needs a label"),
+            // 0 = auto-detect; results are identical for every value.
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a non-negative integer")
+            }
             "--abstraction" => {
                 kind = match args.next().as_deref() {
                     Some("cstring") => AbstractionKind::ContextStrings,
@@ -95,6 +103,7 @@ fn main() -> ExitCode {
     if subsumption {
         config = config.with_subsumption();
     }
+    config = config.with_threads(threads);
     println!("program: {}", program.stats());
     let result = analyze(&program, &config);
     println!("{config}:");

@@ -3,12 +3,15 @@
 //!
 //! ```text
 //! cargo run --release -p ctxform-bench --bin regress -- \
-//!     [--scale N] [--repeat N] [--bench NAME] [--out PATH]
+//!     [--scale N] [--repeat N] [--threads N] [--bench NAME] [--out PATH]
 //! ```
 //!
 //! Each run records, per benchmark and per Figure 6 configuration, for both
 //! abstractions plus a subsumption-enabled transformer-string cell
-//! (`tstring_subs`, which exercises the solver's subsume-memo counters):
+//! (`tstring_subs`, which exercises the solver's subsume-memo counters)
+//! and a frontier-parallel transformer-string cell (`tstring_par`, solved
+//! with `--threads` workers — default 4 — whose CI digest is asserted
+//! equal to the serial `tstring` cell before the file is written):
 //! context-sensitive fact counts, solver wall time, the
 //! probe/compose/memo counters from [`ctxform::SolverStats`], the interner
 //! size, and an order-independent Fx digest of the context-insensitive
@@ -73,6 +76,10 @@ fn run_json(r: &AnalysisResult) -> Json {
         ("subsumed_dropped", Json::uint(s.subsumed_dropped)),
         ("subsumed_retired", Json::uint(s.subsumed_retired)),
         ("interned_contexts", Json::int(s.interned_contexts)),
+        ("threads_used", Json::int(s.threads_used)),
+        ("par_rounds", Json::int(s.par_rounds)),
+        ("par_frontier_peak", Json::int(s.par_frontier_peak)),
+        ("par_deferred", Json::uint(s.par_deferred)),
         (
             "ci",
             Json::obj([
@@ -138,6 +145,10 @@ fn next_bench_path() -> String {
 fn main() {
     let mut scale = 20usize;
     let mut repeat = 3usize;
+    // Width of the `tstring_par` cell. Defaults to 4 rather than auto so
+    // the frontier-parallel engine is exercised even on one-core CI boxes
+    // (oversubscription cannot change answers, only latency).
+    let mut threads = 4usize;
     let mut only: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
@@ -156,10 +167,19 @@ fn main() {
                     .filter(|&n| n >= 1)
                     .expect("--repeat needs a positive integer");
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--threads needs a positive integer");
+            }
             "--bench" => only = Some(args.next().expect("--bench needs a name")),
             "--out" => out_path = Some(args.next().expect("--out needs a path")),
             "--help" | "-h" => {
-                eprintln!("usage: regress [--scale N] [--repeat N] [--bench NAME] [--out PATH]");
+                eprintln!(
+                    "usage: regress [--scale N] [--repeat N] [--threads N] [--bench NAME] [--out PATH]"
+                );
                 return;
             }
             other => panic!("unknown argument `{other}`"),
@@ -204,12 +224,30 @@ fn main() {
                 &AnalysisConfig::transformer_strings(*s).with_subsumption(),
                 repeat,
             );
+            let t_par = best_of(
+                &program,
+                &AnalysisConfig::transformer_strings(*s).with_threads(threads),
+                repeat,
+            );
             // Subsumption prunes redundant context-sensitive tuples but
             // must never change the CI answer.
             assert_eq!(
                 ci_digest(&t_subs),
                 ci_digest(&t),
                 "{s}: subsumption changed the CI facts"
+            );
+            // The frontier-parallel engine must be bit-identical to the
+            // serial one: same CI digest and same fact counts, for every
+            // thread count.
+            assert_eq!(
+                ci_digest(&t_par),
+                ci_digest(&t),
+                "{s}: parallel engine changed the CI facts"
+            );
+            assert_eq!(
+                t_par.stats.total(),
+                t.stats.total(),
+                "{s}: parallel engine changed the cs-fact counts"
             );
             if s.to_string() == "2-object+H" {
                 cstring_2objh_ms += c.stats.duration.as_secs_f64() * 1000.0;
@@ -221,6 +259,7 @@ fn main() {
                     ("cstring", run_json(&c)),
                     ("tstring", run_json(&t)),
                     ("tstring_subs", run_json(&t_subs)),
+                    ("tstring_par", run_json(&t_par)),
                 ]),
             ));
         }
@@ -239,9 +278,10 @@ fn main() {
     let path = out_path.unwrap_or_else(next_bench_path);
     let benchmark_count = bench_objs.len();
     let doc = Json::obj([
-        ("schema", Json::str("ctxform-regress/2")),
+        ("schema", Json::str("ctxform-regress/3")),
         ("scale", Json::int(scale)),
         ("repeat", Json::int(repeat)),
+        ("par_threads", Json::int(threads)),
         (
             "harness_ms",
             Json::ms(started.elapsed().as_secs_f64() * 1000.0),

@@ -62,6 +62,12 @@ pub struct AnalysisConfig {
     /// functions of their handles). On by default; disable for the
     /// memoization-parity tests and ablation runs.
     pub memoize: bool,
+    /// Solver worker threads: `0` picks `std::thread::available_parallelism`
+    /// (the default), `1` runs the exact legacy single-threaded delta loop,
+    /// and `n > 1` runs the round-based frontier-parallel engine with `n`
+    /// workers. The derived facts and `ci_digest` are bit-identical for
+    /// every thread count.
+    pub threads: usize,
 }
 
 impl AnalysisConfig {
@@ -101,6 +107,26 @@ impl AnalysisConfig {
             collapse_insensitive_heap: true,
             record_facts: false,
             memoize: true,
+            threads: 0,
+        }
+    }
+
+    /// Returns a copy with an explicit solver thread count (`0` = auto,
+    /// `1` = legacy single-threaded path).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The thread count this configuration resolves to on this machine:
+    /// `threads` itself unless it is `0` (auto), in which case
+    /// `std::thread::available_parallelism` decides.
+    pub fn effective_threads(&self) -> usize {
+        match self.threads {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
         }
     }
 
@@ -169,6 +195,17 @@ mod tests {
         assert!(cfg.record_facts);
         assert!(cfg.memoize, "memoization is on by default");
         assert!(!cfg.without_memoization().memoize);
+    }
+
+    #[test]
+    fn threads_knob_defaults_to_auto() {
+        let s: Sensitivity = "1-call".parse().unwrap();
+        let cfg = AnalysisConfig::transformer_strings(s);
+        assert_eq!(cfg.threads, 0, "auto by default");
+        assert!(cfg.effective_threads() >= 1);
+        assert_eq!(cfg.with_threads(4).threads, 4);
+        assert_eq!(cfg.with_threads(4).effective_threads(), 4);
+        assert_eq!(cfg.with_threads(1).effective_threads(), 1);
     }
 
     #[test]

@@ -47,6 +47,16 @@ pub struct SolverStats {
     /// Distinct context strings interned by the end of the run
     /// (including ε).
     pub interned_contexts: usize,
+    /// Worker threads the solve actually ran with (1 = legacy path).
+    pub threads_used: usize,
+    /// Frontier rounds executed by the parallel engine (0 on the legacy
+    /// path, which has no round structure).
+    pub par_rounds: usize,
+    /// Largest frontier (deltas drained into one round).
+    pub par_frontier_peak: usize,
+    /// Candidate derivations deferred from workers to the sequential
+    /// merge phase because they needed to intern a new context string.
+    pub par_deferred: u64,
     /// Wall-clock solving time.
     pub duration: Duration,
     /// Transformer-configuration histogram (`x*w?e*` tags of §7) over the
@@ -89,6 +99,12 @@ impl SolverStats {
             self.subsumed_dropped, self.subsumed_retired
         ));
         out.push_str(&format!("  interned ctxts:   {}\n", self.interned_contexts));
+        if self.threads_used > 1 {
+            out.push_str(&format!(
+                "  parallelism:      {} threads, {} rounds, peak frontier {}, {} deferred\n",
+                self.threads_used, self.par_rounds, self.par_frontier_peak, self.par_deferred
+            ));
+        }
         out.push_str(&format!("  time:             {:?}\n", self.duration));
         out
     }

@@ -31,6 +31,8 @@
 //! * All maps and sets use the Fx hasher ([`ctxform_hash`]) — the keys are
 //!   small trusted `Copy` tuples, the exact case Fx is built for.
 
+mod frontier;
+
 use std::mem;
 use std::time::Instant;
 
@@ -43,11 +45,17 @@ use crate::config::AnalysisConfig;
 use crate::result::{AnalysisResult, CiFacts, LoggedFact, SolverStats};
 
 /// Runs the analysis with the given abstraction instance.
+///
+/// `config.threads` picks the engine: `1` (or an auto resolution of 1)
+/// runs the legacy one-delta-at-a-time loop; more threads run the
+/// round-based frontier-parallel engine in [`frontier`]. Both produce the
+/// identical fact sets, so the choice is purely a wall-clock one.
 pub(crate) fn run<A: Abstraction>(
     program: &Program,
     abs: A,
     config: AnalysisConfig,
 ) -> AnalysisResult {
+    let threads = config.effective_threads();
     let ix = program.index();
     let levels = abs
         .sensitivity()
@@ -92,7 +100,11 @@ pub(crate) fn run<A: Abstraction>(
         stats: SolverStats::default(),
         log: Vec::new(),
     };
-    solver.solve()
+    if threads > 1 {
+        solver.solve_parallel(threads)
+    } else {
+        solver.solve()
+    }
 }
 
 /// A join index: facts grouped per key, boundary-indexed within each
@@ -185,9 +197,8 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         }
     }
 
-    fn solve(mut self) -> AnalysisResult {
-        let start = Instant::now();
-        // Entry rule.
+    /// Entry rule: seed `reach(main, [entry])` for every entry point.
+    fn seed_entry(&mut self) {
         let entry_ctx = {
             let interner = self.abs.interner_mut();
             interner.from_slice(&[CtxtElem::entry()])
@@ -196,6 +207,12 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         for &main in &program.entry_points {
             self.insert_reach(main, entry_ctx, "Entry");
         }
+    }
+
+    fn solve(mut self) -> AnalysisResult {
+        let start = Instant::now();
+        self.stats.threads_used = 1;
+        self.seed_entry();
         loop {
             if let Some((p, m)) = self.q_reach.pop() {
                 self.stats.events += 1;

@@ -1,9 +1,14 @@
 //! `ctxform-serve` — the analysis daemon.
 //!
 //! ```text
-//! ctxform-serve [--port N] [--threads N] [--queue N] [--cache-mb N]
-//!               [--deadline-ms N] [--port-file PATH]
+//! ctxform-serve [--port N] [--threads N] [--solver-threads N] [--queue N]
+//!               [--cache-mb N] [--deadline-ms N] [--port-file PATH]
 //! ```
+//!
+//! `--threads` sizes the request-worker pool; `--solver-threads` sets the
+//! default frontier-parallel solver width for requests that do not pick
+//! one (`0` = auto-detect). Results are bit-identical for every solver
+//! width, so the flag only affects solve latency, never answers.
 //!
 //! Binds 127.0.0.1 (`--port 0` picks an ephemeral port and `--port-file`
 //! writes the chosen port for scripts), serves until a client sends the
@@ -30,6 +35,9 @@ fn main() {
         match arg.as_str() {
             "--port" => config.port = num(&mut args, "--port") as u16,
             "--threads" => config.threads = (num(&mut args, "--threads") as usize).max(1),
+            "--solver-threads" => {
+                config.solver_threads = num(&mut args, "--solver-threads") as usize
+            }
             "--queue" => config.queue_depth = (num(&mut args, "--queue") as usize).max(1),
             "--cache-mb" => config.cache_bytes = (num(&mut args, "--cache-mb") as usize) << 20,
             "--deadline-ms" => {
@@ -38,8 +46,8 @@ fn main() {
             "--port-file" => port_file = Some(args.next().expect("--port-file needs a path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ctxform-serve [--port N] [--threads N] [--queue N] \
-                     [--cache-mb N] [--deadline-ms N] [--port-file PATH]"
+                    "usage: ctxform-serve [--port N] [--threads N] [--solver-threads N] \
+                     [--queue N] [--cache-mb N] [--deadline-ms N] [--port-file PATH]"
                 );
                 return;
             }
@@ -50,8 +58,13 @@ fn main() {
     let handle = start(config).unwrap_or_else(|e| panic!("cannot bind port {}: {e}", config.port));
     let addr = handle.addr();
     eprintln!(
-        "ctxform-serve listening on {addr} ({} threads, queue {}, cache {} MiB, deadline {:?})",
+        "ctxform-serve listening on {addr} ({} threads, solver threads {}, queue {}, cache {} MiB, deadline {:?})",
         config.threads,
+        if config.solver_threads == 0 {
+            "auto".to_owned()
+        } else {
+            config.solver_threads.to_string()
+        },
         config.queue_depth,
         config.cache_bytes >> 20,
         config.deadline,

@@ -12,6 +12,8 @@
 //! performs exactly one solve.
 
 use std::collections::{HashMap, HashSet};
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -20,6 +22,28 @@ use ctxform_hash::fx_hash_one;
 use ctxform_ir::{text, Program};
 
 use crate::protocol::config_tag;
+
+type Key = (u64, String);
+
+/// Why [`DbManager::get_or_solve`] could not produce a database.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DbError {
+    /// No loaded program has the requested digest.
+    UnknownProgram,
+    /// The thread solving this key panicked; the message is the panic
+    /// payload. Coalesced waiters receive the same error instead of
+    /// hanging, and the next fresh request retries the solve.
+    SolveFailed(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::UnknownProgram => f.write_str("no loaded program has that digest"),
+            DbError::SolveFailed(msg) => write!(f, "analysis failed: {msg}"),
+        }
+    }
+}
 
 /// One resident solved database.
 struct Entry {
@@ -30,11 +54,60 @@ struct Entry {
 
 #[derive(Default)]
 struct CacheState {
-    entries: HashMap<(u64, String), Entry>,
+    entries: HashMap<Key, Entry>,
     /// Keys currently being solved by some thread.
-    pending: HashSet<(u64, String)>,
+    pending: HashSet<Key>,
+    /// Keys whose last solve panicked: the tick it failed at plus the
+    /// panic message. Waiters that entered before the failure observe it
+    /// and error out; a request entering *after* the failure clears the
+    /// record when it claims the key, so the solve is retried.
+    failed: HashMap<Key, (u64, String)>,
     bytes: usize,
     tick: u64,
+}
+
+/// Removes `key` from `pending` on drop, records the failure, and wakes
+/// all coalesced waiters. Armed for exactly the window where this thread
+/// owns the pending claim; disarmed once the claim has been handed over
+/// on the success path. This is what turns a panicking solve into
+/// [`DbError::SolveFailed`] for the waiters instead of a permanent hang.
+struct PendingGuard<'a> {
+    db: &'a DbManager,
+    key: Option<Key>,
+    message: String,
+}
+
+impl PendingGuard<'_> {
+    fn disarm(mut self) {
+        self.key = None;
+    }
+}
+
+impl Drop for PendingGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            let mut state = self.db.cache.lock().unwrap();
+            state.tick += 1;
+            let tick = state.tick;
+            state.pending.remove(&key);
+            state
+                .failed
+                .insert(key, (tick, std::mem::take(&mut self.message)));
+            drop(state);
+            self.db.solved.notify_all();
+        }
+    }
+}
+
+/// Renders a panic payload for [`DbError::SolveFailed`].
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "analysis panicked".to_owned()
+    }
 }
 
 /// A point-in-time view of the cache counters (for the `stats` endpoint).
@@ -56,12 +129,21 @@ pub struct CacheSnapshot {
     pub programs: usize,
 }
 
+/// Signature of the [`DbManager`] solve hook (test instrumentation).
+type SolveFn = dyn Fn(&Program, &AnalysisConfig) -> AnalysisResult + Send + Sync;
+
 /// The concurrent database manager.
 pub struct DbManager {
     programs: Mutex<HashMap<u64, Arc<Program>>>,
     cache: Mutex<CacheState>,
     solved: Condvar,
     budget: usize,
+    /// Default solver thread count for requests that leave `threads` at
+    /// auto (`0`); `0` defers to the analysis-level auto resolution.
+    solver_threads: usize,
+    /// When set, replaces the `analyze` call — test instrumentation for
+    /// injecting panics and latency into the solve path.
+    solve_hook: Option<Box<SolveFn>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -75,10 +157,29 @@ impl DbManager {
             cache: Mutex::new(CacheState::default()),
             solved: Condvar::new(),
             budget,
+            solver_threads: 0,
+            solve_hook: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Sets the default solver thread count applied to requests that do
+    /// not pick one explicitly (`0` keeps the per-analysis auto default).
+    pub fn with_solver_threads(mut self, threads: usize) -> Self {
+        self.solver_threads = threads;
+        self
+    }
+
+    /// Replaces the solve call — test instrumentation only (public so
+    /// integration tests outside the crate can inject panics).
+    #[doc(hidden)]
+    pub fn set_solve_hook<F>(&mut self, hook: F)
+    where
+        F: Fn(&Program, &AnalysisConfig) -> AnalysisResult + Send + Sync + 'static,
+    {
+        self.solve_hook = Some(Box::new(hook));
     }
 
     /// Registers a validated program, returning its content digest.
@@ -104,16 +205,24 @@ impl DbManager {
     /// once per key across all threads. The boolean is `true` when the
     /// answer came from cache.
     ///
-    /// Returns `None` when no program with `digest` is loaded.
+    /// # Errors
+    ///
+    /// [`DbError::UnknownProgram`] when no program with `digest` is loaded;
+    /// [`DbError::SolveFailed`] when the solve for this key panicked —
+    /// returned both by the solving caller and by every coalesced waiter
+    /// (which would previously block on the condvar forever, because the
+    /// panicking thread never cleared its pending claim).
     pub fn get_or_solve(
         &self,
         digest: u64,
         config: &AnalysisConfig,
-    ) -> Option<(Arc<AnalysisResult>, bool)> {
-        let program = self.program(digest)?;
+    ) -> Result<(Arc<AnalysisResult>, bool), DbError> {
+        let program = self.program(digest).ok_or(DbError::UnknownProgram)?;
         let key = (digest, config_tag(config));
         {
             let mut state = self.cache.lock().unwrap();
+            state.tick += 1;
+            let entered = state.tick;
             loop {
                 state.tick += 1;
                 let tick = state.tick;
@@ -121,18 +230,51 @@ impl DbManager {
                     entry.last_used = tick;
                     let result = entry.result.clone();
                     self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Some((result, true));
+                    return Ok((result, true));
+                }
+                if let Some(&(failed_at, ref msg)) = state.failed.get(&key) {
+                    // Only failures that happened while this request was
+                    // already waiting count: a stale record from before we
+                    // entered is cleared below and the solve retried.
+                    if failed_at >= entered {
+                        return Err(DbError::SolveFailed(msg.clone()));
+                    }
                 }
                 if state.pending.contains(&key) {
                     state = self.solved.wait(state).unwrap();
                 } else {
+                    state.failed.remove(&key);
                     state.pending.insert(key.clone());
                     break;
                 }
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let result = Arc::new(analyze(&program, config));
+        // From here until the cache insert below, this thread owns the
+        // pending claim; the guard turns any unwind into a recorded
+        // failure plus a wake-up instead of a leaked claim.
+        let mut guard = PendingGuard {
+            db: self,
+            key: Some(key.clone()),
+            message: String::new(),
+        };
+        let mut solve_config = *config;
+        if solve_config.threads == 0 {
+            solve_config.threads = self.solver_threads;
+        }
+        let solved = catch_unwind(AssertUnwindSafe(|| match &self.solve_hook {
+            Some(hook) => hook(&program, &solve_config),
+            None => analyze(&program, &solve_config),
+        }));
+        let result = match solved {
+            Ok(result) => Arc::new(result),
+            Err(payload) => {
+                let message = panic_message(payload.as_ref());
+                guard.message = message.clone();
+                drop(guard); // records the failure and wakes all waiters
+                return Err(DbError::SolveFailed(message));
+            }
+        };
         let bytes = approx_result_bytes(&result);
         let mut state = self.cache.lock().unwrap();
         state.tick += 1;
@@ -164,8 +306,9 @@ impl DbManager {
         }
         state.pending.remove(&key);
         drop(state);
+        guard.disarm();
         self.solved.notify_all();
-        Some((result, false))
+        Ok((result, false))
     }
 
     /// Current cache counters.
@@ -239,9 +382,12 @@ mod tests {
     }
 
     #[test]
-    fn unknown_digest_is_none() {
+    fn unknown_digest_is_a_typed_error() {
         let db = DbManager::new(1 << 20);
-        assert!(db.get_or_solve(42, &config("1-call")).is_none());
+        assert!(matches!(
+            db.get_or_solve(42, &config("1-call")),
+            Err(DbError::UnknownProgram)
+        ));
     }
 
     #[test]
@@ -257,6 +403,69 @@ mod tests {
         // The evicted config re-solves (a miss, not a hit).
         db.get_or_solve(digest, &config("1-call")).unwrap();
         assert_eq!(db.snapshot().misses, 3);
+    }
+
+    /// The hang this PR fixes: a panicking solve used to leave its key in
+    /// `pending` forever, so every coalesced waiter blocked on the condvar
+    /// until the process died. Now the drop guard records the failure and
+    /// wakes everyone with a typed error, and the cache stays usable.
+    #[test]
+    fn panicking_solve_wakes_all_coalesced_waiters() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::mpsc;
+        use std::time::Duration;
+
+        let module = compile(corpus::BOX).unwrap();
+        let arm = Arc::new(AtomicBool::new(true));
+        let mut db = DbManager::new(1 << 24);
+        {
+            let arm = arm.clone();
+            db.set_solve_hook(move |program, config| {
+                if arm.load(Ordering::SeqCst) {
+                    // Give coalesced waiters time to pile onto the condvar
+                    // before the claim owner unwinds.
+                    std::thread::sleep(Duration::from_millis(50));
+                    panic!("injected solve failure");
+                }
+                analyze(program, config)
+            });
+        }
+        let db = Arc::new(db);
+        let (digest, _) = db.load_program(module.program);
+
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..8 {
+            let db = db.clone();
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                let _ = tx.send(db.get_or_solve(digest, &config("1-call")));
+            });
+        }
+        drop(tx);
+        // Every caller — the claim owner and all coalesced waiters — must
+        // come back with the typed error before the deadline; a hang here
+        // is the original bug.
+        for _ in 0..8 {
+            let outcome = rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("a waiter hung past the deadline: pending key leaked");
+            match outcome {
+                Err(DbError::SolveFailed(msg)) => {
+                    assert!(msg.contains("injected solve failure"), "message: {msg}")
+                }
+                other => panic!("expected SolveFailed, got {other:?}"),
+            }
+        }
+        assert_eq!(db.snapshot().entries, 0, "failed solves cache nothing");
+
+        // The failure is not sticky: once the fault is cleared, a fresh
+        // request reclaims the key, retries, and the cache works again
+        // (also proves the mutex was never poisoned by the unwind).
+        arm.store(false, Ordering::SeqCst);
+        let (_, cached) = db.get_or_solve(digest, &config("1-call")).unwrap();
+        assert!(!cached, "retry is a fresh solve");
+        let (_, cached) = db.get_or_solve(digest, &config("1-call")).unwrap();
+        assert!(cached, "and its result is cached normally");
     }
 
     #[test]

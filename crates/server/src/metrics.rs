@@ -24,14 +24,29 @@ pub const ENDPOINTS: [&str; 11] = [
     "invalid",
 ];
 
-#[derive(Default)]
 struct EndpointStats {
     count: AtomicU64,
     errors: AtomicU64,
     total_ns: AtomicU64,
+    /// `u64::MAX` means "no sample yet". Zero is a valid minimum (a
+    /// sub-nanosecond request really does round to 0), so it cannot double
+    /// as the unset sentinel.
     min_ns: AtomicU64,
     max_ns: AtomicU64,
     bytes_out: AtomicU64,
+}
+
+impl Default for EndpointStats {
+    fn default() -> Self {
+        EndpointStats {
+            count: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            total_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            max_ns: AtomicU64::new(0),
+            bytes_out: AtomicU64::new(0),
+        }
+    }
 }
 
 /// The metrics registry.
@@ -64,11 +79,9 @@ impl Metrics {
             stats.errors.fetch_add(1, Ordering::Relaxed);
         }
         stats.total_ns.fetch_add(ns, Ordering::Relaxed);
-        // min starts at 0 meaning "unset": initialize via compare_exchange.
-        let _ = stats
-            .min_ns
-            .compare_exchange(0, ns, Ordering::Relaxed, Ordering::Relaxed);
-        stats.min_ns.fetch_min(ns.max(1), Ordering::Relaxed);
+        // min starts at u64::MAX ("no sample"), so a single fetch_min is
+        // correct even for genuine zero-duration samples.
+        stats.min_ns.fetch_min(ns, Ordering::Relaxed);
         stats.max_ns.fetch_max(ns, Ordering::Relaxed);
         stats
             .bytes_out
@@ -98,15 +111,20 @@ impl Metrics {
             }
             let total_ns = stats.total_ns.load(Ordering::Relaxed);
             let to_ms = |ns: u64| ns as f64 / 1e6;
+            // A racing reader can observe the count before the first
+            // fetch_min lands; the sentinel then means "no sample yet".
+            let min_ns = stats.min_ns.load(Ordering::Relaxed);
+            let min_json = if min_ns == u64::MAX {
+                Json::str("no data")
+            } else {
+                Json::ms(to_ms(min_ns))
+            };
             pairs.push((
                 (*name).to_owned(),
                 Json::obj([
                     ("count", Json::uint(count)),
                     ("errors", Json::uint(stats.errors.load(Ordering::Relaxed))),
-                    (
-                        "min_ms",
-                        Json::ms(to_ms(stats.min_ns.load(Ordering::Relaxed))),
-                    ),
+                    ("min_ms", min_json),
                     ("mean_ms", Json::ms(to_ms(total_ns / count.max(1)))),
                     (
                         "max_ms",
@@ -169,5 +187,31 @@ mod tests {
         assert!(json.get("invalid").is_some());
         assert!(json.get("analyze").is_none(), "unused endpoints omitted");
         assert!(m.report().contains("points_to"));
+    }
+
+    #[test]
+    fn zero_duration_sample_is_a_real_minimum() {
+        let m = Metrics::default();
+        m.record("stats", Duration::ZERO, 1, false);
+        m.record("stats", Duration::from_millis(10), 1, false);
+        let json = m.to_json();
+        let ep = json.get("stats").unwrap();
+        let min = ep.get("min_ms").unwrap().as_f64().unwrap();
+        let max = ep.get("max_ms").unwrap().as_f64().unwrap();
+        assert_eq!(min, 0.0, "a zero-duration sample must register as min=0");
+        assert!(max >= 9.9, "max {max}");
+    }
+
+    #[test]
+    fn single_zero_duration_sample_is_not_no_data() {
+        let m = Metrics::default();
+        m.record("sleep", Duration::ZERO, 0, false);
+        let json = m.to_json();
+        let ep = json.get("sleep").unwrap();
+        assert_eq!(
+            ep.get("min_ms").unwrap().as_f64(),
+            Some(0.0),
+            "the u64::MAX sentinel must not swallow a genuine zero sample"
+        );
     }
 }

@@ -248,6 +248,12 @@ fn req_config(obj: &Json) -> Result<AnalysisConfig, ProtoError> {
             config = config.with_subsumption();
         }
     }
+    // Solver thread count (0 = auto). Deliberately excluded from
+    // `config_tag`: the parallel engine is bit-identical to the serial
+    // one, so every thread count shares a cache entry.
+    if let Some(threads) = obj.get("threads").and_then(Json::as_u64) {
+        config = config.with_threads(threads as usize);
+    }
     Ok(config)
 }
 
@@ -449,5 +455,25 @@ mod tests {
         };
         assert_eq!(config, AnalysisConfig::insensitive());
         assert_eq!(config_tag(&config), "ci/-");
+    }
+
+    /// `threads` tunes the solve but can never fork the cache: the tag of
+    /// a threaded request equals the tag of the untuned one.
+    #[test]
+    fn threads_parses_but_does_not_affect_the_cache_tag() {
+        let (_, req) = parse_request(
+            r#"{"op": "analyze", "program": "1", "abstraction": "tstring", "sensitivity": "2-object+H", "threads": 4}"#,
+        )
+        .unwrap();
+        let Request::Analyze { config, .. } = req else {
+            panic!("wrong variant");
+        };
+        assert_eq!(config.threads, 4);
+        assert_eq!(
+            config_tag(&config),
+            config_tag(&AnalysisConfig::transformer_strings(
+                "2-object+H".parse().unwrap()
+            ))
+        );
     }
 }

@@ -21,7 +21,7 @@ use std::time::{Duration, Instant};
 use ctxform::{demand_points_to, AbstractionKind, AnalysisConfig, AnalysisResult};
 use ctxform_ir::{Program, Var};
 
-use crate::db::DbManager;
+use crate::db::{DbError, DbManager};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
@@ -42,6 +42,11 @@ pub struct ServerConfig {
     pub cache_bytes: usize,
     /// Per-request deadline.
     pub deadline: Duration,
+    /// Solver threads per analysis for requests that do not pick a count
+    /// explicitly: `0` = per-analysis auto, `1` = legacy single-threaded
+    /// loop, `n > 1` = the frontier-parallel engine. Results (and cache
+    /// entries) are identical for every value — this is purely latency.
+    pub solver_threads: usize,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +63,7 @@ impl Default for ServerConfig {
             queue_depth: 64,
             cache_bytes: 256 << 20,
             deadline: Duration::from_secs(30),
+            solver_threads: 0,
         }
     }
 }
@@ -137,7 +143,7 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         queue: Mutex::new(std::collections::VecDeque::new()),
         queued: Condvar::new(),
         shutdown: AtomicBool::new(false),
-        db: DbManager::new(config.cache_bytes),
+        db: DbManager::new(config.cache_bytes).with_solver_threads(config.solver_threads),
         metrics: Metrics::default(),
         config,
         addr,
@@ -220,10 +226,26 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
+/// Shortest idle-poll interval: a fresh or active connection re-checks
+/// shutdown at this cadence.
+const IDLE_POLL_MIN: Duration = Duration::from_millis(25);
+/// Longest idle-poll interval after backoff. A worker parked on an idle
+/// keep-alive connection wakes at most twice a second instead of the ten
+/// wakeups a fixed 100ms timeout caused; shutdown latency is bounded by
+/// this value.
+const IDLE_POLL_MAX: Duration = Duration::from_millis(500);
+
 /// Serves one connection: reads newline-delimited requests until EOF (or
 /// until shutdown, after finishing whatever is in flight).
+///
+/// The read timeout backs off exponentially (25ms → 500ms) across
+/// consecutive idle polls and resets as soon as bytes arrive, so idle
+/// keep-alive connections do not spin the worker. Note the worker stays
+/// pinned to this connection until it closes — see DESIGN.md §8 for the
+/// head-of-line consequences of that choice.
 fn handle_connection(shared: &Shared, mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut poll = IDLE_POLL_MIN;
+    let _ = stream.set_read_timeout(Some(poll));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
     let _ = stream.set_nodelay(true);
     let mut acc: Vec<u8> = Vec::new();
@@ -247,12 +269,24 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // client closed
-            Ok(n) => acc.extend_from_slice(&chunk[..n]),
+            Ok(n) => {
+                acc.extend_from_slice(&chunk[..n]);
+                if poll != IDLE_POLL_MIN {
+                    poll = IDLE_POLL_MIN;
+                    let _ = stream.set_read_timeout(Some(poll));
+                }
+            }
             Err(e)
                 if e.kind() == std::io::ErrorKind::WouldBlock
                     || e.kind() == std::io::ErrorKind::TimedOut =>
             {
-                continue; // re-check shutdown, keep waiting
+                // Idle: re-check shutdown, then wait longer next time.
+                let next = (poll * 2).min(IDLE_POLL_MAX);
+                if next != poll {
+                    poll = next;
+                    let _ = stream.set_read_timeout(Some(poll));
+                }
+                continue;
             }
             Err(_) => return,
         }
@@ -452,11 +486,14 @@ fn solve(
     digest: u64,
     config: &AnalysisConfig,
 ) -> Result<(Arc<AnalysisResult>, bool), ProtoError> {
-    shared.db.get_or_solve(digest, config).ok_or_else(|| {
-        ProtoError::new(
+    shared.db.get_or_solve(digest, config).map_err(|e| match e {
+        DbError::UnknownProgram => ProtoError::new(
             ErrorCode::UnknownProgram,
             format!("no loaded program has digest {}", digest_str(digest)),
-        )
+        ),
+        DbError::SolveFailed(msg) => {
+            ProtoError::new(ErrorCode::Internal, format!("analysis failed: {msg}"))
+        }
     })
 }
 

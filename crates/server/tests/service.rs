@@ -19,6 +19,7 @@ fn test_server(configure: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
         queue_depth: 16,
         cache_bytes: 64 << 20,
         deadline: Duration::from_secs(10),
+        solver_threads: 0,
     };
     configure(&mut config);
     start(config).expect("bind ephemeral port")
