@@ -8,13 +8,20 @@
 //! ```text
 //! analyze program.mj --config 2-object+H --abstraction tstring
 //! analyze facts.txt --config 1-call+H --abstraction cstring --query Main.main::x
+//! analyze program.mj --trace-json trace.json   # dump solver spans/events
 //! ```
+//!
+//! `--trace-json PATH` enables the in-process trace ring for the solve
+//! and writes the captured spans and events (`ctxform-trace/1` JSON) to
+//! `PATH`. Tracing never changes the analysis result — only what gets
+//! recorded about it.
 
 use std::process::ExitCode;
 
 use ctxform::{analyze, AbstractionKind, AnalysisConfig};
 use ctxform_ir::{text, Program};
 use ctxform_minijava::compile;
+use ctxform_obs::logger;
 
 fn load(path: &str) -> Result<Program, String> {
     let content = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -33,7 +40,7 @@ fn main() -> ExitCode {
         eprintln!(
             "usage: analyze <program.mj|facts.txt> [--config LABEL] \
              [--abstraction cstring|tstring|ci] [--naive] [--subsumption] \
-             [--threads N] [--query Method::var]..."
+             [--threads N] [--trace-json PATH] [--query Method::var]..."
         );
         return ExitCode::FAILURE;
     };
@@ -42,6 +49,7 @@ fn main() -> ExitCode {
     let mut naive = false;
     let mut subsumption = false;
     let mut threads = 1usize;
+    let mut trace_json: Option<String> = None;
     let mut queries: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -59,16 +67,17 @@ fn main() -> ExitCode {
                     Some("tstring") => AbstractionKind::TransformerStrings,
                     Some("ci") => AbstractionKind::Insensitive,
                     other => {
-                        eprintln!("unknown abstraction {other:?}");
+                        logger::error("analyze", format!("unknown abstraction {other:?}"));
                         return ExitCode::FAILURE;
                     }
                 }
             }
             "--naive" => naive = true,
             "--subsumption" => subsumption = true,
+            "--trace-json" => trace_json = Some(args.next().expect("--trace-json needs a path")),
             "--query" => queries.push(args.next().expect("--query needs Method::var")),
             other => {
-                eprintln!("unknown argument `{other}`");
+                logger::error("analyze", format!("unknown argument `{other}`"));
                 return ExitCode::FAILURE;
             }
         }
@@ -76,7 +85,7 @@ fn main() -> ExitCode {
     let program = match load(&path) {
         Ok(p) => p,
         Err(e) => {
-            eprintln!("analyze: {e}");
+            logger::error("analyze", e);
             return ExitCode::FAILURE;
         }
     };
@@ -85,14 +94,14 @@ fn main() -> ExitCode {
         AbstractionKind::ContextStrings => match label.parse() {
             Ok(s) => AnalysisConfig::context_strings(s),
             Err(e) => {
-                eprintln!("analyze: {e}");
+                logger::error("analyze", format!("{e}"));
                 return ExitCode::FAILURE;
             }
         },
         AbstractionKind::TransformerStrings => match label.parse() {
             Ok(s) => AnalysisConfig::transformer_strings(s),
             Err(e) => {
-                eprintln!("analyze: {e}");
+                logger::error("analyze", format!("{e}"));
                 return ExitCode::FAILURE;
             }
         },
@@ -104,8 +113,27 @@ fn main() -> ExitCode {
         config = config.with_subsumption();
     }
     config = config.with_threads(threads);
+    if trace_json.is_some() {
+        ctxform_obs::enable_tracing(ctxform_obs::trace::DEFAULT_CAPACITY);
+    }
     println!("program: {}", program.stats());
     let result = analyze(&program, &config);
+    if let Some(path) = &trace_json {
+        let dump = ctxform_obs::take_trace();
+        ctxform_obs::disable_tracing();
+        let records = dump.records.len();
+        if let Err(e) = std::fs::write(path, dump.to_json()) {
+            logger::error("analyze", format!("cannot write {path}: {e}"));
+            return ExitCode::FAILURE;
+        }
+        logger::info(
+            "analyze",
+            format!(
+                "wrote {records} trace records to {path} ({} dropped)",
+                dump.dropped
+            ),
+        );
+    }
     println!("{config}:");
     print!("{}", result.stats.report());
     println!(
@@ -117,7 +145,10 @@ fn main() -> ExitCode {
     );
     for query in &queries {
         let Some((method_name, var_name)) = query.split_once("::") else {
-            eprintln!("--query must look like Method::var, got `{query}`");
+            logger::error(
+                "analyze",
+                format!("--query must look like Method::var, got `{query}`"),
+            );
             return ExitCode::FAILURE;
         };
         let found = program

@@ -33,6 +33,7 @@ use ctxform::{analyze, AnalysisConfig, AnalysisResult};
 use ctxform_algebra::Sensitivity;
 use ctxform_bench::compile_benchmark;
 use ctxform_hash::fx_hash_one;
+use ctxform_obs::logger;
 use ctxform_server::json::{hex16, Json};
 use ctxform_synth::dacapo_like;
 
@@ -80,6 +81,30 @@ fn run_json(r: &AnalysisResult) -> Json {
         ("par_rounds", Json::int(s.par_rounds)),
         ("par_frontier_peak", Json::int(s.par_frontier_peak)),
         ("par_deferred", Json::uint(s.par_deferred)),
+        // Per-Fig.-3-rule firing/derivation counts (zero rows omitted).
+        // `fired` counts insertion attempts, which differ between the
+        // serial and frontier-parallel engines (candidates are
+        // pre-filtered emit-side); `derived` counts new facts and is
+        // engine-independent.
+        (
+            "rules",
+            Json::Obj(
+                s.rule_fired
+                    .iter()
+                    .zip(s.rule_derived.iter())
+                    .filter(|((_, fired), (_, derived))| *fired > 0 || *derived > 0)
+                    .map(|((rule, fired), (_, derived))| {
+                        (
+                            rule.to_owned(),
+                            Json::obj([
+                                ("fired", Json::uint(fired)),
+                                ("derived", Json::uint(derived)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ),
         (
             "ci",
             Json::obj([
@@ -151,6 +176,7 @@ fn main() {
     let mut threads = 4usize;
     let mut only: Option<String> = None;
     let mut out_path: Option<String> = None;
+    let mut trace_json: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -176,9 +202,11 @@ fn main() {
             }
             "--bench" => only = Some(args.next().expect("--bench needs a name")),
             "--out" => out_path = Some(args.next().expect("--out needs a path")),
+            "--trace-json" => trace_json = Some(args.next().expect("--trace-json needs a path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: regress [--scale N] [--repeat N] [--threads N] [--bench NAME] [--out PATH]"
+                    "usage: regress [--scale N] [--repeat N] [--threads N] [--bench NAME] \
+                     [--out PATH] [--trace-json PATH]"
                 );
                 return;
             }
@@ -186,6 +214,9 @@ fn main() {
         }
     }
 
+    if trace_json.is_some() {
+        ctxform_obs::enable_tracing(ctxform_obs::trace::DEFAULT_CAPACITY);
+    }
     let started = Instant::now();
     let configs = Sensitivity::paper_configs();
     let mut bench_objs: Vec<(String, Json)> = Vec::new();
@@ -201,7 +232,7 @@ fn main() {
                 continue;
             }
         }
-        eprintln!("regress: {name} (scale {scale})...");
+        logger::info("regress", format!("{name} (scale {scale})..."));
         let program = compile_benchmark(name, scale);
         let stats = program.stats();
         let mut pairs: Vec<(String, Json)> = vec![(
@@ -268,17 +299,20 @@ fn main() {
 
     if bench_objs.is_empty() {
         let known: Vec<&str> = dacapo_like().into_iter().map(|(n, _)| n).collect();
-        eprintln!(
-            "regress: no benchmark matched {:?}; known benchmarks: {}",
-            only.as_deref().unwrap_or(""),
-            known.join(", ")
+        logger::error(
+            "regress",
+            format!(
+                "no benchmark matched {:?}; known benchmarks: {}",
+                only.as_deref().unwrap_or(""),
+                known.join(", ")
+            ),
         );
         std::process::exit(1);
     }
     let path = out_path.unwrap_or_else(next_bench_path);
     let benchmark_count = bench_objs.len();
     let doc = Json::obj([
-        ("schema", Json::str("ctxform-regress/3")),
+        ("schema", Json::str("ctxform-regress/4")),
         ("scale", Json::int(scale)),
         ("repeat", Json::int(repeat)),
         ("par_threads", Json::int(threads)),
@@ -291,8 +325,24 @@ fn main() {
         ("benchmarks", Json::Obj(bench_objs)),
     ]);
     std::fs::write(&path, doc.to_pretty()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
-    eprintln!(
-        "regress: wrote {path} ({benchmark_count} benchmarks, tstring 2-object+H total {:.1}ms)",
-        tstring_2objh_ms
+    if let Some(trace_path) = &trace_json {
+        let dump = ctxform_obs::take_trace();
+        ctxform_obs::disable_tracing();
+        std::fs::write(trace_path, dump.to_json())
+            .unwrap_or_else(|e| panic!("cannot write {trace_path}: {e}"));
+        logger::info(
+            "regress",
+            format!(
+                "wrote {} trace records to {trace_path} ({} dropped)",
+                dump.records.len(),
+                dump.dropped
+            ),
+        );
+    }
+    logger::info(
+        "regress",
+        format!(
+            "wrote {path} ({benchmark_count} benchmarks, tstring 2-object+H total {tstring_2objh_ms:.1}ms)"
+        ),
     );
 }

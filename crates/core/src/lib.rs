@@ -49,7 +49,7 @@ pub use bucket::{Bucket, JoinStrategy};
 pub use compact::CompactVec;
 pub use config::{AbstractionKind, AnalysisConfig};
 pub use demand::{demand_points_to, DemandAnswer};
-pub use result::{AnalysisResult, CiFacts, LoggedFact, SolverStats};
+pub use result::{AnalysisResult, CiFacts, LoggedFact, RuleCounts, SolverStats, RULE_NAMES};
 
 use ctxform_algebra::{CStrings, Insensitive, TStrings};
 use ctxform_ir::Program;

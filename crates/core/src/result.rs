@@ -8,6 +8,78 @@ use ctxform_ir::{Field, Heap, Inv, Method, Var};
 
 use crate::config::AnalysisConfig;
 
+/// The Figure 3 deduction-rule names, in presentation order. Index
+/// positions are the layout of [`RuleCounts`].
+pub const RULE_NAMES: [&str; 13] = [
+    "Entry", "New", "Assign", "Load", "Store", "SLoad", "SStore", "Param", "Ret", "Static", "Virt",
+    "Ind", "Reach",
+];
+
+/// Per-Figure-3-rule counters, indexed by [`RULE_NAMES`].
+///
+/// Kept as a flat fixed array so bumping a counter in the solver's
+/// insert path is an indexed add — no hashing, no allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleCounts([u64; RULE_NAMES.len()]);
+
+impl Default for RuleCounts {
+    fn default() -> Self {
+        RuleCounts([0; RULE_NAMES.len()])
+    }
+}
+
+impl RuleCounts {
+    /// Position of `rule` in [`RULE_NAMES`], or `None` for an unknown
+    /// name (unknown rules are silently not counted).
+    #[inline]
+    pub fn index_of(rule: &str) -> Option<usize> {
+        Some(match rule {
+            "Entry" => 0,
+            "New" => 1,
+            "Assign" => 2,
+            "Load" => 3,
+            "Store" => 4,
+            "SLoad" => 5,
+            "SStore" => 6,
+            "Param" => 7,
+            "Ret" => 8,
+            "Static" => 9,
+            "Virt" => 10,
+            "Ind" => 11,
+            "Reach" => 12,
+            _ => return None,
+        })
+    }
+
+    /// Add one to `rule`'s counter.
+    #[inline]
+    pub fn bump(&mut self, rule: &str) {
+        if let Some(i) = Self::index_of(rule) {
+            self.0[i] += 1;
+        }
+    }
+
+    /// Current count for `rule` (0 for unknown names).
+    pub fn get(&self, rule: &str) -> u64 {
+        Self::index_of(rule).map_or(0, |i| self.0[i])
+    }
+
+    /// `(rule, count)` pairs in [`RULE_NAMES`] order.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        RULE_NAMES.iter().copied().zip(self.0.iter().copied())
+    }
+
+    /// Like [`RuleCounts::iter`], skipping zero counters.
+    pub fn nonzero(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.iter().filter(|&(_, n)| n > 0)
+    }
+
+    /// Sum over all rules.
+    pub fn total(&self) -> u64 {
+        self.0.iter().sum()
+    }
+}
+
 /// Solver statistics, mirroring the quantities Figure 6 reports.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SolverStats {
@@ -44,6 +116,18 @@ pub struct SolverStats {
     pub subsumed_dropped: u64,
     /// Existing facts retired because a new fact subsumed them.
     pub subsumed_retired: u64,
+    /// Per-rule insert attempts (a rule driver produced a candidate
+    /// fact and offered it to the fact sets).
+    pub rule_fired: RuleCounts,
+    /// Per-rule novel derivations (the candidate was new — not a
+    /// duplicate, not subsumed — and was admitted).
+    pub rule_derived: RuleCounts,
+    /// Entries resident in the compose memo table when the run finished
+    /// (the merge-phase table under the parallel engine).
+    pub compose_memo_entries: usize,
+    /// Entries resident in the subsumption memo table when the run
+    /// finished.
+    pub subsume_memo_entries: usize,
     /// Distinct context strings interned by the end of the run
     /// (including ε).
     pub interned_contexts: usize,
@@ -98,6 +182,18 @@ impl SolverStats {
             "  subsumption:      {} dropped / {} retired\n",
             self.subsumed_dropped, self.subsumed_retired
         ));
+        out.push_str(&format!(
+            "  memo entries:     {} compose / {} subsume\n",
+            self.compose_memo_entries, self.subsume_memo_entries
+        ));
+        if self.rule_derived.total() > 0 {
+            let derived: Vec<String> = self
+                .rule_derived
+                .nonzero()
+                .map(|(rule, n)| format!("{rule} {n}"))
+                .collect();
+            out.push_str(&format!("  rule derived:     {}\n", derived.join(", ")));
+        }
         out.push_str(&format!("  interned ctxts:   {}\n", self.interned_contexts));
         if self.threads_used > 1 {
             out.push_str(&format!(
@@ -153,16 +249,14 @@ impl CiFacts {
 
     /// `true` iff `a` and `b` may alias (their points-to sets intersect).
     pub fn may_alias(&self, a: Var, b: Var) -> bool {
-        let ha: HashSet<Heap> = self
-            .pts
+        let ha = self.points_to(a);
+        self.points_to(b)
             .iter()
-            .filter(|&&(v, _)| v == a)
-            .map(|&(_, h)| h)
-            .collect();
-        self.pts.iter().any(|&(v, h)| v == b && ha.contains(&h))
+            .any(|h| ha.binary_search(h).is_ok())
     }
 
-    /// Total size of all four projections.
+    /// Total size of all five projections (`pts`, `hpts`, `call`,
+    /// `spts`, `reach`).
     pub fn total(&self) -> usize {
         self.pts.len() + self.hpts.len() + self.call.len() + self.reach.len() + self.spts.len()
     }

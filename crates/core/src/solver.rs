@@ -100,11 +100,21 @@ pub(crate) fn run<A: Abstraction>(
         stats: SolverStats::default(),
         log: Vec::new(),
     };
-    if threads > 1 {
+    // The solve-level span is inert (one relaxed load) unless tracing
+    // was enabled; the config tag is only rendered when it will be kept.
+    let mut span = ctxform_obs::span("solver.solve");
+    if span.is_active() {
+        span.record("config", format!("{config}"));
+        span.record("threads", threads);
+    }
+    let result = if threads > 1 {
         solver.solve_parallel(threads)
     } else {
         solver.solve()
-    }
+    };
+    span.record("facts_total", result.stats.total());
+    span.record("events", result.stats.events);
+    result
 }
 
 /// A join index: facts grouped per key, boundary-indexed within each
@@ -624,6 +634,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     // ------------------------------------------------------------------
 
     fn insert_pts(&mut self, y: Var, h: Heap, x: A::X, rule: &'static str) {
+        self.stats.rule_fired.bump(rule);
         if self.config.subsumption {
             if self.pts.contains(&(y, h, x)) {
                 return; // plain duplicate, not a subsumption event
@@ -649,6 +660,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         if !self.pts.insert((y, h, x)) {
             return;
         }
+        self.stats.rule_derived.bump(rule);
         if self.config.subsumption {
             let memoize = self.config.memoize;
             let Solver {
@@ -697,6 +709,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_hpts(&mut self, g: Heap, f: Field, h: Heap, x: A::X, rule: &'static str) {
+        self.stats.rule_fired.bump(rule);
         let x = if self.config.collapse_insensitive_heap && self.levels.heap == 0 {
             self.abs.uninformative()
         } else {
@@ -705,6 +718,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         if !self.hpts.insert((g, f, h, x)) {
             return;
         }
+        self.stats.rule_derived.bump(rule);
         let boundary = self.abs.dst_boundary(x);
         let strategy = self.config.join_strategy;
         let mode = self.mode;
@@ -730,9 +744,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_hload(&mut self, g: Heap, f: Field, y: Var, x: A::X, rule: &'static str) {
+        self.stats.rule_fired.bump(rule);
         if !self.hload.insert((g, f, y, x)) {
             return;
         }
+        self.stats.rule_derived.bump(rule);
         let boundary = self.abs.src_boundary(x);
         let strategy = self.config.join_strategy;
         let mode = self.mode;
@@ -758,9 +774,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_call(&mut self, i: Inv, q: Method, x: A::X, rule: &'static str) {
+        self.stats.rule_fired.bump(rule);
         if !self.call.insert((i, q, x)) {
             return;
         }
+        self.stats.rule_derived.bump(rule);
         let strategy = self.config.join_strategy;
         let mode = self.mode;
         let src = self.abs.src_boundary(x);
@@ -790,9 +808,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_spts(&mut self, f: Field, h: Heap, x: A::X, rule: &'static str) {
+        self.stats.rule_fired.bump(rule);
         if !self.spts.insert((f, h, x)) {
             return;
         }
+        self.stats.rule_derived.bump(rule);
         self.spts_by_field.entry(f).or_default().push((h, x));
         if self.config.record_facts {
             let text = format!(
@@ -811,9 +831,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_reach(&mut self, p: Method, m: CtxtStr, rule: &'static str) {
+        self.stats.rule_fired.bump(rule);
         if !self.reach.insert((p, m)) {
             return;
         }
+        self.stats.rule_derived.bump(rule);
         self.reach_by_method.entry(p).or_default().push(m);
         if self.config.record_facts {
             let text = format!(
@@ -845,6 +867,8 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         self.stats.spts = self.spts.len();
         self.stats.reach = self.reach.len();
         self.stats.interned_contexts = self.abs.interner().interned_count();
+        self.stats.compose_memo_entries = self.compose_memo.len();
+        self.stats.subsume_memo_entries = self.subsume_memo.len();
         let mut histogram: FxHashMap<String, usize> = FxHashMap::default();
         for &(y, h, x) in &self.pts {
             if self.config.subsumption && self.dead_pts.contains(&(y, h, x)) {

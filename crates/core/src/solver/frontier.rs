@@ -674,6 +674,12 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             self.stats.par_rounds += 1;
             self.stats.par_frontier_peak = self.stats.par_frontier_peak.max(n);
             self.stats.events += n;
+            // Per-round timing span: inert (one relaxed load) unless
+            // tracing is on. Purely observational — it must never feed
+            // back into the candidate stream or merge order.
+            let mut round_span = ctxform_obs::span("solver.round")
+                .field("round", self.stats.par_rounds)
+                .field("frontier", n);
 
             // Phase 2: evaluate chunks. A one-chunk frontier runs inline
             // on the calling thread — through the same chunk driver and
@@ -715,6 +721,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
 
             // Phase 3: merge sequentially, in frontier order.
+            let mut merged = 0usize;
             for out in outs {
                 let out = out.expect("every chunk processed");
                 self.stats.probes += out.probes;
@@ -723,10 +730,12 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 self.stats.compose_memo_hits += out.memo_hits;
                 self.stats.compose_memo_misses += out.memo_misses;
                 self.stats.par_deferred += out.deferred;
+                merged += out.cands.len();
                 for cand in out.cands {
                     self.apply_candidate(cand);
                 }
             }
+            round_span.record("candidates", merged);
         }
         self.finish(start)
     }

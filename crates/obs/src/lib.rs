@@ -1,0 +1,29 @@
+//! Zero-dependency structured observability for the ctxform workspace.
+//!
+//! Three small, orthogonal pieces:
+//!
+//! * [`trace`] — hierarchical spans (analysis → phase → frontier round)
+//!   and point events, collected into a bounded in-memory ring buffer
+//!   and exportable as JSON. The entire subsystem is gated behind one
+//!   global flag: when tracing is disabled (the default), creating a
+//!   span costs exactly one relaxed atomic load and no allocation, so
+//!   the solver hot loop pays nothing.
+//! * [`metrics`] — lock-free counters, gauges, and fixed-bucket
+//!   histograms, optionally grouped in a [`metrics::Registry`], with a
+//!   Prometheus text-exposition renderer ([`metrics::PromText`]).
+//! * [`logger`] — a leveled, timestamped line logger for operator-facing
+//!   diagnostics (replacing scattered `eprintln!`), with a capturable
+//!   sink for tests.
+//!
+//! The crate is deliberately std-only: the build environment is offline
+//! and the workspace carries no third-party dependencies.
+
+pub mod logger;
+pub mod metrics;
+pub mod trace;
+
+pub use logger::Level;
+pub use trace::{
+    clear_trace, disable_tracing, enable_tracing, event, snapshot, span, take_trace,
+    tracing_enabled, Record, RecordKind, Span, TraceDump, Value,
+};

@@ -1,0 +1,176 @@
+//! A leveled, timestamped line logger for operator-facing diagnostics.
+//!
+//! One global sink (stderr by default, a capturable buffer for tests),
+//! one global minimum level. Lines look like
+//!
+//! ```text
+//! 2026-08-07T12:34:56.789Z INFO  ctxform-serve: listening on 127.0.0.1:7077
+//! ```
+//!
+//! Timestamps are UTC RFC 3339 with millisecond precision, computed
+//! directly from [`SystemTime`] (no external time crate; the
+//! days-to-civil conversion is the classic Euclidean-affine algorithm).
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{SystemTime, UNIX_EPOCH};
+
+/// Log severity, ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Verbose diagnostics, off by default.
+    Debug = 0,
+    /// Normal operational messages.
+    Info = 1,
+    /// Something unexpected but survivable (slow queries, rejections).
+    Warn = 2,
+    /// A failed operation.
+    Error = 3,
+}
+
+impl Level {
+    /// Fixed-width tag used in log lines.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "DEBUG",
+            Level::Info => "INFO ",
+            Level::Warn => "WARN ",
+            Level::Error => "ERROR",
+        }
+    }
+}
+
+static MIN_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+
+/// Set the minimum level that will be emitted (default [`Level::Info`]).
+pub fn set_level(level: Level) {
+    MIN_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// `true` iff a message at `level` would currently be emitted.
+pub fn enabled(level: Level) -> bool {
+    level as u8 >= MIN_LEVEL.load(Ordering::Relaxed)
+}
+
+enum Sink {
+    Stderr,
+    Capture(Arc<Mutex<Vec<String>>>),
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink::Stderr);
+
+/// Redirect log lines into an in-memory buffer and return it (tests).
+pub fn capture() -> Arc<Mutex<Vec<String>>> {
+    let buf = Arc::new(Mutex::new(Vec::new()));
+    *SINK.lock().unwrap() = Sink::Capture(buf.clone());
+    buf
+}
+
+/// Restore the default stderr sink.
+pub fn log_to_stderr() {
+    *SINK.lock().unwrap() = Sink::Stderr;
+}
+
+/// Emit one line at `level` from `target` (conventionally the binary or
+/// subsystem name). Filtered by the global minimum level.
+pub fn log(level: Level, target: &str, msg: impl AsRef<str>) {
+    if !enabled(level) {
+        return;
+    }
+    let line = format!(
+        "{} {} {}: {}",
+        now_rfc3339(),
+        level.as_str(),
+        target,
+        msg.as_ref()
+    );
+    match &*SINK.lock().unwrap() {
+        Sink::Stderr => eprintln!("{line}"),
+        Sink::Capture(buf) => buf.lock().unwrap().push(line),
+    }
+}
+
+/// [`log`] at [`Level::Debug`].
+pub fn debug(target: &str, msg: impl AsRef<str>) {
+    log(Level::Debug, target, msg);
+}
+
+/// [`log`] at [`Level::Info`].
+pub fn info(target: &str, msg: impl AsRef<str>) {
+    log(Level::Info, target, msg);
+}
+
+/// [`log`] at [`Level::Warn`].
+pub fn warn(target: &str, msg: impl AsRef<str>) {
+    log(Level::Warn, target, msg);
+}
+
+/// [`log`] at [`Level::Error`].
+pub fn error(target: &str, msg: impl AsRef<str>) {
+    log(Level::Error, target, msg);
+}
+
+/// Current UTC time as `YYYY-MM-DDTHH:MM:SS.mmmZ`.
+pub fn now_rfc3339() -> String {
+    let now = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .unwrap_or_default();
+    format_rfc3339(now.as_secs(), now.subsec_millis())
+}
+
+/// Format a unix timestamp (seconds + milliseconds) as UTC RFC 3339.
+pub fn format_rfc3339(unix_secs: u64, millis: u32) -> String {
+    let days = (unix_secs / 86_400) as i64;
+    let rem = unix_secs % 86_400;
+    let (year, month, day) = civil_from_days(days);
+    format!(
+        "{:04}-{:02}-{:02}T{:02}:{:02}:{:02}.{:03}Z",
+        year,
+        month,
+        day,
+        rem / 3600,
+        (rem / 60) % 60,
+        rem % 60,
+        millis
+    )
+}
+
+/// Days since 1970-01-01 → (year, month, day) in the proleptic Gregorian
+/// calendar (Howard Hinnant's `civil_from_days`).
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = (z - era * 146_097) as u64;
+    let yoe = (doe - doe / 1_460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe as i64 + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_formats_correctly() {
+        assert_eq!(format_rfc3339(0, 0), "1970-01-01T00:00:00.000Z");
+    }
+
+    #[test]
+    fn known_timestamp_formats_correctly() {
+        // 2023-11-14 22:13:20 UTC.
+        assert_eq!(
+            format_rfc3339(1_700_000_000, 123),
+            "2023-11-14T22:13:20.123Z"
+        );
+    }
+
+    #[test]
+    fn leap_day_formats_correctly() {
+        // 2024-02-29 00:00:00 UTC.
+        assert_eq!(format_rfc3339(1_709_164_800, 0), "2024-02-29T00:00:00.000Z");
+    }
+}

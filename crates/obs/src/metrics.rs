@@ -1,0 +1,446 @@
+//! Lock-free counters, gauges, and histograms with a Prometheus
+//! text-exposition renderer.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are cheap `Arc`
+//! clones over atomics — safe to update from any thread with no lock.
+//! They can be used free-standing (the server's per-endpoint stats own
+//! their histograms directly) or registered in a [`Registry`], which
+//! deduplicates by `(name, labels)` and renders everything it holds in
+//! the Prometheus text format (version 0.0.4):
+//!
+//! ```text
+//! # HELP ctxform_requests_total Requests received.
+//! # TYPE ctxform_requests_total counter
+//! ctxform_requests_total{endpoint="points_to"} 42
+//! ```
+//!
+//! [`PromText`] is the low-level line builder (with the format's label
+//! escaping rules) so callers holding plain atomics can render without
+//! going through a registry.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Default latency buckets in seconds: 100µs … 10s, roughly 2.5× apart.
+pub const LATENCY_BUCKETS_S: [f64; 11] = [
+    0.0001, 0.00025, 0.001, 0.0025, 0.01, 0.025, 0.1, 0.25, 1.0, 2.5, 10.0,
+];
+
+/// Monotonically increasing event count.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A fresh, unregistered counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Add `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous signed value (sizes, occupancy).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// A fresh, unregistered gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrite the value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjust by `d` (may be negative).
+    #[inline]
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Debug)]
+struct HistCore {
+    /// Upper bounds of the finite buckets, ascending; an implicit +Inf
+    /// bucket follows.
+    bounds: Box<[f64]>,
+    /// Per-bucket (non-cumulative) observation counts; `bounds.len()+1`
+    /// entries, the last being the +Inf bucket.
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of observations in nanoseconds-of-a-second fixed point
+    /// (value × 1e9), so the f64 sum survives atomic accumulation.
+    sum_nanos: AtomicU64,
+}
+
+/// Fixed-bucket histogram of f64 observations (by convention seconds).
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistCore>);
+
+impl Histogram {
+    /// Create a histogram with the given ascending finite bucket bounds.
+    /// A +Inf bucket is always added. Panics if `bounds` is unsorted.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistCore {
+            bounds: bounds.into(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum_nanos: AtomicU64::new(0),
+        }))
+    }
+
+    /// Record one observation.
+    pub fn observe(&self, v: f64) {
+        let core = &*self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(core.bounds.len());
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        let nanos = if v.is_finite() && v > 0.0 {
+            (v * 1e9).round() as u64
+        } else {
+            0
+        };
+        core.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+    }
+
+    /// Record a duration as seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total number of observations.
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations (seconds).
+    pub fn sum(&self) -> f64 {
+        self.0.sum_nanos.load(Ordering::Relaxed) as f64 / 1e9
+    }
+
+    /// `(upper_bound, cumulative_count)` pairs ending with `(+Inf, n)`.
+    pub fn cumulative_buckets(&self) -> Vec<(f64, u64)> {
+        let core = &*self.0;
+        let mut acc = 0u64;
+        let mut out = Vec::with_capacity(core.bounds.len() + 1);
+        for (i, &bound) in core.bounds.iter().enumerate() {
+            acc += core.buckets[i].load(Ordering::Relaxed);
+            out.push((bound, acc));
+        }
+        acc += core.buckets[core.bounds.len()].load(Ordering::Relaxed);
+        out.push((f64::INFINITY, acc));
+        out
+    }
+}
+
+#[derive(Debug, Clone)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+impl Metric {
+    fn type_str(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Entry {
+    name: String,
+    help: &'static str,
+    labels: Vec<(String, String)>,
+    metric: Metric,
+}
+
+/// A set of named metrics, deduplicated by `(name, labels)`.
+///
+/// `counter`/`gauge`/`histogram` are *get-or-register*: asking twice for
+/// the same name and label set returns a handle to the same underlying
+/// atomics, so call sites need no caching of their own. Registration
+/// takes a short mutex; updates through the returned handles are
+/// lock-free.
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut entries = self.entries.lock().unwrap();
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && labels_eq(&e.labels, labels))
+        {
+            return e.metric.clone();
+        }
+        let metric = make();
+        entries.push(Entry {
+            name: name.to_string(),
+            help,
+            labels: labels
+                .iter()
+                .map(|&(k, v)| (k.to_string(), v.to_string()))
+                .collect(),
+            metric: metric.clone(),
+        });
+        metric
+    }
+
+    /// Get or register a counter. Panics if the name+labels is already
+    /// registered as a different metric type.
+    pub fn counter(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Counter {
+        match self.get_or_insert(name, help, labels, || Metric::Counter(Counter::new())) {
+            Metric::Counter(c) => c,
+            other => panic!("{name} already registered as {}", other.type_str()),
+        }
+    }
+
+    /// Get or register a gauge. Panics on a type clash like [`Registry::counter`].
+    pub fn gauge(&self, name: &str, help: &'static str, labels: &[(&str, &str)]) -> Gauge {
+        match self.get_or_insert(name, help, labels, || Metric::Gauge(Gauge::new())) {
+            Metric::Gauge(g) => g,
+            other => panic!("{name} already registered as {}", other.type_str()),
+        }
+    }
+
+    /// Get or register a histogram with the given bucket bounds (bounds
+    /// of an existing registration win). Panics on a type clash.
+    pub fn histogram(
+        &self,
+        name: &str,
+        help: &'static str,
+        labels: &[(&str, &str)],
+        bounds: &[f64],
+    ) -> Histogram {
+        match self.get_or_insert(name, help, labels, || {
+            Metric::Histogram(Histogram::new(bounds))
+        }) {
+            Metric::Histogram(h) => h,
+            other => panic!("{name} already registered as {}", other.type_str()),
+        }
+    }
+
+    /// Render everything in the registry as Prometheus text exposition.
+    pub fn render(&self) -> String {
+        let mut text = PromText::new();
+        self.render_into(&mut text);
+        text.finish()
+    }
+
+    /// Append this registry's metrics to an existing [`PromText`]
+    /// (used by the server to combine registry metrics with its own
+    /// free-standing atomics in one exposition).
+    pub fn render_into(&self, text: &mut PromText) {
+        let entries = self.entries.lock().unwrap();
+        // Group samples of the same metric name under one HELP/TYPE
+        // header, in first-registration order.
+        let mut names_done: Vec<&str> = Vec::new();
+        for e in entries.iter() {
+            if names_done.contains(&e.name.as_str()) {
+                continue;
+            }
+            names_done.push(&e.name);
+            text.header(&e.name, e.metric.type_str(), e.help);
+            for s in entries.iter().filter(|s| s.name == e.name) {
+                let labels: Vec<(&str, &str)> = s
+                    .labels
+                    .iter()
+                    .map(|(k, v)| (k.as_str(), v.as_str()))
+                    .collect();
+                match &s.metric {
+                    Metric::Counter(c) => text.sample(&s.name, &labels, c.get() as f64),
+                    Metric::Gauge(g) => text.sample(&s.name, &labels, g.get() as f64),
+                    Metric::Histogram(h) => text.histogram(&s.name, &labels, h),
+                }
+            }
+        }
+    }
+}
+
+fn labels_eq(have: &[(String, String)], want: &[(&str, &str)]) -> bool {
+    have.len() == want.len()
+        && have
+            .iter()
+            .zip(want)
+            .all(|((hk, hv), (wk, wv))| hk == wk && hv == wv)
+}
+
+/// Prometheus text-format (0.0.4) line builder.
+///
+/// Handles the format's escaping rules: label values escape `\`, `"`,
+/// and newline; HELP text escapes `\` and newline. Values render as
+/// integers when exact, shortest-round-trip decimals otherwise, and
+/// `+Inf` for the histogram terminal bucket.
+#[derive(Debug, Default)]
+pub struct PromText {
+    out: String,
+}
+
+impl PromText {
+    /// An empty exposition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Write the `# HELP` and `# TYPE` lines for a metric family.
+    pub fn header(&mut self, name: &str, kind: &str, help: &str) {
+        self.out.push_str("# HELP ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(&escape_help(help));
+        self.out.push_str("\n# TYPE ");
+        self.out.push_str(name);
+        self.out.push(' ');
+        self.out.push_str(kind);
+        self.out.push('\n');
+    }
+
+    /// Write one `name{labels} value` sample line.
+    pub fn sample(&mut self, name: &str, labels: &[(&str, &str)], value: f64) {
+        self.out.push_str(name);
+        self.write_labels(labels);
+        self.out.push(' ');
+        self.out.push_str(&fmt_value(value));
+        self.out.push('\n');
+    }
+
+    /// Write the `_bucket`/`_sum`/`_count` series for a histogram
+    /// (header must have been written by the caller).
+    pub fn histogram(&mut self, name: &str, labels: &[(&str, &str)], hist: &Histogram) {
+        for (bound, cumulative) in hist.cumulative_buckets() {
+            self.out.push_str(name);
+            self.out.push_str("_bucket");
+            let le = if bound.is_infinite() {
+                "+Inf".to_string()
+            } else {
+                fmt_value(bound)
+            };
+            let mut with_le: Vec<(&str, &str)> = labels.to_vec();
+            with_le.push(("le", &le));
+            self.write_labels(&with_le);
+            self.out.push(' ');
+            self.out.push_str(&cumulative.to_string());
+            self.out.push('\n');
+        }
+        self.out.push_str(name);
+        self.out.push_str("_sum");
+        self.write_labels(labels);
+        self.out.push(' ');
+        self.out.push_str(&fmt_value(hist.sum()));
+        self.out.push('\n');
+        self.out.push_str(name);
+        self.out.push_str("_count");
+        self.write_labels(labels);
+        self.out.push(' ');
+        self.out.push_str(&hist.count().to_string());
+        self.out.push('\n');
+    }
+
+    fn write_labels(&mut self, labels: &[(&str, &str)]) {
+        if labels.is_empty() {
+            return;
+        }
+        self.out.push('{');
+        for (i, (k, v)) in labels.iter().enumerate() {
+            if i > 0 {
+                self.out.push(',');
+            }
+            self.out.push_str(k);
+            self.out.push_str("=\"");
+            self.out.push_str(&escape_label_value(v));
+            self.out.push('"');
+        }
+        self.out.push('}');
+    }
+
+    /// Consume the builder and return the exposition text.
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+/// Escape a label value per the exposition format: `\` → `\\`,
+/// `"` → `\"`, newline → `\n`.
+pub fn escape_label_value(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escape HELP text per the exposition format: `\` → `\\`, newline → `\n`.
+pub fn escape_help(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for ch in s.chars() {
+        match ch {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn fmt_value(v: f64) -> String {
+    if v.is_finite() && v.fract() == 0.0 && v.abs() < 9e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}

@@ -1,0 +1,461 @@
+//! Hierarchical spans and events with a bounded ring-buffer sink.
+//!
+//! # Model
+//!
+//! A **span** covers a region of wall-clock time ([`span`] → drop of the
+//! returned guard); an **event** marks a point in time ([`event`]). Both
+//! carry a static name plus a small list of key/value fields. Parentage
+//! is tracked per thread: a span or event created while another span
+//! guard is alive on the same thread records that span's id as its
+//! parent, giving a forest per thread (analysis → phase → round).
+//!
+//! Finished records land in one global bounded ring buffer. When the
+//! ring is full the *oldest* record is dropped and a drop counter is
+//! bumped, so a long-running process can keep tracing enabled without
+//! unbounded memory growth; exporters report the drop count alongside
+//! the surviving records.
+//!
+//! # Overhead contract
+//!
+//! When tracing is disabled (the default), [`span`] and [`event`] cost
+//! exactly one relaxed atomic load — no allocation, no clock read, no
+//! lock. Instrumentation must therefore never be placed where even that
+//! load is too hot (per-fact loops); the solver instruments per *round*
+//! and per *solve*, never per tuple. Tracing must also be
+//! **result-neutral**: instrumentation only observes, it never feeds
+//! back into derivation order (the parity suite asserts equal fact sets
+//! with tracing on and off).
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// Default ring-buffer capacity installed by [`enable_tracing`] callers
+/// that have no better number (64Ki records ≈ a few MB).
+pub const DEFAULT_CAPACITY: usize = 65_536;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// One relaxed atomic load; `true` iff spans/events are being recorded.
+#[inline]
+pub fn tracing_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turn tracing on with the given ring-buffer capacity (clamped to ≥ 1).
+///
+/// Re-enabling with a different capacity resizes the ring, dropping the
+/// oldest records if it shrinks. Records already collected are kept.
+pub fn enable_tracing(capacity: usize) {
+    let c = collector();
+    {
+        let mut ring = c.ring.lock().unwrap();
+        ring.capacity = capacity.max(1);
+        ring.evict_to_capacity();
+    }
+    ENABLED.store(true, Ordering::SeqCst);
+}
+
+/// Turn tracing off. Already-collected records stay available to
+/// [`snapshot`] / [`take_trace`]; live span guards still record on drop.
+pub fn disable_tracing() {
+    ENABLED.store(false, Ordering::SeqCst);
+}
+
+/// Discard all collected records and reset the drop counter.
+pub fn clear_trace() {
+    if let Some(c) = COLLECTOR.get() {
+        let mut ring = c.ring.lock().unwrap();
+        ring.records.clear();
+        ring.dropped = 0;
+    }
+}
+
+/// A field value attached to a span or event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Unsigned integer (counts, sizes, ids).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (seconds, ratios).
+    F64(f64),
+    /// Boolean flag.
+    Bool(bool),
+    /// Free-form text (config tags, trace ids).
+    Str(String),
+}
+
+impl From<u64> for Value {
+    fn from(v: u64) -> Self {
+        Value::U64(v)
+    }
+}
+impl From<usize> for Value {
+    fn from(v: usize) -> Self {
+        Value::U64(v as u64)
+    }
+}
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::U64(u64::from(v))
+    }
+}
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::I64(v)
+    }
+}
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::F64(v)
+    }
+}
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+/// Whether a [`Record`] covers a duration or marks an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecordKind {
+    /// A closed span: `dur_us` is meaningful.
+    Span,
+    /// A point event: `dur_us` is zero.
+    Event,
+}
+
+/// A finished span or event as stored in the ring buffer.
+#[derive(Debug, Clone)]
+pub struct Record {
+    /// Unique id (process-wide, monotonically assigned).
+    pub id: u64,
+    /// Id of the enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Static name, e.g. `"solver.round"`.
+    pub name: &'static str,
+    /// Span or event.
+    pub kind: RecordKind,
+    /// Microseconds since the collector epoch (first use of tracing).
+    pub start_us: u64,
+    /// Duration in microseconds (0 for events).
+    pub dur_us: u64,
+    /// Attached key/value fields, in insertion order.
+    pub fields: Vec<(&'static str, Value)>,
+}
+
+struct Ring {
+    capacity: usize,
+    dropped: u64,
+    records: VecDeque<Record>,
+}
+
+impl Ring {
+    fn push(&mut self, rec: Record) {
+        if self.records.len() >= self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+        self.records.push_back(rec);
+    }
+
+    fn evict_to_capacity(&mut self) {
+        while self.records.len() > self.capacity {
+            self.records.pop_front();
+            self.dropped += 1;
+        }
+    }
+}
+
+struct Collector {
+    epoch: Instant,
+    next_id: AtomicU64,
+    ring: Mutex<Ring>,
+}
+
+static COLLECTOR: OnceLock<Collector> = OnceLock::new();
+
+fn collector() -> &'static Collector {
+    COLLECTOR.get_or_init(|| Collector {
+        epoch: Instant::now(),
+        next_id: AtomicU64::new(1),
+        ring: Mutex::new(Ring {
+            capacity: DEFAULT_CAPACITY,
+            dropped: 0,
+            records: VecDeque::new(),
+        }),
+    })
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+struct SpanInner {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    start_us: u64,
+    fields: Vec<(&'static str, Value)>,
+}
+
+/// RAII guard returned by [`span`]; records a [`Record`] on drop.
+///
+/// When tracing is disabled at creation time the guard is inert (no id,
+/// no fields, nothing recorded on drop).
+pub struct Span {
+    inner: Option<SpanInner>,
+}
+
+impl Span {
+    /// Builder-style field attachment: `span("x").field("n", 3u64)`.
+    /// No-op on an inert guard.
+    pub fn field(mut self, key: &'static str, value: impl Into<Value>) -> Self {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+        self
+    }
+
+    /// Attach a field to an already-bound guard (e.g. a result computed
+    /// inside the span). No-op on an inert guard.
+    pub fn record(&mut self, key: &'static str, value: impl Into<Value>) {
+        if let Some(inner) = &mut self.inner {
+            inner.fields.push((key, value.into()));
+        }
+    }
+
+    /// `true` iff this guard will produce a record on drop.
+    pub fn is_active(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// This span's id, if active (useful for cross-thread parent links).
+    pub fn id(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.id)
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.inner.take() {
+            SPAN_STACK.with(|s| {
+                let mut stack = s.borrow_mut();
+                if let Some(pos) = stack.iter().rposition(|&id| id == inner.id) {
+                    stack.remove(pos);
+                }
+            });
+            let dur_us = inner.start.elapsed().as_micros() as u64;
+            let rec = Record {
+                id: inner.id,
+                parent: inner.parent,
+                name: inner.name,
+                kind: RecordKind::Span,
+                start_us: inner.start_us,
+                dur_us,
+                fields: inner.fields,
+            };
+            collector().ring.lock().unwrap().push(rec);
+        }
+    }
+}
+
+/// Open a span. Returns an inert guard (one relaxed load, nothing else)
+/// when tracing is disabled. Bind the result — `let _span = span(..);` —
+/// so the region closes where the binding goes out of scope.
+pub fn span(name: &'static str) -> Span {
+    if !tracing_enabled() {
+        return Span { inner: None };
+    }
+    let c = collector();
+    let id = c.next_id.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| {
+        let mut stack = s.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    let start = Instant::now();
+    let start_us = start.duration_since(c.epoch).as_micros() as u64;
+    Span {
+        inner: Some(SpanInner {
+            id,
+            parent,
+            name,
+            start,
+            start_us,
+            fields: Vec::new(),
+        }),
+    }
+}
+
+/// Record a point event with fields. One relaxed load when disabled.
+pub fn event(name: &'static str, fields: Vec<(&'static str, Value)>) {
+    if !tracing_enabled() {
+        return;
+    }
+    let c = collector();
+    let id = c.next_id.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
+    let start_us = c.epoch.elapsed().as_micros() as u64;
+    let rec = Record {
+        id,
+        parent,
+        name,
+        kind: RecordKind::Event,
+        start_us,
+        dur_us: 0,
+        fields,
+    };
+    c.ring.lock().unwrap().push(rec);
+}
+
+/// A copy of the collector's contents at one instant.
+#[derive(Debug, Clone)]
+pub struct TraceDump {
+    /// Records evicted from the ring before this dump was taken.
+    pub dropped: u64,
+    /// Surviving records, oldest first.
+    pub records: Vec<Record>,
+}
+
+/// Copy the current ring contents without disturbing them.
+pub fn snapshot() -> TraceDump {
+    match COLLECTOR.get() {
+        Some(c) => {
+            let ring = c.ring.lock().unwrap();
+            TraceDump {
+                dropped: ring.dropped,
+                records: ring.records.iter().cloned().collect(),
+            }
+        }
+        None => TraceDump {
+            dropped: 0,
+            records: Vec::new(),
+        },
+    }
+}
+
+/// Drain the ring: returns everything collected so far and leaves the
+/// buffer empty with the drop counter reset.
+pub fn take_trace() -> TraceDump {
+    match COLLECTOR.get() {
+        Some(c) => {
+            let mut ring = c.ring.lock().unwrap();
+            let dropped = ring.dropped;
+            ring.dropped = 0;
+            TraceDump {
+                dropped,
+                records: ring.records.drain(..).collect(),
+            }
+        }
+        None => TraceDump {
+            dropped: 0,
+            records: Vec::new(),
+        },
+    }
+}
+
+impl TraceDump {
+    /// Serialize as a single JSON document:
+    /// `{"schema": "ctxform-trace/1", "dropped": N, "records": [...]}`.
+    ///
+    /// Each record is
+    /// `{"id": .., "parent": ..|null, "kind": "span"|"event", "name": ..,
+    ///   "start_us": .., "dur_us": .., "fields": {..}}` — parseable by
+    /// any JSON reader (the workspace round-trips it through
+    /// `ctxform_server::json` in tests).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(128 + self.records.len() * 96);
+        out.push_str("{\"schema\": \"ctxform-trace/1\", \"dropped\": ");
+        out.push_str(&self.dropped.to_string());
+        out.push_str(", \"records\": [");
+        for (i, rec) in self.records.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            write_record(&mut out, rec);
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn write_record(out: &mut String, rec: &Record) {
+    out.push_str("{\"id\": ");
+    out.push_str(&rec.id.to_string());
+    out.push_str(", \"parent\": ");
+    match rec.parent {
+        Some(p) => out.push_str(&p.to_string()),
+        None => out.push_str("null"),
+    }
+    out.push_str(", \"kind\": ");
+    out.push_str(match rec.kind {
+        RecordKind::Span => "\"span\"",
+        RecordKind::Event => "\"event\"",
+    });
+    out.push_str(", \"name\": ");
+    write_json_string(out, rec.name);
+    out.push_str(", \"start_us\": ");
+    out.push_str(&rec.start_us.to_string());
+    out.push_str(", \"dur_us\": ");
+    out.push_str(&rec.dur_us.to_string());
+    out.push_str(", \"fields\": {");
+    for (i, (key, value)) in rec.fields.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_json_string(out, key);
+        out.push_str(": ");
+        write_json_value(out, value);
+    }
+    out.push_str("}}");
+}
+
+fn write_json_value(out: &mut String, value: &Value) {
+    match value {
+        Value::U64(v) => out.push_str(&v.to_string()),
+        Value::I64(v) => out.push_str(&v.to_string()),
+        Value::F64(v) => {
+            if v.is_finite() {
+                out.push_str(&v.to_string());
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Bool(v) => out.push_str(if *v { "true" } else { "false" }),
+        Value::Str(s) => write_json_string(out, s),
+    }
+}
+
+fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}

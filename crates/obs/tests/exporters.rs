@@ -1,0 +1,185 @@
+//! Exporter and collector behavior: Prometheus text-format golden
+//! output (counter/gauge/histogram lines, escaping), ring-buffer
+//! overflow accounting, and span parentage.
+//!
+//! The trace collector is global, so every test touching it grabs
+//! `TRACE_LOCK` first and starts from a clean ring.
+
+use std::sync::Mutex;
+
+use ctxform_obs::metrics::{escape_label_value, Histogram, PromText, Registry};
+use ctxform_obs::{self as obs, RecordKind, Value};
+
+static TRACE_LOCK: Mutex<()> = Mutex::new(());
+
+fn lock_trace() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_LOCK
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+#[test]
+fn prometheus_golden() {
+    let reg = Registry::new();
+    let hits = reg.counter(
+        "ctxform_db_cache_hits_total",
+        "Cache lookups served from memory.",
+        &[],
+    );
+    hits.add(7);
+    let entries = reg.gauge("ctxform_db_cache_entries", "Databases resident.", &[]);
+    entries.set(3);
+    let lat = reg.histogram(
+        "ctxform_request_duration_seconds",
+        "Request latency.",
+        &[("endpoint", "points_to")],
+        &[0.001, 0.01, 0.1],
+    );
+    lat.observe(0.0005);
+    lat.observe(0.0005);
+    lat.observe(0.05);
+    lat.observe(2.0);
+
+    let expected = "\
+# HELP ctxform_db_cache_hits_total Cache lookups served from memory.
+# TYPE ctxform_db_cache_hits_total counter
+ctxform_db_cache_hits_total 7
+# HELP ctxform_db_cache_entries Databases resident.
+# TYPE ctxform_db_cache_entries gauge
+ctxform_db_cache_entries 3
+# HELP ctxform_request_duration_seconds Request latency.
+# TYPE ctxform_request_duration_seconds histogram
+ctxform_request_duration_seconds_bucket{endpoint=\"points_to\",le=\"0.001\"} 2
+ctxform_request_duration_seconds_bucket{endpoint=\"points_to\",le=\"0.01\"} 2
+ctxform_request_duration_seconds_bucket{endpoint=\"points_to\",le=\"0.1\"} 3
+ctxform_request_duration_seconds_bucket{endpoint=\"points_to\",le=\"+Inf\"} 4
+ctxform_request_duration_seconds_sum{endpoint=\"points_to\"} 2.051
+ctxform_request_duration_seconds_count{endpoint=\"points_to\"} 4
+";
+    assert_eq!(reg.render(), expected);
+}
+
+#[test]
+fn prometheus_label_and_help_escaping() {
+    let mut text = PromText::new();
+    text.header("m", "counter", "line one\nback\\slash");
+    text.sample("m", &[("k", "quote\" slash\\ nl\n")], 1.0);
+    let got = text.finish();
+    assert_eq!(
+        got,
+        "# HELP m line one\\nback\\\\slash\n# TYPE m counter\nm{k=\"quote\\\" slash\\\\ nl\\n\"} 1\n"
+    );
+    assert_eq!(escape_label_value("a\\b\"c\nd"), "a\\\\b\\\"c\\nd");
+}
+
+#[test]
+fn registry_get_or_register_returns_same_handle() {
+    let reg = Registry::new();
+    let a = reg.counter("x_total", "X.", &[("rule", "New")]);
+    let b = reg.counter("x_total", "X.", &[("rule", "New")]);
+    a.add(2);
+    b.inc();
+    assert_eq!(a.get(), 3);
+    // Different labels → a distinct series.
+    let c = reg.counter("x_total", "X.", &[("rule", "Load")]);
+    assert_eq!(c.get(), 0);
+}
+
+#[test]
+fn histogram_cumulative_buckets() {
+    let h = Histogram::new(&[1.0, 2.0]);
+    h.observe(0.5);
+    h.observe(1.5);
+    h.observe(9.0);
+    let buckets = h.cumulative_buckets();
+    assert_eq!(buckets[0], (1.0, 1));
+    assert_eq!(buckets[1], (2.0, 2));
+    assert!(buckets[2].0.is_infinite());
+    assert_eq!(buckets[2].1, 3);
+    assert_eq!(h.count(), 3);
+    assert!((h.sum() - 11.0).abs() < 1e-9);
+}
+
+#[test]
+fn ring_overflow_drops_oldest_and_counts() {
+    let _guard = lock_trace();
+    obs::enable_tracing(4);
+    obs::clear_trace();
+    for i in 0..10u64 {
+        obs::event("overflow.tick", vec![("i", Value::U64(i))]);
+    }
+    let dump = obs::take_trace();
+    obs::disable_tracing();
+    assert_eq!(dump.records.len(), 4, "ring keeps exactly its capacity");
+    assert_eq!(dump.dropped, 6, "drop counter reports evictions");
+    // The survivors are the newest four, in order.
+    let is: Vec<u64> = dump
+        .records
+        .iter()
+        .map(|r| match r.fields[0].1 {
+            Value::U64(v) => v,
+            _ => unreachable!(),
+        })
+        .collect();
+    assert_eq!(is, vec![6, 7, 8, 9]);
+}
+
+#[test]
+fn span_parentage_and_fields() {
+    let _guard = lock_trace();
+    obs::enable_tracing(1024);
+    obs::clear_trace();
+    {
+        let _outer = obs::span("outer").field("n", 1u64);
+        {
+            let _inner = obs::span("inner");
+            obs::event("leaf", vec![("ok", Value::Bool(true))]);
+        }
+    }
+    let dump = obs::take_trace();
+    obs::disable_tracing();
+    let leaf = dump.records.iter().find(|r| r.name == "leaf").unwrap();
+    let inner = dump.records.iter().find(|r| r.name == "inner").unwrap();
+    let outer = dump.records.iter().find(|r| r.name == "outer").unwrap();
+    assert_eq!(leaf.kind, RecordKind::Event);
+    assert_eq!(inner.kind, RecordKind::Span);
+    assert_eq!(leaf.parent, Some(inner.id));
+    assert_eq!(inner.parent, Some(outer.id));
+    assert_eq!(outer.parent, None);
+    assert_eq!(outer.fields, vec![("n", Value::U64(1))]);
+}
+
+#[test]
+fn disabled_tracing_records_nothing() {
+    let _guard = lock_trace();
+    obs::disable_tracing();
+    obs::clear_trace();
+    {
+        let span = obs::span("should.not.appear");
+        assert!(!span.is_active());
+    }
+    obs::event("also.not", vec![]);
+    let dump = obs::snapshot();
+    assert!(dump.records.is_empty());
+    assert_eq!(dump.dropped, 0);
+}
+
+#[test]
+fn trace_json_shape() {
+    let _guard = lock_trace();
+    obs::enable_tracing(64);
+    obs::clear_trace();
+    {
+        let _s = obs::span("json.span").field("tag", "a\"b\\c");
+    }
+    let dump = obs::take_trace();
+    obs::disable_tracing();
+    let json = dump.to_json();
+    assert!(json.starts_with("{\"schema\": \"ctxform-trace/1\", \"dropped\": 0"));
+    assert!(json.contains("\"name\": \"json.span\""));
+    assert!(json.contains("\"kind\": \"span\""));
+    assert!(
+        json.contains("\"tag\": \"a\\\"b\\\\c\""),
+        "escaped field: {json}"
+    );
+}

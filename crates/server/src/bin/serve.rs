@@ -2,13 +2,21 @@
 //!
 //! ```text
 //! ctxform-serve [--port N] [--threads N] [--solver-threads N] [--queue N]
-//!               [--cache-mb N] [--deadline-ms N] [--port-file PATH]
+//!               [--cache-mb N] [--deadline-ms N] [--slow-ms N]
+//!               [--trace N] [--log-level LEVEL] [--port-file PATH]
 //! ```
 //!
 //! `--threads` sizes the request-worker pool; `--solver-threads` sets the
 //! default frontier-parallel solver width for requests that do not pick
 //! one (`0` = auto-detect). Results are bit-identical for every solver
 //! width, so the flag only affects solve latency, never answers.
+//!
+//! Observability: `--slow-ms N` logs every request slower than `N`
+//! milliseconds (with its trace id) at `WARN`; `--trace N` enables the
+//! in-process trace ring with capacity `N` records (`0` keeps tracing
+//! off), queryable via the `trace` op; `--log-level` filters the
+//! structured stderr log (`debug`/`info`/`warn`/`error`). The `metrics`
+//! op serves a Prometheus text exposition regardless of these flags.
 //!
 //! Binds 127.0.0.1 (`--port 0` picks an ephemeral port and `--port-file`
 //! writes the chosen port for scripts), serves until a client sends the
@@ -17,6 +25,7 @@
 
 use std::time::Duration;
 
+use ctxform_obs::logger::{self, Level};
 use ctxform_server::server::{start, ServerConfig};
 
 fn main() {
@@ -25,6 +34,7 @@ fn main() {
         ..ServerConfig::default()
     };
     let mut port_file: Option<String> = None;
+    let mut trace_capacity: usize = 0;
     let mut args = std::env::args().skip(1);
     fn num(args: &mut impl Iterator<Item = String>, name: &str) -> u64 {
         args.next()
@@ -43,31 +53,56 @@ fn main() {
             "--deadline-ms" => {
                 config.deadline = Duration::from_millis(num(&mut args, "--deadline-ms"))
             }
+            "--slow-ms" => config.slow_query_ms = num(&mut args, "--slow-ms"),
+            "--trace" => trace_capacity = num(&mut args, "--trace") as usize,
+            "--log-level" => {
+                let level = args.next().expect("--log-level needs a level");
+                logger::set_level(match level.as_str() {
+                    "debug" => Level::Debug,
+                    "info" => Level::Info,
+                    "warn" => Level::Warn,
+                    "error" => Level::Error,
+                    other => panic!("unknown log level `{other}`"),
+                });
+            }
             "--port-file" => port_file = Some(args.next().expect("--port-file needs a path")),
             "--help" | "-h" => {
                 eprintln!(
                     "usage: ctxform-serve [--port N] [--threads N] [--solver-threads N] \
-                     [--queue N] [--cache-mb N] [--deadline-ms N] [--port-file PATH]"
+                     [--queue N] [--cache-mb N] [--deadline-ms N] [--slow-ms N] \
+                     [--trace N] [--log-level LEVEL] [--port-file PATH]"
                 );
                 return;
             }
             other => panic!("unknown argument `{other}`"),
         }
     }
+    if trace_capacity > 0 {
+        ctxform_obs::enable_tracing(trace_capacity);
+    }
 
     let handle = start(config).unwrap_or_else(|e| panic!("cannot bind port {}: {e}", config.port));
     let addr = handle.addr();
-    eprintln!(
-        "ctxform-serve listening on {addr} ({} threads, solver threads {}, queue {}, cache {} MiB, deadline {:?})",
-        config.threads,
-        if config.solver_threads == 0 {
-            "auto".to_owned()
-        } else {
-            config.solver_threads.to_string()
-        },
-        config.queue_depth,
-        config.cache_bytes >> 20,
-        config.deadline,
+    logger::info(
+        "ctxform-serve",
+        format!(
+            "listening on {addr} ({} threads, solver threads {}, queue {}, cache {} MiB, deadline {:?}, slow-query {} ms, trace ring {})",
+            config.threads,
+            if config.solver_threads == 0 {
+                "auto".to_owned()
+            } else {
+                config.solver_threads.to_string()
+            },
+            config.queue_depth,
+            config.cache_bytes >> 20,
+            config.deadline,
+            config.slow_query_ms,
+            if trace_capacity == 0 {
+                "off".to_owned()
+            } else {
+                format!("{trace_capacity} records")
+            },
+        ),
     );
     if let Some(path) = port_file {
         std::fs::write(&path, format!("{}\n", addr.port()))
@@ -76,5 +111,8 @@ fn main() {
     // Blocks until a client sends `shutdown`; the join return value is the
     // shutdown-time observability report.
     let report = handle.join();
-    eprintln!("ctxform-serve: drained and stopped\n{report}");
+    for line in report.lines() {
+        logger::info("ctxform-serve", line);
+    }
+    logger::info("ctxform-serve", "drained and stopped");
 }

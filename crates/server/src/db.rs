@@ -17,9 +17,10 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use ctxform::{analyze, AnalysisConfig, AnalysisResult};
+use ctxform::{analyze, AnalysisConfig, AnalysisResult, SolverStats};
 use ctxform_hash::fx_hash_one;
 use ctxform_ir::{text, Program};
+use ctxform_obs::metrics::{Registry, LATENCY_BUCKETS_S};
 
 use crate::protocol::config_tag;
 
@@ -144,6 +145,10 @@ pub struct DbManager {
     /// When set, replaces the `analyze` call — test instrumentation for
     /// injecting panics and latency into the solve path.
     solve_hook: Option<Box<SolveFn>>,
+    /// When set, every fresh solve folds its per-rule counters, fact
+    /// totals, and interner gauge into this registry (the `metrics`
+    /// endpoint's solver section).
+    registry: Option<Arc<Registry>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -159,6 +164,7 @@ impl DbManager {
             budget,
             solver_threads: 0,
             solve_hook: None,
+            registry: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -169,6 +175,13 @@ impl DbManager {
     /// not pick one explicitly (`0` keeps the per-analysis auto default).
     pub fn with_solver_threads(mut self, threads: usize) -> Self {
         self.solver_threads = threads;
+        self
+    }
+
+    /// Attaches a metrics registry: every fresh solve records its rule
+    /// counters, fact totals, duration, and interner size there.
+    pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
+        self.registry = Some(registry);
         self
     }
 
@@ -275,6 +288,9 @@ impl DbManager {
                 return Err(DbError::SolveFailed(message));
             }
         };
+        if let Some(registry) = &self.registry {
+            record_solve_metrics(registry, &result.stats);
+        }
         let bytes = approx_result_bytes(&result);
         let mut state = self.cache.lock().unwrap();
         state.tick += 1;
@@ -324,6 +340,74 @@ impl DbManager {
             programs: self.programs.lock().unwrap().len(),
         }
     }
+}
+
+/// Folds one fresh solve's statistics into the metrics registry: solve
+/// count and duration, fact totals, per-Figure-3-rule firing/derivation
+/// counters, and the interner/memo-table gauges (gauges reflect the most
+/// recent solve; counters accumulate across solves).
+fn record_solve_metrics(registry: &Registry, stats: &SolverStats) {
+    registry
+        .counter(
+            "ctxform_solver_solves_total",
+            "Fresh solves performed.",
+            &[],
+        )
+        .inc();
+    registry
+        .counter(
+            "ctxform_solver_facts_total",
+            "Context-sensitive facts (pts+hpts+call) derived by fresh solves.",
+            &[],
+        )
+        .add(stats.total() as u64);
+    for (rule, n) in stats.rule_fired.nonzero() {
+        registry
+            .counter(
+                "ctxform_solver_rule_fired_total",
+                "Rule firings (candidate facts offered), by Figure 3 rule.",
+                &[("rule", rule)],
+            )
+            .add(n);
+    }
+    for (rule, n) in stats.rule_derived.nonzero() {
+        registry
+            .counter(
+                "ctxform_solver_rule_derived_total",
+                "Novel facts admitted, by Figure 3 rule.",
+                &[("rule", rule)],
+            )
+            .add(n);
+    }
+    registry
+        .gauge(
+            "ctxform_solver_interned_contexts",
+            "Context strings interned by the most recent fresh solve.",
+            &[],
+        )
+        .set(stats.interned_contexts as i64);
+    registry
+        .gauge(
+            "ctxform_solver_memo_entries",
+            "Memo-table entries after the most recent fresh solve.",
+            &[("table", "compose")],
+        )
+        .set(stats.compose_memo_entries as i64);
+    registry
+        .gauge(
+            "ctxform_solver_memo_entries",
+            "Memo-table entries after the most recent fresh solve.",
+            &[("table", "subsume")],
+        )
+        .set(stats.subsume_memo_entries as i64);
+    registry
+        .histogram(
+            "ctxform_solver_solve_seconds",
+            "Wall-clock duration of fresh solves.",
+            &[],
+            &LATENCY_BUCKETS_S,
+        )
+        .observe_duration(stats.duration);
 }
 
 /// Estimates the resident size of a solved database: the dominant cost is
@@ -466,6 +550,27 @@ mod tests {
         assert!(!cached, "retry is a fresh solve");
         let (_, cached) = db.get_or_solve(digest, &config("1-call")).unwrap();
         assert!(cached, "and its result is cached normally");
+    }
+
+    #[test]
+    fn fresh_solves_feed_the_registry_and_cache_hits_do_not() {
+        let module = compile(corpus::BOX).unwrap();
+        let registry = Arc::new(Registry::new());
+        let db = DbManager::new(1 << 20).with_registry(registry.clone());
+        let (digest, _) = db.load_program(module.program);
+        db.get_or_solve(digest, &config("1-call")).unwrap();
+        let solves = registry.counter("ctxform_solver_solves_total", "", &[]);
+        let derived = registry.counter("ctxform_solver_rule_derived_total", "", &[("rule", "New")]);
+        assert_eq!(solves.get(), 1);
+        let after_first = derived.get();
+        assert!(after_first > 0, "New-rule derivations recorded");
+        // A cache hit performs no solve and must not move the counters.
+        db.get_or_solve(digest, &config("1-call")).unwrap();
+        assert_eq!(solves.get(), 1);
+        assert_eq!(derived.get(), after_first);
+        let text = registry.render();
+        assert!(text.contains("ctxform_solver_rule_derived_total{rule=\"New\"}"));
+        assert!(text.contains("ctxform_solver_solve_seconds_count 1"));
     }
 
     #[test]

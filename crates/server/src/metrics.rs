@@ -1,16 +1,19 @@
 //! Per-endpoint serving metrics: request counts, error counts, latency
-//! min/mean/max, and bytes written — all lock-free atomics so workers
-//! never contend, snapshotted by the `stats` endpoint and logged on
-//! shutdown.
+//! min/mean/max plus a fixed-bucket histogram, and bytes written — all
+//! lock-free atomics so workers never contend, snapshotted by the
+//! `stats` endpoint, rendered as Prometheus text by the `metrics`
+//! endpoint, and logged on shutdown.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
+
+use ctxform_obs::metrics::{Histogram, PromText, LATENCY_BUCKETS_S};
 
 use crate::json::Json;
 
 /// The fixed endpoint list (wire `op` names plus a bucket for requests
 /// that never parsed far enough to have one).
-pub const ENDPOINTS: [&str; 11] = [
+pub const ENDPOINTS: [&str; 13] = [
     "load_source",
     "load_facts",
     "analyze",
@@ -19,6 +22,8 @@ pub const ENDPOINTS: [&str; 11] = [
     "call_edges",
     "reachable",
     "stats",
+    "metrics",
+    "trace",
     "sleep",
     "shutdown",
     "invalid",
@@ -34,6 +39,7 @@ struct EndpointStats {
     min_ns: AtomicU64,
     max_ns: AtomicU64,
     bytes_out: AtomicU64,
+    latency: Histogram,
 }
 
 impl Default for EndpointStats {
@@ -45,6 +51,7 @@ impl Default for EndpointStats {
             min_ns: AtomicU64::new(u64::MAX),
             max_ns: AtomicU64::new(0),
             bytes_out: AtomicU64::new(0),
+            latency: Histogram::new(&LATENCY_BUCKETS_S),
         }
     }
 }
@@ -86,6 +93,7 @@ impl Metrics {
         stats
             .bytes_out
             .fetch_add(bytes_out as u64, Ordering::Relaxed);
+        stats.latency.observe_duration(latency);
     }
 
     /// Total requests served across endpoints.
@@ -140,6 +148,104 @@ impl Metrics {
         Json::Obj(pairs)
     }
 
+    /// Appends this registry's per-endpoint series to a Prometheus
+    /// exposition: request/error/byte counters and the latency
+    /// histogram plus min/max gauges, labelled by endpoint. Endpoints
+    /// that never served a request are omitted (their series would be
+    /// all-zero noise).
+    pub fn render_prometheus(&self, text: &mut PromText) {
+        let used: Vec<(&str, &EndpointStats)> = ENDPOINTS
+            .iter()
+            .zip(&self.endpoints)
+            .filter(|(_, s)| s.count.load(Ordering::Relaxed) > 0)
+            .map(|(name, s)| (*name, s))
+            .collect();
+        text.header(
+            "ctxform_uptime_seconds",
+            "gauge",
+            "Seconds since the metrics registry was created.",
+        );
+        text.sample("ctxform_uptime_seconds", &[], self.uptime_ms() / 1000.0);
+        if used.is_empty() {
+            return;
+        }
+        text.header(
+            "ctxform_requests_total",
+            "counter",
+            "Requests served, by endpoint.",
+        );
+        for (name, s) in &used {
+            text.sample(
+                "ctxform_requests_total",
+                &[("endpoint", name)],
+                s.count.load(Ordering::Relaxed) as f64,
+            );
+        }
+        text.header(
+            "ctxform_request_errors_total",
+            "counter",
+            "Requests answered with ok=false, by endpoint.",
+        );
+        for (name, s) in &used {
+            text.sample(
+                "ctxform_request_errors_total",
+                &[("endpoint", name)],
+                s.errors.load(Ordering::Relaxed) as f64,
+            );
+        }
+        text.header(
+            "ctxform_response_bytes_total",
+            "counter",
+            "Reply bytes written, by endpoint.",
+        );
+        for (name, s) in &used {
+            text.sample(
+                "ctxform_response_bytes_total",
+                &[("endpoint", name)],
+                s.bytes_out.load(Ordering::Relaxed) as f64,
+            );
+        }
+        text.header(
+            "ctxform_request_duration_seconds",
+            "histogram",
+            "Request latency, by endpoint.",
+        );
+        for (name, s) in &used {
+            text.histogram(
+                "ctxform_request_duration_seconds",
+                &[("endpoint", name)],
+                &s.latency,
+            );
+        }
+        text.header(
+            "ctxform_request_duration_min_seconds",
+            "gauge",
+            "Fastest request observed, by endpoint.",
+        );
+        for (name, s) in &used {
+            let min_ns = s.min_ns.load(Ordering::Relaxed);
+            if min_ns != u64::MAX {
+                text.sample(
+                    "ctxform_request_duration_min_seconds",
+                    &[("endpoint", name)],
+                    min_ns as f64 / 1e9,
+                );
+            }
+        }
+        text.header(
+            "ctxform_request_duration_max_seconds",
+            "gauge",
+            "Slowest request observed, by endpoint.",
+        );
+        for (name, s) in &used {
+            text.sample(
+                "ctxform_request_duration_max_seconds",
+                &[("endpoint", name)],
+                s.max_ns.load(Ordering::Relaxed) as f64 / 1e9,
+            );
+        }
+    }
+
     /// A human-readable multi-line report (logged on shutdown).
     pub fn report(&self) -> String {
         let mut out = format!(
@@ -187,6 +293,29 @@ mod tests {
         assert!(json.get("invalid").is_some());
         assert!(json.get("analyze").is_none(), "unused endpoints omitted");
         assert!(m.report().contains("points_to"));
+    }
+
+    #[test]
+    fn prometheus_rendering_covers_used_endpoints() {
+        let m = Metrics::default();
+        m.record("points_to", Duration::from_millis(2), 100, false);
+        m.record("points_to", Duration::from_millis(4), 50, true);
+        let mut text = PromText::new();
+        m.render_prometheus(&mut text);
+        let out = text.finish();
+        assert!(out.contains("# TYPE ctxform_requests_total counter"));
+        assert!(out.contains("ctxform_requests_total{endpoint=\"points_to\"} 2"));
+        assert!(out.contains("ctxform_request_errors_total{endpoint=\"points_to\"} 1"));
+        assert!(out.contains("ctxform_response_bytes_total{endpoint=\"points_to\"} 150"));
+        assert!(out.contains("# TYPE ctxform_request_duration_seconds histogram"));
+        assert!(out.contains(
+            "ctxform_request_duration_seconds_bucket{endpoint=\"points_to\",le=\"+Inf\"} 2"
+        ));
+        assert!(out.contains("ctxform_request_duration_seconds_count{endpoint=\"points_to\"} 2"));
+        assert!(
+            !out.contains("endpoint=\"analyze\""),
+            "unused endpoints omitted"
+        );
     }
 
     #[test]

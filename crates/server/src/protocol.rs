@@ -166,6 +166,14 @@ pub enum Request {
     },
     /// Server statistics.
     Stats,
+    /// Prometheus text exposition of server + solver metrics.
+    Metrics,
+    /// The collected trace spans/events (requires tracing enabled on
+    /// the server; see `--trace` on `ctxform-serve`).
+    Trace {
+        /// Return only the newest `limit` records.
+        limit: Option<usize>,
+    },
     /// Hold a worker for `ms` milliseconds (testing aid: exercises queue
     /// overload and per-request deadlines deterministically).
     Sleep {
@@ -188,6 +196,8 @@ impl Request {
             Request::CallEdges { .. } => "call_edges",
             Request::Reachable { .. } => "reachable",
             Request::Stats => "stats",
+            Request::Metrics => "metrics",
+            Request::Trace { .. } => "trace",
             Request::Sleep { .. } => "sleep",
             Request::Shutdown => "shutdown",
         }
@@ -257,18 +267,76 @@ fn req_config(obj: &Json) -> Result<AnalysisConfig, ProtoError> {
     Ok(config)
 }
 
-/// Parses one request line into its optional `id` and the typed request.
+/// Request envelope fields that ride alongside the operation: the
+/// client-chosen `id` (echoed verbatim) and the optional `trace` id
+/// (echoed verbatim and attached to the server's request span and
+/// slow-query log, so one query can be followed across client logs,
+/// server logs, and trace dumps).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RequestMeta {
+    /// The `"id"` field, any JSON value.
+    pub id: Option<Json>,
+    /// The `"trace"` field (client-supplied trace id).
+    pub trace: Option<String>,
+}
+
+impl RequestMeta {
+    /// Builds an `"ok": true` reply echoing this envelope.
+    pub fn ok_reply(&self, mut fields: Vec<(&'static str, Json)>) -> String {
+        if let Some(trace) = &self.trace {
+            fields.push(("trace", Json::str(trace)));
+        }
+        ok_reply(self.id.as_ref(), fields)
+    }
+
+    /// Builds an `"ok": false` reply echoing this envelope.
+    pub fn err_reply(&self, error: &ProtoError) -> String {
+        let mut pairs: Vec<(String, Json)> = Vec::with_capacity(5);
+        if let Some(id) = &self.id {
+            pairs.push(("id".into(), id.clone()));
+        }
+        pairs.push(("ok".into(), Json::Bool(false)));
+        pairs.push(("error".into(), Json::str(error.code.as_str())));
+        pairs.push(("message".into(), Json::str(&*error.message)));
+        if let Some(trace) = &self.trace {
+            pairs.push(("trace".into(), Json::str(trace)));
+        }
+        let mut line = Json::Obj(pairs).to_line();
+        line.push('\n');
+        line
+    }
+}
+
+/// Best-effort envelope extraction for request lines that failed to
+/// parse into a typed request: a well-formed JSON object with a bad or
+/// missing `op` still gets its `id` and `trace` echoed in the error
+/// reply. Lines that are not JSON objects yield an empty envelope.
+pub fn salvage_meta(line: &str) -> RequestMeta {
+    match Json::parse(line) {
+        Ok(obj @ Json::Obj(_)) => RequestMeta {
+            id: obj.get("id").cloned(),
+            trace: opt_str(&obj, "trace"),
+        },
+        _ => RequestMeta::default(),
+    }
+}
+
+/// Parses one request line into its envelope ([`RequestMeta`]) and the
+/// typed request.
 ///
 /// # Errors
 ///
 /// Returns a [`ProtoError`] with [`ErrorCode::BadRequest`] for malformed
 /// JSON, a missing/unknown `op`, or missing/ill-typed fields.
-pub fn parse_request(line: &str) -> Result<(Option<Json>, Request), ProtoError> {
+pub fn parse_request(line: &str) -> Result<(RequestMeta, Request), ProtoError> {
     let obj = Json::parse(line).map_err(|e| bad(format!("invalid JSON: {e}")))?;
     if !matches!(obj, Json::Obj(_)) {
         return Err(bad("request must be a JSON object"));
     }
-    let id = obj.get("id").cloned();
+    let meta = RequestMeta {
+        id: obj.get("id").cloned(),
+        trace: opt_str(&obj, "trace"),
+    };
     let op = req_str(&obj, "op")?;
     let request = match op.as_str() {
         "load_source" => Request::LoadSource {
@@ -304,6 +372,10 @@ pub fn parse_request(line: &str) -> Result<(Option<Json>, Request), ProtoError> 
             method: opt_str(&obj, "method"),
         },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
+        "trace" => Request::Trace {
+            limit: obj.get("limit").and_then(Json::as_u64).map(|n| n as usize),
+        },
         "sleep" => Request::Sleep {
             ms: obj
                 .get("ms")
@@ -313,7 +385,7 @@ pub fn parse_request(line: &str) -> Result<(Option<Json>, Request), ProtoError> 
         "shutdown" => Request::Shutdown,
         other => return Err(bad(format!("unknown op `{other}`"))),
     };
-    Ok((id, request))
+    Ok((meta, request))
 }
 
 /// Builds an `"ok": true` reply line (with trailing newline).
@@ -398,6 +470,8 @@ mod tests {
             (r#"{"op": "call_edges", "program": "ff"}"#, "call_edges"),
             (r#"{"op": "reachable", "program": "ff"}"#, "reachable"),
             (r#"{"op": "stats"}"#, "stats"),
+            (r#"{"op": "metrics"}"#, "metrics"),
+            (r#"{"op": "trace", "limit": 100}"#, "trace"),
             (r#"{"op": "sleep", "ms": 5}"#, "sleep"),
             (r#"{"op": "shutdown"}"#, "shutdown"),
         ];
@@ -409,14 +483,35 @@ mod tests {
 
     #[test]
     fn id_is_parsed_and_echoed() {
-        let (id, _) = parse_request(r#"{"id": 7, "op": "stats"}"#).unwrap();
-        assert_eq!(id, Some(Json::Num(7.0)));
-        let reply = ok_reply(id.as_ref(), vec![("x", Json::int(1))]);
+        let (meta, _) = parse_request(r#"{"id": 7, "op": "stats"}"#).unwrap();
+        assert_eq!(meta.id, Some(Json::Num(7.0)));
+        assert_eq!(meta.trace, None);
+        let reply = ok_reply(meta.id.as_ref(), vec![("x", Json::int(1))]);
         assert_eq!(reply, "{\"id\": 7, \"ok\": true, \"x\": 1}\n");
-        let err = err_reply(id.as_ref(), &ProtoError::new(ErrorCode::Internal, "boom"));
+        // Without a trace id the envelope reply is byte-identical to the
+        // plain one — the field is strictly additive.
+        assert_eq!(meta.ok_reply(vec![("x", Json::int(1))]), reply);
+        let err = err_reply(
+            meta.id.as_ref(),
+            &ProtoError::new(ErrorCode::Internal, "boom"),
+        );
         let parsed = Json::parse(err.trim()).unwrap();
         assert_eq!(parsed.get("error").unwrap().as_str(), Some("internal"));
         assert_eq!(parsed.get("ok").unwrap().as_bool(), Some(false));
+    }
+
+    #[test]
+    fn trace_id_is_parsed_and_echoed() {
+        let (meta, _) = parse_request(r#"{"id": 1, "trace": "req-42", "op": "stats"}"#).unwrap();
+        assert_eq!(meta.trace.as_deref(), Some("req-42"));
+        let ok = meta.ok_reply(vec![("x", Json::int(1))]);
+        assert_eq!(
+            ok,
+            "{\"id\": 1, \"ok\": true, \"x\": 1, \"trace\": \"req-42\"}\n"
+        );
+        let err = meta.err_reply(&ProtoError::new(ErrorCode::Internal, "boom"));
+        let parsed = Json::parse(err.trim()).unwrap();
+        assert_eq!(parsed.get("trace").unwrap().as_str(), Some("req-42"));
     }
 
     #[test]

@@ -13,19 +13,21 @@
 
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
 use ctxform::{demand_points_to, AbstractionKind, AnalysisConfig, AnalysisResult};
 use ctxform_ir::{Program, Var};
+use ctxform_obs::metrics::{PromText, Registry};
+use ctxform_obs::{self as obs};
 
-use crate::db::{DbError, DbManager};
+use crate::db::{CacheSnapshot, DbError, DbManager};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    digest_str, err_reply, ok_reply, parse_request, ErrorCode, ProtoError, Request, VarRef,
+    digest_str, err_reply, parse_request, salvage_meta, ErrorCode, ProtoError, Request, VarRef,
 };
 
 /// Tuning knobs of one server instance.
@@ -47,6 +49,10 @@ pub struct ServerConfig {
     /// loop, `n > 1` = the frontier-parallel engine. Results (and cache
     /// entries) are identical for every value — this is purely latency.
     pub solver_threads: usize,
+    /// Slow-query threshold in milliseconds: requests that take at least
+    /// this long are logged at `WARN` with their endpoint, latency, and
+    /// trace id. `0` disables the slow-query log.
+    pub slow_query_ms: u64,
 }
 
 impl Default for ServerConfig {
@@ -64,6 +70,7 @@ impl Default for ServerConfig {
             cache_bytes: 256 << 20,
             deadline: Duration::from_secs(30),
             solver_threads: 0,
+            slow_query_ms: 0,
         }
     }
 }
@@ -74,6 +81,12 @@ struct Shared {
     shutdown: AtomicBool,
     db: DbManager,
     metrics: Metrics,
+    /// Solver-level metrics (rule counters, solve durations) fed by the
+    /// database manager and rendered by the `metrics` endpoint.
+    registry: Arc<Registry>,
+    /// Fallback trace-id sequence for requests that did not supply one
+    /// (used by the slow-query log so every logged query is addressable).
+    trace_seq: AtomicU64,
     config: ServerConfig,
     addr: SocketAddr,
 }
@@ -139,12 +152,17 @@ impl ServerHandle {
 pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(("127.0.0.1", config.port))?;
     let addr = listener.local_addr()?;
+    let registry = Arc::new(Registry::new());
     let shared = Arc::new(Shared {
         queue: Mutex::new(std::collections::VecDeque::new()),
         queued: Condvar::new(),
         shutdown: AtomicBool::new(false),
-        db: DbManager::new(config.cache_bytes).with_solver_threads(config.solver_threads),
+        db: DbManager::new(config.cache_bytes)
+            .with_solver_threads(config.solver_threads)
+            .with_registry(registry.clone()),
         metrics: Metrics::default(),
+        registry,
+        trace_seq: AtomicU64::new(1),
         config,
         addr,
     });
@@ -298,23 +316,59 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
 fn serve_request(shared: &Shared, stream: &mut TcpStream, line: &str) -> bool {
     let started = Instant::now();
     let deadline = shared.config.deadline;
-    let (id, endpoint, outcome) = match parse_request(line) {
-        Ok((id, request)) => {
+    let (meta, endpoint, outcome) = match parse_request(line) {
+        Ok((meta, request)) => {
             let endpoint = request.endpoint();
+            let mut span = obs::span("server.request");
+            if span.is_active() {
+                span.record("endpoint", endpoint);
+                if let Some(trace) = &meta.trace {
+                    span.record("trace", trace.clone());
+                }
+            }
             let outcome = dispatch(shared, &request, started, deadline);
-            (id, endpoint, outcome)
+            span.record("ok", outcome.is_ok());
+            (meta, endpoint, outcome)
         }
-        Err(e) => (None, "invalid", Err(e)),
+        Err(e) => (salvage_meta(line), "invalid", Err(e)),
     };
     let shutting_down = endpoint == "shutdown";
     let (reply, is_error) = match outcome {
-        Ok(fields) => (ok_reply(id.as_ref(), fields), false),
-        Err(e) => (err_reply(id.as_ref(), &e), true),
+        Ok(fields) => (meta.ok_reply(fields), false),
+        Err(e) => (meta.err_reply(&e), true),
     };
     let write_failed = stream.write_all(reply.as_bytes()).is_err();
+    let latency = started.elapsed();
     shared
         .metrics
-        .record(endpoint, started.elapsed(), reply.len(), is_error);
+        .record(endpoint, latency, reply.len(), is_error);
+    let slow = shared.config.slow_query_ms;
+    if slow > 0 && latency >= Duration::from_millis(slow) {
+        // Every slow query gets an addressable trace id: the client's if it
+        // supplied one, a server-generated sequence number otherwise.
+        let trace = meta.trace.clone().unwrap_or_else(|| {
+            format!(
+                "srv-{:08x}",
+                shared.trace_seq.fetch_add(1, Ordering::Relaxed)
+            )
+        });
+        let latency_ms = latency.as_secs_f64() * 1000.0;
+        obs::logger::warn(
+            "ctxform-serve",
+            format!(
+                "slow query: endpoint={endpoint} trace={trace} latency_ms={latency_ms:.3} error={is_error}"
+            ),
+        );
+        obs::event(
+            "server.slow_query",
+            vec![
+                ("endpoint", endpoint.into()),
+                ("trace", trace.into()),
+                ("latency_ms", latency_ms.into()),
+                ("error", is_error.into()),
+            ],
+        );
+    }
     shutting_down || write_failed
 }
 
@@ -432,6 +486,8 @@ fn dispatch(
             Ok(fields)
         }
         Request::Stats => Ok(stats_fields(shared)),
+        Request::Metrics => Ok(metrics_fields(shared)),
+        Request::Trace { limit } => Ok(trace_fields(*limit)),
         Request::Sleep { ms } => {
             // Sleep in slices so shutdown and the deadline stay responsive.
             let wake = started + Duration::from_millis(*ms);
@@ -587,6 +643,101 @@ fn resolve_var(program: &Program, var: &VarRef) -> Result<Var, ProtoError> {
                 format!("no variable `{}` in `{}`", var.var, var.method),
             )
         })
+}
+
+/// Builds the `metrics` reply: one Prometheus text exposition covering
+/// the serving layer (per-endpoint counters and latency histograms), the
+/// database cache, and the solver registry (rule counters, solve
+/// durations) fed by [`DbManager`].
+fn metrics_fields(shared: &Shared) -> Fields {
+    let mut text = PromText::new();
+    shared.metrics.render_prometheus(&mut text);
+    let queue_len = shared.queue.lock().unwrap().len();
+    text.header(
+        "ctxform_queue_depth",
+        "gauge",
+        "Connections waiting for a worker.",
+    );
+    text.sample("ctxform_queue_depth", &[], queue_len as f64);
+    render_cache_prometheus(&mut text, &shared.db.snapshot());
+    shared.registry.render_into(&mut text);
+    vec![
+        ("content_type", Json::str("text/plain; version=0.0.4")),
+        ("exposition", Json::str(text.finish())),
+    ]
+}
+
+fn render_cache_prometheus(text: &mut PromText, cache: &CacheSnapshot) {
+    let counters: [(&str, &str, u64); 3] = [
+        (
+            "ctxform_db_cache_hits_total",
+            "Analysis requests answered from the database cache.",
+            cache.hits,
+        ),
+        (
+            "ctxform_db_cache_misses_total",
+            "Analysis requests that required a fresh solve.",
+            cache.misses,
+        ),
+        (
+            "ctxform_db_cache_evictions_total",
+            "Cached databases evicted to stay under the byte budget.",
+            cache.evictions,
+        ),
+    ];
+    for (name, help, value) in counters {
+        text.header(name, "counter", help);
+        text.sample(name, &[], value as f64);
+    }
+    let gauges: [(&str, &str, f64); 4] = [
+        (
+            "ctxform_db_cache_entries",
+            "Solved databases currently cached.",
+            cache.entries as f64,
+        ),
+        (
+            "ctxform_db_cache_bytes",
+            "Approximate bytes held by cached databases.",
+            cache.bytes as f64,
+        ),
+        (
+            "ctxform_db_cache_budget_bytes",
+            "Byte budget of the database cache.",
+            cache.budget as f64,
+        ),
+        (
+            "ctxform_db_programs",
+            "Programs loaded and addressable by digest.",
+            cache.programs as f64,
+        ),
+    ];
+    for (name, help, value) in gauges {
+        text.header(name, "gauge", help);
+        text.sample(name, &[], value);
+    }
+}
+
+/// Builds the `trace` reply: a snapshot of the in-process trace ring,
+/// embedded as structured JSON by round-tripping the obs exporter's
+/// output through this crate's parser.
+fn trace_fields(limit: Option<usize>) -> Fields {
+    let mut dump = obs::snapshot();
+    if let Some(limit) = limit {
+        let skip = dump.records.len().saturating_sub(limit);
+        dump.records.drain(..skip);
+    }
+    let records = match Json::parse(&dump.to_json()) {
+        Ok(json) => json
+            .get("records")
+            .cloned()
+            .unwrap_or_else(|| Json::Arr(Vec::new())),
+        Err(_) => Json::Arr(Vec::new()),
+    };
+    vec![
+        ("enabled", Json::Bool(obs::tracing_enabled())),
+        ("dropped", Json::uint(dump.dropped)),
+        ("records", records),
+    ]
 }
 
 fn stats_fields(shared: &Shared) -> Fields {

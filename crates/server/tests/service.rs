@@ -19,7 +19,7 @@ fn test_server(configure: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
         queue_depth: 16,
         cache_bytes: 64 << 20,
         deadline: Duration::from_secs(10),
-        solver_threads: 0,
+        ..ServerConfig::default()
     };
     configure(&mut config);
     start(config).expect("bind ephemeral port")
@@ -455,6 +455,194 @@ fn loadgen_runs_clean_and_shutdown_drains() {
         .map(|mut c| c.request(&Json::obj([("op", Json::str("stats"))])).is_ok())
         .unwrap_or(false);
     assert!(!alive, "server still answering after join");
+}
+
+/// The `metrics` endpoint returns a parseable Prometheus text exposition
+/// covering the serving layer, the database cache, and the solver's
+/// per-rule counters.
+#[test]
+fn metrics_endpoint_serves_valid_prometheus_exposition() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    // One fresh solve so cache counters move and the solver registry has
+    // per-rule series to render.
+    let digest = client.load_source(corpus::BOX).unwrap();
+    client
+        .request(&Json::obj([
+            ("op", Json::str("analyze")),
+            ("program", Json::str(digest.clone())),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str("2-object+H")),
+        ]))
+        .unwrap();
+
+    let reply = client
+        .request(&Json::obj([("op", Json::str("metrics"))]))
+        .unwrap();
+    assert_eq!(
+        reply.get("content_type").unwrap().as_str(),
+        Some("text/plain; version=0.0.4")
+    );
+    let text = reply.get("exposition").unwrap().as_str().unwrap();
+
+    // Strict scrape: every line is a comment or `name{labels} value` with
+    // a float-parseable value, and every sample's metric family was
+    // declared by a preceding # TYPE line.
+    let mut declared = std::collections::HashSet::new();
+    for line in text.lines() {
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let name = parts.next().expect("TYPE line has a metric name");
+            let kind = parts.next().expect("TYPE line has a kind");
+            assert!(
+                matches!(kind, "counter" | "gauge" | "histogram"),
+                "bad kind in {line:?}"
+            );
+            declared.insert(name.to_owned());
+            continue;
+        }
+        if line.starts_with('#') || line.is_empty() {
+            continue;
+        }
+        let (series, value) = line.rsplit_once(' ').expect("sample has a value");
+        let name = series.split('{').next().unwrap();
+        let family = name
+            .trim_end_matches("_bucket")
+            .trim_end_matches("_sum")
+            .trim_end_matches("_count");
+        assert!(
+            declared.contains(name) || declared.contains(family),
+            "undeclared family for sample {line:?}"
+        );
+        assert!(
+            value == "+Inf" || value.parse::<f64>().is_ok(),
+            "unparseable value in {line:?}"
+        );
+    }
+
+    // Endpoint latencies.
+    assert!(text.contains("# TYPE ctxform_request_duration_seconds histogram"));
+    assert!(text
+        .contains("ctxform_request_duration_seconds_bucket{endpoint=\"analyze\",le=\"+Inf\"} 1"));
+    assert!(text.contains("ctxform_requests_total{endpoint=\"analyze\"} 1"));
+    // Database cache counters.
+    assert!(text.contains("ctxform_db_cache_hits_total "));
+    assert!(text.contains("ctxform_db_cache_misses_total 1"));
+    assert!(text.contains("ctxform_db_cache_evictions_total 0"));
+    // Solver rule counters fed by the fresh solve.
+    assert!(text.contains("ctxform_solver_solves_total 1"));
+    assert!(
+        text.contains("ctxform_solver_rule_fired_total{rule=\"New\"}"),
+        "missing per-rule counter in:\n{text}"
+    );
+    assert!(text.contains("ctxform_solver_rule_derived_total{rule=\"Reach\"}"));
+    assert!(text.contains("ctxform_solver_solve_seconds_count 1"));
+
+    server.shutdown();
+    server.join();
+}
+
+/// Client-supplied trace ids are echoed in replies, and the `trace`
+/// endpoint returns the in-process trace ring as structured JSON.
+#[test]
+fn trace_ids_echo_and_trace_endpoint_round_trips() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+
+    // Without a trace id the reply has no trace field.
+    let reply = client
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    assert!(reply.get("trace").is_none());
+
+    // With one, it is echoed verbatim — on successes and on errors.
+    let reply = client
+        .request_raw("{\"op\": \"stats\", \"trace\": \"req-007\"}\n")
+        .unwrap();
+    assert_eq!(reply.get("trace").unwrap().as_str(), Some("req-007"));
+    let reply = client
+        .request_raw("{\"op\": \"warp\", \"trace\": \"req-008\"}\n")
+        .unwrap();
+    assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+    assert_eq!(reply.get("trace").unwrap().as_str(), Some("req-008"));
+
+    // The trace endpoint reports disabled + empty until tracing is on.
+    let reply = client
+        .request(&Json::obj([("op", Json::str("trace"))]))
+        .unwrap();
+    assert_eq!(reply.get("enabled").unwrap().as_bool(), Some(false));
+
+    // Server workers share this process's trace ring, so enabling tracing
+    // here makes their request spans visible to the trace endpoint.
+    ctxform_obs::enable_tracing(4096);
+    client
+        .request_raw("{\"op\": \"stats\", \"trace\": \"req-traced\"}\n")
+        .unwrap();
+    let reply = client
+        .request(&Json::obj([
+            ("op", Json::str("trace")),
+            ("limit", Json::int(256)),
+        ]))
+        .unwrap();
+    ctxform_obs::disable_tracing();
+    ctxform_obs::clear_trace();
+    assert_eq!(reply.get("enabled").unwrap().as_bool(), Some(true));
+    assert!(reply.get("dropped").unwrap().as_u64().is_some());
+    let records = reply.get("records").unwrap().as_arr().unwrap();
+    let traced = records.iter().find(|r| {
+        r.get("name").and_then(Json::as_str) == Some("server.request")
+            && r.get("fields")
+                .and_then(|f| f.get("trace"))
+                .and_then(Json::as_str)
+                == Some("req-traced")
+    });
+    let span = traced.expect("request span with the client's trace id in the ring");
+    assert_eq!(span.get("kind").unwrap().as_str(), Some("span"));
+    assert_eq!(
+        span.get("fields")
+            .unwrap()
+            .get("endpoint")
+            .unwrap()
+            .as_str(),
+        Some("stats")
+    );
+    assert_eq!(
+        span.get("fields").unwrap().get("ok").unwrap().as_bool(),
+        Some(true)
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+/// Requests slower than the configured threshold land in the structured
+/// slow-query log with their endpoint and trace id.
+#[test]
+fn slow_queries_are_logged_with_trace_ids() {
+    let captured = ctxform_obs::logger::capture();
+    let server = test_server(|c| c.slow_query_ms = 10);
+    let mut client = Client::connect(server.addr()).unwrap();
+    client
+        .request_raw("{\"op\": \"sleep\", \"ms\": 50, \"trace\": \"slowpoke\"}\n")
+        .unwrap();
+    client
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    server.shutdown();
+    server.join();
+    ctxform_obs::logger::log_to_stderr();
+
+    let lines = captured.lock().unwrap();
+    let slow: Vec<&String> = lines.iter().filter(|l| l.contains("slow query")).collect();
+    assert!(
+        slow.iter()
+            .any(|l| l.contains("endpoint=sleep") && l.contains("trace=slowpoke")),
+        "no slow-query line for the sleeper in {lines:?}"
+    );
+    assert!(
+        !slow.iter().any(|l| l.contains("endpoint=stats")),
+        "fast request must not hit the slow-query log"
+    );
 }
 
 /// Concurrent clients issuing the same cold query coalesce onto one solve.
