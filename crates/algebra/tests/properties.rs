@@ -11,7 +11,7 @@
 //! dependencies and fails reproducibly (every failure message carries the
 //! case index; re-running the test replays the identical stream).
 
-use ctxform_algebra::{CtxtElem, CtxtInterner, Letter, Sem, TStr, Word};
+use ctxform_algebra::{CPair, CtxtElem, CtxtInterner, CtxtStr, Letter, Sem, TStr, Word};
 use ctxform_hash::SplitMix64;
 use ctxform_ir::Inv;
 
@@ -299,6 +299,246 @@ fn bottom_iff_boundary_incompatible() {
         let composed = a.compose_in(&mut it, b, usize::MAX, usize::MAX);
         assert_eq!(composed.is_some(), compatible);
     });
+}
+
+/// §4.1's context-string pairs: composition (the equality join) is
+/// associative as a *partial* operation — both groupings are defined on
+/// exactly the same operand triples and agree when defined — and the
+/// inverse-semigroup law `f ; f⁻¹ ; f = f` holds for every pair.
+///
+/// The middle strings are drawn from a small per-case pool so the
+/// equality join actually fires on a substantial fraction of cases
+/// instead of almost never.
+#[test]
+fn cpair_compose_is_associative() {
+    for_cases(0xCC, |rng| {
+        let mut it = CtxtInterner::new();
+        let pool: Vec<CtxtStr> = (0..3)
+            .map(|_| it.from_slice(&random_context(rng)))
+            .collect();
+        let pick = |rng: &mut SplitMix64| pool[rng.below(pool.len())];
+        let a = CPair {
+            src: pick(rng),
+            dst: pick(rng),
+        };
+        let b = CPair {
+            src: pick(rng),
+            dst: pick(rng),
+        };
+        let c = CPair {
+            src: pick(rng),
+            dst: pick(rng),
+        };
+        let left = a.compose(b).and_then(|ab| ab.compose(c));
+        let right = b.compose(c).and_then(|bc| a.compose(bc));
+        assert_eq!(left, right, "a={a:?} b={b:?} c={c:?}");
+        // f ; f⁻¹ ; f = f — always defined because the middles match by
+        // construction.
+        let fif = a
+            .compose(a.inverse())
+            .expect("f;f⁻¹ defined")
+            .compose(a)
+            .expect("f;f⁻¹;f defined");
+        assert_eq!(fif, a);
+    });
+}
+
+/// Subsumption is monotone under composition: if `big` subsumes `small`
+/// then composing both with the same third transformer, on either side,
+/// preserves the order — `big∘c` subsumes `small∘c` (and symmetrically).
+///
+/// Two sources of ordered pairs keep the property non-vacuous: the
+/// guaranteed pair `(trunc(t), t)` (Lemma 4.2 makes the truncation a
+/// subsumer of the original), and random pairs on which `subsumes`
+/// happens to fire. The conclusion is checked both syntactically (the
+/// composite `subsumes` call) and semantically (graph inclusion on
+/// probed inputs).
+#[test]
+fn subsumption_is_monotone_under_composition() {
+    for_cases(0xDD, |rng| {
+        let (wt, wc) = (random_word(rng), random_word(rng));
+        let (i, j) = (rng.below(3), rng.below(3));
+        let inputs = random_inputs(rng);
+        let mut it = CtxtInterner::new();
+        let (Some(t), Some(c)) = (wt.normalize(&mut it), wc.normalize(&mut it)) else {
+            return;
+        };
+        let cut = t.truncate(&it, i, j);
+        let mut ordered = vec![(cut, t)];
+        if let (Some(a), Some(b)) = (
+            random_word(rng).normalize(&mut it),
+            random_word(rng).normalize(&mut it),
+        ) {
+            if a.subsumes(&it, b) {
+                ordered.push((a, b));
+            }
+        }
+        for (big, small) in ordered {
+            assert!(big.subsumes(&it, small), "premise: big ⊒ small");
+            for (x, y) in [
+                (
+                    big.compose_in(&mut it, c, usize::MAX, usize::MAX),
+                    small.compose_in(&mut it, c, usize::MAX, usize::MAX),
+                ),
+                (
+                    c.compose_in(&mut it, big, usize::MAX, usize::MAX),
+                    c.compose_in(&mut it, small, usize::MAX, usize::MAX),
+                ),
+            ] {
+                // small∘c = ⊥ denotes the empty transformation, which is
+                // below everything; nothing to check.
+                let Some(y) = y else { continue };
+                // Soundness of the premise forces the subsumer's
+                // composition to be defined whenever the subsumee's is.
+                let x = x.expect("big∘c must be defined when small∘c is");
+                assert!(
+                    x.subsumes(&it, y),
+                    "monotonicity: {} must subsume {}",
+                    x.display(&it),
+                    y.display(&it)
+                );
+                let wx = Word::from_tstr(x, &it);
+                let wy = Word::from_tstr(y, &it);
+                for input in &inputs {
+                    assert!(
+                        run(&wy, input).subset_of(&run(&wx, input)),
+                        "semantic monotonicity: {} ⊄ {}",
+                        y.display(&it),
+                        x.display(&it)
+                    );
+                }
+            }
+        }
+    });
+}
+
+/// The all-wild transformer `⟨ε,*,ε⟩` is the top of the subsumption
+/// order: it subsumes every canonical transformer, composes with every
+/// canonical transformer on either side, and every transformer truncated
+/// to `(0, 0)` collapses to it (or stays the identity).
+#[test]
+fn wildcard_top_dominates_every_canonical_transformer() {
+    let top = TStr {
+        exits: CtxtStr::EMPTY,
+        wild: true,
+        entries: CtxtStr::EMPTY,
+    };
+    for_cases(0xEE, |rng| {
+        let word = random_word(rng);
+        let mut it = CtxtInterner::new();
+        let Some(t) = word.normalize(&mut it) else {
+            return;
+        };
+        assert!(top.subsumes(&it, t), "top must subsume {}", t.display(&it));
+        assert!(
+            top.compose_in(&mut it, t, usize::MAX, usize::MAX).is_some(),
+            "top∘t must be defined"
+        );
+        assert!(
+            t.compose_in(&mut it, top, usize::MAX, usize::MAX).is_some(),
+            "t∘top must be defined"
+        );
+        let collapsed = t.truncate(&it, 0, 0);
+        assert!(
+            collapsed == t || collapsed == top,
+            "(0,0)-truncation must yield the identity or top, got {}",
+            collapsed.display(&it)
+        );
+        assert!(collapsed.subsumes(&it, t), "truncation is a subsumer");
+    });
+}
+
+/// Deterministic wildcard boundary cases at the edges of the
+/// representation: identity vs. top, prefix-gated wildcard subsumption,
+/// and the two absorption laws of composition (`∗·a = ∗`, `â·∗ = ∗`).
+#[test]
+fn wildcard_boundary_cases() {
+    let mut it = CtxtInterner::new();
+    let x0 = it.from_slice(&[elem(0)]);
+    let x1 = it.from_slice(&[elem(1)]);
+    let x01 = it.from_slice(&[elem(0), elem(1)]);
+    let top = TStr {
+        exits: CtxtStr::EMPTY,
+        wild: true,
+        entries: CtxtStr::EMPTY,
+    };
+    let id = TStr {
+        exits: CtxtStr::EMPTY,
+        wild: false,
+        entries: CtxtStr::EMPTY,
+    };
+    // The order has a strict top: id is below top, never above it.
+    assert!(top.subsumes(&it, id));
+    assert!(!id.subsumes(&it, top));
+    assert!(top.subsumes(&it, top) && id.subsumes(&it, id));
+    // A wildcard transformer subsumes exactly the extensions of its
+    // boundary strings: prefix match required on both sides.
+    let w = TStr {
+        exits: x0,
+        wild: true,
+        entries: CtxtStr::EMPTY,
+    };
+    let deep = TStr {
+        exits: x01,
+        wild: false,
+        entries: x1,
+    };
+    assert!(w.subsumes(&it, deep), "x0 is a prefix of x0·x1");
+    let other = TStr {
+        exits: x1,
+        wild: false,
+        entries: CtxtStr::EMPTY,
+    };
+    assert!(!w.subsumes(&it, other), "x1 does not extend x0");
+    // A wildcard-free transformer only subsumes same-suffix extensions.
+    let diag = TStr {
+        exits: x0,
+        wild: false,
+        entries: x0,
+    };
+    let skew = TStr {
+        exits: x0,
+        wild: false,
+        entries: x1,
+    };
+    assert!(id.subsumes(&it, diag), "equal exit/entry suffixes");
+    assert!(!id.subsumes(&it, skew), "mismatched suffixes");
+    assert!(
+        !id.subsumes(&it, w),
+        "wildcard-free never subsumes a wildcard"
+    );
+    // Absorption into a leading wildcard: ⟨ε,*,ε⟩ ∘ ⟨x0,–,x1⟩ swallows
+    // the popped exit and keeps the entries.
+    let a = TStr {
+        exits: x0,
+        wild: false,
+        entries: x1,
+    };
+    let absorbed = top.compose_in(&mut it, a, usize::MAX, usize::MAX);
+    assert_eq!(
+        absorbed,
+        Some(TStr {
+            exits: CtxtStr::EMPTY,
+            wild: true,
+            entries: x1,
+        })
+    );
+    // Absorption of leftover entries into a trailing wildcard:
+    // ⟨ε,–,x0⟩ ∘ ⟨ε,*,ε⟩ forgets the pushed entry entirely.
+    let pushes = TStr {
+        exits: CtxtStr::EMPTY,
+        wild: false,
+        entries: x0,
+    };
+    assert_eq!(
+        pushes.compose_in(&mut it, top, usize::MAX, usize::MAX),
+        Some(top)
+    );
+    // Truncation boundaries: (0,0) fixes the identity and top, and
+    // collapses anything longer to top.
+    assert_eq!(id.truncate(&it, 0, 0), id);
+    assert_eq!(top.truncate(&it, 0, 0), top);
+    assert_eq!(deep.truncate(&it, 0, 0), top);
 }
 
 /// Exhaustive check on a tiny domain that subsumption is also *complete*:

@@ -8,10 +8,17 @@
 //!
 //! Each run records, per benchmark and per Figure 6 configuration, for both
 //! abstractions plus a subsumption-enabled transformer-string cell
-//! (`tstring_subs`, which exercises the solver's subsume-memo counters)
-//! and a frontier-parallel transformer-string cell (`tstring_par`, solved
+//! (`tstring_subs`, which exercises the solver's subsume-memo counters),
+//! a frontier-parallel transformer-string cell (`tstring_par`, solved
 //! with `--threads` workers — default 4 — whose CI digest is asserted
-//! equal to the serial `tstring` cell before the file is written):
+//! equal to the serial `tstring` cell before the file is written), and an
+//! incremental re-analysis cell (`tstring_incr`: a single additive
+//! driver-class edit is applied to the benchmark source and the edited
+//! program is solved twice — once by `AnalysisDb::extend` over the base
+//! program's cached database and once from scratch — recording both times,
+//! the speedup, and the derivation counts, after asserting the two fact
+//! digests are bit-identical and the extension re-derived strictly fewer
+//! facts):
 //! context-sensitive fact counts, solver wall time, the
 //! probe/compose/memo counters from [`ctxform::SolverStats`], the interner
 //! size, and an order-independent Fx digest of the context-insensitive
@@ -27,15 +34,16 @@
 //! directory — so successive PRs append `BENCH_1.json`, `BENCH_2.json`, …
 //! and any later run can diff against the checked-in history.
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use ctxform::{analyze, AnalysisConfig, AnalysisResult};
+use ctxform::{analyze, AnalysisConfig, AnalysisDb, AnalysisResult};
 use ctxform_algebra::Sensitivity;
-use ctxform_bench::compile_benchmark;
+use ctxform_bench::benchmark_source;
 use ctxform_hash::fx_hash_one;
+use ctxform_minijava::compile;
 use ctxform_obs::logger;
 use ctxform_server::json::{hex16, Json};
-use ctxform_synth::dacapo_like;
+use ctxform_synth::{append_edit, dacapo_like};
 
 /// An order-independent digest of the CI projections: each fact set is
 /// sorted and hashed as a sequence, then the five relation digests are
@@ -149,6 +157,90 @@ fn best_of(
     best
 }
 
+/// The incremental re-analysis cell: the edited program is solved by
+/// extending the base program's database (`repeat` times over fresh
+/// clones; min time kept) and from scratch (`repeat` times; min time
+/// kept). Panics unless every extension is incremental, all repeats and
+/// both paths agree on the fact digest, and the extension re-derived
+/// strictly fewer facts than the from-scratch solve.
+fn incr_cell(
+    base: &ctxform_ir::Program,
+    edited: &ctxform_ir::Program,
+    config: &AnalysisConfig,
+    repeat: usize,
+) -> Json {
+    let base_db = AnalysisDb::solve(base.clone(), config);
+    let mut incr_time = Duration::MAX;
+    let mut incr_db = None;
+    for _ in 0..repeat {
+        let mut db = base_db.clone();
+        let next = edited.clone();
+        let started = Instant::now();
+        let outcome = db.extend(next);
+        let elapsed = started.elapsed();
+        assert!(
+            outcome.is_incremental(),
+            "{config}: appended driver class must extend incrementally, got {outcome:?}"
+        );
+        if let Some(prev) = &incr_db {
+            let prev: &AnalysisDb = prev;
+            assert_eq!(
+                db.fact_digest(),
+                prev.fact_digest(),
+                "{config}: incremental repeats disagree on the fact digest"
+            );
+        }
+        if elapsed < incr_time || incr_db.is_none() {
+            incr_time = elapsed;
+            incr_db = Some(db);
+        }
+    }
+    let incr_db = incr_db.expect("repeat >= 1");
+    let mut scratch_time = Duration::MAX;
+    let mut scratch_db = None;
+    for _ in 0..repeat {
+        let next = edited.clone();
+        let started = Instant::now();
+        let db = AnalysisDb::solve(next, config);
+        let elapsed = started.elapsed();
+        if elapsed < scratch_time || scratch_db.is_none() {
+            scratch_time = elapsed;
+            scratch_db = Some(db);
+        }
+    }
+    let scratch_db = scratch_db.expect("repeat >= 1");
+    assert_eq!(
+        incr_db.fact_digest(),
+        scratch_db.fact_digest(),
+        "{config}: incremental result is not bit-identical to the from-scratch solve"
+    );
+    let incr_derived = incr_db.result().stats.rule_derived.total();
+    let scratch_derived = scratch_db.result().stats.rule_derived.total();
+    assert!(
+        incr_derived < scratch_derived,
+        "{config}: extension re-derived {incr_derived} facts, not fewer than \
+         the from-scratch {scratch_derived}"
+    );
+    let incr_ms = incr_time.as_secs_f64() * 1000.0;
+    let scratch_ms = scratch_time.as_secs_f64() * 1000.0;
+    Json::obj([
+        ("time_ms", Json::ms(incr_ms)),
+        ("scratch_ms", Json::ms(scratch_ms)),
+        (
+            "speedup",
+            Json::ms(if incr_ms > 0.0 {
+                scratch_ms / incr_ms
+            } else {
+                0.0
+            }),
+        ),
+        ("derived_incremental", Json::uint(incr_derived)),
+        ("derived_scratch", Json::uint(scratch_derived)),
+        ("total", Json::int(incr_db.result().stats.total())),
+        ("fact_digest", Json::Str(hex16(incr_db.fact_digest()))),
+    ])
+}
+
 fn next_bench_path() -> String {
     let mut max = 0u32;
     if let Ok(entries) = std::fs::read_dir(".") {
@@ -233,7 +325,17 @@ fn main() {
             }
         }
         logger::info("regress", format!("{name} (scale {scale})..."));
-        let program = compile_benchmark(name, scale);
+        let source = benchmark_source(name, scale);
+        let program = compile(&source)
+            .expect("generated programs are valid")
+            .program;
+        // Single additive driver-class edit for the incremental cell,
+        // seeded per benchmark so the edit shape varies across rows but
+        // not across runs.
+        let edited_source = append_edit(&source, fx_hash_one(&name), 0);
+        let edited = compile(&edited_source)
+            .expect("edited programs are valid")
+            .program;
         let stats = program.stats();
         let mut pairs: Vec<(String, Json)> = vec![(
             "program".into(),
@@ -284,6 +386,12 @@ fn main() {
                 cstring_2objh_ms += c.stats.duration.as_secs_f64() * 1000.0;
                 tstring_2objh_ms += t.stats.duration.as_secs_f64() * 1000.0;
             }
+            let t_incr = incr_cell(
+                &program,
+                &edited,
+                &AnalysisConfig::transformer_strings(*s),
+                repeat,
+            );
             pairs.push((
                 s.to_string(),
                 Json::obj([
@@ -291,6 +399,7 @@ fn main() {
                     ("tstring", run_json(&t)),
                     ("tstring_subs", run_json(&t_subs)),
                     ("tstring_par", run_json(&t_par)),
+                    ("tstring_incr", t_incr),
                 ]),
             ));
         }
@@ -312,7 +421,7 @@ fn main() {
     let path = out_path.unwrap_or_else(next_bench_path);
     let benchmark_count = bench_objs.len();
     let doc = Json::obj([
-        ("schema", Json::str("ctxform-regress/4")),
+        ("schema", Json::str("ctxform-regress/5")),
         ("scale", Json::int(scale)),
         ("repeat", Json::int(repeat)),
         ("par_threads", Json::int(threads)),

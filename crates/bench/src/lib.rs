@@ -129,11 +129,24 @@ impl Default for Figure6Options {
 /// Panics if the preset name is unknown or generation produces an invalid
 /// program (a generator bug).
 pub fn compile_benchmark(name: &str, scale: usize) -> Program {
+    let src = benchmark_source(name, scale);
+    compile(&src).expect("generated programs are valid").program
+}
+
+/// Generates one named benchmark's MiniJava source at the given scale.
+///
+/// Exposed separately from [`compile_benchmark`] so harnesses that need
+/// to *edit* the source (the incremental re-analysis cell applies
+/// `ctxform_synth::append_edit` to it) share the exact program text.
+///
+/// # Panics
+///
+/// Panics if the preset name is unknown.
+pub fn benchmark_source(name: &str, scale: usize) -> String {
     let cfg = ctxform_synth::preset(name)
         .unwrap_or_else(|| panic!("unknown benchmark `{name}`"))
         .scale_driver(scale);
-    let src = generate(&cfg);
-    compile(&src).expect("generated programs are valid").program
+    generate(&cfg)
 }
 
 /// Runs one (benchmark, sensitivity) cell.

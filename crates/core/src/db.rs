@@ -1,0 +1,311 @@
+//! Cached analysis databases with monotone incremental extension.
+//!
+//! An [`AnalysisDb`] couples a solved program with the full solver state
+//! that produced the result — fact sets, join indices, memo tables, and
+//! the context interner. Keeping the state alive is what makes
+//! *incremental re-analysis* possible: Figure 3 is a monotone Datalog
+//! program, so after a purely-additive edit the semi-naive fixpoint can
+//! resume from the saved state, seeded only with the delta, and reach
+//! exactly the least model a from-scratch solve of the edited program
+//! would — bit-identically, at every thread count.
+//!
+//! Edits that remove or rewrite anything (classified by
+//! [`ProgramDiff::between`]) and configurations with subsumption
+//! elimination (which *retires* facts, breaking the grow-only invariant
+//! the resume argument needs) fall back to a from-scratch solve; either
+//! way the database ends up describing the new program, and
+//! [`AnalysisDb::fact_digest`] — a canonical digest over the rendered
+//! fact sets, independent of interning order — is identical across both
+//! paths.
+
+use ctxform_algebra::{CStrings, Insensitive, TStrings};
+use ctxform_hash::fx_hash_one;
+use ctxform_ir::{Program, ProgramDelta, ProgramDiff};
+
+use crate::config::{AbstractionKind, AnalysisConfig};
+use crate::result::AnalysisResult;
+use crate::solver::{self, SolverState};
+
+/// The solver state, monomorphized per abstraction.
+#[derive(Clone)]
+enum DbState {
+    Ins(SolverState<Insensitive>),
+    Cs(SolverState<CStrings>),
+    Ts(SolverState<TStrings>),
+}
+
+/// How [`AnalysisDb::extend`] satisfied an edit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExtendOutcome {
+    /// The edit was additive; the fixpoint resumed from the saved state.
+    Incremental,
+    /// The edit (or the configuration) was not monotone; the database was
+    /// re-solved from scratch. The payload says why.
+    Fallback(String),
+}
+
+impl ExtendOutcome {
+    /// `true` for the incremental-reuse path.
+    pub fn is_incremental(&self) -> bool {
+        matches!(self, ExtendOutcome::Incremental)
+    }
+}
+
+/// A solved program plus the saved solver state, ready to be extended.
+#[derive(Clone)]
+pub struct AnalysisDb {
+    program: Program,
+    config: AnalysisConfig,
+    state: DbState,
+    result: AnalysisResult,
+}
+
+impl AnalysisDb {
+    /// Solves `program` from scratch under `config`, keeping the state.
+    pub fn solve(program: Program, config: &AnalysisConfig) -> AnalysisDb {
+        let (state, result) = solve_fresh(&program, config);
+        AnalysisDb {
+            program,
+            config: *config,
+            state,
+            result,
+        }
+    }
+
+    /// The program this database currently describes.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// The configuration the database was solved under.
+    pub fn config(&self) -> &AnalysisConfig {
+        &self.config
+    }
+
+    /// The result of the most recent solve or extension. After an
+    /// incremental extension, the fact-count statistics describe the
+    /// *whole* database while the event/derivation counters cover only
+    /// the extension's work (that asymmetry is what lets callers assert
+    /// an extension re-derived strictly less than a fresh solve).
+    pub fn result(&self) -> &AnalysisResult {
+        &self.result
+    }
+
+    /// Brings the database up to date with `next`.
+    ///
+    /// Additive edits resume the saved fixpoint seeded with the delta;
+    /// anything else — a non-monotone edit, or a subsumption
+    /// configuration (retired facts violate the grow-only resume
+    /// invariant) — re-solves from scratch. The resulting fact sets are
+    /// identical either way; only the work differs.
+    pub fn extend(&mut self, next: Program) -> ExtendOutcome {
+        if self.config.subsumption {
+            let reason = "subsumption elimination retires facts; extension is not monotone";
+            self.resolve_from_scratch(next);
+            return ExtendOutcome::Fallback(reason.to_owned());
+        }
+        match ProgramDiff::between(&self.program, &next) {
+            ProgramDiff::Identical => ExtendOutcome::Incremental,
+            ProgramDiff::Additive(delta) => {
+                self.extend_additive(next, &delta);
+                ExtendOutcome::Incremental
+            }
+            ProgramDiff::NonMonotone { reason } => {
+                self.resolve_from_scratch(next);
+                ExtendOutcome::Fallback(reason)
+            }
+        }
+    }
+
+    /// A canonical digest of every live derived fact, rendered with
+    /// program names and sorted — independent of interning order, thread
+    /// count, and of whether the database was built by one solve or a
+    /// chain of extensions.
+    pub fn fact_digest(&self) -> u64 {
+        let rendered = match &self.state {
+            DbState::Ins(st) => st.rendered_facts(&self.program),
+            DbState::Cs(st) => st.rendered_facts(&self.program),
+            DbState::Ts(st) => st.rendered_facts(&self.program),
+        };
+        fx_hash_one(&rendered)
+    }
+
+    fn extend_additive(&mut self, next: Program, delta: &ProgramDelta) {
+        let state = self.take_state();
+        let (state, result) = match state {
+            DbState::Ins(mut st) => {
+                st.reset_run_counters();
+                let (st, r) = solver::extend_state(&next, st, delta);
+                (DbState::Ins(st), r)
+            }
+            DbState::Cs(mut st) => {
+                st.reset_run_counters();
+                let (st, r) = solver::extend_state(&next, st, delta);
+                (DbState::Cs(st), r)
+            }
+            DbState::Ts(mut st) => {
+                st.reset_run_counters();
+                let (st, r) = solver::extend_state(&next, st, delta);
+                (DbState::Ts(st), r)
+            }
+        };
+        self.state = state;
+        self.result = result;
+        self.program = next;
+    }
+
+    fn resolve_from_scratch(&mut self, next: Program) {
+        let (state, result) = solve_fresh(&next, &self.config);
+        self.state = state;
+        self.result = result;
+        self.program = next;
+    }
+
+    /// Moves the state out, leaving a cheap placeholder (never observed:
+    /// every caller writes a real state back before returning).
+    fn take_state(&mut self) -> DbState {
+        let placeholder = DbState::Ins(SolverState::new(
+            &Program::default(),
+            Insensitive::new(),
+            AnalysisConfig::insensitive(),
+        ));
+        std::mem::replace(&mut self.state, placeholder)
+    }
+}
+
+fn solve_fresh(program: &Program, config: &AnalysisConfig) -> (DbState, AnalysisResult) {
+    match config.abstraction {
+        AbstractionKind::Insensitive => {
+            let (st, r) = solver::solve_state(
+                program,
+                SolverState::new(program, Insensitive::new(), *config),
+            );
+            (DbState::Ins(st), r)
+        }
+        AbstractionKind::ContextStrings => {
+            let sens = config
+                .sensitivity
+                .expect("context strings require a sensitivity");
+            let (st, r) = solver::solve_state(
+                program,
+                SolverState::new(program, CStrings::new(sens), *config),
+            );
+            (DbState::Cs(st), r)
+        }
+        AbstractionKind::TransformerStrings => {
+            let sens = config
+                .sensitivity
+                .expect("transformer strings require a sensitivity");
+            let (st, r) = solver::solve_state(
+                program,
+                SolverState::new(program, TStrings::new(sens), *config),
+            );
+            (DbState::Ts(st), r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxform_minijava::compile;
+
+    const BASE: &str = "
+        class Box { Object item;
+            void put(Object o) { this.item = o; }
+            Object get() { Object r = this.item; return r; }
+        }
+        class Main {
+            public static void main(String[] args) {
+                Box b = new Box();
+                Object o = new Object();
+                b.put(o);
+                Object r = b.get();
+            }
+        }
+    ";
+
+    /// The same program with an appended driver class (its own `main`).
+    const EDITED: &str = "
+        class Box { Object item;
+            void put(Object o) { this.item = o; }
+            Object get() { Object r = this.item; return r; }
+        }
+        class Main {
+            public static void main(String[] args) {
+                Box b = new Box();
+                Object o = new Object();
+                b.put(o);
+                Object r = b.get();
+            }
+        }
+        class Edit0 {
+            public static void main(String[] args) {
+                Box b2 = new Box();
+                Object p = new Object();
+                b2.put(p);
+                Object q = b2.get();
+            }
+        }
+    ";
+
+    fn cfg(label: &str) -> AnalysisConfig {
+        AnalysisConfig::transformer_strings(label.parse().unwrap()).with_threads(1)
+    }
+
+    #[test]
+    fn additive_edit_extends_incrementally_and_matches_scratch() {
+        let base = compile(BASE).unwrap().program;
+        let next = compile(EDITED).unwrap().program;
+        let config = cfg("2-object+H");
+
+        let mut db = AnalysisDb::solve(base, &config);
+        let outcome = db.extend(next.clone());
+        assert_eq!(outcome, ExtendOutcome::Incremental);
+
+        let scratch = AnalysisDb::solve(next, &config);
+        assert_eq!(db.fact_digest(), scratch.fact_digest());
+        assert_eq!(db.result().ci.pts, scratch.result().ci.pts);
+        // The extension re-derives strictly fewer facts than from-scratch.
+        assert!(
+            db.result().stats.rule_derived.total() < scratch.result().stats.rule_derived.total(),
+            "{} vs {}",
+            db.result().stats.rule_derived.total(),
+            scratch.result().stats.rule_derived.total()
+        );
+    }
+
+    #[test]
+    fn identical_edit_is_a_no_op() {
+        let base = compile(BASE).unwrap().program;
+        let config = cfg("1-call");
+        let mut db = AnalysisDb::solve(base.clone(), &config);
+        let digest = db.fact_digest();
+        assert_eq!(db.extend(base), ExtendOutcome::Incremental);
+        assert_eq!(db.fact_digest(), digest);
+    }
+
+    #[test]
+    fn non_monotone_edit_falls_back() {
+        let base = compile(EDITED).unwrap().program;
+        let next = compile(BASE).unwrap().program; // a *removal*
+        let config = cfg("1-call");
+        let mut db = AnalysisDb::solve(base, &config);
+        let outcome = db.extend(next.clone());
+        assert!(matches!(outcome, ExtendOutcome::Fallback(_)), "{outcome:?}");
+        let scratch = AnalysisDb::solve(next, &config);
+        assert_eq!(db.fact_digest(), scratch.fact_digest());
+    }
+
+    #[test]
+    fn subsumption_config_always_falls_back() {
+        let base = compile(BASE).unwrap().program;
+        let next = compile(EDITED).unwrap().program;
+        let config = cfg("1-call+H").with_subsumption();
+        let mut db = AnalysisDb::solve(base, &config);
+        let outcome = db.extend(next.clone());
+        assert!(matches!(outcome, ExtendOutcome::Fallback(_)), "{outcome:?}");
+        let scratch = AnalysisDb::solve(next, &config);
+        assert_eq!(db.fact_digest(), scratch.fact_digest());
+    }
+}

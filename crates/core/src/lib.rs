@@ -40,6 +40,7 @@ mod baseline;
 mod bucket;
 mod compact;
 mod config;
+mod db;
 mod demand;
 mod result;
 mod solver;
@@ -48,6 +49,7 @@ pub use baseline::{datalog_baseline, load_facts, CI_RULES};
 pub use bucket::{Bucket, JoinStrategy};
 pub use compact::CompactVec;
 pub use config::{AbstractionKind, AnalysisConfig};
+pub use db::{AnalysisDb, ExtendOutcome};
 pub use demand::{demand_points_to, DemandAnswer};
 pub use result::{AnalysisResult, CiFacts, LoggedFact, RuleCounts, SolverStats, RULE_NAMES};
 

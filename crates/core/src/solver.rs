@@ -38,7 +38,7 @@ use std::time::Instant;
 
 use ctxform_algebra::{Abstraction, CtxtElem, CtxtStr, Levels, Limits, MergeSite};
 use ctxform_hash::{fx_map_with_capacity, FxHashMap, FxHashSet};
-use ctxform_ir::{Field, Heap, Inv, Method, Program, ProgramIndex, Var};
+use ctxform_ir::{Field, Heap, Inv, MSig, Method, Program, ProgramDelta, ProgramIndex, Var};
 
 use crate::bucket::Bucket;
 use crate::config::AnalysisConfig;
@@ -55,51 +55,21 @@ pub(crate) fn run<A: Abstraction>(
     abs: A,
     config: AnalysisConfig,
 ) -> AnalysisResult {
+    let (_, result) = solve_state(program, SolverState::new(program, abs, config));
+    result
+}
+
+/// Solves `program` from scratch inside `state` (which must be fresh) and
+/// returns the state alongside the result, so callers can keep the solved
+/// database for later [`extend_state`] calls.
+pub(crate) fn solve_state<A: Abstraction>(
+    program: &Program,
+    state: SolverState<A>,
+) -> (SolverState<A>, AnalysisResult) {
+    let config = state.config;
     let threads = config.effective_threads();
     let ix = program.index();
-    let levels = abs
-        .sensitivity()
-        .map(|s| s.levels)
-        .unwrap_or(Levels { method: 0, heap: 0 });
-    let mode = abs.boundary_mode();
-    let solver = Solver {
-        program,
-        ix: &ix,
-        abs,
-        config,
-        levels,
-        mode,
-        pts: FxHashSet::default(),
-        pts_by_var: fx_map_with_capacity(program.var_count()),
-        hpts: FxHashSet::default(),
-        hpts_by_gf: FxHashMap::default(),
-        hload: FxHashSet::default(),
-        hload_by_gf: FxHashMap::default(),
-        spts: FxHashSet::default(),
-        spts_by_field: FxHashMap::default(),
-        call: FxHashSet::default(),
-        call_by_inv: fx_map_with_capacity(program.inv_count()),
-        call_by_method: fx_map_with_capacity(program.method_count()),
-        reach: FxHashSet::default(),
-        reach_by_method: fx_map_with_capacity(program.method_count()),
-        q_pts: Vec::new(),
-        q_hpts: Vec::new(),
-        q_hload: Vec::new(),
-        q_call: Vec::new(),
-        q_spts: Vec::new(),
-        q_reach: Vec::new(),
-        live_pts: FxHashMap::default(),
-        dead_pts: FxHashSet::default(),
-        compose_memo: FxHashMap::default(),
-        subsume_memo: FxHashMap::default(),
-        scratch_heap: Vec::new(),
-        scratch_method: Vec::new(),
-        scratch_inv: Vec::new(),
-        scratch_var: Vec::new(),
-        scratch_ctxts: Vec::new(),
-        stats: SolverStats::default(),
-        log: Vec::new(),
-    };
+    let mut solver = Solver::from_state(program, &ix, state);
     // The solve-level span is inert (one relaxed load) unless tracing
     // was enabled; the config tag is only rendered when it will be kept.
     let mut span = ctxform_obs::span("solver.solve");
@@ -107,14 +77,48 @@ pub(crate) fn run<A: Abstraction>(
         span.record("config", format!("{config}"));
         span.record("threads", threads);
     }
-    let result = if threads > 1 {
-        solver.solve_parallel(threads)
-    } else {
-        solver.solve()
-    };
+    let start = Instant::now();
+    solver.seed_entry();
+    solver.run_to_fixpoint(threads);
+    let result = solver.finish(start);
     span.record("facts_total", result.stats.total());
     span.record("events", result.stats.events);
-    result
+    (solver.into_state(), result)
+}
+
+/// Resumes a solved database after a purely-additive edit: seeds the
+/// queues from `delta` (new entry points plus the existing facts its new
+/// tuples can join) and runs the ordinary fixpoint against the *new*
+/// program's indices.
+///
+/// `program` must be the extended program `delta` was computed against,
+/// and `state` the solved state of the base program under a configuration
+/// without subsumption elimination. Because Figure 3 is monotone, the
+/// resumed fixpoint reaches exactly the least model of the extended
+/// program — the same fact sets a from-scratch solve derives, at every
+/// thread count.
+pub(crate) fn extend_state<A: Abstraction>(
+    program: &Program,
+    state: SolverState<A>,
+    delta: &ProgramDelta,
+) -> (SolverState<A>, AnalysisResult) {
+    let config = state.config;
+    let threads = config.effective_threads();
+    let ix = program.index();
+    let mut solver = Solver::from_state(program, &ix, state);
+    let mut span = ctxform_obs::span("solver.extend");
+    if span.is_active() {
+        span.record("config", format!("{config}"));
+        span.record("threads", threads);
+        span.record("delta_facts", delta.len());
+    }
+    let start = Instant::now();
+    solver.reseed_for_delta(delta);
+    solver.run_to_fixpoint(threads);
+    let result = solver.finish(start);
+    span.record("facts_total", result.stats.total());
+    span.record("events", result.stats.events);
+    (solver.into_state(), result)
 }
 
 /// A join index: facts grouped per key, boundary-indexed within each
@@ -124,6 +128,178 @@ type BucketMap<K, V> = FxHashMap<K, Bucket<V>>;
 /// Memo table for `compose`, keyed on the copyable interned handles and
 /// the truncation limits (sound because the interner is append-only).
 type ComposeMemo<X> = FxHashMap<(X, X, Limits), Option<X>>;
+
+/// The owned, program-independent half of a solver: every fact set, join
+/// index, queue, memo table, and the abstraction instance (which owns the
+/// context interner).
+///
+/// A `SolverState` is the *snapshot* an [`crate::AnalysisDb`] keeps after
+/// a solve: together with the program it fully determines the database,
+/// and [`extend_state`] can resume the fixpoint from it after an additive
+/// edit. Cloning the state clones the whole database (the interner is
+/// hash-consed and append-only, so the clone is an independent but
+/// equivalent world).
+#[derive(Clone)]
+pub(crate) struct SolverState<A: Abstraction> {
+    abs: A,
+    config: AnalysisConfig,
+    levels: Levels,
+    mode: ctxform_algebra::BoundaryMode,
+    pts: FxHashSet<(Var, Heap, A::X)>,
+    pts_by_var: BucketMap<Var, (Heap, A::X)>,
+    hpts: FxHashSet<(Heap, Field, Heap, A::X)>,
+    hpts_by_gf: BucketMap<(Heap, Field), (Heap, A::X)>,
+    hload: FxHashSet<(Heap, Field, Var, A::X)>,
+    hload_by_gf: BucketMap<(Heap, Field), (Var, A::X)>,
+    spts: FxHashSet<(Field, Heap, A::X)>,
+    spts_by_field: FxHashMap<Field, Vec<(Heap, A::X)>>,
+    call: FxHashSet<(Inv, Method, A::X)>,
+    call_by_inv: BucketMap<Inv, (Method, A::X)>,
+    call_by_method: BucketMap<Method, (Inv, A::X)>,
+    reach: FxHashSet<(Method, CtxtStr)>,
+    reach_by_method: FxHashMap<Method, Vec<CtxtStr>>,
+    q_pts: Vec<(Var, Heap, A::X)>,
+    q_hpts: Vec<(Heap, Field, Heap, A::X)>,
+    q_hload: Vec<(Heap, Field, Var, A::X)>,
+    q_call: Vec<(Inv, Method, A::X)>,
+    q_spts: Vec<(Field, Heap, A::X)>,
+    q_reach: Vec<(Method, CtxtStr)>,
+    live_pts: FxHashMap<(Var, Heap), Vec<A::X>>,
+    dead_pts: FxHashSet<(Var, Heap, A::X)>,
+    compose_memo: ComposeMemo<A::X>,
+    subsume_memo: FxHashMap<(A::X, A::X), bool>,
+    scratch_heap: Vec<(Heap, A::X)>,
+    scratch_method: Vec<(Method, A::X)>,
+    scratch_inv: Vec<(Inv, A::X)>,
+    scratch_var: Vec<(Var, A::X)>,
+    scratch_ctxts: Vec<CtxtStr>,
+    stats: SolverStats,
+    log: Vec<LoggedFact>,
+}
+
+impl<A: Abstraction> SolverState<A> {
+    /// A fresh, unsolved state for `program` under `config`.
+    pub(crate) fn new(program: &Program, abs: A, config: AnalysisConfig) -> Self {
+        let levels = abs
+            .sensitivity()
+            .map(|s| s.levels)
+            .unwrap_or(Levels { method: 0, heap: 0 });
+        let mode = abs.boundary_mode();
+        SolverState {
+            abs,
+            config,
+            levels,
+            mode,
+            pts: FxHashSet::default(),
+            pts_by_var: fx_map_with_capacity(program.var_count()),
+            hpts: FxHashSet::default(),
+            hpts_by_gf: FxHashMap::default(),
+            hload: FxHashSet::default(),
+            hload_by_gf: FxHashMap::default(),
+            spts: FxHashSet::default(),
+            spts_by_field: FxHashMap::default(),
+            call: FxHashSet::default(),
+            call_by_inv: fx_map_with_capacity(program.inv_count()),
+            call_by_method: fx_map_with_capacity(program.method_count()),
+            reach: FxHashSet::default(),
+            reach_by_method: fx_map_with_capacity(program.method_count()),
+            q_pts: Vec::new(),
+            q_hpts: Vec::new(),
+            q_hload: Vec::new(),
+            q_call: Vec::new(),
+            q_spts: Vec::new(),
+            q_reach: Vec::new(),
+            live_pts: FxHashMap::default(),
+            dead_pts: FxHashSet::default(),
+            compose_memo: FxHashMap::default(),
+            subsume_memo: FxHashMap::default(),
+            scratch_heap: Vec::new(),
+            scratch_method: Vec::new(),
+            scratch_inv: Vec::new(),
+            scratch_var: Vec::new(),
+            scratch_ctxts: Vec::new(),
+            stats: SolverStats::default(),
+            log: Vec::new(),
+        }
+    }
+
+    /// Zeroes the per-run counters and the fact log so the next
+    /// [`extend_state`] reports only the work the extension itself did
+    /// (the fact-count fields are recomputed from the full sets at
+    /// finish time either way).
+    pub(crate) fn reset_run_counters(&mut self) {
+        self.stats = SolverStats::default();
+        self.log.clear();
+    }
+
+    /// Every live derived fact, rendered with program names and sorted —
+    /// a canonical, interning-order-independent description of the
+    /// database, suitable for digesting and cross-run comparison.
+    pub(crate) fn rendered_facts(&self, program: &Program) -> Vec<String> {
+        let mut out = Vec::with_capacity(
+            self.pts.len()
+                + self.hpts.len()
+                + self.hload.len()
+                + self.call.len()
+                + self.spts.len()
+                + self.reach.len(),
+        );
+        for &(y, h, x) in &self.pts {
+            if self.config.subsumption && self.dead_pts.contains(&(y, h, x)) {
+                continue;
+            }
+            out.push(format!(
+                "pts({}, {}, {})",
+                program.var_names[y.index()],
+                program.heap_names[h.index()],
+                self.abs.display(x, program)
+            ));
+        }
+        for &(g, f, h, x) in &self.hpts {
+            out.push(format!(
+                "hpts({}, {}, {}, {})",
+                program.heap_names[g.index()],
+                program.field_names[f.index()],
+                program.heap_names[h.index()],
+                self.abs.display(x, program)
+            ));
+        }
+        for &(g, f, y, x) in &self.hload {
+            out.push(format!(
+                "hload({}, {}, {}, {})",
+                program.heap_names[g.index()],
+                program.field_names[f.index()],
+                program.var_names[y.index()],
+                self.abs.display(x, program)
+            ));
+        }
+        for &(i, q, x) in &self.call {
+            out.push(format!(
+                "call({}, {}, {})",
+                program.inv_names[i.index()],
+                program.method_names[q.index()],
+                self.abs.display(x, program)
+            ));
+        }
+        for &(f, h, x) in &self.spts {
+            out.push(format!(
+                "spts({}, {}, {})",
+                program.field_names[f.index()],
+                program.heap_names[h.index()],
+                self.abs.display(x, program)
+            ));
+        }
+        for &(p, m) in &self.reach {
+            out.push(format!(
+                "reach({}, [{}])",
+                program.method_names[p.index()],
+                self.abs.interner().display_with(m, |e| e.describe(program))
+            ));
+        }
+        out.sort_unstable();
+        out
+    }
+}
 
 struct Solver<'p, A: Abstraction> {
     program: &'p Program,
@@ -193,6 +369,90 @@ struct Solver<'p, A: Abstraction> {
 }
 
 impl<'p, A: Abstraction> Solver<'p, A> {
+    /// Rebinds a state to a program and its freshly-built indices. The
+    /// mapping is purely mechanical: `Solver` is `SolverState` plus the
+    /// two borrowed fields.
+    fn from_state(program: &'p Program, ix: &'p ProgramIndex, st: SolverState<A>) -> Self {
+        Solver {
+            program,
+            ix,
+            abs: st.abs,
+            config: st.config,
+            levels: st.levels,
+            mode: st.mode,
+            pts: st.pts,
+            pts_by_var: st.pts_by_var,
+            hpts: st.hpts,
+            hpts_by_gf: st.hpts_by_gf,
+            hload: st.hload,
+            hload_by_gf: st.hload_by_gf,
+            spts: st.spts,
+            spts_by_field: st.spts_by_field,
+            call: st.call,
+            call_by_inv: st.call_by_inv,
+            call_by_method: st.call_by_method,
+            reach: st.reach,
+            reach_by_method: st.reach_by_method,
+            q_pts: st.q_pts,
+            q_hpts: st.q_hpts,
+            q_hload: st.q_hload,
+            q_call: st.q_call,
+            q_spts: st.q_spts,
+            q_reach: st.q_reach,
+            live_pts: st.live_pts,
+            dead_pts: st.dead_pts,
+            compose_memo: st.compose_memo,
+            subsume_memo: st.subsume_memo,
+            scratch_heap: st.scratch_heap,
+            scratch_method: st.scratch_method,
+            scratch_inv: st.scratch_inv,
+            scratch_var: st.scratch_var,
+            scratch_ctxts: st.scratch_ctxts,
+            stats: st.stats,
+            log: st.log,
+        }
+    }
+
+    /// Releases the program borrow, giving back the owned state.
+    fn into_state(self) -> SolverState<A> {
+        SolverState {
+            abs: self.abs,
+            config: self.config,
+            levels: self.levels,
+            mode: self.mode,
+            pts: self.pts,
+            pts_by_var: self.pts_by_var,
+            hpts: self.hpts,
+            hpts_by_gf: self.hpts_by_gf,
+            hload: self.hload,
+            hload_by_gf: self.hload_by_gf,
+            spts: self.spts,
+            spts_by_field: self.spts_by_field,
+            call: self.call,
+            call_by_inv: self.call_by_inv,
+            call_by_method: self.call_by_method,
+            reach: self.reach,
+            reach_by_method: self.reach_by_method,
+            q_pts: self.q_pts,
+            q_hpts: self.q_hpts,
+            q_hload: self.q_hload,
+            q_call: self.q_call,
+            q_spts: self.q_spts,
+            q_reach: self.q_reach,
+            live_pts: self.live_pts,
+            dead_pts: self.dead_pts,
+            compose_memo: self.compose_memo,
+            subsume_memo: self.subsume_memo,
+            scratch_heap: self.scratch_heap,
+            scratch_method: self.scratch_method,
+            scratch_inv: self.scratch_inv,
+            scratch_var: self.scratch_var,
+            scratch_ctxts: self.scratch_ctxts,
+            stats: self.stats,
+            log: self.log,
+        }
+    }
+
     fn limits_store(&self) -> Limits {
         Limits {
             src: self.levels.heap,
@@ -219,10 +479,132 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         }
     }
 
-    fn solve(mut self) -> AnalysisResult {
-        let start = Instant::now();
-        self.stats.threads_used = 1;
-        self.seed_entry();
+    /// Seeds the queues for an incremental extension: reachability of new
+    /// entry points, plus re-queued *existing* facts whose rule drivers
+    /// can now join one of the delta's new input tuples.
+    ///
+    /// Re-driving an existing fact is harmless (the `insert_*` methods
+    /// dedup, and the rules are monotone), and the mapping below covers
+    /// every Figure 3 rule body literal over an input relation, so every
+    /// rule instantiation involving a new input tuple fires either here
+    /// or transitively from a fact derived here. Re-queued facts are
+    /// sorted, so the seed — and with it the whole resumed derivation —
+    /// is deterministic.
+    fn reseed_for_delta(&mut self, delta: &ProgramDelta) {
+        let entry_ctx = {
+            let interner = self.abs.interner_mut();
+            interner.from_slice(&[CtxtElem::entry()])
+        };
+        for &main in &delta.added_entry_points {
+            self.insert_reach(main, entry_ctx, "Entry");
+        }
+        let added = &delta.added;
+        let program = self.program;
+
+        // Variables whose existing `pts` facts can drive a rule body that
+        // gained an input tuple (Assign, Load, Store, Param's actual
+        // role, Ret's return role, SStore, Virt).
+        let mut vars: FxHashSet<Var> = FxHashSet::default();
+        vars.extend(added.assign.iter().map(|&(z, _)| z));
+        vars.extend(added.load.iter().map(|&(y, _, _)| y));
+        for &(x, _, z) in &added.store {
+            vars.insert(x);
+            vars.insert(z);
+        }
+        vars.extend(added.actual.iter().map(|&(z, _, _)| z));
+        vars.extend(added.ret.iter().map(|&(z, _)| z));
+        vars.extend(added.static_store.iter().map(|&(x, _)| x));
+        vars.extend(added.virtual_invoke.iter().map(|&(_, z, _)| z));
+        // A new dispatch edge or `this` binding re-activates every
+        // virtual site of the affected signatures.
+        let mut sigs: FxHashSet<MSig> = added.implements.iter().map(|&(_, _, s)| s).collect();
+        let new_this: FxHashSet<Method> = added.this_var.iter().map(|&(_, q)| q).collect();
+        if !new_this.is_empty() {
+            sigs.extend(
+                program
+                    .facts
+                    .implements
+                    .iter()
+                    .filter(|&&(q, _, _)| new_this.contains(&q))
+                    .map(|&(_, _, s)| s),
+            );
+        }
+        if !sigs.is_empty() {
+            vars.extend(
+                program
+                    .facts
+                    .virtual_invoke
+                    .iter()
+                    .filter(|&&(_, _, s)| sigs.contains(&s))
+                    .map(|&(_, z, _)| z),
+            );
+        }
+
+        // Methods whose existing `reach` facts can drive New, Static, or
+        // SLoad (the reach role joins `static_load` and `spts`).
+        let mut methods: FxHashSet<Method> = FxHashSet::default();
+        methods.extend(added.assign_new.iter().map(|&(_, _, p)| p));
+        methods.extend(added.static_invoke.iter().map(|&(_, _, p)| p));
+        methods.extend(
+            added
+                .static_load
+                .iter()
+                .map(|&(_, z)| program.var_method[z.index()]),
+        );
+
+        // Existing `call` facts that can drive Param/Ret against a new
+        // formal / return / assign_return tuple.
+        let call_methods: FxHashSet<Method> = added
+            .formal
+            .iter()
+            .map(|&(_, p, _)| p)
+            .chain(added.ret.iter().map(|&(_, p)| p))
+            .collect();
+        let call_invs: FxHashSet<Inv> = added.assign_return.iter().map(|&(i, _)| i).collect();
+
+        let mut reseed_pts: Vec<(Var, Heap, A::X)> = self
+            .pts
+            .iter()
+            .copied()
+            .filter(|&(y, h, x)| {
+                vars.contains(&y)
+                    && !(self.config.subsumption && self.dead_pts.contains(&(y, h, x)))
+            })
+            .collect();
+        reseed_pts.sort_unstable();
+        self.q_pts.extend(reseed_pts);
+
+        let mut reseed_reach: Vec<(Method, CtxtStr)> = self
+            .reach
+            .iter()
+            .copied()
+            .filter(|(p, _)| methods.contains(p))
+            .collect();
+        reseed_reach.sort_unstable();
+        self.q_reach.extend(reseed_reach);
+
+        let mut reseed_call: Vec<(Inv, Method, A::X)> = self
+            .call
+            .iter()
+            .copied()
+            .filter(|&(i, q, _)| call_methods.contains(&q) || call_invs.contains(&i))
+            .collect();
+        reseed_call.sort_unstable();
+        self.q_call.extend(reseed_call);
+    }
+
+    /// Runs the queues to empty with the engine `threads` selects: the
+    /// legacy one-delta-at-a-time loop, or the frontier-parallel rounds.
+    fn run_to_fixpoint(&mut self, threads: usize) {
+        self.stats.threads_used = threads;
+        if threads > 1 {
+            self.fixpoint_parallel(threads);
+        } else {
+            self.fixpoint();
+        }
+    }
+
+    fn fixpoint(&mut self) {
         loop {
             if let Some((p, m)) = self.q_reach.pop() {
                 self.stats.events += 1;
@@ -259,7 +641,6 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
             break;
         }
-        self.finish(start)
     }
 
     // ------------------------------------------------------------------
@@ -858,7 +1239,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     // Result assembly
     // ------------------------------------------------------------------
 
-    fn finish(mut self, start: Instant) -> AnalysisResult {
+    fn finish(&mut self, start: Instant) -> AnalysisResult {
         self.stats.duration = start.elapsed();
         self.stats.pts = self.pts.len() - self.dead_pts.len();
         self.stats.hpts = self.hpts.len();
@@ -901,9 +1282,9 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         }
         AnalysisResult {
             config: self.config,
-            stats: self.stats,
+            stats: self.stats.clone(),
             ci,
-            log: self.log,
+            log: mem::take(&mut self.log),
         }
     }
 }

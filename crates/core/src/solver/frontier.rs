@@ -53,13 +53,11 @@
 //! by the drivers — the same argument as the sequential engine's.
 
 use std::mem;
-use std::time::Instant;
 
 use ctxform_algebra::{Abstraction, CtxtElem, CtxtStr, Limits, MergeSite};
 use ctxform_ir::{Field, Heap, Inv, Method, Var};
 
 use super::{ComposeMemo, Solver};
-use crate::result::AnalysisResult;
 
 /// One drained delta, tagged with its relation.
 enum Delta<X> {
@@ -628,12 +626,11 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
 }
 
 impl<'p, A: Abstraction> Solver<'p, A> {
-    /// The frontier-parallel engine (`threads >= 2`).
-    pub(super) fn solve_parallel(mut self, threads: usize) -> AnalysisResult {
-        let start = Instant::now();
-        self.stats.threads_used = threads;
-        self.seed_entry();
-
+    /// The frontier-parallel engine (`threads >= 2`): runs the queues to
+    /// empty in rounds. Seeding (entry points or an incremental delta)
+    /// is the caller's job, so the same loop serves fresh solves and
+    /// resumed ones.
+    pub(super) fn fixpoint_parallel(&mut self, threads: usize) {
         let mut states: Vec<WorkerState<A::X>> =
             (0..threads).map(|_| WorkerState::default()).collect();
         let mut frontier: Vec<Delta<A::X>> = Vec::new();
@@ -690,9 +687,9 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             let mut outs: Vec<Option<ChunkOut<A::X>>> = Vec::with_capacity(n_chunks);
             outs.resize_with(n_chunks, || None);
             if n_chunks == 1 {
-                outs[0] = Some(process_chunk(&self, &mut states[0], &frontier));
+                outs[0] = Some(process_chunk(&*self, &mut states[0], &frontier));
             } else {
-                let solver_ref = &self;
+                let solver_ref = &*self;
                 let frontier_ref = &frontier;
                 std::thread::scope(|scope| {
                     let mut handles = Vec::with_capacity(threads);
@@ -737,7 +734,6 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
             round_span.record("candidates", merged);
         }
-        self.finish(start)
     }
 
     /// Applies one worker candidate through the ordinary insertion

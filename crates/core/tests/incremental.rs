@@ -1,0 +1,147 @@
+//! Edit-script differential testing for incremental re-analysis.
+//!
+//! For seeded random programs and seeded additive edit scripts, the
+//! incremental path (`AnalysisDb::solve` on the base revision, then
+//! `extend` once per edit) must be *bit-identical* — same fact digest —
+//! to solving every revision from scratch, across both context
+//! abstractions, call-site and object sensitivity, and thread counts.
+//! Fact digests are computed over rendered, sorted facts, so they are
+//! independent of interning order and thread count; a single
+//! from-scratch digest per revision serves as the oracle for every
+//! incremental chain.
+//!
+//! Extensions must also be genuinely incremental: each `extend` may
+//! re-derive strictly fewer facts than the from-scratch solve of the
+//! same revision (the base revision's facts are already in the
+//! database).
+
+use ctxform::{AnalysisConfig, AnalysisDb, ExtendOutcome};
+use ctxform_algebra::Sensitivity;
+use ctxform_ir::Program;
+use ctxform_minijava::compile;
+use ctxform_synth::{edit_script, random_program};
+
+const SEEDS: u64 = 20;
+const STEPS: usize = 3;
+
+/// The abstraction × sensitivity grid the issue prescribes.
+fn configs() -> Vec<AnalysisConfig> {
+    let mut out = Vec::new();
+    for label in ["1-call", "1-object"] {
+        let sensitivity: Sensitivity = label.parse().expect("valid sensitivity");
+        out.push(AnalysisConfig::transformer_strings(sensitivity));
+        out.push(AnalysisConfig::context_strings(sensitivity));
+    }
+    out
+}
+
+/// Compiles every revision of the seed's edit script.
+fn revisions(seed: u64) -> Vec<Program> {
+    let base = random_program(seed, 1);
+    edit_script(&base, seed, STEPS)
+        .iter()
+        .map(|src| {
+            compile(src)
+                .unwrap_or_else(|e| panic!("seed {seed}: revision fails to compile: {e}"))
+                .program
+        })
+        .collect()
+}
+
+#[test]
+fn incremental_chains_are_bit_identical_to_scratch_solves() {
+    for seed in 0..SEEDS {
+        let programs = revisions(seed);
+        for config in configs() {
+            // From-scratch oracle per revision. Digests are rendered and
+            // sorted, hence thread-independent: one scratch solve per
+            // revision covers both incremental thread counts.
+            let scratch: Vec<(u64, u64)> = programs
+                .iter()
+                .map(|p| {
+                    let db = AnalysisDb::solve(p.clone(), &config.with_threads(1));
+                    (db.fact_digest(), db.result().stats.rule_derived.total())
+                })
+                .collect();
+            for threads in [1usize, 4] {
+                let cfg = config.with_threads(threads);
+                let mut db = AnalysisDb::solve(programs[0].clone(), &cfg);
+                assert_eq!(
+                    db.fact_digest(),
+                    scratch[0].0,
+                    "seed {seed} {config} threads={threads}: base solve digest \
+                     disagrees with the serial oracle"
+                );
+                for (step, next) in programs.iter().enumerate().skip(1) {
+                    let outcome = db.extend(next.clone());
+                    match &outcome {
+                        ExtendOutcome::Incremental => {}
+                        ExtendOutcome::Fallback(reason) => panic!(
+                            "seed {seed} {config} threads={threads} step {step}: \
+                             class append fell back to a from-scratch solve: {reason}"
+                        ),
+                    }
+                    assert_eq!(
+                        db.fact_digest(),
+                        scratch[step].0,
+                        "seed {seed} {config} threads={threads} step {step}: \
+                         incremental digest diverges from the from-scratch solve"
+                    );
+                    let (_, scratch_derived) = scratch[step];
+                    let incr_derived = db.result().stats.rule_derived.total();
+                    assert!(
+                        incr_derived < scratch_derived,
+                        "seed {seed} {config} threads={threads} step {step}: \
+                         extension re-derived {incr_derived} facts, not fewer than \
+                         the from-scratch {scratch_derived}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Subsumption retires facts, so the grow-only snapshot cannot resume:
+/// `extend` must *report* a fallback and still land on the from-scratch
+/// result.
+#[test]
+fn subsumption_configs_fall_back_but_stay_correct() {
+    let programs = revisions(1);
+    let sensitivity: Sensitivity = "1-call".parse().unwrap();
+    let config = AnalysisConfig::transformer_strings(sensitivity)
+        .with_subsumption()
+        .with_threads(1);
+    let mut db = AnalysisDb::solve(programs[0].clone(), &config);
+    let outcome = db.extend(programs[1].clone());
+    assert!(
+        matches!(outcome, ExtendOutcome::Fallback(_)),
+        "subsumption must never resume a grow-only snapshot"
+    );
+    let scratch = AnalysisDb::solve(programs[1].clone(), &config);
+    assert_eq!(
+        db.fact_digest(),
+        scratch.fact_digest(),
+        "fallback result must equal a from-scratch solve"
+    );
+}
+
+/// A non-monotone edit (reversing the script) falls back and still
+/// matches a from-scratch solve of the new revision.
+#[test]
+fn non_monotone_edits_fall_back_but_stay_correct() {
+    let programs = revisions(2);
+    let sensitivity: Sensitivity = "1-object".parse().unwrap();
+    let config = AnalysisConfig::context_strings(sensitivity).with_threads(1);
+    let mut db = AnalysisDb::solve(programs[2].clone(), &config);
+    let outcome = db.extend(programs[0].clone());
+    assert!(
+        matches!(outcome, ExtendOutcome::Fallback(_)),
+        "removing classes is not additive and must fall back"
+    );
+    let scratch = AnalysisDb::solve(programs[0].clone(), &config);
+    assert_eq!(
+        db.fact_digest(),
+        scratch.fact_digest(),
+        "fallback result must equal a from-scratch solve"
+    );
+}

@@ -89,6 +89,36 @@ impl ProgramBuilder {
         m
     }
 
+    /// Declares a method implemented in `class` *without* creating its
+    /// formal variables; bind them later with
+    /// [`ProgramBuilder::bind_formals`]. Frontends that declare all
+    /// methods up front but lower bodies per class use this to keep the
+    /// variable table in per-method order, so appending a class to a
+    /// source program extends every entity table instead of interleaving
+    /// new ids among existing ones (which incremental re-analysis relies
+    /// on — see `ProgramDiff`).
+    pub fn method_decl(&mut self, name: &str, class: Type) -> Method {
+        let m = Method::from_index(self.program.method_names.len());
+        self.program.method_names.push(name.to_owned());
+        self.program.method_class.push(class);
+        m
+    }
+
+    /// Creates the formal-parameter variables of a method declared with
+    /// [`ProgramBuilder::method_decl`], recording one `formal` tuple per
+    /// name in slot order, and returns them (also retrievable via
+    /// [`ProgramBuilder::formals`]).
+    pub fn bind_formals(&mut self, m: Method, formal_names: &[&str]) -> Vec<Var> {
+        let mut formals = Vec::with_capacity(formal_names.len());
+        for (o, formal_name) in formal_names.iter().enumerate() {
+            let v = self.var(formal_name, m);
+            self.program.facts.formal.push((v, m, o as u32));
+            formals.push(v);
+        }
+        self.formals.insert(m, formals.clone());
+        formals
+    }
+
     /// The formal-parameter variables of `m`, in slot order.
     pub fn formals(&self, m: Method) -> &[Var] {
         self.formals.get(&m).map(Vec::as_slice).unwrap_or(&[])

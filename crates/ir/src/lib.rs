@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 
 mod builder;
+mod delta;
 mod error;
 mod facts;
 mod ids;
@@ -41,6 +42,7 @@ mod program;
 pub mod text;
 
 pub use builder::ProgramBuilder;
+pub use delta::{ProgramDelta, ProgramDiff};
 pub use error::IrError;
 pub use facts::Facts;
 pub use ids::{EntityKind, Field, Heap, Inv, MSig, Method, Type, Var};

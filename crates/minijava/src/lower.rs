@@ -391,10 +391,12 @@ impl Lowerer {
                     ));
                 }
                 let qualified = format!("{}.{}", class.name, method.name);
-                let formals: Vec<&str> = method.params.iter().map(|p| p.name.as_str()).collect();
-                let id = self
-                    .builder
-                    .method_in(&qualified, self.classes[idx].ty, &formals);
+                // Declare without formals: formal variables are created at
+                // body-lowering time so the variable table stays in class
+                // declaration order (appending a class then extends the
+                // table instead of interleaving ids, which incremental
+                // re-analysis depends on).
+                let id = self.builder.method_decl(&qualified, self.classes[idx].ty);
                 if !method.is_static {
                     let msig_name = format!("{}/{}", method.name, method.params.len());
                     let s = self.builder.msig(&msig_name);
@@ -496,7 +498,8 @@ struct BodyCtx<'a> {
 impl<'a> BodyCtx<'a> {
     fn new(lw: &'a mut Lowerer, method: Method, decl: &ast::MethodDecl) -> Result<Self, MjError> {
         let mut scope = HashMap::new();
-        let formals: Vec<Var> = lw.builder.formals(method).to_vec();
+        let names: Vec<&str> = decl.params.iter().map(|p| p.name.as_str()).collect();
+        let formals: Vec<Var> = lw.builder.bind_formals(method, &names);
         for (param, var) in decl.params.iter().zip(formals) {
             if scope.insert(param.name.clone(), var).is_some() {
                 return Err(Lowerer::err(

@@ -17,7 +17,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
-use ctxform::{analyze, AnalysisConfig, AnalysisResult, SolverStats};
+use ctxform::{analyze, AnalysisConfig, AnalysisDb, AnalysisResult, ExtendOutcome, SolverStats};
 use ctxform_hash::fx_hash_one;
 use ctxform_ir::{text, Program};
 use ctxform_obs::metrics::{Registry, LATENCY_BUCKETS_S};
@@ -111,6 +111,33 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Extendable databases kept alive for the `update` op, keyed like the
+/// result cache and bounded by entry count (full solver state is much
+/// heavier than a projected result, so the bound is deliberately small).
+#[derive(Default)]
+struct DbCacheState {
+    entries: HashMap<Key, (AnalysisDb, u64)>,
+    tick: u64,
+}
+
+/// Resident [`AnalysisDb`] snapshots retained for incremental updates.
+const DB_CACHE_CAP: usize = 8;
+
+/// What [`DbManager::update`] did and produced.
+pub struct UpdateReport {
+    /// Digest the edited program was loaded (and its solution cached) under.
+    pub digest: u64,
+    /// Whether a database for the base key was resident when the update
+    /// arrived (`false` forces the from-scratch path).
+    pub base_cached: bool,
+    /// How the edit was satisfied: incremental resume or fallback.
+    pub outcome: ExtendOutcome,
+    /// The solution of the edited program.
+    pub result: Arc<AnalysisResult>,
+    /// Canonical digest of the database's derived facts.
+    pub fact_digest: u64,
+}
+
 /// A point-in-time view of the cache counters (for the `stats` endpoint).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheSnapshot {
@@ -128,6 +155,10 @@ pub struct CacheSnapshot {
     pub evictions: u64,
     /// Loaded programs.
     pub programs: usize,
+    /// `update` requests satisfied by resuming a cached database.
+    pub incremental_reuse: u64,
+    /// `update` requests that fell back to a from-scratch solve.
+    pub incremental_fallback: u64,
 }
 
 /// Signature of the [`DbManager`] solve hook (test instrumentation).
@@ -137,6 +168,7 @@ type SolveFn = dyn Fn(&Program, &AnalysisConfig) -> AnalysisResult + Send + Sync
 pub struct DbManager {
     programs: Mutex<HashMap<u64, Arc<Program>>>,
     cache: Mutex<CacheState>,
+    dbs: Mutex<DbCacheState>,
     solved: Condvar,
     budget: usize,
     /// Default solver thread count for requests that leave `threads` at
@@ -152,6 +184,8 @@ pub struct DbManager {
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
+    incremental_reuse: AtomicU64,
+    incremental_fallback: AtomicU64,
 }
 
 impl DbManager {
@@ -160,6 +194,7 @@ impl DbManager {
         DbManager {
             programs: Mutex::new(HashMap::new()),
             cache: Mutex::new(CacheState::default()),
+            dbs: Mutex::new(DbCacheState::default()),
             solved: Condvar::new(),
             budget,
             solver_threads: 0,
@@ -168,6 +203,8 @@ impl DbManager {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            incremental_reuse: AtomicU64::new(0),
+            incremental_fallback: AtomicU64::new(0),
         }
     }
 
@@ -327,6 +364,167 @@ impl DbManager {
         Ok((result, false))
     }
 
+    /// Brings the analysis of `base` up to date with the edited program
+    /// `next`: loads `next` under its own digest, then — when an
+    /// extendable database for `(base, config)` is resident — clones it
+    /// and resumes the fixpoint incrementally for purely-additive edits,
+    /// falling back to a from-scratch solve otherwise. The produced
+    /// database is cached for further updates and its result enters the
+    /// ordinary result cache, so follow-up queries on the new digest hit.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::UnknownProgram`] when no program with digest `base` is
+    /// loaded; [`DbError::SolveFailed`] when the solve panicked.
+    pub fn update(
+        &self,
+        base: u64,
+        next: Program,
+        config: &AnalysisConfig,
+    ) -> Result<UpdateReport, DbError> {
+        self.program(base).ok_or(DbError::UnknownProgram)?;
+        let (digest, next_arc) = self.load_program(next);
+        let tag = config_tag(config);
+        let mut solve_config = *config;
+        if solve_config.threads == 0 {
+            solve_config.threads = self.solver_threads;
+        }
+        let cached_db = self.db_cache_get(&(base, tag.clone()));
+        let base_cached = cached_db.is_some();
+        let solved = catch_unwind(AssertUnwindSafe(|| match cached_db {
+            Some(mut db) => {
+                let outcome = db.extend((*next_arc).clone());
+                (db, outcome)
+            }
+            None => {
+                let db = AnalysisDb::solve((*next_arc).clone(), &solve_config);
+                let reason = "no cached database for the base program".to_owned();
+                (db, ExtendOutcome::Fallback(reason))
+            }
+        }));
+        let (db, outcome) = match solved {
+            Ok(pair) => pair,
+            Err(payload) => return Err(DbError::SolveFailed(panic_message(payload.as_ref()))),
+        };
+        let result = Arc::new(db.result().clone());
+        match outcome {
+            ExtendOutcome::Incremental => {
+                self.incremental_reuse.fetch_add(1, Ordering::Relaxed);
+            }
+            ExtendOutcome::Fallback(_) => {
+                self.incremental_fallback.fetch_add(1, Ordering::Relaxed);
+                // Only the fallback performed a *fresh* solve; incremental
+                // extensions are accounted by the reuse counter instead.
+                if let Some(registry) = &self.registry {
+                    record_solve_metrics(registry, &result.stats);
+                }
+            }
+        };
+        let fact_digest = db.fact_digest();
+        self.db_cache_put((digest, tag.clone()), db);
+        self.cache_result((digest, tag), result.clone());
+        Ok(UpdateReport {
+            digest,
+            base_cached,
+            outcome,
+            result,
+            fact_digest,
+        })
+    }
+
+    /// Fetches (and LRU-touches) an extendable database, cloning it so
+    /// the cached snapshot survives the caller's extension.
+    fn db_cache_get(&self, key: &Key) -> Option<AnalysisDb> {
+        let mut state = self.dbs.lock().unwrap();
+        state.tick += 1;
+        let tick = state.tick;
+        state.entries.get_mut(key).map(|(db, last_used)| {
+            *last_used = tick;
+            db.clone()
+        })
+    }
+
+    /// Caches an extendable database, evicting the least-recently-used
+    /// entry past [`DB_CACHE_CAP`].
+    fn db_cache_put(&self, key: Key, db: AnalysisDb) {
+        let mut state = self.dbs.lock().unwrap();
+        state.tick += 1;
+        let tick = state.tick;
+        state.entries.insert(key, (db, tick));
+        while state.entries.len() > DB_CACHE_CAP {
+            let victim = state
+                .entries
+                .iter()
+                .min_by_key(|(_, &(_, last_used))| last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            state.entries.remove(&victim);
+        }
+    }
+
+    /// Seeds an extendable database for `(digest, config)` by solving from
+    /// scratch while keeping the state (used by callers that know updates
+    /// will follow; `update` itself seeds the edited program's database).
+    pub fn prime_db(&self, digest: u64, config: &AnalysisConfig) -> Result<(), DbError> {
+        let program = self.program(digest).ok_or(DbError::UnknownProgram)?;
+        let key = (digest, config_tag(config));
+        if self.dbs.lock().unwrap().entries.contains_key(&key) {
+            return Ok(());
+        }
+        let mut solve_config = *config;
+        if solve_config.threads == 0 {
+            solve_config.threads = self.solver_threads;
+        }
+        let solved = catch_unwind(AssertUnwindSafe(|| {
+            AnalysisDb::solve((*program).clone(), &solve_config)
+        }));
+        match solved {
+            Ok(db) => {
+                self.db_cache_put(key, db);
+                Ok(())
+            }
+            Err(payload) => Err(DbError::SolveFailed(panic_message(payload.as_ref()))),
+        }
+    }
+
+    /// Inserts a result produced outside `get_or_solve` (the `update`
+    /// path) into the result cache, with the same byte accounting and
+    /// LRU eviction as a coalesced solve.
+    fn cache_result(&self, key: Key, result: Arc<AnalysisResult>) {
+        let bytes = approx_result_bytes(&result);
+        let mut state = self.cache.lock().unwrap();
+        state.tick += 1;
+        let tick = state.tick;
+        if let Some(old) = state.entries.remove(&key) {
+            state.bytes -= old.bytes;
+        }
+        state.bytes += bytes;
+        state.entries.insert(
+            key.clone(),
+            Entry {
+                result,
+                bytes,
+                last_used: tick,
+            },
+        );
+        while state.bytes > self.budget && state.entries.len() > 1 {
+            let victim = state
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty");
+            if victim == key {
+                break;
+            }
+            let evicted = state.entries.remove(&victim).expect("present");
+            state.bytes -= evicted.bytes;
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+        drop(state);
+        self.solved.notify_all();
+    }
+
     /// Current cache counters.
     pub fn snapshot(&self) -> CacheSnapshot {
         let state = self.cache.lock().unwrap();
@@ -338,6 +536,8 @@ impl DbManager {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             programs: self.programs.lock().unwrap().len(),
+            incremental_reuse: self.incremental_reuse.load(Ordering::Relaxed),
+            incremental_fallback: self.incremental_fallback.load(Ordering::Relaxed),
         }
     }
 }

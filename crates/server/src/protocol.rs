@@ -116,6 +116,25 @@ pub enum Request {
         /// The fact-file text.
         facts: String,
     },
+    /// Bring a cached analysis database up to date with an edited program.
+    ///
+    /// Names the *base* program by digest and carries the edited program
+    /// in full (as MiniJava source or a fact file). When the server holds
+    /// a solved database for `(base, config)` and the edit is purely
+    /// additive, the solve resumes incrementally from the saved state;
+    /// otherwise it falls back to a from-scratch solve. Either way the
+    /// edited program is loaded and its solution cached under its own
+    /// digest.
+    Update {
+        /// Base program digest from a previous load.
+        base: u64,
+        /// Edited MiniJava source (exactly one of `source`/`facts`).
+        source: Option<String>,
+        /// Edited fact-file text (exactly one of `source`/`facts`).
+        facts: Option<String>,
+        /// The analysis configuration.
+        config: AnalysisConfig,
+    },
     /// Solve (or fetch the cached solution of) a program under a config.
     Analyze {
         /// Program digest from `load_source`/`load_facts`.
@@ -190,6 +209,7 @@ impl Request {
         match self {
             Request::LoadSource { .. } => "load_source",
             Request::LoadFacts { .. } => "load_facts",
+            Request::Update { .. } => "update",
             Request::Analyze { .. } => "analyze",
             Request::PointsTo { .. } => "points_to",
             Request::MayAlias { .. } => "may_alias",
@@ -345,6 +365,22 @@ pub fn parse_request(line: &str) -> Result<(RequestMeta, Request), ProtoError> {
         "load_facts" => Request::LoadFacts {
             facts: req_str(&obj, "facts")?,
         },
+        "update" => {
+            let source = opt_str(&obj, "source");
+            let facts = opt_str(&obj, "facts");
+            if source.is_some() == facts.is_some() {
+                return Err(bad("`update` needs exactly one of `source`/`facts`"));
+            }
+            let base = req_str(&obj, "base")?;
+            let base = u64::from_str_radix(&base, 16)
+                .map_err(|_| bad(format!("`base` is not a hex digest: `{base}`")))?;
+            Request::Update {
+                base,
+                source,
+                facts,
+                config: req_config(&obj)?,
+            }
+        }
         "analyze" => Request::Analyze {
             program: req_program(&obj)?,
             config: req_config(&obj)?,
@@ -460,6 +496,10 @@ mod tests {
                 "analyze",
             ),
             (
+                r#"{"op": "update", "base": "ff", "source": "class Main {}"}"#,
+                "update",
+            ),
+            (
                 r#"{"op": "points_to", "program": "ff", "method": "Main.main", "var": "x"}"#,
                 "points_to",
             ),
@@ -525,6 +565,9 @@ mod tests {
             r#"{"op": "analyze", "program": "ff", "abstraction": "tstring"}"#,
             r#"{"op": "analyze", "program": "ff", "abstraction": "tstring", "sensitivity": "9-warp"}"#,
             r#"{"op": "sleep"}"#,
+            r#"{"op": "update", "base": "ff"}"#,
+            r##"{"op": "update", "base": "ff", "source": "class Main {}", "facts": "# f"}"##,
+            r#"{"op": "update", "base": "zz", "source": "class Main {}"}"#,
         ] {
             let err = parse_request(line).unwrap_err();
             assert_eq!(err.code, ErrorCode::BadRequest, "{line}");

@@ -391,6 +391,46 @@ fn dispatch(
                 .map_err(|e| ProtoError::new(ErrorCode::FactError, e.to_string()))?;
             load_fields(shared, program)
         }
+        Request::Update {
+            base,
+            source,
+            facts,
+            config,
+        } => {
+            let next = match (source, facts) {
+                (Some(source), _) => {
+                    ctxform_minijava::compile(source)
+                        .map_err(|e| ProtoError::new(ErrorCode::CompileError, e.to_string()))?
+                        .program
+                }
+                (None, Some(facts)) => ctxform_ir::text::parse(facts)
+                    .map_err(|e| ProtoError::new(ErrorCode::FactError, e.to_string()))?,
+                (None, None) => unreachable!("parser requires one of source/facts"),
+            };
+            let report = shared.db.update(*base, next, config).map_err(|e| match e {
+                DbError::UnknownProgram => ProtoError::new(
+                    ErrorCode::UnknownProgram,
+                    format!("no loaded program has digest {}", digest_str(*base)),
+                ),
+                DbError::SolveFailed(msg) => {
+                    ProtoError::new(ErrorCode::Internal, format!("analysis failed: {msg}"))
+                }
+            })?;
+            let s = &report.result.stats;
+            let mut fields = vec![
+                ("program", Json::str(digest_str(report.digest))),
+                ("incremental", Json::Bool(report.outcome.is_incremental())),
+                ("base_cached", Json::Bool(report.base_cached)),
+                ("fact_digest", Json::str(digest_str(report.fact_digest))),
+                ("pts", Json::int(s.pts)),
+                ("total", Json::int(s.total())),
+                ("time_ms", Json::ms(s.duration.as_secs_f64() * 1000.0)),
+            ];
+            if let ctxform::ExtendOutcome::Fallback(reason) = &report.outcome {
+                fields.push(("reason", Json::str(reason.as_str())));
+            }
+            Ok(fields)
+        }
         Request::Analyze { program, config } => {
             let (result, cached) = solve(shared, *program, config)?;
             let s = &result.stats;
@@ -668,7 +708,7 @@ fn metrics_fields(shared: &Shared) -> Fields {
 }
 
 fn render_cache_prometheus(text: &mut PromText, cache: &CacheSnapshot) {
-    let counters: [(&str, &str, u64); 3] = [
+    let counters: [(&str, &str, u64); 5] = [
         (
             "ctxform_db_cache_hits_total",
             "Analysis requests answered from the database cache.",
@@ -683,6 +723,16 @@ fn render_cache_prometheus(text: &mut PromText, cache: &CacheSnapshot) {
             "ctxform_db_cache_evictions_total",
             "Cached databases evicted to stay under the byte budget.",
             cache.evictions,
+        ),
+        (
+            "ctxform_db_incremental_reuse_total",
+            "Update requests satisfied by resuming a cached database.",
+            cache.incremental_reuse,
+        ),
+        (
+            "ctxform_db_incremental_fallback_total",
+            "Update requests that fell back to a from-scratch solve.",
+            cache.incremental_fallback,
         ),
     ];
     for (name, help, value) in counters {
@@ -759,6 +809,11 @@ fn stats_fields(shared: &Shared) -> Fields {
                 ("misses", Json::uint(cache.misses)),
                 ("evictions", Json::uint(cache.evictions)),
                 ("programs", Json::int(cache.programs)),
+                ("incremental_reuse", Json::uint(cache.incremental_reuse)),
+                (
+                    "incremental_fallback",
+                    Json::uint(cache.incremental_fallback),
+                ),
             ]),
         ),
     ]

@@ -645,6 +645,150 @@ fn slow_queries_are_logged_with_trace_ids() {
     );
 }
 
+/// Three revisions of one program for the `update` endpoint: each `V<n+1>`
+/// appends a driver class to `V<n>`, so V0→V1→V2 are purely-additive edits
+/// while any reverse step is non-monotone.
+const UPD_V0: &str = "class Box { Object item;
+        void put(Object o) { this.item = o; }
+        Object get() { Object r = this.item; return r; }
+    }
+    class Main {
+        public static void main(String[] args) {
+            Box b = new Box();
+            Object o = new Object();
+            b.put(o);
+            Object r = b.get();
+        }
+    }";
+
+fn upd_v1() -> String {
+    format!(
+        "{UPD_V0}
+    class EditA {{
+        public static void main(String[] args) {{
+            Box b2 = new Box();
+            Object p = new Object();
+            b2.put(p);
+            Object q = b2.get();
+        }}
+    }}"
+    )
+}
+
+fn upd_v2() -> String {
+    format!(
+        "{}
+    class EditB {{
+        public static void main(String[] args) {{
+            Box b3 = new Box();
+            b3.put(new Object());
+            Object s = b3.get();
+        }}
+    }}",
+        upd_v1()
+    )
+}
+
+fn update_req(base: &str, source: &str) -> Json {
+    Json::obj([
+        ("op", Json::str("update")),
+        ("base", Json::str(base)),
+        ("source", Json::str(source)),
+        ("abstraction", Json::str("tstring")),
+        ("sensitivity", Json::str("2-object+H")),
+    ])
+}
+
+/// The `update` endpoint: an edit chain reuses cached databases
+/// incrementally, non-monotone edits fall back, the edited program's
+/// solution lands in the result cache, and the new counters are scraped
+/// by both `stats` and `metrics`.
+#[test]
+fn update_endpoint_reuses_cached_databases() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let d0 = client.load_source(UPD_V0).unwrap();
+
+    // First update: nothing extendable is resident yet, so this is a
+    // recorded fallback that *seeds* the database chain.
+    let r1 = client.request(&update_req(&d0, &upd_v1())).unwrap();
+    assert_eq!(r1.get("incremental").unwrap().as_bool(), Some(false));
+    assert_eq!(r1.get("base_cached").unwrap().as_bool(), Some(false));
+    assert!(r1
+        .get("reason")
+        .unwrap()
+        .as_str()
+        .unwrap()
+        .contains("no cached database"));
+    let d1 = r1.get("program").unwrap().as_str().unwrap().to_owned();
+
+    // Second update: the V1 database is resident and the edit is purely
+    // additive, so the solve resumes incrementally.
+    let r2 = client.request(&update_req(&d1, &upd_v2())).unwrap();
+    assert_eq!(r2.get("incremental").unwrap().as_bool(), Some(true));
+    assert_eq!(r2.get("base_cached").unwrap().as_bool(), Some(true));
+    assert!(r2.get("reason").is_none());
+    let d2 = r2.get("program").unwrap().as_str().unwrap().to_owned();
+
+    // Bit-identical to a from-scratch solve of the edited program: the
+    // canonical fact digest matches a direct local solve.
+    let config = AnalysisConfig::transformer_strings("2-object+H".parse().unwrap());
+    let scratch = ctxform::AnalysisDb::solve(compile(&upd_v2()).unwrap().program, &config);
+    assert_eq!(
+        r2.get("fact_digest").unwrap().as_str().unwrap(),
+        format!("{:016x}", scratch.fact_digest()),
+        "incremental update diverged from a from-scratch solve"
+    );
+
+    // The update also populated the ordinary result cache: an analyze of
+    // the edited program is answered without another solve.
+    let reply = client
+        .request(&Json::obj([
+            ("op", Json::str("analyze")),
+            ("program", Json::str(d2.clone())),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str("2-object+H")),
+        ]))
+        .unwrap();
+    assert_eq!(reply.get("cached").unwrap().as_bool(), Some(true));
+
+    // A reverse edit removes entities: resident database, but the diff is
+    // non-monotone, so the server falls back (and says why).
+    let r3 = client.request(&update_req(&d2, UPD_V0)).unwrap();
+    assert_eq!(r3.get("incremental").unwrap().as_bool(), Some(false));
+    assert_eq!(r3.get("base_cached").unwrap().as_bool(), Some(true));
+    assert!(!r3.get("reason").unwrap().as_str().unwrap().is_empty());
+
+    // Both counters are visible to stats and to a Prometheus scrape.
+    let stats = client
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("incremental_reuse").unwrap().as_u64(), Some(1));
+    assert_eq!(cache.get("incremental_fallback").unwrap().as_u64(), Some(2));
+    let metrics = client
+        .request(&Json::obj([("op", Json::str("metrics"))]))
+        .unwrap();
+    let text = metrics.get("exposition").unwrap().as_str().unwrap();
+    assert!(text.contains("ctxform_db_incremental_reuse_total 1"));
+    assert!(text.contains("ctxform_db_incremental_fallback_total 2"));
+
+    // Unknown base digests stay typed errors.
+    let reply = client
+        .request_raw(&format!(
+            "{}\n",
+            update_req("00000000deadbeef", UPD_V0).to_line()
+        ))
+        .unwrap();
+    assert_eq!(
+        reply.get("error").unwrap().as_str(),
+        Some("unknown_program")
+    );
+
+    server.shutdown();
+    server.join();
+}
+
 /// Concurrent clients issuing the same cold query coalesce onto one solve.
 #[test]
 fn concurrent_cold_queries_solve_once() {

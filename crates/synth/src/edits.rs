@@ -1,0 +1,124 @@
+//! Seeded additive edit scripts for incremental re-analysis testing.
+//!
+//! An *edit script* is a sequence of source revisions, each produced from
+//! the previous one by appending a single `Edit<k>` class. Appended
+//! classes only reference entities every generated program is guaranteed
+//! to contain — the hierarchy root `D0` with its method `vm0(Object)`
+//! and field `g0`, plus `Edit` classes appended by earlier steps — so
+//! every revision compiles whenever the base program does.
+//!
+//! Class *appends* are the purely-additive edit shape: MiniJava lowering
+//! interns all entities of an appended class after those of existing
+//! classes, so the lowered fact program of revision `k+1` is a monotone
+//! extension of revision `k` (see `ProgramDiff` in `ctxform-ir`). That
+//! makes these scripts the canonical test vector for
+//! `AnalysisDb::extend`: the incremental chain must be bit-identical to
+//! solving each revision from scratch.
+
+use ctxform_hash::SplitMix64;
+
+/// Appends step `step` of the seeded edit script to `source`.
+///
+/// Deterministic in `(seed, step)`. The appended `Edit<step>` class has
+/// its own `Object` field, its own instance method, and its own `main`
+/// entry point, so the edit adds allocations, loads, stores, virtual
+/// calls, and an entry method — exercising every delta relation the
+/// incremental solver reseeds. Steps must be applied in order starting
+/// from 0: later steps may call into `Edit` classes appended earlier.
+pub fn append_edit(source: &str, seed: u64, step: usize) -> String {
+    let mut rng = SplitMix64::new(seed ^ (step as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let k = step;
+    let mut body = String::new();
+    // Always interact with the pre-existing hierarchy root so the delta
+    // joins against facts derived before the edit, not just new ones.
+    body.push_str(&format!("        D0 d{k} = new D0();\n"));
+    body.push_str(&format!("        Object o{k} = new Object();\n"));
+    body.push_str(&format!("        Object r{k} = d{k}.vm0(o{k});\n"));
+    if rng.percent(60) {
+        // Field round-trip through the guaranteed root field.
+        body.push_str(&format!("        d{k}.g0 = o{k};\n"));
+        body.push_str(&format!("        Object z{k} = d{k}.g0;\n"));
+    }
+    if rng.percent(70) {
+        // Route a value through this edit's own worker method.
+        body.push_str(&format!("        Edit{k} e{k} = new Edit{k}();\n"));
+        body.push_str(&format!("        Object w{k} = e{k}.work{k}(r{k});\n"));
+    }
+    if step > 0 && rng.percent(50) {
+        // Call back into a class appended by an earlier edit step.
+        let j = rng.below(step);
+        body.push_str(&format!("        Edit{j} prev{k} = new Edit{j}();\n"));
+        body.push_str(&format!("        Object pw{k} = prev{k}.work{j}(o{k});\n"));
+    }
+    format!(
+        "{source}class Edit{k} {{\n    Object keep{k};\n    Object work{k}(Object p) {{\n        this.keep{k} = p;\n        Object t{k} = this.keep{k};\n        return t{k};\n    }}\n    public static void main(String[] args) {{\n{body}    }}\n}}\n"
+    )
+}
+
+/// Applies `steps` edit-script steps, returning every revision.
+///
+/// The result has `steps + 1` entries: the unedited `source` first, then
+/// one entry per applied step. Deterministic in `(seed, steps)`; a
+/// prefix of a longer script equals the shorter script with the same
+/// seed.
+pub fn edit_script(source: &str, seed: u64, steps: usize) -> Vec<String> {
+    let mut revisions = Vec::with_capacity(steps + 1);
+    revisions.push(source.to_owned());
+    for step in 0..steps {
+        let next = append_edit(revisions.last().expect("non-empty"), seed, step);
+        revisions.push(next);
+    }
+    revisions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::random_program;
+    use ctxform_ir::ProgramDiff;
+    use ctxform_minijava::compile;
+
+    #[test]
+    fn edit_scripts_are_deterministic() {
+        let base = random_program(4, 1);
+        assert_eq!(edit_script(&base, 9, 3), edit_script(&base, 9, 3));
+        let long = edit_script(&base, 9, 4);
+        assert_eq!(&long[..4], &edit_script(&base, 9, 3)[..]);
+    }
+
+    #[test]
+    fn every_revision_compiles() {
+        for seed in 0..8 {
+            let base = random_program(seed, 1);
+            for (step, src) in edit_script(&base, seed, 3).iter().enumerate() {
+                compile(src).unwrap_or_else(|e| panic!("seed {seed} step {step}: {e}\n{src}"));
+            }
+        }
+    }
+
+    #[test]
+    fn every_step_is_a_purely_additive_program_edit() {
+        for seed in 0..8 {
+            let base = random_program(seed, 1);
+            let revisions = edit_script(&base, seed, 3);
+            for pair in revisions.windows(2) {
+                let before = compile(&pair[0]).expect("base compiles").program;
+                let after = compile(&pair[1]).expect("edit compiles").program;
+                match ProgramDiff::between(&before, &after) {
+                    ProgramDiff::Additive(delta) => {
+                        assert!(
+                            !delta.is_empty(),
+                            "seed {seed}: edit appended a class but the delta is empty"
+                        );
+                    }
+                    ProgramDiff::NonMonotone { reason } => {
+                        panic!("seed {seed}: class append was not additive: {reason}")
+                    }
+                    ProgramDiff::Identical => {
+                        panic!("seed {seed}: class append produced an identical program")
+                    }
+                }
+            }
+        }
+    }
+}

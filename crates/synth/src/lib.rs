@@ -27,10 +27,12 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod edits;
 mod presets;
 mod random_program;
 mod source;
 
+pub use edits::{append_edit, edit_script};
 pub use presets::{dacapo_like, preset, PRESET_NAMES};
 pub use random_program::random_program;
 pub use source::{generate, SynthConfig};

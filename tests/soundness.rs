@@ -2,10 +2,10 @@
 //! concretely executing a program must appear in every analysis result,
 //! for every abstraction, flavour, and level.
 
-use ctxform::{analyze, AnalysisConfig, AnalysisResult};
+use ctxform::{analyze, AnalysisConfig, AnalysisDb, AnalysisResult};
 use ctxform_algebra::Sensitivity;
 use ctxform_minijava::{compile, corpus, Module};
-use ctxform_synth::random_program;
+use ctxform_synth::{edit_script, random_program};
 use ctxform_vm::{run, DynFacts, VmConfig};
 
 fn all_configs() -> Vec<AnalysisConfig> {
@@ -91,6 +91,49 @@ fn random_programs_are_analyzed_soundly() {
         let size = 1 + (seed as usize % 3);
         let src = random_program(seed, size);
         check_program(&format!("random#{seed}"), &src);
+    }
+}
+
+/// Soundness must survive edits: after each additive edit-script step,
+/// the *incrementally extended* database must still cover every fact the
+/// VM observes executing the edited revision. This checks the resumed
+/// frontier, not a fresh solve — each revision's result comes from
+/// `AnalysisDb::extend` on the previous revision's database.
+#[test]
+fn incrementally_extended_databases_stay_sound_under_edits() {
+    let sensitivities: [Sensitivity; 2] = ["1-call".parse().unwrap(), "1-object".parse().unwrap()];
+    for seed in [3u64, 11, 17] {
+        let base = random_program(seed, 1);
+        let sources = edit_script(&base, seed, 2);
+        let modules: Vec<Module> = sources
+            .iter()
+            .map(|src| compile(src).unwrap_or_else(|e| panic!("edited#{seed}: {e}")))
+            .collect();
+        for (flavour, config) in [
+            AnalysisConfig::transformer_strings(sensitivities[0]),
+            AnalysisConfig::context_strings(sensitivities[1]),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut db = AnalysisDb::solve(modules[0].program.clone(), &config);
+            for (step, module) in modules.iter().enumerate() {
+                if step > 0 {
+                    let outcome = db.extend(module.program.clone());
+                    assert!(
+                        outcome.is_incremental(),
+                        "edited#{seed} step {step}: class append must extend incrementally"
+                    );
+                }
+                let vm = run(module, &VmConfig::default());
+                assert!(
+                    !vm.facts.reached.is_empty(),
+                    "edited#{seed} step {step}: execution should reach at least main"
+                );
+                let name = format!("edited#{seed}/flavour{flavour}/step{step}");
+                assert_sound(&name, module, &vm.facts, db.result());
+            }
+        }
     }
 }
 
