@@ -9,7 +9,7 @@
 //! ctxform-client [--addr HOST:PORT] points-to --source FILE --method M --var V \
 //!                [--abstraction A] [--sensitivity S] [--demand]
 //! ctxform-client [--addr HOST:PORT] loadgen [--connections N] [--seconds S] \
-//!                [--sensitivity S] [--out PATH]
+//!                [--pipeline DEPTH] [--batch K] [--sensitivity S] [--out PATH]
 //! ```
 //!
 //! Every command exits non-zero on transport errors, server error replies,
@@ -210,6 +210,18 @@ fn run_loadgen(addr: SocketAddr, rest: &[String]) {
                     .unwrap_or_else(|_| fail("--seconds needs a number"));
                 config.duration = Duration::from_secs_f64(secs);
             }
+            "--pipeline" => {
+                config.pipeline = value("--pipeline")
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&d| d >= 1)
+                    .unwrap_or_else(|| fail("--pipeline needs an integer >= 1"));
+            }
+            "--batch" => {
+                config.batch = value("--batch")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--batch needs a non-negative integer"));
+            }
             "--sensitivity" => config.sensitivity = value("--sensitivity"),
             "--out" => out = Some(value("--out")),
             other => fail(format!("unknown loadgen argument `{other}`")),
@@ -224,17 +236,22 @@ fn run_loadgen(addr: SocketAddr, rest: &[String]) {
     let artifact = report.to_json(server_stats.as_ref()).to_pretty();
     std::fs::write(&path, &artifact).unwrap_or_else(|e| fail(format!("cannot write {path}: {e}")));
     println!(
-        "loadgen: {} connections, {} requests ({} errors) in {:.1?} = {:.0} rps; \
-         p50 {:.3}ms p90 {:.3}ms p99 {:.3}ms max {:.3}ms -> {path}",
+        "loadgen: {} connections x pipeline {} (batch {}), {} requests / {} queries \
+         ({} errors) in {:.1?} = {:.0} rps / {:.0} qps; \
+         p50 {:.3}ms p95 {:.3}ms p99 {:.3}ms max {:.3}ms -> {path}",
         report.connections,
+        report.pipeline,
+        report.batch,
         report.requests,
+        report.queries,
         report.errors,
         report.elapsed,
         report.throughput(),
-        report.latency_ms.0,
-        report.latency_ms.1,
-        report.latency_ms.2,
-        report.latency_ms.3,
+        report.query_throughput(),
+        report.latency_ms.p50,
+        report.latency_ms.p95,
+        report.latency_ms.p99,
+        report.latency_ms.max,
     );
     if report.errors > 0 {
         fail(format!("{} protocol errors during loadgen", report.errors));

@@ -1,15 +1,22 @@
 //! `ctxform-serve` — the analysis daemon.
 //!
 //! ```text
-//! ctxform-serve [--port N] [--threads N] [--solver-threads N] [--queue N]
+//! ctxform-serve [--port N] [--shards N] [--threads N] [--solver-threads N]
+//!               [--queue N] [--max-conns N] [--replicate-hot N]
 //!               [--cache-mb N] [--deadline-ms N] [--slow-ms N]
 //!               [--trace N] [--log-level LEVEL] [--port-file PATH]
 //! ```
 //!
-//! `--threads` sizes the request-worker pool; `--solver-threads` sets the
-//! default frontier-parallel solver width for requests that do not pick
-//! one (`0` = auto-detect). Results are bit-identical for every solver
-//! width, so the flag only affects solve latency, never answers.
+//! `--shards` sets the number of independent serving shards (default: one
+//! per core); program digests are consistent-hashed across them, and each
+//! shard owns its own caches, bounded job queue (`--queue`, per shard),
+//! and worker pool (`--threads` workers per shard). `--replicate-hot N`
+//! copies a program to a second shard once it has served `N` read queries
+//! (0/absent = off). `--max-conns` bounds concurrent connections.
+//! `--solver-threads` sets the default frontier-parallel solver width for
+//! requests that do not pick one (`0` = auto-detect). Results are
+//! bit-identical for every shard count and solver width, so these flags
+//! only affect latency and throughput, never answers.
 //!
 //! Observability: `--slow-ms N` logs every request slower than `N`
 //! milliseconds (with its trace id) at `WARN`; `--trace N` enables the
@@ -44,7 +51,17 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--port" => config.port = num(&mut args, "--port") as u16,
+            "--shards" => config.shards = (num(&mut args, "--shards") as usize).max(1),
             "--threads" => config.threads = (num(&mut args, "--threads") as usize).max(1),
+            "--max-conns" => {
+                config.max_connections = (num(&mut args, "--max-conns") as usize).max(1)
+            }
+            "--replicate-hot" => {
+                config.replicate_hot = match num(&mut args, "--replicate-hot") {
+                    0 => None,
+                    n => Some(n),
+                }
+            }
             "--solver-threads" => {
                 config.solver_threads = num(&mut args, "--solver-threads") as usize
             }
@@ -68,8 +85,9 @@ fn main() {
             "--port-file" => port_file = Some(args.next().expect("--port-file needs a path")),
             "--help" | "-h" => {
                 eprintln!(
-                    "usage: ctxform-serve [--port N] [--threads N] [--solver-threads N] \
-                     [--queue N] [--cache-mb N] [--deadline-ms N] [--slow-ms N] \
+                    "usage: ctxform-serve [--port N] [--shards N] [--threads N] \
+                     [--solver-threads N] [--queue N] [--max-conns N] [--replicate-hot N] \
+                     [--cache-mb N] [--deadline-ms N] [--slow-ms N] \
                      [--trace N] [--log-level LEVEL] [--port-file PATH]"
                 );
                 return;
@@ -86,7 +104,8 @@ fn main() {
     logger::info(
         "ctxform-serve",
         format!(
-            "listening on {addr} ({} threads, solver threads {}, queue {}, cache {} MiB, deadline {:?}, slow-query {} ms, trace ring {})",
+            "listening on {addr} ({} shards x {} workers, solver threads {}, queue {}/shard, cache {} MiB, deadline {:?}, slow-query {} ms, trace ring {})",
+            config.shards,
             config.threads,
             if config.solver_threads == 0 {
                 "auto".to_owned()

@@ -237,13 +237,25 @@ impl DbManager {
     /// Loading the same program twice is idempotent and cheap (the second
     /// copy is dropped).
     pub fn load_program(&self, program: Program) -> (u64, Arc<Program>) {
-        let digest = fx_hash_one(&text::emit(&program));
+        let digest = program_digest(&program);
         let mut programs = self.programs.lock().unwrap();
         let arc = programs
             .entry(digest)
             .or_insert_with(|| Arc::new(program))
             .clone();
         (digest, arc)
+    }
+
+    /// Registers an already-shared program under a known digest — the
+    /// replication path: the router copies a hot program's `Arc` from its
+    /// owning shard into a replica shard without re-emitting or re-hashing
+    /// the program text.
+    pub fn adopt_program(&self, digest: u64, program: Arc<Program>) {
+        self.programs
+            .lock()
+            .unwrap()
+            .entry(digest)
+            .or_insert(program);
     }
 
     /// Looks up a loaded program by digest.
@@ -608,6 +620,38 @@ fn record_solve_metrics(registry: &Registry, stats: &SolverStats) {
             &LATENCY_BUCKETS_S,
         )
         .observe_duration(stats.duration);
+}
+
+/// The canonical content digest of a program: `fx_hash_one` over the
+/// [`ctxform_ir::text::emit`] rendering — the routing key of the shard
+/// ring and the wire name clients quote in queries. Computing it here
+/// (rather than only inside [`DbManager::load_program`]) lets the router
+/// pick the owning shard *before* the program is registered anywhere.
+pub fn program_digest(program: &Program) -> u64 {
+    fx_hash_one(&text::emit(program))
+}
+
+/// An order-independent digest of a result's context-insensitive
+/// projections: each fact set is sorted and hashed as a sequence, then the
+/// relation digests are combined. Identical CI facts ⇒ identical digest on
+/// every platform — the oracle the integration suite uses to prove
+/// shard-served answers equal direct `analyze` calls.
+pub fn ci_digest(r: &AnalysisResult) -> u64 {
+    fn set_digest<T: Ord + Copy + std::hash::Hash>(
+        set: &std::collections::HashSet<T, impl std::hash::BuildHasher>,
+    ) -> u64 {
+        let mut items: Vec<T> = set.iter().copied().collect();
+        items.sort_unstable();
+        fx_hash_one(&items)
+    }
+    let ci = &r.ci;
+    fx_hash_one(&[
+        set_digest(&ci.pts),
+        set_digest(&ci.hpts),
+        set_digest(&ci.call),
+        set_digest(&ci.spts),
+        set_digest(&ci.reach),
+    ])
 }
 
 /// Estimates the resident size of a solved database: the dominant cost is

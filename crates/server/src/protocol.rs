@@ -4,7 +4,12 @@
 //! reply is one JSON object on one line with `"ok": true` plus the answer
 //! fields, or `"ok": false` plus a machine-readable `"error"` code and a
 //! human-readable `"message"`. An optional `"id"` request field is echoed
-//! verbatim in the reply so clients may pipeline.
+//! verbatim in the reply, and the server stamps every reply with a
+//! per-connection `"seq"` (1-based request index), so clients may write
+//! many request lines before reading replies — pipelining — and verify
+//! that reply order matches request order. `points_to_batch` answers many
+//! variable queries against one cached database in a single framed
+//! round-trip ([`MAX_BATCH_VARS`] bound).
 //!
 //! Analysis-bearing requests name a program by the 16-hex-digit digest
 //! returned from `load_source`/`load_facts`, and a configuration by
@@ -35,8 +40,11 @@ pub enum ErrorCode {
     UnknownVar,
     /// Request processing exceeded the per-request deadline.
     DeadlineExceeded,
-    /// The accept queue was full; retry later.
+    /// The routed shard's queue (or the connection limit) was full;
+    /// retry later.
     Overloaded,
+    /// The request line exceeded the per-line byte bound.
+    TooLarge,
     /// The server is draining for shutdown.
     ShuttingDown,
     /// Anything else.
@@ -55,6 +63,7 @@ impl ErrorCode {
             ErrorCode::UnknownVar => "unknown_var",
             ErrorCode::DeadlineExceeded => "deadline_exceeded",
             ErrorCode::Overloaded => "overloaded",
+            ErrorCode::TooLarge => "too_large",
             ErrorCode::ShuttingDown => "shutting_down",
             ErrorCode::Internal => "internal",
         }
@@ -93,6 +102,11 @@ impl fmt::Display for ProtoError {
 }
 
 impl std::error::Error for ProtoError {}
+
+/// Upper bound on `points_to_batch` fan-in: generous enough for "thousands
+/// of variable queries in one round-trip" while keeping one request line
+/// from monopolizing a shard worker indefinitely.
+pub const MAX_BATCH_VARS: usize = 65_536;
 
 /// A `(method name, variable name)` pair addressing one program variable.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -154,6 +168,17 @@ pub enum Request {
         /// exhaustive (cached) solver; context-insensitive only.
         demand: bool,
     },
+    /// The points-to sets of many variables against one cached database,
+    /// answered in a single framed round-trip (amortizes framing for
+    /// clients asking thousands of `points_to` questions).
+    PointsToBatch {
+        /// Program digest.
+        program: u64,
+        /// The analysis configuration.
+        config: AnalysisConfig,
+        /// The queried variables, answered positionally.
+        vars: Vec<VarRef>,
+    },
     /// Whether two variables may alias.
     MayAlias {
         /// Program digest.
@@ -193,11 +218,14 @@ pub enum Request {
         /// Return only the newest `limit` records.
         limit: Option<usize>,
     },
-    /// Hold a worker for `ms` milliseconds (testing aid: exercises queue
-    /// overload and per-request deadlines deterministically).
+    /// Hold a shard worker for `ms` milliseconds (testing aid: exercises
+    /// per-shard backpressure and per-request deadlines deterministically).
     Sleep {
         /// How long to hold the worker.
         ms: u64,
+        /// Pin the sleep to one shard by index (round-robin when absent),
+        /// so tests can fill a specific shard's queue.
+        shard: Option<usize>,
     },
     /// Begin graceful shutdown: drain in-flight requests, then exit.
     Shutdown,
@@ -212,6 +240,7 @@ impl Request {
             Request::Update { .. } => "update",
             Request::Analyze { .. } => "analyze",
             Request::PointsTo { .. } => "points_to",
+            Request::PointsToBatch { .. } => "points_to_batch",
             Request::MayAlias { .. } => "may_alias",
             Request::CallEdges { .. } => "call_edges",
             Request::Reachable { .. } => "reachable",
@@ -298,11 +327,19 @@ pub struct RequestMeta {
     pub id: Option<Json>,
     /// The `"trace"` field (client-supplied trace id).
     pub trace: Option<String>,
+    /// Server-assigned per-connection request sequence number, echoed as
+    /// `"seq"` in every reply so pipelining clients can verify that reply
+    /// order matches request order. `None` for replies built outside a
+    /// connection (accept-time rejections, unit tests).
+    pub seq: Option<u64>,
 }
 
 impl RequestMeta {
     /// Builds an `"ok": true` reply echoing this envelope.
     pub fn ok_reply(&self, mut fields: Vec<(&'static str, Json)>) -> String {
+        if let Some(seq) = self.seq {
+            fields.push(("seq", Json::uint(seq)));
+        }
         if let Some(trace) = &self.trace {
             fields.push(("trace", Json::str(trace)));
         }
@@ -311,13 +348,16 @@ impl RequestMeta {
 
     /// Builds an `"ok": false` reply echoing this envelope.
     pub fn err_reply(&self, error: &ProtoError) -> String {
-        let mut pairs: Vec<(String, Json)> = Vec::with_capacity(5);
+        let mut pairs: Vec<(String, Json)> = Vec::with_capacity(6);
         if let Some(id) = &self.id {
             pairs.push(("id".into(), id.clone()));
         }
         pairs.push(("ok".into(), Json::Bool(false)));
         pairs.push(("error".into(), Json::str(error.code.as_str())));
         pairs.push(("message".into(), Json::str(&*error.message)));
+        if let Some(seq) = self.seq {
+            pairs.push(("seq".into(), Json::uint(seq)));
+        }
         if let Some(trace) = &self.trace {
             pairs.push(("trace".into(), Json::str(trace)));
         }
@@ -336,6 +376,7 @@ pub fn salvage_meta(line: &str) -> RequestMeta {
         Ok(obj @ Json::Obj(_)) => RequestMeta {
             id: obj.get("id").cloned(),
             trace: opt_str(&obj, "trace"),
+            seq: None,
         },
         _ => RequestMeta::default(),
     }
@@ -356,6 +397,7 @@ pub fn parse_request(line: &str) -> Result<(RequestMeta, Request), ProtoError> {
     let meta = RequestMeta {
         id: obj.get("id").cloned(),
         trace: opt_str(&obj, "trace"),
+        seq: None,
     };
     let op = req_str(&obj, "op")?;
     let request = match op.as_str() {
@@ -391,6 +433,30 @@ pub fn parse_request(line: &str) -> Result<(RequestMeta, Request), ProtoError> {
             var: req_var(&obj, "method", "var")?,
             demand: obj.get("demand").and_then(Json::as_bool).unwrap_or(false),
         },
+        "points_to_batch" => {
+            let items = obj
+                .get("vars")
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad("`points_to_batch` needs a `vars` array"))?;
+            if items.is_empty() {
+                return Err(bad("`vars` must not be empty"));
+            }
+            if items.len() > MAX_BATCH_VARS {
+                return Err(bad(format!(
+                    "`vars` has {} entries; the per-request limit is {MAX_BATCH_VARS}",
+                    items.len()
+                )));
+            }
+            let mut vars = Vec::with_capacity(items.len());
+            for item in items {
+                vars.push(req_var(item, "method", "var")?);
+            }
+            Request::PointsToBatch {
+                program: req_program(&obj)?,
+                config: req_config(&obj)?,
+                vars,
+            }
+        }
         "may_alias" => Request::MayAlias {
             program: req_program(&obj)?,
             config: req_config(&obj)?,
@@ -417,6 +483,7 @@ pub fn parse_request(line: &str) -> Result<(RequestMeta, Request), ProtoError> {
                 .get("ms")
                 .and_then(Json::as_u64)
                 .ok_or_else(|| bad("`sleep` needs an integer `ms`"))?,
+            shard: obj.get("shard").and_then(Json::as_u64).map(|n| n as usize),
         },
         "shutdown" => Request::Shutdown,
         other => return Err(bad(format!("unknown op `{other}`"))),
@@ -504,6 +571,10 @@ mod tests {
                 "points_to",
             ),
             (
+                r#"{"op": "points_to_batch", "program": "ff", "vars": [{"method": "Main.main", "var": "x"}, {"method": "Main.main", "var": "y"}]}"#,
+                "points_to_batch",
+            ),
+            (
                 r#"{"op": "may_alias", "program": "ff", "method_a": "M.m", "var_a": "x", "method_b": "M.m", "var_b": "y"}"#,
                 "may_alias",
             ),
@@ -541,6 +612,36 @@ mod tests {
     }
 
     #[test]
+    fn seq_is_stamped_on_ok_and_error_replies() {
+        let (mut meta, _) = parse_request(r#"{"id": 9, "trace": "t-1", "op": "stats"}"#).unwrap();
+        assert_eq!(meta.seq, None, "the parser never invents a seq");
+        meta.seq = Some(3);
+        let ok = meta.ok_reply(vec![("x", Json::int(1))]);
+        assert_eq!(
+            ok,
+            "{\"id\": 9, \"ok\": true, \"x\": 1, \"seq\": 3, \"trace\": \"t-1\"}\n"
+        );
+        let err = meta.err_reply(&ProtoError::new(ErrorCode::TooLarge, "big"));
+        let parsed = Json::parse(err.trim()).unwrap();
+        assert_eq!(parsed.get("seq").unwrap().as_u64(), Some(3));
+        assert_eq!(parsed.get("error").unwrap().as_str(), Some("too_large"));
+    }
+
+    #[test]
+    fn batch_vars_parse_positionally() {
+        let (_, req) = parse_request(
+            r#"{"op": "points_to_batch", "program": "ff", "vars": [{"method": "A.m", "var": "x"}, {"method": "B.n", "var": "y"}]}"#,
+        )
+        .unwrap();
+        let Request::PointsToBatch { vars, .. } = req else {
+            panic!("wrong variant");
+        };
+        assert_eq!(vars.len(), 2);
+        assert_eq!(vars[0].method, "A.m");
+        assert_eq!(vars[1].var, "y");
+    }
+
+    #[test]
     fn trace_id_is_parsed_and_echoed() {
         let (meta, _) = parse_request(r#"{"id": 1, "trace": "req-42", "op": "stats"}"#).unwrap();
         assert_eq!(meta.trace.as_deref(), Some("req-42"));
@@ -565,6 +666,9 @@ mod tests {
             r#"{"op": "analyze", "program": "ff", "abstraction": "tstring"}"#,
             r#"{"op": "analyze", "program": "ff", "abstraction": "tstring", "sensitivity": "9-warp"}"#,
             r#"{"op": "sleep"}"#,
+            r#"{"op": "points_to_batch", "program": "ff"}"#,
+            r#"{"op": "points_to_batch", "program": "ff", "vars": []}"#,
+            r#"{"op": "points_to_batch", "program": "ff", "vars": [{"method": "M.m"}]}"#,
             r#"{"op": "update", "base": "ff"}"#,
             r##"{"op": "update", "base": "ff", "source": "class Main {}", "facts": "# f"}"##,
             r#"{"op": "update", "base": "zz", "source": "class Main {}"}"#,

@@ -1,20 +1,35 @@
-//! The serving core: a `TcpListener` accept loop feeding a bounded
-//! connection queue drained by a fixed worker-thread pool.
+//! The serving core: a `TcpListener` accept loop spawning one
+//! reader/writer thread pair per connection, feeding per-shard bounded job
+//! queues drained by per-shard worker pools.
 //!
-//! Overload is rejected explicitly: when the queue is full the accepting
-//! thread writes one `overloaded` error reply and closes the connection
-//! instead of letting the backlog grow without bound. Every request gets a
-//! deadline ([`ServerConfig::deadline`]); work that finishes past it is
-//! answered with `deadline_exceeded`. Shutdown (the `shutdown` op or
+//! Requests carrying a program digest are routed by the consistent-hash
+//! [`Router`] to the shard that owns that digest's databases; cheap
+//! control ops (`load_*`, `stats`, `metrics`, `trace`, `shutdown`) run
+//! inline on the connection's reader thread. Clients may pipeline: many
+//! request lines can be written before any reply is read, and every reply
+//! carries the per-connection `seq` so order is verifiable. The writer
+//! thread drains an in-order slot queue, so replies come back in request
+//! order even though shard workers complete out of order.
+//!
+//! Overload is rejected explicitly at two levels: a full per-shard job
+//! queue sheds that request with a typed `overloaded` reply (the
+//! connection stays usable), and past [`ServerConfig::max_connections`]
+//! new connections are rejected whole. Request lines longer than
+//! [`MAX_LINE_BYTES`] are answered with `too_large` and discarded without
+//! ever being buffered in full, so an adversarial 100 MB line cannot OOM
+//! the process. Every request gets a deadline ([`ServerConfig::deadline`]);
+//! work that finishes past it — or that spent the whole deadline queued —
+//! is answered with `deadline_exceeded`. Shutdown (the `shutdown` op or
 //! [`ServerHandle::shutdown`]) is graceful: the accept loop stops taking
-//! new connections, workers finish the request they are on plus anything
-//! already queued, and [`ServerHandle::join`] returns the final metrics
-//! report.
+//! new connections, shard workers finish everything already queued, and
+//! [`ServerHandle::join`] returns the final metrics report.
 
+use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -23,26 +38,47 @@ use ctxform_ir::{Program, Var};
 use ctxform_obs::metrics::{PromText, Registry};
 use ctxform_obs::{self as obs};
 
-use crate::db::{CacheSnapshot, DbError, DbManager};
+use crate::db::{ci_digest, program_digest, CacheSnapshot, DbError, DbManager};
 use crate::json::Json;
 use crate::metrics::Metrics;
 use crate::protocol::{
-    digest_str, err_reply, parse_request, salvage_meta, ErrorCode, ProtoError, Request, VarRef,
+    digest_str, err_reply, parse_request, salvage_meta, ErrorCode, ProtoError, Request,
+    RequestMeta, VarRef,
 };
+use crate::shard::{Job, Router, Shard, ShardSnapshot};
+
+/// Upper bound on one request line. Big enough for a `points_to_batch`
+/// with tens of thousands of variables or a hefty `load_source`, small
+/// enough that a hostile line cannot exhaust memory: past this many bytes
+/// without a newline the server replies `too_large` and discards the rest
+/// of the line without buffering it.
+pub const MAX_LINE_BYTES: usize = 4 << 20;
+
+/// Replies a pipelining client may have outstanding per connection before
+/// the reader stops consuming new requests (flow control on the in-order
+/// reply queue).
+const PIPELINE_WINDOW: usize = 256;
 
 /// Tuning knobs of one server instance.
 #[derive(Debug, Clone, Copy)]
 pub struct ServerConfig {
     /// TCP port to bind on 127.0.0.1 (0 = ephemeral).
     pub port: u16,
-    /// Worker threads draining the connection queue.
+    /// Independent shards; each owns its own database caches, job queue,
+    /// and worker pool. Program digests are consistent-hashed across them.
+    pub shards: usize,
+    /// Worker threads *per shard* draining that shard's job queue.
     pub threads: usize,
-    /// Maximum connections waiting for a worker before new arrivals are
-    /// rejected with `overloaded`.
+    /// Maximum jobs waiting in one shard's queue before further requests
+    /// routed there are shed with `overloaded`.
     pub queue_depth: usize,
-    /// Byte budget of the solved-database cache.
+    /// Maximum concurrent connections before new arrivals are rejected
+    /// with `overloaded`.
+    pub max_connections: usize,
+    /// Byte budget of the solved-database caches, split evenly across
+    /// shards.
     pub cache_bytes: usize,
-    /// Per-request deadline.
+    /// Per-request deadline (queue wait included).
     pub deadline: Duration,
     /// Solver threads per analysis for requests that do not pick a count
     /// explicitly: `0` = per-analysis auto, `1` = legacy single-threaded
@@ -53,36 +89,44 @@ pub struct ServerConfig {
     /// this long are logged at `WARN` with their endpoint, latency, and
     /// trace id. `0` disables the slow-query log.
     pub slow_query_ms: u64,
+    /// When set, a digest that has served this many read queries gets its
+    /// program replicated to a second shard, and further reads alternate
+    /// between the two (`None` = replication off).
+    pub replicate_hot: Option<u64>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        // A worker serves one connection until it closes, so the pool must
-        // be big enough for the expected number of concurrent clients even
-        // on single-core containers — hence the floor of 4.
-        let threads = thread::available_parallelism()
-            .map(|n| n.get().clamp(4, 8))
-            .unwrap_or(4);
+        // Shard-per-core: each shard's caches and queue are independent,
+        // so the natural count is the core count (capped — past 8 shards
+        // routing spread beats cache locality on any box we target).
+        let shards = thread::available_parallelism()
+            .map(|n| n.get().clamp(1, 8))
+            .unwrap_or(1);
         ServerConfig {
             port: 0,
-            threads,
+            shards,
+            threads: 2,
             queue_depth: 64,
+            max_connections: 64,
             cache_bytes: 256 << 20,
             deadline: Duration::from_secs(30),
             solver_threads: 0,
             slow_query_ms: 0,
+            replicate_hot: None,
         }
     }
 }
 
 struct Shared {
-    queue: Mutex<std::collections::VecDeque<TcpStream>>,
-    queued: Condvar,
+    router: Router,
     shutdown: AtomicBool,
-    db: DbManager,
+    /// Live connection threads (reader side), bounded by
+    /// [`ServerConfig::max_connections`].
+    connections: AtomicUsize,
     metrics: Metrics,
-    /// Solver-level metrics (rule counters, solve durations) fed by the
-    /// database manager and rendered by the `metrics` endpoint.
+    /// Solver-level metrics (rule counters, solve durations) fed by every
+    /// shard's database manager and rendered by the `metrics` endpoint.
     registry: Arc<Registry>,
     /// Fallback trace-id sequence for requests that did not supply one
     /// (used by the slow-query log so every logged query is addressable).
@@ -94,10 +138,16 @@ struct Shared {
 impl Shared {
     fn begin_shutdown(&self) {
         if !self.shutdown.swap(true, Ordering::SeqCst) {
-            self.queued.notify_all();
+            for shard in self.router.shards() {
+                shard.wake_all();
+            }
             // Unblock the accept loop with a throwaway connection.
             let _ = TcpStream::connect_timeout(&self.addr, Duration::from_millis(200));
         }
+    }
+
+    fn is_shutdown(&self) -> bool {
+        self.shutdown.load(Ordering::SeqCst)
     }
 }
 
@@ -128,8 +178,29 @@ impl ServerHandle {
         for worker in self.workers.drain(..) {
             let _ = worker.join();
         }
+        // Backstop for the shutdown race where a reader enqueued a job
+        // after the last worker exited: answer it so the connection's
+        // writer is not left waiting on a reply that will never come.
+        for shard in self.shared.router.shards() {
+            for job in shard.drain() {
+                let reply = job
+                    .meta
+                    .err_reply(&ProtoError::new(ErrorCode::ShuttingDown, "server exited"));
+                let _ = job.reply.send(reply);
+            }
+        }
+        while self.shared.connections.load(Ordering::SeqCst) > 0 {
+            thread::sleep(Duration::from_millis(2));
+        }
         let mut report = self.shared.metrics.report();
-        let cache = self.shared.db.snapshot();
+        let snaps: Vec<ShardSnapshot> = self
+            .shared
+            .router
+            .shards()
+            .iter()
+            .map(Shard::snapshot)
+            .collect();
+        let cache = aggregate_cache(&snaps);
         report.push_str(&format!(
             "cache: {} entries, {} bytes (budget {}), {} hits / {} misses, {} evictions, {} programs\n",
             cache.entries,
@@ -140,11 +211,18 @@ impl ServerHandle {
             cache.evictions,
             cache.programs,
         ));
+        for (i, snap) in snaps.iter().enumerate() {
+            report.push_str(&format!(
+                "shard {i}: {} routed, {} rejected, {} hits / {} misses, {} programs\n",
+                snap.routed, snap.rejected, snap.db.hits, snap.db.misses, snap.db.programs,
+            ));
+        }
         report
     }
 }
 
-/// Binds a listener and starts the accept loop plus the worker pool.
+/// Binds a listener and starts the accept loop plus the per-shard worker
+/// pools.
 ///
 /// # Errors
 ///
@@ -153,13 +231,22 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let listener = TcpListener::bind(("127.0.0.1", config.port))?;
     let addr = listener.local_addr()?;
     let registry = Arc::new(Registry::new());
+    let shard_count = config.shards.max(1);
+    let per_shard_budget = (config.cache_bytes / shard_count).max(1);
+    let shards: Vec<Shard> = (0..shard_count)
+        .map(|_| {
+            Shard::new(
+                DbManager::new(per_shard_budget)
+                    .with_solver_threads(config.solver_threads)
+                    .with_registry(registry.clone()),
+                config.queue_depth,
+            )
+        })
+        .collect();
     let shared = Arc::new(Shared {
-        queue: Mutex::new(std::collections::VecDeque::new()),
-        queued: Condvar::new(),
+        router: Router::new(shards, config.replicate_hot),
         shutdown: AtomicBool::new(false),
-        db: DbManager::new(config.cache_bytes)
-            .with_solver_threads(config.solver_threads)
-            .with_registry(registry.clone()),
+        connections: AtomicUsize::new(0),
         metrics: Metrics::default(),
         registry,
         trace_seq: AtomicU64::new(1),
@@ -167,15 +254,17 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         addr,
     });
 
-    let mut workers = Vec::with_capacity(config.threads.max(1));
-    for i in 0..config.threads.max(1) {
-        let shared = shared.clone();
-        workers.push(
-            thread::Builder::new()
-                .name(format!("ctxform-worker-{i}"))
-                .spawn(move || worker_loop(&shared))
-                .expect("spawn worker"),
-        );
+    let mut workers = Vec::with_capacity(shard_count * config.threads.max(1));
+    for shard in 0..shard_count {
+        for i in 0..config.threads.max(1) {
+            let shared = shared.clone();
+            workers.push(
+                thread::Builder::new()
+                    .name(format!("ctxform-shard-{shard}-{i}"))
+                    .spawn(move || shard_worker(&shared, shard))
+                    .expect("spawn shard worker"),
+            );
+        }
     }
 
     let accept_shared = shared.clone();
@@ -191,32 +280,38 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     })
 }
 
-fn accept_loop(listener: TcpListener, shared: &Shared) {
+fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
     loop {
         let Ok((mut stream, _)) = listener.accept() else {
-            if shared.shutdown.load(Ordering::SeqCst) {
+            if shared.is_shutdown() {
                 break;
             }
             continue;
         };
-        if shared.shutdown.load(Ordering::SeqCst) {
+        if shared.is_shutdown() {
             reject(&mut stream, ErrorCode::ShuttingDown, "server is draining");
             break;
         }
-        let mut queue = shared.queue.lock().unwrap();
-        if queue.len() >= shared.config.queue_depth {
-            drop(queue);
+        if shared.connections.fetch_add(1, Ordering::SeqCst) >= shared.config.max_connections {
+            shared.connections.fetch_sub(1, Ordering::SeqCst);
             shared.metrics.record("invalid", Duration::ZERO, 0, true);
             reject(
                 &mut stream,
                 ErrorCode::Overloaded,
-                "connection queue is full, retry later",
+                "connection limit reached, retry later",
             );
             continue;
         }
-        queue.push_back(stream);
-        drop(queue);
-        shared.queued.notify_one();
+        let conn_shared = shared.clone();
+        let spawned = thread::Builder::new()
+            .name("ctxform-conn".into())
+            .spawn(move || {
+                handle_connection(&conn_shared, stream);
+                conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
+            });
+        if spawned.is_err() {
+            shared.connections.fetch_sub(1, Ordering::SeqCst);
+        }
     }
 }
 
@@ -226,48 +321,68 @@ fn reject(stream: &mut TcpStream, code: ErrorCode, message: &str) {
     let _ = stream.write_all(reply.as_bytes());
 }
 
-fn worker_loop(shared: &Shared) {
-    loop {
-        let stream = {
-            let mut queue = shared.queue.lock().unwrap();
-            loop {
-                if let Some(stream) = queue.pop_front() {
-                    break stream;
-                }
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return;
-                }
-                queue = shared.queued.wait(queue).unwrap();
-            }
-        };
-        handle_connection(shared, stream);
-    }
+/// One entry of the in-order reply queue between a connection's reader and
+/// its writer.
+enum Slot {
+    /// The reply line is already known (inline op, parse error, shed
+    /// request).
+    Ready(String),
+    /// The reply is being produced by a shard worker; the writer blocks on
+    /// `rx` so reply order still matches request order.
+    Pending {
+        rx: Receiver<String>,
+        /// Written (and recorded as an internal error) if the worker died
+        /// without replying.
+        fallback: String,
+        endpoint: &'static str,
+        started: Instant,
+    },
 }
 
 /// Shortest idle-poll interval: a fresh or active connection re-checks
 /// shutdown at this cadence.
 const IDLE_POLL_MIN: Duration = Duration::from_millis(25);
-/// Longest idle-poll interval after backoff. A worker parked on an idle
-/// keep-alive connection wakes at most twice a second instead of the ten
-/// wakeups a fixed 100ms timeout caused; shutdown latency is bounded by
-/// this value.
+/// Longest idle-poll interval after backoff. A reader parked on an idle
+/// keep-alive connection wakes at most twice a second; shutdown latency is
+/// bounded by this value.
 const IDLE_POLL_MAX: Duration = Duration::from_millis(500);
 
-/// Serves one connection: reads newline-delimited requests until EOF (or
-/// until shutdown, after finishing whatever is in flight).
-///
-/// The read timeout backs off exponentially (25ms → 500ms) across
-/// consecutive idle polls and resets as soon as bytes arrive, so idle
-/// keep-alive connections do not spin the worker. Note the worker stays
-/// pinned to this connection until it closes — see DESIGN.md §8 for the
-/// head-of-line consequences of that choice.
-fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+/// Serves one connection: the reader (this thread) parses and routes
+/// newline-delimited requests until EOF or shutdown, while a paired writer
+/// thread drains the in-order slot queue. Pipelined requests therefore
+/// execute concurrently across shards, yet replies always come back in
+/// request order, each stamped with its `seq`.
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let Ok(write_stream) = stream.try_clone() else {
+        return;
+    };
+    let (slots_tx, slots_rx) = sync_channel::<Slot>(PIPELINE_WINDOW);
+    let writer_shared = shared.clone();
+    let Ok(writer) = thread::Builder::new()
+        .name("ctxform-conn-writer".into())
+        .spawn(move || writer_loop(&writer_shared, write_stream, &slots_rx))
+    else {
+        return;
+    };
+
+    read_requests(shared, stream, &slots_tx);
+
+    drop(slots_tx); // EOF for the writer once every queued reply is out
+    let _ = writer.join();
+}
+
+/// The reader half of one connection. Returns when the client closes, the
+/// writer dies, shutdown drains, or a `shutdown` op is served.
+fn read_requests(shared: &Arc<Shared>, mut stream: TcpStream, slots: &SyncSender<Slot>) {
     let mut poll = IDLE_POLL_MIN;
     let _ = stream.set_read_timeout(Some(poll));
-    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
-    let _ = stream.set_nodelay(true);
     let mut acc: Vec<u8> = Vec::new();
     let mut chunk = [0u8; 16 * 1024];
+    // When true, the current line already blew past `MAX_LINE_BYTES` and
+    // was answered with `too_large`; bytes are dropped until its newline.
+    let mut discarding = false;
+    let mut seq: u64 = 0;
     loop {
         // Serve every complete line already buffered.
         while let Some(pos) = acc.iter().position(|&b| b == b'\n') {
@@ -276,19 +391,53 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
             if line.trim().is_empty() {
                 continue;
             }
-            let stop = serve_request(shared, &mut stream, line.trim());
-            if stop {
+            seq += 1;
+            if serve_line(shared, slots, line.trim(), seq) {
                 return;
             }
         }
-        if shared.shutdown.load(Ordering::SeqCst) && acc.iter().all(|&b| b != b'\n') {
+        // An in-progress line past the byte bound is rejected now and its
+        // remaining bytes discarded as they arrive — the buffer never
+        // grows beyond the bound plus one read chunk.
+        if !discarding && acc.len() > MAX_LINE_BYTES {
+            seq += 1;
+            let meta = RequestMeta {
+                id: None,
+                trace: None,
+                seq: Some(seq),
+            };
+            let reply = meta.err_reply(&ProtoError::new(
+                ErrorCode::TooLarge,
+                format!("request line exceeds the {MAX_LINE_BYTES}-byte limit"),
+            ));
+            shared
+                .metrics
+                .record("invalid", Duration::ZERO, reply.len(), true);
+            if slots.send(Slot::Ready(reply)).is_err() {
+                return;
+            }
+            acc = Vec::new();
+            discarding = true;
+        }
+        if shared.is_shutdown() && !acc.contains(&b'\n') {
             // Drained: no complete request is in flight on this socket.
             return;
         }
         match stream.read(&mut chunk) {
             Ok(0) => return, // client closed
             Ok(n) => {
-                acc.extend_from_slice(&chunk[..n]);
+                if discarding {
+                    // Drop the oversized line's tail without buffering it.
+                    match chunk[..n].iter().position(|&b| b == b'\n') {
+                        Some(pos) => {
+                            acc.extend_from_slice(&chunk[pos + 1..n]);
+                            discarding = false;
+                        }
+                        None => continue,
+                    }
+                } else {
+                    acc.extend_from_slice(&chunk[..n]);
+                }
                 if poll != IDLE_POLL_MIN {
                     poll = IDLE_POLL_MIN;
                     let _ = stream.set_read_timeout(Some(poll));
@@ -311,33 +460,189 @@ fn handle_connection(shared: &Shared, mut stream: TcpStream) {
     }
 }
 
-/// Parses, dispatches, replies, and records metrics for one request line.
-/// Returns `true` when the connection should close (after `shutdown`).
-fn serve_request(shared: &Shared, stream: &mut TcpStream, line: &str) -> bool {
+/// The writer half of one connection: drains reply slots strictly in
+/// order, blocking on shard replies so pipelined clients always see reply
+/// `N` before reply `N+1`.
+fn writer_loop(shared: &Shared, mut stream: TcpStream, slots: &Receiver<Slot>) {
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(5)));
+    for slot in slots.iter() {
+        let line = match slot {
+            Slot::Ready(line) => line,
+            Slot::Pending {
+                rx,
+                fallback,
+                endpoint,
+                started,
+            } => match rx.recv() {
+                Ok(line) => line,
+                Err(_) => {
+                    // The shard worker died before replying; the fallback
+                    // internal-error reply keeps seq accounting intact.
+                    shared
+                        .metrics
+                        .record(endpoint, started.elapsed(), fallback.len(), true);
+                    fallback
+                }
+            },
+        };
+        if stream.write_all(line.as_bytes()).is_err() {
+            // Dropping the receiver makes the reader's next send fail, so
+            // both halves of a broken connection wind down.
+            return;
+        }
+    }
+}
+
+/// Where one parsed request executes.
+enum Route {
+    /// On the connection's reader thread, immediately.
+    Inline,
+    /// Queued on the given shard.
+    Shard(usize),
+}
+
+fn route(shared: &Shared, request: &Request) -> Route {
+    match request {
+        Request::LoadSource { .. }
+        | Request::LoadFacts { .. }
+        | Request::Stats
+        | Request::Metrics
+        | Request::Trace { .. }
+        | Request::Shutdown => Route::Inline,
+        Request::Update { base, .. } => Route::Shard(shared.router.owner(*base)),
+        Request::Analyze { program, .. }
+        | Request::PointsTo { program, .. }
+        | Request::PointsToBatch { program, .. }
+        | Request::MayAlias { program, .. }
+        | Request::CallEdges { program, .. }
+        | Request::Reachable { program, .. } => Route::Shard(shared.router.route_query(*program)),
+        Request::Sleep { shard, .. } => Route::Shard(match shard {
+            Some(pinned) => pinned % shared.router.shards().len(),
+            None => shared.router.next_round_robin(),
+        }),
+    }
+}
+
+/// Parses and routes one request line; pushes exactly one reply slot.
+/// Returns `true` when the connection should stop reading (after
+/// `shutdown` or when the writer is gone).
+fn serve_line(shared: &Arc<Shared>, slots: &SyncSender<Slot>, line: &str, seq: u64) -> bool {
     let started = Instant::now();
-    let deadline = shared.config.deadline;
-    let (meta, endpoint, outcome) = match parse_request(line) {
-        Ok((meta, request)) => {
-            let endpoint = request.endpoint();
-            let mut span = obs::span("server.request");
-            if span.is_active() {
-                span.record("endpoint", endpoint);
-                if let Some(trace) = &meta.trace {
-                    span.record("trace", trace.clone());
+    let (mut meta, request) = match parse_request(line) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            let mut meta = salvage_meta(line);
+            meta.seq = Some(seq);
+            let reply = finish_reply(shared, &meta, "invalid", Err(e), started);
+            return slots.send(Slot::Ready(reply)).is_err();
+        }
+    };
+    meta.seq = Some(seq);
+    let endpoint = request.endpoint();
+    match route(shared, &request) {
+        Route::Inline => {
+            let outcome = traced(endpoint, meta.trace.as_ref(), || {
+                dispatch_inline(shared, &request, started)
+            });
+            let reply = finish_reply(shared, &meta, endpoint, outcome, started);
+            let stop = matches!(request, Request::Shutdown);
+            slots.send(Slot::Ready(reply)).is_err() || stop
+        }
+        Route::Shard(index) => {
+            let (reply_tx, reply_rx) = sync_channel::<String>(1);
+            let fallback = meta.err_reply(&ProtoError::new(
+                ErrorCode::Internal,
+                "shard worker failed before replying",
+            ));
+            let job = Job {
+                request,
+                meta,
+                started,
+                reply: reply_tx,
+            };
+            match shared.router.shards()[index].submit(job) {
+                Ok(()) => slots
+                    .send(Slot::Pending {
+                        rx: reply_rx,
+                        fallback,
+                        endpoint,
+                        started,
+                    })
+                    .is_err(),
+                Err(job) => {
+                    let outcome = Err(ProtoError::new(
+                        ErrorCode::Overloaded,
+                        format!("shard {index} queue is full, retry later"),
+                    ));
+                    let reply = finish_reply(shared, &job.meta, endpoint, outcome, started);
+                    slots.send(Slot::Ready(reply)).is_err()
                 }
             }
-            let outcome = dispatch(shared, &request, started, deadline);
-            span.record("ok", outcome.is_ok());
-            (meta, endpoint, outcome)
         }
-        Err(e) => (salvage_meta(line), "invalid", Err(e)),
-    };
-    let shutting_down = endpoint == "shutdown";
+    }
+}
+
+/// One shard worker: pops jobs off its shard's queue until shutdown
+/// drains it, executing each against the shard-local databases and
+/// sending the finished reply line to the owning connection's writer.
+fn shard_worker(shared: &Arc<Shared>, index: usize) {
+    let shard = &shared.router.shards()[index];
+    while let Some(job) = shard.next_job(|| shared.is_shutdown()) {
+        let endpoint = job.request.endpoint();
+        let outcome = if job.started.elapsed() > shared.config.deadline {
+            // Shed without executing: the whole deadline went to queueing.
+            Err(ProtoError::new(
+                ErrorCode::DeadlineExceeded,
+                format!(
+                    "request spent its {:?} deadline queued on shard {index}",
+                    shared.config.deadline
+                ),
+            ))
+        } else {
+            traced(endpoint, job.meta.trace.as_ref(), || {
+                dispatch_shard(shared, index, &job.request, job.started)
+            })
+        };
+        let reply = finish_reply(shared, &job.meta, endpoint, outcome, job.started);
+        // A send failure means the connection is gone; the work is simply
+        // dropped (its cache effects remain).
+        let _ = job.reply.send(reply);
+    }
+}
+
+type Fields = Vec<(&'static str, Json)>;
+
+/// Wraps one dispatch in the request trace span.
+fn traced<F>(endpoint: &'static str, trace: Option<&String>, f: F) -> Result<Fields, ProtoError>
+where
+    F: FnOnce() -> Result<Fields, ProtoError>,
+{
+    let mut span = obs::span("server.request");
+    if span.is_active() {
+        span.record("endpoint", endpoint);
+        if let Some(trace) = trace {
+            span.record("trace", trace.clone());
+        }
+    }
+    let outcome = f();
+    span.record("ok", outcome.is_ok());
+    outcome
+}
+
+/// Builds the reply line for one finished request and records its metrics
+/// and slow-query log entry. Used by both the inline path (reader thread)
+/// and the shard path (worker thread).
+fn finish_reply(
+    shared: &Shared,
+    meta: &RequestMeta,
+    endpoint: &'static str,
+    outcome: Result<Fields, ProtoError>,
+    started: Instant,
+) -> String {
     let (reply, is_error) = match outcome {
         Ok(fields) => (meta.ok_reply(fields), false),
         Err(e) => (meta.err_reply(&e), true),
     };
-    let write_failed = stream.write_all(reply.as_bytes()).is_err();
     let latency = started.elapsed();
     shared
         .metrics
@@ -369,16 +674,15 @@ fn serve_request(shared: &Shared, stream: &mut TcpStream, line: &str) -> bool {
             ],
         );
     }
-    shutting_down || write_failed
+    reply
 }
 
-type Fields = Vec<(&'static str, Json)>;
-
-fn dispatch(
+/// Ops served on the connection's reader thread: program loads (routed to
+/// the owning shard's database by digest) and the control plane.
+fn dispatch_inline(
     shared: &Shared,
     request: &Request,
     started: Instant,
-    deadline: Duration,
 ) -> Result<Fields, ProtoError> {
     let result = match request {
         Request::LoadSource { source } => {
@@ -391,6 +695,27 @@ fn dispatch(
                 .map_err(|e| ProtoError::new(ErrorCode::FactError, e.to_string()))?;
             load_fields(shared, program)
         }
+        Request::Stats => Ok(stats_fields(shared)),
+        Request::Metrics => Ok(metrics_fields(shared)),
+        Request::Trace { limit } => Ok(trace_fields(*limit)),
+        Request::Shutdown => {
+            shared.begin_shutdown();
+            Ok(vec![("draining", Json::Bool(true))])
+        }
+        other => unreachable!("{} is not an inline op", other.endpoint()),
+    };
+    check_deadline(shared, request, result, started)
+}
+
+/// Ops executed on a shard worker against that shard's databases.
+fn dispatch_shard(
+    shared: &Shared,
+    index: usize,
+    request: &Request,
+    started: Instant,
+) -> Result<Fields, ProtoError> {
+    let db = &shared.router.shards()[index].db;
+    let result = match request {
         Request::Update {
             base,
             source,
@@ -407,7 +732,7 @@ fn dispatch(
                     .map_err(|e| ProtoError::new(ErrorCode::FactError, e.to_string()))?,
                 (None, None) => unreachable!("parser requires one of source/facts"),
             };
-            let report = shared.db.update(*base, next, config).map_err(|e| match e {
+            let report = db.update(*base, next, config).map_err(|e| match e {
                 DbError::UnknownProgram => ProtoError::new(
                     ErrorCode::UnknownProgram,
                     format!("no loaded program has digest {}", digest_str(*base)),
@@ -416,6 +741,10 @@ fn dispatch(
                     ProtoError::new(ErrorCode::Internal, format!("analysis failed: {msg}"))
                 }
             })?;
+            // The edited program's database now lives here, next to its
+            // base; teach the router so follow-up queries on the new
+            // digest route to this shard instead of its ring position.
+            shared.router.record_owner(report.digest, index);
             let s = &report.result.stats;
             let mut fields = vec![
                 ("program", Json::str(digest_str(report.digest))),
@@ -432,7 +761,7 @@ fn dispatch(
             Ok(fields)
         }
         Request::Analyze { program, config } => {
-            let (result, cached) = solve(shared, *program, config)?;
+            let (result, cached) = solve(db, *program, config)?;
             let s = &result.stats;
             Ok(vec![
                 ("cached", Json::Bool(cached)),
@@ -443,6 +772,10 @@ fn dispatch(
                 ("total", Json::int(s.total())),
                 ("time_ms", Json::ms(s.duration.as_secs_f64() * 1000.0)),
                 ("ci_pts", Json::int(result.ci.pts.len())),
+                // The parity oracle: equal CI facts ⇔ equal digest, so a
+                // client can verify shard-served results against a direct
+                // `analyze` without shipping the full sets.
+                ("ci_digest", Json::str(digest_str(ci_digest(&result)))),
             ])
         }
         Request::PointsTo {
@@ -450,14 +783,19 @@ fn dispatch(
             config,
             var,
             demand,
-        } => points_to(shared, *program, config, var, *demand),
+        } => points_to(db, *program, config, var, *demand),
+        Request::PointsToBatch {
+            program,
+            config,
+            vars,
+        } => points_to_batch(db, *program, config, vars),
         Request::MayAlias {
             program,
             config,
             a,
             b,
         } => {
-            let (result, cached, prog) = solve_with_program(shared, *program, config)?;
+            let (result, cached, prog) = solve_with_program(db, *program, config)?;
             let va = resolve_var(&prog, a)?;
             let vb = resolve_var(&prog, b)?;
             Ok(vec![
@@ -470,7 +808,7 @@ fn dispatch(
             config,
             inv,
         } => {
-            let (result, cached, prog) = solve_with_program(shared, *program, config)?;
+            let (result, cached, prog) = solve_with_program(db, *program, config)?;
             let mut edges: Vec<(String, String)> = result
                 .ci
                 .call
@@ -502,7 +840,7 @@ fn dispatch(
             config,
             method,
         } => {
-            let (result, cached, prog) = solve_with_program(shared, *program, config)?;
+            let (result, cached, prog) = solve_with_program(db, *program, config)?;
             let mut fields: Fields = vec![("cached", Json::Bool(cached))];
             match method {
                 Some(name) => {
@@ -525,20 +863,17 @@ fn dispatch(
             }
             Ok(fields)
         }
-        Request::Stats => Ok(stats_fields(shared)),
-        Request::Metrics => Ok(metrics_fields(shared)),
-        Request::Trace { limit } => Ok(trace_fields(*limit)),
-        Request::Sleep { ms } => {
+        Request::Sleep { ms, .. } => {
             // Sleep in slices so shutdown and the deadline stay responsive.
             let wake = started + Duration::from_millis(*ms);
             while Instant::now() < wake {
-                if started.elapsed() > deadline {
+                if started.elapsed() > shared.config.deadline {
                     return Err(ProtoError::new(
                         ErrorCode::DeadlineExceeded,
-                        format!("slept past the {deadline:?} deadline"),
+                        format!("slept past the {:?} deadline", shared.config.deadline),
                     ));
                 }
-                if shared.shutdown.load(Ordering::SeqCst) {
+                if shared.is_shutdown() {
                     break;
                 }
                 thread::sleep(Duration::from_millis(
@@ -547,14 +882,21 @@ fn dispatch(
             }
             Ok(vec![("slept_ms", Json::uint(*ms))])
         }
-        Request::Shutdown => {
-            shared.begin_shutdown();
-            Ok(vec![("draining", Json::Bool(true))])
-        }
+        other => unreachable!("{} is not a shard op", other.endpoint()),
     };
-    // Deadline accounting: work that completed past the deadline is
-    // reported as exceeded rather than returned late (the caller has
-    // already given up on it).
+    check_deadline(shared, request, result, started)
+}
+
+/// Deadline accounting: work that completed past the deadline is reported
+/// as exceeded rather than returned late (the caller has already given up
+/// on it).
+fn check_deadline(
+    shared: &Shared,
+    request: &Request,
+    result: Result<Fields, ProtoError>,
+    started: Instant,
+) -> Result<Fields, ProtoError> {
+    let deadline = shared.config.deadline;
     if result.is_ok() && started.elapsed() > deadline && !matches!(request, Request::Shutdown) {
         return Err(ProtoError::new(
             ErrorCode::DeadlineExceeded,
@@ -564,9 +906,12 @@ fn dispatch(
     result
 }
 
+/// Registers a program on the shard that owns its digest and describes it.
 fn load_fields(shared: &Shared, program: Program) -> Result<Fields, ProtoError> {
     let stats = program.stats();
-    let (digest, _) = shared.db.load_program(program);
+    let digest = program_digest(&program);
+    let owner = shared.router.owner(digest);
+    let (digest, _) = shared.router.shards()[owner].db.load_program(program);
     Ok(vec![
         ("program", Json::str(digest_str(digest))),
         ("methods", Json::int(stats.methods)),
@@ -578,11 +923,11 @@ fn load_fields(shared: &Shared, program: Program) -> Result<Fields, ProtoError> 
 }
 
 fn solve(
-    shared: &Shared,
+    db: &DbManager,
     digest: u64,
     config: &AnalysisConfig,
 ) -> Result<(Arc<AnalysisResult>, bool), ProtoError> {
-    shared.db.get_or_solve(digest, config).map_err(|e| match e {
+    db.get_or_solve(digest, config).map_err(|e| match e {
         DbError::UnknownProgram => ProtoError::new(
             ErrorCode::UnknownProgram,
             format!("no loaded program has digest {}", digest_str(digest)),
@@ -594,22 +939,22 @@ fn solve(
 }
 
 fn solve_with_program(
-    shared: &Shared,
+    db: &DbManager,
     digest: u64,
     config: &AnalysisConfig,
 ) -> Result<(Arc<AnalysisResult>, bool, Arc<Program>), ProtoError> {
-    let program = shared.db.program(digest).ok_or_else(|| {
+    let program = db.program(digest).ok_or_else(|| {
         ProtoError::new(
             ErrorCode::UnknownProgram,
             format!("no loaded program has digest {}", digest_str(digest)),
         )
     })?;
-    let (result, cached) = solve(shared, digest, config)?;
+    let (result, cached) = solve(db, digest, config)?;
     Ok((result, cached, program))
 }
 
 fn points_to(
-    shared: &Shared,
+    db: &DbManager,
     digest: u64,
     config: &AnalysisConfig,
     var: &VarRef,
@@ -622,7 +967,7 @@ fn points_to(
                 "demand mode answers context-insensitive queries only",
             ));
         }
-        let program = shared.db.program(digest).ok_or_else(|| {
+        let program = db.program(digest).ok_or_else(|| {
             ProtoError::new(
                 ErrorCode::UnknownProgram,
                 format!("no loaded program has digest {}", digest_str(digest)),
@@ -644,7 +989,7 @@ fn points_to(
             ("derivations", Json::int(answer.derivations)),
         ]);
     }
-    let (result, cached, program) = solve_with_program(shared, digest, config)?;
+    let (result, cached, program) = solve_with_program(db, digest, config)?;
     let v = resolve_var(&program, var)?;
     let heaps: Vec<Json> = result
         .ci
@@ -655,6 +1000,55 @@ fn points_to(
     Ok(vec![
         ("cached", Json::Bool(cached)),
         ("heaps", Json::Arr(heaps)),
+    ])
+}
+
+/// Answers many variable queries against one solved database in a single
+/// reply. Results are positional (`results[i]` answers `vars[i]`); an
+/// unknown variable yields an error *object* in its slot rather than
+/// failing the whole batch. One name index is built per call, so a batch
+/// of thousands of lookups costs one pass over the program's variables
+/// instead of a linear scan per query.
+fn points_to_batch(
+    db: &DbManager,
+    digest: u64,
+    config: &AnalysisConfig,
+    vars: &[VarRef],
+) -> Result<Fields, ProtoError> {
+    let (result, cached, program) = solve_with_program(db, digest, config)?;
+    let mut index: HashMap<(&str, &str), Var> = HashMap::with_capacity(program.var_count());
+    for i in 0..program.var_count() {
+        let method = program.method_names[program.var_method[i].index()].as_str();
+        index.insert((method, program.var_names[i].as_str()), Var::from_index(i));
+    }
+    let mut found = 0usize;
+    let mut items = Vec::with_capacity(vars.len());
+    for var in vars {
+        match index.get(&(var.method.as_str(), var.var.as_str())) {
+            Some(&v) => {
+                found += 1;
+                let heaps: Vec<Json> = result
+                    .ci
+                    .points_to(v)
+                    .iter()
+                    .map(|h| Json::str(&*program.heap_names[h.index()]))
+                    .collect();
+                items.push(Json::obj([("heaps", Json::Arr(heaps))]));
+            }
+            None => items.push(Json::obj([
+                ("error", Json::str(ErrorCode::UnknownVar.as_str())),
+                (
+                    "message",
+                    Json::str(format!("no variable `{}` in `{}`", var.var, var.method)),
+                ),
+            ])),
+        }
+    }
+    Ok(vec![
+        ("cached", Json::Bool(cached)),
+        ("count", Json::int(vars.len())),
+        ("found", Json::int(found)),
+        ("results", Json::Arr(items)),
     ])
 }
 
@@ -685,21 +1079,123 @@ fn resolve_var(program: &Program, var: &VarRef) -> Result<Var, ProtoError> {
         })
 }
 
+/// Sums the per-shard cache snapshots into the whole-server view (the
+/// shards partition one logical cache, so counters and resident gauges
+/// add; the budget sums back to the configured total).
+fn aggregate_cache(snaps: &[ShardSnapshot]) -> CacheSnapshot {
+    let mut total = CacheSnapshot {
+        entries: 0,
+        bytes: 0,
+        budget: 0,
+        hits: 0,
+        misses: 0,
+        evictions: 0,
+        programs: 0,
+        incremental_reuse: 0,
+        incremental_fallback: 0,
+    };
+    for snap in snaps {
+        total.entries += snap.db.entries;
+        total.bytes += snap.db.bytes;
+        total.budget += snap.db.budget;
+        total.hits += snap.db.hits;
+        total.misses += snap.db.misses;
+        total.evictions += snap.db.evictions;
+        total.programs += snap.db.programs;
+        total.incremental_reuse += snap.db.incremental_reuse;
+        total.incremental_fallback += snap.db.incremental_fallback;
+    }
+    total
+}
+
 /// Builds the `metrics` reply: one Prometheus text exposition covering
 /// the serving layer (per-endpoint counters and latency histograms), the
-/// database cache, and the solver registry (rule counters, solve
-/// durations) fed by [`DbManager`].
+/// per-shard routing/queue/cache series, the aggregated database cache,
+/// and the solver registry (rule counters, solve durations) fed by the
+/// shards' [`DbManager`]s.
 fn metrics_fields(shared: &Shared) -> Fields {
     let mut text = PromText::new();
     shared.metrics.render_prometheus(&mut text);
-    let queue_len = shared.queue.lock().unwrap().len();
+    let snaps: Vec<ShardSnapshot> = shared.router.shards().iter().map(Shard::snapshot).collect();
+    let labels: Vec<String> = (0..snaps.len()).map(|i| i.to_string()).collect();
+    let total_queued: usize = snaps.iter().map(|s| s.queued).sum();
     text.header(
         "ctxform_queue_depth",
         "gauge",
-        "Connections waiting for a worker.",
+        "Requests waiting across all shard queues.",
     );
-    text.sample("ctxform_queue_depth", &[], queue_len as f64);
-    render_cache_prometheus(&mut text, &shared.db.snapshot());
+    text.sample("ctxform_queue_depth", &[], total_queued as f64);
+    text.header(
+        "ctxform_shard_queue_depth",
+        "gauge",
+        "Requests waiting in each shard's queue.",
+    );
+    for (label, snap) in labels.iter().zip(&snaps) {
+        text.sample(
+            "ctxform_shard_queue_depth",
+            &[("shard", label)],
+            snap.queued as f64,
+        );
+    }
+    text.header(
+        "ctxform_shard_routed_total",
+        "counter",
+        "Requests accepted onto each shard's queue.",
+    );
+    for (label, snap) in labels.iter().zip(&snaps) {
+        text.sample(
+            "ctxform_shard_routed_total",
+            &[("shard", label)],
+            snap.routed as f64,
+        );
+    }
+    text.header(
+        "ctxform_shard_rejected_total",
+        "counter",
+        "Requests shed with `overloaded` because the shard queue was full.",
+    );
+    for (label, snap) in labels.iter().zip(&snaps) {
+        text.sample(
+            "ctxform_shard_rejected_total",
+            &[("shard", label)],
+            snap.rejected as f64,
+        );
+    }
+    text.header(
+        "ctxform_shard_cache_hits_total",
+        "counter",
+        "Queries answered from each shard's database cache.",
+    );
+    for (label, snap) in labels.iter().zip(&snaps) {
+        text.sample(
+            "ctxform_shard_cache_hits_total",
+            &[("shard", label)],
+            snap.db.hits as f64,
+        );
+    }
+    text.header(
+        "ctxform_shard_cache_misses_total",
+        "counter",
+        "Queries that required a fresh solve on each shard.",
+    );
+    for (label, snap) in labels.iter().zip(&snaps) {
+        text.sample(
+            "ctxform_shard_cache_misses_total",
+            &[("shard", label)],
+            snap.db.misses as f64,
+        );
+    }
+    text.header(
+        "ctxform_shard_replicated_digests",
+        "gauge",
+        "Hot digests replicated to a second shard.",
+    );
+    text.sample(
+        "ctxform_shard_replicated_digests",
+        &[],
+        shared.router.replicated_digests() as f64,
+    );
+    render_cache_prometheus(&mut text, &aggregate_cache(&snaps));
     shared.registry.render_into(&mut text);
     vec![
         ("content_type", Json::str("text/plain; version=0.0.4")),
@@ -790,14 +1286,42 @@ fn trace_fields(limit: Option<usize>) -> Fields {
     ]
 }
 
+/// Builds the `stats` reply. The top-level shape predates sharding and is
+/// kept for existing clients: counters are summed across shards and the
+/// resident gauges add up (the shards partition one logical cache). A
+/// `shard_detail` array exposes the per-shard split alongside.
 fn stats_fields(shared: &Shared) -> Fields {
-    let cache = shared.db.snapshot();
-    let queue_len = shared.queue.lock().unwrap().len();
+    let snaps: Vec<ShardSnapshot> = shared.router.shards().iter().map(Shard::snapshot).collect();
+    let cache = aggregate_cache(&snaps);
+    let total_queued: usize = snaps.iter().map(|s| s.queued).sum();
+    let detail: Vec<Json> = snaps
+        .iter()
+        .map(|snap| {
+            Json::obj([
+                ("queued", Json::int(snap.queued)),
+                ("routed", Json::uint(snap.routed)),
+                ("rejected", Json::uint(snap.rejected)),
+                ("cache_entries", Json::int(snap.db.entries)),
+                ("cache_bytes", Json::int(snap.db.bytes)),
+                ("hits", Json::uint(snap.db.hits)),
+                ("misses", Json::uint(snap.db.misses)),
+                ("programs", Json::int(snap.db.programs)),
+            ])
+        })
+        .collect();
     vec![
         ("uptime_ms", Json::ms(shared.metrics.uptime_ms())),
-        ("threads", Json::int(shared.config.threads)),
+        ("shards", Json::int(snaps.len())),
+        (
+            "threads",
+            Json::int(snaps.len() * shared.config.threads.max(1)),
+        ),
         ("queue_depth", Json::int(shared.config.queue_depth)),
-        ("queued", Json::int(queue_len)),
+        ("queued", Json::int(total_queued)),
+        (
+            "replicated_digests",
+            Json::uint(shared.router.replicated_digests()),
+        ),
         ("endpoints", shared.metrics.to_json()),
         (
             "cache",
@@ -816,5 +1340,6 @@ fn stats_fields(shared: &Shared) -> Fields {
                 ),
             ]),
         ),
+        ("shard_detail", Json::Arr(detail)),
     ]
 }

@@ -1,7 +1,9 @@
 //! End-to-end tests of the query service over real TCP connections on
-//! ephemeral ports: answer parity with direct `analyze` calls, cache
-//! behaviour, malformed-input and overload replies, per-request
-//! deadlines, loadgen under concurrency, and graceful shutdown.
+//! ephemeral ports: answer parity with direct `analyze` calls (including
+//! pipelined and batched requests), shard routing and replication, cache
+//! behaviour, malformed-input / oversized-line / overload replies,
+//! per-request deadlines, loadgen under concurrency, and graceful
+//! shutdown.
 
 use std::sync::Arc;
 use std::time::Duration;
@@ -9,13 +11,16 @@ use std::time::Duration;
 use ctxform::{analyze, AnalysisConfig};
 use ctxform_minijava::{compile, corpus};
 use ctxform_server::client::{loadgen, Client, LoadGenConfig};
+use ctxform_server::db::ci_digest;
 use ctxform_server::json::Json;
+use ctxform_server::protocol::digest_str;
 use ctxform_server::server::{start, ServerConfig, ServerHandle};
 
 fn test_server(configure: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
     let mut config = ServerConfig {
         port: 0,
-        threads: 4,
+        shards: 2,
+        threads: 2,
         queue_depth: 16,
         cache_bytes: 64 << 20,
         deadline: Duration::from_secs(10),
@@ -335,50 +340,57 @@ fn malformed_and_invalid_requests_get_error_replies() {
     server.join();
 }
 
-/// With one worker and a queue depth of one, a slow request plus a queued
-/// connection forces the next arrival to be rejected with `overloaded`.
+/// With one shard, one worker, and a queue depth of one, pipelining
+/// three slow requests on one connection forces at least one to be shed
+/// with a typed `overloaded` reply — deterministically, in reply order,
+/// without disturbing the work already accepted.
 #[test]
 fn overload_is_rejected_explicitly() {
     let server = test_server(|c| {
+        c.shards = 1;
         c.threads = 1;
         c.queue_depth = 1;
     });
-    let addr = server.addr();
+    let mut client = Client::connect(server.addr()).unwrap();
+    let sleep = Json::obj([("op", Json::str("sleep")), ("ms", Json::int(400))]);
+    let replies = client
+        .pipeline(&[sleep.clone(), sleep.clone(), sleep])
+        .unwrap();
 
-    // Occupy the single worker.
-    let busy = std::thread::spawn(move || {
-        let mut client = Client::connect(addr).unwrap();
-        client
-            .request(&Json::obj([
-                ("op", Json::str("sleep")),
-                ("ms", Json::int(800)),
-            ]))
-            .unwrap()
-    });
-    std::thread::sleep(Duration::from_millis(150));
-    // Fill the queue with an idle connection.
-    let _queued = Client::connect(addr).unwrap();
-    std::thread::sleep(Duration::from_millis(150));
-
-    // Subsequent arrivals must be turned away with a reply, not left
-    // hanging. Accept-loop scheduling makes exactly which arrival is
-    // rejected timing-dependent, so probe a few.
-    let mut saw_overloaded = false;
-    for _ in 0..5 {
-        let mut probe = Client::connect(addr).unwrap();
-        if let Ok(reply) = probe.read_reply() {
-            assert_eq!(reply.get("error").unwrap().as_str(), Some("overloaded"));
-            saw_overloaded = true;
-            break;
-        }
-        std::thread::sleep(Duration::from_millis(50));
+    // The first sleep always fits (the queue is empty when it arrives);
+    // the worker holds one and the queue one more, so of three pipelined
+    // sleeps at least one must be shed. `pipeline` already verified the
+    // seq of every reply, so ordering survived the rejection.
+    assert_eq!(
+        replies[0].get("ok").unwrap().as_bool(),
+        Some(true),
+        "first sleep must be accepted: {}",
+        replies[0].to_line()
+    );
+    let shed = replies
+        .iter()
+        .filter(|r| r.get("error").and_then(Json::as_str) == Some("overloaded"))
+        .count();
+    let slept = replies
+        .iter()
+        .filter(|r| r.get("ok").unwrap().as_bool() == Some(true))
+        .count();
+    assert!(shed >= 1, "no pipelined sleep was shed as overloaded");
+    assert_eq!(shed + slept, 3, "every request got exactly one reply");
+    for r in replies.iter().filter(|r| r.get("slept_ms").is_some()) {
+        assert_eq!(r.get("slept_ms").unwrap().as_u64(), Some(400));
     }
-    assert!(saw_overloaded, "no arrival was rejected as overloaded");
 
-    // The slow request still completes: overload rejection did not break
-    // in-flight work.
-    let reply = busy.join().unwrap();
-    assert_eq!(reply.get("slept_ms").unwrap().as_u64(), Some(800));
+    // The connection is still usable, and the shard counted the shed.
+    let stats = client
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    let detail = stats.get("shard_detail").unwrap().as_arr().unwrap();
+    let rejected: u64 = detail
+        .iter()
+        .map(|s| s.get("rejected").unwrap().as_u64().unwrap())
+        .sum();
+    assert_eq!(rejected, shed as u64, "shard rejected counter disagrees");
 
     server.shutdown();
     server.join();
@@ -407,16 +419,23 @@ fn deadline_is_enforced() {
     server.join();
 }
 
-/// Loadgen with 8 concurrent connections completes with zero protocol
-/// errors, and shutdown drains in-flight requests before the daemon exits.
+/// Loadgen with 8 pipelined, batching connections completes with zero
+/// protocol errors (which includes per-reply `seq` verification), and
+/// shutdown drains in-flight requests before the daemon exits.
 #[test]
 fn loadgen_runs_clean_and_shutdown_drains() {
-    let server = test_server(|c| c.threads = 4);
+    let server = test_server(|c| {
+        c.threads = 4;
+        // 8 connections x pipeline 4 can converge on one shard's queue.
+        c.queue_depth = 64;
+    });
     let addr = server.addr();
     let report = loadgen(
         addr,
         &LoadGenConfig {
             connections: 8,
+            pipeline: 4,
+            batch: 8,
             duration: Duration::from_millis(1200),
             sensitivity: "2-object+H".into(),
         },
@@ -428,7 +447,22 @@ fn loadgen_runs_clean_and_shutdown_drains() {
         "only {} requests completed",
         report.requests
     );
-    assert!(report.latency_ms.3 >= report.latency_ms.0);
+    assert!(
+        report.queries > report.requests,
+        "batched requests must answer more logical queries ({}) than wire \
+         requests ({})",
+        report.queries,
+        report.requests
+    );
+    assert!(report.latency_ms.max >= report.latency_ms.p50);
+    assert!(
+        report
+            .per_op
+            .iter()
+            .any(|(op, stats)| op == "points_to_batch" && stats.count > 0),
+        "per-op breakdown is missing the batch op: {:?}",
+        report.per_op
+    );
 
     // Graceful shutdown while a slow request is in flight: the sleeper
     // must still get its reply (drain), and join must return.
@@ -817,6 +851,366 @@ fn concurrent_cold_queries_solve_once() {
         .unwrap();
     let cache = stats.get("cache").unwrap();
     assert_eq!(cache.get("misses").unwrap().as_u64(), Some(1), "one solve");
+    server.shutdown();
+    server.join();
+}
+
+/// Three connections each pipeline 64 mixed-op requests; every reply
+/// comes back in request order with the right `seq` (checked by
+/// [`Client::pipeline`]) and the right echoed trace id, and every answer
+/// equals a direct `analyze` of the same program (`ci_digest` parity for
+/// analyze, heap-set parity for points-to).
+#[test]
+fn pipelined_requests_reply_in_order_with_parity() {
+    // Queues must absorb the full burst: 3 connections x 64 pipelined
+    // requests can all land on one shard before its workers drain any.
+    let server = test_server(|c| c.queue_depth = 256);
+    let addr = server.addr();
+    let label = "2-object+H";
+    let config = AnalysisConfig::transformer_strings(label.parse().unwrap());
+
+    // Direct answers per corpus program to compare against.
+    let mut setup = Client::connect(addr).unwrap();
+    let mut programs: Vec<(String, String, String, String, Vec<String>)> = Vec::new();
+    for (_, source) in corpus::all() {
+        let module = compile(source).unwrap();
+        let direct = analyze(&module.program, &config);
+        let digest = setup.load_source(source).unwrap();
+        let (method, var) = first_var(&module.program);
+        let heaps: Vec<String> = direct
+            .ci
+            .points_to(ctxform_ir::Var::from_index(0))
+            .iter()
+            .map(|h| module.program.heap_names[h.index()].clone())
+            .collect();
+        programs.push((digest, digest_str(ci_digest(&direct)), method, var, heaps));
+    }
+    let programs = Arc::new(programs);
+
+    let handles: Vec<_> = (0..3)
+        .map(|conn| {
+            let programs = programs.clone();
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let mut bodies = Vec::new();
+                for i in 0..64usize {
+                    let (digest, _, method, var, _) = &programs[i % programs.len()];
+                    let trace = format!("c{conn}-r{i}");
+                    let body = match i % 3 {
+                        0 => Json::obj([
+                            ("op", Json::str("analyze")),
+                            ("program", Json::str(digest.clone())),
+                            ("abstraction", Json::str("tstring")),
+                            ("sensitivity", Json::str("2-object+H")),
+                            ("trace", Json::str(trace)),
+                        ]),
+                        1 => Json::obj([
+                            ("op", Json::str("points_to")),
+                            ("program", Json::str(digest.clone())),
+                            ("abstraction", Json::str("tstring")),
+                            ("sensitivity", Json::str("2-object+H")),
+                            ("method", Json::str(method.clone())),
+                            ("var", Json::str(var.clone())),
+                            ("trace", Json::str(trace)),
+                        ]),
+                        _ => Json::obj([
+                            ("op", Json::str("reachable")),
+                            ("program", Json::str(digest.clone())),
+                            ("abstraction", Json::str("tstring")),
+                            ("sensitivity", Json::str("2-object+H")),
+                            ("trace", Json::str(trace)),
+                        ]),
+                    };
+                    bodies.push(body);
+                }
+                // `pipeline` writes all 64 lines before reading a single
+                // reply and verifies every reply's seq.
+                let replies = client.pipeline(&bodies).unwrap();
+                assert_eq!(replies.len(), 64);
+                for (i, reply) in replies.iter().enumerate() {
+                    let (_, ci, _, _, heaps) = &programs[i % programs.len()];
+                    assert_eq!(
+                        reply.get("ok").and_then(Json::as_bool),
+                        Some(true),
+                        "c{conn}-r{i}: {}",
+                        reply.to_line()
+                    );
+                    assert_eq!(
+                        reply.get("trace").and_then(Json::as_str),
+                        Some(format!("c{conn}-r{i}").as_str()),
+                        "trace must match the request at this position"
+                    );
+                    match i % 3 {
+                        0 => assert_eq!(
+                            reply.get("ci_digest").and_then(Json::as_str),
+                            Some(ci.as_str()),
+                            "c{conn}-r{i}: analyze diverged from direct analyze"
+                        ),
+                        1 => assert_eq!(
+                            &str_arr(reply, "heaps"),
+                            heaps,
+                            "c{conn}-r{i}: points_to diverged from direct analyze"
+                        ),
+                        _ => assert!(
+                            !str_arr(reply, "methods").is_empty(),
+                            "c{conn}-r{i}: no reachable methods"
+                        ),
+                    }
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+/// A 100 MB request line is answered with a typed `too_large` error while
+/// the tail is still arriving — the shard buffers at most the 4 MiB line
+/// bound plus one read chunk, never the full payload — and the connection
+/// (and its `seq` numbering) stays usable afterwards.
+#[test]
+fn oversized_line_gets_too_large_without_buffering_it() {
+    use std::io::{Read, Write};
+
+    let server = test_server(|_| {});
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(60)))
+        .unwrap();
+
+    let read_line = |stream: &mut std::net::TcpStream, held: &mut Vec<u8>| -> Json {
+        loop {
+            if let Some(pos) = held.iter().position(|&b| b == b'\n') {
+                let line: Vec<u8> = held.drain(..=pos).collect();
+                let text = String::from_utf8_lossy(&line).into_owned();
+                return Json::parse(text.trim()).unwrap_or_else(|_| panic!("bad reply: {text}"));
+            }
+            let mut chunk = [0u8; 4096];
+            let n = stream.read(&mut chunk).expect("reply before EOF");
+            assert!(n > 0, "server hung up instead of replying too_large");
+            held.extend_from_slice(&chunk[..n]);
+        }
+    };
+    let mut held = Vec::new();
+
+    // One newline-less 100 MB line, streamed in 1 MiB chunks. The server
+    // must answer (and keep draining) long before the payload ends — if
+    // it buffered the line, this test would grow the process by 100 MB
+    // per run and the bounded-read assertion below would be meaningless.
+    stream
+        .write_all(b"{\"op\": \"stats\", \"junk\": \"")
+        .unwrap();
+    let chunk = vec![b'a'; 1 << 20];
+    for _ in 0..100 {
+        stream.write_all(&chunk).unwrap();
+    }
+    stream.write_all(b"\"}\n").unwrap();
+
+    let reply = read_line(&mut stream, &mut held);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+    assert_eq!(
+        reply.get("error").and_then(Json::as_str),
+        Some("too_large"),
+        "want a typed too_large reply: {}",
+        reply.to_line()
+    );
+    assert_eq!(
+        reply.get("seq").and_then(Json::as_u64),
+        Some(1),
+        "the oversized line consumed seq 1"
+    );
+
+    // The connection survived: a normal request works and continues the
+    // per-connection seq numbering.
+    stream.write_all(b"{\"op\": \"stats\"}\n").unwrap();
+    let reply = read_line(&mut stream, &mut held);
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+    assert_eq!(reply.get("seq").and_then(Json::as_u64), Some(2));
+    assert!(reply.get("uptime_ms").is_some());
+
+    server.shutdown();
+    server.join();
+}
+
+/// `points_to_batch` answers every variable of a program in one framed
+/// round-trip, each slot equal to the direct `analyze` answer, with
+/// unknown variables failing per-slot instead of failing the batch.
+#[test]
+fn points_to_batch_matches_direct_analyze_per_slot() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let label = "2-object+H";
+    let config = AnalysisConfig::transformer_strings(label.parse().unwrap());
+    let module = compile(corpus::LIST).unwrap();
+    let program = &module.program;
+    let direct = analyze(program, &config);
+    let digest = client.load_source(corpus::LIST).unwrap();
+
+    let mut items: Vec<Json> = (0..program.var_count())
+        .map(|v| {
+            Json::obj([
+                (
+                    "method",
+                    Json::str(&*program.method_names[program.var_method[v].index()]),
+                ),
+                ("var", Json::str(&*program.var_names[v])),
+            ])
+        })
+        .collect();
+    items.push(Json::obj([
+        ("method", Json::str("Main.main")),
+        ("var", Json::str("no_such_var")),
+    ]));
+
+    let reply = client
+        .request(&Json::obj([
+            ("op", Json::str("points_to_batch")),
+            ("program", Json::str(digest.clone())),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str(label)),
+            ("vars", Json::Arr(items)),
+        ]))
+        .unwrap();
+    let n = program.var_count();
+    assert_eq!(reply.get("count").unwrap().as_u64(), Some(n as u64 + 1));
+    assert_eq!(reply.get("found").unwrap().as_u64(), Some(n as u64));
+    let results = reply.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), n + 1, "results are positional");
+    for (v, slot) in results.iter().enumerate().take(n) {
+        let want: Vec<String> = direct
+            .ci
+            .points_to(ctxform_ir::Var::from_index(v))
+            .iter()
+            .map(|h| program.heap_names[h.index()].clone())
+            .collect();
+        assert_eq!(
+            str_arr(slot, "heaps"),
+            want,
+            "batch slot {v} ({}) diverged from direct analyze",
+            program.var_names[v]
+        );
+    }
+    assert_eq!(
+        results[n].get("error").and_then(Json::as_str),
+        Some("unknown_var"),
+        "unknown variable must fail its own slot only: {}",
+        results[n].to_line()
+    );
+
+    // An oversized batch is a typed error, not unbounded work.
+    let many: Vec<Json> = (0..65_537)
+        .map(|_| Json::obj([("method", Json::str("Main.main")), ("var", Json::str("x"))]))
+        .collect();
+    let reply = client
+        .request_raw(&format!(
+            "{}\n",
+            Json::obj([
+                ("op", Json::str("points_to_batch")),
+                ("program", Json::str(digest)),
+                ("abstraction", Json::str("tstring")),
+                ("sensitivity", Json::str(label)),
+                ("vars", Json::Arr(many)),
+            ])
+            .to_line()
+        ))
+        .unwrap();
+    assert_eq!(reply.get("ok").unwrap().as_bool(), Some(false));
+
+    server.shutdown();
+    server.join();
+}
+
+/// Shard routing is visible end to end: `stats` reports the per-shard
+/// split (summing to the aggregate the legacy fields still carry), hot
+/// digests replicate to a second shard once past the threshold, and the
+/// `metrics` exposition serves per-shard `ctxform_shard_*` series.
+#[test]
+fn shards_report_stats_and_prometheus_series() {
+    let server = test_server(|c| {
+        c.shards = 2;
+        c.replicate_hot = Some(3);
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let mut digests = Vec::new();
+    for (_, source) in corpus::all() {
+        let digest = client.load_source(source).unwrap();
+        client
+            .request(&Json::obj([
+                ("op", Json::str("analyze")),
+                ("program", Json::str(digest.clone())),
+                ("abstraction", Json::str("tstring")),
+                ("sensitivity", Json::str("2-object+H")),
+            ]))
+            .unwrap();
+        digests.push(digest);
+    }
+    // Hammer one digest past the replication threshold; once replicated,
+    // its reads alternate between two distinct shards.
+    for _ in 0..8 {
+        client
+            .request(&Json::obj([
+                ("op", Json::str("analyze")),
+                ("program", Json::str(digests[0].clone())),
+                ("abstraction", Json::str("tstring")),
+                ("sensitivity", Json::str("2-object+H")),
+            ]))
+            .unwrap();
+    }
+
+    let stats = client
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    assert_eq!(stats.get("shards").unwrap().as_u64(), Some(2));
+    assert!(
+        stats.get("replicated_digests").unwrap().as_u64().unwrap() >= 1,
+        "hot digest did not replicate: {}",
+        stats.to_line()
+    );
+    let detail = stats.get("shard_detail").unwrap().as_arr().unwrap();
+    assert_eq!(detail.len(), 2);
+    for (shard, snap) in detail.iter().enumerate() {
+        assert!(
+            snap.get("routed").unwrap().as_u64().unwrap() > 0,
+            "shard {shard} served nothing — replication alternation broken: {}",
+            stats.to_line()
+        );
+    }
+    // The aggregate `cache` block is the sum of the per-shard split, so
+    // pre-sharding clients keep working unchanged.
+    let cache = stats.get("cache").unwrap();
+    for (agg, per) in [("hits", "hits"), ("misses", "misses")] {
+        let sum: u64 = detail
+            .iter()
+            .map(|s| s.get(per).unwrap().as_u64().unwrap())
+            .sum();
+        assert_eq!(
+            cache.get(agg).unwrap().as_u64(),
+            Some(sum),
+            "aggregate `{agg}` disagrees with the shard split"
+        );
+    }
+
+    let metrics = client
+        .request(&Json::obj([("op", Json::str("metrics"))]))
+        .unwrap();
+    let text = metrics.get("exposition").unwrap().as_str().unwrap();
+    for series in [
+        "ctxform_shard_queue_depth{shard=\"0\"}",
+        "ctxform_shard_queue_depth{shard=\"1\"}",
+        "ctxform_shard_routed_total{shard=\"0\"}",
+        "ctxform_shard_routed_total{shard=\"1\"}",
+        "ctxform_shard_rejected_total{shard=\"0\"}",
+        "ctxform_shard_cache_hits_total{shard=\"0\"}",
+        "ctxform_shard_cache_misses_total{shard=\"1\"}",
+        "ctxform_shard_replicated_digests 1",
+    ] {
+        assert!(text.contains(series), "missing `{series}` in:\n{text}");
+    }
+
     server.shutdown();
     server.join();
 }
