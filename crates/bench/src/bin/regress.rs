@@ -18,7 +18,11 @@
 //! program's cached database and once from scratch — recording both times,
 //! the speedup, and the derivation counts, after asserting the two fact
 //! digests are bit-identical and the extension re-derived strictly fewer
-//! facts):
+//! facts), and a demand-driven query cell (`tstring_demand`: a cold
+//! `pts(v0, ·)` query answered through the magic-sets demand engine is
+//! timed against a full solve followed by a lookup, after asserting the
+//! demanded answer is byte-identical and the gated solve derived no more
+//! facts than the exhaustive one):
 //! context-sensitive fact counts, solver wall time, the
 //! probe/compose/memo counters from [`ctxform::SolverStats`], the interner
 //! size, and an order-independent Fx digest of the context-insensitive
@@ -241,6 +245,90 @@ fn incr_cell(
     ])
 }
 
+/// The demand-driven query cell: answers `pts(v0, ·)` cold through the
+/// demand engine (`repeat` times over fresh engines — no slice reuse —
+/// min time kept) and by a full solve followed by a lookup (`repeat`
+/// times; min time kept). Panics unless the demanded answer is
+/// byte-identical to the exhaustive one and the gated solve derived no
+/// more facts than the exhaustive solve.
+fn demand_cell(program: &ctxform_ir::Program, config: &AnalysisConfig, repeat: usize) -> Json {
+    let var = ctxform_ir::Var::from_index(0);
+    let mut query_time = Duration::MAX;
+    let mut outcome = None;
+    for _ in 0..repeat {
+        let engine = ctxform_demand::DemandEngine::new(1);
+        let started = Instant::now();
+        let got = engine
+            .query(0, program, config, &[var])
+            .expect("paper configs are demand-supported");
+        let elapsed = started.elapsed();
+        if let Some(prev) = &outcome {
+            let prev: &ctxform_demand::QueryOutcome = prev;
+            assert_eq!(
+                got.answers, prev.answers,
+                "{config}: demand repeats disagree on the answer"
+            );
+        }
+        if elapsed < query_time || outcome.is_none() {
+            query_time = elapsed;
+            outcome = Some(got);
+        }
+    }
+    let outcome = outcome.expect("repeat >= 1");
+    let mut solve_time = Duration::MAX;
+    let mut exhaustive = None;
+    for _ in 0..repeat {
+        let started = Instant::now();
+        let r = analyze(program, config);
+        let _ = r.ci.points_to(var);
+        let elapsed = started.elapsed();
+        if elapsed < solve_time || exhaustive.is_none() {
+            solve_time = elapsed;
+            exhaustive = Some(r);
+        }
+    }
+    let exhaustive = exhaustive.expect("repeat >= 1");
+    assert_eq!(
+        outcome.answers[0].1,
+        exhaustive.ci.points_to(var),
+        "{config}: demanded answer differs from the exhaustive one"
+    );
+    let exhaustive_facts = exhaustive.stats.total();
+    assert!(
+        outcome.solver_facts <= exhaustive_facts,
+        "{config}: gated solve derived {} facts, more than the exhaustive {}",
+        outcome.solver_facts,
+        exhaustive_facts
+    );
+    let query_ms = query_time.as_secs_f64() * 1000.0;
+    let solve_ms = solve_time.as_secs_f64() * 1000.0;
+    Json::obj([
+        ("time_ms", Json::ms(query_ms)),
+        ("solve_lookup_ms", Json::ms(solve_ms)),
+        (
+            "speedup",
+            Json::ms(if query_ms > 0.0 {
+                solve_ms / query_ms
+            } else {
+                0.0
+            }),
+        ),
+        ("slice_tuples", Json::int(outcome.slice_tuples)),
+        ("slice_derivations", Json::int(outcome.slice_derivations)),
+        ("sliced_facts", Json::int(outcome.solver_facts)),
+        ("exhaustive_facts", Json::int(exhaustive_facts)),
+        (
+            "demanded_ratio",
+            Json::ms(if exhaustive_facts > 0 {
+                outcome.solver_facts as f64 / exhaustive_facts as f64
+            } else {
+                0.0
+            }),
+        ),
+        ("points_to_size", Json::int(outcome.answers[0].1.len())),
+    ])
+}
+
 fn next_bench_path() -> String {
     let mut max = 0u32;
     if let Ok(entries) = std::fs::read_dir(".") {
@@ -392,6 +480,7 @@ fn main() {
                 &AnalysisConfig::transformer_strings(*s),
                 repeat,
             );
+            let t_demand = demand_cell(&program, &AnalysisConfig::transformer_strings(*s), repeat);
             pairs.push((
                 s.to_string(),
                 Json::obj([
@@ -400,6 +489,7 @@ fn main() {
                     ("tstring_subs", run_json(&t_subs)),
                     ("tstring_par", run_json(&t_par)),
                     ("tstring_incr", t_incr),
+                    ("tstring_demand", t_demand),
                 ]),
             ));
         }
@@ -421,7 +511,7 @@ fn main() {
     let path = out_path.unwrap_or_else(next_bench_path);
     let benchmark_count = bench_objs.len();
     let doc = Json::obj([
-        ("schema", Json::str("ctxform-regress/5")),
+        ("schema", Json::str("ctxform-regress/6")),
         ("scale", Json::int(scale)),
         ("repeat", Json::int(repeat)),
         ("par_threads", Json::int(threads)),

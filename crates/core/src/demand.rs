@@ -1,6 +1,5 @@
 //! Demand-driven points-to queries via magic sets (the paper's §10
-//! future-work direction, realized on the context-insensitive
-//! instantiation).
+//! future-work direction).
 //!
 //! §10: "Datalog programs that exhaustively compute information can be
 //! converted to a demand-driven program through the magic sets
@@ -10,6 +9,18 @@
 //! `pts(v, H)`: bottom-up evaluation then derives only the tuples the
 //! query transitively demands, instead of the whole points-to relation.
 //!
+//! The transformed rule program depends only on the query's *adornment*
+//! (`pts` with the variable bound and the heap free), never on the queried
+//! constant, so it is computed once per process and memoized; individual
+//! queries seed `magic_pts__bf` with their variable and re-run only the
+//! evaluation. [`demand_slice`] evaluates the demanded fragment for a set
+//! of roots and extracts it as a typed [`DemandSlice`] — the slice doubles
+//! as a *gate* for the context-sensitive solver (see
+//! [`crate::analyze_sliced`]): because every context-sensitive derivation
+//! projects onto a context-insensitive one rule-by-rule, restricting the
+//! solver to facts whose projection the slice demanded keeps the answers
+//! for the queried variables exact while skipping undemanded regions.
+//!
 //! Because points-to analysis is deeply mutually recursive (answering one
 //! variable's query can demand the call graph, which demands receiver
 //! points-to sets, …), the demanded fraction approaches the exhaustive
@@ -17,10 +28,12 @@
 //! queried variable lives in a loosely coupled region. Both effects are
 //! visible in [`DemandAnswer::derived_tuples`].
 
-use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
-use ctxform_datalog::{magic_transform, Atom, DatalogError, Engine, Term};
-use ctxform_ir::{Heap, Program, Var};
+use ctxform_datalog::{magic_transform, Atom, DatalogError, Engine, Rule, Term};
+use ctxform_hash::{FxHashMap, FxHashSet};
+use ctxform_ir::{Field, Heap, Inv, Method, Program, Var};
 
 use crate::baseline::{load_facts, CI_RULES};
 
@@ -41,6 +54,144 @@ pub struct DemandAnswer {
     pub rounds: usize,
 }
 
+/// The demanded fragment of the context-insensitive database for a set of
+/// query roots: the six derived relations of [`CI_RULES`], restricted to
+/// the tuples the magic-sets evaluation actually produced.
+///
+/// Tuple orders follow the rule text: `pts(var, heap)`,
+/// `hpts(base, field, heap)`, `hload(base, field, var)`,
+/// `call(inv, method)`, `spts(field, heap)`, `reach(method)`.
+#[derive(Debug, Default, Clone)]
+pub struct DemandSlice {
+    /// Demanded `pts` tuples.
+    pub pts: FxHashSet<(Var, Heap)>,
+    /// Demanded `hpts` tuples.
+    pub hpts: FxHashSet<(Heap, Field, Heap)>,
+    /// Demanded `hload` tuples.
+    pub hload: FxHashSet<(Heap, Field, Var)>,
+    /// Demanded `call` tuples.
+    pub call: FxHashSet<(Inv, Method)>,
+    /// Demanded `spts` tuples.
+    pub spts: FxHashSet<(Field, Heap)>,
+    /// Demanded `reach` tuples.
+    pub reach: FxHashSet<Method>,
+    /// Total tuples in the database after evaluation (inputs + magic +
+    /// adorned relations).
+    pub derived_tuples: usize,
+    /// Rule firings during the magic-sets evaluation.
+    pub derivations: usize,
+    /// Semi-naive rounds to fixpoint.
+    pub rounds: usize,
+}
+
+impl DemandSlice {
+    /// The queried variable's context-insensitive points-to set, sorted.
+    pub fn points_to(&self, var: Var) -> Vec<Heap> {
+        let mut heaps: Vec<Heap> = self
+            .pts
+            .iter()
+            .filter(|&&(v, _)| v == var)
+            .map(|&(_, h)| h)
+            .collect();
+        heaps.sort_unstable();
+        heaps
+    }
+
+    /// Number of demanded tuples across the six derived relations.
+    pub fn demanded(&self) -> usize {
+        self.pts.len()
+            + self.hpts.len()
+            + self.hload.len()
+            + self.call.len()
+            + self.spts.len()
+            + self.reach.len()
+    }
+}
+
+/// The magic-transformed CI rule program, minus the per-query seed fact.
+///
+/// `magic_transform` specializes rules by adornment only; the queried
+/// constant appears solely in the `magic_pts__bf` seed fact, which we
+/// strip here and re-add per query. Parsing and transforming `CI_RULES`
+/// is thus done exactly once per process.
+fn magic_ci_rules() -> &'static [Rule] {
+    static RULES: OnceLock<Vec<Rule>> = OnceLock::new();
+    RULES.get_or_init(|| {
+        let rules = ctxform_datalog::parse_rules(CI_RULES).expect("embedded CI rules parse");
+        // Any constant yields the same `bf` adornment; 0 is arbitrary.
+        let query = Atom::new("pts", vec![Term::Const(0), Term::Var("H".into())]);
+        magic_transform(&rules, &query)
+            .expect("embedded CI rules transform")
+            .into_iter()
+            .filter(|r| !(r.is_fact() && r.head.relation == "magic_pts__bf"))
+            .collect()
+    })
+}
+
+/// Collects every adorned variant of `pred` (e.g. `pts__bf`, `pts__ff`)
+/// into `sink`, decoding tuples with `decode`.
+fn collect_adorned<T, F>(engine: &Engine, pred: &str, sink: &mut FxHashSet<T>, decode: F)
+where
+    T: std::hash::Hash + Eq,
+    F: Fn(&[u32]) -> T,
+{
+    let prefix = format!("{pred}__");
+    let ids: Vec<_> = engine
+        .relations()
+        .filter(|(_, name)| *name == pred || name.starts_with(&prefix))
+        .map(|(id, _)| id)
+        .collect();
+    for id in ids {
+        for t in engine.tuples(id) {
+            sink.insert(decode(t));
+        }
+    }
+}
+
+/// Evaluates the magic-sets program demanded by `pts(v, ·)` for every
+/// `v` in `vars` and extracts the demanded slice.
+///
+/// Seeding several roots into one evaluation unions their slices; the
+/// union over-approximates each per-root slice monotonically, so batch
+/// queries stay exact per variable.
+///
+/// # Errors
+///
+/// Propagates engine errors (none are expected for a validated program —
+/// they would indicate a bug in the embedded rules).
+pub fn demand_slice(program: &Program, vars: &[Var]) -> Result<DemandSlice, DatalogError> {
+    let mut engine = Engine::new();
+    for rule in magic_ci_rules() {
+        engine.add_rule(rule.clone())?;
+    }
+    for var in vars {
+        engine.add_fact("magic_pts__bf", &[var.0])?;
+    }
+    load_facts(&mut engine, program);
+    let stats = engine.run();
+    let mut slice = DemandSlice {
+        derived_tuples: stats.tuples,
+        derivations: stats.derivations,
+        rounds: stats.rounds,
+        ..DemandSlice::default()
+    };
+    collect_adorned(&engine, "pts", &mut slice.pts, |t| (Var(t[0]), Heap(t[1])));
+    collect_adorned(&engine, "hpts", &mut slice.hpts, |t| {
+        (Heap(t[0]), Field(t[1]), Heap(t[2]))
+    });
+    collect_adorned(&engine, "hload", &mut slice.hload, |t| {
+        (Heap(t[0]), Field(t[1]), Var(t[2]))
+    });
+    collect_adorned(&engine, "call", &mut slice.call, |t| {
+        (Inv(t[0]), Method(t[1]))
+    });
+    collect_adorned(&engine, "spts", &mut slice.spts, |t| {
+        (Field(t[0]), Heap(t[1]))
+    });
+    collect_adorned(&engine, "reach", &mut slice.reach, |t| Method(t[0]));
+    Ok(slice)
+}
+
 /// Answers `pts(var, ?)` demand-driven.
 ///
 /// # Errors
@@ -48,32 +199,108 @@ pub struct DemandAnswer {
 /// Propagates engine errors (none are expected for a validated program —
 /// they would indicate a bug in the embedded rules).
 pub fn demand_points_to(program: &Program, var: Var) -> Result<DemandAnswer, DatalogError> {
-    let rules = ctxform_datalog::parse_rules(CI_RULES)?;
-    let query = Atom::new("pts", vec![Term::Const(var.0), Term::Var("H".into())]);
-    let transformed = magic_transform(&rules, &query)?;
-    let mut engine = Engine::new();
-    for rule in transformed {
-        engine.add_rule(rule)?;
-    }
-    load_facts(&mut engine, program);
-    let stats = engine.run();
-    let mut points_to = HashSet::new();
-    if let Some(rel) = engine.relation("pts__bf") {
-        for t in engine.tuples(rel) {
-            if t[0] == var.0 {
-                points_to.insert(Heap(t[1]));
-            }
-        }
-    }
-    let mut points_to: Vec<Heap> = points_to.into_iter().collect();
-    points_to.sort_unstable();
+    let slice = demand_slice(program, &[var])?;
     Ok(DemandAnswer {
         var,
-        points_to,
-        derived_tuples: stats.tuples,
-        derivations: stats.derivations,
-        rounds: stats.rounds,
+        points_to: slice.points_to(var),
+        derived_tuples: slice.derived_tuples,
+        derivations: slice.derivations,
+        rounds: slice.rounds,
     })
+}
+
+/// A bounded, LRU-evicting cache of demand slices keyed by
+/// `(program digest, sorted query roots)`.
+///
+/// Repeated queries against the same program reuse the demanded magic
+/// sets instead of re-deriving them — the per-digest slice cache the
+/// serving tier keeps next to its database cache.
+#[derive(Debug)]
+pub struct SliceCache {
+    entries: Mutex<SliceCacheState>,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+#[derive(Debug, Default)]
+struct SliceCacheState {
+    map: FxHashMap<(u64, Vec<Var>), (Arc<DemandSlice>, u64)>,
+    tick: u64,
+}
+
+impl SliceCache {
+    /// Creates a cache holding at most `capacity` slices.
+    pub fn new(capacity: usize) -> Self {
+        SliceCache {
+            entries: Mutex::new(SliceCacheState::default()),
+            capacity: capacity.max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Returns the slice for `(digest, vars)`, computing and caching it on
+    /// miss. The boolean is `true` when the slice was reused from cache.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`demand_slice`] errors; failed computations are not
+    /// cached.
+    pub fn get_or_compute(
+        &self,
+        digest: u64,
+        program: &Program,
+        vars: &[Var],
+    ) -> Result<(Arc<DemandSlice>, bool), DatalogError> {
+        let mut key_vars: Vec<Var> = vars.to_vec();
+        key_vars.sort_unstable();
+        key_vars.dedup();
+        let key = (digest, key_vars);
+        {
+            let mut state = self.entries.lock().expect("slice cache poisoned");
+            state.tick += 1;
+            let tick = state.tick;
+            if let Some((slice, last_used)) = state.map.get_mut(&key) {
+                *last_used = tick;
+                let slice = Arc::clone(slice);
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return Ok((slice, true));
+            }
+        }
+        // Compute outside the lock; a racing duplicate computation is
+        // harmless (both produce the same slice).
+        let slice = Arc::new(demand_slice(program, vars)?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut state = self.entries.lock().expect("slice cache poisoned");
+        state.tick += 1;
+        let tick = state.tick;
+        while state.map.len() >= self.capacity {
+            let oldest = state
+                .map
+                .iter()
+                .min_by_key(|(_, (_, last_used))| *last_used)
+                .map(|(k, _)| k.clone());
+            match oldest {
+                Some(k) => {
+                    state.map.remove(&k);
+                }
+                None => break,
+            }
+        }
+        state.map.insert(key, (Arc::clone(&slice), tick));
+        Ok((slice, false))
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +345,50 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn multi_root_slices_answer_each_root_exactly() {
+        for seed in 0..3u64 {
+            let src = random_program(seed, 1);
+            let module = compile(&src).unwrap();
+            let exhaustive = analyze(&module.program, &AnalysisConfig::insensitive());
+            let vars: Vec<Var> = (0..module.program.var_count())
+                .step_by(5)
+                .map(Var::from_index)
+                .collect();
+            let slice = demand_slice(&module.program, &vars).unwrap();
+            for &var in &vars {
+                assert_eq!(
+                    slice.points_to(var),
+                    exhaustive.ci.points_to(var),
+                    "seed {seed} {var}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn slice_cache_reuses_and_evicts() {
+        let module = compile(corpus::BOX).unwrap();
+        let cache = SliceCache::new(2);
+        let vars = [Var(0)];
+        let (_, reused) = cache.get_or_compute(1, &module.program, &vars).unwrap();
+        assert!(!reused);
+        let (_, reused) = cache.get_or_compute(1, &module.program, &vars).unwrap();
+        assert!(reused, "same digest+vars must hit");
+        // Root order and duplicates do not change the key.
+        let (_, reused) = cache
+            .get_or_compute(1, &module.program, &[Var(0), Var(0)])
+            .unwrap();
+        assert!(reused, "deduped roots must hit");
+        assert_eq!(cache.hits(), 2);
+        assert_eq!(cache.misses(), 1);
+        // Two more digests overflow capacity 2 and evict the oldest.
+        cache.get_or_compute(2, &module.program, &vars).unwrap();
+        cache.get_or_compute(3, &module.program, &vars).unwrap();
+        let (_, reused) = cache.get_or_compute(1, &module.program, &vars).unwrap();
+        assert!(!reused, "digest 1 must have been evicted");
     }
 
     #[test]

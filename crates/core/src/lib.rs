@@ -50,7 +50,7 @@ pub use bucket::{Bucket, JoinStrategy};
 pub use compact::CompactVec;
 pub use config::{AbstractionKind, AnalysisConfig};
 pub use db::{AnalysisDb, ExtendOutcome};
-pub use demand::{demand_points_to, DemandAnswer};
+pub use demand::{demand_points_to, demand_slice, DemandAnswer, DemandSlice, SliceCache};
 pub use result::{AnalysisResult, CiFacts, LoggedFact, RuleCounts, SolverStats, RULE_NAMES};
 
 use ctxform_algebra::{CStrings, Insensitive, TStrings};
@@ -79,6 +79,45 @@ pub fn analyze(program: &Program, config: &AnalysisConfig) -> AnalysisResult {
                 .sensitivity
                 .expect("transformer strings require a sensitivity");
             solver::run(program, TStrings::new(sens), *config)
+        }
+    }
+}
+
+/// Runs the pointer analysis restricted to a demand slice (see
+/// [`demand_slice`]): derivations whose context-insensitive projection the
+/// slice did not demand are dropped at insertion.
+///
+/// The result's points-to sets are exact (equal to [`analyze`]'s) for the
+/// variables the slice was demanded for, and under-approximations
+/// elsewhere — this is the sliced-solve behind demand-driven
+/// context-sensitive queries. Do not combine with subsumption elimination:
+/// gating is sound for the monotone Figure 3 rules, while subsumption's
+/// retire/drop bookkeeping assumes it sees every derivation.
+///
+/// # Panics
+///
+/// Panics if `config` requests a context-sensitive abstraction without a
+/// sensitivity.
+pub fn analyze_sliced(
+    program: &Program,
+    config: &AnalysisConfig,
+    slice: std::sync::Arc<DemandSlice>,
+) -> AnalysisResult {
+    match config.abstraction {
+        AbstractionKind::Insensitive => {
+            solver::run_gated(program, Insensitive::new(), *config, slice)
+        }
+        AbstractionKind::ContextStrings => {
+            let sens = config
+                .sensitivity
+                .expect("context strings require a sensitivity");
+            solver::run_gated(program, CStrings::new(sens), *config, slice)
+        }
+        AbstractionKind::TransformerStrings => {
+            let sens = config
+                .sensitivity
+                .expect("transformer strings require a sensitivity");
+            solver::run_gated(program, TStrings::new(sens), *config, slice)
         }
     }
 }

@@ -59,6 +59,28 @@ pub(crate) fn run<A: Abstraction>(
     result
 }
 
+/// Runs the analysis restricted to the demand slice: every insertion is
+/// dropped unless its context-insensitive projection is in `gate`.
+///
+/// Every context-sensitive derivation projects rule-by-rule onto a
+/// context-insensitive one, and the magic-sets slice contains *every* CI
+/// derivation tree rooted at a demanded query — so gating cannot block any
+/// derivation that contributes to a queried variable's answer. The gated
+/// run therefore returns exactly the exhaustive points-to sets for the
+/// slice's query roots while deriving only the demanded region.
+pub(crate) fn run_gated<A: Abstraction>(
+    program: &Program,
+    abs: A,
+    config: AnalysisConfig,
+    gate: std::sync::Arc<crate::DemandSlice>,
+) -> AnalysisResult {
+    let (_, result) = solve_state(
+        program,
+        SolverState::new(program, abs, config).with_gate(gate),
+    );
+    result
+}
+
 /// Solves `program` from scratch inside `state` (which must be fresh) and
 /// returns the state alongside the result, so callers can keep the solved
 /// database for later [`extend_state`] calls.
@@ -175,6 +197,10 @@ pub(crate) struct SolverState<A: Abstraction> {
     scratch_ctxts: Vec<CtxtStr>,
     stats: SolverStats,
     log: Vec<LoggedFact>,
+    /// Optional demand gate: when set, every insertion is dropped unless
+    /// its context-insensitive projection was demanded by the slice (see
+    /// [`crate::analyze_sliced`]).
+    gate: Option<std::sync::Arc<crate::DemandSlice>>,
 }
 
 impl<A: Abstraction> SolverState<A> {
@@ -220,7 +246,15 @@ impl<A: Abstraction> SolverState<A> {
             scratch_ctxts: Vec::new(),
             stats: SolverStats::default(),
             log: Vec::new(),
+            gate: None,
         }
+    }
+
+    /// Restricts the solver to facts whose context-insensitive projection
+    /// the demand slice contains. Must be set before solving starts.
+    pub(crate) fn with_gate(mut self, gate: std::sync::Arc<crate::DemandSlice>) -> Self {
+        self.gate = Some(gate);
+        self
     }
 
     /// Zeroes the per-run counters and the fact log so the next
@@ -366,6 +400,8 @@ struct Solver<'p, A: Abstraction> {
 
     stats: SolverStats,
     log: Vec<LoggedFact>,
+    /// Optional demand gate (see [`SolverState::with_gate`]).
+    gate: Option<std::sync::Arc<crate::DemandSlice>>,
 }
 
 impl<'p, A: Abstraction> Solver<'p, A> {
@@ -410,6 +446,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             scratch_ctxts: st.scratch_ctxts,
             stats: st.stats,
             log: st.log,
+            gate: st.gate,
         }
     }
 
@@ -450,6 +487,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             scratch_ctxts: self.scratch_ctxts,
             stats: self.stats,
             log: self.log,
+            gate: self.gate,
         }
     }
 
@@ -1015,6 +1053,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     // ------------------------------------------------------------------
 
     fn insert_pts(&mut self, y: Var, h: Heap, x: A::X, rule: &'static str) {
+        if let Some(gate) = &self.gate {
+            if !gate.pts.contains(&(y, h)) {
+                return;
+            }
+        }
         self.stats.rule_fired.bump(rule);
         if self.config.subsumption {
             if self.pts.contains(&(y, h, x)) {
@@ -1090,6 +1133,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_hpts(&mut self, g: Heap, f: Field, h: Heap, x: A::X, rule: &'static str) {
+        if let Some(gate) = &self.gate {
+            if !gate.hpts.contains(&(g, f, h)) {
+                return;
+            }
+        }
         self.stats.rule_fired.bump(rule);
         let x = if self.config.collapse_insensitive_heap && self.levels.heap == 0 {
             self.abs.uninformative()
@@ -1125,6 +1173,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_hload(&mut self, g: Heap, f: Field, y: Var, x: A::X, rule: &'static str) {
+        if let Some(gate) = &self.gate {
+            if !gate.hload.contains(&(g, f, y)) {
+                return;
+            }
+        }
         self.stats.rule_fired.bump(rule);
         if !self.hload.insert((g, f, y, x)) {
             return;
@@ -1155,6 +1208,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_call(&mut self, i: Inv, q: Method, x: A::X, rule: &'static str) {
+        if let Some(gate) = &self.gate {
+            if !gate.call.contains(&(i, q)) {
+                return;
+            }
+        }
         self.stats.rule_fired.bump(rule);
         if !self.call.insert((i, q, x)) {
             return;
@@ -1189,6 +1247,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_spts(&mut self, f: Field, h: Heap, x: A::X, rule: &'static str) {
+        if let Some(gate) = &self.gate {
+            if !gate.spts.contains(&(f, h)) {
+                return;
+            }
+        }
         self.stats.rule_fired.bump(rule);
         if !self.spts.insert((f, h, x)) {
             return;
@@ -1212,6 +1275,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_reach(&mut self, p: Method, m: CtxtStr, rule: &'static str) {
+        if let Some(gate) = &self.gate {
+            if !gate.reach.contains(&p) {
+                return;
+            }
+        }
         self.stats.rule_fired.bump(rule);
         if !self.reach.insert((p, m)) {
             return;

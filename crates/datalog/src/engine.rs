@@ -243,6 +243,14 @@ impl Engine {
         &self.relations[rel.0].name
     }
 
+    /// Enumerates every relation as `(id, name)`, in interning order.
+    pub fn relations(&self) -> impl Iterator<Item = (RelId, &str)> {
+        self.relations
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (RelId(i), r.name.as_str()))
+    }
+
     /// Iterates the tuples of a relation (insertion order).
     pub fn tuples(&self, rel: RelId) -> impl Iterator<Item = &[u32]> {
         self.relations[rel.0].tuples.iter().map(Vec::as_slice)

@@ -203,7 +203,7 @@ fn adorn_rule(
         if idb.contains(atom.relation.as_str()) {
             // Derived atom: compute its adornment from what is bound now,
             // emit its magic rule, and queue it for adornment.
-            let adornment: Adornment = atom
+            let mut adornment: Adornment = atom
                 .terms
                 .iter()
                 .map(|t| match t {
@@ -212,6 +212,18 @@ fn adorn_rule(
                     Term::Wildcard => false,
                 })
                 .collect();
+            // Adornment widening: a fully-bound occurrence would key its
+            // magic set on every column, and when those bindings come
+            // from independent sources the magic relation degenerates to
+            // their cross product (e.g. demanded-vars × demanded-heaps
+            // for `pts__bb` — observed at ~10x the exhaustive fact count
+            // on dense inputs). Freeing the last position keeps the
+            // demand goal-directed on a prefix key; the rule body still
+            // constrains the freed argument, so answers are unchanged —
+            // only the demanded superset grows.
+            if adornment.len() >= 2 && adornment.iter().all(|&b| b) {
+                *adornment.last_mut().expect("arity >= 2") = false;
+            }
             let magic_head = Atom::new(
                 magic_name(&atom.relation, &adornment),
                 atom.terms

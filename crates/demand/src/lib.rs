@@ -1,0 +1,249 @@
+//! Demand-driven **context-sensitive** points-to queries — the paper's
+//! §10 magic-sets direction, extended from plain Datalog to the
+//! algebra-valued transformer-string rules.
+//!
+//! The classic magic-sets transformation rewrites a Datalog program so
+//! that bottom-up evaluation derives only the facts a query transitively
+//! demands. The context-sensitive rule set is *not* plain Datalog: its
+//! tuples carry algebra values (context transformations) combined with
+//! `compose` and compared with `subsumes`, which the untyped
+//! [`ctxform_datalog::Engine`] cannot express. This crate therefore
+//! evaluates a query `pts(v, ·)` goal-directed in two phases:
+//!
+//! 1. **Slice.** Run [`ctxform_datalog::magic_transform`]'s SIPS-adorned
+//!    program over the rules' context-insensitive projection
+//!    ([`ctxform::CI_RULES`]), seeded with the query roots
+//!    (`magic_pts__bf(v)`), producing a [`ctxform::DemandSlice`]: the demanded
+//!    fragment of the six derived relations. Binding propagation — which
+//!    body atoms become demanded, in which argument positions — is
+//!    entirely the magic transformation's.
+//! 2. **Sliced solve.** Run the specialized algebra-valued semi-naive
+//!    solver *gated* on the slice ([`ctxform::analyze_sliced`]): every
+//!    insertion whose context-insensitive projection the slice did not
+//!    demand is dropped before it can enter a delta queue. `compose` /
+//!    `subsumes` are threaded natively by the solver's typed rule
+//!    drivers, never through the untyped engine.
+//!
+//! This is exact for the queried variables: every context-sensitive
+//! derivation projects rule-by-rule onto a context-insensitive one, and
+//! magic sets demand *every* node of every CI derivation tree of a
+//! demanded root — so the gate can never block a derivation that
+//! contributes to an answer. Undemanded regions of the program are simply
+//! never explored, which is where the latency win over an exhaustive
+//! solve comes from.
+//!
+//! [`DemandEngine`] wraps both phases behind a per-digest
+//! [`SliceCache`], so repeated queries against the same program reuse
+//! the demanded magic sets. It answers context-insensitive queries
+//! directly from the slice (phase 1 alone is already the full CI answer)
+//! and context-sensitive ones via the gated solve. Subsumption
+//! elimination is excluded by a typed error: its retire/drop bookkeeping
+//! assumes it observes every derivation, which a gated run violates.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::sync::Arc;
+
+use ctxform::{analyze_sliced, AbstractionKind, AnalysisConfig, SliceCache};
+use ctxform_datalog::DatalogError;
+use ctxform_ir::{Heap, Program, Var};
+
+/// Why a demand query could not be answered.
+#[derive(Debug)]
+pub enum DemandError {
+    /// The configuration is outside the demand engine's supported set
+    /// (currently: subsumption elimination).
+    Unsupported(String),
+    /// The magic-sets evaluation failed (indicates a bug in the embedded
+    /// rules, not bad user input).
+    Datalog(DatalogError),
+}
+
+impl fmt::Display for DemandError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DemandError::Unsupported(what) => {
+                write!(f, "demand mode does not support {what}")
+            }
+            DemandError::Datalog(e) => write!(f, "demand evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DemandError {}
+
+impl From<DatalogError> for DemandError {
+    fn from(e: DatalogError) -> Self {
+        DemandError::Datalog(e)
+    }
+}
+
+/// The result of one demand query (possibly multi-root).
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Per queried variable, its points-to set under the requested
+    /// configuration, sorted. Root order follows the request.
+    pub answers: Vec<(Var, Vec<Heap>)>,
+    /// `true` when the demand slice came from the cache instead of a
+    /// fresh magic-sets evaluation.
+    pub slice_reused: bool,
+    /// Demanded tuples across the six derived CI relations — the
+    /// numerator of the demanded-vs-exhaustive ratio.
+    pub slice_tuples: usize,
+    /// Rule firings of the magic-sets evaluation.
+    pub slice_derivations: usize,
+    /// Facts the gated context-sensitive solve derived (`0` when the
+    /// query was answered from the slice alone).
+    pub solver_facts: usize,
+    /// Rule derivations of the gated solve (`0` for slice-only answers).
+    pub solver_derivations: u64,
+}
+
+/// A demand-driven query engine with a per-digest slice cache.
+///
+/// One engine per serving shard mirrors the shard's database cache: a
+/// digest's slices live exactly where its queries are routed.
+#[derive(Debug)]
+pub struct DemandEngine {
+    cache: SliceCache,
+}
+
+impl DemandEngine {
+    /// Creates an engine whose cache holds at most `capacity` slices.
+    pub fn new(capacity: usize) -> Self {
+        DemandEngine {
+            cache: SliceCache::new(capacity),
+        }
+    }
+
+    /// Slice-cache hits so far.
+    pub fn slice_hits(&self) -> u64 {
+        self.cache.hits()
+    }
+
+    /// Slice-cache misses so far.
+    pub fn slice_misses(&self) -> u64 {
+        self.cache.misses()
+    }
+
+    /// Answers `pts(v, ·)` for every root in `vars` under `config`,
+    /// deriving only the transitively demanded facts.
+    ///
+    /// `digest` keys the slice cache; callers must pass a value that
+    /// uniquely identifies `program` (the serving tier uses the program's
+    /// content digest).
+    ///
+    /// # Errors
+    ///
+    /// [`DemandError::Unsupported`] for subsumption configurations;
+    /// [`DemandError::Datalog`] on internal evaluation failure.
+    pub fn query(
+        &self,
+        digest: u64,
+        program: &Program,
+        config: &AnalysisConfig,
+        vars: &[Var],
+    ) -> Result<QueryOutcome, DemandError> {
+        if config.subsumption {
+            return Err(DemandError::Unsupported(
+                "subsumption elimination (it must observe every derivation)".into(),
+            ));
+        }
+        let (slice, slice_reused) = self.cache.get_or_compute(digest, program, vars)?;
+        let mut outcome = QueryOutcome {
+            answers: Vec::with_capacity(vars.len()),
+            slice_reused,
+            slice_tuples: slice.demanded(),
+            slice_derivations: slice.derivations,
+            solver_facts: 0,
+            solver_derivations: 0,
+        };
+        match config.abstraction {
+            AbstractionKind::Insensitive => {
+                // The slice already is the full CI answer for its roots.
+                for &var in vars {
+                    outcome.answers.push((var, slice.points_to(var)));
+                }
+            }
+            AbstractionKind::ContextStrings | AbstractionKind::TransformerStrings => {
+                let result = analyze_sliced(program, config, Arc::clone(&slice));
+                outcome.solver_facts = result.stats.total();
+                outcome.solver_derivations = result.stats.rule_derived.total();
+                for &var in vars {
+                    outcome.answers.push((var, result.ci.points_to(var)));
+                }
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ctxform::analyze;
+    use ctxform_minijava::{compile, corpus};
+
+    fn configs() -> Vec<AnalysisConfig> {
+        vec![
+            AnalysisConfig::insensitive(),
+            AnalysisConfig::context_strings("1-call".parse().unwrap()),
+            AnalysisConfig::context_strings("2-object+H".parse().unwrap()),
+            AnalysisConfig::transformer_strings("1-call+H".parse().unwrap()),
+            AnalysisConfig::transformer_strings("2-object+H".parse().unwrap()),
+        ]
+    }
+
+    #[test]
+    fn answers_match_exhaustive_on_corpus() {
+        let engine = DemandEngine::new(8);
+        for (digest, (name, src)) in corpus::all().iter().enumerate() {
+            let module = compile(src).unwrap();
+            for config in configs() {
+                let exhaustive = analyze(&module.program, &config);
+                let vars: Vec<Var> = (0..module.program.var_count())
+                    .step_by(3)
+                    .map(Var::from_index)
+                    .collect();
+                let outcome = engine
+                    .query(digest as u64, &module.program, &config, &vars)
+                    .unwrap();
+                for (var, heaps) in outcome.answers {
+                    assert_eq!(heaps, exhaustive.ci.points_to(var), "{name} {config} {var}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn slice_cache_is_shared_across_configs() {
+        let engine = DemandEngine::new(8);
+        let module = compile(corpus::BOX).unwrap();
+        let vars = [Var(0)];
+        let ci = AnalysisConfig::insensitive();
+        let ts = AnalysisConfig::transformer_strings("1-call".parse().unwrap());
+        let first = engine.query(7, &module.program, &ci, &vars).unwrap();
+        assert!(!first.slice_reused);
+        // Same digest + roots: the slice is config-independent.
+        let second = engine.query(7, &module.program, &ts, &vars).unwrap();
+        assert!(second.slice_reused);
+        assert_eq!(engine.slice_hits(), 1);
+        assert_eq!(engine.slice_misses(), 1);
+        assert!(second.solver_facts > 0, "context-sensitive path solves");
+        assert_eq!(first.solver_facts, 0, "insensitive path answers from slice");
+    }
+
+    #[test]
+    fn subsumption_is_a_typed_unsupported_error() {
+        let engine = DemandEngine::new(2);
+        let module = compile(corpus::BOX).unwrap();
+        let config =
+            AnalysisConfig::transformer_strings("1-call".parse().unwrap()).with_subsumption();
+        let err = engine
+            .query(1, &module.program, &config, &[Var(0)])
+            .unwrap_err();
+        assert!(matches!(err, DemandError::Unsupported(_)), "{err}");
+    }
+}

@@ -9,7 +9,8 @@
 //! ctxform-client [--addr HOST:PORT] points-to --source FILE --method M --var V \
 //!                [--abstraction A] [--sensitivity S] [--demand]
 //! ctxform-client [--addr HOST:PORT] loadgen [--connections N] [--seconds S] \
-//!                [--pipeline DEPTH] [--batch K] [--sensitivity S] [--out PATH]
+//!                [--pipeline DEPTH] [--batch K] [--sensitivity S] \
+//!                [--op mix|query] [--out PATH]
 //! ```
 //!
 //! Every command exits non-zero on transport errors, server error replies,
@@ -156,11 +157,9 @@ fn points_to(addr: SocketAddr, rest: &[String]) {
             "--var" => var = Some(value("--var")),
             "--abstraction" => abstraction = value("--abstraction"),
             "--sensitivity" => sensitivity = Some(value("--sensitivity")),
-            "--demand" => {
-                demand = true;
-                abstraction = "insensitive".into();
-                sensitivity = None;
-            }
+            // Demand mode answers context-sensitive configurations too,
+            // so `--demand` composes with --abstraction/--sensitivity.
+            "--demand" => demand = true,
             other => fail(format!("unknown points-to argument `{other}`")),
         }
     }
@@ -223,6 +222,12 @@ fn run_loadgen(addr: SocketAddr, rest: &[String]) {
                     .unwrap_or_else(|_| fail("--batch needs a non-negative integer"));
             }
             "--sensitivity" => config.sensitivity = value("--sensitivity"),
+            "--op" => {
+                config.op = value("--op");
+                if config.op != "mix" && config.op != "query" {
+                    fail("--op must be `mix` or `query`");
+                }
+            }
             "--out" => out = Some(value("--out")),
             other => fail(format!("unknown loadgen argument `{other}`")),
         }

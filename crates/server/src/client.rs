@@ -281,6 +281,9 @@ pub struct LoadGenConfig {
     pub duration: Duration,
     /// Sensitivity label for the context-sensitive queries.
     pub sensitivity: String,
+    /// Which mix to drive: `"mix"` (the classic rotating mix) or
+    /// `"query"` (demand-driven `query` / `query_batch` requests only).
+    pub op: String,
 }
 
 impl Default for LoadGenConfig {
@@ -291,6 +294,7 @@ impl Default for LoadGenConfig {
             batch: 0,
             duration: Duration::from_secs(2),
             sensitivity: "2-object+H".into(),
+            op: "mix".into(),
         }
     }
 }
@@ -400,7 +404,11 @@ fn query_mix(
     vars_by_digest: &HashMap<String, Vec<(String, String)>>,
     sensitivity: &str,
     batch: usize,
+    op: &str,
 ) -> Vec<MixEntry> {
+    if op == "query" {
+        return demand_mix(digests, vars_by_digest, sensitivity, batch);
+    }
     let mut mix = Vec::new();
     for digest in digests {
         mix.push(MixEntry {
@@ -465,6 +473,61 @@ fn query_mix(
     mix
 }
 
+/// The demand-only mix (`--op query`): per program one `query` per
+/// variable (cycled), plus — when `batch > 0` — one `query_batch`
+/// carrying `batch` variables. No `analyze` warm-up, so every answer
+/// exercises the demand engine rather than a cached database.
+fn demand_mix(
+    digests: &[String],
+    vars_by_digest: &HashMap<String, Vec<(String, String)>>,
+    sensitivity: &str,
+    batch: usize,
+) -> Vec<MixEntry> {
+    let mut mix = Vec::new();
+    for digest in digests {
+        let Some(vars) = vars_by_digest.get(digest).filter(|v| !v.is_empty()) else {
+            continue;
+        };
+        for (method, var) in vars.iter().take(4) {
+            mix.push(MixEntry {
+                op: "query",
+                line: render(Json::obj([
+                    ("op", Json::str("query")),
+                    ("program", Json::str(digest.clone())),
+                    ("abstraction", Json::str("tstring")),
+                    ("sensitivity", Json::str(sensitivity)),
+                    ("method", Json::str(method.clone())),
+                    ("var", Json::str(var.clone())),
+                ])),
+                queries: 1,
+            });
+        }
+        if batch > 0 {
+            let items: Vec<Json> = (0..batch)
+                .map(|i| {
+                    let (method, var) = &vars[i % vars.len()];
+                    Json::obj([
+                        ("method", Json::str(method.clone())),
+                        ("var", Json::str(var.clone())),
+                    ])
+                })
+                .collect();
+            mix.push(MixEntry {
+                op: "query_batch",
+                line: render(Json::obj([
+                    ("op", Json::str("query_batch")),
+                    ("program", Json::str(digest.clone())),
+                    ("abstraction", Json::str("tstring")),
+                    ("sensitivity", Json::str(sensitivity)),
+                    ("vars", Json::Arr(items)),
+                ])),
+                queries: batch as u64,
+            });
+        }
+    }
+    mix
+}
+
 /// What one loadgen connection thread brings home.
 struct WorkerOutcome {
     /// `(mix op, latency ns)` per completed request.
@@ -520,6 +583,7 @@ pub fn loadgen(addr: SocketAddr, config: &LoadGenConfig) -> Result<LoadReport, C
         &vars_by_digest,
         &config.sensitivity,
         config.batch,
+        &config.op,
     ));
 
     let total_requests = Arc::new(AtomicU64::new(0));

@@ -263,6 +263,27 @@ impl DbManager {
         self.programs.lock().unwrap().get(&digest).cloned()
     }
 
+    /// Peeks the result cache for `(digest, config)` without ever
+    /// solving: `Some` (bumping the LRU stamp and the hit counter) when a
+    /// solved database is resident, `None` otherwise — the demand-query
+    /// path uses this to fall back to an already-solved database while
+    /// guaranteeing a cache miss never triggers an exhaustive solve.
+    pub fn cached_result(
+        &self,
+        digest: u64,
+        config: &AnalysisConfig,
+    ) -> Option<Arc<AnalysisResult>> {
+        let key = (digest, config_tag(config));
+        let mut state = self.cache.lock().unwrap();
+        state.tick += 1;
+        let tick = state.tick;
+        let entry = state.entries.get_mut(&key)?;
+        entry.last_used = tick;
+        let result = entry.result.clone();
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        Some(result)
+    }
+
     /// Returns the solved database for `(digest, config)`, solving at most
     /// once per key across all threads. The boolean is `true` when the
     /// answer came from cache.

@@ -13,13 +13,15 @@ use crate::json::Json;
 
 /// The fixed endpoint list (wire `op` names plus a bucket for requests
 /// that never parsed far enough to have one).
-pub const ENDPOINTS: [&str; 15] = [
+pub const ENDPOINTS: [&str; 17] = [
     "load_source",
     "load_facts",
     "update",
     "analyze",
     "points_to",
     "points_to_batch",
+    "query",
+    "query_batch",
     "may_alias",
     "call_edges",
     "reachable",

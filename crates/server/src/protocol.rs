@@ -179,6 +179,29 @@ pub enum Request {
         /// The queried variables, answered positionally.
         vars: Vec<VarRef>,
     },
+    /// Demand-driven points-to query: answered from the cached solved
+    /// database when one is resident, otherwise via the demand engine
+    /// (magic-sets slice + gated context-sensitive solve) *without*
+    /// triggering a full exhaustive solve.
+    Query {
+        /// Program digest.
+        program: u64,
+        /// The analysis configuration.
+        config: AnalysisConfig,
+        /// The queried variable.
+        var: VarRef,
+    },
+    /// Demand-driven points-to queries for many variables in one framed
+    /// round-trip; one shared demand slice answers the whole batch
+    /// ([`MAX_BATCH_VARS`] bound).
+    QueryBatch {
+        /// Program digest.
+        program: u64,
+        /// The analysis configuration.
+        config: AnalysisConfig,
+        /// The queried variables, answered positionally.
+        vars: Vec<VarRef>,
+    },
     /// Whether two variables may alias.
     MayAlias {
         /// Program digest.
@@ -241,6 +264,8 @@ impl Request {
             Request::Analyze { .. } => "analyze",
             Request::PointsTo { .. } => "points_to",
             Request::PointsToBatch { .. } => "points_to_batch",
+            Request::Query { .. } => "query",
+            Request::QueryBatch { .. } => "query_batch",
             Request::MayAlias { .. } => "may_alias",
             Request::CallEdges { .. } => "call_edges",
             Request::Reachable { .. } => "reachable",
@@ -279,6 +304,29 @@ fn req_var(obj: &Json, method_key: &str, var_key: &str) -> Result<VarRef, ProtoE
         method: req_str(obj, method_key)?,
         var: req_str(obj, var_key)?,
     })
+}
+
+/// Reads a non-empty, [`MAX_BATCH_VARS`]-bounded `vars` array of
+/// `{method, var}` objects (the batch-op fan-in shape).
+fn req_var_array(obj: &Json, op: &str) -> Result<Vec<VarRef>, ProtoError> {
+    let items = obj
+        .get("vars")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| bad(format!("`{op}` needs a `vars` array")))?;
+    if items.is_empty() {
+        return Err(bad("`vars` must not be empty"));
+    }
+    if items.len() > MAX_BATCH_VARS {
+        return Err(bad(format!(
+            "`vars` has {} entries; the per-request limit is {MAX_BATCH_VARS}",
+            items.len()
+        )));
+    }
+    let mut vars = Vec::with_capacity(items.len());
+    for item in items {
+        vars.push(req_var(item, "method", "var")?);
+    }
+    Ok(vars)
 }
 
 /// Reads the analysis configuration fields of a request.
@@ -433,30 +481,21 @@ pub fn parse_request(line: &str) -> Result<(RequestMeta, Request), ProtoError> {
             var: req_var(&obj, "method", "var")?,
             demand: obj.get("demand").and_then(Json::as_bool).unwrap_or(false),
         },
-        "points_to_batch" => {
-            let items = obj
-                .get("vars")
-                .and_then(Json::as_arr)
-                .ok_or_else(|| bad("`points_to_batch` needs a `vars` array"))?;
-            if items.is_empty() {
-                return Err(bad("`vars` must not be empty"));
-            }
-            if items.len() > MAX_BATCH_VARS {
-                return Err(bad(format!(
-                    "`vars` has {} entries; the per-request limit is {MAX_BATCH_VARS}",
-                    items.len()
-                )));
-            }
-            let mut vars = Vec::with_capacity(items.len());
-            for item in items {
-                vars.push(req_var(item, "method", "var")?);
-            }
-            Request::PointsToBatch {
-                program: req_program(&obj)?,
-                config: req_config(&obj)?,
-                vars,
-            }
-        }
+        "points_to_batch" => Request::PointsToBatch {
+            program: req_program(&obj)?,
+            config: req_config(&obj)?,
+            vars: req_var_array(&obj, "points_to_batch")?,
+        },
+        "query" => Request::Query {
+            program: req_program(&obj)?,
+            config: req_config(&obj)?,
+            var: req_var(&obj, "method", "var")?,
+        },
+        "query_batch" => Request::QueryBatch {
+            program: req_program(&obj)?,
+            config: req_config(&obj)?,
+            vars: req_var_array(&obj, "query_batch")?,
+        },
         "may_alias" => Request::MayAlias {
             program: req_program(&obj)?,
             config: req_config(&obj)?,
@@ -575,6 +614,14 @@ mod tests {
                 "points_to_batch",
             ),
             (
+                r#"{"op": "query", "program": "ff", "abstraction": "tstring", "sensitivity": "2-object+H", "method": "Main.main", "var": "x"}"#,
+                "query",
+            ),
+            (
+                r#"{"op": "query_batch", "program": "ff", "vars": [{"method": "Main.main", "var": "x"}]}"#,
+                "query_batch",
+            ),
+            (
                 r#"{"op": "may_alias", "program": "ff", "method_a": "M.m", "var_a": "x", "method_b": "M.m", "var_b": "y"}"#,
                 "may_alias",
             ),
@@ -669,6 +716,11 @@ mod tests {
             r#"{"op": "points_to_batch", "program": "ff"}"#,
             r#"{"op": "points_to_batch", "program": "ff", "vars": []}"#,
             r#"{"op": "points_to_batch", "program": "ff", "vars": [{"method": "M.m"}]}"#,
+            r#"{"op": "query", "program": "ff", "method": "M.m"}"#,
+            r#"{"op": "query", "program": "zz", "method": "M.m", "var": "x"}"#,
+            r#"{"op": "query_batch", "program": "ff"}"#,
+            r#"{"op": "query_batch", "program": "ff", "vars": []}"#,
+            r#"{"op": "query_batch", "program": "ff", "vars": [{"var": "x"}]}"#,
             r#"{"op": "update", "base": "ff"}"#,
             r##"{"op": "update", "base": "ff", "source": "class Main {}", "facts": "# f"}"##,
             r#"{"op": "update", "base": "zz", "source": "class Main {}"}"#,

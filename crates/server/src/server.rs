@@ -33,7 +33,8 @@ use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use ctxform::{demand_points_to, AbstractionKind, AnalysisConfig, AnalysisResult};
+use ctxform::{AnalysisConfig, AnalysisResult};
+use ctxform_demand::{DemandError, QueryOutcome};
 use ctxform_ir::{Program, Var};
 use ctxform_obs::metrics::{PromText, Registry};
 use ctxform_obs::{self as obs};
@@ -513,6 +514,8 @@ fn route(shared: &Shared, request: &Request) -> Route {
         Request::Analyze { program, .. }
         | Request::PointsTo { program, .. }
         | Request::PointsToBatch { program, .. }
+        | Request::Query { program, .. }
+        | Request::QueryBatch { program, .. }
         | Request::MayAlias { program, .. }
         | Request::CallEdges { program, .. }
         | Request::Reachable { program, .. } => Route::Shard(shared.router.route_query(*program)),
@@ -714,7 +717,8 @@ fn dispatch_shard(
     request: &Request,
     started: Instant,
 ) -> Result<Fields, ProtoError> {
-    let db = &shared.router.shards()[index].db;
+    let shard = &shared.router.shards()[index];
+    let db = &shard.db;
     let result = match request {
         Request::Update {
             base,
@@ -783,12 +787,29 @@ fn dispatch_shard(
             config,
             var,
             demand,
-        } => points_to(db, *program, config, var, *demand),
+        } => points_to(shared, shard, *program, config, var, *demand),
         Request::PointsToBatch {
             program,
             config,
             vars,
         } => points_to_batch(db, *program, config, vars),
+        Request::Query {
+            program,
+            config,
+            var,
+        } => demand_query(
+            shared,
+            shard,
+            *program,
+            config,
+            std::slice::from_ref(var),
+            false,
+        ),
+        Request::QueryBatch {
+            program,
+            config,
+            vars,
+        } => demand_query(shared, shard, *program, config, vars, true),
         Request::MayAlias {
             program,
             config,
@@ -954,42 +975,27 @@ fn solve_with_program(
 }
 
 fn points_to(
-    db: &DbManager,
+    shared: &Shared,
+    shard: &Shard,
     digest: u64,
     config: &AnalysisConfig,
     var: &VarRef,
     demand: bool,
 ) -> Result<Fields, ProtoError> {
     if demand {
-        if config.abstraction != AbstractionKind::Insensitive {
-            return Err(ProtoError::new(
-                ErrorCode::BadRequest,
-                "demand mode answers context-insensitive queries only",
-            ));
-        }
-        let program = db.program(digest).ok_or_else(|| {
-            ProtoError::new(
-                ErrorCode::UnknownProgram,
-                format!("no loaded program has digest {}", digest_str(digest)),
-            )
-        })?;
-        let v = resolve_var(&program, var)?;
-        let answer = demand_points_to(&program, v)
-            .map_err(|e| ProtoError::new(ErrorCode::Internal, e.to_string()))?;
-        let heaps: Vec<Json> = answer
-            .points_to
-            .iter()
-            .map(|h| Json::str(&*program.heap_names[h.index()]))
-            .collect();
-        return Ok(vec![
-            ("cached", Json::Bool(false)),
-            ("demand", Json::Bool(true)),
-            ("heaps", Json::Arr(heaps)),
-            ("derived_tuples", Json::int(answer.derived_tuples)),
-            ("derivations", Json::int(answer.derivations)),
-        ]);
+        // `points_to {demand: true}` and `query` share one entry point:
+        // the shard's demand engine, which answers both the
+        // context-insensitive and the context-sensitive configurations.
+        return demand_query(
+            shared,
+            shard,
+            digest,
+            config,
+            std::slice::from_ref(var),
+            false,
+        );
     }
-    let (result, cached, program) = solve_with_program(db, digest, config)?;
+    let (result, cached, program) = solve_with_program(&shard.db, digest, config)?;
     let v = resolve_var(&program, var)?;
     let heaps: Vec<Json> = result
         .ci
@@ -1001,6 +1007,190 @@ fn points_to(
         ("cached", Json::Bool(cached)),
         ("heaps", Json::Arr(heaps)),
     ])
+}
+
+/// Bumps one of the `ctxform_demand_*` Prometheus counters.
+fn demand_counter(shared: &Shared, name: &'static str, help: &'static str, mode: &str, by: u64) {
+    shared
+        .registry
+        .counter(name, help, &[("mode", mode)])
+        .add(by);
+}
+
+/// Answers a demand query (`query`, `query_batch`, or
+/// `points_to {demand: true}`): from the cached solved database when one
+/// is resident, otherwise via the shard's demand engine — never via a
+/// full exhaustive solve. Returns the reply fields plus the resolved
+/// per-variable answer slots (`batch` mode keeps unknown variables as
+/// per-slot error objects instead of failing the request).
+fn sliced_answer(
+    shared: &Shared,
+    shard: &Shard,
+    digest: u64,
+    config: &AnalysisConfig,
+    vars: &[VarRef],
+    batch: bool,
+) -> Result<(Fields, Vec<Json>), ProtoError> {
+    let program = shard.db.program(digest).ok_or_else(|| {
+        ProtoError::new(
+            ErrorCode::UnknownProgram,
+            format!("no loaded program has digest {}", digest_str(digest)),
+        )
+    })?;
+    // Resolve names positionally; in batch mode failures become per-slot
+    // error objects (mirroring `points_to_batch`).
+    let mut index: HashMap<(&str, &str), Var> = HashMap::with_capacity(program.var_count());
+    for i in 0..program.var_count() {
+        let method = program.method_names[program.var_method[i].index()].as_str();
+        index.insert((method, program.var_names[i].as_str()), Var::from_index(i));
+    }
+    let mut resolved: Vec<Option<Var>> = Vec::with_capacity(vars.len());
+    for var in vars {
+        match index.get(&(var.method.as_str(), var.var.as_str())) {
+            Some(&v) => resolved.push(Some(v)),
+            None if batch => resolved.push(None),
+            None => return Err(unknown_var(var)),
+        }
+    }
+    let roots: Vec<Var> = resolved.iter().filter_map(|v| *v).collect();
+    let heaps_json = |heaps: &[ctxform_ir::Heap]| -> Json {
+        Json::Arr(
+            heaps
+                .iter()
+                .map(|h| Json::str(&*program.heap_names[h.index()]))
+                .collect(),
+        )
+    };
+
+    // Fast path: a solved database for this exact configuration is
+    // already resident — answer from it without any demand work.
+    if let Some(result) = shard.db.cached_result(digest, config) {
+        demand_counter(
+            shared,
+            "ctxform_demand_queries_total",
+            "Demand queries answered, by answering mode.",
+            "cached_db",
+            1,
+        );
+        let slots = answer_slots(&resolved, vars, |v| heaps_json(&result.ci.points_to(v)));
+        let fields = vec![
+            ("cached", Json::Bool(true)),
+            ("demand", Json::Bool(false)),
+            ("count", Json::int(vars.len())),
+            ("found", Json::int(roots.len())),
+        ];
+        return Ok((fields, slots));
+    }
+
+    let outcome: QueryOutcome = shard
+        .demand
+        .query(digest, &program, config, &roots)
+        .map_err(|e| match e {
+            DemandError::Unsupported(_) => ProtoError::new(ErrorCode::BadRequest, e.to_string()),
+            DemandError::Datalog(_) => ProtoError::new(ErrorCode::Internal, e.to_string()),
+        })?;
+    demand_counter(
+        shared,
+        "ctxform_demand_queries_total",
+        "Demand queries answered, by answering mode.",
+        "sliced",
+        1,
+    );
+    shared
+        .registry
+        .counter(
+            "ctxform_demand_slice_reuse_total",
+            "Demand-slice cache lookups, by outcome.",
+            &[("outcome", if outcome.slice_reused { "hit" } else { "miss" })],
+        )
+        .inc();
+    shared
+        .registry
+        .counter(
+            "ctxform_demand_demanded_tuples_total",
+            "Tuples demanded by magic-sets slices (compare against the \
+             exhaustive ctxform_solver_* fact counters for the \
+             demanded-vs-exhaustive ratio).",
+            &[],
+        )
+        .add(outcome.slice_tuples as u64);
+    shared
+        .registry
+        .counter(
+            "ctxform_demand_sliced_facts_total",
+            "Facts derived by gated (sliced) context-sensitive solves.",
+            &[],
+        )
+        .add(outcome.solver_facts as u64);
+    let by_var: HashMap<Var, &Vec<ctxform_ir::Heap>> =
+        outcome.answers.iter().map(|(v, h)| (*v, h)).collect();
+    let slots = answer_slots(&resolved, vars, |v| {
+        heaps_json(by_var.get(&v).map(|h| h.as_slice()).unwrap_or(&[]))
+    });
+    let fields = vec![
+        ("cached", Json::Bool(false)),
+        ("demand", Json::Bool(true)),
+        ("count", Json::int(vars.len())),
+        ("found", Json::int(roots.len())),
+        ("slice_reused", Json::Bool(outcome.slice_reused)),
+        ("derived_tuples", Json::int(outcome.slice_tuples)),
+        ("derivations", Json::int(outcome.slice_derivations)),
+        ("solver_facts", Json::int(outcome.solver_facts)),
+    ];
+    Ok((fields, slots))
+}
+
+/// Positional answer slots: `heaps` objects for resolved variables,
+/// `unknown_var` error objects for unresolved ones.
+fn answer_slots(
+    resolved: &[Option<Var>],
+    vars: &[VarRef],
+    mut answer: impl FnMut(Var) -> Json,
+) -> Vec<Json> {
+    resolved
+        .iter()
+        .zip(vars)
+        .map(|(slot, var)| match slot {
+            Some(v) => Json::obj([("heaps", answer(*v))]),
+            None => Json::obj([
+                ("error", Json::str(ErrorCode::UnknownVar.as_str())),
+                (
+                    "message",
+                    Json::str(format!("no variable `{}` in `{}`", var.var, var.method)),
+                ),
+            ]),
+        })
+        .collect()
+}
+
+fn unknown_var(var: &VarRef) -> ProtoError {
+    ProtoError::new(
+        ErrorCode::UnknownVar,
+        format!("no variable `{}` in `{}`", var.var, var.method),
+    )
+}
+
+/// The `query` / `query_batch` handler: single queries inline their one
+/// answer as `heaps`, batches return positional `results`.
+fn demand_query(
+    shared: &Shared,
+    shard: &Shard,
+    digest: u64,
+    config: &AnalysisConfig,
+    vars: &[VarRef],
+    batch: bool,
+) -> Result<Fields, ProtoError> {
+    let (mut fields, slots) = sliced_answer(shared, shard, digest, config, vars, batch)?;
+    if batch {
+        fields.push(("results", Json::Arr(slots)));
+    } else {
+        let slot = slots.into_iter().next().expect("one query, one slot");
+        let heaps = slot.get("heaps").cloned().unwrap_or(Json::Arr(Vec::new()));
+        fields.push(("heaps", heaps));
+        // Single queries do not carry batch bookkeeping.
+        fields.retain(|(k, _)| !matches!(*k, "count" | "found"));
+    }
+    Ok(fields)
 }
 
 /// Answers many variable queries against one solved database in a single

@@ -28,6 +28,7 @@ use std::sync::mpsc::SyncSender;
 use std::sync::{Condvar, Mutex};
 use std::time::Instant;
 
+use ctxform_demand::DemandEngine;
 use ctxform_hash::{fx_hash_one, FxHashMap, SplitMix64};
 
 use crate::db::{CacheSnapshot, DbManager};
@@ -51,11 +52,19 @@ pub(crate) struct Job {
     pub reply: SyncSender<String>,
 }
 
+/// Demand slices a shard keeps per digest; slices are orders of magnitude
+/// smaller than solved databases, so the bound is generous.
+const SLICE_CACHE_CAPACITY: usize = 128;
+
 /// One independent serving shard.
 pub struct Shard {
     /// The shard-local database manager: result LRU, incremental database
     /// LRU, loaded programs.
     pub db: DbManager,
+    /// The shard-local demand-query engine (per-digest slice cache), so a
+    /// digest's demanded magic sets live on the shard its queries route
+    /// to — mirroring the database cache.
+    pub demand: DemandEngine,
     queue: Mutex<VecDeque<Job>>,
     /// Signalled when a job is queued (and broadcast on shutdown).
     pub(crate) available: Condvar,
@@ -81,6 +90,7 @@ impl Shard {
     pub(crate) fn new(db: DbManager, depth: usize) -> Self {
         Shard {
             db,
+            demand: DemandEngine::new(SLICE_CACHE_CAPACITY),
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             depth: depth.max(1),

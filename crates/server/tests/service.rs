@@ -438,6 +438,7 @@ fn loadgen_runs_clean_and_shutdown_drains() {
             batch: 8,
             duration: Duration::from_millis(1200),
             sensitivity: "2-object+H".into(),
+            ..LoadGenConfig::default()
         },
     )
     .expect("loadgen setup");
@@ -1211,6 +1212,240 @@ fn shards_report_stats_and_prometheus_series() {
         assert!(text.contains(series), "missing `{series}` in:\n{text}");
     }
 
+    server.shutdown();
+    server.join();
+}
+
+/// Cold context-sensitive `query` requests are answered by the demand
+/// engine (no full solve) with the exact exhaustive points-to sets; once
+/// a solved database is resident the same query is answered from it.
+#[test]
+fn query_answers_context_sensitively_without_full_solve() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let module = compile(corpus::LIST).unwrap();
+    let program = &module.program;
+    let digest = client.load_source(corpus::LIST).unwrap();
+    let label = "1-call";
+    let direct = analyze(
+        &module.program,
+        &AnalysisConfig::transformer_strings(label.parse().unwrap()),
+    );
+
+    let query = |client: &mut Client, v: usize| {
+        client
+            .request(&Json::obj([
+                ("op", Json::str("query")),
+                ("program", Json::str(digest.clone())),
+                ("abstraction", Json::str("tstring")),
+                ("sensitivity", Json::str(label)),
+                (
+                    "method",
+                    Json::str(&*program.method_names[program.var_method[v].index()]),
+                ),
+                ("var", Json::str(&*program.var_names[v])),
+            ]))
+            .unwrap()
+    };
+
+    // Cold: every variable answered by the demand engine, byte-identical
+    // to the exhaustive analysis.
+    for v in 0..program.var_count() {
+        let reply = query(&mut client, v);
+        assert_eq!(reply.get("demand").unwrap().as_bool(), Some(true), "{v}");
+        assert_eq!(reply.get("cached").unwrap().as_bool(), Some(false), "{v}");
+        let want: Vec<String> = direct
+            .ci
+            .points_to(ctxform_ir::Var::from_index(v))
+            .iter()
+            .map(|h| program.heap_names[h.index()].clone())
+            .collect();
+        assert_eq!(
+            str_arr(&reply, "heaps"),
+            want,
+            "query {}",
+            program.var_names[v]
+        );
+    }
+
+    // Re-querying the same variable reuses the cached demand slice.
+    let again = query(&mut client, 0);
+    assert_eq!(again.get("slice_reused").unwrap().as_bool(), Some(true));
+
+    // After a full solve the same query is answered from the solved db.
+    client
+        .request(&Json::obj([
+            ("op", Json::str("analyze")),
+            ("program", Json::str(digest.clone())),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str(label)),
+        ]))
+        .unwrap();
+    // Replicas on every shard: query routes by digest, so hit each var
+    // once more and require the cached-db path on the var's shard.
+    let (mut saw_cached, mut parity) = (false, true);
+    for v in 0..program.var_count() {
+        let reply = query(&mut client, v);
+        if reply.get("cached").unwrap().as_bool() == Some(true) {
+            saw_cached = true;
+            assert_eq!(reply.get("demand").unwrap().as_bool(), Some(false));
+        }
+        let want: Vec<String> = direct
+            .ci
+            .points_to(ctxform_ir::Var::from_index(v))
+            .iter()
+            .map(|h| program.heap_names[h.index()].clone())
+            .collect();
+        parity &= str_arr(&reply, "heaps") == want;
+    }
+    assert!(parity, "post-solve answers must still match");
+    assert!(saw_cached, "at least one query lands on the solved shard");
+
+    // Subsumption is the one unsupported configuration: typed error.
+    let err = client
+        .request(&Json::obj([
+            ("op", Json::str("query")),
+            ("program", Json::str(digest.clone())),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str(label)),
+            ("subsumption", Json::Bool(true)),
+            (
+                "method",
+                Json::str(&*program.method_names[program.var_method[0].index()]),
+            ),
+            ("var", Json::str(&*program.var_names[0])),
+        ]))
+        .unwrap_err();
+    let msg = err.to_string();
+    assert!(
+        msg.contains("bad_request") && msg.contains("subsumption"),
+        "want a typed bad_request for subsumption, got: {msg}"
+    );
+
+    // The demand counters made it into the exposition.
+    let metrics = client
+        .request(&Json::obj([("op", Json::str("metrics"))]))
+        .unwrap();
+    let text = metrics.get("exposition").unwrap().as_str().unwrap();
+    for series in [
+        "ctxform_demand_queries_total{mode=\"sliced\"}",
+        "ctxform_demand_slice_reuse_total{outcome=\"hit\"}",
+        "ctxform_demand_demanded_tuples_total",
+        "ctxform_demand_sliced_facts_total",
+    ] {
+        assert!(text.contains(series), "missing `{series}` in:\n{text}");
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+/// `query_batch` answers positionally and keeps unknown variables as
+/// per-slot error objects rather than failing the whole request.
+#[test]
+fn query_batch_mixes_answers_and_per_slot_errors() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let module = compile(corpus::BOX).unwrap();
+    let program = &module.program;
+    let digest = client.load_source(corpus::BOX).unwrap();
+    let direct = analyze(
+        &module.program,
+        &AnalysisConfig::transformer_strings("1-object".parse().unwrap()),
+    );
+
+    let mut vars = Vec::new();
+    for v in 0..program.var_count().min(3) {
+        vars.push(Json::obj([
+            (
+                "method",
+                Json::str(&*program.method_names[program.var_method[v].index()]),
+            ),
+            ("var", Json::str(&*program.var_names[v])),
+        ]));
+    }
+    vars.push(Json::obj([
+        ("method", Json::str("Main.main")),
+        ("var", Json::str("no_such_var")),
+    ]));
+    let reply = client
+        .request(&Json::obj([
+            ("op", Json::str("query_batch")),
+            ("program", Json::str(digest.clone())),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str("1-object")),
+            ("vars", Json::Arr(vars)),
+        ]))
+        .unwrap();
+    assert_eq!(reply.get("demand").unwrap().as_bool(), Some(true));
+    let count = reply.get("count").unwrap().as_u64().unwrap() as usize;
+    let found = reply.get("found").unwrap().as_u64().unwrap() as usize;
+    assert_eq!(count, found + 1, "exactly one unknown slot");
+    let results = reply.get("results").unwrap().as_arr().unwrap();
+    assert_eq!(results.len(), count);
+    for (i, slot) in results.iter().enumerate().take(found) {
+        let got: Vec<String> = slot
+            .get("heaps")
+            .unwrap()
+            .as_arr()
+            .unwrap()
+            .iter()
+            .map(|h| h.as_str().unwrap().to_owned())
+            .collect();
+        let want: Vec<String> = direct
+            .ci
+            .points_to(ctxform_ir::Var::from_index(i))
+            .iter()
+            .map(|h| program.heap_names[h.index()].clone())
+            .collect();
+        assert_eq!(got, want, "slot {i}");
+    }
+    assert_eq!(
+        results[found].get("error").unwrap().as_str(),
+        Some("unknown_var")
+    );
+
+    server.shutdown();
+    server.join();
+}
+
+/// `--op query` loadgen drives only demand ops, cleanly, under
+/// pipelining and sharding.
+#[test]
+fn loadgen_query_op_drives_demand_mix_cleanly() {
+    let server = test_server(|c| {
+        c.threads = 4;
+        c.queue_depth = 64;
+    });
+    let report = loadgen(
+        server.addr(),
+        &LoadGenConfig {
+            connections: 4,
+            pipeline: 4,
+            batch: 4,
+            duration: Duration::from_millis(800),
+            sensitivity: "1-call".into(),
+            op: "query".into(),
+        },
+    )
+    .expect("loadgen setup");
+    assert_eq!(report.errors, 0, "demand loadgen must run clean");
+    assert!(report.requests > 0);
+    for op in ["query", "query_batch"] {
+        assert!(
+            report.per_op.iter().any(|(o, s)| o == op && s.count > 0),
+            "per-op breakdown is missing `{op}`: {:?}",
+            report.per_op
+        );
+    }
+    assert!(
+        report
+            .per_op
+            .iter()
+            .all(|(o, _)| o == "query" || o == "query_batch"),
+        "demand mix must contain only demand ops: {:?}",
+        report.per_op
+    );
     server.shutdown();
     server.join();
 }
