@@ -18,7 +18,13 @@
 //! program's cached database and once from scratch — recording both times,
 //! the speedup, and the derivation counts, after asserting the two fact
 //! digests are bit-identical and the extension re-derived strictly fewer
-//! facts), and a demand-driven query cell (`tstring_demand`: a cold
+//! facts), an incremental *deletion* cell (`tstring_incr_del`: a seeded
+//! deleting edit removes one input tuple and the edited program is
+//! solved by DRed retraction over the cached database versus from
+//! scratch, recording both times, the speedup, and the
+//! over-delete/re-derive counts, after asserting the outcome was
+//! `Retracted` and the digests are bit-identical), and a demand-driven
+//! query cell (`tstring_demand`: a cold
 //! `pts(v0, ·)` query answered through the magic-sets demand engine is
 //! timed against a full solve followed by a lookup, after asserting the
 //! demanded answer is byte-identical and the gated solve derived no more
@@ -47,7 +53,7 @@ use ctxform_hash::fx_hash_one;
 use ctxform_minijava::compile;
 use ctxform_obs::logger;
 use ctxform_server::json::{hex16, Json};
-use ctxform_synth::{append_edit, dacapo_like};
+use ctxform_synth::{append_edit, dacapo_like, retract_edit_script};
 
 /// An order-independent digest of the CI projections: each fact set is
 /// sorted and hashed as a sequence, then the five relation digests are
@@ -245,6 +251,98 @@ fn incr_cell(
     ])
 }
 
+/// The incremental deletion cell: the deleted-edit program is solved by
+/// DRed retraction over the base program's database (`repeat` times over
+/// fresh clones; min time kept) and from scratch (`repeat` times; min
+/// time kept). Panics unless every extension took the `Retracted` path,
+/// all repeats and both paths agree on the fact digest, and the re-derive
+/// pass restored no more facts than the over-delete pass removed.
+fn incr_del_cell(
+    base: &ctxform_ir::Program,
+    deleted: &ctxform_ir::Program,
+    config: &AnalysisConfig,
+    repeat: usize,
+) -> Json {
+    let base_db = AnalysisDb::solve(base.clone(), config);
+    let mut incr_time = Duration::MAX;
+    let mut incr_db = None;
+    for _ in 0..repeat {
+        let mut db = base_db.clone();
+        let next = deleted.clone();
+        let started = Instant::now();
+        let outcome = db.extend(next);
+        let elapsed = started.elapsed();
+        assert!(
+            matches!(outcome, ctxform::ExtendOutcome::Retracted),
+            "{config}: deleting edit must take the retraction path, got {outcome:?}"
+        );
+        if let Some(prev) = &incr_db {
+            let prev: &AnalysisDb = prev;
+            assert_eq!(
+                db.fact_digest(),
+                prev.fact_digest(),
+                "{config}: retraction repeats disagree on the fact digest"
+            );
+        }
+        if elapsed < incr_time || incr_db.is_none() {
+            incr_time = elapsed;
+            incr_db = Some(db);
+        }
+    }
+    let incr_db = incr_db.expect("repeat >= 1");
+    let mut scratch_time = Duration::MAX;
+    let mut scratch_db = None;
+    for _ in 0..repeat {
+        let next = deleted.clone();
+        let started = Instant::now();
+        let db = AnalysisDb::solve(next, config);
+        let elapsed = started.elapsed();
+        if elapsed < scratch_time || scratch_db.is_none() {
+            scratch_time = elapsed;
+            scratch_db = Some(db);
+        }
+    }
+    let scratch_db = scratch_db.expect("repeat >= 1");
+    assert_eq!(
+        incr_db.fact_digest(),
+        scratch_db.fact_digest(),
+        "{config}: DRed result is not bit-identical to the from-scratch solve"
+    );
+    let stats = &incr_db.result().stats;
+    assert!(
+        stats.rederived <= stats.overdeleted,
+        "{config}: re-derived {} facts but only {} were over-deleted",
+        stats.rederived,
+        stats.overdeleted
+    );
+    let incr_ms = incr_time.as_secs_f64() * 1000.0;
+    let scratch_ms = scratch_time.as_secs_f64() * 1000.0;
+    Json::obj([
+        ("time_ms", Json::ms(incr_ms)),
+        ("scratch_ms", Json::ms(scratch_ms)),
+        (
+            "speedup",
+            Json::ms(if incr_ms > 0.0 {
+                scratch_ms / incr_ms
+            } else {
+                0.0
+            }),
+        ),
+        ("overdeleted", Json::uint(stats.overdeleted)),
+        ("rederived", Json::uint(stats.rederived)),
+        (
+            "derived_incremental",
+            Json::uint(stats.rule_derived.total()),
+        ),
+        (
+            "derived_scratch",
+            Json::uint(scratch_db.result().stats.rule_derived.total()),
+        ),
+        ("total", Json::int(stats.total())),
+        ("fact_digest", Json::Str(hex16(incr_db.fact_digest()))),
+    ])
+}
+
 /// The demand-driven query cell: answers `pts(v0, ·)` cold through the
 /// demand engine (`repeat` times over fresh engines — no slice reuse —
 /// min time kept) and by a full solve followed by a lookup (`repeat`
@@ -424,6 +522,14 @@ fn main() {
         let edited = compile(&edited_source)
             .expect("edited programs are valid")
             .program;
+        // Single-tuple deleting edit for the DRed deletion cell: with a
+        // 0% removal rate the script's guaranteed-retractive fallback
+        // removes exactly one `assign` tuple — the canonical "small
+        // edit". (Percentage-scale removals over-delete most of the
+        // database through the coarse seeding and lose to a re-solve.)
+        let deleted = retract_edit_script(&program, fx_hash_one(&name), 1, 0)
+            .pop()
+            .expect("script has steps+1 revisions");
         let stats = program.stats();
         let mut pairs: Vec<(String, Json)> = vec![(
             "program".into(),
@@ -480,6 +586,12 @@ fn main() {
                 &AnalysisConfig::transformer_strings(*s),
                 repeat,
             );
+            let t_incr_del = incr_del_cell(
+                &program,
+                &deleted,
+                &AnalysisConfig::transformer_strings(*s),
+                repeat,
+            );
             let t_demand = demand_cell(&program, &AnalysisConfig::transformer_strings(*s), repeat);
             pairs.push((
                 s.to_string(),
@@ -489,6 +601,7 @@ fn main() {
                     ("tstring_subs", run_json(&t_subs)),
                     ("tstring_par", run_json(&t_par)),
                     ("tstring_incr", t_incr),
+                    ("tstring_incr_del", t_incr_del),
                     ("tstring_demand", t_demand),
                 ]),
             ));
@@ -511,7 +624,7 @@ fn main() {
     let path = out_path.unwrap_or_else(next_bench_path);
     let benchmark_count = bench_objs.len();
     let doc = Json::obj([
-        ("schema", Json::str("ctxform-regress/6")),
+        ("schema", Json::str("ctxform-regress/7")),
         ("scale", Json::int(scale)),
         ("repeat", Json::int(repeat)),
         ("par_threads", Json::int(threads)),

@@ -9,18 +9,24 @@
 //! exactly the least model a from-scratch solve of the edited program
 //! would — bit-identically, at every thread count.
 //!
-//! Edits that remove or rewrite anything (classified by
-//! [`ProgramDiff::between`]) and configurations with subsumption
-//! elimination (which *retires* facts, breaking the grow-only invariant
-//! the resume argument needs) fall back to a from-scratch solve; either
-//! way the database ends up describing the new program, and
+//! Edits that *remove* input tuples or entry points over prefix-stable
+//! entity tables (classified [`ProgramDiff::Retractive`]) also resume
+//! incrementally, via DRed (delete-and-rederive): an over-delete phase
+//! transitively retracts every fact whose derivations depend on a removed
+//! input, then the ordinary monotone fixpoint restores what the new
+//! program still supports — again bit-identical to from-scratch at every
+//! thread count. Edits that rewrite something structural (classified by
+//! [`ProgramDiff::between`] as non-monotone) and configurations with
+//! subsumption elimination (which *retires* facts, breaking the grow-only
+//! invariant the resume argument needs) fall back to a from-scratch
+//! solve; either way the database ends up describing the new program, and
 //! [`AnalysisDb::fact_digest`] — a canonical digest over the rendered
 //! fact sets, independent of interning order — is identical across both
 //! paths.
 
 use ctxform_algebra::{CStrings, Insensitive, TStrings};
 use ctxform_hash::fx_hash_one;
-use ctxform_ir::{Program, ProgramDelta, ProgramDiff};
+use ctxform_ir::{Program, ProgramDelta, ProgramDiff, ProgramRetraction};
 
 use crate::config::{AbstractionKind, AnalysisConfig};
 use crate::result::AnalysisResult;
@@ -37,17 +43,27 @@ enum DbState {
 /// How [`AnalysisDb::extend`] satisfied an edit.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ExtendOutcome {
+    /// The edit was identical to the current program; nothing ran and
+    /// the reported stats carry zero run work.
+    Noop,
     /// The edit was additive; the fixpoint resumed from the saved state.
     Incremental,
+    /// The edit removed input tuples; a DRed (delete-and-rederive) pass
+    /// updated the saved state in place.
+    Retracted,
     /// The edit (or the configuration) was not monotone; the database was
     /// re-solved from scratch. The payload says why.
     Fallback(String),
 }
 
 impl ExtendOutcome {
-    /// `true` for the incremental-reuse path.
+    /// `true` whenever the saved state was reused instead of re-solved
+    /// (including the trivial no-op reuse).
     pub fn is_incremental(&self) -> bool {
-        matches!(self, ExtendOutcome::Incremental)
+        matches!(
+            self,
+            ExtendOutcome::Noop | ExtendOutcome::Incremental | ExtendOutcome::Retracted
+        )
     }
 }
 
@@ -94,10 +110,11 @@ impl AnalysisDb {
     /// Brings the database up to date with `next`.
     ///
     /// Additive edits resume the saved fixpoint seeded with the delta;
-    /// anything else — a non-monotone edit, or a subsumption
-    /// configuration (retired facts violate the grow-only resume
-    /// invariant) — re-solves from scratch. The resulting fact sets are
-    /// identical either way; only the work differs.
+    /// retractive edits run a DRed delete-and-rederive pass over the
+    /// saved state; anything else — a non-monotone edit, or a
+    /// subsumption configuration (retired facts violate the grow-only
+    /// resume invariant) — re-solves from scratch. The resulting fact
+    /// sets are identical in every case; only the work differs.
     pub fn extend(&mut self, next: Program) -> ExtendOutcome {
         if self.config.subsumption {
             let reason = "subsumption elimination retires facts; extension is not monotone";
@@ -105,10 +122,22 @@ impl AnalysisDb {
             return ExtendOutcome::Fallback(reason.to_owned());
         }
         match ProgramDiff::between(&self.program, &next) {
-            ProgramDiff::Identical => ExtendOutcome::Incremental,
+            ProgramDiff::Identical => {
+                // The database is already up to date, and the no-op did
+                // no derivation work — report the standing fact counts
+                // with zeroed run counters instead of re-reporting the
+                // previous run's work.
+                self.result.stats.clear_run_work();
+                self.result.log.clear();
+                ExtendOutcome::Noop
+            }
             ProgramDiff::Additive(delta) => {
                 self.extend_additive(next, &delta);
                 ExtendOutcome::Incremental
+            }
+            ProgramDiff::Retractive(retraction) => {
+                self.extend_retractive(next, &retraction);
+                ExtendOutcome::Retracted
             }
             ProgramDiff::NonMonotone { reason } => {
                 self.resolve_from_scratch(next);
@@ -146,6 +175,31 @@ impl AnalysisDb {
             DbState::Ts(mut st) => {
                 st.reset_run_counters();
                 let (st, r) = solver::extend_state(&next, st, delta);
+                (DbState::Ts(st), r)
+            }
+        };
+        self.state = state;
+        self.result = result;
+        self.program = next;
+    }
+
+    fn extend_retractive(&mut self, next: Program, retraction: &ProgramRetraction) {
+        let state = self.take_state();
+        let base = &self.program;
+        let (state, result) = match state {
+            DbState::Ins(mut st) => {
+                st.reset_run_counters();
+                let (st, r) = solver::retract_state(&next, base, st, retraction);
+                (DbState::Ins(st), r)
+            }
+            DbState::Cs(mut st) => {
+                st.reset_run_counters();
+                let (st, r) = solver::retract_state(&next, base, st, retraction);
+                (DbState::Cs(st), r)
+            }
+            DbState::Ts(mut st) => {
+                st.reset_run_counters();
+                let (st, r) = solver::retract_state(&next, base, st, retraction);
                 (DbState::Ts(st), r)
             }
         };
@@ -281,8 +335,34 @@ mod tests {
         let config = cfg("1-call");
         let mut db = AnalysisDb::solve(base.clone(), &config);
         let digest = db.fact_digest();
-        assert_eq!(db.extend(base), ExtendOutcome::Incremental);
+        let pts = db.result().stats.pts;
+        assert_eq!(db.extend(base), ExtendOutcome::Noop);
         assert_eq!(db.fact_digest(), digest);
+        // The no-op reports the standing database, not the previous
+        // run's work.
+        assert_eq!(db.result().stats.rule_derived.total(), 0);
+        assert_eq!(db.result().stats.events, 0);
+        assert_eq!(db.result().stats.pts, pts);
+    }
+
+    #[test]
+    fn retractive_edit_extends_incrementally_and_matches_scratch() {
+        let base = compile(EDITED).unwrap().program;
+        let mut next = base.clone();
+        // Drop an input tuple (a field store) without touching the
+        // entity tables: a retraction, not a structural rewrite.
+        assert!(!next.facts.store.is_empty());
+        next.facts.store.remove(0);
+        let config = cfg("2-object+H");
+
+        let mut db = AnalysisDb::solve(base, &config);
+        let outcome = db.extend(next.clone());
+        assert_eq!(outcome, ExtendOutcome::Retracted);
+        assert!(db.result().stats.overdeleted > 0);
+
+        let scratch = AnalysisDb::solve(next, &config);
+        assert_eq!(db.fact_digest(), scratch.fact_digest());
+        assert_eq!(db.result().ci.pts, scratch.result().ci.pts);
     }
 
     #[test]

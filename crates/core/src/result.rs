@@ -141,6 +141,12 @@ pub struct SolverStats {
     /// Candidate derivations deferred from workers to the sequential
     /// merge phase because they needed to intern a new context string.
     pub par_deferred: u64,
+    /// Derived facts transitively retracted by the over-delete phase of a
+    /// DRed update (0 outside retraction runs).
+    pub overdeleted: u64,
+    /// Over-deleted facts restored by the re-derive phase because an
+    /// alternative derivation survived the deletion.
+    pub rederived: u64,
     /// Wall-clock solving time.
     pub duration: Duration,
     /// Transformer-configuration histogram (`x*w?e*` tags of §7) over the
@@ -152,6 +158,31 @@ impl SolverStats {
     /// `pts + hpts + call`, the paper's "Total" row.
     pub fn total(&self) -> usize {
         self.pts + self.hpts + self.call
+    }
+
+    /// Zeroes every per-run *work* counter while keeping the database
+    /// description (fact counts, memo/interner sizes, configuration
+    /// histogram). A no-op update reports these stats: the database is
+    /// unchanged and the update itself fired no rules.
+    pub fn clear_run_work(&mut self) {
+        self.events = 0;
+        self.compose_calls = 0;
+        self.compose_bottom = 0;
+        self.probes = 0;
+        self.compose_memo_hits = 0;
+        self.compose_memo_misses = 0;
+        self.subsume_memo_hits = 0;
+        self.subsume_memo_misses = 0;
+        self.subsumed_dropped = 0;
+        self.subsumed_retired = 0;
+        self.rule_fired = RuleCounts::default();
+        self.rule_derived = RuleCounts::default();
+        self.par_rounds = 0;
+        self.par_frontier_peak = 0;
+        self.par_deferred = 0;
+        self.overdeleted = 0;
+        self.rederived = 0;
+        self.duration = Duration::default();
     }
 
     /// A multi-line human-readable report of the solver counters (used by
@@ -193,6 +224,12 @@ impl SolverStats {
                 .map(|(rule, n)| format!("{rule} {n}"))
                 .collect();
             out.push_str(&format!("  rule derived:     {}\n", derived.join(", ")));
+        }
+        if self.overdeleted > 0 {
+            out.push_str(&format!(
+                "  retraction:       {} over-deleted / {} re-derived\n",
+                self.overdeleted, self.rederived
+            ));
         }
         out.push_str(&format!("  interned ctxts:   {}\n", self.interned_contexts));
         if self.threads_used > 1 {

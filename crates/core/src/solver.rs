@@ -38,7 +38,10 @@ use std::time::Instant;
 
 use ctxform_algebra::{Abstraction, CtxtElem, CtxtStr, Levels, Limits, MergeSite};
 use ctxform_hash::{fx_map_with_capacity, FxHashMap, FxHashSet};
-use ctxform_ir::{Field, Heap, Inv, MSig, Method, Program, ProgramDelta, ProgramIndex, Var};
+use ctxform_ir::{
+    Facts, Field, Heap, Inv, MSig, Method, Program, ProgramDelta, ProgramIndex, ProgramRetraction,
+    Var,
+};
 
 use crate::bucket::Bucket;
 use crate::config::AnalysisConfig;
@@ -135,12 +138,116 @@ pub(crate) fn extend_state<A: Abstraction>(
         span.record("delta_facts", delta.len());
     }
     let start = Instant::now();
-    solver.reseed_for_delta(delta);
+    solver.reseed_for_delta(&delta.added, &delta.added_entry_points);
     solver.run_to_fixpoint(threads);
     let result = solver.finish(start);
     span.record("facts_total", result.stats.total());
     span.record("events", result.stats.events);
     (solver.into_state(), result)
+}
+
+/// Resumes a solved database after a retractive edit via DRed
+/// (delete-and-rederive).
+///
+/// The update runs in three phases over the saved state:
+///
+/// 1. **Over-delete**: every derived fact with a one-step derivation from
+///    a removed input tuple is marked for deletion (coarsely, over all
+///    contexts of the affected head), and the marking is closed
+///    transitively by re-running the rule drivers in *retract mode* —
+///    consequences of marked facts are marked instead of inserted.
+/// 2. **Delete**: marked facts are physically removed and every join
+///    index is rebuilt from the sorted survivors.
+/// 3. **Re-derive**: surviving facts that can re-support a deleted head
+///    (plus the edit's added tuples) are re-queued and the ordinary
+///    monotone fixpoint runs, restoring exactly the facts with an
+///    alternative derivation in the new program.
+///
+/// `program` is the edited program, `base` the program `state` was solved
+/// for, and `retraction` their diff. Over-deletion is conservative (it
+/// may mark facts whose other derivations survive), which is sound
+/// because phase 3 restores anything the new least model contains —
+/// so the final database is bit-identical to a from-scratch solve.
+pub(crate) fn retract_state<A: Abstraction>(
+    program: &Program,
+    base: &Program,
+    state: SolverState<A>,
+    retraction: &ProgramRetraction,
+) -> (SolverState<A>, AnalysisResult) {
+    let config = state.config;
+    let threads = config.effective_threads();
+    let ix = program.index();
+    let mut solver = Solver::from_state(program, &ix, state);
+    let mut span = ctxform_obs::span("solver.retract");
+    if span.is_active() {
+        span.record("config", format!("{config}"));
+        span.record("threads", threads);
+        span.record("removed_facts", retraction.removed_len());
+        span.record("added_facts", retraction.added_len());
+    }
+    let start = Instant::now();
+    solver.retract = Some(Box::new(RetractSink::new()));
+    solver.seed_overdelete(base, retraction);
+    solver.overdelete_fixpoint();
+    let sink = solver.apply_deletions();
+    solver.reseed_after_deletion(&sink);
+    solver.reseed_for_delta(&retraction.added, &retraction.added_entry_points);
+    solver.run_to_fixpoint(threads);
+    solver.stats.rederived = solver.count_rederived(&sink);
+    let result = solver.finish(start);
+    span.record("facts_total", result.stats.total());
+    span.record("overdeleted", result.stats.overdeleted);
+    span.record("rederived", result.stats.rederived);
+    (solver.into_state(), result)
+}
+
+/// The over-delete phase's bookkeeping: one mark set plus one worklist
+/// per derived relation. While this sink is installed on the solver, the
+/// `insert_*` methods *mark existing facts* instead of inserting — the
+/// rule drivers then compute one-step consequences of deleted facts
+/// without any dedicated deletion code.
+struct RetractSink<X> {
+    pts: FxHashSet<(Var, Heap, X)>,
+    hpts: FxHashSet<(Heap, Field, Heap, X)>,
+    hload: FxHashSet<(Heap, Field, Var, X)>,
+    call: FxHashSet<(Inv, Method, X)>,
+    spts: FxHashSet<(Field, Heap, X)>,
+    reach: FxHashSet<(Method, CtxtStr)>,
+    q_pts: Vec<(Var, Heap, X)>,
+    q_hpts: Vec<(Heap, Field, Heap, X)>,
+    q_hload: Vec<(Heap, Field, Var, X)>,
+    q_call: Vec<(Inv, Method, X)>,
+    q_spts: Vec<(Field, Heap, X)>,
+    q_reach: Vec<(Method, CtxtStr)>,
+}
+
+impl<X> RetractSink<X> {
+    fn new() -> Self {
+        RetractSink {
+            pts: FxHashSet::default(),
+            hpts: FxHashSet::default(),
+            hload: FxHashSet::default(),
+            call: FxHashSet::default(),
+            spts: FxHashSet::default(),
+            reach: FxHashSet::default(),
+            q_pts: Vec::new(),
+            q_hpts: Vec::new(),
+            q_hload: Vec::new(),
+            q_call: Vec::new(),
+            q_spts: Vec::new(),
+            q_reach: Vec::new(),
+        }
+    }
+
+    /// Total marked facts across all six derived relations.
+    fn len(&self) -> usize {
+        self.pts.len()
+            + self.hpts.len()
+            + self.hload.len()
+            + self.call.len()
+            + self.spts.len()
+            + self.reach.len()
+    }
 }
 
 /// A join index: facts grouped per key, boundary-indexed within each
@@ -402,6 +509,10 @@ struct Solver<'p, A: Abstraction> {
     log: Vec<LoggedFact>,
     /// Optional demand gate (see [`SolverState::with_gate`]).
     gate: Option<std::sync::Arc<crate::DemandSlice>>,
+    /// When set, the solver is in the over-delete phase of a DRed update:
+    /// `insert_*` calls mark existing facts for deletion instead of
+    /// inserting. Transient — never part of a saved [`SolverState`].
+    retract: Option<Box<RetractSink<A::X>>>,
 }
 
 impl<'p, A: Abstraction> Solver<'p, A> {
@@ -447,6 +558,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             stats: st.stats,
             log: st.log,
             gate: st.gate,
+            retract: None,
         }
     }
 
@@ -528,15 +640,14 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     /// or transitively from a fact derived here. Re-queued facts are
     /// sorted, so the seed — and with it the whole resumed derivation —
     /// is deterministic.
-    fn reseed_for_delta(&mut self, delta: &ProgramDelta) {
+    fn reseed_for_delta(&mut self, added: &Facts, added_entry_points: &[Method]) {
         let entry_ctx = {
             let interner = self.abs.interner_mut();
             interner.from_slice(&[CtxtElem::entry()])
         };
-        for &main in &delta.added_entry_points {
+        for &main in added_entry_points {
             self.insert_reach(main, entry_ctx, "Entry");
         }
-        let added = &delta.added;
         let program = self.program;
 
         // Variables whose existing `pts` facts can drive a rule body that
@@ -629,6 +740,571 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             .collect();
         reseed_call.sort_unstable();
         self.q_call.extend(reseed_call);
+    }
+
+    // ------------------------------------------------------------------
+    // DRed over-delete phase
+    // ------------------------------------------------------------------
+
+    /// Marks the immediate heads of every rule instance that mentions a
+    /// removed input tuple (phase 1 seed). Marking is *coarse*: when a
+    /// removed tuple can contribute to `pts(y, ·, ·)` we mark every
+    /// context of `y` — over-deletion is sound because the re-derive
+    /// phase restores whatever the new program still supports, and
+    /// coarseness keeps the seed independent of which contexts the
+    /// removed tuple actually flowed through.
+    ///
+    /// `base` is the pre-edit program: companion lookups (formals,
+    /// `this` variables, return bindings) must resolve against the
+    /// relations the retracted derivations actually used.
+    fn seed_overdelete(&mut self, base: &Program, r: &ProgramRetraction) {
+        let entry_ctx = {
+            let interner = self.abs.interner_mut();
+            interner.from_slice(&[CtxtElem::entry()])
+        };
+        let removed = &r.removed;
+
+        // Per-callee and per-pair views of the current call graph, built
+        // once; removed `actual`/`ret`/`virtual_invoke` tuples need to
+        // know which callees their invocation sites reached.
+        let needs_call_targets = !removed.actual.is_empty()
+            || !removed.ret.is_empty()
+            || !removed.virtual_invoke.is_empty();
+        let mut call_targets: FxHashMap<Inv, Vec<Method>> = FxHashMap::default();
+        if needs_call_targets {
+            for &(i, q, _) in &self.call {
+                let targets = call_targets.entry(i).or_default();
+                if !targets.contains(&q) {
+                    targets.push(q);
+                }
+            }
+        }
+        // Companion lookups over the *base* program's relations.
+        let base_formal_of: FxHashMap<(Method, u32), Var> = base
+            .facts
+            .formal
+            .iter()
+            .map(|&(y, p, o)| ((p, o), y))
+            .collect();
+        let base_this_of: FxHashMap<Method, Var> =
+            base.facts.this_var.iter().map(|&(y, q)| (q, y)).collect();
+
+        // Variables whose whole `pts` row dies, plus exact (var, heap)
+        // pairs from removed allocations.
+        let mut vars: FxHashSet<Var> = FxHashSet::default();
+        let mut pairs: FxHashSet<(Var, Heap)> = FxHashSet::default();
+        vars.extend(removed.assign.iter().map(|&(_, y)| y));
+        vars.extend(removed.formal.iter().map(|&(y, _, _)| y));
+        vars.extend(removed.assign_return.iter().map(|&(_, y)| y));
+        vars.extend(removed.this_var.iter().map(|&(y, _)| y));
+        vars.extend(removed.static_load.iter().map(|&(_, z)| z));
+        pairs.extend(removed.assign_new.iter().map(|&(h, y, _)| (y, h)));
+        // Param: a removed actual(Z, I, O) kills the formal of slot O in
+        // every callee I dispatched to.
+        for &(_, i, o) in &removed.actual {
+            for &q in call_targets.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
+                if let Some(&y) = base_formal_of.get(&(q, o)) {
+                    vars.insert(y);
+                }
+            }
+        }
+        // Ret: a removed return(Z, P) kills the assign_return targets of
+        // every invocation that called P.
+        if !removed.ret.is_empty() {
+            let ret_methods: FxHashSet<Method> = removed.ret.iter().map(|&(_, p)| p).collect();
+            for &(i, y) in &base.facts.assign_return {
+                let reaches = call_targets
+                    .get(&i)
+                    .is_some_and(|qs| qs.iter().any(|q| ret_methods.contains(q)));
+                if reaches {
+                    vars.insert(y);
+                }
+            }
+        }
+        // Virt: a removed virtual_invoke(I, Z, S) kills every call edge
+        // of I and the `this`-var bindings of its former callees.
+        let mut call_invs: FxHashSet<Inv> = FxHashSet::default();
+        for &(i, _, _) in &removed.virtual_invoke {
+            call_invs.insert(i);
+            for &q in call_targets.get(&i).map(Vec::as_slice).unwrap_or(&[]) {
+                if let Some(&y) = base_this_of.get(&q) {
+                    vars.insert(y);
+                }
+            }
+        }
+        // Static: a removed static_invoke(I, Q, P) kills call(I, Q, ·).
+        let call_pairs: FxHashSet<(Inv, Method)> = removed
+            .static_invoke
+            .iter()
+            .map(|&(i, q, _)| (i, q))
+            .collect();
+        // Load / Store / SStore heads.
+        let hload_keys: FxHashSet<(Field, Var)> =
+            removed.load.iter().map(|&(_, f, z)| (f, z)).collect();
+        let hpts_fields: FxHashSet<Field> = removed.store.iter().map(|&(_, f, _)| f).collect();
+        let spts_fields: FxHashSet<Field> = removed.static_store.iter().map(|&(_, f)| f).collect();
+
+        // Mark the seeds, sorted per relation so the over-delete
+        // worklists (and everything downstream) are deterministic.
+        let mut seed_pts: Vec<(Var, Heap, A::X)> = self
+            .pts
+            .iter()
+            .copied()
+            .filter(|&(y, h, _)| vars.contains(&y) || pairs.contains(&(y, h)))
+            .collect();
+        seed_pts.sort_unstable();
+        for (y, h, x) in seed_pts {
+            self.mark_retract_pts(y, h, x);
+        }
+        let mut seed_hload: Vec<(Heap, Field, Var, A::X)> = self
+            .hload
+            .iter()
+            .copied()
+            .filter(|&(_, f, z, _)| hload_keys.contains(&(f, z)))
+            .collect();
+        seed_hload.sort_unstable();
+        for (g, f, z, x) in seed_hload {
+            self.mark_retract_hload(g, f, z, x);
+        }
+        let mut seed_hpts: Vec<(Heap, Field, Heap, A::X)> = self
+            .hpts
+            .iter()
+            .copied()
+            .filter(|&(_, f, _, _)| hpts_fields.contains(&f))
+            .collect();
+        seed_hpts.sort_unstable();
+        for (g, f, h, x) in seed_hpts {
+            self.mark_retract_hpts(g, f, h, x);
+        }
+        let mut seed_call: Vec<(Inv, Method, A::X)> = self
+            .call
+            .iter()
+            .copied()
+            .filter(|&(i, q, _)| call_invs.contains(&i) || call_pairs.contains(&(i, q)))
+            .collect();
+        seed_call.sort_unstable();
+        for (i, q, x) in seed_call {
+            self.mark_retract_call(i, q, x);
+        }
+        let mut seed_spts: Vec<(Field, Heap, A::X)> = self
+            .spts
+            .iter()
+            .copied()
+            .filter(|&(f, _, _)| spts_fields.contains(&f))
+            .collect();
+        seed_spts.sort_unstable();
+        for (f, h, x) in seed_spts {
+            self.mark_retract_spts(f, h, x);
+        }
+        // Entry: a removed entry point loses exactly its entry seed.
+        for &p in &r.removed_entry_points {
+            self.mark_retract_reach(p, entry_ctx);
+        }
+    }
+
+    /// Closes the deletion marking transitively: pops marked facts and
+    /// runs the ordinary rule drivers over them — with the sink
+    /// installed, every computed consequence is *marked* (if currently
+    /// derived) instead of inserted. Join partners come from the intact
+    /// full indices, so every one-step consequence of a marked fact is
+    /// found, which over-approximates the set of facts whose derivations
+    /// ran through a removed input.
+    fn overdelete_fixpoint(&mut self) {
+        loop {
+            let Some(sink) = self.retract.as_mut() else {
+                return;
+            };
+            if let Some((p, m)) = sink.q_reach.pop() {
+                self.stats.events += 1;
+                self.process_reach(p, m);
+                continue;
+            }
+            let Some(sink) = self.retract.as_mut() else {
+                return;
+            };
+            if let Some((y, h, x)) = sink.q_pts.pop() {
+                self.stats.events += 1;
+                self.process_pts(y, h, x);
+                continue;
+            }
+            let Some(sink) = self.retract.as_mut() else {
+                return;
+            };
+            if let Some((i, q, x)) = sink.q_call.pop() {
+                self.stats.events += 1;
+                self.process_call(i, q, x);
+                continue;
+            }
+            let Some(sink) = self.retract.as_mut() else {
+                return;
+            };
+            if let Some((g, f, h, x)) = sink.q_hpts.pop() {
+                self.stats.events += 1;
+                self.process_hpts(g, f, h, x);
+                continue;
+            }
+            let Some(sink) = self.retract.as_mut() else {
+                return;
+            };
+            if let Some((g, f, y, x)) = sink.q_hload.pop() {
+                self.stats.events += 1;
+                self.process_hload(g, f, y, x);
+                continue;
+            }
+            let Some(sink) = self.retract.as_mut() else {
+                return;
+            };
+            if let Some((f, h, x)) = sink.q_spts.pop() {
+                self.stats.events += 1;
+                self.process_spts(f, h, x);
+                continue;
+            }
+            break;
+        }
+    }
+
+    /// Phase 2: physically removes every marked fact, records the
+    /// over-delete count, rebuilds all join indices from the sorted
+    /// survivors, and uninstalls the sink (returning it for the
+    /// re-derive seeding).
+    fn apply_deletions(&mut self) -> RetractSink<A::X> {
+        let sink = *self.retract.take().expect("retract sink installed");
+        self.stats.overdeleted = sink.len() as u64;
+        if sink.len() == 0 {
+            return sink;
+        }
+        self.pts.retain(|t| !sink.pts.contains(t));
+        self.hpts.retain(|t| !sink.hpts.contains(t));
+        self.hload.retain(|t| !sink.hload.contains(t));
+        self.call.retain(|t| !sink.call.contains(t));
+        self.spts.retain(|t| !sink.spts.contains(t));
+        self.reach.retain(|t| !sink.reach.contains(t));
+        self.rebuild_join_indices();
+        sink
+    }
+
+    /// Rebuilds every join index from the (post-deletion) fact sets.
+    /// [`Bucket`] has no removal API — and rebuilding from sorted
+    /// survivors keeps the index contents deterministic regardless of
+    /// the deletion order.
+    fn rebuild_join_indices(&mut self) {
+        let strategy = self.config.join_strategy;
+        let mode = self.mode;
+
+        self.pts_by_var.clear();
+        let mut pts: Vec<(Var, Heap, A::X)> = self.pts.iter().copied().collect();
+        pts.sort_unstable();
+        for (y, h, x) in pts {
+            let boundary = self.abs.dst_boundary(x);
+            self.pts_by_var
+                .entry(y)
+                .or_insert_with(|| Bucket::new(strategy, mode))
+                .insert(boundary, (h, x), self.abs.interner());
+        }
+
+        self.hpts_by_gf.clear();
+        let mut hpts: Vec<(Heap, Field, Heap, A::X)> = self.hpts.iter().copied().collect();
+        hpts.sort_unstable();
+        for (g, f, h, x) in hpts {
+            let boundary = self.abs.dst_boundary(x);
+            self.hpts_by_gf
+                .entry((g, f))
+                .or_insert_with(|| Bucket::new(strategy, mode))
+                .insert(boundary, (h, x), self.abs.interner());
+        }
+
+        self.hload_by_gf.clear();
+        let mut hload: Vec<(Heap, Field, Var, A::X)> = self.hload.iter().copied().collect();
+        hload.sort_unstable();
+        for (g, f, y, x) in hload {
+            let boundary = self.abs.src_boundary(x);
+            self.hload_by_gf
+                .entry((g, f))
+                .or_insert_with(|| Bucket::new(strategy, mode))
+                .insert(boundary, (y, x), self.abs.interner());
+        }
+
+        self.call_by_inv.clear();
+        self.call_by_method.clear();
+        let mut call: Vec<(Inv, Method, A::X)> = self.call.iter().copied().collect();
+        call.sort_unstable();
+        for (i, q, x) in call {
+            let src = self.abs.src_boundary(x);
+            self.call_by_inv
+                .entry(i)
+                .or_insert_with(|| Bucket::new(strategy, mode))
+                .insert(src, (q, x), self.abs.interner());
+            let dst = self.abs.dst_boundary(x);
+            self.call_by_method
+                .entry(q)
+                .or_insert_with(|| Bucket::new(strategy, mode))
+                .insert(dst, (i, x), self.abs.interner());
+        }
+
+        self.spts_by_field.clear();
+        let mut spts: Vec<(Field, Heap, A::X)> = self.spts.iter().copied().collect();
+        spts.sort_unstable();
+        for (f, h, x) in spts {
+            self.spts_by_field.entry(f).or_default().push((h, x));
+        }
+
+        self.reach_by_method.clear();
+        let mut reach: Vec<(Method, CtxtStr)> = self.reach.iter().copied().collect();
+        reach.sort_unstable();
+        for (p, m) in reach {
+            self.reach_by_method.entry(p).or_default().push(m);
+        }
+    }
+
+    /// Phase 3 seed: re-queues the surviving facts that can re-derive a
+    /// deleted head through a rule instance of the *new* program.
+    ///
+    /// Invariant: for every deleted head and every rule instance (over
+    /// the new program's inputs) that could re-derive it, either one of
+    /// the instance's derived body literals is queued here, or that
+    /// literal was itself deleted — in which case its own re-derivation
+    /// re-queues it through the normal `insert_*` path. Entry heads have
+    /// no derived body literal, so surviving entry points whose entry
+    /// seed was deleted are re-inserted directly.
+    fn reseed_after_deletion(&mut self, sink: &RetractSink<A::X>) {
+        if sink.len() == 0 {
+            return;
+        }
+        let program = self.program;
+
+        let d_vars: FxHashSet<Var> = sink.pts.iter().map(|&(y, _, _)| y).collect();
+        let d_pairs: FxHashSet<(Var, Heap)> = sink.pts.iter().map(|&(y, h, _)| (y, h)).collect();
+        let d_hload_keys: FxHashSet<(Field, Var)> =
+            sink.hload.iter().map(|&(_, f, z, _)| (f, z)).collect();
+        let d_hpts_fields: FxHashSet<Field> = sink.hpts.iter().map(|&(_, f, _, _)| f).collect();
+        let d_call_invs: FxHashSet<Inv> = sink.call.iter().map(|&(i, _, _)| i).collect();
+        let d_spts_fields: FxHashSet<Field> = sink.spts.iter().map(|&(f, _, _)| f).collect();
+        let d_reach_methods: FxHashSet<Method> = sink.reach.iter().map(|&(p, _)| p).collect();
+
+        let mut vars: FxHashSet<Var> = FxHashSet::default();
+        let mut reach_methods: FxHashSet<Method> = FxHashSet::default();
+        let mut call_methods: FxHashSet<Method> = FxHashSet::default();
+        let mut call_invs: FxHashSet<Inv> = FxHashSet::default();
+        let mut spts_fields: FxHashSet<Field> = FxHashSet::default();
+
+        // Rules with a deleted pts head: Assign, New, Param, Ret, Virt,
+        // SLoad re-derive it from a surviving body literal.
+        for &(z, y) in &program.facts.assign {
+            if d_vars.contains(&y) {
+                vars.insert(z);
+            }
+        }
+        for &(h, y, p) in &program.facts.assign_new {
+            if d_pairs.contains(&(y, h)) {
+                reach_methods.insert(p);
+            }
+        }
+        for &(y, p, _) in &program.facts.formal {
+            if d_vars.contains(&y) {
+                call_methods.insert(p);
+            }
+        }
+        for &(i, y) in &program.facts.assign_return {
+            if d_vars.contains(&y) {
+                call_invs.insert(i);
+            }
+        }
+        for &(f, z) in &program.facts.static_load {
+            if d_vars.contains(&z) {
+                spts_fields.insert(f);
+            }
+        }
+        // Virt's pts head is a callee's `this` var: re-queue the
+        // receiver points-to rows of every virtual site that can
+        // dispatch there.
+        let d_this_methods: FxHashSet<Method> = program
+            .facts
+            .this_var
+            .iter()
+            .filter(|&&(y, _)| d_vars.contains(&y))
+            .map(|&(_, q)| q)
+            .collect();
+        if !d_this_methods.is_empty() {
+            let sigs: FxHashSet<MSig> = program
+                .facts
+                .implements
+                .iter()
+                .filter(|&&(q, _, _)| d_this_methods.contains(&q))
+                .map(|&(_, _, s)| s)
+                .collect();
+            for &(_, z, s) in &program.facts.virtual_invoke {
+                if sigs.contains(&s) {
+                    vars.insert(z);
+                }
+            }
+        }
+        // Deleted hload heads (Load) and hpts heads (Store).
+        for &(w, f, z) in &program.facts.load {
+            if d_hload_keys.contains(&(f, z)) {
+                vars.insert(w);
+            }
+        }
+        for &(x, f, _) in &program.facts.store {
+            if d_hpts_fields.contains(&f) {
+                vars.insert(x);
+            }
+        }
+        // Deleted call heads (Static via reach, Virt via receiver pts).
+        for &(i, _, p) in &program.facts.static_invoke {
+            if d_call_invs.contains(&i) {
+                reach_methods.insert(p);
+            }
+        }
+        for &(i, z, _) in &program.facts.virtual_invoke {
+            if d_call_invs.contains(&i) {
+                vars.insert(z);
+            }
+        }
+        // Deleted spts heads (SStore).
+        for &(x, f) in &program.facts.static_store {
+            if d_spts_fields.contains(&f) {
+                vars.insert(x);
+            }
+        }
+        // Deleted reach heads: Reach re-derives from surviving call
+        // edges (queued below); Entry heads of surviving entry points
+        // are re-inserted directly (the sink is uninstalled by now).
+        if !d_reach_methods.is_empty() {
+            let entry_ctx = {
+                let interner = self.abs.interner_mut();
+                interner.from_slice(&[CtxtElem::entry()])
+            };
+            for idx in 0..self.program.entry_points.len() {
+                let p = self.program.entry_points[idx];
+                if sink.reach.contains(&(p, entry_ctx)) {
+                    self.insert_reach(p, entry_ctx, "Entry");
+                }
+            }
+        }
+
+        let mut rq_pts: Vec<(Var, Heap, A::X)> = self
+            .pts
+            .iter()
+            .copied()
+            .filter(|&(y, _, _)| vars.contains(&y))
+            .collect();
+        rq_pts.sort_unstable();
+        self.q_pts.extend(rq_pts);
+
+        let mut rq_reach: Vec<(Method, CtxtStr)> = self
+            .reach
+            .iter()
+            .copied()
+            .filter(|(p, _)| reach_methods.contains(p))
+            .collect();
+        rq_reach.sort_unstable();
+        self.q_reach.extend(rq_reach);
+
+        let mut rq_call: Vec<(Inv, Method, A::X)> = self
+            .call
+            .iter()
+            .copied()
+            .filter(|&(i, q, _)| {
+                call_methods.contains(&q) || call_invs.contains(&i) || d_reach_methods.contains(&q)
+            })
+            .collect();
+        rq_call.sort_unstable();
+        self.q_call.extend(rq_call);
+
+        let mut rq_hload: Vec<(Heap, Field, Var, A::X)> = self
+            .hload
+            .iter()
+            .copied()
+            .filter(|(_, _, y, _)| d_vars.contains(y))
+            .collect();
+        rq_hload.sort_unstable();
+        self.q_hload.extend(rq_hload);
+
+        let mut rq_spts: Vec<(Field, Heap, A::X)> = self
+            .spts
+            .iter()
+            .copied()
+            .filter(|(f, _, _)| spts_fields.contains(f))
+            .collect();
+        rq_spts.sort_unstable();
+        self.q_spts.extend(rq_spts);
+    }
+
+    /// How many over-deleted facts the re-derive phase restored.
+    fn count_rederived(&self, sink: &RetractSink<A::X>) -> u64 {
+        let n = sink.pts.iter().filter(|t| self.pts.contains(*t)).count()
+            + sink.hpts.iter().filter(|t| self.hpts.contains(*t)).count()
+            + sink
+                .hload
+                .iter()
+                .filter(|t| self.hload.contains(*t))
+                .count()
+            + sink.call.iter().filter(|t| self.call.contains(*t)).count()
+            + sink.spts.iter().filter(|t| self.spts.contains(*t)).count()
+            + sink
+                .reach
+                .iter()
+                .filter(|t| self.reach.contains(*t))
+                .count();
+        n as u64
+    }
+
+    // Marking helpers: a computed consequence is marked for deletion
+    // only when it is currently derived and not yet marked (the sink
+    // sets double as the seen-set of the over-delete worklists).
+
+    fn mark_retract_pts(&mut self, y: Var, h: Heap, x: A::X) {
+        let Some(sink) = self.retract.as_mut() else {
+            return;
+        };
+        if self.pts.contains(&(y, h, x)) && sink.pts.insert((y, h, x)) {
+            sink.q_pts.push((y, h, x));
+        }
+    }
+
+    fn mark_retract_hpts(&mut self, g: Heap, f: Field, h: Heap, x: A::X) {
+        let Some(sink) = self.retract.as_mut() else {
+            return;
+        };
+        if self.hpts.contains(&(g, f, h, x)) && sink.hpts.insert((g, f, h, x)) {
+            sink.q_hpts.push((g, f, h, x));
+        }
+    }
+
+    fn mark_retract_hload(&mut self, g: Heap, f: Field, y: Var, x: A::X) {
+        let Some(sink) = self.retract.as_mut() else {
+            return;
+        };
+        if self.hload.contains(&(g, f, y, x)) && sink.hload.insert((g, f, y, x)) {
+            sink.q_hload.push((g, f, y, x));
+        }
+    }
+
+    fn mark_retract_call(&mut self, i: Inv, q: Method, x: A::X) {
+        let Some(sink) = self.retract.as_mut() else {
+            return;
+        };
+        if self.call.contains(&(i, q, x)) && sink.call.insert((i, q, x)) {
+            sink.q_call.push((i, q, x));
+        }
+    }
+
+    fn mark_retract_spts(&mut self, f: Field, h: Heap, x: A::X) {
+        let Some(sink) = self.retract.as_mut() else {
+            return;
+        };
+        if self.spts.contains(&(f, h, x)) && sink.spts.insert((f, h, x)) {
+            sink.q_spts.push((f, h, x));
+        }
+    }
+
+    fn mark_retract_reach(&mut self, p: Method, m: CtxtStr) {
+        let Some(sink) = self.retract.as_mut() else {
+            return;
+        };
+        if self.reach.contains(&(p, m)) && sink.reach.insert((p, m)) {
+            sink.q_reach.push((p, m));
+        }
     }
 
     /// Runs the queues to empty with the engine `threads` selects: the
@@ -1053,6 +1729,10 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     // ------------------------------------------------------------------
 
     fn insert_pts(&mut self, y: Var, h: Heap, x: A::X, rule: &'static str) {
+        if self.retract.is_some() {
+            self.mark_retract_pts(y, h, x);
+            return;
+        }
         if let Some(gate) = &self.gate {
             if !gate.pts.contains(&(y, h)) {
                 return;
@@ -1133,17 +1813,23 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_hpts(&mut self, g: Heap, f: Field, h: Heap, x: A::X, rule: &'static str) {
+        // The collapse transform runs before retract marking so marked
+        // tuples match the stored (collapsed) representation.
+        let x = if self.config.collapse_insensitive_heap && self.levels.heap == 0 {
+            self.abs.uninformative()
+        } else {
+            x
+        };
+        if self.retract.is_some() {
+            self.mark_retract_hpts(g, f, h, x);
+            return;
+        }
         if let Some(gate) = &self.gate {
             if !gate.hpts.contains(&(g, f, h)) {
                 return;
             }
         }
         self.stats.rule_fired.bump(rule);
-        let x = if self.config.collapse_insensitive_heap && self.levels.heap == 0 {
-            self.abs.uninformative()
-        } else {
-            x
-        };
         if !self.hpts.insert((g, f, h, x)) {
             return;
         }
@@ -1173,6 +1859,10 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_hload(&mut self, g: Heap, f: Field, y: Var, x: A::X, rule: &'static str) {
+        if self.retract.is_some() {
+            self.mark_retract_hload(g, f, y, x);
+            return;
+        }
         if let Some(gate) = &self.gate {
             if !gate.hload.contains(&(g, f, y)) {
                 return;
@@ -1208,6 +1898,10 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_call(&mut self, i: Inv, q: Method, x: A::X, rule: &'static str) {
+        if self.retract.is_some() {
+            self.mark_retract_call(i, q, x);
+            return;
+        }
         if let Some(gate) = &self.gate {
             if !gate.call.contains(&(i, q)) {
                 return;
@@ -1247,6 +1941,10 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_spts(&mut self, f: Field, h: Heap, x: A::X, rule: &'static str) {
+        if self.retract.is_some() {
+            self.mark_retract_spts(f, h, x);
+            return;
+        }
         if let Some(gate) = &self.gate {
             if !gate.spts.contains(&(f, h)) {
                 return;
@@ -1275,6 +1973,10 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     }
 
     fn insert_reach(&mut self, p: Method, m: CtxtStr, rule: &'static str) {
+        if self.retract.is_some() {
+            self.mark_retract_reach(p, m);
+            return;
+        }
         if let Some(gate) = &self.gate {
             if !gate.reach.contains(&p) {
                 return;

@@ -19,7 +19,7 @@ use ctxform::{AnalysisConfig, AnalysisDb, ExtendOutcome};
 use ctxform_algebra::Sensitivity;
 use ctxform_ir::Program;
 use ctxform_minijava::compile;
-use ctxform_synth::{edit_script, random_program};
+use ctxform_synth::{edit_script, random_program, retract_edit_script};
 
 const SEEDS: u64 = 20;
 const STEPS: usize = 3;
@@ -80,6 +80,10 @@ fn incremental_chains_are_bit_identical_to_scratch_solves() {
                             "seed {seed} {config} threads={threads} step {step}: \
                              class append fell back to a from-scratch solve: {reason}"
                         ),
+                        other => panic!(
+                            "seed {seed} {config} threads={threads} step {step}: \
+                             class append classified as {other:?}, expected Incremental"
+                        ),
                     }
                     assert_eq!(
                         db.fact_digest(),
@@ -94,6 +98,53 @@ fn incremental_chains_are_bit_identical_to_scratch_solves() {
                         "seed {seed} {config} threads={threads} step {step}: \
                          extension re-derived {incr_derived} facts, not fewer than \
                          the from-scratch {scratch_derived}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Deleting/mutating edit scripts must resume through the DRed
+/// (delete-and-rederive) path — no from-scratch fallback — and stay
+/// bit-identical to solving every shrunken revision from scratch, across
+/// both abstractions, both sensitivities, and both thread counts.
+#[test]
+fn retraction_chains_are_bit_identical_to_scratch_solves() {
+    const RETRACT_SEEDS: u64 = 10;
+    for seed in 0..RETRACT_SEEDS {
+        let base = compile(&random_program(seed, 1))
+            .unwrap_or_else(|e| panic!("seed {seed}: base fails to compile: {e}"))
+            .program;
+        let programs = retract_edit_script(&base, seed, STEPS, 10);
+        for config in configs() {
+            let scratch: Vec<u64> = programs
+                .iter()
+                .map(|p| AnalysisDb::solve(p.clone(), &config.with_threads(1)).fact_digest())
+                .collect();
+            for threads in [1usize, 4] {
+                let cfg = config.with_threads(threads);
+                let mut db = AnalysisDb::solve(programs[0].clone(), &cfg);
+                for (step, next) in programs.iter().enumerate().skip(1) {
+                    let outcome = db.extend(next.clone());
+                    assert!(
+                        matches!(outcome, ExtendOutcome::Retracted),
+                        "seed {seed} {config} threads={threads} step {step}: \
+                         deleting edit classified as {outcome:?}, expected Retracted"
+                    );
+                    assert_eq!(
+                        db.fact_digest(),
+                        scratch[step],
+                        "seed {seed} {config} threads={threads} step {step}: \
+                         DRed digest diverges from the from-scratch solve"
+                    );
+                    let stats = &db.result().stats;
+                    assert!(
+                        stats.rederived <= stats.overdeleted,
+                        "seed {seed} {config} threads={threads} step {step}: \
+                         re-derived {} facts but only {} were over-deleted",
+                        stats.rederived,
+                        stats.overdeleted
                     );
                 }
             }

@@ -13,9 +13,17 @@
 //! corresponding table of the next program (ids are dense indices, so a
 //! prefix embedding means every old id still names the same entity), and
 //! every input relation of the base is a subset of the next program's.
-//! Anything else — a removed tuple, a renamed entity, a reordered table —
-//! is conservatively reported as [`ProgramDiff::NonMonotone`] and callers
-//! fall back to a from-scratch solve.
+//!
+//! Edits that *remove* input tuples (or entry points) over prefix-stable
+//! entity tables are classified as [`ProgramDiff::Retractive`]: the
+//! derived database is no longer a subset of the new least model, but a
+//! DRed (delete-and-rederive) pass can repair it incrementally — see
+//! `ctxform::AnalysisDb::extend`. Two removals stay out of scope and are
+//! reported [`ProgramDiff::NonMonotone`]: `heap_type` and `implements`
+//! removals rewrite the dispatch structure the solver's static indices
+//! are built around. True table shrinkage — a removed entity, a renamed
+//! entity, a reordered table — is also [`ProgramDiff::NonMonotone`] and
+//! callers fall back to a from-scratch solve.
 
 use std::collections::HashSet;
 use std::hash::Hash;
@@ -33,7 +41,11 @@ pub enum ProgramDiff {
     /// Boxed: the delta carries full `Facts` tables and would otherwise
     /// dwarf the other variants.
     Additive(Box<ProgramDelta>),
-    /// The edit removes or rewrites something; incremental update is not
+    /// The edit removes (and possibly also adds) input tuples or entry
+    /// points while keeping every entity table prefix-stable; a
+    /// delete-and-rederive pass can update the database incrementally.
+    Retractive(Box<ProgramRetraction>),
+    /// The edit rewrites something structural; incremental update is not
     /// sound and the caller must re-solve from scratch.
     NonMonotone {
         /// Human-readable explanation of the first violation found.
@@ -67,6 +79,34 @@ impl ProgramDelta {
     }
 }
 
+/// A mixed edit over prefix-stable entity tables: the tuples the next
+/// program dropped alongside the ones it gained. The removed half drives
+/// the over-delete phase of a DRed update; the added half seeds the
+/// ordinary monotone resume afterwards.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ProgramRetraction {
+    /// Input tuples present in the next program but not the base.
+    pub added: Facts,
+    /// Input tuples present in the base program but not the next.
+    pub removed: Facts,
+    /// Entry points of the next program that the base lacked.
+    pub added_entry_points: Vec<Method>,
+    /// Entry points of the base program that the next one dropped.
+    pub removed_entry_points: Vec<Method>,
+}
+
+impl ProgramRetraction {
+    /// Total number of removed input tuples (not counting entry points).
+    pub fn removed_len(&self) -> usize {
+        self.removed.len()
+    }
+
+    /// Total number of added input tuples (not counting entry points).
+    pub fn added_len(&self) -> usize {
+        self.added.len()
+    }
+}
+
 impl ProgramDiff {
     /// Diffs `base` against `next` and classifies the edit.
     ///
@@ -84,14 +124,16 @@ impl ProgramDiff {
             return ProgramDiff::NonMonotone { reason };
         }
 
-        // Entry points: removing one removes Entry-rule seeds.
+        // Entry points: removing one removes Entry-rule seeds, which a
+        // DRed pass can retract.
         let base_entries: HashSet<Method> = base.entry_points.iter().copied().collect();
         let next_entries: HashSet<Method> = next.entry_points.iter().copied().collect();
-        if let Some(gone) = base.entry_points.iter().find(|m| !next_entries.contains(m)) {
-            return ProgramDiff::NonMonotone {
-                reason: format!("entry point {} was removed", gone.0),
-            };
-        }
+        let removed_entry_points: Vec<Method> = base
+            .entry_points
+            .iter()
+            .copied()
+            .filter(|m| !next_entries.contains(m))
+            .collect();
         let added_entry_points: Vec<Method> = next
             .entry_points
             .iter()
@@ -99,22 +141,15 @@ impl ProgramDiff {
             .filter(|m| !base_entries.contains(m))
             .collect();
 
-        // Input relations: base ⊆ next, delta = next ∖ base.
+        // Input relations: added = next ∖ base, removed = base ∖ next.
         let mut added = Facts::new();
+        let mut removed = Facts::new();
         macro_rules! diff_relation {
             ($($field:ident),*) => {
                 $(
-                    match subtract(&base.facts.$field, &next.facts.$field) {
-                        Ok(extra) => added.$field = extra,
-                        Err(lost) => {
-                            return ProgramDiff::NonMonotone {
-                                reason: format!(
-                                    "relation `{}` lost {lost} tuple(s)",
-                                    stringify!($field)
-                                ),
-                            };
-                        }
-                    }
+                    let (extra, lost) = split(&base.facts.$field, &next.facts.$field);
+                    added.$field = extra;
+                    removed.$field = lost;
                 )*
             };
         }
@@ -136,28 +171,60 @@ impl ProgramDiff {
             virtual_invoke
         );
 
-        ProgramDiff::Additive(Box::new(ProgramDelta {
+        if removed.is_empty() && removed_entry_points.is_empty() {
+            return ProgramDiff::Additive(Box::new(ProgramDelta {
+                added,
+                added_entry_points,
+            }));
+        }
+
+        // Removals the retraction pass does not support: `heap_type` and
+        // `implements` tuples define the dispatch structure (Virt's
+        // resolve step) that the solver's static indices encode.
+        if !removed.heap_type.is_empty() {
+            return ProgramDiff::NonMonotone {
+                reason: format!(
+                    "relation `heap_type` lost {} tuple(s); heap typing must stay \
+                     stable for retraction",
+                    removed.heap_type.len()
+                ),
+            };
+        }
+        if !removed.implements.is_empty() {
+            return ProgramDiff::NonMonotone {
+                reason: format!(
+                    "relation `implements` lost {} tuple(s); dispatch edges must stay \
+                     stable for retraction",
+                    removed.implements.len()
+                ),
+            };
+        }
+
+        ProgramDiff::Retractive(Box::new(ProgramRetraction {
             added,
+            removed,
             added_entry_points,
+            removed_entry_points,
         }))
     }
 }
 
-/// Checks that every base tuple appears in `next` and returns the tuples
-/// of `next` missing from `base` (in `next`'s order), or `Err(lost)` with
-/// the number of base tuples that disappeared.
-fn subtract<T: Copy + Eq + Hash>(base: &[T], next: &[T]) -> Result<Vec<T>, usize> {
+/// Splits the symmetric difference of one relation: `(next ∖ base,
+/// base ∖ next)`, each half in its own program's order.
+fn split<T: Copy + Eq + Hash>(base: &[T], next: &[T]) -> (Vec<T>, Vec<T>) {
     let next_set: HashSet<T> = next.iter().copied().collect();
-    let lost = base.iter().filter(|t| !next_set.contains(t)).count();
-    if lost > 0 {
-        return Err(lost);
-    }
     let base_set: HashSet<T> = base.iter().copied().collect();
-    Ok(next
+    let added = next
         .iter()
         .copied()
         .filter(|t| !base_set.contains(t))
-        .collect())
+        .collect();
+    let removed = base
+        .iter()
+        .copied()
+        .filter(|t| !next_set.contains(t))
+        .collect();
+    (added, removed)
 }
 
 fn check_tables(base: &Program, next: &Program) -> Result<(), String> {
@@ -253,13 +320,48 @@ mod tests {
     }
 
     #[test]
-    fn removed_tuple_is_non_monotone() {
+    fn removed_tuple_is_retractive() {
         let base = two_method_program();
         let mut next = base.clone();
+        let dropped = next.facts.assign_new.clone();
         next.facts.assign_new.clear();
         match ProgramDiff::between(&base, &next) {
+            ProgramDiff::Retractive(r) => {
+                assert_eq!(r.removed.assign_new, dropped);
+                assert_eq!(r.removed_len(), dropped.len());
+                assert_eq!(r.added_len(), 0);
+                assert!(r.removed_entry_points.is_empty());
+            }
+            other => panic!("expected retractive, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn removed_heap_type_is_non_monotone() {
+        let base = two_method_program();
+        let mut next = base.clone();
+        next.facts.heap_type.clear();
+        match ProgramDiff::between(&base, &next) {
             ProgramDiff::NonMonotone { reason } => {
-                assert!(reason.contains("assign_new"), "{reason}");
+                assert!(reason.contains("heap_type"), "{reason}");
+            }
+            other => panic!("expected non-monotone, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn removed_implements_is_non_monotone() {
+        let mut base = two_method_program();
+        base.msig_names.push("run()".into());
+        base.facts
+            .implements
+            .push((Method(1), crate::ids::Type(0), crate::ids::MSig(0)));
+        base.facts.canonicalize();
+        let mut next = base.clone();
+        next.facts.implements.clear();
+        match ProgramDiff::between(&base, &next) {
+            ProgramDiff::NonMonotone { reason } => {
+                assert!(reason.contains("implements"), "{reason}");
             }
             other => panic!("expected non-monotone, got {other:?}"),
         }
@@ -293,13 +395,17 @@ mod tests {
     }
 
     #[test]
-    fn removed_entry_point_is_non_monotone() {
+    fn removed_entry_point_is_retractive() {
         let base = two_method_program();
         let mut next = base.clone();
         next.entry_points.clear();
-        assert!(matches!(
-            ProgramDiff::between(&base, &next),
-            ProgramDiff::NonMonotone { .. }
-        ));
+        match ProgramDiff::between(&base, &next) {
+            ProgramDiff::Retractive(r) => {
+                assert_eq!(r.removed_entry_points, vec![Method(0)]);
+                assert_eq!(r.removed_len(), 0);
+                assert!(r.added.is_empty());
+            }
+            other => panic!("expected retractive, got {other:?}"),
+        }
     }
 }

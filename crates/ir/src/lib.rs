@@ -42,7 +42,7 @@ mod program;
 pub mod text;
 
 pub use builder::ProgramBuilder;
-pub use delta::{ProgramDelta, ProgramDiff};
+pub use delta::{ProgramDelta, ProgramDiff, ProgramRetraction};
 pub use error::IrError;
 pub use facts::Facts;
 pub use ids::{EntityKind, Field, Heap, Inv, MSig, Method, Type, Var};

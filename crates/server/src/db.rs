@@ -155,8 +155,20 @@ pub struct CacheSnapshot {
     pub evictions: u64,
     /// Loaded programs.
     pub programs: usize,
-    /// `update` requests satisfied by resuming a cached database.
+    /// `update` requests satisfied by resuming a cached database over a
+    /// purely-additive edit.
     pub incremental_reuse: u64,
+    /// `update` requests whose edited program was identical to the base
+    /// (no work performed, cached result re-served).
+    pub incremental_noop: u64,
+    /// `update` requests satisfied by resuming a cached database through
+    /// the DRed (delete-and-rederive) retraction path.
+    pub incremental_retract_reuse: u64,
+    /// Facts transitively over-deleted across all retraction updates.
+    pub incremental_overdeleted: u64,
+    /// Over-deleted facts restored by the re-derive pass across all
+    /// retraction updates.
+    pub incremental_rederived: u64,
     /// `update` requests that fell back to a from-scratch solve.
     pub incremental_fallback: u64,
 }
@@ -185,6 +197,10 @@ pub struct DbManager {
     misses: AtomicU64,
     evictions: AtomicU64,
     incremental_reuse: AtomicU64,
+    incremental_noop: AtomicU64,
+    incremental_retract_reuse: AtomicU64,
+    incremental_overdeleted: AtomicU64,
+    incremental_rederived: AtomicU64,
     incremental_fallback: AtomicU64,
 }
 
@@ -204,6 +220,10 @@ impl DbManager {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             incremental_reuse: AtomicU64::new(0),
+            incremental_noop: AtomicU64::new(0),
+            incremental_retract_reuse: AtomicU64::new(0),
+            incremental_overdeleted: AtomicU64::new(0),
+            incremental_rederived: AtomicU64::new(0),
             incremental_fallback: AtomicU64::new(0),
         }
     }
@@ -400,8 +420,10 @@ impl DbManager {
     /// Brings the analysis of `base` up to date with the edited program
     /// `next`: loads `next` under its own digest, then — when an
     /// extendable database for `(base, config)` is resident — clones it
-    /// and resumes the fixpoint incrementally for purely-additive edits,
-    /// falling back to a from-scratch solve otherwise. The produced
+    /// and resumes the fixpoint incrementally: purely-additive edits
+    /// reseed the frontier, deleting/mutating edits go through the DRed
+    /// (delete-and-rederive) retraction path, and anything else falls
+    /// back to a from-scratch solve with a typed reason. The produced
     /// database is cached for further updates and its result enters the
     /// ordinary result cache, so follow-up queries on the new digest hit.
     ///
@@ -443,6 +465,19 @@ impl DbManager {
         match outcome {
             ExtendOutcome::Incremental => {
                 self.incremental_reuse.fetch_add(1, Ordering::Relaxed);
+            }
+            ExtendOutcome::Noop => {
+                // An identical edit does no solver work; counting it as
+                // reuse used to overstate incremental coverage.
+                self.incremental_noop.fetch_add(1, Ordering::Relaxed);
+            }
+            ExtendOutcome::Retracted => {
+                self.incremental_retract_reuse
+                    .fetch_add(1, Ordering::Relaxed);
+                self.incremental_overdeleted
+                    .fetch_add(result.stats.overdeleted, Ordering::Relaxed);
+                self.incremental_rederived
+                    .fetch_add(result.stats.rederived, Ordering::Relaxed);
             }
             ExtendOutcome::Fallback(_) => {
                 self.incremental_fallback.fetch_add(1, Ordering::Relaxed);
@@ -570,6 +605,10 @@ impl DbManager {
             evictions: self.evictions.load(Ordering::Relaxed),
             programs: self.programs.lock().unwrap().len(),
             incremental_reuse: self.incremental_reuse.load(Ordering::Relaxed),
+            incremental_noop: self.incremental_noop.load(Ordering::Relaxed),
+            incremental_retract_reuse: self.incremental_retract_reuse.load(Ordering::Relaxed),
+            incremental_overdeleted: self.incremental_overdeleted.load(Ordering::Relaxed),
+            incremental_rederived: self.incremental_rederived.load(Ordering::Relaxed),
             incremental_fallback: self.incremental_fallback.load(Ordering::Relaxed),
         }
     }

@@ -750,15 +750,27 @@ fn dispatch_shard(
             // digest route to this shard instead of its ring position.
             shared.router.record_owner(report.digest, index);
             let s = &report.result.stats;
+            let outcome_name = match &report.outcome {
+                ctxform::ExtendOutcome::Incremental => "incremental",
+                ctxform::ExtendOutcome::Noop => "noop",
+                ctxform::ExtendOutcome::Retracted => "retracted",
+                ctxform::ExtendOutcome::Fallback(_) => "fallback",
+            };
             let mut fields = vec![
                 ("program", Json::str(digest_str(report.digest))),
                 ("incremental", Json::Bool(report.outcome.is_incremental())),
+                ("outcome", Json::str(outcome_name)),
                 ("base_cached", Json::Bool(report.base_cached)),
                 ("fact_digest", Json::str(digest_str(report.fact_digest))),
                 ("pts", Json::int(s.pts)),
                 ("total", Json::int(s.total())),
+                ("facts_derived", Json::uint(s.rule_derived.total())),
                 ("time_ms", Json::ms(s.duration.as_secs_f64() * 1000.0)),
             ];
+            if matches!(report.outcome, ctxform::ExtendOutcome::Retracted) {
+                fields.push(("overdeleted", Json::uint(s.overdeleted)));
+                fields.push(("rederived", Json::uint(s.rederived)));
+            }
             if let ctxform::ExtendOutcome::Fallback(reason) = &report.outcome {
                 fields.push(("reason", Json::str(reason.as_str())));
             }
@@ -1282,6 +1294,10 @@ fn aggregate_cache(snaps: &[ShardSnapshot]) -> CacheSnapshot {
         evictions: 0,
         programs: 0,
         incremental_reuse: 0,
+        incremental_noop: 0,
+        incremental_retract_reuse: 0,
+        incremental_overdeleted: 0,
+        incremental_rederived: 0,
         incremental_fallback: 0,
     };
     for snap in snaps {
@@ -1293,6 +1309,10 @@ fn aggregate_cache(snaps: &[ShardSnapshot]) -> CacheSnapshot {
         total.evictions += snap.db.evictions;
         total.programs += snap.db.programs;
         total.incremental_reuse += snap.db.incremental_reuse;
+        total.incremental_noop += snap.db.incremental_noop;
+        total.incremental_retract_reuse += snap.db.incremental_retract_reuse;
+        total.incremental_overdeleted += snap.db.incremental_overdeleted;
+        total.incremental_rederived += snap.db.incremental_rederived;
         total.incremental_fallback += snap.db.incremental_fallback;
     }
     total
@@ -1394,7 +1414,7 @@ fn metrics_fields(shared: &Shared) -> Fields {
 }
 
 fn render_cache_prometheus(text: &mut PromText, cache: &CacheSnapshot) {
-    let counters: [(&str, &str, u64); 5] = [
+    let counters: [(&str, &str, u64); 9] = [
         (
             "ctxform_db_cache_hits_total",
             "Analysis requests answered from the database cache.",
@@ -1414,6 +1434,26 @@ fn render_cache_prometheus(text: &mut PromText, cache: &CacheSnapshot) {
             "ctxform_db_incremental_reuse_total",
             "Update requests satisfied by resuming a cached database.",
             cache.incremental_reuse,
+        ),
+        (
+            "ctxform_db_incremental_noop_total",
+            "Update requests whose edited program was identical to the base.",
+            cache.incremental_noop,
+        ),
+        (
+            "ctxform_db_incremental_retract_reuse_total",
+            "Update requests satisfied through the delete-and-rederive path.",
+            cache.incremental_retract_reuse,
+        ),
+        (
+            "ctxform_db_incremental_overdeleted_total",
+            "Facts transitively over-deleted by retraction updates.",
+            cache.incremental_overdeleted,
+        ),
+        (
+            "ctxform_db_incremental_rederived_total",
+            "Over-deleted facts restored by the re-derive pass.",
+            cache.incremental_rederived,
         ),
         (
             "ctxform_db_incremental_fallback_total",
@@ -1524,6 +1564,19 @@ fn stats_fields(shared: &Shared) -> Fields {
                 ("evictions", Json::uint(cache.evictions)),
                 ("programs", Json::int(cache.programs)),
                 ("incremental_reuse", Json::uint(cache.incremental_reuse)),
+                ("incremental_noop", Json::uint(cache.incremental_noop)),
+                (
+                    "incremental_retract_reuse",
+                    Json::uint(cache.incremental_retract_reuse),
+                ),
+                (
+                    "incremental_overdeleted",
+                    Json::uint(cache.incremental_overdeleted),
+                ),
+                (
+                    "incremental_rederived",
+                    Json::uint(cache.incremental_rederived),
+                ),
                 (
                     "incremental_fallback",
                     Json::uint(cache.incremental_fallback),

@@ -824,6 +824,158 @@ fn update_endpoint_reuses_cached_databases() {
     server.join();
 }
 
+/// The `update` endpoint's deletion path: an identical edit is a noop
+/// that performs no solver work, a deleting edit over the fact wire
+/// resumes through DRed with a bit-identical digest, the retraction
+/// counters reach `stats` and the Prometheus exposition, and demand
+/// slices cached for the base digest are never served for the edited
+/// program.
+#[test]
+fn update_endpoint_retracts_and_keeps_demand_slices_fresh() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let d0 = client.load_source(UPD_V0).unwrap();
+
+    // Seed the extendable-database chain (recorded fallback).
+    let r1 = client.request(&update_req(&d0, &upd_v1())).unwrap();
+    assert_eq!(r1.get("outcome").unwrap().as_str(), Some("fallback"));
+    let d1 = r1.get("program").unwrap().as_str().unwrap().to_owned();
+
+    let v1_program = compile(&upd_v1()).unwrap().program;
+    let r_var = (0..v1_program.var_count())
+        .find(|&v| {
+            v1_program.var_names[v] == "r"
+                && v1_program.method_names[v1_program.var_method[v].index()] == "Main.main"
+        })
+        .expect("Main.main declares r");
+    let query_label = "1-object";
+    let query = |client: &mut Client, digest: &str| {
+        client
+            .request(&Json::obj([
+                ("op", Json::str("query")),
+                ("program", Json::str(digest)),
+                ("abstraction", Json::str("tstring")),
+                ("sensitivity", Json::str(query_label)),
+                ("method", Json::str("Main.main")),
+                ("var", Json::str("r")),
+            ]))
+            .unwrap()
+    };
+    let query_config = AnalysisConfig::transformer_strings(query_label.parse().unwrap());
+    let heaps_of = |program: &ctxform_ir::Program, result: &ctxform::AnalysisResult| {
+        result
+            .ci
+            .points_to(ctxform_ir::Var::from_index(r_var))
+            .iter()
+            .map(|h| program.heap_names[h.index()].clone())
+            .collect::<Vec<String>>()
+    };
+
+    // Prime a demand slice for the base digest; a repeat reuses it.
+    let direct_v1 = analyze(&v1_program, &query_config);
+    let want_v1 = heaps_of(&v1_program, &direct_v1);
+    assert!(
+        !want_v1.is_empty(),
+        "r must point somewhere before the edit"
+    );
+    let q1 = query(&mut client, &d1);
+    assert_eq!(q1.get("demand").unwrap().as_bool(), Some(true));
+    assert_eq!(str_arr(&q1, "heaps"), want_v1);
+    let q1_again = query(&mut client, &d1);
+    assert_eq!(q1_again.get("slice_reused").unwrap().as_bool(), Some(true));
+
+    // Identical edit: a noop that re-derives nothing. (The resumed
+    // database used to re-report the base solve's counters here.)
+    let r2 = client.request(&update_req(&d1, &upd_v1())).unwrap();
+    assert_eq!(r2.get("outcome").unwrap().as_str(), Some("noop"));
+    assert_eq!(r2.get("incremental").unwrap().as_bool(), Some(true));
+    assert_eq!(r2.get("program").unwrap().as_str(), Some(&*d1));
+    assert_eq!(
+        r2.get("facts_derived").unwrap().as_u64(),
+        Some(0),
+        "an identical update must report zero derived facts"
+    );
+
+    // Deleting edit over the fact wire: drop the only `store` tuple
+    // (Box.put's `this.item = o`), so every hpts fact and the pointee of
+    // `r = b.get()` must be retracted.
+    let mut retracted = v1_program.clone();
+    retracted.facts.store.clear();
+    let facts = ctxform_ir::text::emit(&retracted);
+    let r3 = client
+        .request(&Json::obj([
+            ("op", Json::str("update")),
+            ("base", Json::str(d1.clone())),
+            ("facts", Json::str(facts)),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str("2-object+H")),
+        ]))
+        .unwrap();
+    assert_eq!(r3.get("outcome").unwrap().as_str(), Some("retracted"));
+    assert_eq!(r3.get("incremental").unwrap().as_bool(), Some(true));
+    assert_eq!(r3.get("base_cached").unwrap().as_bool(), Some(true));
+    assert!(
+        r3.get("overdeleted").unwrap().as_u64().unwrap() > 0,
+        "dropping the store must over-delete its consequences"
+    );
+    let dr = r3.get("program").unwrap().as_str().unwrap().to_owned();
+    assert_ne!(dr, d1);
+    let config = AnalysisConfig::transformer_strings("2-object+H".parse().unwrap());
+    let scratch = ctxform::AnalysisDb::solve(retracted.clone(), &config);
+    assert_eq!(
+        r3.get("fact_digest").unwrap().as_str().unwrap(),
+        format!("{:016x}", scratch.fact_digest()),
+        "DRed update diverged from a from-scratch solve"
+    );
+
+    // Freshness across the edit: the same query on the new digest must be
+    // answered against the retracted program — never from the slice
+    // cached under the base digest.
+    let direct_r = analyze(&retracted, &query_config);
+    let want_r = heaps_of(&retracted, &direct_r);
+    assert_ne!(want_r, want_v1, "the retraction must change r's answer");
+    let q2 = query(&mut client, &dr);
+    assert_eq!(q2.get("slice_reused").unwrap().as_bool(), Some(false));
+    assert_eq!(str_arr(&q2, "heaps"), want_r);
+    // The base digest's slice is untouched and still serves old answers.
+    let q3 = query(&mut client, &d1);
+    assert_eq!(str_arr(&q3, "heaps"), want_v1);
+
+    // Counters reach stats and the Prometheus exposition.
+    let stats = client
+        .request(&Json::obj([("op", Json::str("stats"))]))
+        .unwrap();
+    let cache = stats.get("cache").unwrap();
+    assert_eq!(cache.get("incremental_noop").unwrap().as_u64(), Some(1));
+    assert_eq!(
+        cache.get("incremental_retract_reuse").unwrap().as_u64(),
+        Some(1)
+    );
+    assert!(
+        cache
+            .get("incremental_overdeleted")
+            .unwrap()
+            .as_u64()
+            .unwrap()
+            > 0
+    );
+    let metrics = client
+        .request(&Json::obj([("op", Json::str("metrics"))]))
+        .unwrap();
+    let text = metrics.get("exposition").unwrap().as_str().unwrap();
+    for needle in [
+        "ctxform_db_incremental_noop_total 1",
+        "ctxform_db_incremental_retract_reuse_total 1",
+        "ctxform_db_incremental_overdeleted_total",
+        "ctxform_db_incremental_rederived_total",
+    ] {
+        assert!(text.contains(needle), "missing `{needle}` in:\n{text}");
+    }
+
+    server.shutdown();
+    server.join();
+}
+
 /// Concurrent clients issuing the same cold query coalesce onto one solve.
 #[test]
 fn concurrent_cold_queries_solve_once() {

@@ -16,6 +16,7 @@
 //! solving each revision from scratch.
 
 use ctxform_hash::SplitMix64;
+use ctxform_ir::Program;
 
 /// Appends step `step` of the seeded edit script to `source`.
 ///
@@ -71,6 +72,95 @@ pub fn edit_script(source: &str, seed: u64, steps: usize) -> Vec<String> {
     revisions
 }
 
+/// A seeded deleting/mutating edit script over a lowered [`Program`].
+///
+/// Unlike [`edit_script`], which appends source classes (a purely
+/// additive edit after lowering), this script edits the *fact program*
+/// directly: each step removes `removal_percent`% of the tuples of every
+/// retractable input relation, and occasionally restores a tuple a
+/// previous step removed (the "mutation" flavor — the step both removes
+/// and adds). Entity tables, entry points, `heap_type`, and `implements`
+/// are never touched, so every step diffs as `ProgramDiff::Retractive`
+/// and exercises the DRed path of `AnalysisDb::extend`.
+///
+/// The result has `steps + 1` entries, the unedited base first.
+/// Deterministic in `(seed, steps, removal_percent)`; every revision
+/// stays [valid](Program::validate) because validation only constrains
+/// tuples that are *present*.
+pub fn retract_edit_script(
+    base: &Program,
+    seed: u64,
+    steps: usize,
+    removal_percent: usize,
+) -> Vec<Program> {
+    let mut revisions = Vec::with_capacity(steps + 1);
+    revisions.push(base.clone());
+    // Tuples removed by earlier steps, available for restoration.
+    let mut pool = ctxform_ir::Facts::new();
+    for step in 0..steps {
+        let mut rng = SplitMix64::new(
+            seed ^ (step as u64 + 1).wrapping_mul(0xA076_1D64_78BD_642F) ^ removal_percent as u64,
+        );
+        let mut next = revisions.last().expect("non-empty").clone();
+        let mut removed_any = false;
+        macro_rules! edit_relation {
+            ($($field:ident),*) => {
+                $(
+                    let mut kept = Vec::with_capacity(next.facts.$field.len());
+                    for &t in &next.facts.$field {
+                        if rng.percent(removal_percent) {
+                            pool.$field.push(t);
+                            removed_any = true;
+                        } else {
+                            kept.push(t);
+                        }
+                    }
+                    next.facts.$field = kept;
+                    if !pool.$field.is_empty() && rng.percent(35) {
+                        let i = rng.below(pool.$field.len());
+                        let t = pool.$field.swap_remove(i);
+                        if !next.facts.$field.contains(&t) {
+                            next.facts.$field.push(t);
+                        }
+                    }
+                )*
+            };
+        }
+        edit_relation!(
+            actual,
+            assign,
+            assign_new,
+            assign_return,
+            formal,
+            load,
+            ret,
+            static_invoke,
+            store,
+            static_store,
+            static_load,
+            this_var,
+            virtual_invoke
+        );
+        // Guarantee the step is retractive even when every coin toss
+        // came up "keep".
+        if !removed_any {
+            let f = &mut next.facts;
+            let fallback = f
+                .assign
+                .pop()
+                .map(|t| pool.assign.push(t))
+                .or_else(|| f.load.pop().map(|t| pool.load.push(t)))
+                .or_else(|| f.store.pop().map(|t| pool.store.push(t)))
+                .or_else(|| f.assign_new.pop().map(|t| pool.assign_new.push(t)))
+                .or_else(|| f.actual.pop().map(|t| pool.actual.push(t)));
+            debug_assert!(fallback.is_some(), "base program has no retractable tuple");
+        }
+        next.facts.canonicalize();
+        revisions.push(next);
+    }
+    revisions
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -97,6 +187,51 @@ mod tests {
     }
 
     #[test]
+    fn retract_scripts_are_deterministic_and_retractive() {
+        for seed in 0..8 {
+            let base = compile(&random_program(seed, 1)).expect("compiles").program;
+            let revisions = retract_edit_script(&base, seed, 3, 10);
+            assert_eq!(revisions.len(), 4);
+            assert_eq!(revisions, retract_edit_script(&base, seed, 3, 10));
+            for (step, pair) in revisions.windows(2).enumerate() {
+                pair[1]
+                    .validate()
+                    .unwrap_or_else(|e| panic!("seed {seed} step {step}: invalid revision: {e}"));
+                match ProgramDiff::between(&pair[0], &pair[1]) {
+                    ProgramDiff::Retractive(r) => {
+                        assert!(
+                            r.removed_len() > 0,
+                            "seed {seed} step {step}: retractive step removed nothing"
+                        );
+                        assert!(r.removed_entry_points.is_empty());
+                    }
+                    other => {
+                        panic!("seed {seed} step {step}: expected a retractive edit, got {other:?}")
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn retract_scripts_eventually_restore_removed_tuples() {
+        // The mutation flavor: across seeds, some step must *add* a tuple
+        // back (removed.len() > 0 and added.len() > 0 in the same diff).
+        let mut mutated = false;
+        for seed in 0..16 {
+            let base = compile(&random_program(seed, 1)).expect("compiles").program;
+            for pair in retract_edit_script(&base, seed, 3, 10).windows(2) {
+                if let ProgramDiff::Retractive(r) = ProgramDiff::between(&pair[0], &pair[1]) {
+                    if r.added_len() > 0 {
+                        mutated = true;
+                    }
+                }
+            }
+        }
+        assert!(mutated, "no script step ever restored a removed tuple");
+    }
+
+    #[test]
     fn every_step_is_a_purely_additive_program_edit() {
         for seed in 0..8 {
             let base = random_program(seed, 1);
@@ -111,12 +246,7 @@ mod tests {
                             "seed {seed}: edit appended a class but the delta is empty"
                         );
                     }
-                    ProgramDiff::NonMonotone { reason } => {
-                        panic!("seed {seed}: class append was not additive: {reason}")
-                    }
-                    ProgramDiff::Identical => {
-                        panic!("seed {seed}: class append produced an identical program")
-                    }
+                    other => panic!("seed {seed}: class append was not additive: {other:?}"),
                 }
             }
         }

@@ -32,7 +32,7 @@ mod presets;
 mod random_program;
 mod source;
 
-pub use edits::{append_edit, edit_script};
+pub use edits::{append_edit, edit_script, retract_edit_script};
 pub use presets::{dacapo_like, preset, PRESET_NAMES};
 pub use random_program::random_program;
 pub use source::{generate, SynthConfig};

@@ -5,7 +5,7 @@
 use ctxform::{analyze, AnalysisConfig, AnalysisDb, AnalysisResult};
 use ctxform_algebra::Sensitivity;
 use ctxform_minijava::{compile, corpus, Module};
-use ctxform_synth::{edit_script, random_program};
+use ctxform_synth::{edit_script, random_program, retract_edit_script};
 use ctxform_vm::{run, DynFacts, VmConfig};
 
 fn all_configs() -> Vec<AnalysisConfig> {
@@ -133,6 +133,55 @@ fn incrementally_extended_databases_stay_sound_under_edits() {
                 let name = format!("edited#{seed}/flavour{flavour}/step{step}");
                 assert_sound(&name, module, &vm.facts, db.result());
             }
+        }
+    }
+}
+
+/// Soundness must survive retractions: drive a database through a DRed
+/// deletion chain, then restore the full program with a final additive
+/// extension, and check the result against a concrete execution of the
+/// full module. The VM interprets instruction streams, so only the full
+/// program has an executable oracle — but the restored database carries
+/// every index, frontier, and memo the retraction chain rebuilt, which
+/// is exactly the state this test needs to vouch for.
+#[test]
+fn retracted_databases_stay_sound_after_restoration() {
+    use ctxform::ExtendOutcome;
+    for seed in [5u64, 13, 19] {
+        let src = random_program(seed, 1);
+        let module = compile(&src).unwrap_or_else(|e| panic!("retracted#{seed}: {e}"));
+        let programs = retract_edit_script(&module.program, seed, 2, 10);
+        let vm = run(&module, &VmConfig::default());
+        assert!(
+            !vm.facts.reached.is_empty(),
+            "retracted#{seed}: execution should reach at least main"
+        );
+        for (flavour, config) in [
+            AnalysisConfig::transformer_strings("1-call".parse().unwrap()),
+            AnalysisConfig::context_strings("1-object".parse().unwrap()),
+        ]
+        .into_iter()
+        .enumerate()
+        {
+            let mut db = AnalysisDb::solve(module.program.clone(), &config);
+            for (step, next) in programs.iter().enumerate().skip(1) {
+                let outcome = db.extend(next.clone());
+                assert!(
+                    matches!(outcome, ExtendOutcome::Retracted),
+                    "retracted#{seed}/flavour{flavour} step {step}: deleting edit \
+                     classified as {outcome:?}, expected Retracted"
+                );
+            }
+            // Restore every removed tuple: each revision's facts are a
+            // subset of the base's, so this diffs additive (or no-op).
+            let outcome = db.extend(module.program.clone());
+            assert!(
+                outcome.is_incremental(),
+                "retracted#{seed}/flavour{flavour}: restoring the base program \
+                 must extend incrementally, got {outcome:?}"
+            );
+            let name = format!("retracted#{seed}/flavour{flavour}");
+            assert_sound(&name, &module, &vm.facts, db.result());
         }
     }
 }
