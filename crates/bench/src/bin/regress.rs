@@ -3,8 +3,15 @@
 //!
 //! ```text
 //! cargo run --release -p ctxform-bench --bin regress -- \
-//!     [--scale N] [--repeat N] [--threads N] [--bench NAME] [--out PATH]
+//!     [--scale N] [--repeat N] [--threads N] [--bench NAME] [--out PATH] \
+//!     [--trace-json PATH] [--profile-folded PATH]
 //! ```
+//!
+//! `--profile-folded PATH` runs the `cstring`/`tstring` cells with solver
+//! profiling enabled and writes the aggregated per-rule/per-phase wall
+//! time as folded-stack text (one `frame;frame <ns>` line per stack),
+//! ready for `flamegraph.pl` or `inferno-flamegraph`. Profiling never
+//! changes answers — the digest assertions below hold either way.
 //!
 //! Each run records, per benchmark and per Figure 6 configuration, for both
 //! abstractions plus a subsumption-enabled transformer-string cell
@@ -455,6 +462,7 @@ fn main() {
     let mut only: Option<String> = None;
     let mut out_path: Option<String> = None;
     let mut trace_json: Option<String> = None;
+    let mut profile_folded: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -481,10 +489,13 @@ fn main() {
             "--bench" => only = Some(args.next().expect("--bench needs a name")),
             "--out" => out_path = Some(args.next().expect("--out needs a path")),
             "--trace-json" => trace_json = Some(args.next().expect("--trace-json needs a path")),
+            "--profile-folded" => {
+                profile_folded = Some(args.next().expect("--profile-folded needs a path"))
+            }
             "--help" | "-h" => {
                 eprintln!(
                     "usage: regress [--scale N] [--repeat N] [--threads N] [--bench NAME] \
-                     [--out PATH] [--trace-json PATH]"
+                     [--out PATH] [--trace-json PATH] [--profile-folded PATH]"
                 );
                 return;
             }
@@ -495,6 +506,12 @@ fn main() {
     if trace_json.is_some() {
         ctxform_obs::enable_tracing(ctxform_obs::trace::DEFAULT_CAPACITY);
     }
+    let profiling = profile_folded.is_some();
+    let profile_store = ctxform_server::ProfileStore::default();
+    // Applied to the cstring/tstring cells when `--profile-folded` is on;
+    // the parity cells (subs/par/incr/demand) stay unprofiled so their
+    // timing comparisons against `tstring` are not perturbed.
+    let with_prof = |c: AnalysisConfig| if profiling { c.with_profiling() } else { c };
     let started = Instant::now();
     let configs = Sensitivity::paper_configs();
     let mut bench_objs: Vec<(String, Json)> = Vec::new();
@@ -544,8 +561,18 @@ fn main() {
             ]),
         )];
         for s in &configs {
-            let c = best_of(&program, &AnalysisConfig::context_strings(*s), repeat);
-            let t = best_of(&program, &AnalysisConfig::transformer_strings(*s), repeat);
+            let c = best_of(
+                &program,
+                &with_prof(AnalysisConfig::context_strings(*s)),
+                repeat,
+            );
+            let t = best_of(
+                &program,
+                &with_prof(AnalysisConfig::transformer_strings(*s)),
+                repeat,
+            );
+            profile_store.record(&c.stats);
+            profile_store.record(&t.stats);
             let t_subs = best_of(
                 &program,
                 &AnalysisConfig::transformer_strings(*s).with_subsumption(),
@@ -637,6 +664,19 @@ fn main() {
         ("benchmarks", Json::Obj(bench_objs)),
     ]);
     std::fs::write(&path, doc.to_pretty()).unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+    if let Some(profile_path) = &profile_folded {
+        let folded = profile_store.folded();
+        std::fs::write(profile_path, &folded)
+            .unwrap_or_else(|e| panic!("cannot write {profile_path}: {e}"));
+        logger::info(
+            "regress",
+            format!(
+                "wrote folded profile to {profile_path} ({} profiled solves, {} stacks)",
+                profile_store.solves(),
+                folded.lines().count()
+            ),
+        );
+    }
     if let Some(trace_path) = &trace_json {
         let dump = ctxform_obs::take_trace();
         ctxform_obs::disable_tracing();

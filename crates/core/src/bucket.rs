@@ -131,6 +131,25 @@ impl<V: Copy> Bucket<V> {
         probes
     }
 
+    /// `(keys, stored)` — distinct boundary keys across the bucket's
+    /// maps and total stored value slots (a `Prefix` bucket stores one
+    /// slot per proper prefix, so `stored` can exceed the fact count).
+    /// Feeds the [`crate::MemoryFootprint`] byte estimates.
+    pub fn entry_counts(&self) -> (usize, usize) {
+        match self {
+            Bucket::Naive(all) => (0, all.len()),
+            Bucket::Exact(map) => (map.len(), map.values().map(|vs| vs.as_slice().len()).sum()),
+            Bucket::Prefix { exact, proper } => (
+                exact.len() + proper.len(),
+                exact
+                    .values()
+                    .chain(proper.values())
+                    .map(|vs| vs.as_slice().len())
+                    .sum(),
+            ),
+        }
+    }
+
     /// Visits every fact in the bucket.
     pub fn for_each<F>(&self, mut f: F)
     where
@@ -217,6 +236,21 @@ mod tests {
         let probes = bucket.for_compatible(eps, &it, |_| {});
         assert_eq!(probes, 2);
         assert_eq!(collect(&bucket, a, &it), vec![1, 2]);
+    }
+
+    #[test]
+    fn entry_counts_account_for_prefix_slots() {
+        let mut it = CtxtInterner::new();
+        let (eps, a, ab, _) = strings(&mut it);
+        let mut bucket: Bucket<u32> = Bucket::new(JoinStrategy::Specialized, BoundaryMode::Prefix);
+        bucket.insert(eps, 0, &it); // exact[ε]
+        bucket.insert(a, 1, &it); // exact[a], proper[ε]
+        bucket.insert(ab, 2, &it); // exact[ab], proper[a], proper[ε]
+        let (keys, stored) = bucket.entry_counts();
+        assert_eq!(keys, 3 + 2, "3 exact keys, proper keys ε and a");
+        assert_eq!(stored, 3 + 3, "3 exact slots + 3 proper-prefix slots");
+        let naive: Bucket<u32> = Bucket::Naive(vec![1, 2, 3]);
+        assert_eq!(naive.entry_counts(), (0, 3));
     }
 
     #[test]

@@ -68,6 +68,13 @@ pub struct AnalysisConfig {
     /// workers. The derived facts and `ci_digest` are bit-identical for
     /// every thread count.
     pub threads: usize,
+    /// Collect per-rule wall-time histograms and per-round phase timings
+    /// into [`crate::SolverStats`]. Off by default: when disabled the rule
+    /// drivers take a plain untaken branch and read no clocks, so the hot
+    /// loop is unaffected. Profiling never changes *what* is derived —
+    /// only timing fields in the stats — so `fact_digest` is bit-identical
+    /// with it on or off (covered by the profiling-parity test).
+    pub profile: bool,
 }
 
 impl AnalysisConfig {
@@ -108,6 +115,7 @@ impl AnalysisConfig {
             record_facts: false,
             memoize: true,
             threads: 0,
+            profile: false,
         }
     }
 
@@ -154,6 +162,12 @@ impl AnalysisConfig {
         self.memoize = false;
         self
     }
+
+    /// Returns a copy with per-rule/per-round wall-time profiling enabled.
+    pub fn with_profiling(mut self) -> Self {
+        self.profile = true;
+        self
+    }
 }
 
 impl fmt::Display for AnalysisConfig {
@@ -195,6 +209,8 @@ mod tests {
         assert!(cfg.record_facts);
         assert!(cfg.memoize, "memoization is on by default");
         assert!(!cfg.without_memoization().memoize);
+        assert!(!cfg.profile, "profiling is off by default");
+        assert!(cfg.with_profiling().profile);
     }
 
     #[test]

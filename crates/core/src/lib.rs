@@ -51,7 +51,10 @@ pub use compact::CompactVec;
 pub use config::{AbstractionKind, AnalysisConfig};
 pub use db::{AnalysisDb, ExtendOutcome};
 pub use demand::{demand_points_to, demand_slice, DemandAnswer, DemandSlice, SliceCache};
-pub use result::{AnalysisResult, CiFacts, LoggedFact, RuleCounts, SolverStats, RULE_NAMES};
+pub use result::{
+    rule, AnalysisResult, CiFacts, LoggedFact, MemoryFootprint, PhaseProfile, RoundProfile,
+    RuleCounts, RuleTimes, SolverStats, MAX_ROUND_PROFILES, RULE_NAMES, RULE_TIME_BUCKETS_NS,
+};
 
 use ctxform_algebra::{CStrings, Insensitive, TStrings};
 use ctxform_ir::Program;

@@ -80,6 +80,245 @@ impl RuleCounts {
     }
 }
 
+/// Rule index constants into [`RULE_NAMES`], for code that attributes
+/// time to a rule without a string lookup on the hot path.
+pub mod rule {
+    /// `Entry` — seed `reach(main, [entry])`.
+    pub const ENTRY: usize = 0;
+    /// `New` — allocation sites of reached methods.
+    pub const NEW: usize = 1;
+    /// `Assign` — local move.
+    pub const ASSIGN: usize = 2;
+    /// `Load` — instance-field load.
+    pub const LOAD: usize = 3;
+    /// `Store` — instance-field store.
+    pub const STORE: usize = 4;
+    /// `SLoad` — static-field load.
+    pub const SLOAD: usize = 5;
+    /// `SStore` — static-field store.
+    pub const SSTORE: usize = 6;
+    /// `Param` — parameter passing at calls.
+    pub const PARAM: usize = 7;
+    /// `Ret` — return-value flow at calls.
+    pub const RET: usize = 8;
+    /// `Static` — static call targets.
+    pub const STATIC: usize = 9;
+    /// `Virt` — virtual-call dispatch.
+    pub const VIRT: usize = 10;
+    /// `Ind` — indirect heap flow (`hpts ⋈ hload`).
+    pub const IND: usize = 11;
+    /// `Reach` — callee reachability from `call`.
+    pub const REACH: usize = 12;
+}
+
+/// Upper bucket edges (nanoseconds) of the per-rule wall-time
+/// histograms in [`RuleTimes`]: 1µs, 10µs, 100µs, 1ms, 10ms, 100ms, 1s,
+/// plus an implicit +Inf bucket.
+pub const RULE_TIME_BUCKETS_NS: [u64; 7] = [
+    1_000,
+    10_000,
+    100_000,
+    1_000_000,
+    10_000_000,
+    100_000_000,
+    1_000_000_000,
+];
+
+/// Per-Figure-3-rule wall-time accounting, indexed like [`RuleCounts`].
+///
+/// Each observation is one timed rule-driver *block* (all the joins one
+/// popped delta feeds into for that rule), not one derived tuple — so
+/// counts here are comparable to delta-queue pops, while
+/// [`SolverStats::rule_fired`] counts tuples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuleTimes {
+    ns: [u64; RULE_NAMES.len()],
+    count: [u64; RULE_NAMES.len()],
+    hist: [[u64; RULE_TIME_BUCKETS_NS.len() + 1]; RULE_NAMES.len()],
+}
+
+impl Default for RuleTimes {
+    fn default() -> Self {
+        RuleTimes {
+            ns: [0; RULE_NAMES.len()],
+            count: [0; RULE_NAMES.len()],
+            hist: [[0; RULE_TIME_BUCKETS_NS.len() + 1]; RULE_NAMES.len()],
+        }
+    }
+}
+
+impl RuleTimes {
+    /// Record one timed block of `ns` nanoseconds against rule index
+    /// `idx` (see [`rule`]).
+    #[inline]
+    pub fn observe(&mut self, idx: usize, ns: u64) {
+        self.ns[idx] += ns;
+        self.count[idx] += 1;
+        let bucket = RULE_TIME_BUCKETS_NS
+            .iter()
+            .position(|&edge| ns <= edge)
+            .unwrap_or(RULE_TIME_BUCKETS_NS.len());
+        self.hist[idx][bucket] += 1;
+    }
+
+    /// Total nanoseconds attributed to `rule` (0 for unknown names).
+    pub fn ns(&self, rule: &str) -> u64 {
+        RuleCounts::index_of(rule).map_or(0, |i| self.ns[i])
+    }
+
+    /// Timed-block count for `rule` (0 for unknown names).
+    pub fn count(&self, rule: &str) -> u64 {
+        RuleCounts::index_of(rule).map_or(0, |i| self.count[i])
+    }
+
+    /// Histogram bucket counts for `rule` — one per
+    /// [`RULE_TIME_BUCKETS_NS`] edge plus the +Inf bucket.
+    pub fn buckets(&self, rule: &str) -> [u64; RULE_TIME_BUCKETS_NS.len() + 1] {
+        RuleCounts::index_of(rule).map_or([0; RULE_TIME_BUCKETS_NS.len() + 1], |i| self.hist[i])
+    }
+
+    /// `(rule, total_ns, blocks)` for every rule with observations, in
+    /// [`RULE_NAMES`] order.
+    pub fn nonzero(&self) -> impl Iterator<Item = (&'static str, u64, u64)> + '_ {
+        RULE_NAMES
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| self.count[i] > 0)
+            .map(|(i, &name)| (name, self.ns[i], self.count[i]))
+    }
+
+    /// Sum of attributed time over all rules.
+    pub fn total_ns(&self) -> u64 {
+        self.ns.iter().sum()
+    }
+
+    /// Fold another accounting (e.g. a worker's chunk) into this one.
+    pub fn merge(&mut self, other: &RuleTimes) {
+        for i in 0..RULE_NAMES.len() {
+            self.ns[i] += other.ns[i];
+            self.count[i] += other.count[i];
+            for b in 0..self.hist[i].len() {
+                self.hist[i][b] += other.hist[i][b];
+            }
+        }
+    }
+}
+
+/// Aggregate solver phase timings (nanoseconds), populated when
+/// [`AnalysisConfig::profile`] is set.
+///
+/// On the single-threaded path `eval_ns` covers the whole delta loop and
+/// `merge_ns` stays 0 (there is no separate merge). Under the parallel
+/// engine `eval_ns` is the summed wall time of the chunked evaluation
+/// phases and `merge_ns` the summed sequential merges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Seeding (`Entry` rule + initial fact loading).
+    pub seed_ns: u64,
+    /// Rule evaluation (delta loop / parallel chunk evaluation).
+    pub eval_ns: u64,
+    /// Sequential candidate-merge phases (parallel engine only).
+    pub merge_ns: u64,
+}
+
+impl PhaseProfile {
+    /// Sum over all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.seed_ns + self.eval_ns + self.merge_ns
+    }
+}
+
+/// Per-frontier-round timing under the parallel engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundProfile {
+    /// Round number (1-based, matching the `solver.round` trace span).
+    pub round: usize,
+    /// Deltas drained into this round.
+    pub frontier: usize,
+    /// Candidates the evaluation phase produced.
+    pub candidates: usize,
+    /// Wall time of the chunked evaluation phase.
+    pub eval_ns: u64,
+    /// Wall time of the sequential merge phase.
+    pub merge_ns: u64,
+}
+
+/// Cap on retained [`RoundProfile`] entries; rounds beyond this still
+/// accumulate into [`PhaseProfile`] but are not itemized.
+pub const MAX_ROUND_PROFILES: usize = 256;
+
+/// Estimated resident bytes of the solver's fact relations, the seven
+/// join indices, and the two memo tables, measured at the end of a run.
+///
+/// These are deterministic arithmetic estimates (`len × entry size`,
+/// with a fixed per-slot overhead for hash containers) — not allocator
+/// measurements — so they are stable across runs and platforms and safe
+/// to export as gauges. Always populated, profiling or not: the counts
+/// are already known at finish time and the multiplication is free.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemoryFootprint {
+    /// `pts` relation set.
+    pub rel_pts: usize,
+    /// `hpts` relation set.
+    pub rel_hpts: usize,
+    /// `hload` relation set.
+    pub rel_hload: usize,
+    /// `call` relation set.
+    pub rel_call: usize,
+    /// `spts` relation set.
+    pub rel_spts: usize,
+    /// `reach` relation set.
+    pub rel_reach: usize,
+    /// `pts` bucketed by variable.
+    pub ix_pts_by_var: usize,
+    /// `hpts` bucketed by (heap, field).
+    pub ix_hpts_by_gf: usize,
+    /// `hload` bucketed by (heap, field).
+    pub ix_hload_by_gf: usize,
+    /// `spts` bucketed by field.
+    pub ix_spts_by_field: usize,
+    /// `call` keyed by invocation site.
+    pub ix_call_by_inv: usize,
+    /// `call` keyed by target method.
+    pub ix_call_by_method: usize,
+    /// `reach` keyed by method.
+    pub ix_reach_by_method: usize,
+    /// `compose` memo table.
+    pub memo_compose: usize,
+    /// `subsumes` memo table.
+    pub memo_subsume: usize,
+}
+
+impl MemoryFootprint {
+    /// Sum over all sections.
+    pub fn total(&self) -> usize {
+        self.sections().map(|(_, _, bytes)| bytes).sum()
+    }
+
+    /// `(kind, name, bytes)` triples for every section, in a fixed
+    /// order — `kind` is `relation`, `index`, or `memo`.
+    pub fn sections(&self) -> impl Iterator<Item = (&'static str, &'static str, usize)> {
+        [
+            ("relation", "pts", self.rel_pts),
+            ("relation", "hpts", self.rel_hpts),
+            ("relation", "hload", self.rel_hload),
+            ("relation", "call", self.rel_call),
+            ("relation", "spts", self.rel_spts),
+            ("relation", "reach", self.rel_reach),
+            ("index", "pts_by_var", self.ix_pts_by_var),
+            ("index", "hpts_by_gf", self.ix_hpts_by_gf),
+            ("index", "hload_by_gf", self.ix_hload_by_gf),
+            ("index", "spts_by_field", self.ix_spts_by_field),
+            ("index", "call_by_inv", self.ix_call_by_inv),
+            ("index", "call_by_method", self.ix_call_by_method),
+            ("index", "reach_by_method", self.ix_reach_by_method),
+            ("memo", "compose", self.memo_compose),
+            ("memo", "subsume", self.memo_subsume),
+        ]
+        .into_iter()
+    }
+}
+
 /// Solver statistics, mirroring the quantities Figure 6 reports.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct SolverStats {
@@ -152,6 +391,20 @@ pub struct SolverStats {
     /// Transformer-configuration histogram (`x*w?e*` tags of §7) over the
     /// `pts` relation; empty for non-transformer abstractions.
     pub pts_configurations: Vec<(String, usize)>,
+    /// `true` iff this run collected wall-time profiling
+    /// ([`AnalysisConfig::profile`]); the timing fields below are zero
+    /// otherwise.
+    pub profiled: bool,
+    /// Per-rule wall-time totals and histograms (profiling only).
+    pub rule_time: RuleTimes,
+    /// Aggregate seed/eval/merge phase timings (profiling only).
+    pub phase_profile: PhaseProfile,
+    /// Per-round eval/merge timings under the parallel engine, capped at
+    /// [`MAX_ROUND_PROFILES`] entries (profiling only).
+    pub round_profiles: Vec<RoundProfile>,
+    /// Estimated resident bytes of relations, join indices, and memo
+    /// tables at the end of the run (always populated).
+    pub memory: MemoryFootprint,
 }
 
 impl SolverStats {
@@ -183,6 +436,9 @@ impl SolverStats {
         self.overdeleted = 0;
         self.rederived = 0;
         self.duration = Duration::default();
+        self.rule_time = RuleTimes::default();
+        self.phase_profile = PhaseProfile::default();
+        self.round_profiles = Vec::new();
     }
 
     /// A multi-line human-readable report of the solver counters (used by
@@ -236,6 +492,41 @@ impl SolverStats {
             out.push_str(&format!(
                 "  parallelism:      {} threads, {} rounds, peak frontier {}, {} deferred\n",
                 self.threads_used, self.par_rounds, self.par_frontier_peak, self.par_deferred
+            ));
+        }
+        if self.profiled && self.rule_time.total_ns() > 0 {
+            let timed: Vec<String> = self
+                .rule_time
+                .nonzero()
+                .map(|(rule, ns, blocks)| format!("{rule} {}µs/{blocks}", ns / 1_000))
+                .collect();
+            out.push_str(&format!("  rule time:        {}\n", timed.join(", ")));
+            let p = &self.phase_profile;
+            out.push_str(&format!(
+                "  phases:           seed {}µs, eval {}µs, merge {}µs\n",
+                p.seed_ns / 1_000,
+                p.eval_ns / 1_000,
+                p.merge_ns / 1_000
+            ));
+        }
+        if self.memory.total() > 0 {
+            out.push_str(&format!(
+                "  est. bytes:       {} total ({} relations, {} indices, {} memos)\n",
+                self.memory.total(),
+                self.memory.rel_pts
+                    + self.memory.rel_hpts
+                    + self.memory.rel_hload
+                    + self.memory.rel_call
+                    + self.memory.rel_spts
+                    + self.memory.rel_reach,
+                self.memory.ix_pts_by_var
+                    + self.memory.ix_hpts_by_gf
+                    + self.memory.ix_hload_by_gf
+                    + self.memory.ix_spts_by_field
+                    + self.memory.ix_call_by_inv
+                    + self.memory.ix_call_by_method
+                    + self.memory.ix_reach_by_method,
+                self.memory.memo_compose + self.memory.memo_subsume
             ));
         }
         out.push_str(&format!("  time:             {:?}\n", self.duration));
@@ -353,6 +644,68 @@ mod tests {
         assert_eq!(ci.call_targets(Inv(0)), vec![Method(3)]);
         ci.spts.insert((Field(0), Heap(0)));
         assert_eq!(ci.total(), 6);
+    }
+
+    #[test]
+    fn rule_times_observe_buckets_and_merge() {
+        let mut a = RuleTimes::default();
+        a.observe(rule::ASSIGN, 500); // ≤ 1µs bucket
+        a.observe(rule::ASSIGN, 5_000_000); // ≤ 10ms bucket
+        a.observe(rule::VIRT, 2_000_000_000); // +Inf bucket
+        assert_eq!(a.ns("Assign"), 5_000_500);
+        assert_eq!(a.count("Assign"), 2);
+        let b = a.buckets("Assign");
+        assert_eq!(b[0], 1);
+        assert_eq!(b[4], 1);
+        assert_eq!(a.buckets("Virt")[RULE_TIME_BUCKETS_NS.len()], 1);
+        let mut m = RuleTimes::default();
+        m.observe(rule::ASSIGN, 100);
+        m.merge(&a);
+        assert_eq!(m.ns("Assign"), 5_000_600);
+        assert_eq!(m.count("Assign"), 3);
+        assert_eq!(m.total_ns(), 2_005_000_600);
+        let rules: Vec<&str> = m.nonzero().map(|(r, _, _)| r).collect();
+        assert_eq!(rules, vec!["Assign", "Virt"]);
+    }
+
+    #[test]
+    fn memory_footprint_sections_and_total() {
+        let fp = MemoryFootprint {
+            rel_pts: 100,
+            ix_pts_by_var: 40,
+            memo_compose: 7,
+            ..Default::default()
+        };
+        assert_eq!(fp.total(), 147);
+        assert_eq!(fp.sections().count(), 15);
+        let (kind, name, bytes) = fp.sections().next().unwrap();
+        assert_eq!((kind, name, bytes), ("relation", "pts", 100));
+    }
+
+    #[test]
+    fn clear_run_work_resets_profiling_but_keeps_memory() {
+        let mut stats = SolverStats {
+            profiled: true,
+            memory: MemoryFootprint {
+                rel_pts: 64,
+                ..Default::default()
+            },
+            ..Default::default()
+        };
+        stats.rule_time.observe(rule::NEW, 10);
+        stats.phase_profile.eval_ns = 99;
+        stats.round_profiles.push(RoundProfile {
+            round: 1,
+            frontier: 1,
+            candidates: 1,
+            eval_ns: 1,
+            merge_ns: 1,
+        });
+        stats.clear_run_work();
+        assert_eq!(stats.rule_time.total_ns(), 0);
+        assert_eq!(stats.phase_profile.total_ns(), 0);
+        assert!(stats.round_profiles.is_empty());
+        assert_eq!(stats.memory.rel_pts, 64, "footprint describes the db");
     }
 
     #[test]

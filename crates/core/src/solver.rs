@@ -45,7 +45,13 @@ use ctxform_ir::{
 
 use crate::bucket::Bucket;
 use crate::config::AnalysisConfig;
-use crate::result::{AnalysisResult, CiFacts, LoggedFact, SolverStats};
+use crate::result::{rule, AnalysisResult, CiFacts, LoggedFact, MemoryFootprint, SolverStats};
+
+/// Fixed per-slot estimate for hash-container overhead (control bytes
+/// plus load-factor slack) in the [`MemoryFootprint`] byte accounting.
+/// A constant keeps the estimates deterministic across runs and
+/// platforms, unlike querying the allocator.
+const HASH_SLOT_OVERHEAD: usize = 8;
 
 /// Runs the analysis with the given abstraction instance.
 ///
@@ -103,7 +109,11 @@ pub(crate) fn solve_state<A: Abstraction>(
         span.record("threads", threads);
     }
     let start = Instant::now();
+    solver.stats.profiled = config.profile;
+    let t = solver.prof_start();
     solver.seed_entry();
+    solver.prof_rule(t, rule::ENTRY);
+    solver.prof_seed(t);
     solver.run_to_fixpoint(threads);
     let result = solver.finish(start);
     span.record("facts_total", result.stats.total());
@@ -138,7 +148,10 @@ pub(crate) fn extend_state<A: Abstraction>(
         span.record("delta_facts", delta.len());
     }
     let start = Instant::now();
+    solver.stats.profiled = config.profile;
+    let t = solver.prof_start();
     solver.reseed_for_delta(&delta.added, &delta.added_entry_points);
+    solver.prof_seed(t);
     solver.run_to_fixpoint(threads);
     let result = solver.finish(start);
     span.record("facts_total", result.stats.total());
@@ -186,12 +199,15 @@ pub(crate) fn retract_state<A: Abstraction>(
         span.record("added_facts", retraction.added_len());
     }
     let start = Instant::now();
+    solver.stats.profiled = config.profile;
     solver.retract = Some(Box::new(RetractSink::new()));
     solver.seed_overdelete(base, retraction);
     solver.overdelete_fixpoint();
     let sink = solver.apply_deletions();
+    let t = solver.prof_start();
     solver.reseed_after_deletion(&sink);
     solver.reseed_for_delta(&retraction.added, &retraction.added_entry_points);
+    solver.prof_seed(t);
     solver.run_to_fixpoint(threads);
     solver.stats.rederived = solver.count_rederived(&sink);
     let result = solver.finish(start);
@@ -1307,6 +1323,45 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Profiling hooks
+    //
+    // All three helpers are plain untaken branches when
+    // `config.profile` is off — no clock reads, no atomics — so the
+    // default hot path is untouched. When profiling is on, the clock
+    // reads only ever land in the timing fields of `SolverStats`,
+    // never in derivation decisions, which is what keeps
+    // `fact_digest` bit-identical either way.
+    // ------------------------------------------------------------------
+
+    /// Block-start timestamp, or `None` when profiling is off.
+    #[inline]
+    fn prof_start(&self) -> Option<Instant> {
+        if self.config.profile {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a timed rule block opened by [`Solver::prof_start`].
+    #[inline]
+    fn prof_rule(&mut self, t: Option<Instant>, idx: usize) {
+        if let Some(t) = t {
+            self.stats
+                .rule_time
+                .observe(idx, t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Attributes elapsed time since `t` to the seeding phase.
+    #[inline]
+    fn prof_seed(&mut self, t: Option<Instant>) {
+        if let Some(t) = t {
+            self.stats.phase_profile.seed_ns += t.elapsed().as_nanos() as u64;
+        }
+    }
+
     /// Runs the queues to empty with the engine `threads` selects: the
     /// legacy one-delta-at-a-time loop, or the frontier-parallel rounds.
     fn run_to_fixpoint(&mut self, threads: usize) {
@@ -1314,7 +1369,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         if threads > 1 {
             self.fixpoint_parallel(threads);
         } else {
+            let t = self.prof_start();
             self.fixpoint();
+            if let Some(t) = t {
+                self.stats.phase_profile.eval_ns += t.elapsed().as_nanos() as u64;
+            }
         }
     }
 
@@ -1364,20 +1423,25 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     /// New + Static, driven by a new `reach(P, M)` fact.
     fn process_reach(&mut self, p: Method, m: CtxtStr) {
         let ix = self.ix;
+        let t = self.prof_start();
         if let Some(allocs) = ix.allocs_by_method.get(&p) {
             for &(h, y) in allocs {
                 let x = self.abs.record(m);
                 self.insert_pts(y, h, x, "New");
             }
         }
+        self.prof_rule(t, rule::NEW);
+        let t = self.prof_start();
         if let Some(statics) = ix.statics_by_method.get(&p) {
             for &(i, q) in statics {
                 let c = self.abs.merge_s(CtxtElem::of_inv(i), m);
                 self.insert_call(i, q, c, "Static");
             }
         }
+        self.prof_rule(t, rule::STATIC);
         // SLoad, reach role: spts(F,H,B), static_load(F,Z),
         // reach(parent(Z), M) ⊢ pts(Z,H, load_global(B, M)).
+        let t = self.prof_start();
         if let Some(loads) = ix.static_loads_by_method.get(&p) {
             let mut facts = mem::take(&mut self.scratch_heap);
             for &(f, z) in loads {
@@ -1392,6 +1456,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
             self.scratch_heap = facts;
         }
+        self.prof_rule(t, rule::SLOAD);
     }
 
     /// Assign, Load, Store (both roles), Param (actual role), Ret (return
@@ -1399,19 +1464,24 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     fn process_pts(&mut self, z: Var, h: Heap, b: A::X) {
         let ix = self.ix;
         // Assign: pts(Z,H,A), assign(Z,Y) ⊢ pts(Y,H,A).
+        let t = self.prof_start();
         if let Some(targets) = ix.assign_from.get(&z) {
             for &y in targets {
                 self.insert_pts(y, h, b, "Assign");
             }
         }
+        self.prof_rule(t, rule::ASSIGN);
         // Load: pts(Y,G,A), load(Y,F,Z) ⊢ hload(G,F,Z,A).
+        let t = self.prof_start();
         if let Some(loads) = ix.loads_by_base.get(&z) {
             for &(f, dst) in loads {
                 self.insert_hload(h, f, dst, b, "Load");
             }
         }
+        self.prof_rule(t, rule::LOAD);
         // Store, value role: pts(X,H,B), store(X,F,Z), pts(Z,G,C)
         // ⊢ hpts(G,F,H, B;C⁻¹).
+        let t = self.prof_start();
         if let Some(stores) = ix.stores_by_value.get(&z) {
             let query = self.abs.dst_boundary(b);
             let mut cand = mem::take(&mut self.scratch_heap);
@@ -1429,6 +1499,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         }
         // Store, base role: pts(Z,G,C) with store(X,F,Z).
         if let Some(stores) = ix.stores_by_base.get(&z) {
+            // (Same timed block as the value role: both are Store.)
             let query = self.abs.dst_boundary(b);
             let inv_c = self.abs.invert(b);
             let mut cand = mem::take(&mut self.scratch_heap);
@@ -1443,8 +1514,10 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
             self.scratch_heap = cand;
         }
+        self.prof_rule(t, rule::STORE);
         // Param, actual role: pts(Z,H,B), actual(Z,I,O), call(I,P,C),
         // formal(Y,P,O) ⊢ pts(Y,H, B;C).
+        let t = self.prof_start();
         if let Some(actuals) = ix.actuals_by_var.get(&z) {
             let query = self.abs.dst_boundary(b);
             let mut cand = mem::take(&mut self.scratch_method);
@@ -1462,8 +1535,10 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
             self.scratch_method = cand;
         }
+        self.prof_rule(t, rule::PARAM);
         // Ret, return role: pts(Z,H,B), return(Z,P), call(I,P,C),
         // assign_return(I,Y) ⊢ pts(Y,H, B;C⁻¹).
+        let t = self.prof_start();
         if let Some(returns) = ix.returns_by_var.get(&z) {
             let query = self.abs.dst_boundary(b);
             let mut cand = mem::take(&mut self.scratch_inv);
@@ -1484,16 +1559,20 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
             self.scratch_inv = cand;
         }
+        self.prof_rule(t, rule::RET);
         // SStore: pts(X,H,B), static_store(X,F) ⊢ spts(F,H, globalize(B)).
+        let t = self.prof_start();
         if let Some(fields) = ix.static_stores_by_var.get(&z) {
             for &f in fields {
                 let g = self.abs.globalize(b);
                 self.insert_spts(f, h, g, "SStore");
             }
         }
+        self.prof_rule(t, rule::SSTORE);
         // Virt: virtual_invoke(I,Z,S), pts(Z,H,B), heap_type(H,T),
         // implements(Q,T,S), this_var(Y,Q), C ≡ merge(H,I,B)
         // ⊢ pts(Y,H, B;C), call(I,Q,C).
+        let t = self.prof_start();
         if let Some(virtuals) = ix.virtuals_by_recv.get(&z) {
             let t = ix.type_of_heap[h.index()];
             let class = ix.class_of_heap[h.index()];
@@ -1513,10 +1592,12 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 }
             }
         }
+        self.prof_rule(t, rule::VIRT);
     }
 
     /// Ind, hpts role: hpts(G,F,H,B), hload(G,F,Y,C) ⊢ pts(Y,H, B;C).
     fn process_hpts(&mut self, g: Heap, f: Field, h: Heap, b: A::X) {
+        let t = self.prof_start();
         let query = self.abs.dst_boundary(b);
         let mut cand = mem::take(&mut self.scratch_var);
         cand.clear();
@@ -1527,10 +1608,12 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
         }
         self.scratch_var = cand;
+        self.prof_rule(t, rule::IND);
     }
 
     /// Ind, hload role.
     fn process_hload(&mut self, g: Heap, f: Field, y: Var, c: A::X) {
+        let t = self.prof_start();
         let query = self.abs.src_boundary(c);
         let mut cand = mem::take(&mut self.scratch_heap);
         cand.clear();
@@ -1541,12 +1624,14 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
         }
         self.scratch_heap = cand;
+        self.prof_rule(t, rule::IND);
     }
 
     /// SLoad, spts role: join against every reachable context of each
     /// loading method.
     fn process_spts(&mut self, f: Field, h: Heap, b: A::X) {
         let ix = self.ix;
+        let t = self.prof_start();
         if let Some(loaders) = ix.static_loads_by_field.get(&f) {
             let mut contexts = mem::take(&mut self.scratch_ctxts);
             for &z in loaders {
@@ -1562,6 +1647,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
             self.scratch_ctxts = contexts;
         }
+        self.prof_rule(t, rule::SLOAD);
     }
 
     /// Reach + Param (call role) + Ret (call role), driven by a new
@@ -1569,9 +1655,12 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     fn process_call(&mut self, i: Inv, p: Method, c: A::X) {
         let ix = self.ix;
         // Reach: call(I,P,A) ⊢ reach(P, target(A)).
+        let t = self.prof_start();
         let m = self.abs.target(c);
         self.insert_reach(p, m, "Reach");
+        self.prof_rule(t, rule::REACH);
         // Param, call role.
+        let t = self.prof_start();
         if let Some(actuals) = ix.actuals_by_inv.get(&i) {
             let query = self.abs.src_boundary(c);
             let mut cand = mem::take(&mut self.scratch_heap);
@@ -1589,7 +1678,9 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
             self.scratch_heap = cand;
         }
+        self.prof_rule(t, rule::PARAM);
         // Ret, call role.
+        let t = self.prof_start();
         if let Some(ys) = ix.assign_return_by_inv.get(&i) {
             if let Some(returns) = ix.returns_by_method.get(&p) {
                 let query = self.abs.dst_boundary(c);
@@ -1611,6 +1702,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 self.scratch_heap = cand;
             }
         }
+        self.prof_rule(t, rule::RET);
     }
 
     // ------------------------------------------------------------------
@@ -2009,8 +2101,57 @@ impl<'p, A: Abstraction> Solver<'p, A> {
     // Result assembly
     // ------------------------------------------------------------------
 
+    /// Deterministic byte estimates of the resident relations, join
+    /// indices, and memo tables (see [`MemoryFootprint`]): entry counts
+    /// times entry sizes plus [`HASH_SLOT_OVERHEAD`] per hash slot, so
+    /// the numbers are identical across runs of the same database.
+    fn memory_footprint(&self) -> MemoryFootprint {
+        use mem::size_of;
+        fn set_bytes<T>(set: &FxHashSet<T>) -> usize {
+            set.len() * (size_of::<T>() + HASH_SLOT_OVERHEAD)
+        }
+        fn bucket_map_bytes<K, V: Copy>(map: &FxHashMap<K, Bucket<V>>) -> usize {
+            let mut bytes = map.len() * (size_of::<K>() + HASH_SLOT_OVERHEAD);
+            for bucket in map.values() {
+                let (keys, stored) = bucket.entry_counts();
+                bytes += keys * (size_of::<CtxtStr>() + HASH_SLOT_OVERHEAD);
+                bytes += stored * size_of::<V>();
+            }
+            bytes
+        }
+        fn vec_map_bytes<K, V>(map: &FxHashMap<K, Vec<V>>) -> usize {
+            map.len() * (size_of::<K>() + size_of::<Vec<V>>() + HASH_SLOT_OVERHEAD)
+                + map
+                    .values()
+                    .map(|v| v.len() * size_of::<V>())
+                    .sum::<usize>()
+        }
+        MemoryFootprint {
+            rel_pts: set_bytes(&self.pts),
+            rel_hpts: set_bytes(&self.hpts),
+            rel_hload: set_bytes(&self.hload),
+            rel_call: set_bytes(&self.call),
+            rel_spts: set_bytes(&self.spts),
+            rel_reach: set_bytes(&self.reach),
+            ix_pts_by_var: bucket_map_bytes(&self.pts_by_var),
+            ix_hpts_by_gf: bucket_map_bytes(&self.hpts_by_gf),
+            ix_hload_by_gf: bucket_map_bytes(&self.hload_by_gf),
+            ix_spts_by_field: vec_map_bytes(&self.spts_by_field),
+            ix_call_by_inv: bucket_map_bytes(&self.call_by_inv),
+            ix_call_by_method: bucket_map_bytes(&self.call_by_method),
+            ix_reach_by_method: vec_map_bytes(&self.reach_by_method),
+            memo_compose: self.compose_memo.len()
+                * (size_of::<(A::X, A::X, Limits)>()
+                    + size_of::<Option<A::X>>()
+                    + HASH_SLOT_OVERHEAD),
+            memo_subsume: self.subsume_memo.len()
+                * (size_of::<(A::X, A::X)>() + size_of::<bool>() + HASH_SLOT_OVERHEAD),
+        }
+    }
+
     fn finish(&mut self, start: Instant) -> AnalysisResult {
         self.stats.duration = start.elapsed();
+        self.stats.memory = self.memory_footprint();
         self.stats.pts = self.pts.len() - self.dead_pts.len();
         self.stats.hpts = self.hpts.len();
         self.stats.hload = self.hload.len();

@@ -53,11 +53,13 @@
 //! by the drivers — the same argument as the sequential engine's.
 
 use std::mem;
+use std::time::Instant;
 
 use ctxform_algebra::{Abstraction, CtxtElem, CtxtStr, Limits, MergeSite};
 use ctxform_ir::{Field, Heap, Inv, Method, Var};
 
 use super::{ComposeMemo, Solver};
+use crate::result::{rule, RoundProfile, RuleTimes, MAX_ROUND_PROFILES};
 
 /// One drained delta, tagged with its relation.
 enum Delta<X> {
@@ -131,6 +133,11 @@ struct ChunkOut<X> {
     memo_hits: u64,
     memo_misses: u64,
     deferred: u64,
+    /// Per-rule evaluation wall time observed by this chunk's worker
+    /// (all-zero unless `config.profile` is set). Folded into
+    /// `stats.rule_time` during the merge phase — purely observational,
+    /// never part of the candidate stream.
+    rule_time: RuleTimes,
 }
 
 impl<X> Default for ChunkOut<X> {
@@ -143,6 +150,7 @@ impl<X> Default for ChunkOut<X> {
             memo_hits: 0,
             memo_misses: 0,
             deferred: 0,
+            rule_time: RuleTimes::default(),
         }
     }
 }
@@ -186,6 +194,30 @@ fn process_chunk<'p, A: Abstraction>(
 }
 
 impl<'p, A: Abstraction> Worker<'_, 'p, A> {
+    // Profiling hooks — mirrors of the legacy solver's: plain untaken
+    // branches (no clocks) when `config.profile` is off, and when on the
+    // timings land only in `out.rule_time`, never in the candidates.
+
+    /// Block-start timestamp, or `None` when profiling is off.
+    #[inline]
+    fn prof_start(&self) -> Option<Instant> {
+        if self.s.config.profile {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Closes a timed rule block opened by [`Worker::prof_start`].
+    #[inline]
+    fn prof_rule(&mut self, t: Option<Instant>, idx: usize) {
+        if let Some(t) = t {
+            self.out
+                .rule_time
+                .observe(idx, t.elapsed().as_nanos() as u64);
+        }
+    }
+
     // Emit helpers: pre-filter exact duplicates against the frozen fact
     // sets. `insert_*` performs the same check first against a superset of
     // this state (facts are never removed), so the filter only drops
@@ -332,6 +364,7 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
     fn drive_reach(&mut self, p: Method, m: CtxtStr) {
         let s = self.s;
         let ix = s.ix;
+        let t = self.prof_start();
         if let Some(allocs) = ix.allocs_by_method.get(&p) {
             for &(h, y) in allocs {
                 match s.abs.try_record(m) {
@@ -340,6 +373,8 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
                 }
             }
         }
+        self.prof_rule(t, rule::NEW);
+        let t = self.prof_start();
         if let Some(statics) = ix.statics_by_method.get(&p) {
             for &(i, q) in statics {
                 match s.abs.try_merge_s(CtxtElem::of_inv(i), m) {
@@ -348,6 +383,8 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
                 }
             }
         }
+        self.prof_rule(t, rule::STATIC);
+        let t = self.prof_start();
         if let Some(loads) = ix.static_loads_by_method.get(&p) {
             let mut facts = mem::take(&mut self.st.scratch_heap);
             for &(f, z) in loads {
@@ -364,6 +401,7 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
             }
             self.st.scratch_heap = facts;
         }
+        self.prof_rule(t, rule::SLOAD);
     }
 
     /// Assign, Load, Store (both roles), Param (actual role), Ret (return
@@ -371,16 +409,21 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
     fn drive_pts(&mut self, z: Var, h: Heap, b: A::X) {
         let s = self.s;
         let ix = s.ix;
+        let t = self.prof_start();
         if let Some(targets) = ix.assign_from.get(&z) {
             for &y in targets {
                 self.emit_pts(y, h, b, "Assign");
             }
         }
+        self.prof_rule(t, rule::ASSIGN);
+        let t = self.prof_start();
         if let Some(loads) = ix.loads_by_base.get(&z) {
             for &(f, dst) in loads {
                 self.emit_hload(h, f, dst, b, "Load");
             }
         }
+        self.prof_rule(t, rule::LOAD);
+        let t = self.prof_start();
         if let Some(stores) = ix.stores_by_value.get(&z) {
             let query = s.abs.dst_boundary(b);
             let limits = s.limits_store();
@@ -421,6 +464,8 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
             }
             self.st.scratch_heap = cand;
         }
+        self.prof_rule(t, rule::STORE);
+        let t = self.prof_start();
         if let Some(actuals) = ix.actuals_by_var.get(&z) {
             let query = s.abs.dst_boundary(b);
             let limits = s.limits_flow();
@@ -443,6 +488,8 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
             }
             self.st.scratch_method = cand;
         }
+        self.prof_rule(t, rule::PARAM);
+        let t = self.prof_start();
         if let Some(returns) = ix.returns_by_var.get(&z) {
             let query = s.abs.dst_boundary(b);
             let limits = s.limits_flow();
@@ -470,6 +517,8 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
             }
             self.st.scratch_inv = cand;
         }
+        self.prof_rule(t, rule::RET);
+        let t = self.prof_start();
         if let Some(fields) = ix.static_stores_by_var.get(&z) {
             for &f in fields {
                 match s.abs.try_globalize(b) {
@@ -478,6 +527,8 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
                 }
             }
         }
+        self.prof_rule(t, rule::SSTORE);
+        let t = self.prof_start();
         if let Some(virtuals) = ix.virtuals_by_recv.get(&z) {
             let t = ix.type_of_heap[h.index()];
             let class = ix.class_of_heap[h.index()];
@@ -510,11 +561,13 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
                 }
             }
         }
+        self.prof_rule(t, rule::VIRT);
     }
 
     /// Ind, hpts role.
     fn drive_hpts(&mut self, g: Heap, f: Field, h: Heap, b: A::X) {
         let s = self.s;
+        let t = self.prof_start();
         let query = s.abs.dst_boundary(b);
         let limits = s.limits_flow();
         let mut cand = mem::take(&mut self.st.scratch_var);
@@ -528,11 +581,13 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
             }
         }
         self.st.scratch_var = cand;
+        self.prof_rule(t, rule::IND);
     }
 
     /// Ind, hload role.
     fn drive_hload(&mut self, g: Heap, f: Field, y: Var, c: A::X) {
         let s = self.s;
+        let t = self.prof_start();
         let query = s.abs.src_boundary(c);
         let limits = s.limits_flow();
         let mut cand = mem::take(&mut self.st.scratch_heap);
@@ -546,12 +601,14 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
             }
         }
         self.st.scratch_heap = cand;
+        self.prof_rule(t, rule::IND);
     }
 
     /// SLoad, spts role.
     fn drive_spts(&mut self, f: Field, h: Heap, b: A::X) {
         let s = self.s;
         let ix = s.ix;
+        let t = self.prof_start();
         if let Some(loaders) = ix.static_loads_by_field.get(&f) {
             for &z in loaders {
                 let p = s.program.var_method[z.index()];
@@ -565,14 +622,18 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
                 }
             }
         }
+        self.prof_rule(t, rule::SLOAD);
     }
 
     /// Reach + Param (call role) + Ret (call role).
     fn drive_call(&mut self, i: Inv, p: Method, c: A::X) {
         let s = self.s;
         let ix = s.ix;
+        let t = self.prof_start();
         let m = s.abs.target(c);
         self.emit_reach(p, m, "Reach");
+        self.prof_rule(t, rule::REACH);
+        let t = self.prof_start();
         if let Some(actuals) = ix.actuals_by_inv.get(&i) {
             let query = s.abs.src_boundary(c);
             let limits = s.limits_flow();
@@ -595,6 +656,8 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
             }
             self.st.scratch_heap = cand;
         }
+        self.prof_rule(t, rule::PARAM);
+        let t = self.prof_start();
         if let Some(ys) = ix.assign_return_by_inv.get(&i) {
             if let Some(returns) = ix.returns_by_method.get(&p) {
                 let query = s.abs.dst_boundary(c);
@@ -622,6 +685,7 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
                 self.st.scratch_heap = cand;
             }
         }
+        self.prof_rule(t, rule::RET);
     }
 }
 
@@ -682,6 +746,11 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             // on the calling thread — through the same chunk driver and
             // the same worker state striding would pick (worker 0 owns
             // chunk 0), so the candidate stream is unaffected.
+            let eval_start = if self.config.profile {
+                Some(Instant::now())
+            } else {
+                None
+            };
             let chunk = chunk_size(n, threads);
             let n_chunks = n.div_ceil(chunk);
             let mut outs: Vec<Option<ChunkOut<A::X>>> = Vec::with_capacity(n_chunks);
@@ -718,6 +787,8 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             }
 
             // Phase 3: merge sequentially, in frontier order.
+            let eval_ns = eval_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let merge_start = eval_start.map(|_| Instant::now());
             let mut merged = 0usize;
             for out in outs {
                 let out = out.expect("every chunk processed");
@@ -727,12 +798,27 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 self.stats.compose_memo_hits += out.memo_hits;
                 self.stats.compose_memo_misses += out.memo_misses;
                 self.stats.par_deferred += out.deferred;
+                self.stats.rule_time.merge(&out.rule_time);
                 merged += out.cands.len();
                 for cand in out.cands {
                     self.apply_candidate(cand);
                 }
             }
             round_span.record("candidates", merged);
+            if let Some(t) = merge_start {
+                let merge_ns = t.elapsed().as_nanos() as u64;
+                self.stats.phase_profile.eval_ns += eval_ns;
+                self.stats.phase_profile.merge_ns += merge_ns;
+                if self.stats.round_profiles.len() < MAX_ROUND_PROFILES {
+                    self.stats.round_profiles.push(RoundProfile {
+                        round: self.stats.par_rounds,
+                        frontier: n,
+                        candidates: merged,
+                        eval_ns,
+                        merge_ns,
+                    });
+                }
+            }
         }
     }
 

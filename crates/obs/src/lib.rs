@@ -3,8 +3,10 @@
 //! Three small, orthogonal pieces:
 //!
 //! * [`trace`] — hierarchical spans (analysis → phase → frontier round)
-//!   and point events, collected into a bounded in-memory ring buffer
-//!   and exportable as JSON. The entire subsystem is gated behind one
+//!   and point events, collected into bounded thread-sharded ring
+//!   buffers (merged on export) and exportable as JSON, with explicit
+//!   [`trace::SpanContext`] handles for carrying parentage across thread
+//!   hops. The entire subsystem is gated behind one
 //!   global flag: when tracing is disabled (the default), creating a
 //!   span costs exactly one relaxed atomic load and no allocation, so
 //!   the solver hot loop pays nothing.
@@ -22,8 +24,9 @@ pub mod logger;
 pub mod metrics;
 pub mod trace;
 
-pub use logger::Level;
+pub use logger::{logger_stats, Level, LoggerStats};
 pub use trace::{
-    clear_trace, disable_tracing, enable_tracing, event, snapshot, span, take_trace,
-    tracing_enabled, Record, RecordKind, Span, TraceDump, Value,
+    clear_trace, disable_tracing, enable_tracing, event, record_span_at, snapshot, span,
+    span_detached, span_under, take_trace, trace_stats, tracing_enabled, Record, RecordKind, Span,
+    SpanContext, TraceDump, TraceStats, Value,
 };

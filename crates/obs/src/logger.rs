@@ -11,7 +11,7 @@
 //! directly from [`SystemTime`] (no external time crate; the
 //! days-to-civil conversion is the classic Euclidean-affine algorithm).
 
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{SystemTime, UNIX_EPOCH};
 
@@ -41,10 +41,43 @@ impl Level {
 }
 
 static MIN_LEVEL: AtomicU8 = AtomicU8::new(Level::Info as u8);
+static EMITTED: AtomicU64 = AtomicU64::new(0);
+static SUPPRESSED: AtomicU64 = AtomicU64::new(0);
 
 /// Set the minimum level that will be emitted (default [`Level::Info`]).
 pub fn set_level(level: Level) {
     MIN_LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current minimum level (the inverse of [`set_level`]).
+pub fn min_level() -> Level {
+    match MIN_LEVEL.load(Ordering::Relaxed) {
+        0 => Level::Debug,
+        1 => Level::Info,
+        2 => Level::Warn,
+        _ => Level::Error,
+    }
+}
+
+/// Logger throughput counters for scrapers (`ctxform_log_*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LoggerStats {
+    /// Lines written to the sink since process start.
+    pub emitted: u64,
+    /// Lines dropped by the minimum-level filter since process start.
+    pub suppressed: u64,
+    /// The active minimum level, as its discriminant (0 = debug … 3 =
+    /// error) — exported as a gauge so scrapers can see level changes.
+    pub min_level: u8,
+}
+
+/// Emitted/suppressed line counts and the active level.
+pub fn logger_stats() -> LoggerStats {
+    LoggerStats {
+        emitted: EMITTED.load(Ordering::Relaxed),
+        suppressed: SUPPRESSED.load(Ordering::Relaxed),
+        min_level: MIN_LEVEL.load(Ordering::Relaxed),
+    }
 }
 
 /// `true` iff a message at `level` would currently be emitted.
@@ -75,8 +108,10 @@ pub fn log_to_stderr() {
 /// subsystem name). Filtered by the global minimum level.
 pub fn log(level: Level, target: &str, msg: impl AsRef<str>) {
     if !enabled(level) {
+        SUPPRESSED.fetch_add(1, Ordering::Relaxed);
         return;
     }
+    EMITTED.fetch_add(1, Ordering::Relaxed);
     let line = format!(
         "{} {} {}: {}",
         now_rfc3339(),

@@ -1,4 +1,4 @@
-//! Hierarchical spans and events with a bounded ring-buffer sink.
+//! Hierarchical spans and events with bounded, thread-sharded ring sinks.
 //!
 //! # Model
 //!
@@ -9,11 +9,26 @@
 //! guard is alive on the same thread records that span's id as its
 //! parent, giving a forest per thread (analysis → phase → round).
 //!
-//! Finished records land in one global bounded ring buffer. When the
-//! ring is full the *oldest* record is dropped and a drop counter is
-//! bumped, so a long-running process can keep tracing enabled without
-//! unbounded memory growth; exporters report the drop count alongside
-//! the surviving records.
+//! For work that hops threads (a server request moving from the reader
+//! thread to a shard worker), parentage is carried *explicitly* with a
+//! [`SpanContext`] — a copyable handle to a span's id. [`span_detached`]
+//! opens a root span that is never registered on the creating thread's
+//! stack (so the guard may be moved to and dropped on another thread
+//! without corrupting either thread's parent stack), [`span_under`]
+//! opens a child of an explicit context on the current thread, and
+//! [`record_span_at`] retroactively records a span from a measured
+//! `(start, now)` pair — used for queue-wait phases whose duration is
+//! only known at dequeue time.
+//!
+//! Finished records land in a small fixed set of **sharded rings**:
+//! every thread is assigned a ring round-robin on first use, so shard
+//! workers, the reader/writer threads, and the solver's scoped workers
+//! never contend on one global lock. Exports ([`snapshot`],
+//! [`take_trace`]) merge the rings and sort by start time. When a ring
+//! is full the *oldest* record is dropped and a drop counter is bumped,
+//! so a long-running process can keep tracing enabled without unbounded
+//! memory growth; exporters report the summed drop count alongside the
+//! surviving records, and [`trace_stats`] exposes it to scrapers.
 //!
 //! # Overhead contract
 //!
@@ -26,15 +41,19 @@
 //! back into derivation order (the parity suite asserts equal fact sets
 //! with tracing on and off).
 
-use std::cell::RefCell;
+use std::cell::{Cell, RefCell};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
-/// Default ring-buffer capacity installed by [`enable_tracing`] callers
-/// that have no better number (64Ki records ≈ a few MB).
+/// Default per-ring capacity installed by [`enable_tracing`] callers
+/// that have no better number (64Ki records ≈ a few MB per active ring).
 pub const DEFAULT_CAPACITY: usize = 65_536;
+
+/// Number of ring shards. Threads are assigned round-robin, so with up
+/// to this many tracing threads every thread owns a private ring.
+pub const RING_SHARDS: usize = 8;
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
 
@@ -44,14 +63,17 @@ pub fn tracing_enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
-/// Turn tracing on with the given ring-buffer capacity (clamped to ≥ 1).
+/// Turn tracing on with the given per-ring capacity (clamped to ≥ 1).
 ///
-/// Re-enabling with a different capacity resizes the ring, dropping the
-/// oldest records if it shrinks. Records already collected are kept.
+/// Capacity applies to each of the [`RING_SHARDS`] thread-sharded rings,
+/// so a single-threaded process keeps exactly `capacity` records and a
+/// concurrent one keeps at most `RING_SHARDS * capacity`. Re-enabling
+/// with a different capacity resizes the rings, dropping the oldest
+/// records of any ring that shrinks. Records already collected are kept.
 pub fn enable_tracing(capacity: usize) {
     let c = collector();
-    {
-        let mut ring = c.ring.lock().unwrap();
+    for ring in &c.rings {
+        let mut ring = ring.lock().unwrap();
         ring.capacity = capacity.max(1);
         ring.evict_to_capacity();
     }
@@ -64,13 +86,50 @@ pub fn disable_tracing() {
     ENABLED.store(false, Ordering::SeqCst);
 }
 
-/// Discard all collected records and reset the drop counter.
+/// Discard all collected records and reset the drop counters.
 pub fn clear_trace() {
     if let Some(c) = COLLECTOR.get() {
-        let mut ring = c.ring.lock().unwrap();
-        ring.records.clear();
-        ring.dropped = 0;
+        for ring in &c.rings {
+            let mut ring = ring.lock().unwrap();
+            ring.records.clear();
+            ring.dropped = 0;
+        }
     }
+}
+
+/// Point-in-time collector gauges for scrapers (`ctxform_trace_*`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceStats {
+    /// Whether tracing is currently enabled.
+    pub enabled: bool,
+    /// Ring shards in the collector.
+    pub shards: usize,
+    /// Per-ring record capacity.
+    pub capacity: usize,
+    /// Records currently resident across all rings.
+    pub records: usize,
+    /// Records evicted (summed over rings) since the last reset.
+    pub dropped: u64,
+}
+
+/// Collector occupancy and drop accounting across all ring shards.
+pub fn trace_stats() -> TraceStats {
+    let mut stats = TraceStats {
+        enabled: tracing_enabled(),
+        shards: RING_SHARDS,
+        ..TraceStats::default()
+    };
+    if let Some(c) = COLLECTOR.get() {
+        for ring in &c.rings {
+            let ring = ring.lock().unwrap();
+            stats.capacity = ring.capacity;
+            stats.records += ring.records.len();
+            stats.dropped += ring.dropped;
+        }
+    } else {
+        stats.capacity = DEFAULT_CAPACITY;
+    }
+    stats
 }
 
 /// A field value attached to a span or event.
@@ -143,7 +202,8 @@ pub enum RecordKind {
 pub struct Record {
     /// Unique id (process-wide, monotonically assigned).
     pub id: u64,
-    /// Id of the enclosing span on the same thread, if any.
+    /// Id of the enclosing span (same-thread stack or explicit
+    /// [`SpanContext`]), if any.
     pub parent: Option<u64>,
     /// Static name, e.g. `"solver.round"`.
     pub name: &'static str,
@@ -155,6 +215,20 @@ pub struct Record {
     pub dur_us: u64,
     /// Attached key/value fields, in insertion order.
     pub fields: Vec<(&'static str, Value)>,
+}
+
+/// A copyable handle to a live (or recently closed) span, used to carry
+/// parentage across threads: capture it with [`Span::context`] on one
+/// thread, and open children under it elsewhere with [`span_under`] or
+/// [`record_span_at`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SpanContext(u64);
+
+impl SpanContext {
+    /// The referenced span's record id.
+    pub fn id(self) -> u64 {
+        self.0
+    }
 }
 
 struct Ring {
@@ -183,7 +257,8 @@ impl Ring {
 struct Collector {
     epoch: Instant,
     next_id: AtomicU64,
-    ring: Mutex<Ring>,
+    next_ring: AtomicUsize,
+    rings: Vec<Mutex<Ring>>,
 }
 
 static COLLECTOR: OnceLock<Collector> = OnceLock::new();
@@ -192,16 +267,36 @@ fn collector() -> &'static Collector {
     COLLECTOR.get_or_init(|| Collector {
         epoch: Instant::now(),
         next_id: AtomicU64::new(1),
-        ring: Mutex::new(Ring {
-            capacity: DEFAULT_CAPACITY,
-            dropped: 0,
-            records: VecDeque::new(),
-        }),
+        next_ring: AtomicUsize::new(0),
+        rings: (0..RING_SHARDS)
+            .map(|_| {
+                Mutex::new(Ring {
+                    capacity: DEFAULT_CAPACITY,
+                    dropped: 0,
+                    records: VecDeque::new(),
+                })
+            })
+            .collect(),
     })
 }
 
 thread_local! {
     static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// This thread's ring shard; assigned round-robin on first use.
+    static RING_IX: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+/// The calling thread's ring, assigning one round-robin on first use.
+fn my_ring(c: &'static Collector) -> &'static Mutex<Ring> {
+    let ix = RING_IX.with(|cell| {
+        let mut ix = cell.get();
+        if ix == usize::MAX {
+            ix = c.next_ring.fetch_add(1, Ordering::Relaxed) % RING_SHARDS;
+            cell.set(ix);
+        }
+        ix
+    });
+    &c.rings[ix]
 }
 
 struct SpanInner {
@@ -211,6 +306,10 @@ struct SpanInner {
     start: Instant,
     start_us: u64,
     fields: Vec<(&'static str, Value)>,
+    /// Whether the id was pushed onto the creating thread's parent
+    /// stack. Detached spans are never stacked, so their guards can be
+    /// dropped on any thread.
+    on_stack: bool,
 }
 
 /// RAII guard returned by [`span`]; records a [`Record`] on drop.
@@ -248,17 +347,25 @@ impl Span {
     pub fn id(&self) -> Option<u64> {
         self.inner.as_ref().map(|i| i.id)
     }
+
+    /// A copyable context handle for opening children of this span on
+    /// other threads; `None` on an inert guard.
+    pub fn context(&self) -> Option<SpanContext> {
+        self.inner.as_ref().map(|i| SpanContext(i.id))
+    }
 }
 
 impl Drop for Span {
     fn drop(&mut self) {
         if let Some(inner) = self.inner.take() {
-            SPAN_STACK.with(|s| {
-                let mut stack = s.borrow_mut();
-                if let Some(pos) = stack.iter().rposition(|&id| id == inner.id) {
-                    stack.remove(pos);
-                }
-            });
+            if inner.on_stack {
+                SPAN_STACK.with(|s| {
+                    let mut stack = s.borrow_mut();
+                    if let Some(pos) = stack.iter().rposition(|&id| id == inner.id) {
+                        stack.remove(pos);
+                    }
+                });
+            }
             let dur_us = inner.start.elapsed().as_micros() as u64;
             let rec = Record {
                 id: inner.id,
@@ -269,26 +376,25 @@ impl Drop for Span {
                 dur_us,
                 fields: inner.fields,
             };
-            collector().ring.lock().unwrap().push(rec);
+            let c = collector();
+            my_ring(c).lock().unwrap().push(rec);
         }
     }
 }
 
-/// Open a span. Returns an inert guard (one relaxed load, nothing else)
-/// when tracing is disabled. Bind the result — `let _span = span(..);` —
-/// so the region closes where the binding goes out of scope.
-pub fn span(name: &'static str) -> Span {
-    if !tracing_enabled() {
-        return Span { inner: None };
-    }
+fn open_span(name: &'static str, parent: Option<u64>, on_stack: bool) -> Span {
     let c = collector();
     let id = c.next_id.fetch_add(1, Ordering::Relaxed);
-    let parent = SPAN_STACK.with(|s| {
-        let mut stack = s.borrow_mut();
-        let parent = stack.last().copied();
-        stack.push(id);
+    let parent = if on_stack {
+        SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let parent = parent.or_else(|| stack.last().copied());
+            stack.push(id);
+            parent
+        })
+    } else {
         parent
-    });
+    };
     let start = Instant::now();
     let start_us = start.duration_since(c.epoch).as_micros() as u64;
     Span {
@@ -299,8 +405,69 @@ pub fn span(name: &'static str) -> Span {
             start,
             start_us,
             fields: Vec::new(),
+            on_stack,
         }),
     }
+}
+
+/// Open a span. Returns an inert guard (one relaxed load, nothing else)
+/// when tracing is disabled. Bind the result — `let _span = span(..);` —
+/// so the region closes where the binding goes out of scope.
+pub fn span(name: &'static str) -> Span {
+    if !tracing_enabled() {
+        return Span { inner: None };
+    }
+    open_span(name, None, true)
+}
+
+/// Open a span as a child of an explicit [`SpanContext`] instead of the
+/// thread's innermost span. The new span still registers on the calling
+/// thread's stack, so same-thread descendants nest under it — create and
+/// drop it on one thread.
+pub fn span_under(name: &'static str, parent: Option<SpanContext>) -> Span {
+    if !tracing_enabled() {
+        return Span { inner: None };
+    }
+    open_span(name, parent.map(|p| p.0), true)
+}
+
+/// Open a **detached** root span: it takes no parent from — and is never
+/// pushed onto — the creating thread's span stack, so the guard can be
+/// moved across threads (e.g. riding a shard job queue) and dropped
+/// wherever the work finishes. Use [`Span::context`] to parent children
+/// under it explicitly.
+pub fn span_detached(name: &'static str) -> Span {
+    if !tracing_enabled() {
+        return Span { inner: None };
+    }
+    open_span(name, None, false)
+}
+
+/// Retroactively record a span that started at `start` and ends now —
+/// for phases whose duration is measured after the fact, like the time a
+/// job spent waiting in a shard queue (only known at dequeue). One
+/// relaxed load when disabled.
+pub fn record_span_at(
+    name: &'static str,
+    parent: Option<SpanContext>,
+    start: Instant,
+    fields: Vec<(&'static str, Value)>,
+) {
+    if !tracing_enabled() {
+        return;
+    }
+    let c = collector();
+    let id = c.next_id.fetch_add(1, Ordering::Relaxed);
+    let rec = Record {
+        id,
+        parent: parent.map(|p| p.0),
+        name,
+        kind: RecordKind::Span,
+        start_us: start.saturating_duration_since(c.epoch).as_micros() as u64,
+        dur_us: start.elapsed().as_micros() as u64,
+        fields,
+    };
+    my_ring(c).lock().unwrap().push(rec);
 }
 
 /// Record a point event with fields. One relaxed load when disabled.
@@ -321,27 +488,36 @@ pub fn event(name: &'static str, fields: Vec<(&'static str, Value)>) {
         dur_us: 0,
         fields,
     };
-    c.ring.lock().unwrap().push(rec);
+    my_ring(c).lock().unwrap().push(rec);
 }
 
 /// A copy of the collector's contents at one instant.
 #[derive(Debug, Clone)]
 pub struct TraceDump {
-    /// Records evicted from the ring before this dump was taken.
+    /// Records evicted from the rings before this dump was taken.
     pub dropped: u64,
-    /// Surviving records, oldest first.
+    /// Surviving records merged across all ring shards, ordered by
+    /// `(start_us, id)`.
     pub records: Vec<Record>,
+}
+
+fn merge_sorted(mut records: Vec<Record>, dropped: u64) -> TraceDump {
+    records.sort_by_key(|r| (r.start_us, r.id));
+    TraceDump { dropped, records }
 }
 
 /// Copy the current ring contents without disturbing them.
 pub fn snapshot() -> TraceDump {
     match COLLECTOR.get() {
         Some(c) => {
-            let ring = c.ring.lock().unwrap();
-            TraceDump {
-                dropped: ring.dropped,
-                records: ring.records.iter().cloned().collect(),
+            let mut records = Vec::new();
+            let mut dropped = 0;
+            for ring in &c.rings {
+                let ring = ring.lock().unwrap();
+                dropped += ring.dropped;
+                records.extend(ring.records.iter().cloned());
             }
+            merge_sorted(records, dropped)
         }
         None => TraceDump {
             dropped: 0,
@@ -350,18 +526,20 @@ pub fn snapshot() -> TraceDump {
     }
 }
 
-/// Drain the ring: returns everything collected so far and leaves the
-/// buffer empty with the drop counter reset.
+/// Drain the rings: returns everything collected so far and leaves the
+/// buffers empty with the drop counters reset.
 pub fn take_trace() -> TraceDump {
     match COLLECTOR.get() {
         Some(c) => {
-            let mut ring = c.ring.lock().unwrap();
-            let dropped = ring.dropped;
-            ring.dropped = 0;
-            TraceDump {
-                dropped,
-                records: ring.records.drain(..).collect(),
+            let mut records = Vec::new();
+            let mut dropped = 0;
+            for ring in &c.rings {
+                let mut ring = ring.lock().unwrap();
+                dropped += ring.dropped;
+                ring.dropped = 0;
+                records.extend(ring.records.drain(..));
             }
+            merge_sorted(records, dropped)
         }
         None => TraceDump {
             dropped: 0,

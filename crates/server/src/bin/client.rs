@@ -10,7 +10,7 @@
 //!                [--abstraction A] [--sensitivity S] [--demand]
 //! ctxform-client [--addr HOST:PORT] loadgen [--connections N] [--seconds S] \
 //!                [--pipeline DEPTH] [--batch K] [--sensitivity S] \
-//!                [--op mix|query] [--out PATH]
+//!                [--op mix|query] [--trace-sample N] [--out PATH]
 //! ```
 //!
 //! Every command exits non-zero on transport errors, server error replies,
@@ -228,6 +228,14 @@ fn run_loadgen(addr: SocketAddr, rest: &[String]) {
                     fail("--op must be `mix` or `query`");
                 }
             }
+            // 1-in-N requests carry a client trace id; the report then
+            // splits client-observed latency into server `took_us` vs
+            // network/client overhead.
+            "--trace-sample" => {
+                config.trace_sample = value("--trace-sample")
+                    .parse()
+                    .unwrap_or_else(|_| fail("--trace-sample needs a non-negative integer"));
+            }
             "--out" => out = Some(value("--out")),
             other => fail(format!("unknown loadgen argument `{other}`")),
         }
@@ -258,6 +266,18 @@ fn run_loadgen(addr: SocketAddr, rest: &[String]) {
         report.latency_ms.p99,
         report.latency_ms.max,
     );
+    if let Some(ts) = &report.trace_sample {
+        println!(
+            "trace sample (1/{}): {} traced; client p50 {:.3}ms vs server p50 {:.3}ms \
+             (overhead p50 {:.3}ms, p95 {:.3}ms)",
+            ts.every,
+            ts.sampled,
+            ts.client_ms.p50,
+            ts.server_ms.p50,
+            ts.overhead_ms.p50,
+            ts.overhead_ms.p95,
+        );
+    }
     if report.errors > 0 {
         fail(format!("{} protocol errors during loadgen", report.errors));
     }

@@ -4,7 +4,8 @@
 //! ctxform-serve [--port N] [--shards N] [--threads N] [--solver-threads N]
 //!               [--queue N] [--max-conns N] [--replicate-hot N]
 //!               [--cache-mb N] [--deadline-ms N] [--slow-ms N]
-//!               [--trace N] [--log-level LEVEL] [--port-file PATH]
+//!               [--trace N] [--no-profile] [--flight-file PATH]
+//!               [--log-level LEVEL] [--port-file PATH]
 //! ```
 //!
 //! `--shards` sets the number of independent serving shards (default: one
@@ -21,9 +22,14 @@
 //! Observability: `--slow-ms N` logs every request slower than `N`
 //! milliseconds (with its trace id) at `WARN`; `--trace N` enables the
 //! in-process trace ring with capacity `N` records (`0` keeps tracing
-//! off), queryable via the `trace` op; `--log-level` filters the
-//! structured stderr log (`debug`/`info`/`warn`/`error`). The `metrics`
-//! op serves a Prometheus text exposition regardless of these flags.
+//! off), queryable via the `trace` op; `--no-profile` turns off the
+//! always-on solver profiling behind the `profile` op (results are
+//! bit-identical either way); `--flight-file PATH` arms the flight
+//! recorder, which dumps the trace ring and shard queue depths to `PATH`
+//! when a request busts its deadline or the process panics;
+//! `--log-level` filters the structured stderr log
+//! (`debug`/`info`/`warn`/`error`). The `metrics` op serves a Prometheus
+//! text exposition regardless of these flags.
 //!
 //! Binds 127.0.0.1 (`--port 0` picks an ephemeral port and `--port-file`
 //! writes the chosen port for scripts), serves until a client sends the
@@ -72,6 +78,10 @@ fn main() {
             }
             "--slow-ms" => config.slow_query_ms = num(&mut args, "--slow-ms"),
             "--trace" => trace_capacity = num(&mut args, "--trace") as usize,
+            "--no-profile" => config.profile = false,
+            "--flight-file" => {
+                config.flight_path = Some(args.next().expect("--flight-file needs a path").into())
+            }
             "--log-level" => {
                 let level = args.next().expect("--log-level needs a level");
                 logger::set_level(match level.as_str() {
@@ -88,7 +98,8 @@ fn main() {
                     "usage: ctxform-serve [--port N] [--shards N] [--threads N] \
                      [--solver-threads N] [--queue N] [--max-conns N] [--replicate-hot N] \
                      [--cache-mb N] [--deadline-ms N] [--slow-ms N] \
-                     [--trace N] [--log-level LEVEL] [--port-file PATH]"
+                     [--trace N] [--no-profile] [--flight-file PATH] \
+                     [--log-level LEVEL] [--port-file PATH]"
                 );
                 return;
             }
@@ -99,12 +110,13 @@ fn main() {
         ctxform_obs::enable_tracing(trace_capacity);
     }
 
-    let handle = start(config).unwrap_or_else(|e| panic!("cannot bind port {}: {e}", config.port));
+    let handle =
+        start(config.clone()).unwrap_or_else(|e| panic!("cannot bind port {}: {e}", config.port));
     let addr = handle.addr();
     logger::info(
         "ctxform-serve",
         format!(
-            "listening on {addr} ({} shards x {} workers, solver threads {}, queue {}/shard, cache {} MiB, deadline {:?}, slow-query {} ms, trace ring {})",
+            "listening on {addr} ({} shards x {} workers, solver threads {}, queue {}/shard, cache {} MiB, deadline {:?}, slow-query {} ms, trace ring {}, profiling {}, flight {})",
             config.shards,
             config.threads,
             if config.solver_threads == 0 {
@@ -120,6 +132,11 @@ fn main() {
                 "off".to_owned()
             } else {
                 format!("{trace_capacity} records")
+            },
+            if config.profile { "on" } else { "off" },
+            match &config.flight_path {
+                Some(path) => path.display().to_string(),
+                None => "off".to_owned(),
             },
         ),
     );

@@ -284,6 +284,11 @@ pub struct LoadGenConfig {
     /// Which mix to drive: `"mix"` (the classic rotating mix) or
     /// `"query"` (demand-driven `query` / `query_batch` requests only).
     pub op: String,
+    /// Stamp every Nth request per connection with a client trace id
+    /// (`0` = off). Traced replies carry the server-side `took_us`, so
+    /// the report can split client-observed latency into server time vs
+    /// everything else (network, client stack, reply-queue skew).
+    pub trace_sample: usize,
 }
 
 impl Default for LoadGenConfig {
@@ -295,6 +300,7 @@ impl Default for LoadGenConfig {
             duration: Duration::from_secs(2),
             sensitivity: "2-object+H".into(),
             op: "mix".into(),
+            trace_sample: 0,
         }
     }
 }
@@ -306,6 +312,34 @@ pub struct OpStats {
     pub count: u64,
     /// Latency percentiles of this op's samples.
     pub latency_ms: LatencySummary,
+}
+
+/// Client-vs-server latency attribution from traced loadgen samples.
+#[derive(Debug, Clone)]
+pub struct TraceSampleStats {
+    /// Every Nth request per connection carried a client trace id.
+    pub every: usize,
+    /// Traced requests that completed with a server `took_us`.
+    pub sampled: u64,
+    /// Client-observed latency of the traced samples.
+    pub client_ms: LatencySummary,
+    /// Server-reported (`took_us`) latency of the same samples.
+    pub server_ms: LatencySummary,
+    /// Per-sample client-minus-server delta: the share of latency the
+    /// server never saw (network, client stack, reply-queue skew).
+    pub overhead_ms: LatencySummary,
+}
+
+impl TraceSampleStats {
+    fn to_json(&self) -> Json {
+        Json::obj([
+            ("every", Json::int(self.every)),
+            ("sampled", Json::uint(self.sampled)),
+            ("client_latency_ms", self.client_ms.to_json()),
+            ("server_latency_ms", self.server_ms.to_json()),
+            ("overhead_ms", self.overhead_ms.to_json()),
+        ])
+    }
 }
 
 /// The aggregated outcome of a load-generation run.
@@ -330,6 +364,8 @@ pub struct LoadReport {
     pub latency_ms: LatencySummary,
     /// Per-op breakdown, sorted by op name.
     pub per_op: Vec<(String, OpStats)>,
+    /// Client-vs-server latency attribution, when `trace_sample` was on.
+    pub trace_sample: Option<TraceSampleStats>,
 }
 
 impl LoadReport {
@@ -373,6 +409,9 @@ impl LoadReport {
             ("latency_ms", self.latency_ms.to_json()),
             ("per_op", Json::Obj(per_op)),
         ];
+        if let Some(ts) = &self.trace_sample {
+            pairs.push(("trace_sample", ts.to_json()));
+        }
         if let Some(stats) = server_stats {
             pairs.push(("server", stats.clone()));
         }
@@ -533,6 +572,15 @@ struct WorkerOutcome {
     /// `(mix op, latency ns)` per completed request.
     samples: Vec<(&'static str, u64)>,
     queries: u64,
+    /// `(client ns, server us)` per traced request that came back with a
+    /// `took_us`.
+    trace_pairs: Vec<(u64, u64)>,
+}
+
+/// Stamps a client trace id onto a pre-rendered request line by splicing
+/// a `"trace"` member right after the opening brace.
+fn stamp_trace(line: &str, trace: &str) -> String {
+    line.replacen('{', &format!("{{\"trace\": \"{trace}\", "), 1)
 }
 
 /// Drives `config.connections` concurrent connections against `addr` for
@@ -589,6 +637,7 @@ pub fn loadgen(addr: SocketAddr, config: &LoadGenConfig) -> Result<LoadReport, C
     let total_requests = Arc::new(AtomicU64::new(0));
     let total_errors = Arc::new(AtomicU64::new(0));
     let depth = config.pipeline.max(1);
+    let trace_every = config.trace_sample;
     let started = Instant::now();
     let deadline = started + config.duration;
     let mut handles = Vec::new();
@@ -600,6 +649,7 @@ pub fn loadgen(addr: SocketAddr, config: &LoadGenConfig) -> Result<LoadReport, C
             let mut outcome = WorkerOutcome {
                 samples: Vec::new(),
                 queries: 0,
+                trace_pairs: Vec::new(),
             };
             let Ok(mut client) = Client::connect(addr) else {
                 total_errors.fetch_add(1, Ordering::Relaxed);
@@ -607,44 +657,61 @@ pub fn loadgen(addr: SocketAddr, config: &LoadGenConfig) -> Result<LoadReport, C
             };
             // Stagger the starting query so connections do not convoy.
             let mut next = worker % mix.len();
-            // In-flight requests, oldest first: (mix index, sent-at, seq).
-            let mut inflight: VecDeque<(usize, Instant, u64)> = VecDeque::new();
-            let mut read_one =
-                |client: &mut Client, inflight: &mut VecDeque<(usize, Instant, u64)>| -> bool {
-                    let Some((mix_idx, sent, seq)) = inflight.pop_front() else {
-                        return false;
-                    };
-                    let entry = &mix[mix_idx];
-                    match client.read_reply() {
-                        Ok(reply) => {
-                            let seq_ok = reply.get("seq").and_then(Json::as_u64) == Some(seq);
-                            if seq_ok && reply.get("ok").and_then(Json::as_bool) == Some(true) {
-                                outcome
-                                    .samples
-                                    .push((entry.op, sent.elapsed().as_nanos() as u64));
-                                outcome.queries += entry.queries;
-                                total_requests.fetch_add(1, Ordering::Relaxed);
-                                true
-                            } else {
-                                total_errors.fetch_add(1, Ordering::Relaxed);
-                                seq_ok // an ordered error reply leaves the connection usable
+            let mut sent_count: u64 = 0;
+            // In-flight requests, oldest first:
+            // (mix index, sent-at, seq, carried a trace id).
+            let mut inflight: VecDeque<(usize, Instant, u64, bool)> = VecDeque::new();
+            let mut read_one = |client: &mut Client,
+                                inflight: &mut VecDeque<(usize, Instant, u64, bool)>|
+             -> bool {
+                let Some((mix_idx, sent, seq, traced)) = inflight.pop_front() else {
+                    return false;
+                };
+                let entry = &mix[mix_idx];
+                match client.read_reply() {
+                    Ok(reply) => {
+                        let seq_ok = reply.get("seq").and_then(Json::as_u64) == Some(seq);
+                        if seq_ok && reply.get("ok").and_then(Json::as_bool) == Some(true) {
+                            let client_ns = sent.elapsed().as_nanos() as u64;
+                            outcome.samples.push((entry.op, client_ns));
+                            outcome.queries += entry.queries;
+                            if traced {
+                                if let Some(took_us) = reply.get("took_us").and_then(Json::as_u64) {
+                                    outcome.trace_pairs.push((client_ns, took_us));
+                                }
                             }
-                        }
-                        Err(_) => {
+                            total_requests.fetch_add(1, Ordering::Relaxed);
+                            true
+                        } else {
                             total_errors.fetch_add(1, Ordering::Relaxed);
-                            false
+                            seq_ok // an ordered error reply leaves the connection usable
                         }
                     }
-                };
+                    Err(_) => {
+                        total_errors.fetch_add(1, Ordering::Relaxed);
+                        false
+                    }
+                }
+            };
             'drive: while Instant::now() < deadline {
                 // Keep the pipeline full...
                 while inflight.len() < depth {
                     let seq = client.next_seq();
-                    if client.send_line(&mix[next].line).is_err() {
+                    let traced = trace_every > 0 && sent_count.is_multiple_of(trace_every as u64);
+                    let sent_ok = if traced {
+                        let trace = format!("lg-{worker}-{sent_count}");
+                        client
+                            .send_line(&stamp_trace(&mix[next].line, &trace))
+                            .is_ok()
+                    } else {
+                        client.send_line(&mix[next].line).is_ok()
+                    };
+                    if !sent_ok {
                         total_errors.fetch_add(1, Ordering::Relaxed);
                         break 'drive;
                     }
-                    inflight.push_back((next, Instant::now(), seq));
+                    sent_count += 1;
+                    inflight.push_back((next, Instant::now(), seq, traced));
                     next = (next + 1) % mix.len();
                 }
                 // ...and retire the oldest reply.
@@ -659,10 +726,12 @@ pub fn loadgen(addr: SocketAddr, config: &LoadGenConfig) -> Result<LoadReport, C
     }
     let mut samples: Vec<(&'static str, u64)> = Vec::new();
     let mut queries = 0u64;
+    let mut trace_pairs: Vec<(u64, u64)> = Vec::new();
     for handle in handles {
         if let Ok(outcome) = handle.join() {
             samples.extend(outcome.samples);
             queries += outcome.queries;
+            trace_pairs.extend(outcome.trace_pairs);
         }
     }
     let elapsed = started.elapsed();
@@ -685,6 +754,24 @@ pub fn loadgen(addr: SocketAddr, config: &LoadGenConfig) -> Result<LoadReport, C
             )
         })
         .collect();
+    let trace_sample = (trace_every > 0).then(|| {
+        let mut client_ns: Vec<u64> = trace_pairs.iter().map(|&(c, _)| c).collect();
+        let mut server_ns: Vec<u64> = trace_pairs.iter().map(|&(_, us)| us * 1_000).collect();
+        let mut overhead_ns: Vec<u64> = trace_pairs
+            .iter()
+            .map(|&(c, us)| c.saturating_sub(us * 1_000))
+            .collect();
+        client_ns.sort_unstable();
+        server_ns.sort_unstable();
+        overhead_ns.sort_unstable();
+        TraceSampleStats {
+            every: trace_every,
+            sampled: trace_pairs.len() as u64,
+            client_ms: LatencySummary::from_sorted_ns(&client_ns),
+            server_ms: LatencySummary::from_sorted_ns(&server_ns),
+            overhead_ms: LatencySummary::from_sorted_ns(&overhead_ns),
+        }
+    });
     Ok(LoadReport {
         connections: config.connections,
         pipeline: depth,
@@ -695,6 +782,7 @@ pub fn loadgen(addr: SocketAddr, config: &LoadGenConfig) -> Result<LoadReport, C
         errors: total_errors.load(Ordering::Relaxed),
         latency_ms: LatencySummary::from_sorted_ns(&all_ns),
         per_op,
+        trace_sample,
     })
 }
 
@@ -726,6 +814,16 @@ mod tests {
         let big: Vec<u64> = (1..=1000).collect();
         assert_eq!(percentile(&big, 0.99), 990);
         assert_eq!(percentile(&big, 0.999), 999);
+    }
+
+    #[test]
+    fn stamp_trace_splices_after_the_opening_brace() {
+        let line = "{\"op\": \"stats\"}\n";
+        let stamped = stamp_trace(line, "lg-0-7");
+        assert_eq!(stamped, "{\"trace\": \"lg-0-7\", \"op\": \"stats\"}\n");
+        let parsed = Json::parse(stamped.trim()).expect("stamped line stays valid JSON");
+        assert_eq!(parsed.get("trace").and_then(Json::as_str), Some("lg-0-7"));
+        assert_eq!(parsed.get("op").and_then(Json::as_str), Some("stats"));
     }
 
     #[test]

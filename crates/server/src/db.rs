@@ -193,6 +193,12 @@ pub struct DbManager {
     /// totals, and interner gauge into this registry (the `metrics`
     /// endpoint's solver section).
     registry: Option<Arc<Registry>>,
+    /// When `true`, fresh solves run with per-rule/per-phase profiling
+    /// enabled (result-neutral; timing fields only).
+    profile: bool,
+    /// When set, every profiled solve's stats are folded into this store
+    /// (the `profile` endpoint's data source).
+    profile_store: Option<Arc<crate::profile::ProfileStore>>,
     hits: AtomicU64,
     misses: AtomicU64,
     evictions: AtomicU64,
@@ -216,6 +222,8 @@ impl DbManager {
             solver_threads: 0,
             solve_hook: None,
             registry: None,
+            profile: false,
+            profile_store: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
@@ -239,6 +247,22 @@ impl DbManager {
     /// counters, fact totals, duration, and interner size there.
     pub fn with_registry(mut self, registry: Arc<Registry>) -> Self {
         self.registry = Some(registry);
+        self
+    }
+
+    /// Enables (or disables) per-rule/per-phase solver profiling on every
+    /// fresh solve. Deliberately *not* part of the cache key: profiling
+    /// is result-neutral, so profiled and unprofiled requests share one
+    /// cache entry.
+    pub fn with_profiling(mut self, profile: bool) -> Self {
+        self.profile = profile;
+        self
+    }
+
+    /// Attaches a profile store: every profiled solve folds its rule and
+    /// phase timings there.
+    pub fn with_profile_store(mut self, store: Arc<crate::profile::ProfileStore>) -> Self {
+        self.profile_store = Some(store);
         self
     }
 
@@ -365,6 +389,9 @@ impl DbManager {
         if solve_config.threads == 0 {
             solve_config.threads = self.solver_threads;
         }
+        if self.profile {
+            solve_config = solve_config.with_profiling();
+        }
         let solved = catch_unwind(AssertUnwindSafe(|| match &self.solve_hook {
             Some(hook) => hook(&program, &solve_config),
             None => analyze(&program, &solve_config),
@@ -380,6 +407,9 @@ impl DbManager {
         };
         if let Some(registry) = &self.registry {
             record_solve_metrics(registry, &result.stats);
+        }
+        if let Some(store) = &self.profile_store {
+            store.record(&result.stats);
         }
         let bytes = approx_result_bytes(&result);
         let mut state = self.cache.lock().unwrap();
@@ -444,6 +474,9 @@ impl DbManager {
         if solve_config.threads == 0 {
             solve_config.threads = self.solver_threads;
         }
+        if self.profile {
+            solve_config = solve_config.with_profiling();
+        }
         let cached_db = self.db_cache_get(&(base, tag.clone()));
         let base_cached = cached_db.is_some();
         let solved = catch_unwind(AssertUnwindSafe(|| match cached_db {
@@ -485,6 +518,9 @@ impl DbManager {
                 // extensions are accounted by the reuse counter instead.
                 if let Some(registry) = &self.registry {
                     record_solve_metrics(registry, &result.stats);
+                }
+                if let Some(store) = &self.profile_store {
+                    store.record(&result.stats);
                 }
             }
         };
@@ -542,6 +578,9 @@ impl DbManager {
         let mut solve_config = *config;
         if solve_config.threads == 0 {
             solve_config.threads = self.solver_threads;
+        }
+        if self.profile {
+            solve_config = solve_config.with_profiling();
         }
         let solved = catch_unwind(AssertUnwindSafe(|| {
             AnalysisDb::solve((*program).clone(), &solve_config)
@@ -875,6 +914,31 @@ mod tests {
         let text = registry.render();
         assert!(text.contains("ctxform_solver_rule_derived_total{rule=\"New\"}"));
         assert!(text.contains("ctxform_solver_solve_seconds_count 1"));
+    }
+
+    #[test]
+    fn profiled_solves_feed_the_store_and_cache_hits_do_not() {
+        let module = compile(corpus::BOX).unwrap();
+        let store = Arc::new(crate::profile::ProfileStore::default());
+        let db = DbManager::new(1 << 20)
+            .with_profiling(true)
+            .with_profile_store(store.clone());
+        let (digest, _) = db.load_program(module.program);
+        let (r, _) = db.get_or_solve(digest, &config("1-call")).unwrap();
+        assert!(
+            r.stats.profiled,
+            "manager-level profiling reached the solve"
+        );
+        assert_eq!(store.solves(), 1);
+        assert!(store.folded().contains("solver;eval;"));
+        // A cache hit performs no solve and must not re-fold the stats.
+        db.get_or_solve(digest, &config("1-call")).unwrap();
+        assert_eq!(store.solves(), 1);
+        // An unprofiled manager sharing the store never feeds it.
+        let plain = DbManager::new(1 << 20).with_profile_store(store.clone());
+        let (digest, _) = plain.load_program(compile(corpus::LIST).unwrap().program);
+        plain.get_or_solve(digest, &config("1-call")).unwrap();
+        assert_eq!(store.solves(), 1);
     }
 
     #[test]

@@ -63,13 +63,17 @@ pub mod client;
 pub mod db;
 pub mod json;
 pub mod metrics;
+pub mod profile;
 pub mod protocol;
 pub mod server;
 pub mod shard;
+pub mod tail;
 
-pub use client::{loadgen, Client, ClientError, LoadGenConfig, LoadReport};
+pub use client::{loadgen, Client, ClientError, LoadGenConfig, LoadReport, TraceSampleStats};
 pub use db::DbManager;
 pub use json::Json;
+pub use profile::ProfileStore;
 pub use protocol::{ErrorCode, ProtoError, Request};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use shard::{Router, Shard, ShardSnapshot};
+pub use tail::{Exemplar, ExemplarStore, FlightRecorder, EXEMPLARS_PER_ENDPOINT};

@@ -13,7 +13,7 @@ use crate::json::Json;
 
 /// The fixed endpoint list (wire `op` names plus a bucket for requests
 /// that never parsed far enough to have one).
-pub const ENDPOINTS: [&str; 17] = [
+pub const ENDPOINTS: [&str; 18] = [
     "load_source",
     "load_facts",
     "update",
@@ -27,6 +27,7 @@ pub const ENDPOINTS: [&str; 17] = [
     "reachable",
     "stats",
     "metrics",
+    "profile",
     "trace",
     "sleep",
     "shutdown",

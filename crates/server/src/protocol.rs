@@ -235,11 +235,18 @@ pub enum Request {
     Stats,
     /// Prometheus text exposition of server + solver metrics.
     Metrics,
+    /// Aggregated solver profile: per-rule wall-time histograms, phase
+    /// timings, byte accounting, and a folded-stack (flamegraph-ready)
+    /// rendering of where solve time went.
+    Profile,
     /// The collected trace spans/events (requires tracing enabled on
     /// the server; see `--trace` on `ctxform-serve`).
     Trace {
         /// Return only the newest `limit` records.
         limit: Option<usize>,
+        /// Also return the slowest-request exemplars per endpoint, each
+        /// with its reconstructed span subtree.
+        exemplars: bool,
     },
     /// Hold a shard worker for `ms` milliseconds (testing aid: exercises
     /// per-shard backpressure and per-request deadlines deterministically).
@@ -271,6 +278,7 @@ impl Request {
             Request::Reachable { .. } => "reachable",
             Request::Stats => "stats",
             Request::Metrics => "metrics",
+            Request::Profile => "profile",
             Request::Trace { .. } => "trace",
             Request::Sleep { .. } => "sleep",
             Request::Shutdown => "shutdown",
@@ -514,8 +522,13 @@ pub fn parse_request(line: &str) -> Result<(RequestMeta, Request), ProtoError> {
         },
         "stats" => Request::Stats,
         "metrics" => Request::Metrics,
+        "profile" => Request::Profile,
         "trace" => Request::Trace {
             limit: obj.get("limit").and_then(Json::as_u64).map(|n| n as usize),
+            exemplars: obj
+                .get("exemplars")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
         },
         "sleep" => Request::Sleep {
             ms: obj
@@ -629,7 +642,9 @@ mod tests {
             (r#"{"op": "reachable", "program": "ff"}"#, "reachable"),
             (r#"{"op": "stats"}"#, "stats"),
             (r#"{"op": "metrics"}"#, "metrics"),
+            (r#"{"op": "profile"}"#, "profile"),
             (r#"{"op": "trace", "limit": 100}"#, "trace"),
+            (r#"{"op": "trace", "exemplars": true}"#, "trace"),
             (r#"{"op": "sleep", "ms": 5}"#, "sleep"),
             (r#"{"op": "shutdown"}"#, "shutdown"),
         ];
@@ -686,6 +701,26 @@ mod tests {
         assert_eq!(vars.len(), 2);
         assert_eq!(vars[0].method, "A.m");
         assert_eq!(vars[1].var, "y");
+    }
+
+    #[test]
+    fn trace_exemplars_flag_parses() {
+        let (_, req) = parse_request(r#"{"op": "trace", "limit": 8}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Trace {
+                limit: Some(8),
+                exemplars: false
+            }
+        );
+        let (_, req) = parse_request(r#"{"op": "trace", "exemplars": true}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::Trace {
+                limit: None,
+                exemplars: true
+            }
+        );
     }
 
     #[test]

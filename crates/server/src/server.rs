@@ -24,12 +24,13 @@
 //! new connections, shard workers finish everything already queued, and
 //! [`ServerHandle::join`] returns the final metrics report.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Weak};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -37,16 +38,18 @@ use ctxform::{AnalysisConfig, AnalysisResult};
 use ctxform_demand::{DemandError, QueryOutcome};
 use ctxform_ir::{Program, Var};
 use ctxform_obs::metrics::{PromText, Registry};
-use ctxform_obs::{self as obs};
+use ctxform_obs::{self as obs, SpanContext};
 
 use crate::db::{ci_digest, program_digest, CacheSnapshot, DbError, DbManager};
 use crate::json::Json;
 use crate::metrics::Metrics;
+use crate::profile::ProfileStore;
 use crate::protocol::{
     digest_str, err_reply, parse_request, salvage_meta, ErrorCode, ProtoError, Request,
     RequestMeta, VarRef,
 };
 use crate::shard::{Job, Router, Shard, ShardSnapshot};
+use crate::tail::{Exemplar, ExemplarStore, FlightRecorder};
 
 /// Upper bound on one request line. Big enough for a `points_to_batch`
 /// with tens of thousands of variables or a hefty `load_source`, small
@@ -61,7 +64,7 @@ pub const MAX_LINE_BYTES: usize = 4 << 20;
 const PIPELINE_WINDOW: usize = 256;
 
 /// Tuning knobs of one server instance.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// TCP port to bind on 127.0.0.1 (0 = ephemeral).
     pub port: u16,
@@ -94,6 +97,15 @@ pub struct ServerConfig {
     /// program replicated to a second shard, and further reads alternate
     /// between the two (`None` = replication off).
     pub replicate_hot: Option<u64>,
+    /// Solver profiling: when on (the default), every fresh solve runs
+    /// with per-rule and per-phase timing enabled and feeds the
+    /// process-wide [`ProfileStore`] served by the `profile` op. Results
+    /// and cache entries are bit-identical either way — the flag only
+    /// buys back the timing overhead.
+    pub profile: bool,
+    /// When set, a [`FlightRecorder`] dumps the trace ring and shard
+    /// queue depths to this file on a deadline bust or a panic.
+    pub flight_path: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -115,6 +127,8 @@ impl Default for ServerConfig {
             solver_threads: 0,
             slow_query_ms: 0,
             replicate_hot: None,
+            profile: true,
+            flight_path: None,
         }
     }
 }
@@ -129,9 +143,18 @@ struct Shared {
     /// Solver-level metrics (rule counters, solve durations) fed by every
     /// shard's database manager and rendered by the `metrics` endpoint.
     registry: Arc<Registry>,
-    /// Fallback trace-id sequence for requests that did not supply one
-    /// (used by the slow-query log so every logged query is addressable).
-    trace_seq: AtomicU64,
+    /// Process-unique connection ids. Combined with the per-connection
+    /// `seq` they make the `srv-<conn>-<seq>` fallback trace id unique
+    /// across connections (a plain shared sequence would collide the
+    /// moment two connections raced it for "their" id).
+    next_conn: AtomicU64,
+    /// Aggregated solver profiling, fed by every shard's database manager
+    /// and served by the `profile` op.
+    profile: Arc<ProfileStore>,
+    /// Slowest-N requests per endpoint, served by `trace {exemplars}`.
+    exemplars: ExemplarStore,
+    /// When configured, dumps the trace ring on deadline busts / panics.
+    flight: Option<Arc<FlightRecorder>>,
     config: ServerConfig,
     addr: SocketAddr,
 }
@@ -233,13 +256,21 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
     let addr = listener.local_addr()?;
     let registry = Arc::new(Registry::new());
     let shard_count = config.shards.max(1);
+    let threads_per_shard = config.threads.max(1);
     let per_shard_budget = (config.cache_bytes / shard_count).max(1);
+    let profile = Arc::new(ProfileStore::default());
+    let flight = config
+        .flight_path
+        .clone()
+        .map(|path| Arc::new(FlightRecorder::new(path)));
     let shards: Vec<Shard> = (0..shard_count)
         .map(|_| {
             Shard::new(
                 DbManager::new(per_shard_budget)
                     .with_solver_threads(config.solver_threads)
-                    .with_registry(registry.clone()),
+                    .with_registry(registry.clone())
+                    .with_profiling(config.profile)
+                    .with_profile_store(profile.clone()),
                 config.queue_depth,
             )
         })
@@ -250,14 +281,21 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         connections: AtomicUsize::new(0),
         metrics: Metrics::default(),
         registry,
-        trace_seq: AtomicU64::new(1),
+        next_conn: AtomicU64::new(1),
+        profile,
+        exemplars: ExemplarStore::default(),
+        flight: flight.clone(),
         config,
         addr,
     });
 
-    let mut workers = Vec::with_capacity(shard_count * config.threads.max(1));
+    if let Some(flight) = flight {
+        install_panic_flight_hook(flight, Arc::downgrade(&shared));
+    }
+
+    let mut workers = Vec::with_capacity(shard_count * threads_per_shard);
     for shard in 0..shard_count {
-        for i in 0..config.threads.max(1) {
+        for i in 0..threads_per_shard {
             let shared = shared.clone();
             workers.push(
                 thread::Builder::new()
@@ -279,6 +317,22 @@ pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
         accept: Some(accept),
         workers,
     })
+}
+
+/// Chains a panic hook that dumps a flight record before the previous
+/// hook (usually the default backtrace printer) runs. The `Weak` keeps
+/// the hook from pinning the server alive after `join`; a post-shutdown
+/// panic simply dumps with no queue depths.
+fn install_panic_flight_hook(flight: Arc<FlightRecorder>, shared: Weak<Shared>) {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let depths: Vec<usize> = shared
+            .upgrade()
+            .map(|s| s.router.shards().iter().map(Shard::queued).collect())
+            .unwrap_or_default();
+        flight.dump("panic", &depths);
+        prev(info);
+    }));
 }
 
 fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
@@ -303,11 +357,12 @@ fn accept_loop(listener: TcpListener, shared: &Arc<Shared>) {
             );
             continue;
         }
+        let conn = shared.next_conn.fetch_add(1, Ordering::Relaxed);
         let conn_shared = shared.clone();
         let spawned = thread::Builder::new()
             .name("ctxform-conn".into())
             .spawn(move || {
-                handle_connection(&conn_shared, stream);
+                handle_connection(&conn_shared, stream, conn);
                 conn_shared.connections.fetch_sub(1, Ordering::SeqCst);
             });
         if spawned.is_err() {
@@ -337,6 +392,9 @@ enum Slot {
         fallback: String,
         endpoint: &'static str,
         started: Instant,
+        /// The request's root span, so the writer's wait for this reply
+        /// shows up as a `server.reply_wait` child in the trace.
+        ctx: Option<SpanContext>,
     },
 }
 
@@ -353,7 +411,7 @@ const IDLE_POLL_MAX: Duration = Duration::from_millis(500);
 /// thread drains the in-order slot queue. Pipelined requests therefore
 /// execute concurrently across shards, yet replies always come back in
 /// request order, each stamped with its `seq`.
-fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
+fn handle_connection(shared: &Arc<Shared>, stream: TcpStream, conn: u64) {
     let _ = stream.set_nodelay(true);
     let Ok(write_stream) = stream.try_clone() else {
         return;
@@ -367,7 +425,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
         return;
     };
 
-    read_requests(shared, stream, &slots_tx);
+    read_requests(shared, stream, &slots_tx, conn);
 
     drop(slots_tx); // EOF for the writer once every queued reply is out
     let _ = writer.join();
@@ -375,7 +433,7 @@ fn handle_connection(shared: &Arc<Shared>, stream: TcpStream) {
 
 /// The reader half of one connection. Returns when the client closes, the
 /// writer dies, shutdown drains, or a `shutdown` op is served.
-fn read_requests(shared: &Arc<Shared>, mut stream: TcpStream, slots: &SyncSender<Slot>) {
+fn read_requests(shared: &Arc<Shared>, mut stream: TcpStream, slots: &SyncSender<Slot>, conn: u64) {
     let mut poll = IDLE_POLL_MIN;
     let _ = stream.set_read_timeout(Some(poll));
     let mut acc: Vec<u8> = Vec::new();
@@ -393,7 +451,7 @@ fn read_requests(shared: &Arc<Shared>, mut stream: TcpStream, slots: &SyncSender
                 continue;
             }
             seq += 1;
-            if serve_line(shared, slots, line.trim(), seq) {
+            if serve_line(shared, slots, line.trim(), seq, conn) {
                 return;
             }
         }
@@ -474,17 +532,28 @@ fn writer_loop(shared: &Shared, mut stream: TcpStream, slots: &Receiver<Slot>) {
                 fallback,
                 endpoint,
                 started,
-            } => match rx.recv() {
-                Ok(line) => line,
-                Err(_) => {
-                    // The shard worker died before replying; the fallback
-                    // internal-error reply keeps seq accounting intact.
-                    shared
-                        .metrics
-                        .record(endpoint, started.elapsed(), fallback.len(), true);
-                    fallback
+                ctx,
+            } => {
+                let wait_start = Instant::now();
+                let line = match rx.recv() {
+                    Ok(line) => line,
+                    Err(_) => {
+                        // The shard worker died before replying; the fallback
+                        // internal-error reply keeps seq accounting intact.
+                        shared
+                            .metrics
+                            .record(endpoint, started.elapsed(), fallback.len(), true);
+                        fallback
+                    }
+                };
+                // How long the in-order writer sat on this slot — for a
+                // pipelined connection this is head-of-line blocking, a
+                // latency component neither queue-wait nor solve covers.
+                if ctx.is_some() {
+                    obs::record_span_at("server.reply_wait", ctx, wait_start, Vec::new());
                 }
-            },
+                line
+            }
         };
         if stream.write_all(line.as_bytes()).is_err() {
             // Dropping the receiver makes the reader's next send fail, so
@@ -508,6 +577,7 @@ fn route(shared: &Shared, request: &Request) -> Route {
         | Request::LoadFacts { .. }
         | Request::Stats
         | Request::Metrics
+        | Request::Profile
         | Request::Trace { .. }
         | Request::Shutdown => Route::Inline,
         Request::Update { base, .. } => Route::Shard(shared.router.owner(*base)),
@@ -529,25 +599,47 @@ fn route(shared: &Shared, request: &Request) -> Route {
 /// Parses and routes one request line; pushes exactly one reply slot.
 /// Returns `true` when the connection should stop reading (after
 /// `shutdown` or when the writer is gone).
-fn serve_line(shared: &Arc<Shared>, slots: &SyncSender<Slot>, line: &str, seq: u64) -> bool {
+fn serve_line(
+    shared: &Arc<Shared>,
+    slots: &SyncSender<Slot>,
+    line: &str,
+    seq: u64,
+    conn: u64,
+) -> bool {
     let started = Instant::now();
     let (mut meta, request) = match parse_request(line) {
         Ok(parsed) => parsed,
         Err(e) => {
             let mut meta = salvage_meta(line);
             meta.seq = Some(seq);
-            let reply = finish_reply(shared, &meta, "invalid", Err(e), started);
+            let reply = finish_reply(shared, &meta, "invalid", Err(e), started, conn, None);
             return slots.send(Slot::Ready(reply)).is_err();
         }
     };
     meta.seq = Some(seq);
     let endpoint = request.endpoint();
+    // The request's root span. Detached, so it can ride the shard job
+    // queue and close on whichever worker thread finishes the request;
+    // the queue-wait / solve / serialize phases hang off it as children.
+    let mut span = obs::span_detached("server.request");
+    if span.is_active() {
+        span.record("endpoint", endpoint);
+        span.record("conn", conn);
+        span.record("seq", seq);
+        if let Some(trace) = &meta.trace {
+            span.record("trace", trace.clone());
+        }
+    }
+    let ctx = span.context();
     match route(shared, &request) {
         Route::Inline => {
-            let outcome = traced(endpoint, meta.trace.as_ref(), || {
+            let outcome = {
+                let _solve = obs::span_under("server.solve", ctx);
                 dispatch_inline(shared, &request, started)
-            });
-            let reply = finish_reply(shared, &meta, endpoint, outcome, started);
+            };
+            span.record("ok", outcome.is_ok());
+            let reply = finish_reply(shared, &meta, endpoint, outcome, started, conn, ctx);
+            drop(span);
             let stop = matches!(request, Request::Shutdown);
             slots.send(Slot::Ready(reply)).is_err() || stop
         }
@@ -561,6 +653,10 @@ fn serve_line(shared: &Arc<Shared>, slots: &SyncSender<Slot>, line: &str, seq: u
                 request,
                 meta,
                 started,
+                enqueued: Instant::now(),
+                conn,
+                ctx,
+                span: Some(span),
                 reply: reply_tx,
             };
             match shared.router.shards()[index].submit(job) {
@@ -570,14 +666,21 @@ fn serve_line(shared: &Arc<Shared>, slots: &SyncSender<Slot>, line: &str, seq: u
                         fallback,
                         endpoint,
                         started,
+                        ctx,
                     })
                     .is_err(),
-                Err(job) => {
+                Err(mut job) => {
                     let outcome = Err(ProtoError::new(
                         ErrorCode::Overloaded,
                         format!("shard {index} queue is full, retry later"),
                     ));
-                    let reply = finish_reply(shared, &job.meta, endpoint, outcome, started);
+                    if let Some(span) = job.span.as_mut() {
+                        span.record("ok", false);
+                        span.record("shed", true);
+                    }
+                    let reply =
+                        finish_reply(shared, &job.meta, endpoint, outcome, started, conn, job.ctx);
+                    drop(job);
                     slots.send(Slot::Ready(reply)).is_err()
                 }
             }
@@ -590,7 +693,17 @@ fn serve_line(shared: &Arc<Shared>, slots: &SyncSender<Slot>, line: &str, seq: u
 /// sending the finished reply line to the owning connection's writer.
 fn shard_worker(shared: &Arc<Shared>, index: usize) {
     let shard = &shared.router.shards()[index];
-    while let Some(job) = shard.next_job(|| shared.is_shutdown()) {
+    while let Some(mut job) = shard.next_job(|| shared.is_shutdown()) {
+        // The queue-wait phase is only known at dequeue; record it
+        // retroactively as a child of the request's root span.
+        if job.ctx.is_some() {
+            obs::record_span_at(
+                "server.queue_wait",
+                job.ctx,
+                job.enqueued,
+                vec![("shard", index.into())],
+            );
+        }
         let endpoint = job.request.endpoint();
         let outcome = if job.started.elapsed() > shared.config.deadline {
             // Shed without executing: the whole deadline went to queueing.
@@ -602,11 +715,24 @@ fn shard_worker(shared: &Arc<Shared>, index: usize) {
                 ),
             ))
         } else {
-            traced(endpoint, job.meta.trace.as_ref(), || {
-                dispatch_shard(shared, index, &job.request, job.started)
-            })
+            let _solve = obs::span_under("server.solve", job.ctx);
+            dispatch_shard(shared, index, &job.request, job.started)
         };
-        let reply = finish_reply(shared, &job.meta, endpoint, outcome, job.started);
+        if let Some(span) = job.span.as_mut() {
+            span.record("ok", outcome.is_ok());
+        }
+        let reply = finish_reply(
+            shared,
+            &job.meta,
+            endpoint,
+            outcome,
+            job.started,
+            job.conn,
+            job.ctx,
+        );
+        // Close the root span before handing the reply to the writer, so
+        // a `trace` call right after the reply lands sees the whole tree.
+        job.span.take();
         // A send failure means the connection is gone; the work is simply
         // dropped (its cache effects remain).
         let _ = job.reply.send(reply);
@@ -615,51 +741,65 @@ fn shard_worker(shared: &Arc<Shared>, index: usize) {
 
 type Fields = Vec<(&'static str, Json)>;
 
-/// Wraps one dispatch in the request trace span.
-fn traced<F>(endpoint: &'static str, trace: Option<&String>, f: F) -> Result<Fields, ProtoError>
-where
-    F: FnOnce() -> Result<Fields, ProtoError>,
-{
-    let mut span = obs::span("server.request");
-    if span.is_active() {
-        span.record("endpoint", endpoint);
-        if let Some(trace) = trace {
-            span.record("trace", trace.clone());
-        }
-    }
-    let outcome = f();
-    span.record("ok", outcome.is_ok());
-    outcome
-}
-
-/// Builds the reply line for one finished request and records its metrics
-/// and slow-query log entry. Used by both the inline path (reader thread)
-/// and the shard path (worker thread).
+/// Builds the reply line for one finished request and records its
+/// metrics, tail exemplar, flight dump, and slow-query log entry. Used by
+/// both the inline path (reader thread) and the shard path (worker
+/// thread).
 fn finish_reply(
     shared: &Shared,
     meta: &RequestMeta,
     endpoint: &'static str,
     outcome: Result<Fields, ProtoError>,
     started: Instant,
+    conn: u64,
+    ctx: Option<SpanContext>,
 ) -> String {
-    let (reply, is_error) = match outcome {
-        Ok(fields) => (meta.ok_reply(fields), false),
-        Err(e) => (meta.err_reply(&e), true),
+    let deadline_bust = matches!(&outcome, Err(e) if e.code == ErrorCode::DeadlineExceeded);
+    let (reply, is_error) = {
+        // Serialization is the third latency phase of the span tree
+        // (after queue-wait and solve) — reply rendering is O(bytes) and
+        // a `points_to_batch` reply can run to megabytes.
+        let _serialize = obs::span_under("server.serialize", ctx);
+        match outcome {
+            Ok(mut fields) => {
+                if meta.trace.is_some() {
+                    // Clients that trace get the server-side latency in
+                    // the reply, so client-observed minus `took_us` is
+                    // attributable to the network and client stack.
+                    fields.push(("took_us", Json::uint(started.elapsed().as_micros() as u64)));
+                }
+                (meta.ok_reply(fields), false)
+            }
+            Err(e) => (meta.err_reply(&e), true),
+        }
     };
     let latency = started.elapsed();
     shared
         .metrics
         .record(endpoint, latency, reply.len(), is_error);
+    // Every request gets an addressable trace id: the client's if it
+    // supplied one, otherwise `srv-<conn>-<seq>` — unique because conn
+    // ids are process-unique and seq is per-connection monotone.
+    let trace = meta
+        .trace
+        .clone()
+        .unwrap_or_else(|| format!("srv-{conn:08x}-{:08x}", meta.seq.unwrap_or(0)));
+    shared.exemplars.offer(Exemplar {
+        endpoint,
+        trace: trace.clone(),
+        latency_us: latency.as_micros().min(u128::from(u64::MAX)) as u64,
+        seq: meta.seq,
+        error: is_error,
+        root: ctx.map(SpanContext::id),
+    });
+    if deadline_bust {
+        if let Some(flight) = &shared.flight {
+            let depths: Vec<usize> = shared.router.shards().iter().map(Shard::queued).collect();
+            flight.dump("deadline_exceeded", &depths);
+        }
+    }
     let slow = shared.config.slow_query_ms;
     if slow > 0 && latency >= Duration::from_millis(slow) {
-        // Every slow query gets an addressable trace id: the client's if it
-        // supplied one, a server-generated sequence number otherwise.
-        let trace = meta.trace.clone().unwrap_or_else(|| {
-            format!(
-                "srv-{:08x}",
-                shared.trace_seq.fetch_add(1, Ordering::Relaxed)
-            )
-        });
         let latency_ms = latency.as_secs_f64() * 1000.0;
         obs::logger::warn(
             "ctxform-serve",
@@ -700,7 +840,8 @@ fn dispatch_inline(
         }
         Request::Stats => Ok(stats_fields(shared)),
         Request::Metrics => Ok(metrics_fields(shared)),
-        Request::Trace { limit } => Ok(trace_fields(*limit)),
+        Request::Profile => Ok(profile_fields(shared)),
+        Request::Trace { limit, exemplars } => Ok(trace_fields(shared, *limit, *exemplars)),
         Request::Shutdown => {
             shared.begin_shutdown();
             Ok(vec![("draining", Json::Bool(true))])
@@ -1406,11 +1547,121 @@ fn metrics_fields(shared: &Shared) -> Fields {
         shared.router.replicated_digests() as f64,
     );
     render_cache_prometheus(&mut text, &aggregate_cache(&snaps));
+    render_obs_prometheus(&mut text);
+    render_profile_prometheus(&mut text, &shared.profile);
     shared.registry.render_into(&mut text);
     vec![
         ("content_type", Json::str("text/plain; version=0.0.4")),
         ("exposition", Json::str(text.finish())),
     ]
+}
+
+/// Trace-collector and logger health as Prometheus series, so a scraper
+/// can see span loss (`ctxform_trace_dropped_total`), ring occupancy,
+/// and log suppression without calling the `trace` op.
+fn render_obs_prometheus(text: &mut PromText) {
+    let ts = obs::trace_stats();
+    text.header(
+        "ctxform_trace_dropped_total",
+        "counter",
+        "Span records evicted from the trace ring since the last reset.",
+    );
+    text.sample("ctxform_trace_dropped_total", &[], ts.dropped as f64);
+    text.header(
+        "ctxform_trace_records",
+        "gauge",
+        "Span records resident across the trace ring shards.",
+    );
+    text.sample("ctxform_trace_records", &[], ts.records as f64);
+    text.header(
+        "ctxform_trace_capacity",
+        "gauge",
+        "Per-shard record capacity of the trace ring.",
+    );
+    text.sample("ctxform_trace_capacity", &[], ts.capacity as f64);
+    text.header(
+        "ctxform_trace_enabled",
+        "gauge",
+        "Whether span collection is enabled (1) or disabled (0).",
+    );
+    text.sample(
+        "ctxform_trace_enabled",
+        &[],
+        if ts.enabled { 1.0 } else { 0.0 },
+    );
+    let ls = obs::logger_stats();
+    text.header(
+        "ctxform_log_emitted_total",
+        "counter",
+        "Log lines written to the sink since process start.",
+    );
+    text.sample("ctxform_log_emitted_total", &[], ls.emitted as f64);
+    text.header(
+        "ctxform_log_suppressed_total",
+        "counter",
+        "Log lines dropped by the minimum-level filter since process start.",
+    );
+    text.sample("ctxform_log_suppressed_total", &[], ls.suppressed as f64);
+    text.header(
+        "ctxform_log_min_level",
+        "gauge",
+        "Active minimum log level (0=debug, 1=info, 2=warn, 3=error).",
+    );
+    text.sample("ctxform_log_min_level", &[], f64::from(ls.min_level));
+}
+
+/// Aggregated solver-profiling series: per-rule wall time and the byte
+/// accounting of the most recent profiled solve's database.
+fn render_profile_prometheus(text: &mut PromText, profile: &ProfileStore) {
+    let (solves, rule, phase, memory) = profile.snapshot();
+    text.header(
+        "ctxform_solver_profiled_solves_total",
+        "counter",
+        "Profiled solver runs folded into the profile store.",
+    );
+    text.sample("ctxform_solver_profiled_solves_total", &[], solves as f64);
+    text.header(
+        "ctxform_solver_phase_seconds_total",
+        "counter",
+        "Wall time spent in each solver phase across profiled solves.",
+    );
+    for (name, ns) in [
+        ("seed", phase.seed_ns),
+        ("eval", phase.eval_ns),
+        ("merge", phase.merge_ns),
+    ] {
+        text.sample(
+            "ctxform_solver_phase_seconds_total",
+            &[("phase", name)],
+            ns as f64 / 1e9,
+        );
+    }
+    text.header(
+        "ctxform_solver_rule_seconds_total",
+        "counter",
+        "Wall time spent evaluating each Fig. 3 rule across profiled solves.",
+    );
+    for (name, ns, _count) in rule.nonzero() {
+        text.sample(
+            "ctxform_solver_rule_seconds_total",
+            &[("rule", name)],
+            ns as f64 / 1e9,
+        );
+    }
+    text.header(
+        "ctxform_solver_bytes",
+        "gauge",
+        "Bytes held by the most recent profiled solve's database, by section.",
+    );
+    for (section, name, bytes) in memory.sections() {
+        if bytes > 0 {
+            text.sample(
+                "ctxform_solver_bytes",
+                &[("section", section), ("name", name)],
+                bytes as f64,
+            );
+        }
+    }
 }
 
 fn render_cache_prometheus(text: &mut PromText, cache: &CacheSnapshot) {
@@ -1493,27 +1744,124 @@ fn render_cache_prometheus(text: &mut PromText, cache: &CacheSnapshot) {
     }
 }
 
+/// Builds the `profile` reply: the aggregated per-rule / per-phase solver
+/// timings and byte accounting, plus a folded-stack text rendering that
+/// pipes straight into `flamegraph.pl` / `inferno-flamegraph`.
+fn profile_fields(shared: &Shared) -> Fields {
+    let (solves, rule, phase, memory) = shared.profile.snapshot();
+    let rules: Vec<(String, Json)> = rule
+        .nonzero()
+        .map(|(name, ns, count)| {
+            (
+                name.to_owned(),
+                Json::obj([("ns", Json::uint(ns)), ("count", Json::uint(count))]),
+            )
+        })
+        .collect();
+    let sections: Vec<Json> = memory
+        .sections()
+        .filter(|&(_, _, bytes)| bytes > 0)
+        .map(|(section, name, bytes)| {
+            Json::obj([
+                ("section", Json::str(section)),
+                ("name", Json::str(name)),
+                ("bytes", Json::uint(bytes as u64)),
+            ])
+        })
+        .collect();
+    vec![
+        ("enabled", Json::Bool(shared.config.profile)),
+        ("solves", Json::uint(solves)),
+        (
+            "phases",
+            Json::obj([
+                ("seed_ns", Json::uint(phase.seed_ns)),
+                ("eval_ns", Json::uint(phase.eval_ns)),
+                ("merge_ns", Json::uint(phase.merge_ns)),
+            ]),
+        ),
+        ("rules", Json::Obj(rules)),
+        ("memory_bytes", Json::uint(memory.total() as u64)),
+        ("memory_sections", Json::Arr(sections)),
+        ("folded", Json::str(shared.profile.folded())),
+    ]
+}
+
 /// Builds the `trace` reply: a snapshot of the in-process trace ring,
 /// embedded as structured JSON by round-tripping the obs exporter's
-/// output through this crate's parser.
-fn trace_fields(limit: Option<usize>) -> Fields {
-    let mut dump = obs::snapshot();
-    if let Some(limit) = limit {
-        let skip = dump.records.len().saturating_sub(limit);
-        dump.records.drain(..skip);
-    }
-    let records = match Json::parse(&dump.to_json()) {
-        Ok(json) => json
-            .get("records")
-            .cloned()
-            .unwrap_or_else(|| Json::Arr(Vec::new())),
-        Err(_) => Json::Arr(Vec::new()),
+/// output through this crate's parser. With `exemplars`, the slowest
+/// retained requests per endpoint ride along, each with its span subtree
+/// reconstructed from the ring (from the *pre-truncation* snapshot, so a
+/// tight `limit` cannot hollow out an exemplar's tree).
+fn trace_fields(shared: &Shared, limit: Option<usize>, exemplars: bool) -> Fields {
+    let dump = obs::snapshot();
+    let full = match Json::parse(&dump.to_json()) {
+        Ok(json) => json,
+        Err(_) => Json::obj([]),
     };
-    vec![
+    let empty: Vec<Json> = Vec::new();
+    let all_records = full.get("records").and_then(Json::as_arr).unwrap_or(&empty);
+    let mut fields: Fields = vec![
         ("enabled", Json::Bool(obs::tracing_enabled())),
         ("dropped", Json::uint(dump.dropped)),
-        ("records", records),
-    ]
+    ];
+    if exemplars {
+        // Child links, from the raw dump (ids are cheaper there than in
+        // the round-tripped JSON).
+        let mut children: HashMap<u64, Vec<u64>> = HashMap::new();
+        for rec in &dump.records {
+            if let Some(parent) = rec.parent {
+                children.entry(parent).or_default().push(rec.id);
+            }
+        }
+        let items: Vec<Json> = shared
+            .exemplars
+            .snapshot()
+            .into_iter()
+            .map(|ex| {
+                let mut obj = vec![
+                    ("endpoint".to_owned(), Json::str(ex.endpoint)),
+                    ("trace".to_owned(), Json::Str(ex.trace)),
+                    ("latency_us".to_owned(), Json::uint(ex.latency_us)),
+                    ("error".to_owned(), Json::Bool(ex.error)),
+                ];
+                if let Some(seq) = ex.seq {
+                    obj.push(("seq".to_owned(), Json::uint(seq)));
+                }
+                if let Some(root) = ex.root {
+                    let mut keep: HashSet<u64> = HashSet::new();
+                    let mut stack = vec![root];
+                    while let Some(id) = stack.pop() {
+                        if keep.insert(id) {
+                            if let Some(kids) = children.get(&id) {
+                                stack.extend(kids);
+                            }
+                        }
+                    }
+                    let spans: Vec<Json> = all_records
+                        .iter()
+                        .filter(|r| {
+                            r.get("id")
+                                .and_then(Json::as_u64)
+                                .is_some_and(|id| keep.contains(&id))
+                        })
+                        .cloned()
+                        .collect();
+                    obj.push(("spans".to_owned(), Json::Arr(spans)));
+                }
+                Json::Obj(obj)
+            })
+            .collect();
+        fields.push(("exemplars", Json::Arr(items)));
+    }
+    let records = if let Some(limit) = limit {
+        let skip = all_records.len().saturating_sub(limit);
+        Json::Arr(all_records[skip..].to_vec())
+    } else {
+        Json::Arr(all_records.to_vec())
+    };
+    fields.push(("records", records));
+    fields
 }
 
 /// Builds the `stats` reply. The top-level shape predates sharding and is

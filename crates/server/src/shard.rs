@@ -48,6 +48,18 @@ pub(crate) struct Job {
     /// When the request line was read off the socket — the deadline and
     /// latency clock starts here, so time spent queued counts.
     pub started: Instant,
+    /// When the job entered the shard queue — `server.queue_wait` spans
+    /// measure from here to the worker pop.
+    pub enqueued: Instant,
+    /// Process-unique connection id (trace-id fallback component).
+    pub conn: u64,
+    /// The request's root span context; worker-side phase spans
+    /// (`server.queue_wait`, `server.solve`) parent under it.
+    pub ctx: Option<ctxform_obs::SpanContext>,
+    /// The detached `server.request` root span itself, carried across the
+    /// queue so it closes when the worker finishes the reply (its duration
+    /// covers queue wait + solve + serialize).
+    pub span: Option<ctxform_obs::Span>,
     /// Where the finished reply line goes (the connection's writer drain).
     pub reply: SyncSender<String>,
 }
@@ -407,6 +419,10 @@ mod tests {
                 seq: Some(seq),
             },
             started: Instant::now(),
+            enqueued: Instant::now(),
+            conn: 1,
+            ctx: None,
+            span: None,
             reply: tx.clone(),
         };
         assert!(shard.submit(job(1)).is_ok());

@@ -5,7 +5,7 @@
 //! per-request deadlines, loadgen under concurrency, and graceful
 //! shutdown.
 
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use ctxform::{analyze, AnalysisConfig};
@@ -15,6 +15,15 @@ use ctxform_server::db::ci_digest;
 use ctxform_server::json::Json;
 use ctxform_server::protocol::digest_str;
 use ctxform_server::server::{start, ServerConfig, ServerHandle};
+
+/// The trace ring is process-global, so tests that flip tracing on and
+/// off serialize through this gate rather than observing each other's
+/// ring state mid-assertion.
+static TRACE_GATE: Mutex<()> = Mutex::new(());
+
+fn trace_gate() -> std::sync::MutexGuard<'static, ()> {
+    TRACE_GATE.lock().unwrap_or_else(|e| e.into_inner())
+}
 
 fn test_server(configure: impl FnOnce(&mut ServerConfig)) -> ServerHandle {
     let mut config = ServerConfig {
@@ -572,6 +581,18 @@ fn metrics_endpoint_serves_valid_prometheus_exposition() {
     );
     assert!(text.contains("ctxform_solver_rule_derived_total{rule=\"Reach\"}"));
     assert!(text.contains("ctxform_solver_solve_seconds_count 1"));
+    // Tracing / logging health series (present even with tracing off).
+    assert!(text.contains("ctxform_trace_dropped_total "));
+    assert!(text.contains("ctxform_trace_enabled "));
+    assert!(text.contains("ctxform_log_emitted_total "));
+    // Solver profiling series fed by the fresh (profiled) solve.
+    assert!(text.contains("ctxform_solver_profiled_solves_total 1"));
+    assert!(text.contains("ctxform_solver_phase_seconds_total{phase=\"eval\"}"));
+    assert!(
+        text.contains("ctxform_solver_rule_seconds_total{rule=\"New\"}"),
+        "missing per-rule time counter in:\n{text}"
+    );
+    assert!(text.contains("ctxform_solver_bytes{section="));
 
     server.shutdown();
     server.join();
@@ -581,6 +602,7 @@ fn metrics_endpoint_serves_valid_prometheus_exposition() {
 /// endpoint returns the in-process trace ring as structured JSON.
 #[test]
 fn trace_ids_echo_and_trace_endpoint_round_trips() {
+    let _gate = trace_gate();
     let server = test_server(|_| {});
     let mut client = Client::connect(server.addr()).unwrap();
 
@@ -1578,11 +1600,24 @@ fn loadgen_query_op_drives_demand_mix_cleanly() {
             duration: Duration::from_millis(800),
             sensitivity: "1-call".into(),
             op: "query".into(),
+            trace_sample: 2,
         },
     )
     .expect("loadgen setup");
     assert_eq!(report.errors, 0, "demand loadgen must run clean");
     assert!(report.requests > 0);
+    // 1-in-2 requests carried a trace id; the report splits their
+    // client-observed latency into server time vs overhead.
+    let ts = report.trace_sample.as_ref().expect("trace sample stats");
+    assert_eq!(ts.every, 2);
+    assert!(ts.sampled > 0, "some requests must have been traced");
+    assert!(
+        ts.server_ms.p50 <= ts.client_ms.p50,
+        "server `took_us` cannot exceed the client-observed latency \
+         (server p50 {} ms vs client p50 {} ms)",
+        ts.server_ms.p50,
+        ts.client_ms.p50
+    );
     for op in ["query", "query_batch"] {
         assert!(
             report.per_op.iter().any(|(o, s)| o == op && s.count > 0),
@@ -1600,4 +1635,245 @@ fn loadgen_query_op_drives_demand_mix_cleanly() {
     );
     server.shutdown();
     server.join();
+}
+
+/// A pipelined batch of 64 requests across 2 shards: every reply's span
+/// tree decomposes end-to-end latency into queue wait, solve, and
+/// serialize phases, all parented under one `server.request` root
+/// carrying that request's trace id — and traced replies carry the
+/// server-side `took_us`.
+#[test]
+fn request_spans_decompose_queue_solve_serialize() {
+    let _gate = trace_gate();
+    ctxform_obs::enable_tracing(65_536);
+    // Queues must absorb the burst: all 64 pipelined requests can land
+    // before either shard's workers drain any.
+    let server = test_server(|c| c.queue_depth = 256);
+    let mut client = Client::connect(server.addr()).unwrap();
+    // Several corpus programs, consistent-hashed across both shards.
+    let digests: Vec<String> = corpus::all()
+        .iter()
+        .map(|(_, source)| client.load_source(source).unwrap())
+        .collect();
+
+    let bodies: Vec<Json> = (0..64usize)
+        .map(|i| {
+            let digest = &digests[i % digests.len()];
+            Json::obj([
+                ("op", Json::str("reachable")),
+                ("program", Json::str(digest.clone())),
+                ("abstraction", Json::str("tstring")),
+                ("sensitivity", Json::str("2-object+H")),
+                ("trace", Json::str(format!("span-{i}"))),
+            ])
+        })
+        .collect();
+    let replies = client.pipeline(&bodies).unwrap();
+    assert_eq!(replies.len(), 64);
+    for (i, reply) in replies.iter().enumerate() {
+        assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(true));
+        assert_eq!(
+            reply.get("trace").and_then(Json::as_str),
+            Some(format!("span-{i}").as_str())
+        );
+        assert!(
+            reply.get("took_us").and_then(Json::as_u64).is_some(),
+            "traced replies must report server time: {}",
+            reply.to_line()
+        );
+    }
+    // Untraced replies carry neither a trace id nor `took_us`.
+    let plain = client
+        .request(&Json::obj([
+            ("op", Json::str("reachable")),
+            ("program", Json::str(digests[0].clone())),
+            ("abstraction", Json::str("tstring")),
+            ("sensitivity", Json::str("2-object+H")),
+        ]))
+        .unwrap();
+    assert!(plain.get("trace").is_none());
+    assert!(plain.get("took_us").is_none());
+
+    let dump = client
+        .request(&Json::obj([("op", Json::str("trace"))]))
+        .unwrap();
+    ctxform_obs::disable_tracing();
+    ctxform_obs::clear_trace();
+    server.shutdown();
+    server.join();
+
+    let records = dump.get("records").unwrap().as_arr().unwrap();
+    for i in 0..64usize {
+        let trace = format!("span-{i}");
+        let root = records
+            .iter()
+            .find(|r| {
+                r.get("name").and_then(Json::as_str) == Some("server.request")
+                    && r.get("fields")
+                        .and_then(|f| f.get("trace"))
+                        .and_then(Json::as_str)
+                        == Some(trace.as_str())
+            })
+            .unwrap_or_else(|| panic!("no server.request root for {trace}"));
+        let root_id = root.get("id").unwrap().as_u64().unwrap();
+        let children: Vec<&str> = records
+            .iter()
+            .filter(|r| r.get("parent").and_then(Json::as_u64) == Some(root_id))
+            .map(|r| r.get("name").and_then(Json::as_str).unwrap())
+            .collect();
+        for phase in ["server.queue_wait", "server.solve", "server.serialize"] {
+            assert!(
+                children.contains(&phase),
+                "{trace}: root span is missing the `{phase}` child; got {children:?}"
+            );
+        }
+    }
+}
+
+/// The `profile` op exposes the always-on solver profile: per-rule and
+/// per-phase time, the memory footprint, and folded stacks — and
+/// `--no-profile` turns the whole thing into zeros without changing
+/// answers.
+#[test]
+fn profile_op_reports_rules_phases_and_folded_stacks() {
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let digest = client.load_source(corpus::BOX).unwrap();
+    let traced = client
+        .request(&points_to_req(&digest, "2-object+H", "Main.main", "r1"))
+        .unwrap();
+    let heaps = str_arr(&traced, "heaps");
+
+    let profile = client
+        .request(&Json::obj([("op", Json::str("profile"))]))
+        .unwrap();
+    assert_eq!(profile.get("enabled").unwrap().as_bool(), Some(true));
+    assert!(profile.get("solves").unwrap().as_u64().unwrap() >= 1);
+    let phases = profile.get("phases").unwrap();
+    assert!(phases.get("eval_ns").unwrap().as_u64().unwrap() > 0);
+    let rules = profile.get("rules").unwrap();
+    assert!(
+        rules.get("New").is_some(),
+        "profiled solve must attribute time to the New rule: {}",
+        profile.to_line()
+    );
+    assert!(profile.get("memory_bytes").unwrap().as_u64().unwrap() > 0);
+    let folded = profile.get("folded").unwrap().as_str().unwrap();
+    assert!(
+        folded.lines().any(|l| l.starts_with("solver;eval;")),
+        "folded stacks must include eval frames:\n{folded}"
+    );
+    server.shutdown();
+    server.join();
+
+    // With profiling off the endpoint still answers, reports itself
+    // disabled, and the analysis answers are bit-identical.
+    let server = test_server(|c| c.profile = false);
+    let mut client = Client::connect(server.addr()).unwrap();
+    let digest = client.load_source(corpus::BOX).unwrap();
+    let reply = client
+        .request(&points_to_req(&digest, "2-object+H", "Main.main", "r1"))
+        .unwrap();
+    assert_eq!(str_arr(&reply, "heaps"), heaps, "profiling changed answers");
+    let profile = client
+        .request(&Json::obj([("op", Json::str("profile"))]))
+        .unwrap();
+    assert_eq!(profile.get("enabled").unwrap().as_bool(), Some(false));
+    assert_eq!(profile.get("solves").unwrap().as_u64(), Some(0));
+    server.shutdown();
+    server.join();
+}
+
+/// `trace {exemplars: true}` returns the slowest retained requests per
+/// endpoint, each with its span subtree reconstructed from the ring —
+/// even when `limit` truncates the record list itself to nothing.
+#[test]
+fn trace_exemplars_attach_span_subtrees() {
+    let _gate = trace_gate();
+    ctxform_obs::enable_tracing(65_536);
+    let server = test_server(|_| {});
+    let mut client = Client::connect(server.addr()).unwrap();
+    let digest = client.load_source(corpus::BOX).unwrap();
+    client
+        .request_raw(&format!(
+            "{{\"op\": \"points_to\", \"program\": \"{digest}\", \
+             \"abstraction\": \"tstring\", \"sensitivity\": \"2-object+H\", \
+             \"method\": \"Main.main\", \"var\": \"r1\", \"trace\": \"tail-probe\"}}\n"
+        ))
+        .unwrap();
+
+    let reply = client
+        .request(&Json::obj([
+            ("op", Json::str("trace")),
+            ("limit", Json::int(0)),
+            ("exemplars", Json::Bool(true)),
+        ]))
+        .unwrap();
+    ctxform_obs::disable_tracing();
+    ctxform_obs::clear_trace();
+    server.shutdown();
+    server.join();
+
+    assert!(
+        reply.get("records").unwrap().as_arr().unwrap().is_empty(),
+        "limit 0 must empty the record list"
+    );
+    let exemplars = reply.get("exemplars").unwrap().as_arr().unwrap();
+    let probe = exemplars
+        .iter()
+        .find(|e| e.get("trace").and_then(Json::as_str) == Some("tail-probe"))
+        .expect("the traced points_to request must rank among the exemplars");
+    assert_eq!(probe.get("endpoint").unwrap().as_str(), Some("points_to"));
+    assert!(probe.get("latency_us").unwrap().as_u64().is_some());
+    let spans = probe.get("spans").unwrap().as_arr().unwrap();
+    assert!(
+        spans
+            .iter()
+            .any(|s| s.get("name").and_then(Json::as_str) == Some("server.request")),
+        "exemplar subtree must keep its root span despite limit 0"
+    );
+    assert!(
+        spans.len() >= 2,
+        "subtree must include phase children, got {} spans",
+        spans.len()
+    );
+}
+
+/// A deadline bust arms the flight recorder: the trace ring and shard
+/// queue depths land in the configured file for the post-mortem.
+#[test]
+fn deadline_bust_dumps_a_flight_record() {
+    let path = std::env::temp_dir().join(format!(
+        "ctxform-flight-service-{}.json",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_file(&path);
+    let server = test_server(|c| {
+        c.deadline = Duration::from_millis(80);
+        c.flight_path = Some(path.clone());
+    });
+    let mut client = Client::connect(server.addr()).unwrap();
+    let reply = client
+        .request_raw("{\"op\": \"sleep\", \"ms\": 300}\n")
+        .unwrap();
+    assert_eq!(
+        reply.get("error").unwrap().as_str(),
+        Some("deadline_exceeded")
+    );
+    server.shutdown();
+    server.join();
+
+    let text = std::fs::read_to_string(&path).expect("flight record file");
+    let doc = Json::parse(&text).expect("flight record is valid JSON");
+    assert_eq!(
+        doc.get("schema").unwrap().as_str(),
+        Some("ctxform-flight/1")
+    );
+    assert_eq!(
+        doc.get("reason").unwrap().as_str(),
+        Some("deadline_exceeded")
+    );
+    assert!(doc.get("queues").unwrap().as_arr().is_some());
+    assert!(doc.get("trace").is_some());
+    let _ = std::fs::remove_file(&path);
 }
