@@ -150,6 +150,52 @@ fn compose_is_associative() {
     });
 }
 
+/// Summary chains fold association-independently: for a random chain of
+/// canonical transformers `t₁ ; t₂ ; … ; tₙ` (a callee's body viewed as
+/// one composed transformation), the left fold and the right fold agree —
+/// either both ⊥ or the identical canonical transformer. This is the
+/// n-ary consequence of associativity that the summary solver's
+/// bottom-up mode leans on: a caller applying an already-folded callee
+/// summary must get exactly what re-folding the callee's chain itself
+/// would have produced. Untruncated composition only — truncation is
+/// deliberately not associative (it over-approximates at each step), which
+/// is why summaries are synthesized from solved facts, not by composing
+/// truncated transformers.
+#[test]
+fn summary_chain_folds_are_association_independent() {
+    for_cases(0xFF, |rng| {
+        let len = 2 + rng.below(5);
+        let words: Vec<Word> = (0..len).map(|_| random_word(rng)).collect();
+        let mut it = CtxtInterner::new();
+        let mut chain = Vec::with_capacity(len);
+        for w in &words {
+            match w.normalize(&mut it) {
+                Some(t) => chain.push(t),
+                None => return,
+            }
+        }
+        let left = chain[1..].iter().try_fold(chain[0], |acc, &t| {
+            acc.compose_in(&mut it, t, usize::MAX, usize::MAX)
+        });
+        let right = chain[..len - 1]
+            .iter()
+            .rev()
+            .try_fold(chain[len - 1], |acc, &t| {
+                t.compose_in(&mut it, acc, usize::MAX, usize::MAX)
+            });
+        assert_eq!(left, right, "chain folds disagree (len {len})");
+        // When defined, the fold also matches the denotation of the
+        // concatenated words — the summary really is the chain.
+        if let Some(folded) = left {
+            let concat = words
+                .iter()
+                .skip(1)
+                .fold(words[0].clone(), |acc, w| acc.concat(w));
+            assert_eq!(concat.normalize(&mut it), Some(folded));
+        }
+    });
+}
+
 /// Composition is a pure function of its operands: recomputing yields the
 /// identical canonical result. This is the precondition that makes the
 /// solver's compose-memoization table (keyed on interned handles) sound.

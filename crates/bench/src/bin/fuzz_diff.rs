@@ -1,0 +1,214 @@
+//! Differential fuzzer for the solver engines.
+//!
+//! ```text
+//! cargo run --release -p ctxform-bench --bin fuzz_diff -- \
+//!     [--iters N] [--seed S] [--repro-dir PATH]
+//! ```
+//!
+//! Each iteration draws a seeded `ctxform_synth` program and sweeps the
+//! shared differential matrix ([`ctxform_testutil::incremental_configs`]:
+//! {cstring, tstring} × {1-call, 1-object}) × {1, 4} threads ×
+//! {rounds, summary-scc}, holding every cell to the serial round-based
+//! solve of the same program:
+//!
+//! 1. **Digest parity** — `AnalysisDb::fact_digest` (rendered, sorted,
+//!    context-sensitive facts) must be bit-identical.
+//! 2. **Pts-set equality** — the context-insensitive projections must
+//!    match set-for-set.
+//! 3. **Extend-after-fuzz parity** — one seeded additive edit is applied
+//!    through `AnalysisDb::extend` in every cell and the digest is held
+//!    to the serial from-scratch solve of the edited revision.
+//!
+//! On the first violated property the harness writes a reproducer to
+//! `ctxform-fuzz-repro/1` — a JSON object with the seed, iteration,
+//! config, thread count, solve mode, both digests, and the generator
+//! inputs needed to replay (`fuzz_diff --iters 1 --seed <seed>`) — and
+//! exits nonzero. CI uploads that file as an artifact on failure.
+
+use ctxform::{AnalysisConfig, AnalysisDb, SolveMode};
+use ctxform_minijava::compile;
+use ctxform_obs::logger;
+use ctxform_server::json::{hex16, Json};
+use ctxform_synth::{edit_script, random_program};
+use ctxform_testutil::{incremental_configs, PARITY_THREADS};
+
+const MODES: [SolveMode; 2] = [SolveMode::Rounds, SolveMode::SummaryScc];
+
+/// One differential violation, with everything needed to replay it.
+struct Violation {
+    seed: u64,
+    iter: usize,
+    config: AnalysisConfig,
+    threads: usize,
+    mode: SolveMode,
+    property: &'static str,
+    expected: u64,
+    actual: u64,
+}
+
+impl Violation {
+    fn to_json(&self, iters: usize) -> Json {
+        Json::obj([
+            ("schema", Json::str("ctxform-fuzz-repro/1")),
+            ("seed", Json::uint(self.seed)),
+            ("iter", Json::int(self.iter)),
+            ("iters", Json::int(iters)),
+            ("config", Json::Str(self.config.to_string())),
+            ("threads", Json::int(self.threads)),
+            ("solve_mode", Json::Str(self.mode.to_string())),
+            ("property", Json::str(self.property)),
+            ("expected_digest", Json::Str(hex16(self.expected))),
+            ("actual_digest", Json::Str(hex16(self.actual))),
+            (
+                "replay",
+                Json::Str(format!(
+                    "cargo run --release -p ctxform-bench --bin fuzz_diff -- \
+                     --iters 1 --seed {}",
+                    self.seed
+                )),
+            ),
+        ])
+    }
+}
+
+/// Runs every differential property for one seed; returns the first
+/// violation, if any.
+fn check_seed(seed: u64, iter: usize) -> Option<Violation> {
+    let source = random_program(seed, 1);
+    // One edited revision for the extend-after-fuzz property (revision 0
+    // is the base itself).
+    let revisions = edit_script(&source, seed, 1);
+    let programs: Vec<_> = revisions
+        .iter()
+        .map(|src| {
+            compile(src)
+                .unwrap_or_else(|e| panic!("seed {seed}: revision fails to compile: {e}"))
+                .program
+        })
+        .collect();
+
+    for base in incremental_configs() {
+        // The serial round-based solve is the oracle for every cell;
+        // digests are independent of thread count and engine.
+        let oracle = AnalysisDb::solve(programs[0].clone(), &base.with_threads(1));
+        let oracle_edit_digest =
+            AnalysisDb::solve(programs[1].clone(), &base.with_threads(1)).fact_digest();
+        for mode in MODES {
+            for &threads in &PARITY_THREADS {
+                let cfg = base.with_solve_mode(mode).with_threads(threads);
+                let mut db = AnalysisDb::solve(programs[0].clone(), &cfg);
+                if db.fact_digest() != oracle.fact_digest() {
+                    return Some(Violation {
+                        seed,
+                        iter,
+                        config: base,
+                        threads,
+                        mode,
+                        property: "fact_digest parity",
+                        expected: oracle.fact_digest(),
+                        actual: db.fact_digest(),
+                    });
+                }
+                if db.result().ci != oracle.result().ci {
+                    return Some(Violation {
+                        seed,
+                        iter,
+                        config: base,
+                        threads,
+                        mode,
+                        property: "ci pts-set equality",
+                        expected: oracle.fact_digest(),
+                        actual: db.fact_digest(),
+                    });
+                }
+                let outcome = db.extend(programs[1].clone());
+                if !outcome.is_incremental() {
+                    panic!(
+                        "seed {seed} {base} threads={threads} mode={mode}: \
+                         additive fuzz edit did not extend incrementally: {outcome:?}"
+                    );
+                }
+                if db.fact_digest() != oracle_edit_digest {
+                    return Some(Violation {
+                        seed,
+                        iter,
+                        config: base,
+                        threads,
+                        mode,
+                        property: "extend-after-fuzz parity",
+                        expected: oracle_edit_digest,
+                        actual: db.fact_digest(),
+                    });
+                }
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    let mut iters = 25usize;
+    let mut seed0 = 0u64;
+    let mut repro_dir = "ctxform-fuzz-repro".to_owned();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--iters" => {
+                iters = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .expect("--iters needs a positive integer");
+            }
+            "--seed" => {
+                seed0 = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs an unsigned integer");
+            }
+            "--repro-dir" => repro_dir = args.next().expect("--repro-dir needs a path"),
+            "--help" | "-h" => {
+                eprintln!("usage: fuzz_diff [--iters N] [--seed S] [--repro-dir PATH]");
+                return;
+            }
+            other => panic!("unknown argument `{other}`"),
+        }
+    }
+
+    for iter in 0..iters {
+        let seed = seed0.wrapping_add(iter as u64);
+        if let Some(v) = check_seed(seed, iter) {
+            let path = format!("{repro_dir}/1");
+            std::fs::create_dir_all(&repro_dir)
+                .unwrap_or_else(|e| panic!("cannot create {repro_dir}: {e}"));
+            std::fs::write(&path, v.to_json(iters).to_pretty())
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            logger::error(
+                "fuzz_diff",
+                format!(
+                    "seed {seed} ({}, threads={}, mode={}) violated {}: \
+                     expected {} got {}; reproducer written to {path}",
+                    v.config,
+                    v.threads,
+                    v.mode,
+                    v.property,
+                    hex16(v.expected),
+                    hex16(v.actual)
+                ),
+            );
+            std::process::exit(1);
+        }
+        if (iter + 1) % 5 == 0 || iter + 1 == iters {
+            logger::info("fuzz_diff", format!("{}/{iters} seeds clean", iter + 1));
+        }
+    }
+    logger::info(
+        "fuzz_diff",
+        format!(
+            "all {iters} seeds clean across {} configs x {:?} threads x {:?}",
+            incremental_configs().len(),
+            PARITY_THREADS,
+            MODES.map(|m| m.to_string()),
+        ),
+    );
+}

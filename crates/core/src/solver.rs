@@ -32,6 +32,7 @@
 //!   small trusted `Copy` tuples, the exact case Fx is built for.
 
 mod frontier;
+mod summary;
 
 use std::mem;
 use std::time::Instant;
@@ -44,7 +45,7 @@ use ctxform_ir::{
 };
 
 use crate::bucket::Bucket;
-use crate::config::AnalysisConfig;
+use crate::config::{AnalysisConfig, SolveMode};
 use crate::result::{rule, AnalysisResult, CiFacts, LoggedFact, MemoryFootprint, SolverStats};
 
 /// Fixed per-slot estimate for hash-container overhead (control bytes
@@ -311,6 +312,8 @@ pub(crate) struct SolverState<A: Abstraction> {
     q_reach: Vec<(Method, CtxtStr)>,
     live_pts: FxHashMap<(Var, Heap), Vec<A::X>>,
     dead_pts: FxHashSet<(Var, Heap, A::X)>,
+    summary_by_method: BucketMap<Method, (Heap, A::X)>,
+    summary_seen: FxHashSet<(Method, Heap, A::X)>,
     compose_memo: ComposeMemo<A::X>,
     subsume_memo: FxHashMap<(A::X, A::X), bool>,
     scratch_heap: Vec<(Heap, A::X)>,
@@ -360,6 +363,8 @@ impl<A: Abstraction> SolverState<A> {
             q_reach: Vec::new(),
             live_pts: FxHashMap::default(),
             dead_pts: FxHashSet::default(),
+            summary_by_method: FxHashMap::default(),
+            summary_seen: FxHashSet::default(),
             compose_memo: FxHashMap::default(),
             subsume_memo: FxHashMap::default(),
             scratch_heap: Vec::new(),
@@ -508,6 +513,19 @@ struct Solver<'p, A: Abstraction> {
     live_pts: FxHashMap<(Var, Heap), Vec<A::X>>,
     dead_pts: FxHashSet<(Var, Heap, A::X)>,
 
+    /// Method summaries (summary mode only): every `pts(Z, H, B)` row on
+    /// a return variable `Z` of `P`, merged into one bucket per `P` and
+    /// boundary-indexed on the destination side — exactly the filter the
+    /// caller-side Ret join needs. Synthesized incrementally in
+    /// [`Solver::insert_pts`]; maintained as a second *join index* over
+    /// existing rows, never a source of new facts, so the least model is
+    /// untouched.
+    summary_by_method: BucketMap<Method, (Heap, A::X)>,
+    /// Dedup for `summary_by_method`: a variable can be the return of
+    /// several methods and a method can have several return variables
+    /// carrying the same `(H, B)` row.
+    summary_seen: FxHashSet<(Method, Heap, A::X)>,
+
     compose_memo: ComposeMemo<A::X>,
     /// Memo table for `subsumes(a, b)`.
     subsume_memo: FxHashMap<(A::X, A::X), bool>,
@@ -564,6 +582,8 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             q_reach: st.q_reach,
             live_pts: st.live_pts,
             dead_pts: st.dead_pts,
+            summary_by_method: st.summary_by_method,
+            summary_seen: st.summary_seen,
             compose_memo: st.compose_memo,
             subsume_memo: st.subsume_memo,
             scratch_heap: st.scratch_heap,
@@ -606,6 +626,8 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             q_reach: self.q_reach,
             live_pts: self.live_pts,
             dead_pts: self.dead_pts,
+            summary_by_method: self.summary_by_method,
+            summary_seen: self.summary_seen,
             compose_memo: self.compose_memo,
             subsume_memo: self.subsume_memo,
             scratch_heap: self.scratch_heap,
@@ -617,6 +639,12 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             log: self.log,
             gate: self.gate,
         }
+    }
+
+    /// `true` iff this run maintains and applies method summaries
+    /// (i.e. the *effective* solve mode is [`SolveMode::SummaryScc`]).
+    fn summary_mode(&self) -> bool {
+        matches!(self.config.effective_solve_mode().0, SolveMode::SummaryScc)
     }
 
     fn limits_store(&self) -> Limits {
@@ -1008,6 +1036,9 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         let mode = self.mode;
 
         self.pts_by_var.clear();
+        self.summary_by_method.clear();
+        self.summary_seen.clear();
+        let summary = self.summary_mode();
         let mut pts: Vec<(Var, Heap, A::X)> = self.pts.iter().copied().collect();
         pts.sort_unstable();
         for (y, h, x) in pts {
@@ -1016,6 +1047,19 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 .entry(y)
                 .or_insert_with(|| Bucket::new(strategy, mode))
                 .insert(boundary, (h, x), self.abs.interner());
+            if summary {
+                let ix = self.ix;
+                if let Some(methods) = ix.returns_by_var.get(&y) {
+                    for &p in methods {
+                        if self.summary_seen.insert((p, h, x)) {
+                            self.summary_by_method
+                                .entry(p)
+                                .or_insert_with(|| Bucket::new(strategy, mode))
+                                .insert(boundary, (h, x), self.abs.interner());
+                        }
+                    }
+                }
+            }
         }
 
         self.hpts_by_gf.clear();
@@ -1362,17 +1406,21 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         }
     }
 
-    /// Runs the queues to empty with the engine `threads` selects: the
-    /// legacy one-delta-at-a-time loop, or the frontier-parallel rounds.
+    /// Runs the queues to empty with the engine the effective solve mode
+    /// and `threads` select: the bottom-up SCC wave scheduler
+    /// ([`summary`]), the legacy one-delta-at-a-time loop, or the
+    /// frontier-parallel rounds.
     fn run_to_fixpoint(&mut self, threads: usize) {
         self.stats.threads_used = threads;
-        if threads > 1 {
-            self.fixpoint_parallel(threads);
-        } else {
-            let t = self.prof_start();
-            self.fixpoint();
-            if let Some(t) = t {
-                self.stats.phase_profile.eval_ns += t.elapsed().as_nanos() as u64;
+        match self.config.effective_solve_mode().0 {
+            SolveMode::SummaryScc => self.fixpoint_scc(threads),
+            SolveMode::Rounds if threads > 1 => self.fixpoint_parallel(threads),
+            SolveMode::Rounds => {
+                let t = self.prof_start();
+                self.fixpoint();
+                if let Some(t) = t {
+                    self.stats.phase_profile.eval_ns += t.elapsed().as_nanos() as u64;
+                }
             }
         }
     }
@@ -1682,7 +1730,28 @@ impl<'p, A: Abstraction> Solver<'p, A> {
         // Ret, call role.
         let t = self.prof_start();
         if let Some(ys) = ix.assign_return_by_inv.get(&i) {
-            if let Some(returns) = ix.returns_by_method.get(&p) {
+            if self.summary_mode() {
+                // Summary path: one boundary-indexed probe over the
+                // callee's merged summary rows instead of a scan per
+                // return variable. The rows, the compatibility filter,
+                // and the compose are byte-identical to the scan below,
+                // so the derived facts are too.
+                let query = self.abs.dst_boundary(c);
+                let inv_c = self.abs.invert(c);
+                let mut cand = mem::take(&mut self.scratch_heap);
+                cand.clear();
+                self.collect_compatible_summary(p, query, &mut cand);
+                for &(h, b) in cand.iter() {
+                    let Some(a) = self.compose(b, inv_c, self.limits_flow()) else {
+                        continue;
+                    };
+                    self.stats.summaries_applied += 1;
+                    for &y in ys {
+                        self.insert_pts(y, h, a, "Ret");
+                    }
+                }
+                self.scratch_heap = cand;
+            } else if let Some(returns) = ix.returns_by_method.get(&p) {
                 let query = self.abs.dst_boundary(c);
                 // `c` is fixed for this delta, so its inverse is loop-invariant.
                 let inv_c = self.abs.invert(c);
@@ -1722,6 +1791,22 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 bucket.for_compatible(query, self.abs.interner(), |v| out.push(v))
             };
             self.stats.probes += probes;
+        }
+    }
+
+    /// Summary-mode analogue of per-return-variable
+    /// [`Solver::collect_compatible_pts`]: probes the callee's merged
+    /// summary bucket. Summary mode never runs with subsumption
+    /// ([`AnalysisConfig::effective_solve_mode`] falls back first), so
+    /// there is no dead-row filter here.
+    fn collect_compatible_summary(
+        &mut self,
+        p: Method,
+        query: CtxtStr,
+        out: &mut Vec<(Heap, A::X)>,
+    ) {
+        if let Some(bucket) = self.summary_by_method.get(&p) {
+            self.stats.probes += bucket.for_compatible(query, self.abs.interner(), |v| out.push(v));
         }
     }
 
@@ -1888,6 +1973,23 @@ impl<'p, A: Abstraction> Solver<'p, A> {
             .entry(y)
             .or_insert_with(|| Bucket::new(strategy, mode))
             .insert(boundary, (h, x), self.abs.interner());
+        // Summary synthesis: a new row on a return variable of `P`
+        // becomes (part of) `P`'s summary transformation, ready for
+        // caller-side Ret joins without re-scanning `P`'s returns.
+        if self.summary_mode() {
+            let ix = self.ix;
+            if let Some(methods) = ix.returns_by_var.get(&y) {
+                for &p in methods {
+                    if self.summary_seen.insert((p, h, x)) {
+                        self.stats.summaries_synthesized += 1;
+                        self.summary_by_method
+                            .entry(p)
+                            .or_insert_with(|| Bucket::new(strategy, mode))
+                            .insert(boundary, (h, x), self.abs.interner());
+                    }
+                }
+            }
+        }
         if self.config.record_facts {
             let text = format!(
                 "pts({}, {}, {})",

@@ -62,7 +62,7 @@ use super::{ComposeMemo, Solver};
 use crate::result::{rule, RoundProfile, RuleTimes, MAX_ROUND_PROFILES};
 
 /// One drained delta, tagged with its relation.
-enum Delta<X> {
+pub(super) enum Delta<X> {
     Reach(Method, CtxtStr),
     Pts(Var, Heap, X),
     Call(Inv, Method, X),
@@ -76,7 +76,7 @@ enum Delta<X> {
 /// The `Def*` variants are derivations the worker could not finish
 /// read-only because the result requires interning a new context string;
 /// the merge phase replays the mutating operation and inserts the result.
-enum Candidate<X> {
+pub(super) enum Candidate<X> {
     Pts(Var, Heap, X, &'static str),
     Hpts(Heap, Field, Heap, X, &'static str),
     Hload(Heap, Field, Var, X, &'static str),
@@ -103,7 +103,7 @@ enum Candidate<X> {
 
 /// Per-worker state that persists across rounds: the compose-memo shard
 /// and the reusable join-candidate buffers.
-struct WorkerState<X> {
+pub(super) struct WorkerState<X> {
     memo: ComposeMemo<X>,
     scratch_heap: Vec<(Heap, X)>,
     scratch_method: Vec<(Method, X)>,
@@ -125,19 +125,22 @@ impl<X> Default for WorkerState<X> {
 
 /// The output of processing one chunk: candidates in frontier order plus
 /// the counter deltas to fold into [`SolverStats`](crate::SolverStats).
-struct ChunkOut<X> {
-    cands: Vec<Candidate<X>>,
-    probes: u64,
-    compose_calls: u64,
-    compose_bottom: u64,
-    memo_hits: u64,
-    memo_misses: u64,
-    deferred: u64,
+pub(super) struct ChunkOut<X> {
+    pub(super) cands: Vec<Candidate<X>>,
+    pub(super) probes: u64,
+    pub(super) compose_calls: u64,
+    pub(super) compose_bottom: u64,
+    pub(super) memo_hits: u64,
+    pub(super) memo_misses: u64,
+    pub(super) deferred: u64,
+    /// Summary-index Ret applications observed by this chunk's worker
+    /// (summary mode only; always zero under round-based solving).
+    pub(super) summaries_applied: u64,
     /// Per-rule evaluation wall time observed by this chunk's worker
     /// (all-zero unless `config.profile` is set). Folded into
     /// `stats.rule_time` during the merge phase — purely observational,
     /// never part of the candidate stream.
-    rule_time: RuleTimes,
+    pub(super) rule_time: RuleTimes,
 }
 
 impl<X> Default for ChunkOut<X> {
@@ -150,6 +153,7 @@ impl<X> Default for ChunkOut<X> {
             memo_hits: 0,
             memo_misses: 0,
             deferred: 0,
+            summaries_applied: 0,
             rule_time: RuleTimes::default(),
         }
     }
@@ -158,7 +162,7 @@ impl<X> Default for ChunkOut<X> {
 /// Contiguous chunk length for a frontier of `n` deltas. Any value yields
 /// the same result (chunks are concatenated in order); this only balances
 /// scheduling granularity against per-chunk overhead.
-fn chunk_size(n: usize, threads: usize) -> usize {
+pub(super) fn chunk_size(n: usize, threads: usize) -> usize {
     n.div_ceil(threads * 4).clamp(16, 4096)
 }
 
@@ -170,7 +174,7 @@ struct Worker<'a, 'p, A: Abstraction> {
 }
 
 /// Evaluates the rule drivers for every delta in `chunk`, read-only.
-fn process_chunk<'p, A: Abstraction>(
+pub(super) fn process_chunk<'p, A: Abstraction>(
     s: &Solver<'p, A>,
     st: &mut WorkerState<A::X>,
     chunk: &[Delta<A::X>],
@@ -310,6 +314,15 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
 
     // Read-only join candidate collection (mirrors the legacy
     // `collect_compatible_*` methods, counting probes locally).
+
+    /// Worker-side mirror of `Solver::collect_compatible_summary`
+    /// (summary mode never runs with subsumption, so no dead filter).
+    fn collect_summary(&mut self, p: Method, query: CtxtStr, out: &mut Vec<(Heap, A::X)>) {
+        let s = self.s;
+        if let Some(bucket) = s.summary_by_method.get(&p) {
+            self.out.probes += bucket.for_compatible(query, s.abs.interner(), |v| out.push(v));
+        }
+    }
 
     fn collect_pts(&mut self, var: Var, query: CtxtStr, out: &mut Vec<(Heap, A::X)>) {
         let s = self.s;
@@ -659,7 +672,36 @@ impl<'p, A: Abstraction> Worker<'_, 'p, A> {
         self.prof_rule(t, rule::PARAM);
         let t = self.prof_start();
         if let Some(ys) = ix.assign_return_by_inv.get(&i) {
-            if let Some(returns) = ix.returns_by_method.get(&p) {
+            if s.summary_mode() {
+                // Summary path — same rows, filter, and compose as the
+                // per-return-variable scan below (see the serial
+                // `process_call` for the parity argument).
+                let query = s.abs.dst_boundary(c);
+                let inv_c = s.abs.invert(c);
+                let limits = s.limits_flow();
+                let mut cand = mem::take(&mut self.st.scratch_heap);
+                cand.clear();
+                self.collect_summary(p, query, &mut cand);
+                for &(h, b) in cand.iter() {
+                    let composed = match self.try_compose(b, inv_c, limits) {
+                        Ok(Some(a)) => Some(a),
+                        Ok(None) => continue,
+                        Err(()) => None,
+                    };
+                    if composed.is_some() {
+                        self.out.summaries_applied += 1;
+                    }
+                    for &y in ys {
+                        match composed {
+                            Some(a) => self.emit_pts(y, h, a, "Ret"),
+                            None => {
+                                self.defer(Candidate::DefComposePts(y, h, b, inv_c, limits, "Ret"))
+                            }
+                        }
+                    }
+                }
+                self.st.scratch_heap = cand;
+            } else if let Some(returns) = ix.returns_by_method.get(&p) {
                 let query = s.abs.dst_boundary(c);
                 let inv_c = s.abs.invert(c);
                 let limits = s.limits_flow();
@@ -798,6 +840,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
                 self.stats.compose_memo_hits += out.memo_hits;
                 self.stats.compose_memo_misses += out.memo_misses;
                 self.stats.par_deferred += out.deferred;
+                self.stats.summaries_applied += out.summaries_applied;
                 self.stats.rule_time.merge(&out.rule_time);
                 merged += out.cands.len();
                 for cand in out.cands {
@@ -824,7 +867,7 @@ impl<'p, A: Abstraction> Solver<'p, A> {
 
     /// Applies one worker candidate through the ordinary insertion
     /// methods; `Def*` variants replay their interning operation first.
-    fn apply_candidate(&mut self, cand: Candidate<A::X>) {
+    pub(super) fn apply_candidate(&mut self, cand: Candidate<A::X>) {
         match cand {
             Candidate::Pts(y, h, x, rule) => self.insert_pts(y, h, x, rule),
             Candidate::Hpts(g, f, h, x, rule) => self.insert_hpts(g, f, h, x, rule),

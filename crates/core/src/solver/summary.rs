@@ -1,0 +1,249 @@
+//! Bottom-up SCC scheduling for the semi-naive solver
+//! ([`crate::SolveMode::SummaryScc`]).
+//!
+//! The round-based engines treat the delta queues as one global
+//! worklist. This module instead condenses the static call graph into
+//! SCCs ([`ctxform_ir::callgraph`], reverse-topologically numbered) and
+//! drains deltas in **bottom-up waves**: every drained delta is bucketed
+//! by the component that *owns* it, and each wave processes the dirty
+//! buckets on the lowest dirty level — leaf callees before their
+//! callers. Combined with the summary index the insertion path
+//! maintains (`summary_by_method`: each method's return rows merged into
+//! one boundary-indexed bucket), a caller's Ret join is usually answered
+//! by one probe of an already-complete callee summary.
+//!
+//! # Ownership
+//!
+//! * `reach(P, ·)` → `P`'s component (drives New/Static/SLoad in `P`).
+//! * `pts(Y, ·, ·)` → the component of `Y`'s containing method.
+//! * `call(I, Q, ·)` → the *callee* `Q`'s component (drives `Q`'s
+//!   reachability and formals, and applies `Q`'s summary).
+//! * `hpts`/`hload`/`spts` → one global bucket appended to every wave:
+//!   heap-indexed and static-field facts have no single owning method.
+//!
+//! # Correctness
+//!
+//! The scheduler changes only the order deltas are processed in, never
+//! the rules: every drained delta is eventually processed (a wave always
+//! drains at least one non-empty bucket, and the loop re-drains the
+//! queues until everything is empty), each delta is evaluated against
+//! indices containing every previously-merged fact, and both
+//! orientations of every two-derived-literal join are implemented by the
+//! drivers — so the semi-naive completeness argument of the round-based
+//! engines applies verbatim and the least model (hence `fact_digest`) is
+//! bit-identical. The SCC-parity suite and the differential fuzz harness
+//! enforce exactly this.
+//!
+//! # Parallelism
+//!
+//! With `threads > 1`, the dirty same-level buckets of a wave become the
+//! work items: one chunk per component bucket (far coarser than the
+//! round-based engine's fixed-size frontier chunks — components on one
+//! level share no callee-in-flight, so they are natural unsynchronized
+//! units) plus `chunk_size`-sliced chunks of the global bucket. Workers
+//! stride over chunks exactly like [`super::frontier`], evaluation is
+//! read-only, and the merge applies chunk outputs sequentially in chunk
+//! order — the same determinism argument as the frontier engine, so the
+//! result is bit-identical at every thread count and across runs.
+
+use std::time::Instant;
+
+use ctxform_algebra::Abstraction;
+use ctxform_ir::callgraph::condense;
+
+use super::frontier::{chunk_size, process_chunk, ChunkOut, Delta, WorkerState};
+use super::Solver;
+use crate::result::{RoundProfile, MAX_ROUND_PROFILES};
+
+impl<A: Abstraction> Solver<'_, A> {
+    /// The bottom-up SCC wave engine. Seeding (entry points or an
+    /// incremental delta) is the caller's job, exactly as for the other
+    /// engines, so the same loop serves fresh solves, extensions, and
+    /// post-retraction re-derivation.
+    pub(super) fn fixpoint_scc(&mut self, threads: usize) {
+        debug_assert!(
+            !self.config.subsumption,
+            "summary mode must have fallen back under subsumption"
+        );
+        let cond = condense(self.program);
+        self.stats.scc_count = cond.comp_count;
+        self.stats.scc_max_size = cond.comp_sizes.iter().copied().max().unwrap_or(0) as usize;
+        for &size in &cond.comp_sizes {
+            self.stats.observe_scc_size(size as usize);
+        }
+
+        let program = self.program;
+        let mut buckets: Vec<Vec<Delta<A::X>>> = Vec::new();
+        buckets.resize_with(cond.comp_count, Vec::new);
+        let mut global: Vec<Delta<A::X>> = Vec::new();
+        let mut wave: Vec<Delta<A::X>> = Vec::new();
+        let mut bounds: Vec<(usize, usize)> = Vec::new();
+        let mut states: Vec<WorkerState<A::X>> = (0..threads.max(1))
+            .map(|_| WorkerState::default())
+            .collect();
+
+        loop {
+            // Drain the queues into per-component buckets, in the same
+            // fixed relation order as the other engines.
+            let comp_of = &cond.comp_of;
+            for (p, m) in self.q_reach.drain(..) {
+                buckets[comp_of[p.index()] as usize].push(Delta::Reach(p, m));
+            }
+            for (y, h, x) in self.q_pts.drain(..) {
+                let p = program.var_method[y.index()];
+                buckets[comp_of[p.index()] as usize].push(Delta::Pts(y, h, x));
+            }
+            for (i, q, x) in self.q_call.drain(..) {
+                buckets[comp_of[q.index()] as usize].push(Delta::Call(i, q, x));
+            }
+            for (g, f, h, x) in self.q_hpts.drain(..) {
+                global.push(Delta::Hpts(g, f, h, x));
+            }
+            for (g, f, y, x) in self.q_hload.drain(..) {
+                global.push(Delta::Hload(g, f, y, x));
+            }
+            for (f, h, x) in self.q_spts.drain(..) {
+                global.push(Delta::Spts(f, h, x));
+            }
+
+            // Bottom-up wave selection: the lowest level with a dirty
+            // bucket. (A delta can sit in its bucket across several
+            // waves while deeper callees churn — that is the point.)
+            let mut min_level: Option<u32> = None;
+            for (c, bucket) in buckets.iter().enumerate() {
+                if !bucket.is_empty() {
+                    let level = cond.levels[c];
+                    min_level = Some(min_level.map_or(level, |m| m.min(level)));
+                }
+            }
+            if min_level.is_none() && global.is_empty() {
+                break;
+            }
+
+            // Assemble the wave: dirty same-level component buckets in
+            // ascending component id (one chunk each), then the global
+            // bucket in frontier-style slices.
+            wave.clear();
+            bounds.clear();
+            if let Some(level) = min_level {
+                for (c, bucket) in buckets.iter_mut().enumerate() {
+                    if cond.levels[c] == level && !bucket.is_empty() {
+                        let lo = wave.len();
+                        wave.append(bucket);
+                        bounds.push((lo, wave.len()));
+                    }
+                }
+            }
+            if !global.is_empty() {
+                let lo0 = wave.len();
+                wave.append(&mut global);
+                let slice = chunk_size(wave.len() - lo0, threads.max(1));
+                let mut lo = lo0;
+                while lo < wave.len() {
+                    let hi = (lo + slice).min(wave.len());
+                    bounds.push((lo, hi));
+                    lo = hi;
+                }
+            }
+
+            let n = wave.len();
+            self.stats.scc_waves += 1;
+            self.stats.events += n;
+            self.stats.par_frontier_peak = self.stats.par_frontier_peak.max(n);
+            let mut wave_span = ctxform_obs::span("solver.scc_wave")
+                .field("wave", self.stats.scc_waves)
+                .field("level", min_level.map_or(0, |l| l as usize))
+                .field("deltas", n);
+
+            if threads <= 1 {
+                let t = self.prof_start();
+                for delta in wave.drain(..) {
+                    match delta {
+                        Delta::Reach(p, m) => self.process_reach(p, m),
+                        Delta::Pts(y, h, x) => self.process_pts(y, h, x),
+                        Delta::Call(i, q, x) => self.process_call(i, q, x),
+                        Delta::Hpts(g, f, h, x) => self.process_hpts(g, f, h, x),
+                        Delta::Hload(g, f, y, x) => self.process_hload(g, f, y, x),
+                        Delta::Spts(f, h, x) => self.process_spts(f, h, x),
+                    }
+                }
+                if let Some(t) = t {
+                    self.stats.phase_profile.eval_ns += t.elapsed().as_nanos() as u64;
+                }
+                wave_span.record("chunks", 1usize);
+                continue;
+            }
+
+            // Parallel wave: evaluate chunks read-only across scoped
+            // workers, then merge sequentially in chunk order.
+            let eval_start = self.config.profile.then(Instant::now);
+            let n_chunks = bounds.len();
+            let mut outs: Vec<Option<ChunkOut<A::X>>> = Vec::with_capacity(n_chunks);
+            outs.resize_with(n_chunks, || None);
+            if n_chunks == 1 {
+                let (lo, hi) = bounds[0];
+                outs[0] = Some(process_chunk(&*self, &mut states[0], &wave[lo..hi]));
+            } else {
+                let solver_ref = &*self;
+                let wave_ref = &wave;
+                let bounds_ref = &bounds;
+                std::thread::scope(|scope| {
+                    let mut handles = Vec::with_capacity(threads);
+                    for (w, st) in states.iter_mut().enumerate() {
+                        handles.push(scope.spawn(move || {
+                            let mut mine = Vec::new();
+                            let mut ci = w;
+                            while ci < n_chunks {
+                                let (lo, hi) = bounds_ref[ci];
+                                mine.push((ci, process_chunk(solver_ref, st, &wave_ref[lo..hi])));
+                                ci += threads;
+                            }
+                            mine
+                        }));
+                    }
+                    for handle in handles {
+                        for (ci, out) in handle.join().expect("scc worker panicked") {
+                            outs[ci] = Some(out);
+                        }
+                    }
+                });
+            }
+
+            let eval_ns = eval_start.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let merge_start = eval_start.map(|_| Instant::now());
+            let mut merged = 0usize;
+            for out in outs {
+                let out = out.expect("every chunk processed");
+                self.stats.probes += out.probes;
+                self.stats.compose_calls += out.compose_calls;
+                self.stats.compose_bottom += out.compose_bottom;
+                self.stats.compose_memo_hits += out.memo_hits;
+                self.stats.compose_memo_misses += out.memo_misses;
+                self.stats.par_deferred += out.deferred;
+                self.stats.summaries_applied += out.summaries_applied;
+                self.stats.rule_time.merge(&out.rule_time);
+                merged += out.cands.len();
+                for cand in out.cands {
+                    self.apply_candidate(cand);
+                }
+            }
+            wave.clear();
+            wave_span.record("chunks", n_chunks);
+            wave_span.record("candidates", merged);
+            if let Some(t) = merge_start {
+                let merge_ns = t.elapsed().as_nanos() as u64;
+                self.stats.phase_profile.eval_ns += eval_ns;
+                self.stats.phase_profile.merge_ns += merge_ns;
+                if self.stats.round_profiles.len() < MAX_ROUND_PROFILES {
+                    self.stats.round_profiles.push(RoundProfile {
+                        round: self.stats.scc_waves,
+                        frontier: n,
+                        candidates: merged,
+                        eval_ns,
+                        merge_ns,
+                    });
+                }
+            }
+        }
+    }
+}

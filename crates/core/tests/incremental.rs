@@ -20,20 +20,10 @@ use ctxform_algebra::Sensitivity;
 use ctxform_ir::Program;
 use ctxform_minijava::compile;
 use ctxform_synth::{edit_script, random_program, retract_edit_script};
+use ctxform_testutil::incremental_configs as configs;
 
 const SEEDS: u64 = 20;
 const STEPS: usize = 3;
-
-/// The abstraction × sensitivity grid the issue prescribes.
-fn configs() -> Vec<AnalysisConfig> {
-    let mut out = Vec::new();
-    for label in ["1-call", "1-object"] {
-        let sensitivity: Sensitivity = label.parse().expect("valid sensitivity");
-        out.push(AnalysisConfig::transformer_strings(sensitivity));
-        out.push(AnalysisConfig::context_strings(sensitivity));
-    }
-    out
-}
 
 /// Compiles every revision of the seed's edit script.
 fn revisions(seed: u64) -> Vec<Program> {

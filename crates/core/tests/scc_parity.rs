@@ -1,0 +1,178 @@
+//! Differential parity for the bottom-up SCC summary solver
+//! (`SolveMode::SummaryScc`).
+//!
+//! The acceptance oracle the issue prescribes: across seeded random
+//! programs × both context abstractions × the context-sensitive grid ×
+//! thread counts, the summary-mode solve must produce a **bit-identical
+//! fact digest** to the round-based engine. Digests cover every derived
+//! context-sensitive fact (rendered and sorted), so this pins the whole
+//! least model, not just the ci projection — the SCC scheduler and the
+//! summary join index may only reorder work, never change it.
+//!
+//! Also covered here: the subsumption fallback (summary mode must
+//! quietly run the round engine, with a typed reason), and incremental
+//! extend/retract chains driven in summary mode (the summary index must
+//! survive resumes and DRed rebuilds).
+
+use ctxform::{AnalysisDb, ExtendOutcome, SolveMode};
+use ctxform_minijava::compile;
+use ctxform_synth::{edit_script, random_program, retract_edit_script};
+use ctxform_testutil::{cs_configs, incremental_configs, PARITY_THREADS};
+
+const SEEDS: u64 = 6;
+
+#[test]
+fn summary_scc_is_bit_identical_to_rounds_across_the_matrix() {
+    let mut synthesized_total = 0u64;
+    let mut applied_total = 0u64;
+    for seed in 0..SEEDS {
+        let program = compile(&random_program(seed, 1))
+            .unwrap_or_else(|e| panic!("seed {seed}: fails to compile: {e}"))
+            .program;
+        for base in cs_configs() {
+            // One serial round-based solve is the oracle for every
+            // (mode, threads) cell: digests are thread-independent.
+            let oracle = AnalysisDb::solve(program.clone(), &base.with_threads(1));
+            let oracle_digest = oracle.fact_digest();
+            for &threads in &PARITY_THREADS {
+                let cfg = base.with_summary_scc().with_threads(threads);
+                assert_eq!(cfg.effective_solve_mode(), (SolveMode::SummaryScc, None));
+                let db = AnalysisDb::solve(program.clone(), &cfg);
+                assert_eq!(
+                    db.fact_digest(),
+                    oracle_digest,
+                    "seed {seed} {base} threads={threads}: summary-scc digest \
+                     diverges from the round-based solver"
+                );
+                let stats = &db.result().stats;
+                assert_eq!(
+                    db.result().ci,
+                    oracle.result().ci,
+                    "seed {seed} {base} threads={threads}: ci projections diverge"
+                );
+                assert!(
+                    stats.scc_waves > 0 && stats.scc_count > 0,
+                    "seed {seed} {base} threads={threads}: summary mode ran \
+                     without recording an SCC schedule"
+                );
+                assert!(
+                    stats.scc_max_size as u64 <= stats.scc_sizes.iter().sum::<u64>().max(1),
+                    "scc size histogram inconsistent"
+                );
+                synthesized_total += stats.summaries_synthesized;
+                applied_total += stats.summaries_applied;
+            }
+        }
+    }
+    // The sweep must actually exercise the summary path, not just the
+    // scheduler: returning calls exist in the corpus.
+    assert!(
+        synthesized_total > 0 && applied_total > 0,
+        "no summaries synthesized ({synthesized_total}) or applied \
+         ({applied_total}) across the whole matrix"
+    );
+}
+
+#[test]
+fn subsumption_requests_fall_back_to_rounds_and_stay_correct() {
+    for seed in 0..3u64 {
+        let program = compile(&random_program(seed, 1)).unwrap().program;
+        for base in incremental_configs() {
+            let plain = base.with_subsumption();
+            let summary = plain.with_summary_scc();
+            let (mode, reason) = summary.effective_solve_mode();
+            assert_eq!(mode, SolveMode::Rounds);
+            assert!(
+                reason.is_some_and(|r| r.contains("subsumption")),
+                "fallback reason should name subsumption, got {reason:?}"
+            );
+            let oracle = AnalysisDb::solve(program.clone(), &plain.with_threads(1));
+            for &threads in &PARITY_THREADS {
+                let db = AnalysisDb::solve(program.clone(), &summary.with_threads(threads));
+                assert_eq!(
+                    db.fact_digest(),
+                    oracle.fact_digest(),
+                    "seed {seed} {base} threads={threads}: subsumption fallback \
+                     diverges from the plain subsumption solve"
+                );
+                assert_eq!(
+                    db.result().stats.scc_waves,
+                    0,
+                    "fallback must not run the SCC scheduler"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn extend_chains_stay_bit_identical_in_summary_mode() {
+    const STEPS: usize = 3;
+    for seed in 0..4u64 {
+        let source = random_program(seed, 1);
+        let programs: Vec<_> = edit_script(&source, seed, STEPS)
+            .iter()
+            .map(|src| compile(src).unwrap().program)
+            .collect();
+        for config in incremental_configs() {
+            let scratch: Vec<u64> = programs
+                .iter()
+                .map(|p| AnalysisDb::solve(p.clone(), &config.with_threads(1)).fact_digest())
+                .collect();
+            for &threads in &PARITY_THREADS {
+                let cfg = config.with_summary_scc().with_threads(threads);
+                let mut db = AnalysisDb::solve(programs[0].clone(), &cfg);
+                assert_eq!(db.fact_digest(), scratch[0]);
+                for (step, next) in programs.iter().enumerate().skip(1) {
+                    let outcome = db.extend(next.clone());
+                    assert!(
+                        matches!(outcome, ExtendOutcome::Incremental),
+                        "seed {seed} {config} threads={threads} step {step}: \
+                         expected Incremental, got {outcome:?}"
+                    );
+                    assert_eq!(
+                        db.fact_digest(),
+                        scratch[step],
+                        "seed {seed} {config} threads={threads} step {step}: \
+                         summary-mode extension diverges from scratch"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn retraction_chains_stay_bit_identical_in_summary_mode() {
+    const STEPS: usize = 3;
+    for seed in 0..4u64 {
+        let base = compile(&random_program(seed, 1)).unwrap().program;
+        let programs = retract_edit_script(&base, seed, STEPS, 10);
+        for config in incremental_configs() {
+            let scratch: Vec<u64> = programs
+                .iter()
+                .map(|p| AnalysisDb::solve(p.clone(), &config.with_threads(1)).fact_digest())
+                .collect();
+            for &threads in &PARITY_THREADS {
+                let cfg = config.with_summary_scc().with_threads(threads);
+                let mut db = AnalysisDb::solve(programs[0].clone(), &cfg);
+                assert_eq!(db.fact_digest(), scratch[0]);
+                for (step, next) in programs.iter().enumerate().skip(1) {
+                    let outcome = db.extend(next.clone());
+                    assert!(
+                        matches!(outcome, ExtendOutcome::Retracted),
+                        "seed {seed} {config} threads={threads} step {step}: \
+                         expected Retracted, got {outcome:?}"
+                    );
+                    assert_eq!(
+                        db.fact_digest(),
+                        scratch[step],
+                        "seed {seed} {config} threads={threads} step {step}: \
+                         summary-mode retraction diverges from scratch \
+                         (summary index rebuild after DRed is suspect)"
+                    );
+                }
+            }
+        }
+    }
+}

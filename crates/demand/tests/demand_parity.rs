@@ -4,21 +4,12 @@
 //! {1,4} solver threads — and on loosely-coupled programs the sliced
 //! solve must derive strictly fewer facts than the full fixpoint.
 
-use ctxform::{analyze, analyze_sliced, demand_slice, AnalysisConfig};
+use ctxform::{analyze, analyze_sliced, demand_slice};
 use ctxform_demand::DemandEngine;
 use ctxform_ir::Var;
 use ctxform_minijava::compile;
 use ctxform_synth::random_program;
-
-fn cs_configs() -> Vec<AnalysisConfig> {
-    let mut configs = Vec::new();
-    for label in ["1-call", "1-call+H", "1-object", "2-object+H"] {
-        let s = label.parse().unwrap();
-        configs.push(AnalysisConfig::context_strings(s));
-        configs.push(AnalysisConfig::transformer_strings(s));
-    }
-    configs
-}
+use ctxform_testutil::cs_configs;
 
 #[test]
 fn demand_matches_exhaustive_across_seeds_configs_threads() {

@@ -1,0 +1,271 @@
+//! Call-graph extraction and SCC condensation.
+//!
+//! The bottom-up summary solver (`SolveMode::SummaryScc`) schedules
+//! evaluation over the condensation of the static call graph: methods
+//! that call each other (mutual recursion) collapse into one strongly
+//! connected component, and components are numbered in **reverse
+//! topological order** — every callee component gets a smaller id than
+//! its callers, so solving components in ascending id order visits
+//! callees first and their return summaries are complete before any
+//! caller applies them.
+//!
+//! The graph is a CHA over-approximation of the runtime call graph:
+//! `static_invoke(I, Q, P)` contributes the edge `P → Q`, and
+//! `virtual_invoke(I, Z, S)` contributes an edge from the invocation's
+//! containing method to **every** method implementing signature `S`
+//! (receiver types are not consulted). Over-approximation is safe here —
+//! the condensation only drives *scheduling*; the solver's rules still
+//! compute the exact least model regardless of component placement.
+
+use ctxform_hash::{FxHashMap, FxHashSet};
+
+use crate::ids::{MSig, Method};
+use crate::program::Program;
+
+/// An SCC partition of a digraph on `0..node_count` nodes.
+#[derive(Debug, Clone)]
+pub struct SccPartition {
+    /// Component id per node, in `0..comp_count`. Ids are assigned in
+    /// Tarjan pop order, which is reverse topological: for every edge
+    /// `u → v` with `comp_of[u] != comp_of[v]`, `comp_of[v] < comp_of[u]`.
+    pub comp_of: Vec<u32>,
+    /// Number of components.
+    pub comp_count: usize,
+}
+
+/// Tarjan's algorithm (iterative), returning components numbered in
+/// reverse topological order. Both endpoints of every edge must be in
+/// `0..n`; out-of-range endpoints panic (via indexing).
+pub fn scc_partition(n: usize, edges: &[(u32, u32)]) -> SccPartition {
+    // CSR adjacency.
+    let mut degree = vec![0u32; n];
+    for &(u, _) in edges {
+        degree[u as usize] += 1;
+    }
+    let mut starts = vec![0usize; n + 1];
+    for i in 0..n {
+        starts[i + 1] = starts[i] + degree[i] as usize;
+    }
+    let mut cursor = starts.clone();
+    let mut adj = vec![0u32; edges.len()];
+    for &(u, v) in edges {
+        adj[cursor[u as usize]] = v;
+        cursor[u as usize] += 1;
+    }
+
+    const UNVISITED: u32 = u32::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut comp_of = vec![UNVISITED; n];
+    let mut next_index = 0u32;
+    let mut comp_count = 0u32;
+    // Explicit DFS frames: (node, next out-edge offset).
+    let mut frames: Vec<(u32, usize)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNVISITED {
+            continue;
+        }
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+        frames.push((root, starts[root as usize]));
+        while let Some(&(v, cur)) = frames.last() {
+            let vi = v as usize;
+            if cur < starts[vi + 1] {
+                frames.last_mut().expect("frame just read").1 = cur + 1;
+                let w = adj[cur];
+                let wi = w as usize;
+                if index[wi] == UNVISITED {
+                    index[wi] = next_index;
+                    lowlink[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    frames.push((w, starts[wi]));
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(p, _)) = frames.last() {
+                    let pi = p as usize;
+                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                }
+                if lowlink[vi] == index[vi] {
+                    loop {
+                        let w = stack.pop().expect("Tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp_of[w as usize] = comp_count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_count += 1;
+                }
+            }
+        }
+    }
+
+    SccPartition {
+        comp_of,
+        comp_count: comp_count as usize,
+    }
+}
+
+/// The condensed call graph of a [`Program`].
+#[derive(Debug, Clone)]
+pub struct Condensation {
+    /// Component id per method (indexed by `Method::index()`), numbered
+    /// in reverse topological order: callees before callers.
+    pub comp_of: Vec<u32>,
+    /// Number of components.
+    pub comp_count: usize,
+    /// Number of methods per component.
+    pub comp_sizes: Vec<u32>,
+    /// Bottom-up level per component: `0` for components with no
+    /// cross-component callees, otherwise `1 + max(level of callee
+    /// components)`. Components on the same level are independent of
+    /// each other's callees-in-flight and may be solved concurrently.
+    pub levels: Vec<u32>,
+    /// Maximum entry of `levels` (`0` for an empty program).
+    pub max_level: u32,
+}
+
+/// Extracts CHA call edges and condenses the call graph into SCCs.
+pub fn condense(program: &Program) -> Condensation {
+    let n = program.method_count();
+    let f = &program.facts;
+
+    // Methods implementing each signature (virtual-dispatch targets,
+    // receiver type ignored — a deliberate over-approximation).
+    let mut by_sig: FxHashMap<MSig, Vec<Method>> = FxHashMap::default();
+    for &(q, _t, s) in &f.implements {
+        by_sig.entry(s).or_default().push(q);
+    }
+
+    let mut seen: FxHashSet<(u32, u32)> = FxHashSet::default();
+    let mut edges: Vec<(u32, u32)> = Vec::new();
+    let mut push = |edges: &mut Vec<(u32, u32)>, p: Method, q: Method| {
+        let e = (p.0, q.0);
+        if e.0 != e.1 && seen.insert(e) {
+            edges.push(e);
+        }
+    };
+    for &(_i, q, p) in &f.static_invoke {
+        push(&mut edges, p, q);
+    }
+    for &(i, _z, s) in &f.virtual_invoke {
+        let p = program.inv_method[i.index()];
+        if let Some(targets) = by_sig.get(&s) {
+            for &q in targets {
+                push(&mut edges, p, q);
+            }
+        }
+    }
+
+    let part = scc_partition(n, &edges);
+    let mut comp_sizes = vec![0u32; part.comp_count];
+    for &c in &part.comp_of {
+        comp_sizes[c as usize] += 1;
+    }
+
+    // Bottom-up levels. Reverse-topological numbering guarantees that
+    // for a cross edge p → q, comp_of[q] < comp_of[p]; sorting cross
+    // edges by source component and scanning ascending therefore sees
+    // every callee component's level finalized before it is read.
+    let mut cross: Vec<(u32, u32)> = edges
+        .iter()
+        .map(|&(u, v)| (part.comp_of[u as usize], part.comp_of[v as usize]))
+        .filter(|&(cu, cv)| cu != cv)
+        .collect();
+    cross.sort_unstable();
+    cross.dedup();
+    let mut levels = vec![0u32; part.comp_count];
+    for &(cu, cv) in &cross {
+        debug_assert!(cv < cu, "condensation edge violates reverse-topo order");
+        levels[cu as usize] = levels[cu as usize].max(levels[cv as usize] + 1);
+    }
+    let max_level = levels.iter().copied().max().unwrap_or(0);
+
+    Condensation {
+        comp_of: part.comp_of,
+        comp_count: part.comp_count,
+        comp_sizes,
+        levels,
+        max_level,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+
+    #[test]
+    fn empty_graph_has_no_components() {
+        let part = scc_partition(0, &[]);
+        assert_eq!(part.comp_count, 0);
+        assert!(part.comp_of.is_empty());
+    }
+
+    #[test]
+    fn chain_is_reverse_topological() {
+        // 0 → 1 → 2: every node its own SCC, callee ids smaller.
+        let part = scc_partition(3, &[(0, 1), (1, 2)]);
+        assert_eq!(part.comp_count, 3);
+        assert!(part.comp_of[2] < part.comp_of[1]);
+        assert!(part.comp_of[1] < part.comp_of[0]);
+    }
+
+    #[test]
+    fn cycle_collapses_into_one_component() {
+        // 0 → 1 → 2 → 0 plus a sink 2 → 3.
+        let part = scc_partition(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(part.comp_count, 2);
+        assert_eq!(part.comp_of[0], part.comp_of[1]);
+        assert_eq!(part.comp_of[1], part.comp_of[2]);
+        assert!(part.comp_of[3] < part.comp_of[0]);
+    }
+
+    #[test]
+    fn self_loops_and_duplicate_edges_are_harmless() {
+        let part = scc_partition(2, &[(0, 0), (0, 1), (0, 1)]);
+        assert_eq!(part.comp_count, 2);
+        assert!(part.comp_of[1] < part.comp_of[0]);
+    }
+
+    #[test]
+    fn condensation_levels_count_callee_depth() {
+        // main --static--> a --static--> b, plus mutual recursion c <-> d
+        // called from main.
+        let mut b = ProgramBuilder::new();
+        let t = b.class("T", None);
+        let main = b.method_in("main", t, &[]);
+        let a = b.method_in("a", t, &[]);
+        let bb = b.method_in("b", t, &[]);
+        let c = b.method_in("c", t, &[]);
+        let d = b.method_in("d", t, &[]);
+        b.static_call("i1", main, a, &[], None);
+        b.static_call("i2", a, bb, &[], None);
+        b.static_call("i3", main, c, &[], None);
+        b.static_call("i4", c, d, &[], None);
+        b.static_call("i5", d, c, &[], None);
+        let program = b.finish_unchecked();
+        let cond = condense(&program);
+        let comp = |m: Method| cond.comp_of[m.index()] as usize;
+        assert_eq!(cond.comp_of.len(), program.method_count());
+        assert_eq!(comp(c), comp(d), "mutual recursion shares a component");
+        assert_ne!(comp(main), comp(a));
+        assert_eq!(cond.comp_sizes[comp(c)], 2);
+        assert_eq!(cond.levels[comp(bb)], 0);
+        assert_eq!(cond.levels[comp(a)], 1);
+        assert_eq!(cond.levels[comp(c)], 0);
+        assert_eq!(cond.levels[comp(main)], 2);
+        assert_eq!(cond.max_level, 2);
+    }
+}

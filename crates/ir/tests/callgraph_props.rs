@@ -1,0 +1,105 @@
+//! Property tests for the call-graph condensation: Tarjan's SCC
+//! partition on seeded random digraphs, checked against a naive
+//! reachability oracle (O(n·m) BFS per node — fine at these sizes).
+//!
+//! Two properties pin the contract the summary solver relies on:
+//!
+//! 1. **Partition correctness** — two nodes share a component iff each
+//!    reaches the other.
+//! 2. **Reverse-topological numbering** — every cross-component edge
+//!    points at a smaller component id, so ascending id order visits
+//!    callees before callers.
+
+use ctxform_hash::SplitMix64;
+use ctxform_ir::scc_partition;
+
+/// Per-node reachability (including self) by BFS.
+fn reachability(n: usize, edges: &[(u32, u32)]) -> Vec<Vec<bool>> {
+    let mut adj = vec![Vec::new(); n];
+    for &(u, v) in edges {
+        adj[u as usize].push(v as usize);
+    }
+    let mut reach = vec![vec![false; n]; n];
+    for (start, row) in reach.iter_mut().enumerate() {
+        let mut work = vec![start];
+        row[start] = true;
+        while let Some(u) = work.pop() {
+            for &v in &adj[u] {
+                if !row[v] {
+                    row[v] = true;
+                    work.push(v);
+                }
+            }
+        }
+    }
+    reach
+}
+
+fn random_digraph(rng: &mut SplitMix64) -> (usize, Vec<(u32, u32)>) {
+    let n = rng.range_inclusive(0, 24);
+    if n == 0 {
+        return (0, Vec::new());
+    }
+    // Densities from sparse forests to well past the SCC phase
+    // transition (m ≈ 3n), so single-node, mid-size, and giant
+    // components all appear across the seed sweep.
+    let m = rng.below(3 * n + 2);
+    let edges = (0..m)
+        .map(|_| (rng.below(n) as u32, rng.below(n) as u32))
+        .collect();
+    (n, edges)
+}
+
+#[test]
+fn scc_partition_matches_mutual_reachability_oracle() {
+    for seed in 0..300u64 {
+        let mut rng = SplitMix64::new(seed);
+        let (n, edges) = random_digraph(&mut rng);
+        let part = scc_partition(n, &edges);
+        let reach = reachability(n, &edges);
+        #[allow(clippy::needless_range_loop)]
+        for u in 0..n {
+            assert!(
+                (part.comp_of[u] as usize) < part.comp_count,
+                "seed {seed}: component id out of range"
+            );
+            for v in 0..n {
+                let together = part.comp_of[u] == part.comp_of[v];
+                let mutual = reach[u][v] && reach[v][u];
+                assert_eq!(
+                    together, mutual,
+                    "seed {seed}: nodes {u},{v} partition/oracle disagree \
+                     (n={n}, edges={edges:?})"
+                );
+            }
+        }
+        // Every id in 0..comp_count is used (ids are dense).
+        let mut used = vec![false; part.comp_count];
+        for &c in &part.comp_of {
+            used[c as usize] = true;
+        }
+        assert!(
+            used.iter().all(|&b| b),
+            "seed {seed}: component ids are not dense"
+        );
+    }
+}
+
+#[test]
+fn scc_numbering_is_reverse_topological() {
+    for seed in 0..300u64 {
+        let mut rng = SplitMix64::new(seed ^ 0x05CC_05CC);
+        let (n, edges) = random_digraph(&mut rng);
+        let part = scc_partition(n, &edges);
+        for &(u, v) in &edges {
+            let (cu, cv) = (part.comp_of[u as usize], part.comp_of[v as usize]);
+            if cu != cv {
+                assert!(
+                    cv < cu,
+                    "seed {seed}: edge {u}->{v} crosses components {cu}->{cv} \
+                     but the target id is not smaller (n={n}, edges={edges:?})"
+                );
+            }
+        }
+    }
+}
